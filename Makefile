@@ -1,0 +1,47 @@
+# Convenience targets for the ccdem reproduction.
+
+GO ?= go
+
+.PHONY: all build test test-short race cover bench validate campaign figures clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./internal/experiments/ .
+
+cover:
+	$(GO) test -cover ./...
+
+# One pass over every per-figure benchmark (fast; raise -benchtime for
+# statistically meaningful timings).
+bench:
+	$(GO) test -run XXX -bench . -benchmem -benchtime 1x ./...
+
+# Qualitative shape checks against the paper; exits non-zero on failure.
+validate:
+	$(GO) run ./cmd/ccdem -duration 60 validate
+
+# The full reference campaign with exported artifacts (≈5 minutes).
+campaign:
+	mkdir -p results/figures
+	$(GO) run ./cmd/ccdem -duration 180 -svg results/figures \
+		-csv results/campaign_180s.csv all | tee results/full_campaign_180s.txt
+
+figures:
+	mkdir -p results/figures
+	$(GO) run ./cmd/ccdem -duration 60 -svg results/figures fig2
+	$(GO) run ./cmd/ccdem -duration 60 -svg results/figures fig7
+
+clean:
+	$(GO) clean ./...
+	rm -f test_output.txt bench_output.txt

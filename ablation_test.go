@@ -1,0 +1,140 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out: the
+// section rule vs the paper's discarded naive controller, the governor's
+// control period, the touch-boost hold window, the comparison-grid size,
+// and the panel technology (LCD vs OLED). Each reports the power/quality
+// trade-off it moves.
+package ccdem_test
+
+import (
+	"fmt"
+	"testing"
+
+	"ccdem"
+	"ccdem/internal/app"
+	"ccdem/internal/input"
+	"ccdem/internal/power"
+	"ccdem/internal/sim"
+)
+
+// ablationRun measures one configuration on one app with a fixed script.
+func ablationRun(b *testing.B, cfg ccdem.Config, appName string, dur sim.Time) ccdem.Stats {
+	b.Helper()
+	p, ok := app.ByName(appName)
+	if !ok {
+		b.Fatalf("app %q not in catalog", appName)
+	}
+	dev, err := ccdem.NewDevice(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := dev.InstallApp(p); err != nil {
+		b.Fatal(err)
+	}
+	mk, err := input.NewMonkey(99, input.DefaultMonkeyConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	dev.PlayScript(mk.Script(dur, 720, 1280))
+	dev.Run(dur)
+	return dev.Stats()
+}
+
+// BenchmarkAblationNaiveControl contrasts the paper's section rule with
+// its discarded headroom-less first design on an interactive game: the
+// naive controller saves more power but collapses display quality because
+// it can never measure content above its current refresh rate.
+func BenchmarkAblationNaiveControl(b *testing.B) {
+	dur := 30 * sim.Second
+	for i := 0; i < b.N; i++ {
+		base := ablationRun(b, ccdem.Config{Governor: ccdem.GovernorOff}, "Jelly Splash", dur)
+		naive := ablationRun(b, ccdem.Config{Governor: ccdem.GovernorNaive}, "Jelly Splash", dur)
+		sect := ablationRun(b, ccdem.Config{Governor: ccdem.GovernorSection}, "Jelly Splash", dur)
+		if i == b.N-1 {
+			b.ReportMetric(base.MeanPowerMW-naive.MeanPowerMW, "naive-saved-mW")
+			b.ReportMetric(100*naive.DisplayQuality, "naive-quality-%")
+			b.ReportMetric(base.MeanPowerMW-sect.MeanPowerMW, "section-saved-mW")
+			b.ReportMetric(100*sect.DisplayQuality, "section-quality-%")
+		}
+	}
+}
+
+// BenchmarkAblationControlPeriod sweeps the governor's control period:
+// shorter periods track content bursts faster (higher quality) at the cost
+// of less time spent at low refresh rates.
+func BenchmarkAblationControlPeriod(b *testing.B) {
+	for _, period := range []sim.Time{125 * sim.Millisecond, 250 * sim.Millisecond,
+		500 * sim.Millisecond, sim.Second, 2 * sim.Second} {
+		period := period
+		b.Run(period.String(), func(b *testing.B) {
+			var st ccdem.Stats
+			for i := 0; i < b.N; i++ {
+				st = ablationRun(b, ccdem.Config{
+					Governor:      ccdem.GovernorSection,
+					ControlPeriod: period,
+				}, "Facebook", 30*sim.Second)
+			}
+			b.ReportMetric(st.MeanPowerMW, "mW")
+			b.ReportMetric(100*st.DisplayQuality, "quality-%")
+		})
+	}
+}
+
+// BenchmarkAblationBoostHold sweeps the touch-boost hold window: longer
+// holds protect fling tails (quality) but spend more time at 60 Hz.
+func BenchmarkAblationBoostHold(b *testing.B) {
+	for _, hold := range []sim.Time{100 * sim.Millisecond, 300 * sim.Millisecond,
+		600 * sim.Millisecond, 1200 * sim.Millisecond} {
+		hold := hold
+		b.Run(hold.String(), func(b *testing.B) {
+			var st ccdem.Stats
+			for i := 0; i < b.N; i++ {
+				st = ablationRun(b, ccdem.Config{
+					Governor:  ccdem.GovernorSectionBoost,
+					BoostHold: hold,
+				}, "Facebook", 30*sim.Second)
+			}
+			b.ReportMetric(st.MeanPowerMW, "mW")
+			b.ReportMetric(100*st.DisplayQuality, "quality-%")
+		})
+	}
+}
+
+// BenchmarkAblationGridSize sweeps the governor's comparison grid: sparser
+// grids cost less CPU but misclassify small changes (the Figure 6
+// trade-off, here measured end-to-end through governor behaviour).
+func BenchmarkAblationGridSize(b *testing.B) {
+	for _, samples := range []int{2304, 9216, 36864, 147456} {
+		samples := samples
+		b.Run(fmt.Sprintf("%dpx", samples), func(b *testing.B) {
+			var st ccdem.Stats
+			for i := 0; i < b.N; i++ {
+				st = ablationRun(b, ccdem.Config{
+					Governor:     ccdem.GovernorSection,
+					MeterSamples: samples,
+				}, "PokoPang", 30*sim.Second)
+			}
+			b.ReportMetric(st.MeanPowerMW, "mW")
+			b.ReportMetric(100*st.DisplayQuality, "quality-%")
+			b.ReportMetric(st.Breakdown[power.MeterOver]/st.Duration.Seconds(), "meter-mW")
+		})
+	}
+}
+
+// BenchmarkAblationOLEDPanel swaps the LCD for an OLED panel model (the
+// related-work panel class): refresh-rate savings persist, and total power
+// now tracks content luminance as well.
+func BenchmarkAblationOLEDPanel(b *testing.B) {
+	oled := power.DefaultParams()
+	oled.Panel = power.OLEDPanel{BaseMW: 50, PerHzMW: 3.0, MaxEmissionMW: 700}
+	for i := 0; i < b.N; i++ {
+		base := ablationRun(b, ccdem.Config{Governor: ccdem.GovernorOff, PowerParams: &oled},
+			"Jelly Splash", 30*sim.Second)
+		gov := ablationRun(b, ccdem.Config{Governor: ccdem.GovernorSectionBoost, PowerParams: &oled},
+			"Jelly Splash", 30*sim.Second)
+		if i == b.N-1 {
+			b.ReportMetric(base.MeanPowerMW, "oled-baseline-mW")
+			b.ReportMetric(base.MeanPowerMW-gov.MeanPowerMW, "oled-saved-mW")
+			b.ReportMetric(100*gov.DisplayQuality, "oled-quality-%")
+		}
+	}
+}

@@ -1,0 +1,534 @@
+// Package ccdem is a full-system reproduction of "Content-centric Display
+// Energy Management for Mobile Devices" (Kim, Jung, Cha — DAC 2014).
+//
+// The paper's scheme measures the content rate — the number of frames per
+// second whose pixels genuinely change — by comparing a sparse grid of
+// framebuffer samples against the previous frame (double buffering), and
+// drives the panel's refresh rate from it through a section table with
+// headroom, boosted to maximum on touch events. The result is display-path
+// power reduction with negligible display-quality loss.
+//
+// Because the original runs on a kernel-modified Samsung Galaxy S3 LTE
+// driven by Monkey scripts and measured with a Monsoon power monitor, this
+// package ships the whole substrate as a deterministic simulation: an
+// Android-style surface manager with V-Sync-gated composition, a panel
+// with the S3's five refresh levels, a component power model with a
+// Monsoon-style sampler, 30 application workload models, and a Monkey
+// script generator. See DESIGN.md for the substitution rationale and
+// EXPERIMENTS.md for paper-vs-measured results for every figure and table.
+//
+// The entry point is Device:
+//
+//	dev, err := ccdem.NewDevice(ccdem.Config{Governor: ccdem.GovernorSectionBoost})
+//	...
+//	params, _ := app.ByName("Jelly Splash")
+//	model, err := dev.InstallApp(params)
+//	dev.PlayScript(script)
+//	dev.Run(60 * sim.Second)
+//	stats := dev.Stats()
+package ccdem
+
+import (
+	"fmt"
+
+	"ccdem/internal/app"
+	"ccdem/internal/core"
+	"ccdem/internal/display"
+	"ccdem/internal/framebuffer"
+	"ccdem/internal/input"
+	"ccdem/internal/power"
+	"ccdem/internal/sim"
+	"ccdem/internal/surface"
+	"ccdem/internal/trace"
+	"ccdem/internal/wallpaper"
+)
+
+// GovernorMode selects the refresh-rate management policy — the paper's
+// three measured configurations.
+type GovernorMode int
+
+// Governor modes.
+const (
+	// GovernorOff is the Android baseline: fixed maximum refresh rate.
+	GovernorOff GovernorMode = iota
+	// GovernorSection enables section-based refresh control only.
+	GovernorSection
+	// GovernorSectionBoost enables section control plus touch boosting
+	// (the paper's full system).
+	GovernorSectionBoost
+	// GovernorNaive is the paper's discarded first design (§3.2): refresh
+	// set to the smallest level covering the measured content rate, with
+	// no headroom. Kept as an ablation — it ratchets downward because
+	// V-Sync hides content above the current refresh rate.
+	GovernorNaive
+	// GovernorE3 is the related-work comparison baseline (Han et al.,
+	// SenSys 2013 — the paper's reference [16]): interaction-aware
+	// frame-rate adaptation. The panel stays at maximum refresh; the
+	// latch pace is throttled toward the content rate instead. It saves
+	// render energy on redundant frames but none of the
+	// refresh-proportional panel power.
+	GovernorE3
+	// GovernorIdleTimeout is the content-blind adaptive-refresh policy of
+	// later production phones: maximum rate while touching (plus a
+	// timeout), minimum rate when idle, no framebuffer metering. Kept as
+	// a comparison showing why content awareness matters for autonomous
+	// content (video, games).
+	GovernorIdleTimeout
+)
+
+// String implements fmt.Stringer.
+func (g GovernorMode) String() string {
+	switch g {
+	case GovernorOff:
+		return "baseline"
+	case GovernorSection:
+		return "section"
+	case GovernorSectionBoost:
+		return "section+boost"
+	case GovernorNaive:
+		return "naive"
+	case GovernorE3:
+		return "e3-framerate"
+	case GovernorIdleTimeout:
+		return "idle-timeout"
+	default:
+		return fmt.Sprintf("mode(%d)", int(g))
+	}
+}
+
+// Config assembles a simulated device. The zero value, after defaulting,
+// is the paper's experimental platform: a 720×1280 Galaxy S3 LTE panel
+// with refresh levels {20,24,30,40,60} Hz at 50% brightness, metering on
+// the 9K grid with a 1 s window, 500 ms control period and 300 ms boost hold.
+type Config struct {
+	Width, Height int   // screen size; default 720×1280
+	RefreshLevels []int // supported rates; default display.GalaxyS3Levels
+	// FastUpswitch marks LTPO-class panels that can raise the refresh
+	// rate mid-interval; the paper's S3 cannot (default false).
+	FastUpswitch bool
+
+	Brightness float64 // backlight 0..1; 0 defaults to the paper's 50%
+
+	MeterSamples  int      // comparison grid size; default 9216 (9K)
+	MeterWindow   sim.Time // rate window; default 1 s
+	ControlPeriod sim.Time // governor period; default 500 ms
+	BoostHold     sim.Time // boost hold after last touch; default 300 ms
+
+	// MeterEarlyExit stops grid comparison at the first differing sample
+	// (extension; classification unchanged, metering cost reduced).
+	MeterEarlyExit bool
+	// DownHysteresis requires this many consecutive down indications
+	// before the governor lowers the rate (extension; 0 = paper's
+	// behaviour).
+	DownHysteresis int
+
+	Governor GovernorMode
+
+	PowerParams         *power.Params // nil defaults to power.DefaultParams()
+	PowerSampleInterval sim.Time      // Monsoon-style sampling; default 100 ms
+	TraceInterval       sim.Time      // rate/refresh trace sampling; default 250 ms
+}
+
+func (c *Config) applyDefaults() {
+	if c.Width == 0 {
+		c.Width = 720
+	}
+	if c.Height == 0 {
+		c.Height = 1280
+	}
+	if c.RefreshLevels == nil {
+		c.RefreshLevels = display.GalaxyS3Levels
+	}
+	if c.Brightness == 0 {
+		c.Brightness = 0.5
+	}
+	if c.MeterSamples == 0 {
+		c.MeterSamples = 9216
+	}
+	if c.MeterWindow == 0 {
+		c.MeterWindow = sim.Second
+	}
+	if c.ControlPeriod == 0 {
+		c.ControlPeriod = 500 * sim.Millisecond
+	}
+	if c.BoostHold == 0 {
+		c.BoostHold = 300 * sim.Millisecond
+	}
+	if c.PowerParams == nil {
+		p := power.DefaultParams()
+		c.PowerParams = &p
+	}
+	if c.PowerSampleInterval == 0 {
+		c.PowerSampleInterval = 100 * sim.Millisecond
+	}
+	if c.TraceInterval == 0 {
+		c.TraceInterval = 250 * sim.Millisecond
+	}
+}
+
+// Device is a fully assembled simulated phone: panel, surface manager,
+// power model, optional governor, and the workloads installed on it.
+type Device struct {
+	cfg Config
+
+	eng      *sim.Engine
+	panel    *display.Panel
+	mgr      *surface.Manager
+	model    *power.Model
+	pwrMeter *power.Meter
+	meter    *core.Meter
+	gov      *core.Governor
+	limiter  *core.FrameLimiter
+	idleGov  *core.IdleGovernor
+	replayer *input.Replayer
+
+	apps       []*app.Model
+	wallpapers []*wallpaper.Wallpaper
+
+	started   bool
+	recording bool
+	frameLog  []core.FrameRecord
+
+	// Recorded traces (sampled every TraceInterval).
+	contentTrace  *trace.Series
+	frameTrace    *trace.Series
+	refreshTrace  *trace.Series
+	intendedTrace *trace.Series
+
+	oled bool
+}
+
+// NewDevice assembles a device from cfg (defaults applied).
+func NewDevice(cfg Config) (*Device, error) {
+	cfg.applyDefaults()
+	if cfg.Brightness < 0 || cfg.Brightness > 1 {
+		return nil, fmt.Errorf("ccdem: brightness %v out of [0,1]", cfg.Brightness)
+	}
+	if cfg.Width <= 0 || cfg.Height <= 0 {
+		return nil, fmt.Errorf("ccdem: invalid screen %dx%d", cfg.Width, cfg.Height)
+	}
+	eng := sim.NewEngine()
+	panel, err := display.NewPanel(eng, display.Config{
+		Levels:       cfg.RefreshLevels,
+		FastUpswitch: cfg.FastUpswitch,
+	})
+	if err != nil {
+		return nil, err
+	}
+	mgr := surface.NewManager(eng, cfg.Width, cfg.Height)
+	model, err := power.NewModel(eng, *cfg.PowerParams, panel.Rate(), cfg.Brightness)
+	if err != nil {
+		return nil, err
+	}
+	pwrMeter, err := power.NewMeter(eng, model, cfg.PowerSampleInterval)
+	if err != nil {
+		return nil, err
+	}
+	// In the baseline configuration the meter still observes frames so the
+	// reported statistics are comparable, but — like the paper's offline
+	// §2.2 analysis — it charges no energy: the unmodified system runs no
+	// metering.
+	var onCompare func(sim.Time)
+	if cfg.Governor != GovernorOff {
+		onCompare = model.MeterCompare
+	}
+	meter, err := core.NewMeter(core.MeterConfig{
+		Grid:      framebuffer.GridForSamples(cfg.Width, cfg.Height, cfg.MeterSamples),
+		Window:    cfg.MeterWindow,
+		Cost:      power.DefaultCompareCost(),
+		OnCompare: onCompare,
+		EarlyExit: cfg.MeterEarlyExit,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	d := &Device{
+		cfg:           cfg,
+		eng:           eng,
+		panel:         panel,
+		mgr:           mgr,
+		model:         model,
+		pwrMeter:      pwrMeter,
+		meter:         meter,
+		replayer:      input.NewReplayer(eng),
+		contentTrace:  trace.NewSeries("content rate (fps)"),
+		frameTrace:    trace.NewSeries("frame rate (fps)"),
+		refreshTrace:  trace.NewSeries("refresh rate (Hz)"),
+		intendedTrace: trace.NewSeries("actual content rate (fps)"),
+	}
+	_, d.oled = cfg.PowerParams.Panel.(power.OLEDPanel)
+
+	// Compose → framebuffer observers: render-cost accounting and — when
+	// the governor is on — the content meter. The baseline configuration
+	// also meters (read-only) so frame/content statistics are comparable,
+	// matching how the paper measures meaningful frame rates of unmanaged
+	// apps in §2.2.
+	panel.OnVSync(mgr.VSync)
+	mgr.OnFrame(func(fi surface.FrameInfo) {
+		model.FrameRendered(fi.RenderedPx)
+		content := d.meter.ObserveFrame(fi.T, mgr.Framebuffer())
+		if d.recording {
+			d.frameLog = append(d.frameLog, core.FrameRecord{
+				T: fi.T, Content: content, RenderedPx: fi.RenderedPx,
+			})
+		}
+		if d.oled {
+			model.SetMeanLuminance(sampleLuma(d.meter, mgr.Framebuffer()))
+		}
+	})
+	panel.OnRateChange(func(_ sim.Time, _, newHz int) { model.SetRefreshRate(newHz) })
+
+	switch cfg.Governor {
+	case GovernorOff:
+		// Android baseline: nothing to manage.
+	case GovernorE3:
+		limiter, err := core.NewFrameLimiter(eng, meter, core.FrameLimiterConfig{
+			MaxFPS:          float64(panel.MaxRate()),
+			ControlPeriod:   cfg.ControlPeriod,
+			InteractionHold: cfg.BoostHold,
+		})
+		if err != nil {
+			return nil, err
+		}
+		d.limiter = limiter
+		mgr.SetLatchGate(limiter.Gate)
+		d.replayer.Subscribe(limiter.HandleTouch)
+	case GovernorIdleTimeout:
+		idleGov, err := core.NewIdleGovernor(eng, panel, core.IdleGovernorConfig{
+			IdleTimeout: cfg.BoostHold * 5, // timeout scale: several boost holds
+			CheckPeriod: cfg.ControlPeriod,
+		})
+		if err != nil {
+			return nil, err
+		}
+		d.idleGov = idleGov
+		d.replayer.Subscribe(idleGov.HandleTouch)
+	default:
+		policy := core.PolicySection
+		if cfg.Governor == GovernorNaive {
+			policy = core.PolicyNaive
+		}
+		gov, err := core.NewGovernor(eng, panel, meter, core.GovernorConfig{
+			Policy:         policy,
+			ControlPeriod:  cfg.ControlPeriod,
+			BoostEnabled:   cfg.Governor == GovernorSectionBoost,
+			BoostHold:      cfg.BoostHold,
+			DownHysteresis: cfg.DownHysteresis,
+		})
+		if err != nil {
+			return nil, err
+		}
+		d.gov = gov
+		d.replayer.Subscribe(gov.HandleTouch)
+	}
+	return d, nil
+}
+
+// sampleLuma estimates mean screen luminance from the meter's grid, cheap
+// enough to run per frame.
+func sampleLuma(m *core.Meter, fb *framebuffer.Buffer) float64 {
+	// Re-sampling the full buffer would duplicate work; a fixed coarse
+	// lattice is plenty for the panel model.
+	const n = 1024
+	g := framebuffer.GridForSamples(fb.Width(), fb.Height(), n)
+	buf := make([]framebuffer.Color, g.Samples())
+	g.Sample(fb, buf)
+	sum := 0.0
+	for _, c := range buf {
+		sum += c.Luminance()
+	}
+	return sum / float64(len(buf))
+}
+
+// Engine exposes the simulation engine (for scheduling custom events in
+// examples and tests).
+func (d *Device) Engine() *sim.Engine { return d.eng }
+
+// Panel exposes the display panel.
+func (d *Device) Panel() *display.Panel { return d.panel }
+
+// SurfaceManager exposes the composition layer.
+func (d *Device) SurfaceManager() *surface.Manager { return d.mgr }
+
+// Meter exposes the content-rate meter.
+func (d *Device) Meter() *core.Meter { return d.meter }
+
+// Governor exposes the refresh governor (nil unless a refresh-control
+// mode is active).
+func (d *Device) Governor() *core.Governor { return d.gov }
+
+// FrameLimiter exposes the E3-style frame limiter (nil unless GovernorE3).
+func (d *Device) FrameLimiter() *core.FrameLimiter { return d.limiter }
+
+// PowerModel exposes the energy model.
+func (d *Device) PowerModel() *power.Model { return d.model }
+
+// InstallApp instantiates an application workload on the device and wires
+// it to the touch input path. The first installed app is the foreground
+// app whose intended content rate defines display quality.
+func (d *Device) InstallApp(p app.Params) (*app.Model, error) {
+	m, err := app.New(p)
+	if err != nil {
+		return nil, err
+	}
+	m.Attach(d.eng, d.mgr)
+	d.replayer.Subscribe(m.HandleTouch)
+	d.apps = append(d.apps, m)
+	return m, nil
+}
+
+// InstallWallpaper instantiates a live-wallpaper workload (used by the
+// metering-accuracy experiments).
+func (d *Device) InstallWallpaper(cfg wallpaper.Config) (*wallpaper.Wallpaper, error) {
+	wp, err := wallpaper.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	wp.Attach(d.eng, d.mgr)
+	d.wallpapers = append(d.wallpapers, wp)
+	return wp, nil
+}
+
+// PlayScript schedules an input script starting at the current virtual
+// time.
+func (d *Device) PlayScript(s input.Script) { d.replayer.Play(s) }
+
+// RecordFrames toggles frame-log recording. A recorded baseline log feeds
+// core.PredictSection, the offline what-if estimator.
+func (d *Device) RecordFrames(on bool) { d.recording = on }
+
+// FrameLog returns the recorded frame log (nil when recording was never
+// enabled). The slice is owned by the device.
+func (d *Device) FrameLog() []core.FrameRecord { return d.frameLog }
+
+// Run starts the device on first call (panel, power sampling, governor,
+// trace recording) and advances the simulation by duration. It may be
+// called repeatedly to run in increments.
+func (d *Device) Run(duration sim.Time) {
+	if !d.started {
+		d.started = true
+		d.panel.Start()
+		d.pwrMeter.Start()
+		if d.gov != nil {
+			d.gov.Start()
+		}
+		if d.limiter != nil {
+			d.limiter.Start()
+		}
+		if d.idleGov != nil {
+			d.idleGov.Start()
+		}
+		d.eng.Every(d.eng.Now()+d.cfg.TraceInterval, d.cfg.TraceInterval, d.recordTraces)
+	}
+	d.eng.RunUntil(d.eng.Now() + duration)
+}
+
+func (d *Device) recordTraces() {
+	now := d.eng.Now()
+	d.contentTrace.Add(now, d.meter.ContentRate(now))
+	d.frameTrace.Add(now, d.meter.FrameRate(now))
+	d.refreshTrace.Add(now, float64(d.panel.Rate()))
+	intended := 0.0
+	for _, m := range d.apps {
+		intended += m.IntendedRate(now)
+	}
+	d.intendedTrace.Add(now, intended)
+}
+
+// Traces bundles the recorded time series of a run.
+type Traces struct {
+	Content  *trace.Series  // measured content rate (fps)
+	Frame    *trace.Series  // measured frame rate (fps)
+	Refresh  *trace.Series  // refresh rate (Hz)
+	Intended *trace.Series  // app ground-truth content rate (fps)
+	Power    []power.Sample // Monsoon-style power samples
+}
+
+// Stats summarizes a run, mirroring the quantities the paper reports.
+type Stats struct {
+	Mode     GovernorMode
+	Duration sim.Time
+
+	MeanPowerMW float64
+	PowerStdMW  float64
+	EnergyMJ    float64
+	Breakdown   map[power.Component]float64
+
+	FrameRate     float64 // mean framebuffer updates per second
+	ContentRate   float64 // mean measured content rate (fps)
+	RedundantRate float64 // FrameRate − ContentRate
+	IntendedRate  float64 // app ground-truth content rate (fps)
+
+	// DisplayQuality is the paper's metric: estimated content rate over
+	// actual content rate, in [0,1].
+	DisplayQuality float64
+	// DroppedFPS is the mean rate of intended content updates that never
+	// reached the screen.
+	DroppedFPS float64
+
+	MeanRefreshHz   float64
+	RefreshSwitches uint64
+	BoostCount      uint64
+}
+
+// Stats computes the run summary so far.
+func (d *Device) Stats() Stats {
+	now := d.eng.Now()
+	dur := now.Seconds()
+	s := Stats{
+		Mode:     d.cfg.Governor,
+		Duration: now,
+	}
+	if dur <= 0 {
+		return s
+	}
+	s.MeanPowerMW = d.pwrMeter.MeanMW()
+	s.PowerStdMW = trace.Std(d.pwrMeter.Values())
+	s.EnergyMJ = d.model.EnergyMJ()
+	s.Breakdown = d.model.Breakdown()
+
+	frames, content := d.meter.Totals()
+	s.FrameRate = float64(frames) / dur
+	s.ContentRate = float64(content) / dur
+	s.RedundantRate = s.FrameRate - s.ContentRate
+
+	var intended uint64
+	for _, m := range d.apps {
+		intended += m.IntendedTotal()
+	}
+	for _, wp := range d.wallpapers {
+		intended += wp.ContentFrames()
+	}
+	s.IntendedRate = float64(intended) / dur
+	if intended > 0 {
+		q := float64(content) / float64(intended)
+		if q > 1 {
+			q = 1
+		}
+		s.DisplayQuality = q
+		if drop := s.IntendedRate - s.ContentRate; drop > 0 {
+			s.DroppedFPS = drop
+		}
+	} else {
+		s.DisplayQuality = 1
+	}
+
+	s.MeanRefreshHz = d.panel.MeanRate()
+	s.RefreshSwitches = d.panel.Switches()
+	if d.gov != nil {
+		s.BoostCount = d.gov.Booster().Touches()
+	}
+	return s
+}
+
+// Traces returns the recorded time series.
+func (d *Device) Traces() Traces {
+	return Traces{
+		Content:  d.contentTrace,
+		Frame:    d.frameTrace,
+		Refresh:  d.refreshTrace,
+		Intended: d.intendedTrace,
+		Power:    d.pwrMeter.Samples(),
+	}
+}

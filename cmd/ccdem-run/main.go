@@ -1,0 +1,199 @@
+// Command ccdem-run executes a single measurement run — one application,
+// one governor mode, one deterministic Monkey script — and exports its
+// results for offline analysis: a JSON stats summary, optional CSV/JSON
+// traces, and an optional end-of-run screenshot.
+//
+// Examples:
+//
+//	ccdem-run -app "Jelly Splash" -mode section+boost -duration 60
+//	ccdem-run -app Facebook -mode baseline -csv run.csv -screenshot run.ppm
+//	ccdem-run -list
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"ccdem"
+	"ccdem/internal/app"
+	"ccdem/internal/input"
+	"ccdem/internal/report"
+	"ccdem/internal/sim"
+)
+
+var modes = map[string]ccdem.GovernorMode{
+	"baseline":      ccdem.GovernorOff,
+	"section":       ccdem.GovernorSection,
+	"section+boost": ccdem.GovernorSectionBoost,
+	"naive":         ccdem.GovernorNaive,
+	"e3":            ccdem.GovernorE3,
+	"idle-timeout":  ccdem.GovernorIdleTimeout,
+}
+
+func main() {
+	var (
+		appName    = flag.String("app", "Jelly Splash", "catalog application to run")
+		modeName   = flag.String("mode", "section+boost", "baseline | section | section+boost | naive | e3 | idle-timeout")
+		duration   = flag.Int("duration", 60, "seconds of virtual time")
+		seed       = flag.Int64("seed", 1, "Monkey script seed")
+		samples    = flag.Int("samples", 9216, "metering grid pixels")
+		csvPath    = flag.String("csv", "", "write aligned 1s-bucket traces to this CSV file")
+		jsonPath   = flag.String("traces", "", "write native-resolution traces to this JSON file")
+		screenshot = flag.String("screenshot", "", "write the final framebuffer to this PPM file")
+		scriptIn   = flag.String("script", "", "replay this JSON script instead of generating one")
+		scriptOut  = flag.String("save-script", "", "write the generated script to this JSON file")
+		reportPath = flag.String("report", "", "write a full session report (markdown) to this file")
+		appFile    = flag.String("app-file", "", "load custom workloads from this JSON file (see app.WriteParams format); -app then selects by name within it")
+		list       = flag.Bool("list", false, "list catalog applications and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, p := range app.Catalog() {
+			fmt.Printf("%-16s %s\n", p.Name, p.Cat)
+		}
+		return
+	}
+	if err := run(*appName, *modeName, *duration, *seed, *samples,
+		*csvPath, *jsonPath, *screenshot, *scriptIn, *scriptOut, *reportPath, *appFile); err != nil {
+		fmt.Fprintf(os.Stderr, "ccdem-run: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(appName, modeName string, duration int, seed int64, samples int,
+	csvPath, jsonPath, screenshot, scriptIn, scriptOut, reportPath, appFile string) error {
+	mode, ok := modes[modeName]
+	if !ok {
+		return fmt.Errorf("unknown mode %q", modeName)
+	}
+	p, err := resolveApp(appName, appFile)
+	if err != nil {
+		return err
+	}
+	dev, err := ccdem.NewDevice(ccdem.Config{Governor: mode, MeterSamples: samples})
+	if err != nil {
+		return err
+	}
+	appName = p.Name
+	if _, err := dev.InstallApp(p); err != nil {
+		return err
+	}
+
+	var script input.Script
+	dur := sim.Time(duration) * sim.Second
+	if scriptIn != "" {
+		f, err := os.Open(scriptIn)
+		if err != nil {
+			return err
+		}
+		script, err = input.ReadScript(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		dur = script.Length
+	} else {
+		mk, err := input.NewMonkey(seed, input.DefaultMonkeyConfig())
+		if err != nil {
+			return err
+		}
+		script = mk.Script(dur, 720, 1280)
+	}
+	if scriptOut != "" {
+		if err := writeFile(scriptOut, script.WriteJSON); err != nil {
+			return err
+		}
+	}
+	dev.PlayScript(script)
+	dev.Run(dur)
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(dev.Stats()); err != nil {
+		return err
+	}
+
+	if csvPath != "" {
+		if err := writeFile(csvPath, func(w io.Writer) error {
+			return dev.ExportTracesCSV(w, sim.Second)
+		}); err != nil {
+			return err
+		}
+	}
+	if jsonPath != "" {
+		if err := writeFile(jsonPath, dev.ExportTracesJSON); err != nil {
+			return err
+		}
+	}
+	if screenshot != "" {
+		if err := writeFile(screenshot, dev.Screenshot); err != nil {
+			return err
+		}
+	}
+	if reportPath != "" {
+		session := report.Session{
+			Title:  fmt.Sprintf("%s under %s", appName, modeName),
+			App:    appName,
+			Stats:  dev.Stats(),
+			Traces: dev.Traces(),
+			Notes: []string{
+				fmt.Sprintf("seed %d, %d metering pixels", seed, samples),
+				fmt.Sprintf("script: %d gestures over %s", len(script.Gestures), script.Length),
+			},
+		}
+		if err := writeFile(reportPath, func(w io.Writer) error {
+			return report.Write(w, session)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// resolveApp finds the workload: from a custom JSON file when given
+// (selecting by -app name, or the sole entry), otherwise from the
+// built-in catalog.
+func resolveApp(appName, appFile string) (app.Params, error) {
+	if appFile == "" {
+		p, ok := app.ByName(appName)
+		if !ok {
+			return app.Params{}, fmt.Errorf("app %q not in catalog (use -list)", appName)
+		}
+		return p, nil
+	}
+	f, err := os.Open(appFile)
+	if err != nil {
+		return app.Params{}, err
+	}
+	defer f.Close()
+	ps, err := app.ReadParams(f)
+	if err != nil {
+		return app.Params{}, err
+	}
+	if len(ps) == 1 {
+		return ps[0], nil
+	}
+	for _, p := range ps {
+		if p.Name == appName {
+			return p, nil
+		}
+	}
+	return app.Params{}, fmt.Errorf("app %q not found in %s (%d workloads)", appName, appFile, len(ps))
+}
+
+// writeFile creates path and streams fn's output into it.
+func writeFile(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	return f.Close()
+}

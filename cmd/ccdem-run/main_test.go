@@ -1,0 +1,106 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ccdem"
+	"ccdem/internal/app"
+)
+
+func TestModesComplete(t *testing.T) {
+	// Every governor mode is reachable from the CLI.
+	want := map[ccdem.GovernorMode]bool{
+		ccdem.GovernorOff: true, ccdem.GovernorSection: true,
+		ccdem.GovernorSectionBoost: true, ccdem.GovernorNaive: true,
+		ccdem.GovernorE3: true, ccdem.GovernorIdleTimeout: true,
+	}
+	got := map[ccdem.GovernorMode]bool{}
+	for _, m := range modes {
+		got[m] = true
+	}
+	for m := range want {
+		if !got[m] {
+			t.Errorf("mode %v not reachable from CLI", m)
+		}
+	}
+}
+
+func TestResolveAppFromCatalog(t *testing.T) {
+	p, err := resolveApp("Jelly Splash", "")
+	if err != nil || p.Name != "Jelly Splash" {
+		t.Errorf("resolveApp catalog: %v %v", p.Name, err)
+	}
+	if _, err := resolveApp("nope", ""); err == nil {
+		t.Error("unknown catalog app accepted")
+	}
+}
+
+func TestResolveAppFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "apps.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	custom := []app.Params{
+		{Name: "alpha", Cat: app.General, Style: app.StylePulse,
+			IdleContentFPS: 1, IdleInvalidateFPS: 2, TouchContentFPS: 3, TouchInvalidateFPS: 4},
+		{Name: "beta", Cat: app.Game, Style: app.StyleSprites,
+			IdleContentFPS: 10, IdleInvalidateFPS: 60, TouchContentFPS: 20, TouchInvalidateFPS: 60,
+			FullScreenRender: true},
+	}
+	if err := app.WriteParams(f, custom); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	p, err := resolveApp("beta", path)
+	if err != nil || p.Name != "beta" {
+		t.Errorf("resolveApp by name: %v %v", p.Name, err)
+	}
+	if _, err := resolveApp("gamma", path); err == nil {
+		t.Error("missing name in multi-app file accepted")
+	}
+	if _, err := resolveApp("x", filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+
+	// Single-entry file: the sole workload is selected regardless of -app.
+	single := filepath.Join(dir, "one.json")
+	f2, _ := os.Create(single)
+	if err := app.WriteParams(f2, custom[:1]); err != nil {
+		t.Fatal(err)
+	}
+	f2.Close()
+	p, err = resolveApp("whatever", single)
+	if err != nil || p.Name != "alpha" {
+		t.Errorf("single-entry resolve: %v %v", p.Name, err)
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "t.csv")
+	rep := filepath.Join(dir, "t.md")
+	shot := filepath.Join(dir, "t.ppm")
+	scr := filepath.Join(dir, "t.json")
+	// Redirect stdout noise away from the test log.
+	old := os.Stdout
+	devnull, _ := os.Open(os.DevNull)
+	null, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	os.Stdout = null
+	err := run("Weather", "section", 5, 1, 2304, csv, "", shot, "", scr, rep, "")
+	os.Stdout = old
+	devnull.Close()
+	null.Close()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, path := range []string{csv, rep, shot, scr} {
+		if st, err := os.Stat(path); err != nil || st.Size() == 0 {
+			t.Errorf("artifact %s missing or empty", path)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+// Command ccdem-scenario runs a multi-phase usage scenario from a JSON
+// file under one or more governor configurations and reports per-phase
+// power, battery impact and display quality.
+//
+// Usage:
+//
+//	ccdem-scenario -file day.json                 # baseline vs full system
+//	ccdem-scenario -file day.json -mode section   # one configuration
+//	ccdem-scenario -example > day.json            # print a starter file
+//
+// The scenario format is defined by internal/scenario: phases reference
+// catalog apps by name or embed custom workloads (see app.WriteParams).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ccdem"
+	"ccdem/internal/app"
+	"ccdem/internal/battery"
+	"ccdem/internal/scenario"
+	"ccdem/internal/sim"
+)
+
+var modes = map[string]ccdem.GovernorMode{
+	"baseline":      ccdem.GovernorOff,
+	"section":       ccdem.GovernorSection,
+	"section+boost": ccdem.GovernorSectionBoost,
+	"naive":         ccdem.GovernorNaive,
+	"e3":            ccdem.GovernorE3,
+	"idle-timeout":  ccdem.GovernorIdleTimeout,
+}
+
+func main() {
+	file := flag.String("file", "", "scenario JSON file")
+	mode := flag.String("mode", "", "run a single configuration instead of the baseline-vs-managed pair")
+	example := flag.Bool("example", false, "print a starter scenario to stdout and exit")
+	flag.Parse()
+
+	if *example {
+		if err := printExample(); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if *file == "" {
+		fmt.Fprintln(os.Stderr, "ccdem-scenario: -file is required (or -example)")
+		os.Exit(2)
+	}
+	if err := run(*file, *mode); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "ccdem-scenario: %v\n", err)
+	os.Exit(1)
+}
+
+func printExample() error {
+	get := func(name string) app.Params {
+		p, ok := app.ByName(name)
+		if !ok {
+			panic("catalog changed: " + name)
+		}
+		return p
+	}
+	sc := scenario.Scenario{
+		Name: "example evening",
+		Phases: []scenario.Phase{
+			{App: get("KakaoTalk"), Duration: 60 * sim.Second, Seed: 1},
+			{App: get("Jelly Splash"), Duration: 60 * sim.Second, Seed: 2},
+			{App: get("MX Player"), Duration: 60 * sim.Second},
+		},
+	}
+	return sc.WriteJSON(os.Stdout)
+}
+
+func run(path, modeName string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	sc, err := scenario.ReadScenario(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+
+	if modeName != "" {
+		mode, ok := modes[modeName]
+		if !ok {
+			return fmt.Errorf("unknown mode %q", modeName)
+		}
+		res, err := scenario.Run(ccdem.Config{Governor: mode}, sc)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res)
+		return nil
+	}
+
+	// Paired: baseline vs full system, plus battery impact.
+	base, err := scenario.Run(ccdem.Config{Governor: ccdem.GovernorOff}, sc)
+	if err != nil {
+		return err
+	}
+	managed, err := scenario.Run(ccdem.Config{Governor: ccdem.GovernorSectionBoost}, sc)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Baseline:")
+	fmt.Print(base)
+	fmt.Println("\nManaged (section + touch boosting):")
+	fmt.Print(managed)
+
+	var slices []battery.UsageSlice
+	for i := range base.Phases {
+		slices = append(slices, battery.UsageSlice{
+			Name:       fmt.Sprintf("%d:%s", i+1, base.Phases[i].App),
+			Weight:     base.Phases[i].Duration.Seconds(),
+			BaselineMW: base.Phases[i].MeanPowerMW,
+			ManagedMW:  managed.Phases[i].MeanPowerMW,
+		})
+	}
+	est, err := battery.GalaxyS3Pack.Estimate(battery.Mix{Slices: slices})
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Print(est)
+	fmt.Printf("\n  display quality under management: %.1f%%\n", 100*managed.Total.DisplayQuality)
+	return nil
+}

@@ -1,0 +1,97 @@
+// Appswitch: the governor adapting across an app switch. The session
+// starts in a 60 fps casual game (high content rate → high refresh),
+// then the user switches to a mostly-static messenger (content rate near
+// zero → the governor walks the panel down to 20 Hz). The power trace
+// steps down with it — content-centric management needs no per-app
+// configuration, it just follows the pixels.
+//
+// Run with:
+//
+//	go run ./examples/appswitch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ccdem"
+	"ccdem/internal/app"
+	"ccdem/internal/input"
+	"ccdem/internal/power"
+	"ccdem/internal/sim"
+	"ccdem/internal/trace"
+)
+
+func main() {
+	dev, err := ccdem.NewDevice(ccdem.Config{Governor: ccdem.GovernorSectionBoost})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gameParams, ok := app.ByName("Cookie Run")
+	if !ok {
+		log.Fatal("Cookie Run not in catalog")
+	}
+	kakaoParams, ok := app.ByName("KakaoTalk")
+	if !ok {
+		log.Fatal("KakaoTalk not in catalog")
+	}
+	game, err := dev.InstallApp(gameParams)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Phase 1: 30 s of gameplay with light interaction.
+	mk, err := input.NewMonkey(21, input.DefaultMonkeyConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	dev.PlayScript(mk.Script(30*sim.Second, 720, 1280))
+	dev.Run(30 * sim.Second)
+	gamePhase := dev.Stats()
+
+	// Switch: background the game, foreground the messenger.
+	game.Pause()
+	if _, err := dev.InstallApp(kakaoParams); err != nil {
+		log.Fatal(err)
+	}
+	dev.Run(30 * sim.Second)
+	total := dev.Stats()
+
+	tr := dev.Traces()
+	width := 60
+	fmt.Println("App switch at t=30s: Cookie Run (60 fps game) → KakaoTalk (static messenger)")
+	fmt.Printf("\n  content rate [0..60] %s\n", trace.Sparkline(tr.Content.Values(), width))
+	fmt.Printf("  refresh rate [0..60] %s\n", trace.Sparkline(tr.Refresh.Values(), width))
+	pw := make([]float64, len(tr.Power))
+	for i, s := range tr.Power {
+		pw[i] = s.MW
+	}
+	fmt.Printf("  power        [mW]    %s\n\n", trace.Sparkline(pw, width))
+
+	// Per-phase means from the refresh trace.
+	phase1 := tr.Refresh.Between(0, 30*sim.Second)
+	phase2 := tr.Refresh.Between(32*sim.Second, 60*sim.Second) // skip the transition
+	fmt.Printf("  gameplay:   mean refresh %.1f Hz, mean power %.0f mW\n",
+		phase1.Mean(), gamePhase.MeanPowerMW)
+	phase2Power := meanPower(tr.Power, 32*sim.Second, 60*sim.Second)
+	fmt.Printf("  messenger:  mean refresh %.1f Hz, mean power %.0f mW\n",
+		phase2.Mean(), phase2Power)
+	fmt.Printf("\n  whole session: %.0f mW mean, display quality %.1f%%\n",
+		total.MeanPowerMW, 100*total.DisplayQuality)
+	fmt.Printf("  the switch itself needed no policy change: the governor follows content.\n")
+}
+
+// meanPower averages the power samples within [t0, t1).
+func meanPower(samples []power.Sample, t0, t1 sim.Time) float64 {
+	sum, n := 0.0, 0
+	for _, s := range samples {
+		if s.T >= t0 && s.T < t1 {
+			sum += s.MW
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

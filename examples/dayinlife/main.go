@@ -1,0 +1,74 @@
+// Dayinlife: a composed usage session end-to-end. A scenario strings
+// together a realistic stretch of phone use — messaging, a feed scroll,
+// a gaming break, an episode of video, more messaging — runs it once on
+// the Android baseline and once under the paper's full system, and
+// converts the outcome to battery hours on the Galaxy S3's 2100 mAh pack.
+//
+// Run with:
+//
+//	go run ./examples/dayinlife
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ccdem"
+	"ccdem/internal/app"
+	"ccdem/internal/battery"
+	"ccdem/internal/scenario"
+	"ccdem/internal/sim"
+)
+
+func phases() []scenario.Phase {
+	get := func(name string) app.Params {
+		p, ok := app.ByName(name)
+		if !ok {
+			log.Fatalf("%s not in catalog", name)
+		}
+		return p
+	}
+	return []scenario.Phase{
+		{App: get("KakaoTalk"), Duration: 40 * sim.Second, Seed: 11},
+		{App: get("Facebook"), Duration: 40 * sim.Second, Seed: 12},
+		{App: get("Jelly Splash"), Duration: 40 * sim.Second, Seed: 13},
+		{App: get("MX Player"), Duration: 40 * sim.Second}, // hands-off video
+		{App: get("KakaoTalk"), Duration: 20 * sim.Second, Seed: 14},
+	}
+}
+
+func main() {
+	sc := scenario.Scenario{Name: "evening session", Phases: phases()}
+
+	base, err := scenario.Run(ccdem.Config{Governor: ccdem.GovernorOff}, sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	managed, err := scenario.Run(ccdem.Config{Governor: ccdem.GovernorSectionBoost}, sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Baseline (fixed 60 Hz):")
+	fmt.Print(base)
+	fmt.Println("\nManaged (section control + touch boosting):")
+	fmt.Print(managed)
+
+	// Battery impact, weighting the mix by phase duration.
+	var slices []battery.UsageSlice
+	for i := range base.Phases {
+		slices = append(slices, battery.UsageSlice{
+			Name:       fmt.Sprintf("%d:%s", i+1, base.Phases[i].App),
+			Weight:     base.Phases[i].Duration.Seconds(),
+			BaselineMW: base.Phases[i].MeanPowerMW,
+			ManagedMW:  managed.Phases[i].MeanPowerMW,
+		})
+	}
+	est, err := battery.GalaxyS3Pack.Estimate(battery.Mix{Slices: slices})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(est)
+	fmt.Printf("\n  display quality under management: %.1f%%\n", 100*managed.Total.DisplayQuality)
+}

@@ -1,0 +1,100 @@
+// Gamesession: watch the governor follow a game's content rate in real
+// time. A casual game (the paper's Jelly Splash archetype) renders at
+// 60 fps regardless of how fast its board actually changes; the governor
+// tracks the measured content rate through the section table, spikes to
+// 60 Hz on touches, and decays back afterwards. The example prints the
+// live trace as sparklines plus a component energy breakdown.
+//
+// Run with:
+//
+//	go run ./examples/gamesession
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"ccdem"
+	"ccdem/internal/app"
+	"ccdem/internal/core"
+	"ccdem/internal/input"
+	"ccdem/internal/power"
+	"ccdem/internal/sim"
+	"ccdem/internal/trace"
+)
+
+func main() {
+	dev, err := ccdem.NewDevice(ccdem.Config{Governor: ccdem.GovernorSectionBoost})
+	if err != nil {
+		log.Fatal(err)
+	}
+	game, ok := app.ByName("PokoPang")
+	if !ok {
+		log.Fatal("PokoPang not in catalog")
+	}
+	if _, err := dev.InstallApp(game); err != nil {
+		log.Fatal(err)
+	}
+
+	// A lively session: short think times, lots of swipes.
+	monkey, err := input.NewMonkey(7, input.MonkeyConfig{
+		MeanIdle:      3 * sim.Second,
+		MinIdle:       800 * sim.Millisecond,
+		TapFraction:   0.3,
+		SwipeFraction: 0.6,
+		MoveRate:      100,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	script := monkey.Script(90*sim.Second, 720, 1280)
+	dev.PlayScript(script)
+
+	// Observe every governor decision as it happens.
+	decisions, boosted := 0, 0
+	dev.Governor().OnDecision(func(d core.Decision) {
+		decisions++
+		if d.Boosted {
+			boosted++
+		}
+	})
+	dev.Run(90 * sim.Second)
+
+	st := dev.Stats()
+	tr := dev.Traces()
+	width := 72
+	fmt.Printf("PokoPang, 90 s session under %s control\n\n", st.Mode)
+	fmt.Printf("  content rate [0..60] %s\n", trace.Sparkline(tr.Content.Values(), width))
+	fmt.Printf("  refresh rate [0..60] %s\n", trace.Sparkline(tr.Refresh.Values(), width))
+	powerVals := make([]float64, len(tr.Power))
+	for i, s := range tr.Power {
+		powerVals[i] = s.MW
+	}
+	fmt.Printf("  power        [mW]    %s\n\n", trace.Sparkline(powerVals, width))
+
+	fmt.Printf("  mean power        %7.0f mW (±%.0f)\n", st.MeanPowerMW, st.PowerStdMW)
+	fmt.Printf("  mean refresh      %7.1f Hz (%d switches, %d touch events)\n",
+		st.MeanRefreshHz, st.RefreshSwitches, st.BoostCount)
+	fmt.Printf("  frame rate        %7.1f fps (%.1f content, %.1f redundant)\n",
+		st.FrameRate, st.ContentRate, st.RedundantRate)
+	fmt.Printf("  display quality   %7.1f%%\n\n", 100*st.DisplayQuality)
+
+	fmt.Println("  energy breakdown:")
+	type comp struct {
+		c power.Component
+		e float64
+	}
+	var comps []comp
+	total := 0.0
+	for c, e := range st.Breakdown {
+		comps = append(comps, comp{c, e})
+		total += e
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i].e > comps[j].e })
+	for _, c := range comps {
+		fmt.Printf("    %-8s %8.0f mJ (%4.1f%%)\n", c.c, c.e, 100*c.e/total)
+	}
+	fmt.Printf("\n  governor took %d decisions, %d while boosted\n", decisions, boosted)
+	fmt.Printf("  section table: %s\n", dev.Governor().Table())
+}

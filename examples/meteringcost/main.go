@@ -1,0 +1,96 @@
+// Meteringcost: explore the accuracy-versus-cost trade-off of the
+// grid-based comparison (the engineering heart of the paper's §3.1).
+// The example runs the hostile small-dot wallpaper against each of the
+// paper's five grid sizes, reporting the metering error, the modeled
+// comparison time at Galaxy-S3 scale, the measured comparison time on
+// this host, and whether the grid fits the 16.67 ms V-Sync budget.
+//
+// Run with:
+//
+//	go run ./examples/meteringcost
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"ccdem/internal/core"
+	"ccdem/internal/framebuffer"
+	"ccdem/internal/power"
+	"ccdem/internal/sim"
+	"ccdem/internal/surface"
+	"ccdem/internal/wallpaper"
+)
+
+func main() {
+	grids := []struct {
+		label      string
+		cols, rows int
+	}{
+		{"2K", 36, 64},
+		{"4K", 48, 85},
+		{"9K", 72, 128},
+		{"36K", 144, 256},
+		{"921K", 720, 1280},
+	}
+	cost := power.DefaultCompareCost()
+
+	fmt.Println("Grid-based comparison: accuracy vs cost (30 s of dot wallpaper)")
+	fmt.Printf("  %-14s %9s %9s %13s %13s %8s\n",
+		"grid", "pixels", "error", "S3 model", "host actual", "budget")
+	for _, g := range grids {
+		truth, measured, hostPerCompare := run(g.cols, g.rows)
+		errRate := 0.0
+		if truth > 0 {
+			errRate = 100 * math.Abs(float64(measured)-float64(truth)) / float64(truth)
+		}
+		px := g.cols * g.rows
+		fits := "ok"
+		if !cost.FitsVSyncBudget(px, 60) {
+			fits = "MISS"
+		}
+		fmt.Printf("  %-4s (%3dx%-4d) %9d %8.1f%% %10.2f ms %10.4f ms %8s\n",
+			g.label, g.cols, g.rows, px, errRate,
+			cost.Duration(px).Milliseconds(),
+			hostPerCompare.Seconds()*1000, fits)
+	}
+	fmt.Println("\n  \"MISS\" = comparison cannot complete within one 60 Hz V-Sync interval")
+	fmt.Println("  (16.67 ms) at device scale — the paper's case against full-frame diffing.")
+}
+
+// run executes the wallpaper against one grid and returns ground truth,
+// measured content frames, and the mean measured host time per comparison.
+func run(cols, rows int) (truth, measured uint64, perCompare time.Duration) {
+	eng := sim.NewEngine()
+	mgr := surface.NewManager(eng, 720, 1280)
+	wp, err := wallpaper.New(wallpaper.Config{Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	wp.Attach(eng, mgr)
+	meter, err := core.NewMeter(core.MeterConfig{
+		Grid:   framebuffer.NewGrid(720, 1280, cols, rows),
+		Window: sim.Second,
+		Cost:   power.DefaultCompareCost(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var hostTime time.Duration
+	var compares int
+	mgr.OnFrame(func(fi surface.FrameInfo) {
+		t0 := time.Now()
+		meter.ObserveFrame(fi.T, mgr.Framebuffer())
+		hostTime += time.Since(t0)
+		compares++
+	})
+	eng.Every(sim.Hz(60), sim.Hz(60), func() { mgr.VSync(eng.Now(), 60) })
+	eng.RunUntil(30 * sim.Second)
+	_, content := meter.Totals()
+	if compares > 0 {
+		perCompare = hostTime / time.Duration(compares)
+	}
+	return wp.ContentFrames(), content, perCompare
+}

@@ -1,0 +1,58 @@
+// Videoplayer: the section table in its natural habitat. A 24 fps video
+// (the paper's MX Player workload) needs nowhere near 60 Hz of refresh:
+// the governor measures ≈24 fps of content and — per the section table's
+// headroom rule — settles the panel at 30 Hz, halving the
+// refresh-dependent panel power while displaying every video frame.
+//
+// The example also shows why the naive "smallest refresh ≥ content"
+// policy fails: at 24 Hz the meter could never observe content above
+// 24 fps, so the governor intentionally keeps one level of headroom.
+//
+// Run with:
+//
+//	go run ./examples/videoplayer
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ccdem"
+	"ccdem/internal/app"
+	"ccdem/internal/sim"
+)
+
+func main() {
+	player, ok := app.ByName("MX Player")
+	if !ok {
+		log.Fatal("MX Player not in catalog")
+	}
+
+	run := func(mode ccdem.GovernorMode) ccdem.Stats {
+		dev, err := ccdem.NewDevice(ccdem.Config{Governor: mode})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := dev.InstallApp(player); err != nil {
+			log.Fatal(err)
+		}
+		// Hands-off playback: no input script, the video just plays.
+		dev.Run(120 * sim.Second)
+		return dev.Stats()
+	}
+
+	baseline := run(ccdem.GovernorOff)
+	governed := run(ccdem.GovernorSection)
+
+	fmt.Println("MX Player: 120 s of 24 fps video playback")
+	fmt.Printf("  %-12s %9s %11s %12s %9s\n", "mode", "power", "refresh", "content", "quality")
+	for _, st := range []ccdem.Stats{baseline, governed} {
+		fmt.Printf("  %-12s %6.0f mW %8.1f Hz %8.1f fps %8.1f%%\n",
+			st.Mode, st.MeanPowerMW, st.MeanRefreshHz, st.ContentRate, 100*st.DisplayQuality)
+	}
+
+	saved := baseline.MeanPowerMW - governed.MeanPowerMW
+	fmt.Printf("\n  the governor settles at ≈30 Hz (content 24 fps → section 22–27 → 30 Hz),\n")
+	fmt.Printf("  saving %.0f mW (%.1f%%) with no dropped video frames beyond V-Sync beating.\n",
+		saved, 100*saved/baseline.MeanPowerMW)
+}

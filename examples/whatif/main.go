@@ -1,0 +1,80 @@
+// Whatif: estimate the paper's savings *before* deploying refresh control.
+// The scheme needs a kernel modification; a deployment decision wants the
+// expected saving first. This example records a baseline (fixed 60 Hz)
+// frame log — something a lightweight userspace tracer could collect on an
+// unmodified phone — and feeds it to the offline predictor, then verifies
+// the prediction against an actual governed simulation of the same
+// session.
+//
+// Run with:
+//
+//	go run ./examples/whatif
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ccdem"
+	"ccdem/internal/app"
+	"ccdem/internal/core"
+	"ccdem/internal/display"
+	"ccdem/internal/input"
+	"ccdem/internal/sim"
+)
+
+func main() {
+	const duration = 60 * sim.Second
+	mk, err := input.NewMonkey(8, input.DefaultMonkeyConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	script := mk.Script(duration, 720, 1280)
+
+	fmt.Println("Offline what-if analysis: predicted vs simulated section-control power")
+	fmt.Printf("  %-14s %10s %12s %12s %8s\n", "app", "baseline", "predicted", "simulated", "error")
+	for _, name := range []string{"Jelly Splash", "Cash Slide", "MX Player", "Facebook", "TempleRun"} {
+		params, ok := app.ByName(name)
+		if !ok {
+			log.Fatalf("%s not in catalog", name)
+		}
+
+		// 1. Record a baseline session (no kernel modification needed).
+		base, err := ccdem.NewDevice(ccdem.Config{Governor: ccdem.GovernorOff})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := base.InstallApp(params); err != nil {
+			log.Fatal(err)
+		}
+		base.RecordFrames(true)
+		base.PlayScript(script)
+		base.Run(duration)
+
+		// 2. Predict section-control power from the log alone.
+		pred, err := core.PredictSection(base.FrameLog(), duration, core.PredictorConfig{
+			Levels: display.GalaxyS3Levels,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// 3. Ground truth: actually run the governed configuration.
+		gov, err := ccdem.NewDevice(ccdem.Config{Governor: ccdem.GovernorSection})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := gov.InstallApp(params); err != nil {
+			log.Fatal(err)
+		}
+		gov.PlayScript(script)
+		gov.Run(duration)
+
+		basePower := base.Stats().MeanPowerMW
+		simPower := gov.Stats().MeanPowerMW
+		errPct := 100 * (pred.MeanPowerMW - simPower) / simPower
+		fmt.Printf("  %-14s %7.0f mW %9.0f mW %9.0f mW %+7.1f%%\n",
+			name, basePower, pred.MeanPowerMW, simPower, errPct)
+	}
+	fmt.Println("\n  prediction uses only the baseline frame log — no governed run required.")
+}

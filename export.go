@@ -1,0 +1,96 @@
+package ccdem
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"ccdem/internal/sim"
+	"ccdem/internal/trace"
+)
+
+// Screenshot writes the device's current framebuffer as a binary PPM
+// image — what the panel is scanning out at this instant.
+func (d *Device) Screenshot(w io.Writer) error {
+	return d.mgr.Framebuffer().WritePPM(w)
+}
+
+// ExportTracesCSV writes the run's recorded series (content rate, frame
+// rate, refresh rate, ground-truth content rate, power) as one aligned CSV
+// table resampled to dt buckets.
+func (d *Device) ExportTracesCSV(w io.Writer, dt sim.Time) error {
+	if dt <= 0 {
+		return fmt.Errorf("ccdem: non-positive export interval %v", dt)
+	}
+	until := d.eng.Now()
+	pw := trace.NewSeries("power_mw")
+	for _, s := range d.pwrMeter.Samples() {
+		pw.Add(s.T, s.MW)
+	}
+	return trace.WriteCSV(w,
+		d.contentTrace.Resample(dt, until),
+		d.frameTrace.Resample(dt, until),
+		d.refreshTrace.Resample(dt, until),
+		d.intendedTrace.Resample(dt, until),
+		pw.Resample(dt, until),
+	)
+}
+
+// ExportTracesJSON writes the run's recorded series as JSON at native
+// sampling resolution.
+func (d *Device) ExportTracesJSON(w io.Writer) error {
+	pw := trace.NewSeries("power_mw")
+	for _, s := range d.pwrMeter.Samples() {
+		pw.Add(s.T, s.MW)
+	}
+	return trace.WriteJSON(w,
+		d.contentTrace, d.frameTrace, d.refreshTrace, d.intendedTrace, pw)
+}
+
+// statsJSON is the JSON wire form of Stats, with the component breakdown
+// keyed by name rather than enum value.
+type statsJSON struct {
+	Mode            string             `json:"mode"`
+	DurationSeconds float64            `json:"duration_seconds"`
+	MeanPowerMW     float64            `json:"mean_power_mw"`
+	PowerStdMW      float64            `json:"power_std_mw"`
+	EnergyMJ        float64            `json:"energy_mj"`
+	BreakdownMJ     map[string]float64 `json:"breakdown_mj"`
+	FrameRate       float64            `json:"frame_rate_fps"`
+	ContentRate     float64            `json:"content_rate_fps"`
+	RedundantRate   float64            `json:"redundant_rate_fps"`
+	IntendedRate    float64            `json:"intended_rate_fps"`
+	DisplayQuality  float64            `json:"display_quality"`
+	DroppedFPS      float64            `json:"dropped_fps"`
+	MeanRefreshHz   float64            `json:"mean_refresh_hz"`
+	RefreshSwitches uint64             `json:"refresh_switches"`
+	BoostCount      uint64             `json:"boost_count"`
+}
+
+// MarshalJSON implements json.Marshaler with named breakdown components.
+func (s Stats) MarshalJSON() ([]byte, error) {
+	bd := make(map[string]float64, len(s.Breakdown))
+	for c, e := range s.Breakdown {
+		bd[c.String()] = e
+	}
+	return json.Marshal(statsJSON{
+		Mode:            s.Mode.String(),
+		DurationSeconds: s.Duration.Seconds(),
+		MeanPowerMW:     s.MeanPowerMW,
+		PowerStdMW:      s.PowerStdMW,
+		EnergyMJ:        s.EnergyMJ,
+		BreakdownMJ:     bd,
+		FrameRate:       s.FrameRate,
+		ContentRate:     s.ContentRate,
+		RedundantRate:   s.RedundantRate,
+		IntendedRate:    s.IntendedRate,
+		DisplayQuality:  s.DisplayQuality,
+		DroppedFPS:      s.DroppedFPS,
+		MeanRefreshHz:   s.MeanRefreshHz,
+		RefreshSwitches: s.RefreshSwitches,
+		BoostCount:      s.BoostCount,
+	})
+}
+
+// ensure the interface is actually satisfied.
+var _ json.Marshaler = Stats{}

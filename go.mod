@@ -1,0 +1,3 @@
+module ccdem
+
+go 1.22

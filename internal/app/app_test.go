@@ -1,0 +1,191 @@
+package app
+
+import (
+	"testing"
+
+	"ccdem/internal/framebuffer"
+	"ccdem/internal/input"
+	"ccdem/internal/sim"
+	"ccdem/internal/surface"
+)
+
+// rig runs a model against a hand-cranked 60 Hz vsync loop and a meter-like
+// frame observer.
+type rig struct {
+	eng *sim.Engine
+	mgr *surface.Manager
+	m   *Model
+
+	frames  int
+	content int
+	prev    *framebuffer.Buffer
+}
+
+func newRig(t *testing.T, p Params) *rig {
+	t.Helper()
+	r := &rig{eng: sim.NewEngine()}
+	r.mgr = surface.NewManager(r.eng, 360, 640)
+	m, err := New(p)
+	if err != nil {
+		t.Fatalf("New(%s): %v", p.Name, err)
+	}
+	r.m = m
+	r.prev = framebuffer.New(360, 640)
+	r.mgr.OnFrame(func(fi surface.FrameInfo) {
+		r.frames++
+		if !r.mgr.Framebuffer().Equal(r.prev) {
+			r.content++
+			r.prev.CopyFrom(r.mgr.Framebuffer())
+		}
+	})
+	m.Attach(r.eng, r.mgr)
+	// 60 Hz vsync loop.
+	r.eng.Every(sim.Hz(60), sim.Hz(60), func() { r.mgr.VSync(r.eng.Now(), 60) })
+	return r
+}
+
+func (r *rig) run(d sim.Time) { r.eng.RunUntil(r.eng.Now() + d) }
+
+func TestModelValidation(t *testing.T) {
+	if _, err := New(Params{}); err == nil {
+		t.Error("empty params accepted")
+	}
+	if _, err := New(Params{Name: "x", IdleContentFPS: -1}); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if _, err := New(Params{Name: "x", Tail: -1}); err == nil {
+		t.Error("negative tail accepted")
+	}
+	if _, err := New(Params{Name: "x", IdleContentFPS: 999}); err == nil {
+		t.Error("absurd rate accepted")
+	}
+}
+
+func TestAttachTwicePanics(t *testing.T) {
+	r := newRig(t, Params{Name: "x", Style: StylePulse, IdleContentFPS: 1, IdleInvalidateFPS: 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Attach did not panic")
+		}
+	}()
+	r.m.Attach(r.eng, r.mgr)
+}
+
+func TestGameModelRatesAt60Hz(t *testing.T) {
+	p, ok := ByName("Jelly Splash")
+	if !ok {
+		t.Fatal("Jelly Splash not in catalog")
+	}
+	r := newRig(t, p)
+	r.run(10 * sim.Second)
+	// Idle Jelly Splash: ~60 fps frame rate, ~10 fps content.
+	frameRate := float64(r.frames) / 10
+	contentRate := float64(r.content) / 10
+	if frameRate < 55 || frameRate > 61 {
+		t.Errorf("frame rate = %v, want ≈60", frameRate)
+	}
+	if contentRate < 8 || contentRate > 12 {
+		t.Errorf("content rate = %v, want ≈10", contentRate)
+	}
+	// Intended content matches what reached the screen at 60 Hz.
+	intended := float64(r.m.IntendedTotal()) / 10
+	if intended < 8 || intended > 12 {
+		t.Errorf("intended rate = %v, want ≈10", intended)
+	}
+}
+
+func TestFeedModelIdleIsQuiet(t *testing.T) {
+	p, _ := ByName("Facebook")
+	r := newRig(t, p)
+	r.run(10 * sim.Second)
+	frameRate := float64(r.frames) / 10
+	if frameRate > 4 {
+		t.Errorf("idle Facebook frame rate = %v, want ≤≈1.5", frameRate)
+	}
+}
+
+func TestTouchBurstRaisesContent(t *testing.T) {
+	p, _ := ByName("Facebook")
+	r := newRig(t, p)
+	r.run(2 * sim.Second)
+	before := r.content
+	// Synthesize a 1 s scroll.
+	r.m.HandleTouch(input.Event{At: r.eng.Now(), Kind: input.TouchDown, X: 100, Y: 400})
+	for i := 0; i < 50; i++ {
+		r.run(20 * sim.Millisecond)
+		r.m.HandleTouch(input.Event{At: r.eng.Now(), Kind: input.TouchMove, X: 100, Y: 400 - 4*i})
+	}
+	r.m.HandleTouch(input.Event{At: r.eng.Now(), Kind: input.TouchUp, X: 100, Y: 200})
+	r.run(sim.Second)
+	burst := float64(r.content-before) / 3
+	if burst < 15 {
+		t.Errorf("content rate during interaction = %v fps, want ≳30 in burst window", burst)
+	}
+	// And it decays back.
+	r.run(3 * sim.Second)
+	calm := r.content
+	r.run(2 * sim.Second)
+	idleRate := float64(r.content-calm) / 2
+	if idleRate > 4 {
+		t.Errorf("post-burst idle content rate = %v, want ≈0.5", idleRate)
+	}
+}
+
+func TestRedundantAppProducesRedundantFrames(t *testing.T) {
+	p, _ := ByName("Cash Slide")
+	r := newRig(t, p)
+	r.run(10 * sim.Second)
+	frameRate := float64(r.frames) / 10
+	contentRate := float64(r.content) / 10
+	if frameRate < 18 || frameRate > 24 {
+		t.Errorf("Cash Slide frame rate = %v, want ≈22", frameRate)
+	}
+	if redundant := frameRate - contentRate; redundant < 15 {
+		t.Errorf("Cash Slide redundant rate = %v, want ≈20", redundant)
+	}
+}
+
+func TestVideoModelContentRate(t *testing.T) {
+	p, _ := ByName("MX Player")
+	r := newRig(t, p)
+	r.run(10 * sim.Second)
+	contentRate := float64(r.content) / 10
+	if contentRate < 22 || contentRate > 26 {
+		t.Errorf("MX Player content rate = %v, want ≈24", contentRate)
+	}
+}
+
+func TestModelStop(t *testing.T) {
+	p, _ := ByName("Jelly Splash")
+	r := newRig(t, p)
+	r.run(2 * sim.Second)
+	r.m.Stop()
+	n := r.frames
+	r.run(2 * sim.Second)
+	if r.frames != n {
+		t.Errorf("frames after Stop: %d → %d", n, r.frames)
+	}
+}
+
+func TestModelDeterminism(t *testing.T) {
+	run := func() (int, int) {
+		p, _ := ByName("Cookie Run")
+		r := newRig(t, p)
+		r.run(5 * sim.Second)
+		return r.frames, r.content
+	}
+	f1, c1 := run()
+	f2, c2 := run()
+	if f1 != f2 || c1 != c2 {
+		t.Errorf("non-deterministic: (%d,%d) vs (%d,%d)", f1, c1, f2, c2)
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	if General.String() != "general" || Game.String() != "game" {
+		t.Error("category strings wrong")
+	}
+	if Category(7).String() == "" {
+		t.Error("unknown category empty")
+	}
+}

@@ -1,0 +1,130 @@
+package app
+
+import "ccdem/internal/sim"
+
+// Catalog returns workload models for the paper's 30 evaluation
+// applications (Google Play Top Charts South Korea, §2.2): 15 general
+// applications and 15 games, in the order of Figure 3's x-axes.
+//
+// Parameters are chosen to reproduce Figure 3's behavioural taxonomy:
+// general apps are mostly idle with interaction bursts, ~40% of them carry
+// ≈20 fps of redundant updates (ad rotators, map beacons); games request
+// 60 fps regardless of content, with ~80% exceeding 20 redundant fps and a
+// minority (action titles like Asphalt 8) whose content genuinely
+// approaches 60 fps.
+func Catalog() []Params {
+	ms := sim.Millisecond
+	feed := func(name string, idleC, idleI, touchC, touchI float64, tail sim.Time) Params {
+		return Params{
+			Name: name, Cat: General, Style: StyleFeed,
+			IdleContentFPS: idleC, IdleInvalidateFPS: idleI,
+			TouchContentFPS: touchC, TouchInvalidateFPS: touchI,
+			Tail: tail, RedundantRenderPx: 30000,
+		}
+	}
+	pulse := func(name string, idleC, idleI, touchC, touchI float64) Params {
+		return Params{
+			Name: name, Cat: General, Style: StylePulse,
+			IdleContentFPS: idleC, IdleInvalidateFPS: idleI,
+			TouchContentFPS: touchC, TouchInvalidateFPS: touchI,
+			Tail: 500 * ms, RedundantRenderPx: pulseSize * pulseSize,
+		}
+	}
+	game := func(name string, idleC, touchC float64) Params {
+		return Params{
+			Name: name, Cat: Game, Style: StyleSprites,
+			IdleContentFPS: idleC, IdleInvalidateFPS: 60,
+			TouchContentFPS: touchC, TouchInvalidateFPS: 60,
+			Tail: 600 * ms, FullScreenRender: true,
+		}
+	}
+	// withLull adds menu/death-screen phases: content collapses while the
+	// render loop keeps running at 60 fps. This is where high-content
+	// action games save power in the paper's Figure 9.
+	withLull := func(p Params, period, dur sim.Time) Params {
+		p.LullPeriod = period
+		p.LullDuration = dur
+		p.LullContentFPS = 3
+		return p
+	}
+
+	params := []Params{
+		// --- 15 general applications ---
+		feed("Auction", 0.5, 1, 45, 55, 800*ms),
+		func() Params { // Cash Slide: lockscreen ad rotator — heavy redundant updates
+			p := pulse("Cash Slide", 2, 22, 15, 30)
+			p.RedundantRenderPx = 60000
+			return p
+		}(),
+		func() Params { // CGV: cinema app with animated poster carousel
+			p := feed("CGV", 5, 30, 45, 55, 700*ms)
+			p.RedundantRenderPx = 300000
+			return p
+		}(),
+		feed("Coupang", 1, 3, 48, 58, 800*ms),
+		feed("Daum", 2, 5, 45, 55, 800*ms),
+		func() Params { // Daum Maps: location beacon keeps invalidating the map
+			p := feed("Daum Maps", 2, 22, 48, 58, 700*ms)
+			p.RedundantRenderPx = 250000
+			return p
+		}(),
+		feed("Facebook", 0.5, 1.5, 50, 58, 1000*ms),
+		feed("KakaoTalk", 0.3, 1, 40, 50, 600*ms),
+		{ // MX Player: 24 fps video with a ~30 fps render loop
+			Name: "MX Player", Cat: General, Style: StyleVideo,
+			IdleContentFPS: 24, IdleInvalidateFPS: 30,
+			TouchContentFPS: 24, TouchInvalidateFPS: 35,
+			Tail: 300 * ms, FullScreenRender: true,
+		},
+		feed("Naver", 1.5, 4, 45, 55, 800*ms),
+		feed("Naver Webtoon", 0.5, 1, 55, 60, 1200*ms),
+		func() Params { // NaverMap: as Daum Maps, slightly lighter beacon
+			p := feed("NaverMap", 1.5, 18, 45, 55, 700*ms)
+			p.RedundantRenderPx = 200000
+			return p
+		}(),
+		pulse("PhotoWonder", 2, 8, 35, 45),
+		pulse("Tiny Flashlight", 0.2, 1, 5, 10),
+		pulse("Weather", 4, 12, 30, 40),
+
+		// --- 15 games ---
+		game("Anisachun", 12, 35),
+		withLull(game("Asphalt 8", 55, 58), 50*sim.Second, 12*sim.Second), // racer: menus between races
+		game("Canimal Wars", 15, 40),
+		game("Castle Heros", 18, 42),
+		withLull(game("Cookie Run", 35, 50), 40*sim.Second, 6*sim.Second), // runner with death screens
+		game("Devilshness", 10, 32),
+		game("Everypong", 20, 45),
+		withLull(game("Geometry Dash", 40, 55), 18*sim.Second, 3500*ms), // frequent death screens
+		game("I Love Style", 8, 35),
+		game("Jelly Splash", 10, 50), // Figure 2's 60 fps / low-content puzzle
+		game("Modoo Marble", 14, 36),
+		game("PokoPang", 16, 45),
+		withLull(game("Swingrun", 32, 48), 25*sim.Second, 4*sim.Second),  // runner
+		withLull(game("TempleRun", 38, 54), 35*sim.Second, 6*sim.Second), // runner with death screens
+		game("Watermargin", 12, 34),
+	}
+	return params
+}
+
+// ByName returns the catalog entry with the given name.
+func ByName(name string) (Params, bool) {
+	for _, p := range Catalog() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Params{}, false
+}
+
+// Names returns the catalog's application names, optionally filtered by
+// category (pass -1 for all).
+func Names(cat Category) []string {
+	var out []string
+	for _, p := range Catalog() {
+		if cat < 0 || p.Cat == cat {
+			out = append(out, p.Name)
+		}
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+package app
+
+import (
+	"testing"
+
+	"ccdem/internal/sim"
+	"ccdem/internal/surface"
+)
+
+func TestCatalogShape(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 30 {
+		t.Fatalf("catalog size = %d, want 30", len(cat))
+	}
+	general, games := 0, 0
+	seen := map[string]bool{}
+	for _, p := range cat {
+		if err := p.Validate(); err != nil {
+			t.Errorf("catalog entry %q invalid: %v", p.Name, err)
+		}
+		if seen[p.Name] {
+			t.Errorf("duplicate app %q", p.Name)
+		}
+		seen[p.Name] = true
+		switch p.Cat {
+		case General:
+			general++
+		case Game:
+			games++
+		}
+	}
+	if general != 15 || games != 15 {
+		t.Errorf("split = %d general / %d games, want 15/15", general, games)
+	}
+}
+
+func TestCatalogGameInvariants(t *testing.T) {
+	for _, p := range Catalog() {
+		if p.Cat != Game {
+			continue
+		}
+		// Games request 60 fps regardless of content (Figure 3b).
+		if p.IdleInvalidateFPS != 60 || p.TouchInvalidateFPS != 60 {
+			t.Errorf("%s: game invalidate rates %v/%v, want 60/60",
+				p.Name, p.IdleInvalidateFPS, p.TouchInvalidateFPS)
+		}
+		if !p.FullScreenRender {
+			t.Errorf("%s: game without full-screen render", p.Name)
+		}
+	}
+}
+
+func TestCatalogRedundancyTaxonomy(t *testing.T) {
+	// Figure 3d: ~80% of games exceed 20 redundant fps when idle; roughly
+	// 40% of general apps show ≈20 redundant fps.
+	gamesHigh := 0
+	generalHigh := 0
+	for _, p := range Catalog() {
+		redundant := p.IdleInvalidateFPS - p.IdleContentFPS
+		switch p.Cat {
+		case Game:
+			if redundant > 20 {
+				gamesHigh++
+			}
+		case General:
+			if redundant >= 15 {
+				generalHigh++
+			}
+		}
+	}
+	if gamesHigh < 11 || gamesHigh > 13 {
+		t.Errorf("games with >20 redundant fps = %d, want ≈12 (80%%)", gamesHigh)
+	}
+	if generalHigh < 3 || generalHigh > 6 {
+		t.Errorf("general apps with high redundancy = %d, want ≈4-5 (~40%%)", generalHigh)
+	}
+}
+
+func TestByNameAndNames(t *testing.T) {
+	if _, ok := ByName("Jelly Splash"); !ok {
+		t.Error("Jelly Splash missing")
+	}
+	if _, ok := ByName("nonexistent"); ok {
+		t.Error("nonexistent app found")
+	}
+	if n := len(Names(General)); n != 15 {
+		t.Errorf("general names = %d", n)
+	}
+	if n := len(Names(Game)); n != 15 {
+		t.Errorf("game names = %d", n)
+	}
+	if n := len(Names(AnyCategory)); n != 30 {
+		t.Errorf("all names = %d", n)
+	}
+}
+
+// TestCatalogAllRunnable attaches every catalog app briefly to catch
+// painter panics on any style.
+func TestCatalogAllRunnable(t *testing.T) {
+	for _, p := range Catalog() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			eng := sim.NewEngine()
+			mgr := surface.NewManager(eng, 360, 640)
+			m, err := New(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.Attach(eng, mgr)
+			eng.Every(sim.Hz(60), sim.Hz(60), func() { mgr.VSync(eng.Now(), 60) })
+			eng.RunUntil(2 * sim.Second)
+			if mgr.Frames() == 0 {
+				t.Error("no frames latched")
+			}
+		})
+	}
+}

@@ -1,0 +1,39 @@
+package app
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadParams hardens the workload parser: arbitrary input must either
+// error or yield workloads that validate and round-trip.
+func FuzzReadParams(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteParams(&buf, Catalog()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`[]`)
+	f.Add(`[{"name":"x","category":"game","style":"sprites","idle_content_fps":1,"idle_invalidate_fps":1,"touch_content_fps":1,"touch_invalidate_fps":1}]`)
+	f.Add(`{"name":"not-an-array"}`)
+
+	f.Fuzz(func(t *testing.T, in string) {
+		ps, err := ReadParams(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		for _, p := range ps {
+			if err := p.Validate(); err != nil {
+				t.Fatalf("accepted invalid workload %+v: %v", p, err)
+			}
+			if _, err := New(p); err != nil {
+				t.Fatalf("accepted workload rejected by New: %v", err)
+			}
+		}
+		var out bytes.Buffer
+		if err := WriteParams(&out, ps); err != nil {
+			t.Fatalf("accepted workloads failed to serialize: %v", err)
+		}
+	})
+}

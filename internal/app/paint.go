@@ -1,0 +1,229 @@
+package app
+
+import (
+	"ccdem/internal/framebuffer"
+)
+
+// Painters turn abstract "content advanced" events into actual pixel
+// changes, so the meter's grid comparison sees realistic damage. Every
+// painter guarantees that a content advance changes a region large enough
+// to cross grid sample points at the recommended 9K lattice (cell stride
+// ≈10 px on the 720×1280 screen); live-wallpaper-style sub-stride changes
+// are exercised separately by internal/wallpaper for the Figure 6 accuracy
+// experiment.
+
+const (
+	headerH     = 48 // status/app bar height for feed apps
+	feedRowH    = 24 // scroll step per content advance
+	spriteCount = 6
+	spriteSize  = 48
+	pulseSize   = 120
+	bandW       = 60 // video pattern band width
+)
+
+// hashColor derives a stable pseudo-random color from a sequence number
+// and a salt, bright enough to differ from the backgrounds in use.
+func hashColor(seq uint64, salt uint64) framebuffer.Color {
+	x := seq*0x9e3779b97f4a7c15 + salt*0xbf58476d1ce4e5b9 + 0x94d049bb133111eb
+	x ^= x >> 31
+	x *= 0xd6e8feb86659fd93
+	x ^= x >> 27
+	r := uint8(40 + (x>>0)%200)
+	g := uint8(40 + (x>>8)%200)
+	b := uint8(40 + (x>>16)%200)
+	return framebuffer.RGB(r, g, b)
+}
+
+// spriteSz returns the sprite edge adapted to the screen: the standard
+// 48 px on phone-sized screens, shrinking so at least two sprite widths
+// fit on tiny test screens.
+func (m *Model) spriteSz() int {
+	sz := spriteSize
+	if lim := min(m.w, m.h) / 2; sz > lim {
+		sz = lim
+	}
+	if sz < 1 {
+		sz = 1
+	}
+	return sz
+}
+
+// headerPx returns the app-bar height adapted to the screen.
+func (m *Model) headerPx() int {
+	h := headerH
+	if lim := m.h / 4; h > lim {
+		h = lim
+	}
+	return h
+}
+
+func (m *Model) bgColor() framebuffer.Color {
+	switch m.p.Style {
+	case StyleSprites:
+		return framebuffer.RGB(18, 18, 30)
+	case StyleVideo:
+		return framebuffer.Black
+	default:
+		return framebuffer.RGB(245, 245, 245)
+	}
+}
+
+// initPaint draws the app's initial screen into its surface buffer before
+// the first frame latches.
+func (m *Model) initPaint() {
+	buf := m.srf.Buffer()
+	buf.FillAll(m.bgColor())
+	switch m.p.Style {
+	case StyleFeed:
+		buf.Fill(framebuffer.R(0, 0, m.w, m.headerPx()), hashColor(0, m.salt()))
+		m.paintFeedRows(buf, framebuffer.R(0, m.headerPx(), m.w, m.h))
+	case StyleSprites:
+		sz := m.spriteSz()
+		m.sprites = make([]spriteState, spriteCount)
+		for i := range m.sprites {
+			m.sprites[i] = spriteState{
+				x:  m.rng.Intn(max(m.w-sz, 1)),
+				y:  m.rng.Intn(max(m.h-sz, 1)),
+				dx: 12 + m.rng.Intn(10),
+				dy: 12 + m.rng.Intn(10),
+			}
+			if m.rng.Intn(2) == 0 {
+				m.sprites[i].dx = -m.sprites[i].dx
+			}
+			if m.rng.Intn(2) == 0 {
+				m.sprites[i].dy = -m.sprites[i].dy
+			}
+		}
+		m.paintSprites(buf)
+	case StyleVideo:
+		m.paintVideo(buf)
+	case StylePulse:
+		buf.Fill(framebuffer.R(0, 0, m.w, m.headerPx()), hashColor(0, m.salt()))
+		m.paintPulse(buf)
+	}
+}
+
+func (m *Model) salt() uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for _, c := range []byte(m.p.Name) {
+		h = (h ^ uint64(c)) * 0x100000001b3
+	}
+	return h
+}
+
+// advanceContent moves the app's content state forward by one step.
+func (m *Model) advanceContent() {
+	m.contentSeq++
+	switch m.p.Style {
+	case StyleFeed:
+		m.scrollPos += feedRowH
+	case StyleSprites:
+		sz := m.spriteSz()
+		for i := range m.sprites {
+			s := &m.sprites[i]
+			s.x += s.dx
+			s.y += s.dy
+			if s.x < 0 {
+				s.x, s.dx = 0, -s.dx
+			}
+			if s.x > m.w-sz {
+				s.x, s.dx = max(m.w-sz, 0), -s.dx
+			}
+			if s.y < 0 {
+				s.y, s.dy = 0, -s.dy
+			}
+			if s.y > m.h-sz {
+				s.y, s.dy = max(m.h-sz, 0), -s.dy
+			}
+		}
+	}
+}
+
+// paint renders the state of contentSeq into buf, accumulating the
+// damaged rectangles into m.damage.
+func (m *Model) paint(buf *framebuffer.Buffer) {
+	switch m.p.Style {
+	case StyleFeed:
+		region := framebuffer.R(0, m.headerPx(), m.w, m.h)
+		steps := int(m.contentSeq - m.drawnSeq)
+		dy := steps * feedRowH
+		if dy >= region.Dy() {
+			m.paintFeedRows(buf, region)
+		} else {
+			repaint := buf.ScrollVert(region, -dy) // content moves up as the list scrolls
+			m.paintFeedRows(buf, repaint)
+		}
+		m.damage.Add(region) // scrolling moves every pixel of the region
+	case StyleSprites:
+		// Erase sprites at previously drawn positions, then draw at the
+		// new ones; each rectangle is tracked individually.
+		sz := m.spriteSz()
+		for _, s := range m.prevSprites {
+			r := framebuffer.R(s.x, s.y, s.x+sz, s.y+sz)
+			buf.Fill(r, m.bgColor())
+			m.damage.Add(r)
+		}
+		m.paintSprites(buf)
+	case StyleVideo:
+		m.damage.Add(m.paintVideo(buf))
+	case StylePulse:
+		m.damage.Add(m.paintPulse(buf))
+	}
+}
+
+// paintFeedRows fills r with list rows whose colors derive from absolute
+// scroll position, so scrolled-in rows always differ from what they
+// replace.
+func (m *Model) paintFeedRows(buf *framebuffer.Buffer, r framebuffer.Rect) {
+	r = r.Clamp(framebuffer.R(0, m.headerPx(), m.w, m.h))
+	if r.Empty() {
+		return
+	}
+	for y := r.Y0; y < r.Y1; y++ {
+		abs := (m.scrollPos + y) / feedRowH
+		c := hashColor(uint64(abs), m.salt())
+		// Alternate row texture: body rows are lightened.
+		if (m.scrollPos+y)%feedRowH > 4 {
+			rr, g, b := c.RGB()
+			c = framebuffer.RGB(rr/2+110, g/2+110, b/2+110)
+		}
+		buf.Fill(framebuffer.R(r.X0, y, r.X1, y+1), c)
+	}
+}
+
+// paintSprites draws all sprites at their current positions, records them
+// as the drawn positions, and adds each rectangle to the damage region.
+func (m *Model) paintSprites(buf *framebuffer.Buffer) {
+	sz := m.spriteSz()
+	m.prevSprites = m.prevSprites[:0]
+	for i, s := range m.sprites {
+		r := framebuffer.R(s.x, s.y, s.x+sz, s.y+sz)
+		buf.Fill(r, hashColor(m.contentSeq, m.salt()+uint64(i)))
+		m.damage.Add(r)
+		m.prevSprites = append(m.prevSprites, s)
+	}
+}
+
+// paintVideo repaints the letterboxed video area with a band pattern
+// derived from the current frame number.
+func (m *Model) paintVideo(buf *framebuffer.Buffer) framebuffer.Rect {
+	vh := m.h / 2
+	r := framebuffer.R(0, (m.h-vh)/2, m.w, (m.h+vh)/2)
+	for x := r.X0; x < r.X1; x += bandW {
+		x1 := x + bandW
+		if x1 > r.X1 {
+			x1 = r.X1
+		}
+		buf.Fill(framebuffer.R(x, r.Y0, x1, r.Y1), hashColor(m.contentSeq, m.salt()+uint64(x/bandW)))
+	}
+	return r
+}
+
+// paintPulse repaints the widget region.
+func (m *Model) paintPulse(buf *framebuffer.Buffer) framebuffer.Rect {
+	x0 := (m.w - pulseSize) / 2
+	y0 := (m.h - pulseSize) / 2
+	r := framebuffer.R(x0, y0, x0+pulseSize, y0+pulseSize)
+	buf.Fill(r, hashColor(m.contentSeq, m.salt()))
+	return r
+}

@@ -1,0 +1,127 @@
+package app
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"ccdem/internal/sim"
+)
+
+// Workload serialization: Params as a stable JSON document, so downstream
+// users can model their own applications without recompiling — point
+// ccdem-run's -app-file at a JSON description and measure it.
+
+type wireParams struct {
+	Name     string `json:"name"`
+	Category string `json:"category"`
+	Style    string `json:"style"`
+
+	IdleContentFPS     float64 `json:"idle_content_fps"`
+	IdleInvalidateFPS  float64 `json:"idle_invalidate_fps"`
+	TouchContentFPS    float64 `json:"touch_content_fps"`
+	TouchInvalidateFPS float64 `json:"touch_invalidate_fps"`
+	TailMS             int64   `json:"tail_ms"`
+
+	LullPeriodMS   int64   `json:"lull_period_ms,omitempty"`
+	LullDurationMS int64   `json:"lull_duration_ms,omitempty"`
+	LullContentFPS float64 `json:"lull_content_fps,omitempty"`
+
+	FullScreenRender  bool `json:"full_screen_render"`
+	RedundantRenderPx int  `json:"redundant_render_px"`
+}
+
+var categoryNames = map[Category]string{General: "general", Game: "game"}
+var categoryValues = map[string]Category{"general": General, "game": Game}
+var styleNames = map[PaintStyle]string{
+	StyleFeed: "feed", StyleSprites: "sprites", StyleVideo: "video", StylePulse: "pulse",
+}
+var styleValues = map[string]PaintStyle{
+	"feed": StyleFeed, "sprites": StyleSprites, "video": StyleVideo, "pulse": StylePulse,
+}
+
+func toWire(p Params) wireParams {
+	return wireParams{
+		Name:               p.Name,
+		Category:           categoryNames[p.Cat],
+		Style:              styleNames[p.Style],
+		IdleContentFPS:     p.IdleContentFPS,
+		IdleInvalidateFPS:  p.IdleInvalidateFPS,
+		TouchContentFPS:    p.TouchContentFPS,
+		TouchInvalidateFPS: p.TouchInvalidateFPS,
+		TailMS:             int64(p.Tail / sim.Millisecond),
+		LullPeriodMS:       int64(p.LullPeriod / sim.Millisecond),
+		LullDurationMS:     int64(p.LullDuration / sim.Millisecond),
+		LullContentFPS:     p.LullContentFPS,
+		FullScreenRender:   p.FullScreenRender,
+		RedundantRenderPx:  p.RedundantRenderPx,
+	}
+}
+
+func fromWire(wp wireParams) (Params, error) {
+	cat, ok := categoryValues[wp.Category]
+	if !ok {
+		return Params{}, fmt.Errorf("app: unknown category %q", wp.Category)
+	}
+	style, ok := styleValues[wp.Style]
+	if !ok {
+		return Params{}, fmt.Errorf("app: unknown style %q", wp.Style)
+	}
+	p := Params{
+		Name: wp.Name, Cat: cat, Style: style,
+		IdleContentFPS:     wp.IdleContentFPS,
+		IdleInvalidateFPS:  wp.IdleInvalidateFPS,
+		TouchContentFPS:    wp.TouchContentFPS,
+		TouchInvalidateFPS: wp.TouchInvalidateFPS,
+		Tail:               sim.Time(wp.TailMS) * sim.Millisecond,
+		LullPeriod:         sim.Time(wp.LullPeriodMS) * sim.Millisecond,
+		LullDuration:       sim.Time(wp.LullDurationMS) * sim.Millisecond,
+		LullContentFPS:     wp.LullContentFPS,
+		FullScreenRender:   wp.FullScreenRender,
+		RedundantRenderPx:  wp.RedundantRenderPx,
+	}
+	if err := p.Validate(); err != nil {
+		return Params{}, err
+	}
+	return p, nil
+}
+
+// WriteParams serializes workload descriptions as a JSON array.
+func WriteParams(w io.Writer, ps []Params) error {
+	out := make([]wireParams, 0, len(ps))
+	for _, p := range ps {
+		if err := p.Validate(); err != nil {
+			return err
+		}
+		out = append(out, toWire(p))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadParams parses a JSON array of workload descriptions, validating
+// each.
+func ReadParams(r io.Reader) ([]Params, error) {
+	var wps []wireParams
+	if err := json.NewDecoder(r).Decode(&wps); err != nil {
+		return nil, fmt.Errorf("app: parsing workloads: %w", err)
+	}
+	if len(wps) == 0 {
+		return nil, fmt.Errorf("app: no workloads in document")
+	}
+	seen := map[string]bool{}
+	ps := make([]Params, 0, len(wps))
+	for i, wp := range wps {
+		p, err := fromWire(wp)
+		if err != nil {
+			return nil, fmt.Errorf("app: workload %d: %w", i, err)
+		}
+		if seen[p.Name] {
+			return nil, fmt.Errorf("app: duplicate workload %q", p.Name)
+		}
+		seen[p.Name] = true
+		ps = append(ps, p)
+	}
+	return ps, nil
+}

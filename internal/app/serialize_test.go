@@ -1,0 +1,58 @@
+package app
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParamsJSONRoundTrip(t *testing.T) {
+	orig := Catalog()
+	var buf bytes.Buffer
+	if err := WriteParams(&buf, orig); err != nil {
+		t.Fatalf("WriteParams: %v", err)
+	}
+	got, err := ReadParams(&buf)
+	if err != nil {
+		t.Fatalf("ReadParams: %v", err)
+	}
+	if !reflect.DeepEqual(orig, got) {
+		for i := range orig {
+			if !reflect.DeepEqual(orig[i], got[i]) {
+				t.Fatalf("entry %d differs:\n  %+v\n  %+v", i, orig[i], got[i])
+			}
+		}
+		t.Fatal("round trip changed the catalog")
+	}
+}
+
+func TestReadParamsValidation(t *testing.T) {
+	cases := map[string]string{
+		"garbage":      "nope",
+		"empty":        "[]",
+		"bad category": `[{"name":"x","category":"widget","style":"feed","idle_content_fps":1,"idle_invalidate_fps":1,"touch_content_fps":1,"touch_invalidate_fps":1}]`,
+		"bad style":    `[{"name":"x","category":"game","style":"3d","idle_content_fps":1,"idle_invalidate_fps":1,"touch_content_fps":1,"touch_invalidate_fps":1}]`,
+		"invalid rate": `[{"name":"x","category":"game","style":"sprites","idle_content_fps":-1,"idle_invalidate_fps":1,"touch_content_fps":1,"touch_invalidate_fps":1}]`,
+		"no name":      `[{"name":"","category":"game","style":"sprites","idle_content_fps":1,"idle_invalidate_fps":1,"touch_content_fps":1,"touch_invalidate_fps":1}]`,
+		"duplicate":    `[{"name":"x","category":"game","style":"sprites","idle_content_fps":1,"idle_invalidate_fps":1,"touch_content_fps":1,"touch_invalidate_fps":1},{"name":"x","category":"game","style":"sprites","idle_content_fps":1,"idle_invalidate_fps":1,"touch_content_fps":1,"touch_invalidate_fps":1}]`,
+	}
+	for name, in := range cases {
+		if _, err := ReadParams(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadParamsMinimalValid(t *testing.T) {
+	in := `[{"name":"my-app","category":"general","style":"pulse",
+		"idle_content_fps":2,"idle_invalidate_fps":10,
+		"touch_content_fps":20,"touch_invalidate_fps":30,"tail_ms":400}]`
+	ps, err := ReadParams(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 1 || ps[0].Name != "my-app" || ps[0].Style != StylePulse {
+		t.Errorf("parsed = %+v", ps)
+	}
+}

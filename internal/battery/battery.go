@@ -1,0 +1,150 @@
+// Package battery converts the power results of the reproduction into the
+// quantity a phone user actually feels: screen-on time. The paper reports
+// milliwatts; a deployment decision wants "how much longer does the
+// battery last", which depends on the pack and the user's app mix.
+package battery
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+// Pack models a battery by usable capacity and nominal voltage.
+type Pack struct {
+	CapacityMAh float64
+	VoltageV    float64
+}
+
+// GalaxyS3Pack is the 2100 mAh / 3.8 V pack of the paper's target device.
+var GalaxyS3Pack = Pack{CapacityMAh: 2100, VoltageV: 3.8}
+
+// Validate reports configuration errors.
+func (p Pack) Validate() error {
+	if p.CapacityMAh <= 0 || p.VoltageV <= 0 {
+		return fmt.Errorf("battery: invalid pack %+v", p)
+	}
+	return nil
+}
+
+// EnergyMJ returns the pack's usable energy in millijoules.
+// 1 mAh at V volts is 3.6·V joules.
+func (p Pack) EnergyMJ() float64 {
+	return p.CapacityMAh * 3.6 * p.VoltageV * 1000
+}
+
+// ScreenOnHours returns how long the pack sustains a constant draw.
+func (p Pack) ScreenOnHours(meanPowerMW float64) float64 {
+	if meanPowerMW <= 0 {
+		return 0
+	}
+	seconds := p.EnergyMJ() / meanPowerMW
+	return seconds / 3600
+}
+
+// UsageSlice is one component of a usage mix: an activity and its share of
+// screen-on time.
+type UsageSlice struct {
+	Name   string
+	Weight float64 // relative share; normalized internally
+	// Power draws under the two configurations being compared (mW).
+	BaselineMW float64
+	ManagedMW  float64
+}
+
+// Mix is a user's screen-time profile.
+type Mix struct {
+	Slices []UsageSlice
+}
+
+// Validate reports configuration errors.
+func (m Mix) Validate() error {
+	if len(m.Slices) == 0 {
+		return fmt.Errorf("battery: empty usage mix")
+	}
+	total := 0.0
+	for _, s := range m.Slices {
+		if s.Weight < 0 || s.BaselineMW <= 0 || s.ManagedMW <= 0 {
+			return fmt.Errorf("battery: invalid slice %+v", s)
+		}
+		total += s.Weight
+	}
+	if total <= 0 {
+		return fmt.Errorf("battery: zero total weight")
+	}
+	return nil
+}
+
+// MeanMW returns the weighted mean draws (baseline, managed).
+func (m Mix) MeanMW() (baseline, managed float64) {
+	total := 0.0
+	for _, s := range m.Slices {
+		total += s.Weight
+	}
+	for _, s := range m.Slices {
+		baseline += s.BaselineMW * s.Weight / total
+		managed += s.ManagedMW * s.Weight / total
+	}
+	return baseline, managed
+}
+
+// Estimate is the battery-life outcome of applying display energy
+// management to a usage mix on a given pack.
+type Estimate struct {
+	Pack Pack
+	Mix  Mix
+
+	BaselineMW    float64
+	ManagedMW     float64
+	BaselineHours float64
+	ManagedHours  float64
+	ExtraHours    float64
+	ExtraPercent  float64
+}
+
+// Estimate computes screen-on-time figures for the mix on the pack.
+func (p Pack) Estimate(m Mix) (Estimate, error) {
+	if err := p.Validate(); err != nil {
+		return Estimate{}, err
+	}
+	if err := m.Validate(); err != nil {
+		return Estimate{}, err
+	}
+	base, managed := m.MeanMW()
+	e := Estimate{
+		Pack: p, Mix: m,
+		BaselineMW:    base,
+		ManagedMW:     managed,
+		BaselineHours: p.ScreenOnHours(base),
+		ManagedHours:  p.ScreenOnHours(managed),
+	}
+	e.ExtraHours = e.ManagedHours - e.BaselineHours
+	if e.BaselineHours > 0 {
+		e.ExtraPercent = 100 * e.ExtraHours / e.BaselineHours
+	}
+	return e, nil
+}
+
+// String renders the estimate as a report table.
+func (e Estimate) String() string {
+	var sb strings.Builder
+	sb.WriteString(fmt.Sprintf("Battery estimate (%.0f mAh @ %.1f V):\n",
+		e.Pack.CapacityMAh, e.Pack.VoltageV))
+	w := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	slices := append([]UsageSlice(nil), e.Mix.Slices...)
+	sort.Slice(slices, func(i, j int) bool { return slices[i].Weight > slices[j].Weight })
+	fmt.Fprintf(w, "  activity\tshare\tbaseline\tmanaged\n")
+	total := 0.0
+	for _, s := range slices {
+		total += s.Weight
+	}
+	for _, s := range slices {
+		fmt.Fprintf(w, "  %s\t%.0f%%\t%.0f mW\t%.0f mW\n",
+			s.Name, 100*s.Weight/total, s.BaselineMW, s.ManagedMW)
+	}
+	w.Flush()
+	sb.WriteString(fmt.Sprintf("\n  screen-on time: %.1f h → %.1f h (+%.1f h, +%.1f%%)\n",
+		e.BaselineHours, e.ManagedHours, e.ExtraHours, e.ExtraPercent))
+	return sb.String()
+}

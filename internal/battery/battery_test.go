@@ -1,0 +1,115 @@
+package battery
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPackEnergy(t *testing.T) {
+	// 2100 mAh at 3.8 V = 2100 × 3.6 × 3.8 J = 28728 J = 2.8728e7 mJ.
+	if got := GalaxyS3Pack.EnergyMJ(); math.Abs(got-2.8728e7) > 1 {
+		t.Errorf("EnergyMJ = %v, want 2.8728e7", got)
+	}
+}
+
+func TestScreenOnHours(t *testing.T) {
+	// 28728 J at 1 W = 28728 s ≈ 7.98 h.
+	if got := GalaxyS3Pack.ScreenOnHours(1000); math.Abs(got-7.98) > 0.01 {
+		t.Errorf("ScreenOnHours(1W) = %v, want ≈7.98", got)
+	}
+	if GalaxyS3Pack.ScreenOnHours(0) != 0 {
+		t.Error("zero draw should report 0 (undefined)")
+	}
+}
+
+func TestPackValidation(t *testing.T) {
+	if err := (Pack{}).Validate(); err == nil {
+		t.Error("zero pack accepted")
+	}
+	if err := (Pack{CapacityMAh: 100, VoltageV: -1}).Validate(); err == nil {
+		t.Error("negative voltage accepted")
+	}
+}
+
+func testMix() Mix {
+	return Mix{Slices: []UsageSlice{
+		{Name: "games", Weight: 1, BaselineMW: 1000, ManagedMW: 800},
+		{Name: "feeds", Weight: 3, BaselineMW: 760, ManagedMW: 650},
+	}}
+}
+
+func TestMixMeanMW(t *testing.T) {
+	base, managed := testMix().MeanMW()
+	if math.Abs(base-820) > 1e-9 { // (1000 + 3×760)/4
+		t.Errorf("baseline mean = %v, want 820", base)
+	}
+	if math.Abs(managed-687.5) > 1e-9 { // (800 + 3×650)/4
+		t.Errorf("managed mean = %v, want 687.5", managed)
+	}
+}
+
+func TestMixValidation(t *testing.T) {
+	if err := (Mix{}).Validate(); err == nil {
+		t.Error("empty mix accepted")
+	}
+	bad := Mix{Slices: []UsageSlice{{Name: "x", Weight: 1, BaselineMW: 0, ManagedMW: 1}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero baseline accepted")
+	}
+	zeroW := Mix{Slices: []UsageSlice{{Name: "x", Weight: 0, BaselineMW: 1, ManagedMW: 1}}}
+	if err := zeroW.Validate(); err == nil {
+		t.Error("zero total weight accepted")
+	}
+}
+
+func TestEstimate(t *testing.T) {
+	e, err := GalaxyS3Pack.Estimate(testMix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.ManagedHours <= e.BaselineHours {
+		t.Errorf("managed hours %v not above baseline %v", e.ManagedHours, e.BaselineHours)
+	}
+	// 820→687.5 mW is a 16.2% draw reduction → 19.3% life extension.
+	if math.Abs(e.ExtraPercent-19.27) > 0.1 {
+		t.Errorf("ExtraPercent = %v, want ≈19.3", e.ExtraPercent)
+	}
+	out := e.String()
+	if !strings.Contains(out, "screen-on time") || !strings.Contains(out, "games") {
+		t.Errorf("rendering: %s", out)
+	}
+}
+
+func TestEstimateValidation(t *testing.T) {
+	if _, err := (Pack{}).Estimate(testMix()); err == nil {
+		t.Error("bad pack accepted")
+	}
+	if _, err := GalaxyS3Pack.Estimate(Mix{}); err == nil {
+		t.Error("bad mix accepted")
+	}
+}
+
+// Property: battery life extension percentage equals the draw reduction
+// ratio transformed as 1/(1-r) - 1, for any valid mix.
+func TestEstimateConsistencyProperty(t *testing.T) {
+	f := func(rawBase, rawSave uint16, w1, w2 uint8) bool {
+		base := 300 + float64(rawBase%1500)
+		saved := float64(rawSave) / 65535 * base * 0.5 // up to 50% saving
+		mix := Mix{Slices: []UsageSlice{
+			{Name: "a", Weight: float64(w1%9) + 1, BaselineMW: base, ManagedMW: base - saved},
+			{Name: "b", Weight: float64(w2%9) + 1, BaselineMW: base, ManagedMW: base - saved},
+		}}
+		e, err := GalaxyS3Pack.Estimate(mix)
+		if err != nil {
+			return false
+		}
+		r := saved / base
+		want := 100 * (1/(1-r) - 1)
+		return math.Abs(e.ExtraPercent-want) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

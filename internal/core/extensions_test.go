@@ -1,0 +1,139 @@
+package core
+
+import (
+	"testing"
+
+	"ccdem/internal/framebuffer"
+	"ccdem/internal/power"
+	"ccdem/internal/sim"
+)
+
+func TestDownHysteresisDelaysDecrease(t *testing.T) {
+	h := newGovHarness(t, GovernorConfig{
+		ControlPeriod:  250 * sim.Millisecond,
+		DownHysteresis: 3,
+	})
+	h.panel.OnVSync(h.drive(1, 1)) // 60 fps content
+	h.panel.Start()
+	h.gov.Start()
+	h.eng.RunUntil(5 * sim.Second)
+	if h.panel.Rate() != 60 {
+		t.Fatalf("setup: rate = %d", h.panel.Rate())
+	}
+	// Content stops; the meter window decays over ~1 s and the governor
+	// sees its first down indication after ~2 control periods. With
+	// DownHysteresis=3 the rate must hold for three extra periods
+	// (750 ms) beyond that point.
+	h.quiet = true
+	quietStart := h.eng.Now()
+	for h.panel.Rate() == 60 && h.eng.Now() < quietStart+10*sim.Second {
+		h.eng.RunUntil(h.eng.Now() + 50*sim.Millisecond)
+	}
+	held := h.eng.Now() - quietStart
+	if held < 1200*sim.Millisecond {
+		t.Errorf("rate dropped after %v of quiet, want ≥1.2s with hysteresis", held)
+	}
+	// Control: the same scenario without hysteresis steps down markedly
+	// earlier.
+	h2 := newGovHarness(t, GovernorConfig{ControlPeriod: 250 * sim.Millisecond})
+	h2.panel.OnVSync(h2.drive(1, 1))
+	h2.panel.Start()
+	h2.gov.Start()
+	h2.eng.RunUntil(5 * sim.Second)
+	h2.quiet = true
+	quietStart2 := h2.eng.Now()
+	for h2.panel.Rate() == 60 && h2.eng.Now() < quietStart2+10*sim.Second {
+		h2.eng.RunUntil(h2.eng.Now() + 50*sim.Millisecond)
+	}
+	heldPlain := h2.eng.Now() - quietStart2
+	if held < heldPlain+500*sim.Millisecond {
+		t.Errorf("hysteresis held %v vs plain %v, want ≥500ms longer", held, heldPlain)
+	}
+	// And it does eventually step down.
+	h.eng.RunUntil(h.eng.Now() + 5*sim.Second)
+	if h.panel.Rate() != 20 {
+		t.Errorf("rate never settled down: %d", h.panel.Rate())
+	}
+}
+
+func TestDownHysteresisDoesNotDelayIncrease(t *testing.T) {
+	h := newGovHarness(t, GovernorConfig{
+		ControlPeriod:  250 * sim.Millisecond,
+		DownHysteresis: 4,
+	})
+	h.quiet = true
+	h.panel.OnVSync(h.drive(1, 1))
+	h.panel.Start()
+	h.gov.Start()
+	h.eng.RunUntil(5 * sim.Second)
+	if h.panel.Rate() != 20 {
+		t.Fatalf("setup: rate = %d", h.panel.Rate())
+	}
+	h.quiet = false
+	// The ladder starts climbing within roughly one control period + one
+	// meter window, unimpeded by the down-hysteresis.
+	h.eng.RunUntil(h.eng.Now() + 2*sim.Second)
+	if h.panel.Rate() <= 20 {
+		t.Errorf("rate did not climb promptly with hysteresis enabled: %d", h.panel.Rate())
+	}
+}
+
+func TestEarlyExitMeterCheaperOnContent(t *testing.T) {
+	// Zero fixed overhead isolates the per-pixel effect; with the default
+	// 0.5 ms overhead the gain is floored at ≈45%.
+	cost := power.CompareCostModel{PerPixel: 42.9}
+	mk := func(early bool) *Meter {
+		m, err := NewMeter(MeterConfig{
+			Grid:      framebuffer.GridForSamples(720, 1280, 9216),
+			Window:    sim.Second,
+			Cost:      cost,
+			EarlyExit: early,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	full := mk(false)
+	early := mk(true)
+	fb := framebuffer.New(720, 1280)
+	// Frames that change a band near the top of the screen: the early-exit
+	// comparison hits the difference quickly.
+	for i := 1; i <= 60; i++ {
+		fb.Fill(framebuffer.R(0, 0, 720, 40), framebuffer.Color(i))
+		full.ObserveFrame(sim.Time(i)*sim.Hz(60), fb)
+		early.ObserveFrame(sim.Time(i)*sim.Hz(60), fb)
+	}
+	// Identical classification...
+	ff, fc := full.Totals()
+	ef, ec := early.Totals()
+	if ff != ef || fc != ec {
+		t.Fatalf("classification differs: %d/%d vs %d/%d", ff, fc, ef, ec)
+	}
+	// ...at a fraction of the modeled cost.
+	if early.CompareTime() >= full.CompareTime()/2 {
+		t.Errorf("early-exit cost %v not well below full cost %v",
+			early.CompareTime(), full.CompareTime())
+	}
+}
+
+func TestEarlyExitRedundantFramesCostFullSweep(t *testing.T) {
+	m, err := NewMeter(MeterConfig{
+		Grid:      framebuffer.GridForSamples(64, 64, 64*64),
+		Window:    sim.Second,
+		Cost:      power.DefaultCompareCost(),
+		EarlyExit: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb := framebuffer.New(64, 64)
+	m.ObserveFrame(1, fb)
+	before := m.CompareTime()
+	m.ObserveFrame(2, fb) // redundant: must sweep everything
+	cost := m.CompareTime() - before
+	want := power.DefaultCompareCost().Duration(64 * 64)
+	if cost != want {
+		t.Errorf("redundant frame cost %v, want full sweep %v", cost, want)
+	}
+}

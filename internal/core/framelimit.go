@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+
+	"ccdem/internal/input"
+	"ccdem/internal/sim"
+)
+
+// FrameLimiter implements the comparison baseline from the paper's related
+// work: E³-style frame-rate adaptation (Han et al., SenSys 2013, the
+// paper's reference [16]). Instead of lowering the panel's refresh rate,
+// E³ throttles the *frame rate* — the pace at which frames latch — leaving
+// the display hardware running at full refresh. That saves render and
+// composition energy on redundant frames but none of the
+// refresh-proportional panel power, which is exactly the gap the paper's
+// scheme closes. Implementing both under one harness lets the benches
+// quantify that gap.
+//
+// The limiter paces latches with a token-per-interval rule: a latch is
+// allowed when at least 1/cap seconds have elapsed since the previous one.
+// Its cap follows the measured content rate with a multiplicative margin,
+// and interaction lifts the cap to maximum (E³ is scroll/interaction
+// aware).
+type FrameLimiter struct {
+	eng   *sim.Engine
+	meter *Meter
+	cfg   FrameLimiterConfig
+
+	capFPS    float64
+	lastLatch sim.Time
+	haveLatch bool
+	boostTill sim.Time
+
+	ticker  *sim.Ticker
+	allowed uint64
+	blocked uint64
+}
+
+// FrameLimiterConfig tunes the limiter.
+type FrameLimiterConfig struct {
+	// MaxFPS is the unthrottled pace (the refresh rate; default 60).
+	MaxFPS float64
+	// MinFPS floors the cap so UI never stalls completely (default 10).
+	MinFPS float64
+	// Margin multiplies the measured content rate to form the cap
+	// (default 1.3 — content must fit under the cap with room for jitter).
+	Margin float64
+	// ControlPeriod is how often the cap is recomputed (default 500 ms).
+	ControlPeriod sim.Time
+	// InteractionHold lifts the cap to MaxFPS during touches and for this
+	// long after the last one (default 300 ms).
+	InteractionHold sim.Time
+}
+
+func (c *FrameLimiterConfig) applyDefaults() {
+	if c.MaxFPS == 0 {
+		c.MaxFPS = 60
+	}
+	if c.MinFPS == 0 {
+		c.MinFPS = 10
+	}
+	if c.Margin == 0 {
+		c.Margin = 1.3
+	}
+	if c.ControlPeriod == 0 {
+		c.ControlPeriod = 500 * sim.Millisecond
+	}
+	if c.InteractionHold == 0 {
+		c.InteractionHold = 300 * sim.Millisecond
+	}
+}
+
+// NewFrameLimiter builds a limiter reading content rates from meter.
+func NewFrameLimiter(eng *sim.Engine, meter *Meter, cfg FrameLimiterConfig) (*FrameLimiter, error) {
+	cfg.applyDefaults()
+	if cfg.MinFPS <= 0 || cfg.MaxFPS < cfg.MinFPS {
+		return nil, fmt.Errorf("core: invalid frame limiter range %v..%v", cfg.MinFPS, cfg.MaxFPS)
+	}
+	if cfg.Margin < 1 {
+		return nil, fmt.Errorf("core: frame limiter margin %v below 1", cfg.Margin)
+	}
+	return &FrameLimiter{
+		eng:       eng,
+		meter:     meter,
+		cfg:       cfg,
+		capFPS:    cfg.MaxFPS, // start unthrottled, like the refresh governor starts at 60 Hz
+		boostTill: -1,
+	}, nil
+}
+
+// Start begins periodic cap adaptation.
+func (l *FrameLimiter) Start() {
+	if l.ticker != nil {
+		panic("core: FrameLimiter started twice")
+	}
+	l.ticker = l.eng.Every(l.eng.Now()+l.cfg.ControlPeriod, l.cfg.ControlPeriod, l.tick)
+}
+
+// Stop halts adaptation, leaving the current cap in place.
+func (l *FrameLimiter) Stop() {
+	if l.ticker != nil {
+		l.ticker.Stop()
+	}
+}
+
+func (l *FrameLimiter) tick() {
+	now := l.eng.Now()
+	cap := l.meter.ContentRate(now) * l.cfg.Margin
+	if cap < l.cfg.MinFPS {
+		cap = l.cfg.MinFPS
+	}
+	if cap > l.cfg.MaxFPS {
+		cap = l.cfg.MaxFPS
+	}
+	l.capFPS = cap
+}
+
+// HandleTouch lifts the cap during interaction (wire to the input path).
+func (l *FrameLimiter) HandleTouch(ev input.Event) {
+	if till := l.eng.Now() + l.cfg.InteractionHold; till > l.boostTill {
+		l.boostTill = till
+	}
+}
+
+// CapFPS returns the current pacing cap.
+func (l *FrameLimiter) CapFPS() float64 {
+	if l.boostTill >= 0 && l.eng.Now() <= l.boostTill {
+		return l.cfg.MaxFPS
+	}
+	return l.capFPS
+}
+
+// Gate is the latch gate for surface.Manager.SetLatchGate: it permits a
+// latch when the pacing interval has elapsed. Because gate decisions are
+// only taken at V-Sync instants, the comparison tolerates half a V-Sync
+// period — otherwise integer-microsecond quantization (e.g. a 50 ms cap
+// interval vs 3×16666 µs of vsyncs) would systematically skip an extra
+// sync and undershoot the cap.
+func (l *FrameLimiter) Gate(t sim.Time) bool {
+	tolerance := sim.Hz(l.cfg.MaxFPS) / 2
+	if l.haveLatch && t-l.lastLatch < sim.Hz(l.CapFPS())-tolerance {
+		l.blocked++
+		return false
+	}
+	l.lastLatch = t
+	l.haveLatch = true
+	l.allowed++
+	return true
+}
+
+// Counters returns how many latch attempts were allowed and blocked.
+func (l *FrameLimiter) Counters() (allowed, blocked uint64) { return l.allowed, l.blocked }

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+
+	"ccdem/internal/framebuffer"
+	"ccdem/internal/input"
+	"ccdem/internal/power"
+	"ccdem/internal/sim"
+)
+
+func newLimiter(t *testing.T, cfg FrameLimiterConfig) (*sim.Engine, *Meter, *FrameLimiter) {
+	t.Helper()
+	eng := sim.NewEngine()
+	meter, err := NewMeter(MeterConfig{
+		Grid:   framebuffer.GridForSamples(32, 32, 32*32),
+		Window: sim.Second,
+		Cost:   power.CompareCostModel{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewFrameLimiter(eng, meter, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, meter, l
+}
+
+func TestFrameLimiterValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	meter, _ := NewMeter(MeterConfig{Grid: framebuffer.GridForSamples(8, 8, 4), Window: sim.Second})
+	if _, err := NewFrameLimiter(eng, meter, FrameLimiterConfig{MinFPS: 30, MaxFPS: 10}); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if _, err := NewFrameLimiter(eng, meter, FrameLimiterConfig{Margin: 0.5}); err == nil {
+		t.Error("margin < 1 accepted")
+	}
+}
+
+func TestFrameLimiterStartsUnthrottled(t *testing.T) {
+	_, _, l := newLimiter(t, FrameLimiterConfig{})
+	if l.CapFPS() != 60 {
+		t.Errorf("initial cap = %v, want 60", l.CapFPS())
+	}
+}
+
+func TestFrameLimiterGatePacing(t *testing.T) {
+	eng, _, l := newLimiter(t, FrameLimiterConfig{})
+	l.capFPS = 20 // force a 20 fps cap
+	allowedCount := 0
+	// Simulate 60 Hz vsyncs for 2 s, asking the gate each time.
+	for i := 1; i <= 120; i++ {
+		eng.RunUntil(sim.Time(i) * sim.Hz(60))
+		if l.Gate(eng.Now()) {
+			allowedCount++
+		}
+	}
+	// 2 s at a 20 fps cap: ≈40 allowed latches.
+	if allowedCount < 38 || allowedCount > 42 {
+		t.Errorf("allowed %d latches in 2s at 20 fps cap, want ≈40", allowedCount)
+	}
+	allowed, blocked := l.Counters()
+	if allowed+blocked != 120 {
+		t.Errorf("counters %d+%d != 120", allowed, blocked)
+	}
+}
+
+func TestFrameLimiterAdaptsToContent(t *testing.T) {
+	eng, meter, l := newLimiter(t, FrameLimiterConfig{ControlPeriod: 250 * sim.Millisecond})
+	l.Start()
+	// Feed the meter 10 fps of content.
+	fb := framebuffer.New(32, 32)
+	i := 0
+	eng.Every(sim.Hz(10), sim.Hz(10), func() {
+		i++
+		fb.Set(i%32, (i/32)%32, framebuffer.Color(i))
+		meter.ObserveFrame(eng.Now(), fb)
+	})
+	eng.RunUntil(3 * sim.Second)
+	// Cap ≈ 10 × 1.3 = 13.
+	if got := l.CapFPS(); got < 11 || got > 16 {
+		t.Errorf("adapted cap = %v, want ≈13", got)
+	}
+	l.Stop()
+	eng.RunUntil(5 * sim.Second)
+}
+
+func TestFrameLimiterFloor(t *testing.T) {
+	eng, _, l := newLimiter(t, FrameLimiterConfig{ControlPeriod: 250 * sim.Millisecond})
+	l.Start()
+	eng.RunUntil(2 * sim.Second) // no content at all
+	if got := l.CapFPS(); got != 10 {
+		t.Errorf("idle cap = %v, want MinFPS 10", got)
+	}
+}
+
+func TestFrameLimiterInteractionLift(t *testing.T) {
+	eng, _, l := newLimiter(t, FrameLimiterConfig{InteractionHold: 300 * sim.Millisecond})
+	l.capFPS = 10
+	if l.CapFPS() != 10 {
+		t.Fatal("setup")
+	}
+	eng.RunUntil(sim.Second)
+	l.HandleTouch(input.Event{At: eng.Now(), Kind: input.TouchDown})
+	if l.CapFPS() != 60 {
+		t.Errorf("cap during interaction = %v, want 60", l.CapFPS())
+	}
+	eng.RunUntil(eng.Now() + 400*sim.Millisecond)
+	if l.CapFPS() != 10 {
+		t.Errorf("cap after hold = %v, want 10", l.CapFPS())
+	}
+}
+
+func TestFrameLimiterStartTwicePanics(t *testing.T) {
+	_, _, l := newLimiter(t, FrameLimiterConfig{})
+	l.Start()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Start did not panic")
+		}
+	}()
+	l.Start()
+}

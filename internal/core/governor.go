@@ -1,0 +1,256 @@
+package core
+
+import (
+	"fmt"
+
+	"ccdem/internal/display"
+	"ccdem/internal/input"
+	"ccdem/internal/sim"
+)
+
+// Booster implements touch boosting (§3.2): on any touch event the refresh
+// rate is forced to maximum immediately, and held there for a hold window
+// after the last touch so the interaction's content burst (scroll tails,
+// fling animations) is both displayed and — crucially — measurable by the
+// meter, which can then hand control back to the section table.
+type Booster struct {
+	hold  sim.Time
+	until sim.Time
+	hits  uint64
+}
+
+// NewBooster creates a booster holding the maximum rate for hold after the
+// last touch event.
+func NewBooster(hold sim.Time) (*Booster, error) {
+	if hold <= 0 {
+		return nil, fmt.Errorf("core: non-positive boost hold %v", hold)
+	}
+	return &Booster{hold: hold, until: -1}, nil
+}
+
+// OnTouch records a touch event at time t, extending the boost window.
+func (b *Booster) OnTouch(t sim.Time) {
+	b.hits++
+	if end := t + b.hold; end > b.until {
+		b.until = end
+	}
+}
+
+// Active reports whether the boost window covers time t.
+func (b *Booster) Active(t sim.Time) bool { return t <= b.until && b.until >= 0 }
+
+// Touches returns the number of touch events observed.
+func (b *Booster) Touches() uint64 { return b.hits }
+
+// Policy selects the content-rate → refresh-rate mapping.
+type Policy int
+
+// Policies.
+const (
+	// PolicySection is the paper's section-based rule (Eq. 1): thresholds
+	// at the medians between levels keep measurement headroom.
+	PolicySection Policy = iota
+	// PolicyNaive is the paper's *failed initial attempt* (§3.2): pick the
+	// smallest refresh level ≥ the measured content rate. Because V-Sync
+	// caps the measurable content rate at the current refresh rate, this
+	// controller ratchets downward and can never observe rising demand —
+	// kept as an ablation demonstrating why the section rule exists.
+	PolicyNaive
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case PolicySection:
+		return "section"
+	case PolicyNaive:
+		return "naive"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// GovernorConfig configures the refresh-rate governor.
+type GovernorConfig struct {
+	// Policy selects the mapping rule. Default PolicySection.
+	Policy Policy
+	// ControlPeriod is how often the section controller re-evaluates the
+	// content rate. Default 500 ms.
+	ControlPeriod sim.Time
+	// DownHysteresis is an extension beyond the paper: the number of
+	// consecutive control periods a *lower* rate must be indicated before
+	// the governor steps down. Rate increases always apply immediately
+	// (responsiveness is asymmetric: late increases drop frames, late
+	// decreases only cost a little power). Zero means no hysteresis, the
+	// paper's behaviour.
+	DownHysteresis int
+	// BoostEnabled turns touch boosting on (the paper's "+Touch boosting"
+	// configurations).
+	BoostEnabled bool
+	// BoostHold is how long after the last touch the maximum rate is
+	// held. Default 300 ms — long enough that the post-interaction
+	// content burst (fling tail) is displayed and measured at full
+	// fidelity before section control resumes, short enough that boosting
+	// costs only a small share of the saving (paper Table 1).
+	BoostHold sim.Time
+}
+
+// Decision records one governor decision for trace figures.
+type Decision struct {
+	T           sim.Time
+	ContentRate float64
+	RateHz      int
+	Boosted     bool
+}
+
+// Governor is the paper's runtime: it periodically reads the content rate
+// from the meter, maps it through the section table, and programs the
+// panel; with boosting enabled, touch events bypass the table and force
+// the maximum rate at once.
+type Governor struct {
+	eng     *sim.Engine
+	panel   *display.Panel
+	meter   *Meter
+	table   *SectionTable
+	booster *Booster
+	cfg     GovernorConfig
+
+	ticker     *sim.Ticker
+	onDecision []func(Decision)
+
+	decisions uint64
+	boosts    uint64
+
+	// Hysteresis state: how many consecutive ticks have indicated a rate
+	// below the current one, and which rate the last tick wanted.
+	downStreak int
+}
+
+// NewGovernor wires a governor to a panel and meter. The section table is
+// derived from the panel's supported levels.
+func NewGovernor(eng *sim.Engine, panel *display.Panel, meter *Meter, cfg GovernorConfig) (*Governor, error) {
+	if cfg.ControlPeriod == 0 {
+		cfg.ControlPeriod = 500 * sim.Millisecond
+	}
+	if cfg.ControlPeriod < 0 {
+		return nil, fmt.Errorf("core: negative control period %v", cfg.ControlPeriod)
+	}
+	if cfg.BoostHold == 0 {
+		cfg.BoostHold = 300 * sim.Millisecond
+	}
+	table, err := NewSectionTable(panel.Levels())
+	if err != nil {
+		return nil, err
+	}
+	booster, err := NewBooster(cfg.BoostHold)
+	if err != nil {
+		return nil, err
+	}
+	return &Governor{
+		eng:     eng,
+		panel:   panel,
+		meter:   meter,
+		table:   table,
+		booster: booster,
+		cfg:     cfg,
+	}, nil
+}
+
+// Table exposes the derived section table (for reporting and the Figure 5
+// example).
+func (g *Governor) Table() *SectionTable { return g.table }
+
+// OnDecision registers an observer of every control decision.
+func (g *Governor) OnDecision(fn func(Decision)) { g.onDecision = append(g.onDecision, fn) }
+
+// Start begins periodic section control.
+func (g *Governor) Start() {
+	if g.ticker != nil {
+		panic("core: Governor started twice")
+	}
+	g.ticker = g.eng.Every(g.eng.Now()+g.cfg.ControlPeriod, g.cfg.ControlPeriod, g.tick)
+}
+
+// Stop halts the governor, leaving the panel at its current rate.
+func (g *Governor) Stop() {
+	if g.ticker != nil {
+		g.ticker.Stop()
+	}
+}
+
+// HandleTouch is the input hook. With boosting enabled, the panel is
+// forced to its maximum rate immediately (it takes effect at the next
+// V-Sync boundary, i.e. within one current-rate frame).
+func (g *Governor) HandleTouch(ev input.Event) {
+	if !g.cfg.BoostEnabled {
+		return
+	}
+	now := g.eng.Now()
+	g.booster.OnTouch(now)
+	if g.panel.Rate() != g.panel.MaxRate() {
+		g.boosts++
+	}
+	g.mustSetRate(g.panel.MaxRate())
+}
+
+func (g *Governor) tick() {
+	now := g.eng.Now()
+	content := g.meter.ContentRate(now)
+	boosted := g.cfg.BoostEnabled && g.booster.Active(now)
+	var rate int
+	switch g.cfg.Policy {
+	case PolicyNaive:
+		rate = g.naiveRateFor(content)
+	default:
+		rate = g.table.RateFor(content)
+	}
+	if boosted {
+		rate = g.panel.MaxRate()
+	}
+	// Downward moves must persist for DownHysteresis+1 consecutive ticks;
+	// upward moves apply at once.
+	if rate < g.panel.Rate() && g.cfg.DownHysteresis > 0 {
+		g.downStreak++
+		if g.downStreak <= g.cfg.DownHysteresis {
+			rate = g.panel.Rate()
+		}
+	} else {
+		g.downStreak = 0
+	}
+	g.mustSetRate(rate)
+	g.decisions++
+	d := Decision{T: now, ContentRate: content, RateHz: rate, Boosted: boosted}
+	for _, fn := range g.onDecision {
+		fn(d)
+	}
+}
+
+// naiveRateFor implements PolicyNaive: the smallest level that covers the
+// measured content rate, with no headroom.
+func (g *Governor) naiveRateFor(content float64) int {
+	levels := g.panel.Levels()
+	for _, l := range levels {
+		if float64(l) >= content {
+			return l
+		}
+	}
+	return levels[len(levels)-1]
+}
+
+func (g *Governor) mustSetRate(hz int) {
+	// The table and boost rates come from the panel's own level list, so
+	// a rejection is a programming error.
+	if err := g.panel.SetRate(hz); err != nil {
+		panic(fmt.Sprintf("core: panel rejected its own level: %v", err))
+	}
+}
+
+// Decisions returns the number of control ticks taken.
+func (g *Governor) Decisions() uint64 { return g.decisions }
+
+// BoostTransitions returns how many touch events found the panel below
+// maximum rate and boosted it.
+func (g *Governor) BoostTransitions() uint64 { return g.boosts }
+
+// Booster exposes the touch booster (for tests and reporting).
+func (g *Governor) Booster() *Booster { return g.booster }

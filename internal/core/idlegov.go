@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+
+	"ccdem/internal/display"
+	"ccdem/internal/input"
+	"ccdem/internal/sim"
+)
+
+// IdleGovernor is the content-blind policy that later shipped in
+// production adaptive-refresh phones (and that this paper's approach
+// predates): boost to maximum refresh on touch, fall to a fixed idle rate
+// after a period without interaction. It needs no framebuffer metering —
+// but precisely because it cannot see content, it mis-handles autonomous
+// content (video playback, game animation) in one direction or the other:
+//
+//   - with a short timeout it drops to the idle rate mid-video and mid-game,
+//     discarding frames the user is watching (quality loss), and
+//   - with a long timeout it burns full-rate refresh power on static
+//     screens the user merely touched recently.
+//
+// The comparison experiment quantifies both failure modes against the
+// content-centric governor.
+type IdleGovernor struct {
+	eng   *sim.Engine
+	panel *display.Panel
+	cfg   IdleGovernorConfig
+
+	lastTouch sim.Time
+	touched   bool
+	ticker    *sim.Ticker
+}
+
+// IdleGovernorConfig tunes the policy.
+type IdleGovernorConfig struct {
+	// IdleTimeout is how long after the last touch the panel stays at
+	// maximum rate. Default 1.5 s (a typical production value).
+	IdleTimeout sim.Time
+	// IdleRate is the rate used when idle; zero means the panel's
+	// minimum level.
+	IdleRate int
+	// CheckPeriod is how often the timeout is evaluated. Default 250 ms.
+	CheckPeriod sim.Time
+}
+
+func (c *IdleGovernorConfig) applyDefaults(panel *display.Panel) {
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 1500 * sim.Millisecond
+	}
+	if c.IdleRate == 0 {
+		c.IdleRate = panel.MinRate()
+	}
+	if c.CheckPeriod == 0 {
+		c.CheckPeriod = 250 * sim.Millisecond
+	}
+}
+
+// NewIdleGovernor builds the policy for panel.
+func NewIdleGovernor(eng *sim.Engine, panel *display.Panel, cfg IdleGovernorConfig) (*IdleGovernor, error) {
+	cfg.applyDefaults(panel)
+	if cfg.IdleTimeout <= 0 || cfg.CheckPeriod <= 0 {
+		return nil, fmt.Errorf("core: invalid idle governor timing %v/%v", cfg.IdleTimeout, cfg.CheckPeriod)
+	}
+	supported := false
+	for _, l := range panel.Levels() {
+		if l == cfg.IdleRate {
+			supported = true
+		}
+	}
+	if !supported {
+		return nil, fmt.Errorf("core: idle rate %d not a panel level %v", cfg.IdleRate, panel.Levels())
+	}
+	return &IdleGovernor{eng: eng, panel: panel, cfg: cfg}, nil
+}
+
+// Start begins timeout evaluation.
+func (g *IdleGovernor) Start() {
+	if g.ticker != nil {
+		panic("core: IdleGovernor started twice")
+	}
+	g.ticker = g.eng.Every(g.eng.Now()+g.cfg.CheckPeriod, g.cfg.CheckPeriod, g.tick)
+}
+
+// Stop halts the governor.
+func (g *IdleGovernor) Stop() {
+	if g.ticker != nil {
+		g.ticker.Stop()
+	}
+}
+
+// HandleTouch boosts to maximum immediately (wire to the input path).
+func (g *IdleGovernor) HandleTouch(ev input.Event) {
+	g.lastTouch = g.eng.Now()
+	g.touched = true
+	g.mustSet(g.panel.MaxRate())
+}
+
+func (g *IdleGovernor) tick() {
+	now := g.eng.Now()
+	if !g.touched || now-g.lastTouch > g.cfg.IdleTimeout {
+		g.mustSet(g.cfg.IdleRate)
+		return
+	}
+	g.mustSet(g.panel.MaxRate())
+}
+
+func (g *IdleGovernor) mustSet(hz int) {
+	if err := g.panel.SetRate(hz); err != nil {
+		panic(fmt.Sprintf("core: panel rejected its own level: %v", err))
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+
+	"ccdem/internal/display"
+	"ccdem/internal/input"
+	"ccdem/internal/sim"
+)
+
+func newIdleRig(t *testing.T, cfg IdleGovernorConfig) (*sim.Engine, *display.Panel, *IdleGovernor) {
+	t.Helper()
+	eng := sim.NewEngine()
+	panel, err := display.NewPanel(eng, display.Config{Levels: display.GalaxyS3Levels})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewIdleGovernor(eng, panel, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, panel, g
+}
+
+func TestIdleGovernorValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	panel, _ := display.NewPanel(eng, display.Config{Levels: display.GalaxyS3Levels})
+	if _, err := NewIdleGovernor(eng, panel, IdleGovernorConfig{IdleRate: 45}); err == nil {
+		t.Error("unsupported idle rate accepted")
+	}
+	if _, err := NewIdleGovernor(eng, panel, IdleGovernorConfig{IdleTimeout: -1}); err == nil {
+		t.Error("negative timeout accepted")
+	}
+}
+
+func TestIdleGovernorDropsWhenIdle(t *testing.T) {
+	eng, panel, g := newIdleRig(t, IdleGovernorConfig{})
+	panel.Start()
+	g.Start()
+	eng.RunUntil(3 * sim.Second)
+	if panel.Rate() != 20 {
+		t.Errorf("idle rate = %d, want panel minimum 20", panel.Rate())
+	}
+}
+
+func TestIdleGovernorBoostsOnTouchAndTimesOut(t *testing.T) {
+	eng, panel, g := newIdleRig(t, IdleGovernorConfig{IdleTimeout: sim.Second})
+	panel.Start()
+	g.Start()
+	eng.RunUntil(3 * sim.Second)
+	g.HandleTouch(input.Event{At: eng.Now(), Kind: input.TouchDown})
+	eng.RunUntil(eng.Now() + 100*sim.Millisecond)
+	if panel.Rate() != 60 {
+		t.Errorf("rate after touch = %d, want 60", panel.Rate())
+	}
+	// Held at 60 within the timeout...
+	eng.RunUntil(eng.Now() + 700*sim.Millisecond)
+	if panel.Rate() != 60 {
+		t.Errorf("rate within timeout = %d, want 60", panel.Rate())
+	}
+	// ...and dropped after it.
+	eng.RunUntil(eng.Now() + 2*sim.Second)
+	if panel.Rate() != 20 {
+		t.Errorf("rate after timeout = %d, want 20", panel.Rate())
+	}
+}
+
+func TestIdleGovernorCustomIdleRate(t *testing.T) {
+	eng, panel, g := newIdleRig(t, IdleGovernorConfig{IdleRate: 30})
+	panel.Start()
+	g.Start()
+	eng.RunUntil(3 * sim.Second)
+	if panel.Rate() != 30 {
+		t.Errorf("custom idle rate = %d, want 30", panel.Rate())
+	}
+}
+
+func TestIdleGovernorStop(t *testing.T) {
+	eng, panel, g := newIdleRig(t, IdleGovernorConfig{})
+	panel.Start()
+	g.Start()
+	eng.RunUntil(3 * sim.Second)
+	g.Stop()
+	g.HandleTouch(input.Event{At: eng.Now(), Kind: input.TouchDown}) // touch still boosts directly
+	eng.RunUntil(eng.Now() + 100*sim.Millisecond)
+	if panel.Rate() != 60 {
+		t.Fatalf("touch after Stop did not boost: %d", panel.Rate())
+	}
+	// But without the ticker it never times out back down.
+	eng.RunUntil(eng.Now() + 5*sim.Second)
+	if panel.Rate() != 60 {
+		t.Errorf("stopped governor still timed out: %d", panel.Rate())
+	}
+}
+
+func TestIdleGovernorStartTwicePanics(t *testing.T) {
+	_, _, g := newIdleRig(t, IdleGovernorConfig{})
+	g.Start()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Start did not panic")
+		}
+	}()
+	g.Start()
+}

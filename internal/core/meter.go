@@ -1,0 +1,145 @@
+// Package core implements the paper's contribution: measuring the content
+// rate of the display pipeline at negligible cost and driving the panel's
+// refresh rate from it.
+//
+// Three pieces correspond directly to the paper's §3:
+//
+//   - Meter: content-rate metering via double buffering and grid-based
+//     comparison of the framebuffer (§3.1, Figure 4),
+//   - SectionTable + Controller: section-based refresh control (§3.2,
+//     Equation 1, Figure 5),
+//   - Booster: touch boosting (§3.2, Figure 5).
+//
+// Governor wires them together into the runtime the evaluation measures.
+package core
+
+import (
+	"fmt"
+
+	"ccdem/internal/framebuffer"
+	"ccdem/internal/power"
+	"ccdem/internal/sim"
+	"ccdem/internal/trace"
+)
+
+// MeterConfig configures a content-rate meter.
+type MeterConfig struct {
+	// Grid is the comparison lattice. The paper's recommended operating
+	// points for the 720×1280 panel are the 9K (72×128) and 36K (144×256)
+	// grids.
+	Grid framebuffer.Grid
+	// Window is the sliding window over which rates are reported. The
+	// paper uses one second (rates are FPS).
+	Window sim.Time
+	// Cost models the comparison's CPU time at device scale; used both
+	// for overhead accounting and the Figure 6 feasibility analysis.
+	Cost power.CompareCostModel
+	// OnCompare, if non-nil, is invoked with the modeled duration of every
+	// comparison, letting the power model charge metering overhead.
+	OnCompare func(d sim.Time)
+	// EarlyExit (an extension beyond the paper) stops the comparison at
+	// the first differing sample, so content frames — the common case on
+	// busy screens — cost only a fraction of a full sweep. Redundant
+	// frames still require the full sweep to be declared redundant.
+	// Classification is unaffected; only the cost accounting changes.
+	EarlyExit bool
+}
+
+// Meter measures the content rate: the number of frames per second whose
+// pixels actually differ from the previous frame. It observes every
+// framebuffer update (latched frame), samples the comparison grid, and
+// classifies the frame as content or redundant.
+type Meter struct {
+	cfg     MeterConfig
+	db      *framebuffer.DoubleBuffer
+	frames  *trace.RateCounter
+	content *trace.RateCounter
+
+	totalFrames  uint64
+	totalContent uint64
+	compareTime  sim.Time // accumulated modeled CPU time
+}
+
+// NewMeter builds a meter. The grid must be non-trivial and the window
+// positive.
+func NewMeter(cfg MeterConfig) (*Meter, error) {
+	if cfg.Grid.Samples() == 0 {
+		return nil, fmt.Errorf("core: meter grid has no samples")
+	}
+	if cfg.Window <= 0 {
+		return nil, fmt.Errorf("core: non-positive meter window %v", cfg.Window)
+	}
+	return &Meter{
+		cfg:     cfg,
+		db:      framebuffer.NewDoubleBuffer(cfg.Grid.Samples()),
+		frames:  trace.NewRateCounter(cfg.Window),
+		content: trace.NewRateCounter(cfg.Window),
+	}, nil
+}
+
+// ObserveFrame processes one framebuffer update at time t and reports
+// whether the frame carried new content. The very first frame observed is
+// always content (there is nothing to compare against).
+func (m *Meter) ObserveFrame(t sim.Time, fb *framebuffer.Buffer) bool {
+	m.cfg.Grid.Sample(fb, m.db.Front())
+
+	isContent := true
+	comparedPx := m.cfg.Grid.Samples()
+	if m.db.Primed() {
+		idx := framebuffer.SamplesFirstDiff(m.db.Front(), m.db.Back())
+		isContent = idx >= 0
+		if m.cfg.EarlyExit && isContent {
+			comparedPx = idx + 1
+		}
+	}
+	dur := m.cfg.Cost.Duration(comparedPx)
+	m.compareTime += dur
+	if m.cfg.OnCompare != nil {
+		m.cfg.OnCompare(dur)
+	}
+	// The double buffer swap replaces the copy a single-buffer design
+	// would need (paper §3.1): commit the current samples as the new
+	// "previous frame" only when they actually changed; for a redundant
+	// frame front == back so the commit is skipped entirely.
+	if isContent {
+		m.db.Commit()
+	}
+
+	m.totalFrames++
+	m.frames.Note(t)
+	if isContent {
+		m.totalContent++
+		m.content.Note(t)
+	}
+	return isContent
+}
+
+// ContentRate returns the measured content rate (content frames per
+// second) over the window ending at now.
+func (m *Meter) ContentRate(now sim.Time) float64 { return m.content.Rate(now) }
+
+// FrameRate returns the measured frame rate (framebuffer updates per
+// second) over the window ending at now.
+func (m *Meter) FrameRate(now sim.Time) float64 { return m.frames.Rate(now) }
+
+// RedundantRate returns the redundant frame rate: frame rate minus content
+// rate, the quantity Figure 3 reports per application.
+func (m *Meter) RedundantRate(now sim.Time) float64 {
+	r := m.FrameRate(now) - m.ContentRate(now)
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// Totals returns lifetime frame and content counts.
+func (m *Meter) Totals() (frames, content uint64) { return m.totalFrames, m.totalContent }
+
+// TotalRedundant returns the lifetime count of redundant frames.
+func (m *Meter) TotalRedundant() uint64 { return m.totalFrames - m.totalContent }
+
+// CompareTime returns the accumulated modeled CPU time spent comparing.
+func (m *Meter) CompareTime() sim.Time { return m.compareTime }
+
+// GridSamples returns the number of pixels compared per frame.
+func (m *Meter) GridSamples() int { return m.cfg.Grid.Samples() }

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"testing"
+
+	"ccdem/internal/framebuffer"
+	"ccdem/internal/power"
+	"ccdem/internal/sim"
+)
+
+func testMeter(t *testing.T, w, h, samples int) *Meter {
+	t.Helper()
+	m, err := NewMeter(MeterConfig{
+		Grid:   framebuffer.GridForSamples(w, h, samples),
+		Window: sim.Second,
+		Cost:   power.DefaultCompareCost(),
+	})
+	if err != nil {
+		t.Fatalf("NewMeter: %v", err)
+	}
+	return m
+}
+
+func TestMeterValidation(t *testing.T) {
+	if _, err := NewMeter(MeterConfig{Window: sim.Second}); err == nil {
+		t.Error("zero-sample grid accepted")
+	}
+	if _, err := NewMeter(MeterConfig{Grid: framebuffer.GridForSamples(10, 10, 4)}); err == nil {
+		t.Error("zero window accepted")
+	}
+}
+
+func TestMeterFirstFrameIsContent(t *testing.T) {
+	m := testMeter(t, 16, 16, 16)
+	fb := framebuffer.New(16, 16)
+	if !m.ObserveFrame(0, fb) {
+		t.Error("first frame not counted as content")
+	}
+}
+
+func TestMeterClassification(t *testing.T) {
+	m := testMeter(t, 16, 16, 256) // full-resolution grid
+	fb := framebuffer.New(16, 16)
+	tm := sim.Time(0)
+	next := func() sim.Time { tm += sim.Hz(60); return tm }
+
+	m.ObserveFrame(next(), fb) // first: content
+	// Redundant frame: identical pixels.
+	if m.ObserveFrame(next(), fb) {
+		t.Error("identical frame classified as content")
+	}
+	// Content frame: change one pixel.
+	fb.Set(3, 3, framebuffer.White)
+	if !m.ObserveFrame(next(), fb) {
+		t.Error("changed frame classified as redundant")
+	}
+	// Redundant again.
+	if m.ObserveFrame(next(), fb) {
+		t.Error("unchanged frame after change classified as content")
+	}
+	frames, content := m.Totals()
+	if frames != 4 || content != 2 {
+		t.Errorf("totals = %d/%d, want 4/2", frames, content)
+	}
+	if m.TotalRedundant() != 2 {
+		t.Errorf("redundant = %d, want 2", m.TotalRedundant())
+	}
+}
+
+// TestMeterRedundantThenRevert exercises the double-buffer subtlety: after
+// a redundant frame, the stored previous frame must still be the last
+// *content* frame, so reverting to it is correctly seen as no change, and
+// any new content is still detected.
+func TestMeterRedundantThenRevert(t *testing.T) {
+	m := testMeter(t, 8, 8, 64)
+	fb := framebuffer.New(8, 8)
+	m.ObserveFrame(1, fb)
+	fb.Set(0, 0, framebuffer.White)
+	if !m.ObserveFrame(2, fb) {
+		t.Fatal("change not detected")
+	}
+	if m.ObserveFrame(3, fb) {
+		t.Fatal("redundant frame detected as content")
+	}
+	fb.Set(0, 0, framebuffer.RGB(9, 9, 9))
+	if !m.ObserveFrame(4, fb) {
+		t.Fatal("change after redundant frame not detected")
+	}
+}
+
+func TestMeterRates(t *testing.T) {
+	m := testMeter(t, 16, 16, 256)
+	fb := framebuffer.New(16, 16)
+	// 60 fps frames for 1 s; every 3rd frame changes content (20 content fps).
+	for i := 0; i < 60; i++ {
+		if i%3 == 0 {
+			fb.Set(i%16, (i/16)%16, framebuffer.Color(i+1))
+		}
+		m.ObserveFrame(sim.Time(i+1)*sim.Hz(60), fb)
+	}
+	now := sim.Time(60) * sim.Hz(60)
+	if fr := m.FrameRate(now); fr < 59 || fr > 61 {
+		t.Errorf("frame rate = %v, want ≈60", fr)
+	}
+	if cr := m.ContentRate(now); cr < 19 || cr > 21 {
+		t.Errorf("content rate = %v, want ≈20", cr)
+	}
+	if rr := m.RedundantRate(now); rr < 38 || rr > 42 {
+		t.Errorf("redundant rate = %v, want ≈40", rr)
+	}
+}
+
+func TestMeterGridMiss(t *testing.T) {
+	// A sparse grid misses a change that falls between sample points —
+	// the error source quantified in Figure 6.
+	m := testMeter(t, 64, 64, 16) // 4x4 lattice: centers at 8,24,40,56
+	fb := framebuffer.New(64, 64)
+	m.ObserveFrame(1, fb)
+	fb.Set(0, 0, framebuffer.White) // not a lattice point
+	if m.ObserveFrame(2, fb) {
+		t.Error("off-lattice change detected by sparse grid")
+	}
+	fb.Set(8, 8, framebuffer.White) // lattice point
+	if !m.ObserveFrame(3, fb) {
+		t.Error("on-lattice change missed")
+	}
+}
+
+func TestMeterCompareAccounting(t *testing.T) {
+	var charged []sim.Time
+	grid := framebuffer.GridForSamples(720, 1280, 9216)
+	m, err := NewMeter(MeterConfig{
+		Grid:      grid,
+		Window:    sim.Second,
+		Cost:      power.DefaultCompareCost(),
+		OnCompare: func(d sim.Time) { charged = append(charged, d) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb := framebuffer.New(720, 1280)
+	m.ObserveFrame(1, fb)
+	m.ObserveFrame(2, fb)
+	if len(charged) != 2 {
+		t.Fatalf("OnCompare called %d times, want 2", len(charged))
+	}
+	wantDur := power.DefaultCompareCost().Duration(grid.Samples())
+	if charged[0] != wantDur {
+		t.Errorf("charged duration = %v, want %v", charged[0], wantDur)
+	}
+	if m.CompareTime() != 2*wantDur {
+		t.Errorf("CompareTime = %v, want %v", m.CompareTime(), 2*wantDur)
+	}
+	if m.GridSamples() != grid.Samples() {
+		t.Errorf("GridSamples = %d", m.GridSamples())
+	}
+}
+
+// Property: with a full-resolution grid, the meter's classification always
+// matches exact buffer comparison (the meter never over- or under-counts
+// when it sees every pixel).
+func TestMeterFullGridExactProperty(t *testing.T) {
+	m := testMeter(t, 32, 32, 32*32)
+	fb := framebuffer.New(32, 32)
+	prev := framebuffer.New(32, 32)
+	rngState := uint32(12345)
+	rng := func(n int) int {
+		rngState = rngState*1664525 + 1013904223
+		return int(rngState % uint32(n))
+	}
+	m.ObserveFrame(1, fb)
+	prev.CopyFrom(fb)
+	for i := 2; i < 300; i++ {
+		if rng(2) == 0 { // mutate ~half the frames
+			fb.Set(rng(32), rng(32), framebuffer.Color(rng(1<<24)))
+		}
+		wantContent := !fb.Equal(prev)
+		if got := m.ObserveFrame(sim.Time(i)*sim.Millisecond, fb); got != wantContent {
+			t.Fatalf("frame %d: meter=%v exact=%v", i, got, wantContent)
+		}
+		prev.CopyFrom(fb)
+	}
+}
+
+func BenchmarkMeterObserve9K(b *testing.B) {
+	m, _ := NewMeter(MeterConfig{
+		Grid:   framebuffer.GridForSamples(720, 1280, 9216),
+		Window: sim.Second,
+		Cost:   power.DefaultCompareCost(),
+	})
+	fb := framebuffer.New(720, 1280)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fb.Set(i%720, (i/720)%1280, framebuffer.Color(i))
+		m.ObserveFrame(sim.Time(i+1)*sim.Hz(60), fb)
+	}
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"testing"
+
+	"ccdem/internal/sim"
+)
+
+func TestPolicyString(t *testing.T) {
+	if PolicySection.String() != "section" || PolicyNaive.String() != "naive" {
+		t.Error("policy strings wrong")
+	}
+	if Policy(9).String() == "" {
+		t.Error("unknown policy empty")
+	}
+}
+
+// TestNaivePolicyRatchetsDown reproduces the paper's §3.2 failure analysis:
+// because V-Sync caps the measurable content rate at the current refresh
+// rate, the headroom-less controller is a one-way ratchet. It traps itself
+// even from a cold start: the meter's first partial-window readings are
+// low, the naive rule follows them down to a level L, and from then on it
+// can never measure content above L — so even 60 fps of offered content
+// leaves it stuck below 60 Hz forever. The section rule's headroom breaks
+// the trap and climbs back to 60 Hz.
+func TestNaivePolicyRatchetsDown(t *testing.T) {
+	run := func(policy Policy) (settled int, quiet func(bool), resume func(sim.Time) int) {
+		h := newGovHarness(t, GovernorConfig{Policy: policy, ControlPeriod: 250 * sim.Millisecond})
+		h.panel.OnVSync(h.drive(1, 1)) // content on every vsync: 60 fps offered
+		h.panel.Start()
+		h.gov.Start()
+		h.eng.RunUntil(10 * sim.Second)
+		return h.panel.Rate(),
+			func(q bool) { h.quiet = q },
+			func(d sim.Time) int { h.eng.RunUntil(h.eng.Now() + d); return h.panel.Rate() }
+	}
+
+	naive, naiveQuiet, naiveRun := run(PolicyNaive)
+	if naive >= 60 {
+		t.Errorf("naive policy reached %d Hz under 60 fps content; the ratchet should trap it below", naive)
+	}
+	section, sectQuiet, sectRun := run(PolicySection)
+	if section != 60 {
+		t.Errorf("section policy settled at %d Hz under 60 fps content, want 60", section)
+	}
+
+	// After a quiet spell, both drop to the floor; only section recovers.
+	naiveQuiet(true)
+	naiveRun(3 * sim.Second)
+	naiveQuiet(false)
+	if got := naiveRun(15 * sim.Second); got != 20 {
+		t.Errorf("naive after quiet spell and 60 fps resume: %d Hz, want stuck at 20", got)
+	}
+	sectQuiet(true)
+	sectRun(3 * sim.Second)
+	sectQuiet(false)
+	if got := sectRun(15 * sim.Second); got != 60 {
+		t.Errorf("section after quiet spell and 60 fps resume: %d Hz, want 60", got)
+	}
+}

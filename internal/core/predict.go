@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"ccdem/internal/power"
+	"ccdem/internal/sim"
+)
+
+// FrameRecord is one latched frame of a recorded (baseline, 60 Hz) run:
+// when it latched, whether it carried new content, and the pixels its
+// render pass drew. A log of these is everything the offline predictor
+// needs — in deployment terms, it is what a lightweight on-device tracer
+// would collect so that expected savings can be estimated *before*
+// shipping the kernel modification the paper's system requires.
+type FrameRecord struct {
+	T          sim.Time
+	Content    bool
+	RenderedPx int
+}
+
+// PredictorConfig configures the what-if analysis.
+type PredictorConfig struct {
+	// Levels are the hypothetical panel's refresh rates.
+	Levels []int
+	// ControlPeriod and Window mirror the governor's (defaults 500 ms / 1 s).
+	ControlPeriod sim.Time
+	Window        sim.Time
+	// Params, Backlight and MeterSamples parameterize the energy model
+	// (defaults: power.DefaultParams(), 0.5, 9216).
+	Params       *power.Params
+	Backlight    float64
+	MeterSamples int
+}
+
+func (c *PredictorConfig) applyDefaults() {
+	if c.ControlPeriod == 0 {
+		c.ControlPeriod = 500 * sim.Millisecond
+	}
+	if c.Window == 0 {
+		c.Window = sim.Second
+	}
+	if c.Params == nil {
+		p := power.DefaultParams()
+		c.Params = &p
+	}
+	if c.Backlight == 0 {
+		c.Backlight = 0.5
+	}
+	if c.MeterSamples == 0 {
+		c.MeterSamples = 9216
+	}
+}
+
+// Prediction is the estimated outcome of running the recorded workload
+// under section-based refresh control.
+type Prediction struct {
+	MeanPowerMW   float64
+	EnergyMJ      float64
+	MeanRefreshHz float64
+	FrameRate     float64 // latched fps after V-Sync thinning
+	ContentRate   float64 // content fps after coalescing
+	DroppedFPS    float64 // content updates lost to coalescing
+}
+
+// PredictSection replays a baseline frame log under a hypothetical
+// section-controlled panel, analytically: frames are thinned to the
+// hypothetical refresh rate (V-Sync pacing, coalescing content), the
+// section table is applied every control period on the coalesced content
+// rate, and the energy model integrates refresh-dependent and per-frame
+// terms. The estimate deliberately reuses the same SectionTable and
+// power.Params as the live simulator, so discrepancies measure only the
+// replay approximation (see TestPredictorMatchesSimulation).
+func PredictSection(records []FrameRecord, duration sim.Time, cfg PredictorConfig) (Prediction, error) {
+	cfg.applyDefaults()
+	if duration <= 0 {
+		return Prediction{}, fmt.Errorf("core: non-positive prediction duration %v", duration)
+	}
+	if !sort.SliceIsSorted(records, func(i, j int) bool { return records[i].T < records[j].T }) {
+		return Prediction{}, fmt.Errorf("core: frame records out of order")
+	}
+	table, err := NewSectionTable(cfg.Levels)
+	if err != nil {
+		return Prediction{}, err
+	}
+	cost := power.DefaultCompareCost()
+	compareDur := cost.Duration(cfg.MeterSamples)
+
+	maxRate := table.Levels()[len(table.Levels())-1]
+	rate := maxRate
+
+	var (
+		energyMJ     float64
+		refreshSum   float64 // ∫rate dt numerator
+		keptFrames   int
+		keptContent  int
+		totalContent int
+		pendingFrame bool // a record awaits latching
+		pendingBurst bool // content seen since the last kept frame
+		pendingPx    int
+		contentTimes []sim.Time // kept content latches, for the sliding window
+		recIdx       int
+	)
+
+	windowRate := func(now sim.Time) float64 {
+		// Count kept content latches inside (now-Window, now].
+		cut := 0
+		for cut < len(contentTimes) && contentTimes[cut] <= now-cfg.Window {
+			cut++
+		}
+		contentTimes = contentTimes[cut:]
+		return float64(len(contentTimes)) / cfg.Window.Seconds()
+	}
+
+	// Replay on an explicit hypothetical V-Sync grid: at each sync of the
+	// current rate, the latest pending record latches and any coalesced
+	// content counts once — exactly the simulator's V-Sync semantics, so
+	// a 30 fps log under a 24 Hz hypothesis latches 24 fps, not some
+	// beat-pattern artifact of gap arithmetic.
+	vsync := sim.Hz(float64(rate))
+	for period := sim.Time(0); period < duration; period += cfg.ControlPeriod {
+		end := period + cfg.ControlPeriod
+		if end > duration {
+			end = duration
+		}
+		for ; vsync <= end; vsync += sim.Hz(float64(rate)) {
+			// Absorb all records up to this sync.
+			for recIdx < len(records) && records[recIdx].T <= vsync {
+				r := records[recIdx]
+				recIdx++
+				pendingFrame = true
+				if r.Content {
+					totalContent++
+					pendingBurst = true
+				}
+				if r.RenderedPx > pendingPx {
+					pendingPx = r.RenderedPx
+				}
+			}
+			if !pendingFrame {
+				continue
+			}
+			keptFrames++
+			energyMJ += cfg.Params.RenderFrameBaseMJ + cfg.Params.RenderPerPixelNJ*float64(pendingPx)*1e-6
+			energyMJ += cfg.Params.CPUActiveMW * compareDur.Seconds()
+			if pendingBurst {
+				keptContent++
+				contentTimes = append(contentTimes, vsync)
+			}
+			pendingFrame = false
+			pendingBurst = false
+			pendingPx = 0
+		}
+		// Continuous terms over the period at the current rate.
+		dt := (end - period).Seconds()
+		energyMJ += (cfg.Params.SoCBaseMW + cfg.Params.Panel.PowerMW(rate, cfg.Backlight, 128)) * dt
+		refreshSum += float64(rate) * dt
+		// Governor decision at the period boundary; the sync grid
+		// re-times from here, as the panel does at its next boundary.
+		rate = table.RateFor(windowRate(end))
+	}
+
+	secs := duration.Seconds()
+	p := Prediction{
+		EnergyMJ:      energyMJ,
+		MeanPowerMW:   energyMJ / secs,
+		MeanRefreshHz: refreshSum / secs,
+		FrameRate:     float64(keptFrames) / secs,
+		ContentRate:   float64(keptContent) / secs,
+	}
+	if drop := float64(totalContent-keptContent) / secs; drop > 0 {
+		p.DroppedFPS = drop
+	}
+	return p, nil
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SectionTable maps a measured content rate to a refresh rate using the
+// paper's section-based rule (§3.2, Equation 1).
+//
+// A naive controller that picks the smallest refresh rate ≥ the content
+// rate fails: once the panel runs at, say, 20 Hz, V-Sync caps the
+// measurable content rate at 20 fps, so the controller could never observe
+// demand above its current setting. The section rule therefore keeps the
+// refresh rate strictly above the content rate with headroom: with levels
+// r_1 < … < r_n, the thresholds are
+//
+//	t_0 = r_1 / 2,   t_i = (r_i + r_{i+1}) / 2   (the medians),
+//
+// and a content rate c selects r_1 when c ≤ t_0 and r_{i+1} when
+// t_{i-1} < c ≤ t_i. For the Galaxy S3's levels {20,24,30,40,60} this is
+// exactly the paper's predefined section table:
+//
+//	0–10 fps → 20 Hz, 10–22 → 24 Hz, 22–27 → 30 Hz, 27–35 → 40 Hz, >35 → 60 Hz.
+type SectionTable struct {
+	levels     []int // ascending
+	thresholds []float64
+}
+
+// NewSectionTable derives the thresholds for the given refresh levels (any
+// order, at least one, all positive, no duplicates). As the paper notes,
+// the thresholds must be rebuilt whenever the available levels change —
+// construct a new table.
+func NewSectionTable(levels []int) (*SectionTable, error) {
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("core: no refresh levels for section table")
+	}
+	ls := append([]int(nil), levels...)
+	sort.Ints(ls)
+	for i, l := range ls {
+		if l <= 0 {
+			return nil, fmt.Errorf("core: non-positive refresh level %d", l)
+		}
+		if i > 0 && ls[i-1] == l {
+			return nil, fmt.Errorf("core: duplicate refresh level %d", l)
+		}
+	}
+	thr := make([]float64, len(ls)-1)
+	if len(thr) > 0 {
+		thr[0] = float64(ls[0]) / 2
+	}
+	for i := 1; i < len(thr); i++ {
+		thr[i] = float64(ls[i-1]+ls[i]) / 2
+	}
+	return &SectionTable{levels: ls, thresholds: thr}, nil
+}
+
+// RateFor returns the refresh rate for a measured content rate. Negative
+// content rates are treated as zero.
+func (st *SectionTable) RateFor(content float64) int {
+	if content < 0 {
+		content = 0
+	}
+	for i, t := range st.thresholds {
+		if content <= t {
+			return st.levels[i]
+		}
+	}
+	return st.levels[len(st.levels)-1]
+}
+
+// Levels returns the ascending refresh levels. Callers must not modify the
+// returned slice.
+func (st *SectionTable) Levels() []int { return st.levels }
+
+// Thresholds returns the len(Levels())-1 section boundaries:
+// Thresholds()[i] is the largest content rate mapped to Levels()[i]; any
+// rate above the last threshold maps to the maximum level. Callers must
+// not modify the returned slice.
+func (st *SectionTable) Thresholds() []float64 { return st.thresholds }
+
+// String renders the table in the paper's Figure 5 style.
+func (st *SectionTable) String() string {
+	s := ""
+	prev := 0.0
+	for i, l := range st.levels {
+		if i < len(st.thresholds) {
+			s += fmt.Sprintf("%g–%g fps → %d Hz; ", prev, st.thresholds[i], l)
+			prev = st.thresholds[i]
+		}
+	}
+	s += fmt.Sprintf(">%g fps → %d Hz", prev, st.levels[len(st.levels)-1])
+	return s
+}

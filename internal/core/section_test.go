@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustTable(t *testing.T, levels []int) *SectionTable {
+	t.Helper()
+	st, err := NewSectionTable(levels)
+	if err != nil {
+		t.Fatalf("NewSectionTable(%v): %v", levels, err)
+	}
+	return st
+}
+
+func TestSectionTableValidation(t *testing.T) {
+	if _, err := NewSectionTable(nil); err == nil {
+		t.Error("empty levels accepted")
+	}
+	if _, err := NewSectionTable([]int{60, 0}); err == nil {
+		t.Error("zero level accepted")
+	}
+	if _, err := NewSectionTable([]int{30, 30}); err == nil {
+		t.Error("duplicate level accepted")
+	}
+}
+
+// TestSectionTablePaper checks the exact table of the paper's Figure 5 for
+// the Galaxy S3's five refresh levels.
+func TestSectionTablePaper(t *testing.T) {
+	st := mustTable(t, []int{60, 20, 40, 24, 30}) // any order accepted
+	wantThr := []float64{10, 22, 27, 35}
+	got := st.Thresholds()
+	if len(got) != len(wantThr) {
+		t.Fatalf("thresholds = %v, want %v", got, wantThr)
+	}
+	for i := range wantThr {
+		if math.Abs(got[i]-wantThr[i]) > 1e-12 {
+			t.Errorf("threshold %d = %v, want %v", i, got[i], wantThr[i])
+		}
+	}
+	cases := []struct {
+		content float64
+		want    int
+	}{
+		{0, 20}, {8, 20}, {10, 20}, // Figure 5's "8 fps → 20 Hz" example
+		{10.1, 24}, {22, 24},
+		{22.1, 30}, {27, 30},
+		{27.1, 40}, {33, 40}, {35, 40}, // Figure 5's "33 fps → 40 Hz" example
+		{35.1, 60}, {60, 60}, {100, 60},
+		{-5, 20},
+	}
+	for _, c := range cases {
+		if got := st.RateFor(c.content); got != c.want {
+			t.Errorf("RateFor(%v) = %d, want %d", c.content, got, c.want)
+		}
+	}
+}
+
+func TestSectionTableSingleLevel(t *testing.T) {
+	st := mustTable(t, []int{60})
+	if len(st.Thresholds()) != 0 {
+		t.Errorf("single-level thresholds = %v", st.Thresholds())
+	}
+	if st.RateFor(0) != 60 || st.RateFor(100) != 60 {
+		t.Error("single-level table does not always return its level")
+	}
+}
+
+func TestSectionTableString(t *testing.T) {
+	s := mustTable(t, []int{20, 24, 30, 40, 60}).String()
+	for _, want := range []string{"0–10 fps → 20 Hz", "10–22 fps → 24 Hz", ">35 fps → 60 Hz"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+// Property: the selected rate is monotone in content rate, always one of
+// the levels, and — the paper's headroom invariant — strictly above the
+// content rate whenever any level is (so the meter can observe rate
+// increases through the V-Sync cap).
+func TestSectionTableInvariantsProperty(t *testing.T) {
+	st := mustTable(t, []int{20, 24, 30, 40, 60})
+	isLevel := func(hz int) bool {
+		for _, l := range st.Levels() {
+			if l == hz {
+				return true
+			}
+		}
+		return false
+	}
+	f := func(raw uint16) bool {
+		c := float64(raw%700) / 10 // 0–70 fps
+		hz := st.RateFor(c)
+		if !isLevel(hz) {
+			return false
+		}
+		// Headroom: when the content rate is below the top level, the
+		// chosen rate strictly exceeds it.
+		if c < float64(st.Levels()[len(st.Levels())-1]) && float64(hz) <= c {
+			return false
+		}
+		// Monotonicity against a nearby smaller rate.
+		if c >= 0.5 && st.RateFor(c-0.5) > hz {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: for arbitrary level sets, thresholds are strictly increasing
+// and every level is reachable.
+func TestSectionTableGeneralLevelsProperty(t *testing.T) {
+	f := func(seed []uint8) bool {
+		seen := map[int]bool{}
+		var levels []int
+		for _, s := range seed {
+			l := int(s%120) + 1
+			if !seen[l] {
+				seen[l] = true
+				levels = append(levels, l)
+			}
+		}
+		if len(levels) == 0 {
+			return true
+		}
+		st, err := NewSectionTable(levels)
+		if err != nil {
+			return false
+		}
+		thr := st.Thresholds()
+		for i := 1; i < len(thr); i++ {
+			if thr[i] <= thr[i-1] {
+				return false
+			}
+		}
+		// Reachability: probing just above each threshold hits each level.
+		reached := map[int]bool{st.RateFor(0): true}
+		for _, tv := range thr {
+			reached[st.RateFor(tv+1e-9)] = true
+		}
+		return len(reached) == len(st.Levels())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,205 @@
+// Package display models the device's display hardware: a panel that
+// refreshes the screen from the framebuffer at one of a discrete set of
+// refresh rates, generating V-Sync events the surface manager latches
+// frames on.
+//
+// The reproduced device is the Samsung Galaxy S3 LTE (SHV-E210S) of the
+// paper's evaluation, whose panel — with the authors' kernel modification —
+// supports runtime switching among five refresh rates: 60, 40, 30, 24 and
+// 20 Hz. A rate change takes effect at the next refresh boundary, matching
+// how a display controller reprograms its timing generator.
+package display
+
+import (
+	"fmt"
+	"sort"
+
+	"ccdem/internal/sim"
+)
+
+// GalaxyS3Levels is the refresh-rate menu of the paper's target device, in
+// ascending order (Hz).
+var GalaxyS3Levels = []int{20, 24, 30, 40, 60}
+
+// Config describes a panel.
+type Config struct {
+	// Levels is the set of supported refresh rates in Hz. It need not be
+	// sorted; it must be non-empty with all entries positive.
+	Levels []int
+	// InitialRate is the rate the panel starts at. Zero means the maximum
+	// level (Android's fixed 60 Hz default).
+	InitialRate int
+	// FastUpswitch lets the panel apply *upward* rate changes immediately
+	// (aborting the current scan interval) instead of waiting for the
+	// next V-Sync. The paper's kernel-modified S3 could not do this; LTPO
+	// panels can, and without it deep idling (1–10 Hz) would delay a
+	// touch boost by up to a full second. Downward changes always wait
+	// for the boundary.
+	FastUpswitch bool
+}
+
+// VSyncFunc receives each vertical-sync event: the event time and the rate
+// (Hz) the panel is refreshing at for the interval that begins now.
+type VSyncFunc func(t sim.Time, rateHz int)
+
+// RateChangeFunc observes refresh-rate transitions as they take effect.
+type RateChangeFunc func(t sim.Time, oldHz, newHz int)
+
+// Panel is the display hardware model. All methods must be called from the
+// simulation goroutine (the engine is single-threaded).
+type Panel struct {
+	eng    *sim.Engine
+	levels []int // ascending
+	fastUp bool
+
+	cur     int // current rate (Hz)
+	pending int // requested rate, applied at next vsync (0 = none)
+
+	running    bool
+	nextHandle sim.Handle
+	onVSync    []VSyncFunc
+	onChange   []RateChangeFunc
+
+	refreshes     uint64
+	switches      uint64
+	startTime     sim.Time // time of Start
+	rateTimeNum   float64  // ∫ rate dt numerator for mean-rate accounting
+	rateTimeSince sim.Time // start of current-rate interval
+}
+
+// NewPanel validates cfg and builds a stopped panel.
+func NewPanel(eng *sim.Engine, cfg Config) (*Panel, error) {
+	if len(cfg.Levels) == 0 {
+		return nil, fmt.Errorf("display: no refresh levels configured")
+	}
+	levels := append([]int(nil), cfg.Levels...)
+	sort.Ints(levels)
+	for i, l := range levels {
+		if l <= 0 {
+			return nil, fmt.Errorf("display: non-positive refresh level %d", l)
+		}
+		if i > 0 && levels[i-1] == l {
+			return nil, fmt.Errorf("display: duplicate refresh level %d", l)
+		}
+	}
+	initial := cfg.InitialRate
+	if initial == 0 {
+		initial = levels[len(levels)-1]
+	}
+	p := &Panel{eng: eng, levels: levels, cur: initial, fastUp: cfg.FastUpswitch}
+	if !p.supported(initial) {
+		return nil, fmt.Errorf("display: initial rate %d Hz not in levels %v", initial, levels)
+	}
+	return p, nil
+}
+
+func (p *Panel) supported(hz int) bool {
+	for _, l := range p.levels {
+		if l == hz {
+			return true
+		}
+	}
+	return false
+}
+
+// Levels returns the supported refresh rates in ascending order. The slice
+// is owned by the panel; callers must not modify it.
+func (p *Panel) Levels() []int { return p.levels }
+
+// MaxRate returns the highest supported rate (Hz).
+func (p *Panel) MaxRate() int { return p.levels[len(p.levels)-1] }
+
+// MinRate returns the lowest supported rate (Hz).
+func (p *Panel) MinRate() int { return p.levels[0] }
+
+// Rate returns the rate (Hz) the panel is currently refreshing at.
+func (p *Panel) Rate() int { return p.cur }
+
+// OnVSync registers fn to be called on every vertical sync. Handlers run
+// in registration order; the surface manager registers first so the power
+// model and meters observe a freshly latched framebuffer.
+func (p *Panel) OnVSync(fn VSyncFunc) { p.onVSync = append(p.onVSync, fn) }
+
+// OnRateChange registers fn to observe refresh-rate transitions.
+func (p *Panel) OnRateChange(fn RateChangeFunc) { p.onChange = append(p.onChange, fn) }
+
+// SetRate requests a refresh-rate change, which takes effect at the next
+// V-Sync boundary (a timing generator cannot retime mid-scan). Requesting
+// the current rate clears any pending change. Unsupported rates are
+// rejected.
+func (p *Panel) SetRate(hz int) error {
+	if !p.supported(hz) {
+		return fmt.Errorf("display: unsupported refresh rate %d Hz (levels %v)", hz, p.levels)
+	}
+	if hz == p.cur {
+		p.pending = 0
+		return nil
+	}
+	if p.fastUp && p.running && hz > p.cur {
+		// Abort the current scan interval and retime immediately.
+		p.pending = 0
+		p.applyRate(hz)
+		p.nextHandle.Cancel()
+		p.nextHandle = p.eng.After(sim.Hz(float64(p.cur)), p.vsync)
+		return nil
+	}
+	p.pending = hz
+	return nil
+}
+
+// applyRate performs the bookkeeping of a rate transition at the current
+// instant.
+func (p *Panel) applyRate(hz int) {
+	now := p.eng.Now()
+	old := p.cur
+	p.rateTimeNum += float64(p.cur) * (now - p.rateTimeSince).Seconds()
+	p.rateTimeSince = now
+	p.cur = hz
+	p.switches++
+	for _, fn := range p.onChange {
+		fn(now, old, p.cur)
+	}
+}
+
+// Start begins generating V-Sync events, with the first sync one interval
+// from now. It may be called once.
+func (p *Panel) Start() {
+	if p.running {
+		panic("display: Start called twice")
+	}
+	p.running = true
+	p.startTime = p.eng.Now()
+	p.rateTimeSince = p.eng.Now()
+	p.nextHandle = p.eng.After(sim.Hz(float64(p.cur)), p.vsync)
+}
+
+func (p *Panel) vsync() {
+	now := p.eng.Now()
+	if p.pending != 0 && p.pending != p.cur {
+		hz := p.pending
+		p.pending = 0
+		p.applyRate(hz)
+	}
+	p.refreshes++
+	for _, fn := range p.onVSync {
+		fn(now, p.cur)
+	}
+	p.nextHandle = p.eng.After(sim.Hz(float64(p.cur)), p.vsync)
+}
+
+// Refreshes returns the total number of V-Sync events generated.
+func (p *Panel) Refreshes() uint64 { return p.refreshes }
+
+// Switches returns the number of refresh-rate transitions that took effect.
+func (p *Panel) Switches() uint64 { return p.switches }
+
+// MeanRate returns the time-weighted average refresh rate (Hz) since Start.
+func (p *Panel) MeanRate() float64 {
+	now := p.eng.Now()
+	elapsed := (now - p.startTime).Seconds()
+	if !p.running || elapsed <= 0 {
+		return float64(p.cur)
+	}
+	num := p.rateTimeNum + float64(p.cur)*(now-p.rateTimeSince).Seconds()
+	return num / elapsed
+}

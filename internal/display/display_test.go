@@ -1,0 +1,202 @@
+package display
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ccdem/internal/sim"
+)
+
+func newTestPanel(t *testing.T, cfg Config) (*sim.Engine, *Panel) {
+	t.Helper()
+	eng := sim.NewEngine()
+	p, err := NewPanel(eng, cfg)
+	if err != nil {
+		t.Fatalf("NewPanel: %v", err)
+	}
+	return eng, p
+}
+
+func TestNewPanelValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	if _, err := NewPanel(eng, Config{}); err == nil {
+		t.Error("empty levels accepted")
+	}
+	if _, err := NewPanel(eng, Config{Levels: []int{60, -1}}); err == nil {
+		t.Error("negative level accepted")
+	}
+	if _, err := NewPanel(eng, Config{Levels: []int{60, 60}}); err == nil {
+		t.Error("duplicate level accepted")
+	}
+	if _, err := NewPanel(eng, Config{Levels: []int{20, 60}, InitialRate: 30}); err == nil {
+		t.Error("unsupported initial rate accepted")
+	}
+}
+
+func TestPanelDefaultsToMaxRate(t *testing.T) {
+	_, p := newTestPanel(t, Config{Levels: GalaxyS3Levels})
+	if p.Rate() != 60 {
+		t.Errorf("initial rate = %d, want 60", p.Rate())
+	}
+	if p.MinRate() != 20 || p.MaxRate() != 60 {
+		t.Errorf("min/max = %d/%d", p.MinRate(), p.MaxRate())
+	}
+}
+
+func TestVSyncCadence(t *testing.T) {
+	eng, p := newTestPanel(t, Config{Levels: GalaxyS3Levels})
+	var times []sim.Time
+	p.OnVSync(func(ts sim.Time, hz int) {
+		times = append(times, ts)
+		if hz != 60 {
+			t.Errorf("vsync rate = %d, want 60", hz)
+		}
+	})
+	p.Start()
+	eng.RunUntil(sim.Second)
+	// 60 Hz for 1 s with the first sync one interval in: 60 syncs.
+	if len(times) != 60 {
+		t.Fatalf("got %d vsyncs in 1s at 60Hz, want 60", len(times))
+	}
+	for i := 1; i < len(times); i++ {
+		dt := times[i] - times[i-1]
+		if dt != sim.Hz(60) {
+			t.Fatalf("vsync interval %d = %v, want %v", i, dt, sim.Hz(60))
+		}
+	}
+	if p.Refreshes() != 60 {
+		t.Errorf("Refreshes = %d", p.Refreshes())
+	}
+}
+
+func TestSetRateTakesEffectAtNextVSync(t *testing.T) {
+	eng, p := newTestPanel(t, Config{Levels: GalaxyS3Levels})
+	var rates []int
+	p.OnVSync(func(ts sim.Time, hz int) { rates = append(rates, hz) })
+	var transitions []int
+	p.OnRateChange(func(ts sim.Time, oldHz, newHz int) { transitions = append(transitions, oldHz, newHz) })
+	p.Start()
+	eng.RunUntil(100 * sim.Millisecond) // a few 60 Hz syncs
+	if err := p.SetRate(20); err != nil {
+		t.Fatalf("SetRate: %v", err)
+	}
+	if p.Rate() != 60 {
+		t.Errorf("rate changed before vsync boundary: %d", p.Rate())
+	}
+	eng.RunUntil(sim.Second)
+	if p.Rate() != 20 {
+		t.Errorf("rate after run = %d, want 20", p.Rate())
+	}
+	if len(transitions) != 2 || transitions[0] != 60 || transitions[1] != 20 {
+		t.Errorf("transitions = %v, want [60 20]", transitions)
+	}
+	if p.Switches() != 1 {
+		t.Errorf("Switches = %d, want 1", p.Switches())
+	}
+	// After the switch, intervals are 50 ms.
+	saw20 := false
+	for _, r := range rates {
+		if r == 20 {
+			saw20 = true
+		}
+	}
+	if !saw20 {
+		t.Error("no vsync observed at 20 Hz")
+	}
+}
+
+func TestSetRateUnsupported(t *testing.T) {
+	_, p := newTestPanel(t, Config{Levels: GalaxyS3Levels})
+	if err := p.SetRate(45); err == nil {
+		t.Error("unsupported rate accepted")
+	}
+}
+
+func TestSetRateSameClearsPending(t *testing.T) {
+	eng, p := newTestPanel(t, Config{Levels: GalaxyS3Levels})
+	p.Start()
+	if err := p.SetRate(20); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetRate(60); err != nil { // cancel: back to current
+		t.Fatal(err)
+	}
+	eng.RunUntil(sim.Second)
+	if p.Rate() != 60 {
+		t.Errorf("rate = %d after canceled change, want 60", p.Rate())
+	}
+	if p.Switches() != 0 {
+		t.Errorf("Switches = %d, want 0", p.Switches())
+	}
+}
+
+func TestVSyncCountPerRate(t *testing.T) {
+	for _, hz := range GalaxyS3Levels {
+		eng, p := newTestPanel(t, Config{Levels: GalaxyS3Levels, InitialRate: hz})
+		n := 0
+		p.OnVSync(func(sim.Time, int) { n++ })
+		p.Start()
+		eng.RunUntil(10 * sim.Second)
+		want := hz * 10
+		// Integer-microsecond vsync periods round down, so allow +1%.
+		if n < want || n > want+want/100+1 {
+			t.Errorf("%d Hz: %d vsyncs in 10s, want ≈%d", hz, n, want)
+		}
+	}
+}
+
+func TestMeanRate(t *testing.T) {
+	eng, p := newTestPanel(t, Config{Levels: GalaxyS3Levels})
+	p.Start()
+	eng.RunUntil(sim.Second)
+	p.SetRate(20)
+	eng.RunUntil(3 * sim.Second)
+	// ~1 s at 60 Hz then ~2 s at 20 Hz → mean ≈ (60+40)/3 ≈ 33.3.
+	got := p.MeanRate()
+	if math.Abs(got-100.0/3) > 1.5 {
+		t.Errorf("MeanRate = %v, want ≈33.3", got)
+	}
+}
+
+func TestStartTwicePanics(t *testing.T) {
+	_, p := newTestPanel(t, Config{Levels: GalaxyS3Levels})
+	p.Start()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Start did not panic")
+		}
+	}()
+	p.Start()
+}
+
+// Property: under random rate-change requests, consecutive V-Sync intervals
+// always equal the period of the rate reported for the *preceding* sync,
+// i.e. a rate change never retimes mid-interval.
+func TestVSyncIntervalConsistencyProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for iter := 0; iter < 20; iter++ {
+		eng, p := newTestPanel(t, Config{Levels: GalaxyS3Levels})
+		type ev struct {
+			t  sim.Time
+			hz int
+		}
+		var evs []ev
+		p.OnVSync(func(ts sim.Time, hz int) { evs = append(evs, ev{ts, hz}) })
+		p.Start()
+		for step := 0; step < 20; step++ {
+			eng.RunUntil(eng.Now() + sim.Time(rng.Intn(200))*sim.Millisecond)
+			lvl := GalaxyS3Levels[rng.Intn(len(GalaxyS3Levels))]
+			if err := p.SetRate(lvl); err != nil {
+				t.Fatal(err)
+			}
+		}
+		eng.RunUntil(eng.Now() + sim.Second)
+		for i := 1; i < len(evs); i++ {
+			want := sim.Hz(float64(evs[i-1].hz))
+			if got := evs[i].t - evs[i-1].t; got != want {
+				t.Fatalf("iter %d: interval %d = %v, want %v (rate %d)", iter, i, got, want, evs[i-1].hz)
+			}
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package display
+
+import "fmt"
+
+// Profile bundles a device's display geometry and refresh menu. The paper
+// targets one 2012 phone; the section rule (Eq. 1) is device-independent —
+// it derives its thresholds from whatever levels the panel offers — so
+// profiles let the experiments show the scheme scaling to panels the
+// paper could only anticipate.
+type Profile struct {
+	Name          string
+	Width, Height int
+	Levels        []int
+	// FastUpswitch marks panels that can raise the refresh rate
+	// mid-interval (LTPO-class hardware).
+	FastUpswitch bool
+}
+
+// Built-in profiles.
+var (
+	// GalaxyS3 is the paper's evaluation device (SHV-E210S): 720×1280,
+	// five refresh levels unlocked by the authors' kernel modification.
+	GalaxyS3 = Profile{
+		Name: "galaxy-s3", Width: 720, Height: 1280,
+		Levels: GalaxyS3Levels,
+	}
+	// Budget90 is a typical later entry-level panel: 90 Hz peak with a
+	// coarse level menu.
+	Budget90 = Profile{
+		Name: "budget-90hz", Width: 720, Height: 1600,
+		Levels: []int{30, 60, 90},
+	}
+	// ModernLTPO is a flagship LTPO panel: 120 Hz peak with deep
+	// low-rate idling (down to 1 Hz), the hardware that eventually made
+	// content-adaptive refresh standard.
+	ModernLTPO = Profile{
+		Name: "modern-ltpo", Width: 1080, Height: 2400,
+		Levels:       []int{1, 10, 24, 30, 48, 60, 90, 120},
+		FastUpswitch: true,
+	}
+)
+
+// Profiles returns the built-in profiles.
+func Profiles() []Profile { return []Profile{GalaxyS3, Budget90, ModernLTPO} }
+
+// ProfileByName looks up a built-in profile.
+func ProfileByName(name string) (Profile, bool) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// Validate reports configuration errors.
+func (p Profile) Validate() error {
+	if p.Name == "" || p.Width <= 0 || p.Height <= 0 || len(p.Levels) == 0 {
+		return fmt.Errorf("display: invalid profile %+v", p)
+	}
+	for _, l := range p.Levels {
+		if l <= 0 {
+			return fmt.Errorf("display: profile %s has non-positive level %d", p.Name, l)
+		}
+	}
+	return nil
+}
+
+// MaxLevel returns the highest refresh rate in the profile.
+func (p Profile) MaxLevel() int {
+	max := 0
+	for _, l := range p.Levels {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}

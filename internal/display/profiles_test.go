@@ -1,0 +1,111 @@
+package display
+
+import (
+	"testing"
+
+	"ccdem/internal/sim"
+)
+
+func TestBuiltinProfilesValid(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 3 {
+		t.Fatalf("profiles = %d", len(ps))
+	}
+	for _, p := range ps {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", p.Name, err)
+		}
+	}
+	if GalaxyS3.MaxLevel() != 60 || ModernLTPO.MaxLevel() != 120 || Budget90.MaxLevel() != 90 {
+		t.Error("max levels wrong")
+	}
+	if GalaxyS3.FastUpswitch {
+		t.Error("the paper's S3 should not fast-upswitch")
+	}
+	if !ModernLTPO.FastUpswitch {
+		t.Error("LTPO should fast-upswitch")
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	if _, ok := ProfileByName("galaxy-s3"); !ok {
+		t.Error("galaxy-s3 missing")
+	}
+	if _, ok := ProfileByName("nope"); ok {
+		t.Error("unknown profile found")
+	}
+}
+
+func TestProfileValidation(t *testing.T) {
+	if err := (Profile{}).Validate(); err == nil {
+		t.Error("zero profile accepted")
+	}
+	bad := Profile{Name: "x", Width: 10, Height: 10, Levels: []int{0}}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero level accepted")
+	}
+}
+
+func TestFastUpswitchImmediate(t *testing.T) {
+	eng := sim.NewEngine()
+	p, err := NewPanel(eng, Config{Levels: ModernLTPO.Levels, InitialRate: 1, FastUpswitch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var syncs []sim.Time
+	p.OnVSync(func(ts sim.Time, hz int) { syncs = append(syncs, ts) })
+	p.Start()
+	// 100 ms in (far from the 1 Hz boundary at t=1 s), boost to 120.
+	eng.RunUntil(100 * sim.Millisecond)
+	if err := p.SetRate(120); err != nil {
+		t.Fatal(err)
+	}
+	if p.Rate() != 120 {
+		t.Fatalf("fast upswitch not immediate: rate = %d", p.Rate())
+	}
+	eng.RunUntil(200 * sim.Millisecond)
+	// First vsync after the switch arrives within one 120 Hz period, not
+	// at the old 1 Hz boundary.
+	if len(syncs) == 0 {
+		t.Fatal("no syncs after fast upswitch")
+	}
+	if first := syncs[0]; first > 100*sim.Millisecond+sim.Hz(120)+sim.Millisecond {
+		t.Errorf("first sync after upswitch at %v, want ≈%v", first, 100*sim.Millisecond+sim.Hz(120))
+	}
+}
+
+func TestFastUpswitchDownwardStillWaits(t *testing.T) {
+	eng := sim.NewEngine()
+	p, err := NewPanel(eng, Config{Levels: GalaxyS3Levels, FastUpswitch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	eng.RunUntil(5 * sim.Millisecond) // mid-interval at 60 Hz
+	if err := p.SetRate(20); err != nil {
+		t.Fatal(err)
+	}
+	if p.Rate() != 60 {
+		t.Errorf("downward change applied mid-interval: %d", p.Rate())
+	}
+	eng.RunUntil(100 * sim.Millisecond)
+	if p.Rate() != 20 {
+		t.Errorf("downward change never applied: %d", p.Rate())
+	}
+}
+
+func TestFastUpswitchDisabledWaits(t *testing.T) {
+	eng := sim.NewEngine()
+	p, err := NewPanel(eng, Config{Levels: GalaxyS3Levels, InitialRate: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	eng.RunUntil(5 * sim.Millisecond)
+	if err := p.SetRate(60); err != nil {
+		t.Fatal(err)
+	}
+	if p.Rate() != 20 {
+		t.Errorf("upswitch applied immediately without FastUpswitch: %d", p.Rate())
+	}
+}

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"text/tabwriter"
+
+	"ccdem"
+	"ccdem/internal/app"
+	"ccdem/internal/trace"
+)
+
+// CompareRow is one application's result in the scheme-comparison
+// extension experiment.
+type CompareRow struct {
+	App string
+	Cat app.Category
+
+	BaselineMW float64
+	// Saved power per scheme (mW vs baseline).
+	E3SavedMW    float64
+	IdleSavedMW  float64
+	CcdemSavedMW float64
+	// Display quality per scheme.
+	E3Quality    float64
+	IdleQuality  float64
+	CcdemQuality float64
+}
+
+// CompareResult is the extension experiment contrasting the paper's scheme
+// (refresh-rate control + touch boosting) with two alternatives: the
+// E³-style frame-rate adaptation of its related work [16], and the
+// content-blind idle-timeout adaptive refresh that later production
+// phones shipped. Frame-rate adaptation removes redundant render work but
+// cannot touch the refresh-proportional panel power; idle-timeout control
+// reclaims refresh power on static screens but mangles autonomous content
+// (video, games) it cannot see; the paper's scheme removes both kinds of
+// waste while preserving quality.
+type CompareResult struct {
+	Rows []CompareRow
+}
+
+// CompareSchemes runs the comparison over the full catalog (apps run
+// concurrently up to Options.Parallelism).
+func CompareSchemes(o Options) (*CompareResult, error) {
+	o.applyDefaults()
+	res := &CompareResult{}
+	var mu sync.Mutex
+	err := forEachApp(o, func(p app.Params) error {
+		base, _, err := runApp(o, p, ccdem.GovernorOff)
+		if err != nil {
+			return err
+		}
+		e3, _, err := runApp(o, p, ccdem.GovernorE3)
+		if err != nil {
+			return err
+		}
+		idle, _, err := runApp(o, p, ccdem.GovernorIdleTimeout)
+		if err != nil {
+			return err
+		}
+		full, _, err := runApp(o, p, ccdem.GovernorSectionBoost)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		res.Rows = append(res.Rows, CompareRow{
+			App: p.Name, Cat: p.Cat,
+			BaselineMW:   base.MeanPowerMW,
+			E3SavedMW:    base.MeanPowerMW - e3.MeanPowerMW,
+			IdleSavedMW:  base.MeanPowerMW - idle.MeanPowerMW,
+			CcdemSavedMW: base.MeanPowerMW - full.MeanPowerMW,
+			E3Quality:    e3.DisplayQuality,
+			IdleQuality:  idle.DisplayQuality,
+			CcdemQuality: full.DisplayQuality,
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	order := map[string]int{}
+	for i, p := range app.Catalog() {
+		order[p.Name] = i
+	}
+	sort.Slice(res.Rows, func(i, j int) bool { return order[res.Rows[i].App] < order[res.Rows[j].App] })
+	return res, nil
+}
+
+// MeanSaved returns the category means (pass app.AnyCategory for all).
+func (r *CompareResult) MeanSaved(cat app.Category) (e3, ccdem float64) {
+	var e3s, ccs []float64
+	for _, row := range r.Rows {
+		if cat != app.AnyCategory && row.Cat != cat {
+			continue
+		}
+		e3s = append(e3s, row.E3SavedMW)
+		ccs = append(ccs, row.CcdemSavedMW)
+	}
+	return trace.Mean(e3s), trace.Mean(ccs)
+}
+
+// MeanIdle returns the category means for the idle-timeout scheme: saved
+// power and display quality.
+func (r *CompareResult) MeanIdle(cat app.Category) (savedMW, quality float64) {
+	var saved, q []float64
+	for _, row := range r.Rows {
+		if cat != app.AnyCategory && row.Cat != cat {
+			continue
+		}
+		saved = append(saved, row.IdleSavedMW)
+		q = append(q, row.IdleQuality)
+	}
+	return trace.Mean(saved), trace.Mean(q)
+}
+
+// String renders the comparison table.
+func (r *CompareResult) String() string {
+	var sb strings.Builder
+	sb.WriteString("Extension: refresh-rate control (this paper) vs E3 frame-rate adaptation [16]\n")
+	sb.WriteString("           vs content-blind idle-timeout adaptive refresh\n\n")
+	for _, cat := range []app.Category{app.General, app.Game} {
+		sb.WriteString(fmt.Sprintf("%s applications:\n", titleCase(cat.String())))
+		sb.WriteString(table(func(w *tabwriter.Writer) {
+			fmt.Fprintf(w, "  app\tbaseline\tE3 saved\tE3 qual\tidle saved\tidle qual\tccdem saved\tccdem qual\n")
+			for _, row := range r.Rows {
+				if row.Cat != cat {
+					continue
+				}
+				fmt.Fprintf(w, "  %s\t%.0f mW\t%.0f mW\t%.1f%%\t%.0f mW\t%.1f%%\t%.0f mW\t%.1f%%\n",
+					row.App, row.BaselineMW,
+					row.E3SavedMW, 100*row.E3Quality,
+					row.IdleSavedMW, 100*row.IdleQuality,
+					row.CcdemSavedMW, 100*row.CcdemQuality)
+			}
+		}))
+		e3, cc := r.MeanSaved(cat)
+		idleSaved, idleQ := r.MeanIdle(cat)
+		sb.WriteString(fmt.Sprintf("  mean saved: E3 %.0f mW, idle-timeout %.0f mW (quality %.0f%%), ccdem %.0f mW\n\n",
+			e3, idleSaved, 100*idleQ, cc))
+	}
+	return sb.String()
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"ccdem/internal/app"
+	"ccdem/internal/sim"
+)
+
+func TestCompareSchemesShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("comparison campaign is slow")
+	}
+	r, err := CompareSchemes(Options{Duration: 15 * sim.Second, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 30 {
+		t.Fatalf("rows = %d, want 30", len(r.Rows))
+	}
+	// Games: both schemes save, ccdem saves more (it also removes
+	// refresh-proportional panel power).
+	e3g, ccg := r.MeanSaved(app.Game)
+	if e3g <= 0 {
+		t.Errorf("E3 mean game saving = %v, want positive", e3g)
+	}
+	if ccg <= e3g {
+		t.Errorf("ccdem game saving %v not above E3 %v", ccg, e3g)
+	}
+	// General apps: frame-rate adaptation has little to throttle (frame
+	// rates are already low), so refresh control wins by a wide margin.
+	e3gen, ccgen := r.MeanSaved(app.General)
+	if ccgen < e3gen+50 {
+		t.Errorf("ccdem general saving %v not ≫ E3 %v", ccgen, e3gen)
+	}
+	// The gap is roughly the refresh-dependent panel power (≈140 mW for
+	// 60→20 Hz at 3.5 mW/Hz) — order of magnitude check.
+	if gap := ccgen - e3gen; gap < 60 || gap > 250 {
+		t.Errorf("general-apps gap = %v mW, want refresh-power scale ≈100-150", gap)
+	}
+	if !strings.Contains(r.String(), "E3") {
+		t.Error("rendering missing scheme label")
+	}
+}
+
+func TestCompareIdleTimeoutShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("comparison campaign is slow")
+	}
+	r, err := CompareSchemes(Options{Duration: 15 * sim.Second, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The content-blind policy saves plenty of power on games (it drops
+	// to 20 Hz whenever the user is not touching) but wrecks their
+	// quality; the content-centric scheme keeps quality high.
+	idleSaved, idleQ := r.MeanIdle(app.Game)
+	if idleSaved <= 0 {
+		t.Errorf("idle-timeout game saving = %v, want positive", idleSaved)
+	}
+	var ccQ []float64
+	for _, row := range r.Rows {
+		if row.Cat == app.Game {
+			ccQ = append(ccQ, row.CcdemQuality)
+		}
+	}
+	ccMean := 0.0
+	for _, q := range ccQ {
+		ccMean += q
+	}
+	ccMean /= float64(len(ccQ))
+	if idleQ >= ccMean-0.02 {
+		t.Errorf("idle-timeout game quality %v not clearly below ccdem %v", idleQ, ccMean)
+	}
+	// Content-blindness bites exactly where content exceeds the idle
+	// rate: high-content games and video. Low-content games fit under
+	// 20 Hz and are unhurt — which is also part of the shape.
+	for _, row := range r.Rows {
+		switch row.App {
+		case "MX Player", "Cookie Run", "Geometry Dash", "Asphalt 8":
+			if row.IdleQuality >= row.CcdemQuality-0.05 {
+				t.Errorf("%s: idle quality %v not well below ccdem %v",
+					row.App, row.IdleQuality, row.CcdemQuality)
+			}
+		case "Tiny Flashlight":
+			if row.IdleQuality < 0.95 {
+				t.Errorf("%s: idle quality %v — static apps should be unhurt", row.App, row.IdleQuality)
+			}
+		}
+	}
+}

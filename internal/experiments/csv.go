@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+
+	"ccdem"
+)
+
+// CSV writers for the table-shaped results, so the figures can be
+// re-plotted with external tooling (gnuplot, pandas, spreadsheets). Trace
+// figures (2, 7, 8) export through Device.ExportTracesCSV / the
+// per-result Series values; the campaign tables export here.
+
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteCSV exports the Figure 3 rows.
+func (r *Fig3Result) WriteCSV(w io.Writer) error {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.App, row.Cat.String(), f(row.FrameRate), f(row.MeaningfulFPS), f(row.RedundantFPS),
+		})
+	}
+	return writeCSV(w, []string{"app", "category", "frame_fps", "meaningful_fps", "redundant_fps"}, rows)
+}
+
+// WriteCSV exports the Figure 6 grid table.
+func (r *Fig6Result) WriteCSV(w io.Writer) error {
+	rows := make([][]string, 0, len(r.Grids))
+	for _, g := range r.Grids {
+		rows = append(rows, []string{
+			g.Label, strconv.Itoa(g.Pixels), f(g.ErrorRate), f(g.ModelDurationMS),
+			strconv.FormatBool(g.FitsBudget),
+		})
+	}
+	return writeCSV(w, []string{"grid", "pixels", "error_pct", "model_duration_ms", "fits_budget"}, rows)
+}
+
+// WriteCSV exports the campaign's per-app measurements behind Figures
+// 9–11 and Table 1.
+func (s *Suite) WriteCSV(w io.Writer) error {
+	header := []string{
+		"app", "category", "baseline_mw",
+		"section_saved_mw", "boost_saved_mw",
+		"section_quality", "boost_quality",
+		"actual_content_fps", "section_content_fps", "boost_content_fps",
+		"section_dropped_fps", "boost_dropped_fps",
+	}
+	rows := make([][]string, 0, len(s.Runs))
+	for _, r := range s.Runs {
+		rows = append(rows, []string{
+			r.App, r.Cat.String(), f(r.Baseline.MeanPowerMW),
+			f(r.SavedMW(ccdem.GovernorSection)), f(r.SavedMW(ccdem.GovernorSectionBoost)),
+			f(r.Section.DisplayQuality), f(r.Boost.DisplayQuality),
+			f(r.Baseline.IntendedRate), f(r.Section.ContentRate), f(r.Boost.ContentRate),
+			f(r.Section.DroppedFPS), f(r.Boost.DroppedFPS),
+		})
+	}
+	return writeCSV(w, header, rows)
+}
+
+// WriteCSV exports the scheme-comparison rows.
+func (r *CompareResult) WriteCSV(w io.Writer) error {
+	header := []string{
+		"app", "category", "baseline_mw",
+		"e3_saved_mw", "e3_quality",
+		"idle_saved_mw", "idle_quality",
+		"ccdem_saved_mw", "ccdem_quality",
+	}
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.App, row.Cat.String(), f(row.BaselineMW),
+			f(row.E3SavedMW), f(row.E3Quality),
+			f(row.IdleSavedMW), f(row.IdleQuality),
+			f(row.CcdemSavedMW), f(row.CcdemQuality),
+		})
+	}
+	return writeCSV(w, header, rows)
+}
+
+// WriteCSV exports the panel-scaling rows.
+func (r *ScalingResult) WriteCSV(w io.Writer) error {
+	header := []string{
+		"panel", "max_hz", "app", "baseline_mw", "managed_mw",
+		"saved_mw", "saved_pct", "mean_refresh_hz", "quality",
+	}
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Profile.Name, strconv.Itoa(row.Profile.MaxLevel()), row.App,
+			f(row.BaselineMW), f(row.ManagedMW), f(row.SavedMW), f(row.SavedPct),
+			f(row.MeanRefreshHz), f(row.Quality),
+		})
+	}
+	return writeCSV(w, header, rows)
+}
+
+// WriteCSV exports the frontier points.
+func (r *FrontierResult) WriteCSV(w io.Writer) error {
+	header := []string{"scheme", "saved_mw", "display_quality", "luminance_fidelity", "combined_quality"}
+	rows := make([][]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			p.Scheme, f(p.SavedMW), f(p.DisplayQuality), f(p.LuminanceFidelity), f(p.Quality),
+		})
+	}
+	return writeCSV(w, header, rows)
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"ccdem"
+	"ccdem/internal/app"
+	"ccdem/internal/display"
+)
+
+// parseCSV reads all records, failing the test on malformed output.
+func parseCSV(t *testing.T, buf *bytes.Buffer) [][]string {
+	t.Helper()
+	recs, err := csv.NewReader(buf).ReadAll()
+	if err != nil {
+		t.Fatalf("invalid CSV: %v", err)
+	}
+	return recs
+}
+
+func TestFig3CSV(t *testing.T) {
+	r := &Fig3Result{Rows: []Fig3Row{
+		{App: "A", Cat: app.General, FrameRate: 10, MeaningfulFPS: 6, RedundantFPS: 4},
+		{App: "B", Cat: app.Game, FrameRate: 60, MeaningfulFPS: 15, RedundantFPS: 45},
+	}}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, &buf)
+	if len(recs) != 3 || recs[0][0] != "app" || recs[2][4] != "45" {
+		t.Errorf("records = %v", recs)
+	}
+}
+
+func TestFig6CSV(t *testing.T) {
+	r := &Fig6Result{Grids: []Fig6Grid{
+		{Label: "2K", Pixels: 2304, ErrorRate: 50, ModelDurationMS: 0.6, FitsBudget: true},
+		{Label: "921K", Pixels: 921600, ErrorRate: 0, ModelDurationMS: 40, FitsBudget: false},
+	}}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, &buf)
+	if len(recs) != 3 || recs[2][4] != "false" {
+		t.Errorf("records = %v", recs)
+	}
+}
+
+func TestSuiteCSV(t *testing.T) {
+	s := &Suite{Runs: []AppRun{{
+		App: "X", Cat: app.Game,
+		Baseline: ccdem.Stats{MeanPowerMW: 1000, IntendedRate: 20},
+		Section:  ccdem.Stats{MeanPowerMW: 800, DisplayQuality: 0.9, ContentRate: 18, DroppedFPS: 2},
+		Boost:    ccdem.Stats{MeanPowerMW: 850, DisplayQuality: 0.99, ContentRate: 19.8, DroppedFPS: 0.2},
+	}}}
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, &buf)
+	if len(recs) != 2 {
+		t.Fatalf("records = %v", recs)
+	}
+	if recs[1][3] != "200" || recs[1][4] != "150" {
+		t.Errorf("saved columns = %v", recs[1])
+	}
+	if len(recs[0]) != len(recs[1]) {
+		t.Error("header/row width mismatch")
+	}
+}
+
+func TestCompareAndScalingAndFrontierCSV(t *testing.T) {
+	cr := &CompareResult{Rows: []CompareRow{{App: "X", Cat: app.General, BaselineMW: 700}}}
+	var buf bytes.Buffer
+	if err := cr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if recs := parseCSV(t, &buf); len(recs) != 2 || len(recs[0]) != 9 {
+		t.Errorf("compare records = %v", recs)
+	}
+
+	sr := &ScalingResult{Rows: []ScalingRow{{
+		Profile: display.GalaxyS3, App: "X", BaselineMW: 1000, ManagedMW: 800,
+		SavedMW: 200, SavedPct: 20, MeanRefreshHz: 30, Quality: 0.95,
+	}}}
+	buf.Reset()
+	if err := sr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if recs := parseCSV(t, &buf); len(recs) != 2 || recs[1][0] != "galaxy-s3" || recs[1][1] != "60" {
+		t.Errorf("scaling records = %v", recs)
+	}
+
+	fr := &FrontierResult{Points: []FrontierPoint{{Scheme: "ccdem", SavedMW: 200, Quality: 0.99}}}
+	buf.Reset()
+	if err := fr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if out := buf.String(); !strings.Contains(out, "ccdem") || !strings.Contains(out, "scheme") {
+		t.Errorf("frontier CSV = %s", out)
+	}
+}

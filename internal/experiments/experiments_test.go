@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"ccdem"
+	"ccdem/internal/app"
+	"ccdem/internal/sim"
+)
+
+// Short options keep the test suite fast; shapes are asserted, not
+// absolute values.
+func shortOpts() Options {
+	return Options{Duration: 20 * sim.Second, Seed: 1}
+}
+
+func TestFig2Shape(t *testing.T) {
+	r, err := Fig2(shortOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Traces) != 2 {
+		t.Fatalf("traces = %d", len(r.Traces))
+	}
+	var fb, js Fig2Trace
+	for _, tr := range r.Traces {
+		switch tr.App {
+		case "Facebook":
+			fb = tr
+		case "Jelly Splash":
+			js = tr
+		}
+	}
+	// Figure 2's contrast: Facebook's frame rate is low most of the time;
+	// Jelly Splash stays near 60 fps with much lower content rate.
+	if fb.FrameRate.Mean() > 20 {
+		t.Errorf("Facebook mean frame rate = %v, want low", fb.FrameRate.Mean())
+	}
+	if js.FrameRate.Mean() < 50 {
+		t.Errorf("Jelly Splash mean frame rate = %v, want ≈60", js.FrameRate.Mean())
+	}
+	if js.Content.Mean() > js.FrameRate.Mean()/2 {
+		t.Errorf("Jelly Splash content %v not well below frame rate %v",
+			js.Content.Mean(), js.FrameRate.Mean())
+	}
+	if len(fb.Touches) == 0 {
+		t.Error("no touches recorded")
+	}
+	if !strings.Contains(r.String(), "Jelly Splash") {
+		t.Error("String() missing app name")
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	r, err := Fig3(shortOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 30 {
+		t.Fatalf("rows = %d, want 30", len(r.Rows))
+	}
+	// Games all exceed 30 fps of frame updates.
+	for _, row := range r.Category(app.Game) {
+		if row.FrameRate < 30 {
+			t.Errorf("game %s frame rate = %v, want >30", row.App, row.FrameRate)
+		}
+	}
+	// ~80% of games exceed 20 redundant fps (at the short test duration a
+	// lull window can push even the action titles above the line, so only
+	// the lower bound is asserted here; the 180 s campaign lands at ≈87%).
+	if share := r.ShareAboveRedundant(app.Game, 20); share < 0.6 {
+		t.Errorf("games above 20 redundant fps = %v, want ≳0.8", share)
+	}
+	// A minority of general apps are highly redundant.
+	if share := r.ShareAboveRedundant(app.General, 15); share < 0.15 || share > 0.6 {
+		t.Errorf("general apps above 15 redundant fps = %v, want ≈0.3-0.4", share)
+	}
+	if !strings.Contains(r.String(), "redundant") {
+		t.Error("String() missing summary")
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	r, err := Fig6(Options{Duration: 10 * sim.Second, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Grids) != 5 {
+		t.Fatalf("grids = %d, want 5", len(r.Grids))
+	}
+	// Error decreases (not strictly, but from 2K to 36K substantially) and
+	// the full grid is exact.
+	if r.Grids[0].ErrorRate <= r.Grids[3].ErrorRate {
+		t.Errorf("2K error %v not above 36K error %v", r.Grids[0].ErrorRate, r.Grids[3].ErrorRate)
+	}
+	if r.Grids[4].ErrorRate != 0 {
+		t.Errorf("full-grid error = %v, want 0", r.Grids[4].ErrorRate)
+	}
+	if r.Grids[3].ErrorRate > 5 {
+		t.Errorf("36K error = %v, want ≈0", r.Grids[3].ErrorRate)
+	}
+	// Cost model: only the full grid misses the 60 Hz budget.
+	for i, g := range r.Grids {
+		wantFits := i != 4
+		if g.FitsBudget != wantFits {
+			t.Errorf("%s FitsBudget = %v, want %v", g.Label, g.FitsBudget, wantFits)
+		}
+	}
+	// Durations are monotone in pixel count.
+	for i := 1; i < len(r.Grids); i++ {
+		if r.Grids[i].ModelDurationMS < r.Grids[i-1].ModelDurationMS {
+			t.Errorf("duration not monotone at %s", r.Grids[i].Label)
+		}
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	r, err := Fig7(Options{Duration: 30 * sim.Second, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Traces) != 4 {
+		t.Fatalf("traces = %d, want 4", len(r.Traces))
+	}
+	get := func(appName string, mode ccdem.GovernorMode) Fig7Trace {
+		for _, tr := range r.Traces {
+			if tr.App == appName && tr.Mode == mode {
+				return tr
+			}
+		}
+		t.Fatalf("missing trace %s/%s", appName, mode)
+		return Fig7Trace{}
+	}
+	fbSect := get("Facebook", ccdem.GovernorSection)
+	fbBoost := get("Facebook", ccdem.GovernorSectionBoost)
+	// Boost reduces frame drops and raises quality on interactive apps.
+	if fbBoost.DroppedFPS >= fbSect.DroppedFPS {
+		t.Errorf("boost drops %v not below section drops %v", fbBoost.DroppedFPS, fbSect.DroppedFPS)
+	}
+	if fbBoost.Quality <= fbSect.Quality {
+		t.Errorf("boost quality %v not above section %v", fbBoost.Quality, fbSect.Quality)
+	}
+	// Boost raises the mean refresh rate (the fluctuation in Fig 7b/d).
+	if fbBoost.Refresh.Mean() <= fbSect.Refresh.Mean() {
+		t.Errorf("boost mean refresh %v not above section %v",
+			fbBoost.Refresh.Mean(), fbSect.Refresh.Mean())
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	r, err := Fig8(Options{Duration: 30 * sim.Second, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Traces) != 4 {
+		t.Fatalf("traces = %d, want 4", len(r.Traces))
+	}
+	get := func(appName string, mode ccdem.GovernorMode) Fig8Trace {
+		for _, tr := range r.Traces {
+			if tr.App == appName && tr.Mode == mode {
+				return tr
+			}
+		}
+		t.Fatalf("missing trace %s/%s", appName, mode)
+		return Fig8Trace{}
+	}
+	fb := get("Facebook", ccdem.GovernorSection)
+	js := get("Jelly Splash", ccdem.GovernorSection)
+	// Figure 8's contrast: Jelly Splash saves much more than Facebook.
+	if js.MeanSavedMW <= fb.MeanSavedMW {
+		t.Errorf("Jelly Splash saved %v ≤ Facebook saved %v", js.MeanSavedMW, fb.MeanSavedMW)
+	}
+	if fb.MeanSavedMW < 50 {
+		t.Errorf("Facebook saved %v mW, want ≈100+", fb.MeanSavedMW)
+	}
+	if js.MeanSavedMW < 200 {
+		t.Errorf("Jelly Splash saved %v mW, want ≈300", js.MeanSavedMW)
+	}
+	// Boost costs a little of the saving.
+	jsBoost := get("Jelly Splash", ccdem.GovernorSectionBoost)
+	if jsBoost.MeanSavedMW > js.MeanSavedMW {
+		t.Errorf("boost saving %v above section saving %v", jsBoost.MeanSavedMW, js.MeanSavedMW)
+	}
+}
+
+func TestRepeatsAverageStats(t *testing.T) {
+	// A two-repeat campaign cell averages distinct-script runs; the mean
+	// must sit between the two individual measurements.
+	p, err := catalogApp("Facebook")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := Options{Duration: 10 * sim.Second, Seed: 3}
+	a, _, err := runApp(o, p, ccdem.GovernorSection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2 := o
+	o2.Seed = o.Seed + 7919
+	b, _, err := runApp(o2, p, ccdem.GovernorSection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	or := o
+	or.Repeats = 2
+	avg, err := runAppRepeated(or, p, ccdem.GovernorSection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (a.MeanPowerMW + b.MeanPowerMW) / 2
+	if diff := avg.MeanPowerMW - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("averaged power = %v, want %v", avg.MeanPowerMW, want)
+	}
+	lo, hi := a.DisplayQuality, b.DisplayQuality
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if avg.DisplayQuality < lo-1e-9 || avg.DisplayQuality > hi+1e-9 {
+		t.Errorf("averaged quality %v outside [%v, %v]", avg.DisplayQuality, lo, hi)
+	}
+}
+
+func TestMeanStatsEmpty(t *testing.T) {
+	if got := meanStats(nil); got.MeanPowerMW != 0 {
+		t.Errorf("meanStats(nil) = %+v", got)
+	}
+}

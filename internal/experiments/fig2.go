@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"ccdem"
+	"ccdem/internal/sim"
+	"ccdem/internal/trace"
+)
+
+// Fig2Trace is one application's panel of Figure 2: frame-rate and
+// content-rate traces against the fixed 60 Hz refresh, with the user-input
+// instants marked.
+type Fig2Trace struct {
+	App       string
+	FrameRate *trace.Series // measured frame rate (fps), 1 s buckets
+	Content   *trace.Series // measured content rate (fps), 1 s buckets
+	RefreshHz int           // fixed baseline refresh
+	Touches   []sim.Time    // gesture start times
+}
+
+// Fig2Result reproduces Figure 2: frame-rate traces of Facebook (mostly
+// idle, bursts on user requests) and Jelly Splash (pinned near 60 fps even
+// with unchanged content) on the unmanaged 60 Hz baseline.
+type Fig2Result struct {
+	Traces []Fig2Trace
+}
+
+// Fig2 runs the experiment.
+func Fig2(o Options) (*Fig2Result, error) {
+	o.applyDefaults()
+	res := &Fig2Result{}
+	for _, name := range []string{"Facebook", "Jelly Splash"} {
+		p, err := catalogApp(name)
+		if err != nil {
+			return nil, err
+		}
+		_, traces, err := runApp(o, p, ccdem.GovernorOff)
+		if err != nil {
+			return nil, err
+		}
+		sc, err := appScript(o, name, o.Duration)
+		if err != nil {
+			return nil, err
+		}
+		var touches []sim.Time
+		for _, g := range sc.Gestures {
+			touches = append(touches, g.Start)
+		}
+		res.Traces = append(res.Traces, Fig2Trace{
+			App:       name,
+			FrameRate: traces.Frame.Resample(sim.Second, o.Duration),
+			Content:   traces.Content.Resample(sim.Second, o.Duration),
+			RefreshHz: 60,
+			Touches:   touches,
+		})
+	}
+	return res, nil
+}
+
+// gestureMarks renders a per-second touch-activity row.
+func gestureMarks(touches []sim.Time, seconds int) string {
+	marks := make([]byte, seconds)
+	for i := range marks {
+		marks[i] = ' '
+	}
+	for _, t := range touches {
+		if s := int(t / sim.Second); s >= 0 && s < seconds {
+			marks[s] = '^'
+		}
+	}
+	return string(marks)
+}
+
+// String renders the traces as sparkline charts plus summary rows.
+func (r *Fig2Result) String() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 2: frame rate vs fixed 60 Hz refresh (baseline)\n")
+	for _, tr := range r.Traces {
+		n := tr.FrameRate.Len()
+		sb.WriteString(fmt.Sprintf("\n%s (refresh fixed at %d Hz)\n", tr.App, tr.RefreshHz))
+		sb.WriteString(fmt.Sprintf("  frame rate   [0..60] %s\n", trace.Sparkline(tr.FrameRate.Values(), n)))
+		sb.WriteString(fmt.Sprintf("  content rate [0..60] %s\n", trace.Sparkline(tr.Content.Values(), n)))
+		sb.WriteString(fmt.Sprintf("  user input           %s\n", gestureMarks(tr.Touches, n)))
+		sb.WriteString(table(func(w *tabwriter.Writer) {
+			fmt.Fprintf(w, "  mean frame rate\t%.1f fps\n", tr.FrameRate.Mean())
+			fmt.Fprintf(w, "  mean content rate\t%.1f fps\n", tr.Content.Mean())
+			fmt.Fprintf(w, "  peak frame rate\t%.1f fps\n", tr.FrameRate.Max())
+			fmt.Fprintf(w, "  gestures\t%d\n", len(tr.Touches))
+		}))
+	}
+	return sb.String()
+}

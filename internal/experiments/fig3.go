@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"text/tabwriter"
+
+	"ccdem"
+	"ccdem/internal/app"
+	"ccdem/internal/trace"
+)
+
+// Fig3Row is one application's bar in Figure 3: the meaningful (content)
+// and redundant frame rates measured on the unmanaged 60 Hz baseline.
+type Fig3Row struct {
+	App           string
+	Cat           app.Category
+	FrameRate     float64 // total frame rate (fps)
+	MeaningfulFPS float64 // content rate (fps)
+	RedundantFPS  float64 // FrameRate − MeaningfulFPS
+}
+
+// Fig3Result reproduces Figure 3: the redundancy study over all 30
+// commercial applications (§2.2) — per-app meaningful vs redundant frame
+// rates (panels a/b), frame-rate CDFs (panel c context) and redundant
+// rates (panel d).
+type Fig3Result struct {
+	Rows []Fig3Row
+}
+
+// Fig3 runs the experiment, one baseline run per catalog app (apps run
+// concurrently up to Options.Parallelism).
+func Fig3(o Options) (*Fig3Result, error) {
+	o.applyDefaults()
+	res := &Fig3Result{}
+	var mu sync.Mutex
+	err := forEachApp(o, func(p app.Params) error {
+		st, _, err := runApp(o, p, ccdem.GovernorOff)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		res.Rows = append(res.Rows, Fig3Row{
+			App:           p.Name,
+			Cat:           p.Cat,
+			FrameRate:     st.FrameRate,
+			MeaningfulFPS: st.ContentRate,
+			RedundantFPS:  st.RedundantRate,
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	order := map[string]int{}
+	for i, p := range app.Catalog() {
+		order[p.Name] = i
+	}
+	sort.Slice(res.Rows, func(i, j int) bool { return order[res.Rows[i].App] < order[res.Rows[j].App] })
+	return res, nil
+}
+
+// Category returns the rows for one category.
+func (r *Fig3Result) Category(cat app.Category) []Fig3Row {
+	var out []Fig3Row
+	for _, row := range r.Rows {
+		if row.Cat == cat {
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// redundantValues extracts redundant fps for one category.
+func (r *Fig3Result) redundantValues(cat app.Category) []float64 {
+	var vs []float64
+	for _, row := range r.Category(cat) {
+		vs = append(vs, row.RedundantFPS)
+	}
+	return vs
+}
+
+// ShareAboveRedundant returns the fraction of a category's apps whose
+// redundant rate exceeds fps — the paper's "80% of games have more than 20
+// redundant frames per second".
+func (r *Fig3Result) ShareAboveRedundant(cat app.Category, fps float64) float64 {
+	rows := r.Category(cat)
+	if len(rows) == 0 {
+		return 0
+	}
+	n := 0
+	for _, row := range rows {
+		if row.RedundantFPS > fps {
+			n++
+		}
+	}
+	return float64(n) / float64(len(rows))
+}
+
+// String renders the per-app table and category summaries.
+func (r *Fig3Result) String() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 3: meaningful vs redundant frame rate, 30 commercial apps (baseline 60 Hz)\n\n")
+	for _, cat := range []app.Category{app.General, app.Game} {
+		name := cat.String()
+		sb.WriteString(fmt.Sprintf("%s applications:\n", strings.ToUpper(name[:1])+name[1:]))
+		sb.WriteString(table(func(w *tabwriter.Writer) {
+			fmt.Fprintf(w, "  app\tframe rate\tmeaningful\tredundant\n")
+			for _, row := range r.Category(cat) {
+				fmt.Fprintf(w, "  %s\t%.1f fps\t%.1f fps\t%.1f fps\n",
+					row.App, row.FrameRate, row.MeaningfulFPS, row.RedundantFPS)
+			}
+		}))
+		vs := r.redundantValues(cat)
+		sb.WriteString(fmt.Sprintf("  redundant fps: mean %.1f, p80 %.1f; share >20 fps: %.0f%%\n\n",
+			trace.Mean(vs), trace.Percentile(vs, 80), 100*r.ShareAboveRedundant(cat, 20)))
+	}
+	return sb.String()
+}

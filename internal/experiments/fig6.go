@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"text/tabwriter"
+
+	"ccdem/internal/core"
+	"ccdem/internal/framebuffer"
+	"ccdem/internal/power"
+	"ccdem/internal/sim"
+	"ccdem/internal/surface"
+	"ccdem/internal/wallpaper"
+)
+
+// Fig6Grid is one measurement point of Figure 6: a comparison-grid size
+// with its metering error and cost.
+type Fig6Grid struct {
+	Label      string
+	Cols, Rows int
+	Pixels     int
+	// ErrorRate is |measured − actual| / actual content frames, percent.
+	ErrorRate float64
+	// ModelDurationMS is the device-scale comparison time from the
+	// calibrated cost model (the paper measures this on the S3's CPU).
+	ModelDurationMS float64
+	// FitsBudget reports whether the comparison completes within one
+	// 60 Hz V-Sync interval (16.67 ms), the paper's feasibility bar.
+	FitsBudget bool
+}
+
+// Fig6Result reproduces Figure 6: content-rate metering accuracy and cost
+// versus the number of compared pixels, on the extreme small-dot live
+// wallpaper (§4.1).
+type Fig6Result struct {
+	Grids []Fig6Grid
+}
+
+// fig6GridDims are the paper's grids for the 720×1280 panel.
+var fig6GridDims = []struct {
+	label      string
+	cols, rows int
+}{
+	{"2K", 36, 64},
+	{"4K", 48, 85},
+	{"9K", 72, 128},
+	{"36K", 144, 256},
+	{"921K", 720, 1280},
+}
+
+// Fig6 runs the accuracy experiment: the dot wallpaper runs for the
+// configured duration against each grid size; ground truth comes from the
+// wallpaper itself (every latched frame changes pixels).
+func Fig6(o Options) (*Fig6Result, error) {
+	o.applyDefaults()
+	cost := power.DefaultCompareCost()
+	res := &Fig6Result{}
+	for _, g := range fig6GridDims {
+		truth, measured, err := fig6Run(o, g.cols, g.rows)
+		if err != nil {
+			return nil, err
+		}
+		errRate := 0.0
+		if truth > 0 {
+			errRate = 100 * math.Abs(float64(measured)-float64(truth)) / float64(truth)
+		}
+		px := g.cols * g.rows
+		res.Grids = append(res.Grids, Fig6Grid{
+			Label: g.label, Cols: g.cols, Rows: g.rows, Pixels: px,
+			ErrorRate:       errRate,
+			ModelDurationMS: cost.Duration(px).Milliseconds(),
+			FitsBudget:      cost.FitsVSyncBudget(px, 60),
+		})
+	}
+	return res, nil
+}
+
+// fig6Run runs the wallpaper against one explicit grid and returns the
+// ground-truth and measured content-frame counts.
+func fig6Run(o Options, cols, rows int) (truth, measured uint64, err error) {
+	eng := sim.NewEngine()
+	mgr := surface.NewManager(eng, screenW, screenH)
+	wp, err := wallpaper.New(wallpaper.Config{Seed: o.Seed})
+	if err != nil {
+		return 0, 0, err
+	}
+	wp.Attach(eng, mgr)
+	meter, err := core.NewMeter(core.MeterConfig{
+		Grid:   framebuffer.NewGrid(screenW, screenH, cols, rows),
+		Window: sim.Second,
+		Cost:   power.DefaultCompareCost(),
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	mgr.OnFrame(func(fi surface.FrameInfo) { meter.ObserveFrame(fi.T, mgr.Framebuffer()) })
+	eng.Every(sim.Hz(60), sim.Hz(60), func() { mgr.VSync(eng.Now(), 60) })
+	eng.RunUntil(o.Duration)
+	_, content := meter.Totals()
+	return wp.ContentFrames(), content, nil
+}
+
+// String renders the figure's table.
+func (r *Fig6Result) String() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 6: metering accuracy and cost vs compared pixels (dot live wallpaper)\n\n")
+	sb.WriteString(table(func(w *tabwriter.Writer) {
+		fmt.Fprintf(w, "  grid\tpixels\terror rate\tmodel duration\tfits 16.67 ms budget\n")
+		for _, g := range r.Grids {
+			fmt.Fprintf(w, "  %s (%dx%d)\t%d\t%.1f%%\t%.2f ms\t%v\n",
+				g.Label, g.Cols, g.Rows, g.Pixels, g.ErrorRate, g.ModelDurationMS, g.FitsBudget)
+		}
+	}))
+	return sb.String()
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"ccdem"
+	"ccdem/internal/trace"
+)
+
+// Fig8Trace is one panel of Figure 8: the power saved over time by a
+// governed configuration relative to the baseline, on the identical input
+// script.
+type Fig8Trace struct {
+	App   string
+	Mode  ccdem.GovernorMode
+	Saved *trace.Series // baseline power − governed power, per sample (mW)
+	// MeanSavedMW and StdSavedMW summarize the series, matching the
+	// paper's "about 150 mW (±12 mW)" style of reporting.
+	MeanSavedMW float64
+	StdSavedMW  float64
+}
+
+// Fig8Result reproduces Figure 8: power-save traces for Facebook and
+// Jelly Splash under section-based control and with touch boosting added.
+type Fig8Result struct {
+	Traces []Fig8Trace
+}
+
+// Fig8 runs the experiment: for each app, a baseline run and the two
+// governed runs replay the same script; saved power is the samplewise
+// difference of the Monsoon-style traces.
+func Fig8(o Options) (*Fig8Result, error) {
+	o.applyDefaults()
+	res := &Fig8Result{}
+	for _, name := range []string{"Facebook", "Jelly Splash"} {
+		p, err := catalogApp(name)
+		if err != nil {
+			return nil, err
+		}
+		_, baseTraces, err := runApp(o, p, ccdem.GovernorOff)
+		if err != nil {
+			return nil, err
+		}
+		base := baseTraces.Power
+		for _, mode := range []ccdem.GovernorMode{ccdem.GovernorSection, ccdem.GovernorSectionBoost} {
+			_, tr, err := runApp(o, p, mode)
+			if err != nil {
+				return nil, err
+			}
+			saved := trace.NewSeries(fmt.Sprintf("%s saved (%s)", name, mode))
+			n := len(tr.Power)
+			if len(base) < n {
+				n = len(base)
+			}
+			for i := 0; i < n; i++ {
+				saved.Add(tr.Power[i].T, base[i].MW-tr.Power[i].MW)
+			}
+			res.Traces = append(res.Traces, Fig8Trace{
+				App:         name,
+				Mode:        mode,
+				Saved:       saved,
+				MeanSavedMW: saved.Mean(),
+				StdSavedMW:  trace.Std(saved.Values()),
+			})
+		}
+	}
+	return res, nil
+}
+
+// String renders the power-save panels.
+func (r *Fig8Result) String() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 8: power saved vs baseline (same Monkey script)\n")
+	for _, tr := range r.Traces {
+		sb.WriteString(fmt.Sprintf("\n%s — %s\n", tr.App, tr.Mode))
+		sb.WriteString(fmt.Sprintf("  saved power %s\n", trace.Sparkline(tr.Saved.Values(), 60)))
+		sb.WriteString(table(func(w *tabwriter.Writer) {
+			fmt.Fprintf(w, "  mean saved\t%.0f mW (±%.0f mW)\n", tr.MeanSavedMW, tr.StdSavedMW)
+		}))
+	}
+	return sb.String()
+}

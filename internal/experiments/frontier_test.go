@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"ccdem/internal/sim"
+)
+
+func TestFrontierShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("frontier campaign is slow")
+	}
+	r, err := Frontier(Options{Duration: 15 * sim.Second, Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 7 { // baseline + 4 DVS + ccdem + combined
+		t.Fatalf("points = %d, want 7", len(r.Points))
+	}
+	byScheme := map[string]FrontierPoint{}
+	for _, p := range r.Points {
+		byScheme[p.Scheme] = p
+	}
+	ccdemPt := byScheme["ccdem"]
+	dvsDeep := byScheme["DVS 0.80V"]
+	combined := byScheme["ccdem + DVS 0.80V"]
+
+	// The paper's argument: the content-centric scheme dominates DVS —
+	// more saving at higher quality.
+	if ccdemPt.SavedMW <= dvsDeep.SavedMW {
+		t.Errorf("ccdem saved %v ≤ deepest DVS %v", ccdemPt.SavedMW, dvsDeep.SavedMW)
+	}
+	if ccdemPt.Quality <= dvsDeep.Quality {
+		t.Errorf("ccdem quality %v ≤ DVS quality %v", ccdemPt.Quality, dvsDeep.Quality)
+	}
+	if ccdemPt.LuminanceFidelity != 1 {
+		t.Errorf("ccdem luminance fidelity = %v, want 1 (no dimming)", ccdemPt.LuminanceFidelity)
+	}
+	// DVS points trade monotonically.
+	prevSaved := byScheme["baseline"].SavedMW
+	for _, s := range []string{"DVS 0.95V", "DVS 0.90V", "DVS 0.85V", "DVS 0.80V"} {
+		p, ok := byScheme[s]
+		if !ok {
+			t.Fatalf("missing point %s", s)
+		}
+		if p.SavedMW <= prevSaved {
+			t.Errorf("%s saving %v not above previous %v", s, p.SavedMW, prevSaved)
+		}
+		if p.DisplayQuality < 0.99 {
+			t.Errorf("%s display quality %v — DVS should not drop frames", s, p.DisplayQuality)
+		}
+		prevSaved = p.SavedMW
+	}
+	// Composition: the combined scheme saves more than either alone.
+	if combined.SavedMW <= ccdemPt.SavedMW || combined.SavedMW <= dvsDeep.SavedMW {
+		t.Errorf("combined saving %v does not exceed components %v/%v",
+			combined.SavedMW, ccdemPt.SavedMW, dvsDeep.SavedMW)
+	}
+	if !strings.Contains(r.String(), "frontier") {
+		t.Error("rendering missing title")
+	}
+}

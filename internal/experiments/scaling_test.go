@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"ccdem/internal/sim"
+)
+
+func TestScalingShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling campaign is slow")
+	}
+	r, err := Scaling(Options{Duration: 15 * sim.Second, Seed: 29})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 6 { // 3 profiles × 2 apps
+		t.Fatalf("rows = %d, want 6", len(r.Rows))
+	}
+	jelly := map[string]ScalingRow{}
+	for _, row := range r.Rows {
+		if row.App == "Jelly Splash" {
+			jelly[row.Profile.Name] = row
+		}
+		// Quality holds on every panel.
+		if row.Quality < 0.85 {
+			t.Errorf("%s/%s quality = %v", row.Profile.Name, row.App, row.Quality)
+		}
+		if row.SavedMW <= 0 {
+			t.Errorf("%s/%s saved = %v, want positive", row.Profile.Name, row.App, row.SavedMW)
+		}
+	}
+	// Savings on the redundant game grow with the panel's peak rate.
+	s3 := jelly["galaxy-s3"].SavedMW
+	ltpo := jelly["modern-ltpo"].SavedMW
+	if ltpo <= s3 {
+		t.Errorf("LTPO saving %v not above S3 saving %v", ltpo, s3)
+	}
+	// The section table auto-derived sensible thresholds for the LTPO
+	// menu: first threshold is half the minimum level.
+	thr := jelly["modern-ltpo"].Thresholds
+	if len(thr) != 7 || thr[0] != 0.5 || thr[1] != 5.5 {
+		t.Errorf("LTPO thresholds = %v", thr)
+	}
+	if !strings.Contains(r.String(), "modern-ltpo") {
+		t.Error("rendering missing profile")
+	}
+}

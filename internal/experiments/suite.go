@@ -1,0 +1,256 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"text/tabwriter"
+
+	"ccdem"
+	"ccdem/internal/app"
+	"ccdem/internal/trace"
+)
+
+// AppRun is one application's paired measurements: the baseline and both
+// governed configurations replaying the identical Monkey script.
+type AppRun struct {
+	App      string
+	Cat      app.Category
+	Baseline ccdem.Stats
+	Section  ccdem.Stats
+	Boost    ccdem.Stats
+}
+
+// SavedMW returns baseline power minus the given mode's power.
+func (a AppRun) SavedMW(mode ccdem.GovernorMode) float64 {
+	return a.Baseline.MeanPowerMW - a.stats(mode).MeanPowerMW
+}
+
+// SavedPct returns the saving as a percentage of baseline power.
+func (a AppRun) SavedPct(mode ccdem.GovernorMode) float64 {
+	if a.Baseline.MeanPowerMW == 0 {
+		return 0
+	}
+	return 100 * a.SavedMW(mode) / a.Baseline.MeanPowerMW
+}
+
+func (a AppRun) stats(mode ccdem.GovernorMode) ccdem.Stats {
+	switch mode {
+	case ccdem.GovernorSection:
+		return a.Section
+	case ccdem.GovernorSectionBoost:
+		return a.Boost
+	default:
+		return a.Baseline
+	}
+}
+
+// Suite holds the 30-application measurement campaign behind Figures 9–11
+// and Table 1. Running it once and deriving all three figures from it
+// mirrors the paper's methodology (one set of paired runs, several views).
+type Suite struct {
+	Opts Options
+	Runs []AppRun
+}
+
+// RunSuite executes the campaign: every catalog application, three
+// configurations each, identical per-app scripts. Apps run concurrently
+// up to Options.Parallelism; results are deterministic regardless.
+func RunSuite(o Options) (*Suite, error) {
+	o.applyDefaults()
+	s := &Suite{Opts: o}
+	var mu sync.Mutex
+	err := forEachApp(o, func(p app.Params) error {
+		base, err := runAppRepeated(o, p, ccdem.GovernorOff)
+		if err != nil {
+			return err
+		}
+		sect, err := runAppRepeated(o, p, ccdem.GovernorSection)
+		if err != nil {
+			return err
+		}
+		boost, err := runAppRepeated(o, p, ccdem.GovernorSectionBoost)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		s.Runs = append(s.Runs, AppRun{
+			App: p.Name, Cat: p.Cat,
+			Baseline: base, Section: sect, Boost: boost,
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sortRunsByCatalog(s.Runs)
+	return s, nil
+}
+
+// sortRunsByCatalog restores catalog order after a concurrent campaign.
+func sortRunsByCatalog(runs []AppRun) {
+	order := map[string]int{}
+	for i, p := range app.Catalog() {
+		order[p.Name] = i
+	}
+	sort.Slice(runs, func(i, j int) bool { return order[runs[i].App] < order[runs[j].App] })
+}
+
+// Category filters runs by category.
+func (s *Suite) Category(cat app.Category) []AppRun {
+	var out []AppRun
+	for _, r := range s.Runs {
+		if r.Cat == cat {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Fig9 renders Figure 9 from the suite: per-application average power
+// saving under section control and with touch boosting.
+func (s *Suite) Fig9() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 9: power saving vs baseline, per application\n\n")
+	for _, cat := range []app.Category{app.General, app.Game} {
+		runs := s.Category(cat)
+		sb.WriteString(fmt.Sprintf("%s applications:\n", titleCase(cat.String())))
+		sb.WriteString(table(func(w *tabwriter.Writer) {
+			fmt.Fprintf(w, "  app\tbaseline\tsection saved\t+boost saved\n")
+			for _, r := range runs {
+				fmt.Fprintf(w, "  %s\t%.0f mW\t%.0f mW\t%.0f mW\n",
+					r.App, r.Baseline.MeanPowerMW,
+					r.SavedMW(ccdem.GovernorSection), r.SavedMW(ccdem.GovernorSectionBoost))
+			}
+		}))
+		var sect, boost []float64
+		for _, r := range runs {
+			sect = append(sect, r.SavedMW(ccdem.GovernorSection))
+			boost = append(boost, r.SavedMW(ccdem.GovernorSectionBoost))
+		}
+		sb.WriteString(fmt.Sprintf("  mean saved: section %.0f mW, +boost %.0f mW; max section %.0f mW; p20 section %.0f mW\n\n",
+			trace.Mean(sect), trace.Mean(boost), trace.Percentile(sect, 100), trace.Percentile(sect, 20)))
+	}
+	return sb.String()
+}
+
+// Fig10 renders Figure 10: estimated (displayed) content rate under each
+// configuration against the application's actual content rate.
+func (s *Suite) Fig10() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 10: estimated vs actual content rate, per application\n\n")
+	for _, cat := range []app.Category{app.General, app.Game} {
+		sb.WriteString(fmt.Sprintf("%s applications:\n", titleCase(cat.String())))
+		sb.WriteString(table(func(w *tabwriter.Writer) {
+			fmt.Fprintf(w, "  app\tactual\tsection\t+boost\tsection dropped\t+boost dropped\n")
+			for _, r := range s.Category(cat) {
+				fmt.Fprintf(w, "  %s\t%.1f fps\t%.1f fps\t%.1f fps\t%.1f fps\t%.1f fps\n",
+					r.App, r.Baseline.IntendedRate,
+					r.Section.ContentRate, r.Boost.ContentRate,
+					r.Section.DroppedFPS, r.Boost.DroppedFPS)
+			}
+		}))
+		var sectDrop, boostDrop []float64
+		for _, r := range s.Category(cat) {
+			sectDrop = append(sectDrop, r.Section.DroppedFPS)
+			boostDrop = append(boostDrop, r.Boost.DroppedFPS)
+		}
+		sb.WriteString(fmt.Sprintf("  frames dropped p80: section %.1f fps, +boost %.1f fps\n\n",
+			trace.Percentile(sectDrop, 80), trace.Percentile(boostDrop, 80)))
+	}
+	return sb.String()
+}
+
+// Fig11 renders Figure 11: display quality (estimated/actual content rate)
+// per application.
+func (s *Suite) Fig11() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 11: display quality, per application\n\n")
+	for _, cat := range []app.Category{app.General, app.Game} {
+		sb.WriteString(fmt.Sprintf("%s applications:\n", titleCase(cat.String())))
+		sb.WriteString(table(func(w *tabwriter.Writer) {
+			fmt.Fprintf(w, "  app\tsection\t+boost\n")
+			for _, r := range s.Category(cat) {
+				fmt.Fprintf(w, "  %s\t%.1f%%\t%.1f%%\n",
+					r.App, 100*r.Section.DisplayQuality, 100*r.Boost.DisplayQuality)
+			}
+		}))
+		var sect, boost []float64
+		for _, r := range s.Category(cat) {
+			sect = append(sect, 100*r.Section.DisplayQuality)
+			boost = append(boost, 100*r.Boost.DisplayQuality)
+		}
+		sb.WriteString(fmt.Sprintf("  quality p20 (i.e. maintained for 80%% of apps): section %.1f%%, +boost %.1f%%\n\n",
+			trace.Percentile(sect, 20), trace.Percentile(boost, 20)))
+	}
+	return sb.String()
+}
+
+// Table1Row is one cell-group of Table 1.
+type Table1Row struct {
+	Cat         app.Category
+	Mode        ccdem.GovernorMode
+	SavedPct    float64 // mean saved power, % of baseline
+	SavedPctStd float64
+	QualityPct  float64 // mean display quality, %
+	QualityStd  float64
+}
+
+// Table1 computes the paper's summary table from the suite.
+func (s *Suite) Table1() []Table1Row {
+	var rows []Table1Row
+	for _, cat := range []app.Category{app.General, app.Game} {
+		for _, mode := range []ccdem.GovernorMode{ccdem.GovernorSection, ccdem.GovernorSectionBoost} {
+			var saved, quality []float64
+			for _, r := range s.Category(cat) {
+				saved = append(saved, r.SavedPct(mode))
+				quality = append(quality, 100*r.stats(mode).DisplayQuality)
+			}
+			rows = append(rows, Table1Row{
+				Cat: cat, Mode: mode,
+				SavedPct: trace.Mean(saved), SavedPctStd: trace.Std(saved),
+				QualityPct: trace.Mean(quality), QualityStd: trace.Std(quality),
+			})
+		}
+	}
+	return rows
+}
+
+// Table1String renders Table 1.
+func (s *Suite) Table1String() string {
+	var sb strings.Builder
+	sb.WriteString("Table 1: power-saving effect and display quality\n\n")
+	sb.WriteString(table(func(w *tabwriter.Writer) {
+		fmt.Fprintf(w, "  application type\tmethod\tsaved power (%%)\tdisplay quality (%%)\n")
+		for _, r := range s.Table1() {
+			method := "Section-based control"
+			if r.Mode == ccdem.GovernorSectionBoost {
+				method = "+Touch boosting"
+			}
+			fmt.Fprintf(w, "  %s\t%s\t%.2f (±%.2f)\t%.1f (±%.1f)\n",
+				titleCase(r.Cat.String()), method, r.SavedPct, r.SavedPctStd, r.QualityPct, r.QualityStd)
+		}
+	}))
+	return sb.String()
+}
+
+// OverallSummary reports the conclusion's headline numbers: mean saved
+// power (mW) and mean display quality (%) across all 30 applications with
+// the full system.
+func (s *Suite) OverallSummary() (savedMW, qualityPct float64) {
+	var saved, quality []float64
+	for _, r := range s.Runs {
+		saved = append(saved, r.SavedMW(ccdem.GovernorSectionBoost))
+		quality = append(quality, 100*r.Boost.DisplayQuality)
+	}
+	return trace.Mean(saved), trace.Mean(quality)
+}
+
+func titleCase(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToUpper(s[:1]) + s[1:]
+}

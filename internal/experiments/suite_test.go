@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"ccdem"
+	"ccdem/internal/app"
+	"ccdem/internal/sim"
+)
+
+// The suite is the heaviest experiment; one short campaign backs several
+// assertions.
+func runShortSuite(t *testing.T) *Suite {
+	t.Helper()
+	s, err := RunSuite(Options{Duration: 15 * sim.Second, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSuiteShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite campaign is slow")
+	}
+	s := runShortSuite(t)
+	if len(s.Runs) != 30 {
+		t.Fatalf("runs = %d, want 30", len(s.Runs))
+	}
+
+	t.Run("Fig9PowerSaving", func(t *testing.T) {
+		var generalSaved, gameSaved []float64
+		for _, r := range s.Category(app.General) {
+			generalSaved = append(generalSaved, r.SavedMW(ccdem.GovernorSection))
+		}
+		for _, r := range s.Category(app.Game) {
+			gameSaved = append(gameSaved, r.SavedMW(ccdem.GovernorSection))
+		}
+		mean := func(vs []float64) float64 {
+			sum := 0.0
+			for _, v := range vs {
+				sum += v
+			}
+			return sum / float64(len(vs))
+		}
+		mg, mgame := mean(generalSaved), mean(gameSaved)
+		// Paper: ≈120 mW general, ≈290 mW games. Shape: games ≫ general,
+		// both positive, same order of magnitude as the paper.
+		if mgame <= mg {
+			t.Errorf("games saved %v ≤ general saved %v", mgame, mg)
+		}
+		if mg < 40 || mg > 300 {
+			t.Errorf("general mean saved = %v mW, want paper-scale ≈120", mg)
+		}
+		if mgame < 150 || mgame > 500 {
+			t.Errorf("games mean saved = %v mW, want paper-scale ≈290", mgame)
+		}
+		// No app should burn meaningfully more power under the governor.
+		// Apps whose content pins the panel at 60 Hz (Asphalt 8) gain
+		// nothing and pay only the ~10-15 mW metering overhead.
+		for _, r := range s.Runs {
+			if r.SavedMW(ccdem.GovernorSection) < -25 {
+				t.Errorf("%s: section cost power (%v mW)", r.App, -r.SavedMW(ccdem.GovernorSection))
+			}
+		}
+	})
+
+	t.Run("Fig10ContentRate", func(t *testing.T) {
+		for _, r := range s.Runs {
+			// With boost, estimated content rate ≈ actual.
+			if r.Boost.DisplayQuality < 0.80 {
+				t.Errorf("%s: boost quality %.2f below 0.80", r.App, r.Boost.DisplayQuality)
+			}
+			// Section-only never exceeds boost quality by a wide margin.
+			if r.Section.DisplayQuality > r.Boost.DisplayQuality+0.1 {
+				t.Errorf("%s: section quality %v far above boost %v",
+					r.App, r.Section.DisplayQuality, r.Boost.DisplayQuality)
+			}
+		}
+	})
+
+	t.Run("Fig11Quality", func(t *testing.T) {
+		// Mean quality with boost exceeds section-only for both categories.
+		for _, cat := range []app.Category{app.General, app.Game} {
+			var sect, boost float64
+			runs := s.Category(cat)
+			for _, r := range runs {
+				sect += r.Section.DisplayQuality
+				boost += r.Boost.DisplayQuality
+			}
+			sect /= float64(len(runs))
+			boost /= float64(len(runs))
+			if boost < sect {
+				t.Errorf("%s: boost quality %v below section %v", cat, boost, sect)
+			}
+			if boost < 0.9 {
+				t.Errorf("%s: boost mean quality %v below 0.9", cat, boost)
+			}
+		}
+	})
+
+	t.Run("Table1", func(t *testing.T) {
+		rows := s.Table1()
+		if len(rows) != 4 {
+			t.Fatalf("table rows = %d, want 4", len(rows))
+		}
+		for _, r := range rows {
+			if r.SavedPct <= 0 || r.SavedPct > 60 {
+				t.Errorf("%s/%s saved%% = %v out of plausible range", r.Cat, r.Mode, r.SavedPct)
+			}
+			if r.QualityPct < 50 || r.QualityPct > 100.5 {
+				t.Errorf("%s/%s quality%% = %v", r.Cat, r.Mode, r.QualityPct)
+			}
+		}
+		// Boost trades a little power for quality.
+		byKey := map[string]Table1Row{}
+		for _, r := range rows {
+			byKey[r.Cat.String()+"/"+r.Mode.String()] = r
+		}
+		for _, cat := range []string{"general", "game"} {
+			sect := byKey[cat+"/section"]
+			boost := byKey[cat+"/section+boost"]
+			if boost.QualityPct < sect.QualityPct {
+				t.Errorf("%s: boost quality %v below section %v", cat, boost.QualityPct, sect.QualityPct)
+			}
+			if boost.SavedPct > sect.SavedPct+1 {
+				t.Errorf("%s: boost saved %v meaningfully above section %v", cat, boost.SavedPct, sect.SavedPct)
+			}
+		}
+		out := s.Table1String()
+		if !strings.Contains(out, "Touch boosting") {
+			t.Error("Table1String missing method label")
+		}
+	})
+
+	t.Run("Renderings", func(t *testing.T) {
+		for name, out := range map[string]string{
+			"fig9": s.Fig9(), "fig10": s.Fig10(), "fig11": s.Fig11(),
+		} {
+			if !strings.Contains(out, "Jelly Splash") || !strings.Contains(out, "Facebook") {
+				t.Errorf("%s rendering missing app rows", name)
+			}
+		}
+		saved, quality := s.OverallSummary()
+		if saved <= 0 || quality < 80 {
+			t.Errorf("overall summary = %v mW / %v%%", saved, quality)
+		}
+	})
+}

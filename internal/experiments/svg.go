@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"ccdem"
+	"ccdem/internal/svgplot"
+	"ccdem/internal/trace"
+)
+
+// SVG renderers for the figures: line charts for traces, grouped/stacked
+// bars for per-app results — the browser-openable counterparts of the
+// paper's plots.
+
+func seriesToXY(s *trace.Series) svgplot.Series {
+	out := svgplot.Series{}
+	for _, p := range s.Points {
+		out.X = append(out.X, p.T.Seconds())
+		out.Y = append(out.Y, p.V)
+	}
+	return out
+}
+
+// WriteSVG renders Figure 2 as one chart per app (frame rate + content
+// rate), concatenating is not valid SVG, so both apps go into one chart
+// with four series.
+func (r *Fig2Result) WriteSVG(w io.Writer) error {
+	chart := svgplot.LineChart{
+		Title:  "Figure 2: frame rate vs fixed 60 Hz refresh",
+		XLabel: "time (s)",
+		YLabel: "fps",
+		YMax:   62,
+	}
+	for _, tr := range r.Traces {
+		fr := seriesToXY(tr.FrameRate)
+		fr.Name = tr.App + " frame rate"
+		ct := seriesToXY(tr.Content)
+		ct.Name = tr.App + " content"
+		chart.Series = append(chart.Series, fr, ct)
+	}
+	return chart.WriteSVG(w)
+}
+
+// WriteSVG renders Figure 3 as a stacked bar chart: meaningful +
+// redundant fps per application.
+func (r *Fig3Result) WriteSVG(w io.Writer) error {
+	chart := svgplot.BarChart{
+		Title:   "Figure 3: meaningful vs redundant frame rate (baseline 60 Hz)",
+		YLabel:  "fps",
+		Series:  []string{"meaningful", "redundant"},
+		Stacked: true,
+		YMax:    62,
+	}
+	for _, row := range r.Rows {
+		chart.Groups = append(chart.Groups, svgplot.BarGroup{
+			Label:  row.App,
+			Values: []float64{row.MeaningfulFPS, row.RedundantFPS},
+		})
+	}
+	return chart.WriteSVG(w)
+}
+
+// WriteSVG renders Figure 6 as a bar chart of error rate per grid.
+func (r *Fig6Result) WriteSVG(w io.Writer) error {
+	chart := svgplot.BarChart{
+		Title:  "Figure 6: metering error vs compared pixels",
+		YLabel: "error (%)",
+		Series: []string{"error rate"},
+	}
+	for _, g := range r.Grids {
+		chart.Groups = append(chart.Groups, svgplot.BarGroup{
+			Label:  fmt.Sprintf("%s (%dx%d)", g.Label, g.Cols, g.Rows),
+			Values: []float64{g.ErrorRate},
+		})
+	}
+	return chart.WriteSVG(w)
+}
+
+// WriteSVG renders one Figure 7 panel (pass the index into Traces).
+func (r *Fig7Result) WriteSVG(w io.Writer, panel int) error {
+	if panel < 0 || panel >= len(r.Traces) {
+		return fmt.Errorf("experiments: figure 7 panel %d of %d", panel, len(r.Traces))
+	}
+	tr := r.Traces[panel]
+	content := seriesToXY(tr.Content)
+	content.Name = "content rate (fps)"
+	refresh := seriesToXY(tr.Refresh)
+	refresh.Name = "refresh rate (Hz)"
+	chart := svgplot.LineChart{
+		Title:  fmt.Sprintf("Figure 7: %s — %s", tr.App, tr.Mode),
+		XLabel: "time (s)",
+		YLabel: "fps / Hz",
+		YMax:   62,
+		Series: []svgplot.Series{content, refresh},
+	}
+	return chart.WriteSVG(w)
+}
+
+// WriteSVG renders Figure 8's saved-power traces in one chart.
+func (r *Fig8Result) WriteSVG(w io.Writer) error {
+	chart := svgplot.LineChart{
+		Title:  "Figure 8: power saved vs baseline",
+		XLabel: "time (s)",
+		YLabel: "saved (mW)",
+	}
+	for _, tr := range r.Traces {
+		s := seriesToXY(tr.Saved)
+		s.Name = fmt.Sprintf("%s (%s)", tr.App, tr.Mode)
+		chart.Series = append(chart.Series, s)
+	}
+	return chart.WriteSVG(w)
+}
+
+// WriteFig9SVG renders the per-app power savings as grouped bars.
+func (s *Suite) WriteFig9SVG(w io.Writer) error {
+	chart := svgplot.BarChart{
+		Title:  "Figure 9: power saving vs baseline",
+		YLabel: "saved (mW)",
+		Series: []string{"section", "+boost"},
+	}
+	for _, r := range s.Runs {
+		chart.Groups = append(chart.Groups, svgplot.BarGroup{
+			Label: r.App,
+			Values: []float64{
+				r.SavedMW(ccdem.GovernorSection),
+				r.SavedMW(ccdem.GovernorSectionBoost),
+			},
+		})
+	}
+	return chart.WriteSVG(w)
+}
+
+// WriteFig11SVG renders per-app display quality as grouped bars.
+func (s *Suite) WriteFig11SVG(w io.Writer) error {
+	chart := svgplot.BarChart{
+		Title:  "Figure 11: display quality",
+		YLabel: "quality (%)",
+		YMax:   105,
+		Series: []string{"section", "+boost"},
+	}
+	for _, r := range s.Runs {
+		chart.Groups = append(chart.Groups, svgplot.BarGroup{
+			Label: r.App,
+			Values: []float64{
+				100 * r.Section.DisplayQuality,
+				100 * r.Boost.DisplayQuality,
+			},
+		})
+	}
+	return chart.WriteSVG(w)
+}

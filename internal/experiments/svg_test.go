@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/xml"
+	"testing"
+
+	"ccdem"
+	"ccdem/internal/app"
+	"ccdem/internal/sim"
+	"ccdem/internal/trace"
+)
+
+func assertXML(t *testing.T, out []byte) {
+	t.Helper()
+	dec := xml.NewDecoder(bytes.NewReader(out))
+	for {
+		if _, err := dec.Token(); err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("not well-formed XML: %v", err)
+		}
+	}
+}
+
+func tinySeries(name string, vals ...float64) *trace.Series {
+	s := trace.NewSeries(name)
+	for i, v := range vals {
+		s.Add(sim.Time(i)*sim.Second, v)
+	}
+	return s
+}
+
+func TestFigureSVGRenderers(t *testing.T) {
+	var buf bytes.Buffer
+
+	fig2 := &Fig2Result{Traces: []Fig2Trace{{
+		App:       "Facebook",
+		FrameRate: tinySeries("f", 1, 5, 60),
+		Content:   tinySeries("c", 1, 4, 10),
+	}}}
+	if err := fig2.WriteSVG(&buf); err != nil {
+		t.Fatalf("fig2: %v", err)
+	}
+	assertXML(t, buf.Bytes())
+
+	buf.Reset()
+	fig3 := &Fig3Result{Rows: []Fig3Row{
+		{App: "A", Cat: app.General, MeaningfulFPS: 5, RedundantFPS: 20},
+	}}
+	if err := fig3.WriteSVG(&buf); err != nil {
+		t.Fatalf("fig3: %v", err)
+	}
+	assertXML(t, buf.Bytes())
+
+	buf.Reset()
+	fig6 := &Fig6Result{Grids: []Fig6Grid{{Label: "2K", Cols: 36, Rows: 64, ErrorRate: 50}}}
+	if err := fig6.WriteSVG(&buf); err != nil {
+		t.Fatalf("fig6: %v", err)
+	}
+	assertXML(t, buf.Bytes())
+
+	buf.Reset()
+	fig7 := &Fig7Result{Traces: []Fig7Trace{{
+		App: "Facebook", Mode: ccdem.GovernorSection,
+		Content: tinySeries("c", 1, 2), Refresh: tinySeries("r", 60, 20),
+	}}}
+	if err := fig7.WriteSVG(&buf, 0); err != nil {
+		t.Fatalf("fig7: %v", err)
+	}
+	assertXML(t, buf.Bytes())
+	if err := fig7.WriteSVG(&buf, 5); err == nil {
+		t.Error("out-of-range panel accepted")
+	}
+
+	buf.Reset()
+	fig8 := &Fig8Result{Traces: []Fig8Trace{{
+		App: "Facebook", Mode: ccdem.GovernorSection, Saved: tinySeries("s", 100, 150),
+	}}}
+	if err := fig8.WriteSVG(&buf); err != nil {
+		t.Fatalf("fig8: %v", err)
+	}
+	assertXML(t, buf.Bytes())
+
+	buf.Reset()
+	suite := &Suite{Runs: []AppRun{{
+		App: "X", Cat: app.Game,
+		Baseline: ccdem.Stats{MeanPowerMW: 1000},
+		Section:  ccdem.Stats{MeanPowerMW: 800, DisplayQuality: 0.9},
+		Boost:    ccdem.Stats{MeanPowerMW: 850, DisplayQuality: 0.99},
+	}}}
+	if err := suite.WriteFig9SVG(&buf); err != nil {
+		t.Fatalf("fig9: %v", err)
+	}
+	assertXML(t, buf.Bytes())
+	buf.Reset()
+	if err := suite.WriteFig11SVG(&buf); err != nil {
+		t.Fatalf("fig11: %v", err)
+	}
+	assertXML(t, buf.Bytes())
+}

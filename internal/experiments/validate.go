@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"ccdem"
+	"ccdem/internal/app"
+)
+
+// Check is one qualitative-shape assertion from the paper, with the
+// measured evidence.
+type Check struct {
+	Name   string
+	Pass   bool
+	Detail string
+}
+
+// ValidationReport is the outcome of Validate: the reproduction's
+// qualitative claims checked against a fresh (short) campaign. Passing
+// validation means the "who wins, by roughly what factor" structure of
+// the paper holds on this build — the cheap regression gate for anyone
+// modifying the models.
+type ValidationReport struct {
+	Checks []Check
+}
+
+// Pass reports whether every check passed.
+func (r *ValidationReport) Pass() bool {
+	for _, c := range r.Checks {
+		if !c.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the report.
+func (r *ValidationReport) String() string {
+	var sb strings.Builder
+	sb.WriteString("Validation: paper shape checks\n\n")
+	for _, c := range r.Checks {
+		mark := "PASS"
+		if !c.Pass {
+			mark = "FAIL"
+		}
+		sb.WriteString(fmt.Sprintf("  [%s] %-44s %s\n", mark, c.Name, c.Detail))
+	}
+	if r.Pass() {
+		sb.WriteString("\nall checks passed\n")
+	} else {
+		sb.WriteString("\nVALIDATION FAILED\n")
+	}
+	return sb.String()
+}
+
+func (r *ValidationReport) add(name string, pass bool, format string, args ...any) {
+	r.Checks = append(r.Checks, Check{Name: name, Pass: pass, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Validate runs the shape checks. The supplied duration bounds each run;
+// 30–60 s is plenty.
+func Validate(o Options) (*ValidationReport, error) {
+	o.applyDefaults()
+	r := &ValidationReport{}
+
+	// 1–2: the Figure 2 contrast.
+	fig2, err := Fig2(o)
+	if err != nil {
+		return nil, err
+	}
+	var fbRate, jsRate, jsContent float64
+	for _, tr := range fig2.Traces {
+		switch tr.App {
+		case "Facebook":
+			fbRate = tr.FrameRate.Mean()
+		case "Jelly Splash":
+			jsRate = tr.FrameRate.Mean()
+			jsContent = tr.Content.Mean()
+		}
+	}
+	r.add("general app mostly idle (Fig 2a)", fbRate < 20,
+		"Facebook frame rate %.1f fps", fbRate)
+	r.add("game pinned near 60 fps (Fig 2b)", jsRate > 50 && jsContent < jsRate/2,
+		"Jelly Splash %.1f fps frames, %.1f fps content", jsRate, jsContent)
+
+	// 3: Figure 3 redundancy taxonomy.
+	fig3, err := Fig3(o)
+	if err != nil {
+		return nil, err
+	}
+	gameShare := fig3.ShareAboveRedundant(app.Game, 20)
+	r.add("most games >20 redundant fps (Fig 3d)", gameShare >= 0.6,
+		"share %.0f%%", 100*gameShare)
+	allGamesFast := true
+	for _, row := range fig3.Category(app.Game) {
+		if row.FrameRate < 30 {
+			allGamesFast = false
+		}
+	}
+	r.add("all games update >30 fps (Fig 3b)", allGamesFast, "")
+
+	// 4–5: Figure 6 metering accuracy and cost.
+	fig6, err := Fig6(o)
+	if err != nil {
+		return nil, err
+	}
+	g := fig6.Grids
+	r.add("metering error falls with grid size (Fig 6)",
+		g[0].ErrorRate > g[2].ErrorRate && g[3].ErrorRate <= 1 && g[4].ErrorRate == 0,
+		"2K %.1f%% → 9K %.1f%% → 36K %.1f%% → full %.1f%%",
+		g[0].ErrorRate, g[2].ErrorRate, g[3].ErrorRate, g[4].ErrorRate)
+	budgetOK := g[4].FitsBudget == false
+	for _, gr := range g[:4] {
+		if !gr.FitsBudget {
+			budgetOK = false
+		}
+	}
+	r.add("only full-frame compare misses V-Sync budget (Fig 6)", budgetOK, "")
+
+	// 6–8: control behaviour and power on the two trace apps.
+	fig7, err := Fig7(o)
+	if err != nil {
+		return nil, err
+	}
+	var fbSectDrop, fbBoostDrop, fbSectQ, fbBoostQ float64
+	for _, tr := range fig7.Traces {
+		if tr.App != "Facebook" {
+			continue
+		}
+		if tr.Mode == ccdem.GovernorSection {
+			fbSectDrop, fbSectQ = tr.DroppedFPS, tr.Quality
+		} else {
+			fbBoostDrop, fbBoostQ = tr.DroppedFPS, tr.Quality
+		}
+	}
+	r.add("boost cuts frame drops (Fig 7)", fbBoostDrop < fbSectDrop,
+		"section %.2f fps → boost %.2f fps", fbSectDrop, fbBoostDrop)
+	r.add("boost restores quality >=90% (Fig 11)", fbBoostQ >= 0.90 && fbBoostQ > fbSectQ,
+		"section %.1f%% → boost %.1f%%", 100*fbSectQ, 100*fbBoostQ)
+
+	fig8, err := Fig8(o)
+	if err != nil {
+		return nil, err
+	}
+	var fbSaved, jsSaved, jsBoostSaved float64
+	for _, tr := range fig8.Traces {
+		switch {
+		case tr.App == "Facebook" && tr.Mode == ccdem.GovernorSection:
+			fbSaved = tr.MeanSavedMW
+		case tr.App == "Jelly Splash" && tr.Mode == ccdem.GovernorSection:
+			jsSaved = tr.MeanSavedMW
+		case tr.App == "Jelly Splash" && tr.Mode == ccdem.GovernorSectionBoost:
+			jsBoostSaved = tr.MeanSavedMW
+		}
+	}
+	r.add("redundant game saves ≫ idle app (Fig 8)", jsSaved > fbSaved && fbSaved > 50,
+		"Jelly Splash %.0f mW vs Facebook %.0f mW", jsSaved, fbSaved)
+	r.add("boost costs a little of the saving (Table 1)", jsBoostSaved <= jsSaved && jsBoostSaved > 0.5*jsSaved,
+		"section %.0f mW → boost %.0f mW", jsSaved, jsBoostSaved)
+
+	// 9: refresh control beats frame-rate adaptation (extension).
+	e3Saved, ccSaved, err := validateE3(o)
+	if err != nil {
+		return nil, err
+	}
+	r.add("refresh control beats frame-rate adaptation (ext)", ccSaved > e3Saved,
+		"ccdem %.0f mW vs E3 %.0f mW on Jelly Splash", ccSaved, e3Saved)
+	return r, nil
+}
+
+// validateE3 measures the Jelly Splash scheme gap.
+func validateE3(o Options) (e3Saved, ccSaved float64, err error) {
+	p, err := catalogApp("Jelly Splash")
+	if err != nil {
+		return 0, 0, err
+	}
+	base, _, err := runApp(o, p, ccdem.GovernorOff)
+	if err != nil {
+		return 0, 0, err
+	}
+	e3, _, err := runApp(o, p, ccdem.GovernorE3)
+	if err != nil {
+		return 0, 0, err
+	}
+	full, _, err := runApp(o, p, ccdem.GovernorSectionBoost)
+	if err != nil {
+		return 0, 0, err
+	}
+	return base.MeanPowerMW - e3.MeanPowerMW, base.MeanPowerMW - full.MeanPowerMW, nil
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"ccdem/internal/sim"
+)
+
+func TestValidatePasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("validation campaign is slow")
+	}
+	r, err := Validate(Options{Duration: 25 * sim.Second, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Checks) < 10 {
+		t.Fatalf("checks = %d, want ≥10", len(r.Checks))
+	}
+	for _, c := range r.Checks {
+		if !c.Pass {
+			t.Errorf("check failed: %s (%s)", c.Name, c.Detail)
+		}
+	}
+	out := r.String()
+	if !strings.Contains(out, "all checks passed") {
+		t.Errorf("rendering: %s", out)
+	}
+}
+
+func TestValidationReportFailureRendering(t *testing.T) {
+	r := &ValidationReport{}
+	r.add("good", true, "fine")
+	r.add("bad", false, "broken %d", 7)
+	if r.Pass() {
+		t.Error("report with failure passed")
+	}
+	out := r.String()
+	if !strings.Contains(out, "FAIL") || !strings.Contains(out, "broken 7") {
+		t.Errorf("rendering: %s", out)
+	}
+	if !strings.Contains(out, "VALIDATION FAILED") {
+		t.Error("missing failure banner")
+	}
+}

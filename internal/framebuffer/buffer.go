@@ -1,0 +1,202 @@
+// Package framebuffer models the pixel storage of the simulated device:
+// RGBX pixel buffers, damage rectangles, and the sparse sampling grids used
+// by the paper's grid-based comparison technique.
+//
+// The content rate meter in internal/core operates on real pixel data from
+// these buffers, exactly as the paper's implementation reads the Android
+// framebuffer, so classification of frames as content vs redundant is done
+// by actual comparison rather than by trusting workload annotations.
+package framebuffer
+
+import "fmt"
+
+// Color is a packed 0x00RRGGBB pixel. The Galaxy S3 framebuffer is RGBX8888;
+// the padding byte carries no information so we keep it zero.
+type Color uint32
+
+// RGB packs three 8-bit channels into a Color.
+func RGB(r, g, b uint8) Color {
+	return Color(uint32(r)<<16 | uint32(g)<<8 | uint32(b))
+}
+
+// RGB returns the three 8-bit channels of c.
+func (c Color) RGB() (r, g, b uint8) {
+	return uint8(c >> 16), uint8(c >> 8), uint8(c)
+}
+
+// Luminance returns the Rec.601 luma of c in [0, 255]. It feeds the OLED
+// panel power model, where emitted light (hence power) tracks pixel
+// luminance.
+func (c Color) Luminance() float64 {
+	r, g, b := c.RGB()
+	return 0.299*float64(r) + 0.587*float64(g) + 0.114*float64(b)
+}
+
+// Common colors used by the procedural app renderers.
+var (
+	Black = RGB(0, 0, 0)
+	White = RGB(255, 255, 255)
+)
+
+// Buffer is a width × height pixel surface stored row-major.
+type Buffer struct {
+	w, h int
+	pix  []Color
+}
+
+// New allocates a zeroed (black) buffer. Width and height must be positive.
+func New(w, h int) *Buffer {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("framebuffer: invalid size %dx%d", w, h))
+	}
+	return &Buffer{w: w, h: h, pix: make([]Color, w*h)}
+}
+
+// Width returns the buffer width in pixels.
+func (b *Buffer) Width() int { return b.w }
+
+// Height returns the buffer height in pixels.
+func (b *Buffer) Height() int { return b.h }
+
+// Bounds returns the full-buffer rectangle.
+func (b *Buffer) Bounds() Rect { return Rect{0, 0, b.w, b.h} }
+
+// Pix exposes the raw row-major pixel slice for zero-copy scanning by the
+// meter and the OLED power model. Callers must not resize it.
+func (b *Buffer) Pix() []Color { return b.pix }
+
+// At returns the pixel at (x, y). Out-of-bounds access panics (slice bounds).
+func (b *Buffer) At(x, y int) Color { return b.pix[y*b.w+x] }
+
+// Set writes the pixel at (x, y).
+func (b *Buffer) Set(x, y int, c Color) { b.pix[y*b.w+x] = c }
+
+// Fill sets every pixel in r (clamped to the buffer) to c and returns the
+// number of pixels written.
+func (b *Buffer) Fill(r Rect, c Color) int {
+	r = r.Clamp(b.Bounds())
+	if r.Empty() {
+		return 0
+	}
+	for y := r.Y0; y < r.Y1; y++ {
+		row := b.pix[y*b.w+r.X0 : y*b.w+r.X1]
+		for i := range row {
+			row[i] = c
+		}
+	}
+	return r.Area()
+}
+
+// FillAll sets the whole buffer to c.
+func (b *Buffer) FillAll(c Color) int { return b.Fill(b.Bounds(), c) }
+
+// CopyFrom makes b an exact copy of src. The buffers must have identical
+// dimensions.
+func (b *Buffer) CopyFrom(src *Buffer) {
+	if b.w != src.w || b.h != src.h {
+		panic(fmt.Sprintf("framebuffer: CopyFrom size mismatch %dx%d vs %dx%d", b.w, b.h, src.w, src.h))
+	}
+	copy(b.pix, src.pix)
+}
+
+// Blit copies the srcRect portion of src to b at destination (dx, dy),
+// clipping against both buffers. It returns the number of pixels copied.
+func (b *Buffer) Blit(src *Buffer, srcRect Rect, dx, dy int) int {
+	srcRect = srcRect.Clamp(src.Bounds())
+	if srcRect.Empty() {
+		return 0
+	}
+	// Clip the destination against b and translate the clip back to source.
+	dst := Rect{dx, dy, dx + srcRect.Dx(), dy + srcRect.Dy()}.Clamp(b.Bounds())
+	if dst.Empty() {
+		return 0
+	}
+	sx := srcRect.X0 + (dst.X0 - dx)
+	sy := srcRect.Y0 + (dst.Y0 - dy)
+	for y := 0; y < dst.Dy(); y++ {
+		srow := src.pix[(sy+y)*src.w+sx : (sy+y)*src.w+sx+dst.Dx()]
+		drow := b.pix[(dst.Y0+y)*b.w+dst.X0 : (dst.Y0+y)*b.w+dst.X1]
+		copy(drow, srow)
+	}
+	return dst.Area()
+}
+
+// ScrollVert shifts the content of region r vertically by dy pixels
+// (positive dy moves content down the screen, as when a user scrolls up a
+// list). Rows vacated by the shift are left untouched for the caller to
+// repaint. It returns the rectangle the caller must repaint.
+func (b *Buffer) ScrollVert(r Rect, dy int) Rect {
+	r = r.Clamp(b.Bounds())
+	if r.Empty() || dy == 0 {
+		return Rect{}
+	}
+	if abs(dy) >= r.Dy() {
+		return r // everything scrolled out; repaint all
+	}
+	if dy > 0 {
+		// Move rows downward, iterating bottom-up to avoid overwrite.
+		for y := r.Y1 - 1; y >= r.Y0+dy; y-- {
+			src := b.pix[(y-dy)*b.w+r.X0 : (y-dy)*b.w+r.X1]
+			dst := b.pix[y*b.w+r.X0 : y*b.w+r.X1]
+			copy(dst, src)
+		}
+		return Rect{r.X0, r.Y0, r.X1, r.Y0 + dy}
+	}
+	// dy < 0: move rows upward, top-down.
+	for y := r.Y0; y < r.Y1+dy; y++ {
+		src := b.pix[(y-dy)*b.w+r.X0 : (y-dy)*b.w+r.X1]
+		dst := b.pix[y*b.w+r.X0 : y*b.w+r.X1]
+		copy(dst, src)
+	}
+	return Rect{r.X0, r.Y1 + dy, r.X1, r.Y1}
+}
+
+// Equal reports whether b and o hold identical pixels. Buffers of different
+// dimensions are never equal.
+func (b *Buffer) Equal(o *Buffer) bool {
+	if b.w != o.w || b.h != o.h {
+		return false
+	}
+	for i, p := range b.pix {
+		if o.pix[i] != p {
+			return false
+		}
+	}
+	return true
+}
+
+// DiffPixels counts pixels that differ between b and o, which must have the
+// same dimensions. It is the ground-truth comparison (the "all pixels" row
+// of the paper's Figure 6).
+func (b *Buffer) DiffPixels(o *Buffer) int {
+	if b.w != o.w || b.h != o.h {
+		panic("framebuffer: DiffPixels size mismatch")
+	}
+	n := 0
+	for i, p := range b.pix {
+		if o.pix[i] != p {
+			n++
+		}
+	}
+	return n
+}
+
+// MeanLuminance returns the average Rec.601 luma over the whole buffer.
+// The OLED panel model consumes this.
+func (b *Buffer) MeanLuminance() float64 {
+	if len(b.pix) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range b.pix {
+		sum += p.Luminance()
+	}
+	return sum / float64(len(b.pix))
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,40 @@
+package framebuffer
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadPPM hardens the screenshot parser: arbitrary input must either
+// error or produce a buffer that re-serializes to an equivalent image.
+func FuzzReadPPM(f *testing.F) {
+	good := New(3, 2)
+	good.Set(1, 1, RGB(10, 20, 30))
+	var buf bytes.Buffer
+	if err := good.WritePPM(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("P6\n1 1\n255\nRGB"))
+	f.Add([]byte("P5\n1 1\n255\n."))
+	f.Add([]byte(""))
+	f.Add([]byte("P6\n99999999 99999999\n255\n"))
+
+	f.Fuzz(func(t *testing.T, in []byte) {
+		b, err := ReadPPM(bytes.NewReader(in))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := b.WritePPM(&out); err != nil {
+			t.Fatalf("accepted image failed to serialize: %v", err)
+		}
+		b2, err := ReadPPM(&out)
+		if err != nil {
+			t.Fatalf("re-serialized image failed to parse: %v", err)
+		}
+		if !b.Equal(b2) {
+			t.Fatal("PPM round trip not stable")
+		}
+	})
+}

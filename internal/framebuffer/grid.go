@@ -1,0 +1,148 @@
+package framebuffer
+
+import (
+	"fmt"
+	"math"
+)
+
+// Grid is the paper's grid-based comparison lattice: the screen is divided
+// into cols × rows cells and the RGB value of each cell is represented by
+// its center pixel. Comparing only the sampled lattice instead of every
+// pixel makes content-rate metering nearly free (paper §3.1, Figure 4).
+type Grid struct {
+	w, h       int // screen dimensions
+	cols, rows int // lattice dimensions
+	xs, ys     []int
+}
+
+// NewGrid constructs a cols × rows sampling lattice over a w × h screen.
+// All arguments must be positive and the lattice must not exceed the screen.
+func NewGrid(w, h, cols, rows int) Grid {
+	if w <= 0 || h <= 0 || cols <= 0 || rows <= 0 || cols > w || rows > h {
+		panic(fmt.Sprintf("framebuffer: invalid grid %dx%d over %dx%d", cols, rows, w, h))
+	}
+	g := Grid{w: w, h: h, cols: cols, rows: rows}
+	g.xs = centers(w, cols)
+	g.ys = centers(h, rows)
+	return g
+}
+
+// centers returns the center coordinate of each of n equal cells spanning
+// [0, extent).
+func centers(extent, n int) []int {
+	cs := make([]int, n)
+	for i := range cs {
+		// Cell i spans [i*extent/n, (i+1)*extent/n); take its midpoint.
+		cs[i] = (2*i*extent + extent) / (2 * n)
+	}
+	return cs
+}
+
+// GridForSamples builds a lattice with approximately n sample points over a
+// w × h screen, preserving the screen aspect ratio, mirroring the paper's
+// experimental grids for the 720×1280 Galaxy S3 panel:
+//
+//	2K → 36×64, 4K → 48×85(≈90), 9K → 72×128, 36K → 144×256, 921K → 720×1280.
+func GridForSamples(w, h, n int) Grid {
+	if n >= w*h {
+		return NewGrid(w, h, w, h)
+	}
+	// cols/rows ≈ w/h and cols*rows ≈ n  ⇒  cols = sqrt(n·w/h).
+	cols := int(math.Round(math.Sqrt(float64(n) * float64(w) / float64(h))))
+	if cols < 1 {
+		cols = 1
+	}
+	if cols > w {
+		cols = w
+	}
+	rows := (n + cols - 1) / cols
+	if rows < 1 {
+		rows = 1
+	}
+	if rows > h {
+		rows = h
+	}
+	return NewGrid(w, h, cols, rows)
+}
+
+// Samples returns the number of lattice points.
+func (g Grid) Samples() int { return g.cols * g.rows }
+
+// Dims returns the lattice dimensions (cols, rows).
+func (g Grid) Dims() (cols, rows int) { return g.cols, g.rows }
+
+// ScreenDims returns the screen dimensions the lattice was built for.
+func (g Grid) ScreenDims() (w, h int) { return g.w, g.h }
+
+// Sample reads the lattice pixels of buf into dst, which must have length
+// Samples(). buf must match the grid's screen dimensions.
+func (g Grid) Sample(buf *Buffer, dst []Color) {
+	if buf.Width() != g.w || buf.Height() != g.h {
+		panic(fmt.Sprintf("framebuffer: Sample on %dx%d buffer with %dx%d grid screen",
+			buf.Width(), buf.Height(), g.w, g.h))
+	}
+	if len(dst) != g.Samples() {
+		panic(fmt.Sprintf("framebuffer: Sample dst length %d, want %d", len(dst), g.Samples()))
+	}
+	pix := buf.Pix()
+	i := 0
+	for _, y := range g.ys {
+		row := pix[y*g.w : (y+1)*g.w]
+		for _, x := range g.xs {
+			dst[i] = row[x]
+			i++
+		}
+	}
+}
+
+// SamplesDiffer reports whether two sampled lattices differ anywhere. Both
+// slices must have equal length.
+func SamplesDiffer(a, b []Color) bool {
+	return SamplesFirstDiff(a, b) >= 0
+}
+
+// SamplesFirstDiff returns the index of the first differing sample, or -1
+// when the lattices are identical. The early-exit meter uses the index to
+// account only the comparison work actually performed.
+func SamplesFirstDiff(a, b []Color) int {
+	if len(a) != len(b) {
+		panic("framebuffer: SamplesFirstDiff length mismatch")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// DoubleBuffer implements the paper's double-buffering technique for the
+// meter: two sampled-lattice buffers are alternated so that the previous
+// frame's samples remain available while the current frame is sampled,
+// avoiding a copy on every frame (paper §3.1, "Double Buffering").
+type DoubleBuffer struct {
+	front, back []Color
+	primed      bool
+}
+
+// NewDoubleBuffer allocates both lattice buffers for n samples.
+func NewDoubleBuffer(n int) *DoubleBuffer {
+	return &DoubleBuffer{front: make([]Color, n), back: make([]Color, n)}
+}
+
+// Front returns the buffer to sample the current frame into.
+func (d *DoubleBuffer) Front() []Color { return d.front }
+
+// Back returns the previous frame's samples. Valid only once Primed.
+func (d *DoubleBuffer) Back() []Color { return d.back }
+
+// Primed reports whether at least one frame has been committed, i.e.
+// whether Back holds valid previous-frame samples.
+func (d *DoubleBuffer) Primed() bool { return d.primed }
+
+// Commit makes the current front buffer the new back buffer (the "previous
+// frame") and recycles the old back buffer as the next front.
+func (d *DoubleBuffer) Commit() {
+	d.front, d.back = d.back, d.front
+	d.primed = true
+}

@@ -1,0 +1,67 @@
+package framebuffer
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WritePPM serializes the buffer as a binary PPM (P6) image — the
+// screenshot format of the simulated device. PPM needs no codec from
+// outside the standard library and opens in any image viewer, which makes
+// it the debugging format of choice for inspecting what the workloads
+// actually painted and what the meter saw.
+func (b *Buffer) WritePPM(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P6\n%d %d\n255\n", b.w, b.h); err != nil {
+		return err
+	}
+	row := make([]byte, 3*b.w)
+	for y := 0; y < b.h; y++ {
+		for x := 0; x < b.w; x++ {
+			r, g, bb := b.pix[y*b.w+x].RGB()
+			row[3*x] = r
+			row[3*x+1] = g
+			row[3*x+2] = bb
+		}
+		if _, err := bw.Write(row); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadPPM parses a binary PPM (P6) image produced by WritePPM back into a
+// Buffer, enabling golden-image tests and offline inspection round trips.
+func ReadPPM(r io.Reader) (*Buffer, error) {
+	br := bufio.NewReader(r)
+	var magic string
+	var w, h, maxVal int
+	if _, err := fmt.Fscan(br, &magic, &w, &h, &maxVal); err != nil {
+		return nil, fmt.Errorf("framebuffer: bad PPM header: %w", err)
+	}
+	if magic != "P6" {
+		return nil, fmt.Errorf("framebuffer: unsupported PPM magic %q", magic)
+	}
+	if maxVal != 255 {
+		return nil, fmt.Errorf("framebuffer: unsupported PPM maxval %d", maxVal)
+	}
+	if w <= 0 || h <= 0 || w > 1<<15 || h > 1<<15 {
+		return nil, fmt.Errorf("framebuffer: implausible PPM size %dx%d", w, h)
+	}
+	// Exactly one whitespace byte separates the header from pixel data.
+	if _, err := br.ReadByte(); err != nil {
+		return nil, err
+	}
+	buf := New(w, h)
+	row := make([]byte, 3*w)
+	for y := 0; y < h; y++ {
+		if _, err := io.ReadFull(br, row); err != nil {
+			return nil, fmt.Errorf("framebuffer: short PPM pixel data: %w", err)
+		}
+		for x := 0; x < w; x++ {
+			buf.Set(x, y, RGB(row[3*x], row[3*x+1], row[3*x+2]))
+		}
+	}
+	return buf, nil
+}

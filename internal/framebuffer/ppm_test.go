@@ -1,0 +1,58 @@
+package framebuffer
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPPMRoundTrip(t *testing.T) {
+	b := New(7, 5)
+	for y := 0; y < 5; y++ {
+		for x := 0; x < 7; x++ {
+			b.Set(x, y, RGB(uint8(x*30), uint8(y*50), uint8(x*y)))
+		}
+	}
+	var buf bytes.Buffer
+	if err := b.WritePPM(&buf); err != nil {
+		t.Fatalf("WritePPM: %v", err)
+	}
+	if !bytes.HasPrefix(buf.Bytes(), []byte("P6\n7 5\n255\n")) {
+		t.Errorf("PPM header = %q", buf.Bytes()[:12])
+	}
+	got, err := ReadPPM(&buf)
+	if err != nil {
+		t.Fatalf("ReadPPM: %v", err)
+	}
+	if !got.Equal(b) {
+		t.Error("round trip lost pixels")
+	}
+}
+
+func TestReadPPMErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad magic":  "P5\n2 2\n255\n....",
+		"bad maxval": "P6\n2 2\n65535\n........",
+		"bad size":   "P6\n-3 2\n255\n",
+		"truncated":  "P6\n4 4\n255\nxx",
+		"empty":      "",
+	}
+	for name, in := range cases {
+		if _, err := ReadPPM(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestPPMSizeMatchesDims(t *testing.T) {
+	b := New(10, 4)
+	var buf bytes.Buffer
+	if err := b.WritePPM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wantPixels := 3 * 10 * 4
+	header := len("P6\n10 4\n255\n")
+	if buf.Len() != header+wantPixels {
+		t.Errorf("PPM size = %d, want %d", buf.Len(), header+wantPixels)
+	}
+}

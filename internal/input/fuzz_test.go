@@ -1,0 +1,48 @@
+package input
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ccdem/internal/sim"
+)
+
+// FuzzReadScript hardens the script parser against malformed documents:
+// whatever the input, ReadScript must either error or return a script
+// that replays cleanly.
+func FuzzReadScript(f *testing.F) {
+	// Seed with a real script and the validation-test corpus.
+	mk, err := NewMonkey(1, DefaultMonkeyConfig())
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := mk.Script(5*sim.Second, 100, 100).WriteJSON(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{"version":1,"length_us":1000,"gestures":[]}`)
+	f.Add(`{"version":1,"length_us":-5,"gestures":[]}`)
+	f.Add(`[]`)
+	f.Add(``)
+
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := ReadScript(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		// A script the parser accepted must replay without panicking and
+		// round-trip through the writer.
+		eng := sim.NewEngine()
+		r := NewReplayer(eng)
+		n := 0
+		r.Subscribe(func(Event) { n++ })
+		r.Play(s)
+		eng.RunUntil(s.Length)
+		var out bytes.Buffer
+		if err := s.WriteJSON(&out); err != nil {
+			t.Fatalf("accepted script failed to serialize: %v", err)
+		}
+	})
+}

@@ -1,0 +1,197 @@
+package input
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"ccdem/internal/sim"
+)
+
+func mustMonkey(t *testing.T, seed int64) *Monkey {
+	t.Helper()
+	m, err := NewMonkey(seed, DefaultMonkeyConfig())
+	if err != nil {
+		t.Fatalf("NewMonkey: %v", err)
+	}
+	return m
+}
+
+func TestMonkeyConfigValidation(t *testing.T) {
+	bad := []MonkeyConfig{
+		{},
+		{MeanIdle: sim.Second, MinIdle: 2 * sim.Second, MoveRate: 100},
+		{MeanIdle: sim.Second, TapFraction: 0.7, SwipeFraction: 0.7, MoveRate: 100},
+		{MeanIdle: sim.Second, MoveRate: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := NewMonkey(1, cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestMonkeyDeterminism(t *testing.T) {
+	s1 := mustMonkey(t, 42).Script(30*sim.Second, 720, 1280)
+	s2 := mustMonkey(t, 42).Script(30*sim.Second, 720, 1280)
+	if !reflect.DeepEqual(s1, s2) {
+		t.Error("same seed produced different scripts")
+	}
+	s3 := mustMonkey(t, 43).Script(30*sim.Second, 720, 1280)
+	if reflect.DeepEqual(s1, s3) {
+		t.Error("different seeds produced identical scripts")
+	}
+}
+
+func TestScriptEventInvariants(t *testing.T) {
+	s := mustMonkey(t, 7).Script(60*sim.Second, 720, 1280)
+	if len(s.Gestures) == 0 {
+		t.Fatal("60s script has no gestures")
+	}
+	evs := s.Events()
+	for i, ev := range evs {
+		if ev.At < 0 || ev.At >= s.Length {
+			t.Fatalf("event %d at %v outside script [0,%v)", i, ev.At, s.Length)
+		}
+		if ev.X < 0 || ev.X >= 720 || ev.Y < 0 || ev.Y >= 1280 {
+			t.Fatalf("event %d at (%d,%d) off screen", i, ev.X, ev.Y)
+		}
+		if i > 0 && ev.At < evs[i-1].At {
+			t.Fatalf("event %d out of order", i)
+		}
+	}
+	// Every gesture is down ... up.
+	for gi, g := range s.Gestures {
+		if len(g.Events) < 2 {
+			t.Fatalf("gesture %d has %d events", gi, len(g.Events))
+		}
+		if g.Events[0].Kind != TouchDown || g.Events[len(g.Events)-1].Kind != TouchUp {
+			t.Fatalf("gesture %d not down..up: %v..%v", gi, g.Events[0].Kind, g.Events[len(g.Events)-1].Kind)
+		}
+		for _, mid := range g.Events[1 : len(g.Events)-1] {
+			if mid.Kind != TouchMove {
+				t.Fatalf("gesture %d has non-move interior event", gi)
+			}
+		}
+	}
+}
+
+func TestMonkeyGestureMix(t *testing.T) {
+	s := mustMonkey(t, 123).Script(10*sim.Minute, 720, 1280)
+	taps := s.CountKind(Tap)
+	swipes := s.CountKind(Swipe)
+	flings := s.CountKind(Fling)
+	total := taps + swipes + flings
+	if total != len(s.Gestures) {
+		t.Fatalf("kinds %d+%d+%d != %d gestures", taps, swipes, flings, len(s.Gestures))
+	}
+	// With defaults 45/40/15, a long run should roughly respect the mix.
+	if fr := float64(taps) / float64(total); fr < 0.3 || fr > 0.6 {
+		t.Errorf("tap fraction = %v, want ≈0.45", fr)
+	}
+	if fr := float64(swipes) / float64(total); fr < 0.25 || fr > 0.55 {
+		t.Errorf("swipe fraction = %v, want ≈0.40", fr)
+	}
+}
+
+func TestGestureDuration(t *testing.T) {
+	g := Gesture{Events: []Event{{At: sim.Second}, {At: sim.Second + 100*sim.Millisecond}}}
+	if g.Duration() != 100*sim.Millisecond {
+		t.Errorf("Duration = %v", g.Duration())
+	}
+	if (Gesture{}).Duration() != 0 {
+		t.Error("empty gesture duration != 0")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if TouchDown.String() != "down" || TouchMove.String() != "move" || TouchUp.String() != "up" {
+		t.Error("Kind strings wrong")
+	}
+	if Tap.String() != "tap" || Swipe.String() != "swipe" || Fling.String() != "fling" {
+		t.Error("GestureKind strings wrong")
+	}
+	if Kind(9).String() == "" || GestureKind(9).String() == "" {
+		t.Error("unknown kinds have empty strings")
+	}
+}
+
+func TestReplayerDeliversInOrder(t *testing.T) {
+	eng := sim.NewEngine()
+	r := NewReplayer(eng)
+	var got []Event
+	r.Subscribe(func(ev Event) { got = append(got, ev) })
+	s := mustMonkey(t, 5).Script(20*sim.Second, 720, 1280)
+	r.Play(s)
+	eng.RunUntil(20 * sim.Second)
+	want := s.Events()
+	if len(got) != len(want) {
+		t.Fatalf("delivered %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Kind != want[i].Kind || got[i].X != want[i].X || got[i].Y != want[i].Y {
+			t.Fatalf("event %d mismatch: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReplayerOffsetsFromNow(t *testing.T) {
+	eng := sim.NewEngine()
+	eng.RunUntil(5 * sim.Second)
+	r := NewReplayer(eng)
+	var first sim.Time = -1
+	r.Subscribe(func(ev Event) {
+		if first < 0 {
+			first = eng.Now()
+		}
+	})
+	s := mustMonkey(t, 5).Script(10*sim.Second, 720, 1280)
+	r.Play(s)
+	eng.RunUntil(20 * sim.Second)
+	wantFirst := 5*sim.Second + s.Events()[0].At
+	if first != wantFirst {
+		t.Errorf("first delivery at %v, want %v", first, wantFirst)
+	}
+}
+
+func TestReplayerMultipleSinks(t *testing.T) {
+	eng := sim.NewEngine()
+	r := NewReplayer(eng)
+	a, b := 0, 0
+	r.Subscribe(func(Event) { a++ })
+	r.Subscribe(func(Event) { b++ })
+	s := mustMonkey(t, 5).Script(10*sim.Second, 720, 1280)
+	r.Play(s)
+	eng.RunUntil(10 * sim.Second)
+	if a == 0 || a != b {
+		t.Errorf("sink counts %d/%d, want equal and non-zero", a, b)
+	}
+}
+
+// Property: scripts are deterministic per seed and all events are in
+// bounds for arbitrary screen sizes.
+func TestMonkeyScriptProperty(t *testing.T) {
+	f := func(seed int64, wRaw, hRaw uint16) bool {
+		w := int(wRaw%2000) + 100
+		h := int(hRaw%2000) + 100
+		m1, err := NewMonkey(seed, DefaultMonkeyConfig())
+		if err != nil {
+			return false
+		}
+		m2, _ := NewMonkey(seed, DefaultMonkeyConfig())
+		s1 := m1.Script(15*sim.Second, w, h)
+		s2 := m2.Script(15*sim.Second, w, h)
+		if !reflect.DeepEqual(s1, s2) {
+			return false
+		}
+		for _, ev := range s1.Events() {
+			if ev.X < 0 || ev.X >= w || ev.Y < 0 || ev.Y >= h || ev.At < 0 || ev.At >= 15*sim.Second {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

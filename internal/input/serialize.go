@@ -1,0 +1,102 @@
+package input
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"ccdem/internal/sim"
+)
+
+// Script serialization: a stable JSON wire format so that one recorded or
+// generated interaction sequence can be replayed bit-identically across
+// tools and machines — the "same script" property the paper's paired
+// measurements rest on, made portable.
+
+type wireScript struct {
+	Version  int           `json:"version"`
+	LengthUS int64         `json:"length_us"`
+	Gestures []wireGesture `json:"gestures"`
+}
+
+type wireGesture struct {
+	Kind    string      `json:"kind"`
+	StartUS int64       `json:"start_us"`
+	Events  []wireEvent `json:"events"`
+}
+
+type wireEvent struct {
+	AtUS int64  `json:"at_us"`
+	Kind string `json:"kind"`
+	X    int    `json:"x"`
+	Y    int    `json:"y"`
+}
+
+const wireVersion = 1
+
+var kindNames = map[Kind]string{TouchDown: "down", TouchMove: "move", TouchUp: "up"}
+var kindValues = map[string]Kind{"down": TouchDown, "move": TouchMove, "up": TouchUp}
+var gestureNames = map[GestureKind]string{Tap: "tap", Swipe: "swipe", Fling: "fling"}
+var gestureValues = map[string]GestureKind{"tap": Tap, "swipe": Swipe, "fling": Fling}
+
+// WriteJSON serializes the script.
+func (s Script) WriteJSON(w io.Writer) error {
+	ws := wireScript{Version: wireVersion, LengthUS: int64(s.Length)}
+	for _, g := range s.Gestures {
+		wg := wireGesture{Kind: gestureNames[g.Kind], StartUS: int64(g.Start)}
+		for _, ev := range g.Events {
+			wg.Events = append(wg.Events, wireEvent{
+				AtUS: int64(ev.At), Kind: kindNames[ev.Kind], X: ev.X, Y: ev.Y,
+			})
+		}
+		ws.Gestures = append(ws.Gestures, wg)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ws)
+}
+
+// ReadScript parses a script previously written by WriteJSON, validating
+// structure (version, event ordering, gesture down…up shape).
+func ReadScript(r io.Reader) (Script, error) {
+	var ws wireScript
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&ws); err != nil {
+		return Script{}, fmt.Errorf("input: parsing script: %w", err)
+	}
+	if ws.Version != wireVersion {
+		return Script{}, fmt.Errorf("input: unsupported script version %d", ws.Version)
+	}
+	if ws.LengthUS <= 0 {
+		return Script{}, fmt.Errorf("input: non-positive script length %d", ws.LengthUS)
+	}
+	s := Script{Length: sim.Time(ws.LengthUS)}
+	var lastAt sim.Time = -1
+	for gi, wg := range ws.Gestures {
+		gk, ok := gestureValues[wg.Kind]
+		if !ok {
+			return Script{}, fmt.Errorf("input: gesture %d has unknown kind %q", gi, wg.Kind)
+		}
+		g := Gesture{Kind: gk, Start: sim.Time(wg.StartUS)}
+		if len(wg.Events) < 2 {
+			return Script{}, fmt.Errorf("input: gesture %d has %d events, need ≥2", gi, len(wg.Events))
+		}
+		for ei, we := range wg.Events {
+			ek, ok := kindValues[we.Kind]
+			if !ok {
+				return Script{}, fmt.Errorf("input: gesture %d event %d has unknown kind %q", gi, ei, we.Kind)
+			}
+			at := sim.Time(we.AtUS)
+			if at < lastAt {
+				return Script{}, fmt.Errorf("input: gesture %d event %d out of order", gi, ei)
+			}
+			lastAt = at
+			g.Events = append(g.Events, Event{At: at, Kind: ek, X: we.X, Y: we.Y})
+		}
+		if g.Events[0].Kind != TouchDown || g.Events[len(g.Events)-1].Kind != TouchUp {
+			return Script{}, fmt.Errorf("input: gesture %d is not down…up shaped", gi)
+		}
+		s.Gestures = append(s.Gestures, g)
+	}
+	return s, nil
+}

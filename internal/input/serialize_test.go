@@ -1,0 +1,78 @@
+package input
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ccdem/internal/sim"
+)
+
+func TestScriptJSONRoundTrip(t *testing.T) {
+	s := mustMonkey(t, 77).Script(30*sim.Second, 720, 1280)
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	got, err := ReadScript(&buf)
+	if err != nil {
+		t.Fatalf("ReadScript: %v", err)
+	}
+	if !reflect.DeepEqual(s, got) {
+		t.Error("round trip changed the script")
+	}
+}
+
+func TestReadScriptValidation(t *testing.T) {
+	cases := map[string]string{
+		"garbage":      "not json",
+		"bad version":  `{"version":9,"length_us":1000,"gestures":[]}`,
+		"zero length":  `{"version":1,"length_us":0,"gestures":[]}`,
+		"unknown kind": `{"version":1,"length_us":1000,"gestures":[{"kind":"pinch","start_us":0,"events":[{"at_us":0,"kind":"down","x":1,"y":1},{"at_us":5,"kind":"up","x":1,"y":1}]}]}`,
+		"bad event":    `{"version":1,"length_us":1000,"gestures":[{"kind":"tap","start_us":0,"events":[{"at_us":0,"kind":"hover","x":1,"y":1},{"at_us":5,"kind":"up","x":1,"y":1}]}]}`,
+		"one event":    `{"version":1,"length_us":1000,"gestures":[{"kind":"tap","start_us":0,"events":[{"at_us":0,"kind":"down","x":1,"y":1}]}]}`,
+		"not down..up": `{"version":1,"length_us":1000,"gestures":[{"kind":"tap","start_us":0,"events":[{"at_us":0,"kind":"up","x":1,"y":1},{"at_us":5,"kind":"up","x":1,"y":1}]}]}`,
+		"out of order": `{"version":1,"length_us":1000,"gestures":[{"kind":"tap","start_us":0,"events":[{"at_us":10,"kind":"down","x":1,"y":1},{"at_us":5,"kind":"up","x":1,"y":1}]}]}`,
+	}
+	for name, in := range cases {
+		if _, err := ReadScript(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadScriptEmptyGesturesOK(t *testing.T) {
+	s, err := ReadScript(strings.NewReader(`{"version":1,"length_us":5000000,"gestures":[]}`))
+	if err != nil {
+		t.Fatalf("empty script rejected: %v", err)
+	}
+	if s.Length != 5*sim.Second || len(s.Gestures) != 0 {
+		t.Errorf("parsed = %+v", s)
+	}
+}
+
+func TestReplayedSerializedScriptIsIdentical(t *testing.T) {
+	orig := mustMonkey(t, 4).Script(10*sim.Second, 720, 1280)
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadScript(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay := func(s Script) []Event {
+		eng := sim.NewEngine()
+		r := NewReplayer(eng)
+		var got []Event
+		r.Subscribe(func(ev Event) { got = append(got, ev) })
+		r.Play(s)
+		eng.RunUntil(10 * sim.Second)
+		return got
+	}
+	a, b := replay(orig), replay(loaded)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("replay of loaded script differs from original")
+	}
+}

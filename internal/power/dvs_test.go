@@ -1,0 +1,100 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDVSLevelScales(t *testing.T) {
+	nominal := DVSLevel{VoltageScale: 1}
+	if nominal.PowerScale() != 1 || math.Abs(nominal.LuminanceScale()-1) > 1e-9 {
+		t.Errorf("nominal scales = %v/%v, want 1/1", nominal.PowerScale(), nominal.LuminanceScale())
+	}
+	l := DVSLevel{VoltageScale: 0.9}
+	if got := l.PowerScale(); math.Abs(got-0.81) > 1e-12 {
+		t.Errorf("PowerScale(0.9) = %v, want 0.81", got)
+	}
+	// 0.9^1.3 ≈ 0.8720
+	if got := l.LuminanceScale(); math.Abs(got-0.872) > 0.005 {
+		t.Errorf("LuminanceScale(0.9) = %v, want ≈0.872", got)
+	}
+}
+
+func TestDVSLevelValidation(t *testing.T) {
+	if err := (DVSLevel{VoltageScale: 0}).Validate(); err == nil {
+		t.Error("zero scale accepted")
+	}
+	if err := (DVSLevel{VoltageScale: 1.2}).Validate(); err == nil {
+		t.Error("overvolting accepted")
+	}
+}
+
+func TestDVSPanelPower(t *testing.T) {
+	base := OLEDPanel{BaseMW: 50, PerHzMW: 3, MaxEmissionMW: 700}
+	nominal := DVSPanel{Base: base, Level: DVSLevel{VoltageScale: 1}}
+	scaled := DVSPanel{Base: base, Level: DVSLevel{VoltageScale: 0.8}}
+	pn := nominal.PowerMW(60, 1, 255)
+	ps := scaled.PowerMW(60, 1, 255)
+	// Emission at full white: 700 mW nominal vs 700×0.64 scaled.
+	if want := 700 * (1 - 0.64); math.Abs((pn-ps)-want) > 1e-9 {
+		t.Errorf("DVS emission saving = %v, want %v", pn-ps, want)
+	}
+	// Driver terms unaffected: black screen power identical.
+	if nominal.PowerMW(60, 1, 0) != scaled.PowerMW(60, 1, 0) {
+		t.Error("DVS changed driver power at black screen")
+	}
+	if scaled.Name() != "oled-dvs(0.80)" {
+		t.Errorf("Name = %q", scaled.Name())
+	}
+	if f := scaled.LuminanceFidelity(); f >= 1 || f < 0.70 {
+		t.Errorf("fidelity at 0.8 V = %v, want ≈0.75", f)
+	}
+}
+
+func TestStandardDVSLevels(t *testing.T) {
+	if len(StandardDVSLevels) != 5 {
+		t.Fatalf("levels = %d", len(StandardDVSLevels))
+	}
+	for i, l := range StandardDVSLevels {
+		if err := l.Validate(); err != nil {
+			t.Errorf("level %d invalid: %v", i, err)
+		}
+		if i > 0 && l.VoltageScale >= StandardDVSLevels[i-1].VoltageScale {
+			t.Errorf("levels not descending at %d", i)
+		}
+	}
+}
+
+// Property: pow13 approximates v^1.3 within 1% over the DVS range.
+func TestPow13AccuracyProperty(t *testing.T) {
+	f := func(raw uint16) bool {
+		v := 0.7 + 0.3*float64(raw)/65535
+		want := math.Pow(v, 1.3)
+		got := pow13(v)
+		return math.Abs(got-want)/want < 0.01
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: lower voltage always means less power and less luminance —
+// the monotone trade-off the frontier experiment relies on.
+func TestDVSMonotoneProperty(t *testing.T) {
+	base := OLEDPanel{BaseMW: 50, PerHzMW: 3, MaxEmissionMW: 700}
+	f := func(a, b uint16) bool {
+		va := 0.7 + 0.3*float64(a)/65535
+		vb := 0.7 + 0.3*float64(b)/65535
+		if va > vb {
+			va, vb = vb, va
+		}
+		pa := DVSPanel{Base: base, Level: DVSLevel{VoltageScale: va}}
+		pb := DVSPanel{Base: base, Level: DVSLevel{VoltageScale: vb}}
+		return pa.PowerMW(60, 1, 200) <= pb.PowerMW(60, 1, 200) &&
+			pa.LuminanceFidelity() <= pb.LuminanceFidelity()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

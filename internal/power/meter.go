@@ -1,0 +1,84 @@
+package power
+
+import (
+	"fmt"
+
+	"ccdem/internal/sim"
+)
+
+// Meter is the Monsoon-style power monitor of the paper's methodology: it
+// periodically converts the energy accumulated by a Model into an average
+// power sample, producing the power traces the figures plot. A hardware
+// Monsoon samples at 5 kHz and its samples are averaged over reporting
+// windows; we sample the average directly at the reporting interval.
+type Meter struct {
+	eng      *sim.Engine
+	model    *Model
+	interval sim.Time
+
+	lastEnergy float64
+	samples    []Sample
+	ticker     *sim.Ticker
+}
+
+// Sample is one averaged power reading.
+type Sample struct {
+	T  sim.Time // end of the averaging interval
+	MW float64  // mean power over the interval
+}
+
+// NewMeter attaches a sampler to model with the given reporting interval.
+func NewMeter(eng *sim.Engine, model *Model, interval sim.Time) (*Meter, error) {
+	if interval <= 0 {
+		return nil, fmt.Errorf("power: non-positive meter interval %v", interval)
+	}
+	return &Meter{eng: eng, model: model, interval: interval}, nil
+}
+
+// Start begins sampling, with the first sample one interval from now.
+func (mt *Meter) Start() {
+	if mt.ticker != nil {
+		panic("power: Meter started twice")
+	}
+	mt.lastEnergy = mt.model.EnergyMJ()
+	mt.ticker = mt.eng.Every(mt.eng.Now()+mt.interval, mt.interval, mt.sample)
+}
+
+// Stop halts sampling.
+func (mt *Meter) Stop() {
+	if mt.ticker != nil {
+		mt.ticker.Stop()
+	}
+}
+
+func (mt *Meter) sample() {
+	e := mt.model.EnergyMJ()
+	mw := (e - mt.lastEnergy) / mt.interval.Seconds()
+	mt.lastEnergy = e
+	mt.samples = append(mt.samples, Sample{T: mt.eng.Now(), MW: mw})
+}
+
+// Samples returns all samples taken so far. The slice is owned by the
+// meter.
+func (mt *Meter) Samples() []Sample { return mt.samples }
+
+// MeanMW returns the mean of all samples (0 when none).
+func (mt *Meter) MeanMW() float64 {
+	if len(mt.samples) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, s := range mt.samples {
+		sum += s.MW
+	}
+	return sum / float64(len(mt.samples))
+}
+
+// Values returns the sample values in mW, for statistics helpers.
+func (mt *Meter) Values() []float64 {
+	vs := make([]float64, len(mt.samples))
+	for i, s := range mt.samples {
+		vs[i] = s.MW
+	}
+	return vs
+}

@@ -1,0 +1,280 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ccdem/internal/sim"
+)
+
+func newModel(t *testing.T, eng *sim.Engine) *Model {
+	t.Helper()
+	m, err := NewModel(eng, DefaultParams(), 60, 0.5)
+	if err != nil {
+		t.Fatalf("NewModel: %v", err)
+	}
+	return m
+}
+
+func TestNewModelValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	if _, err := NewModel(eng, Params{}, 60, 0.5); err == nil {
+		t.Error("nil panel accepted")
+	}
+	p := DefaultParams()
+	if _, err := NewModel(eng, p, 60, 1.5); err == nil {
+		t.Error("backlight > 1 accepted")
+	}
+	if _, err := NewModel(eng, p, 0, 0.5); err == nil {
+		t.Error("zero rate accepted")
+	}
+}
+
+func TestLCDPanelPower(t *testing.T) {
+	p := LCDPanel{BaseMW: 60, PerHzMW: 3, BacklightMaxMW: 440}
+	at60 := p.PowerMW(60, 0.5, 128)
+	at20 := p.PowerMW(20, 0.5, 128)
+	if want := 60 + 180 + 220.0; at60 != want {
+		t.Errorf("LCD at 60Hz = %v, want %v", at60, want)
+	}
+	if got := at60 - at20; got != 120 {
+		t.Errorf("60→20 Hz refresh saving = %v mW, want 120", got)
+	}
+	// Luminance must not matter for LCD.
+	if p.PowerMW(60, 0.5, 0) != p.PowerMW(60, 0.5, 255) {
+		t.Error("LCD power depends on luminance")
+	}
+	if p.Name() != "lcd" {
+		t.Errorf("Name = %q", p.Name())
+	}
+}
+
+func TestOLEDPanelPower(t *testing.T) {
+	p := OLEDPanel{BaseMW: 40, PerHzMW: 2, MaxEmissionMW: 600}
+	dark := p.PowerMW(60, 1.0, 0)
+	bright := p.PowerMW(60, 1.0, 255)
+	if bright-dark != 600 {
+		t.Errorf("black→white OLED delta = %v, want 600", bright-dark)
+	}
+	if got := p.PowerMW(60, 0.5, 255) - dark; got != 300 {
+		t.Errorf("half-brightness white delta = %v, want 300", got)
+	}
+	if p.Name() != "oled" {
+		t.Errorf("Name = %q", p.Name())
+	}
+}
+
+func TestModelContinuousIntegration(t *testing.T) {
+	eng := sim.NewEngine()
+	m := newModel(t, eng)
+	eng.RunUntil(2 * sim.Second)
+	want := 2 * m.InstantMW() // mJ = mW × s
+	if got := m.EnergyMJ(); math.Abs(got-want) > 1e-6 {
+		t.Errorf("EnergyMJ after 2s = %v, want %v", got, want)
+	}
+	if got := m.MeanPowerMW(); math.Abs(got-m.InstantMW()) > 1e-6 {
+		t.Errorf("MeanPowerMW = %v, want %v", got, m.InstantMW())
+	}
+}
+
+func TestModelRateChangeChangesPower(t *testing.T) {
+	eng := sim.NewEngine()
+	m := newModel(t, eng)
+	eng.RunUntil(sim.Second)
+	p60 := m.InstantMW()
+	m.SetRefreshRate(20)
+	p20 := m.InstantMW()
+	if p60-p20 != 140 { // 40 Hz × 3.5 mW/Hz with default params
+		t.Errorf("refresh power delta = %v, want 140", p60-p20)
+	}
+	eng.RunUntil(2 * sim.Second)
+	want := p60 + p20 // 1 s at each
+	if got := m.EnergyMJ(); math.Abs(got-want) > 1e-6 {
+		t.Errorf("energy after rate change = %v, want %v", got, want)
+	}
+}
+
+func TestModelFrameRendered(t *testing.T) {
+	eng := sim.NewEngine()
+	m := newModel(t, eng)
+	m.FrameRendered(921600) // full S3 frame
+	bd := m.Breakdown()
+	want := 1.2 + 4.0*921600*1e-6 // base + per-pixel
+	if got := bd[Render]; math.Abs(got-want) > 1e-9 {
+		t.Errorf("render energy = %v mJ, want %v", got, want)
+	}
+	if m.Frames() != 1 {
+		t.Errorf("Frames = %d", m.Frames())
+	}
+}
+
+func TestModelMeterCompare(t *testing.T) {
+	eng := sim.NewEngine()
+	m := newModel(t, eng)
+	m.MeterCompare(sim.Millisecond)
+	bd := m.Breakdown()
+	if got := bd[MeterOver]; math.Abs(got-0.3) > 1e-9 { // 300 mW × 1 ms
+		t.Errorf("meter energy = %v mJ, want 0.3", got)
+	}
+}
+
+func TestModelBacklightAndLuminance(t *testing.T) {
+	eng := sim.NewEngine()
+	params := DefaultParams()
+	params.Panel = OLEDPanel{BaseMW: 40, PerHzMW: 2, MaxEmissionMW: 600}
+	m, err := NewModel(eng, params, 60, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := m.InstantMW()
+	m.SetMeanLuminance(255)
+	if m.InstantMW() <= before {
+		t.Error("raising luminance did not raise OLED power")
+	}
+	m.SetBacklight(0.1)
+	if m.InstantMW() >= before {
+		t.Error("dimming did not lower OLED power")
+	}
+}
+
+func TestComponentString(t *testing.T) {
+	names := map[Component]string{SoC: "soc", Panel: "panel", Render: "render", MeterOver: "meter"}
+	for c, want := range names {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(c), c.String(), want)
+		}
+	}
+	if Component(99).String() == "" {
+		t.Error("unknown component has empty name")
+	}
+}
+
+func TestMeterSampling(t *testing.T) {
+	eng := sim.NewEngine()
+	m := newModel(t, eng)
+	mt, err := NewMeter(eng, m, 100*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt.Start()
+	eng.RunUntil(sim.Second)
+	if n := len(mt.Samples()); n != 10 {
+		t.Fatalf("samples = %d, want 10", n)
+	}
+	// Pure continuous load: every sample equals the instantaneous power.
+	for i, s := range mt.Samples() {
+		if math.Abs(s.MW-m.InstantMW()) > 1e-6 {
+			t.Errorf("sample %d = %v, want %v", i, s.MW, m.InstantMW())
+		}
+	}
+	if math.Abs(mt.MeanMW()-m.InstantMW()) > 1e-6 {
+		t.Errorf("MeanMW = %v", mt.MeanMW())
+	}
+	mt.Stop()
+	eng.RunUntil(2 * sim.Second)
+	if len(mt.Samples()) != 10 {
+		t.Error("meter sampled after Stop")
+	}
+}
+
+func TestMeterCapturesImpulses(t *testing.T) {
+	eng := sim.NewEngine()
+	m := newModel(t, eng)
+	mt, err := NewMeter(eng, m, 100*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt.Start()
+	// One 10 mJ impulse inside the third interval.
+	eng.At(250*sim.Millisecond, func() { m.FrameRendered(2200000) }) // ≈10 mJ
+	eng.RunUntil(sim.Second)
+	base := m.InstantMW()
+	s := mt.Samples()
+	if s[2].MW <= base+50 {
+		t.Errorf("impulse interval sample = %v, want well above base %v", s[2].MW, base)
+	}
+	if math.Abs(s[1].MW-base) > 1e-6 || math.Abs(s[3].MW-base) > 1e-6 {
+		t.Error("impulse leaked into neighboring samples")
+	}
+}
+
+func TestMeterValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	m := newModel(t, eng)
+	if _, err := NewMeter(eng, m, 0); err == nil {
+		t.Error("zero interval accepted")
+	}
+}
+
+func TestCompareCostShape(t *testing.T) {
+	c := DefaultCompareCost()
+	// Paper's anchor: all 921600 pixels ≈ 40 ms — misses the 60 Hz budget.
+	d := c.Duration(921600)
+	if d < 35*sim.Millisecond || d > 45*sim.Millisecond {
+		t.Errorf("full-frame compare = %v, want ≈40ms", d)
+	}
+	if c.FitsVSyncBudget(921600, 60) {
+		t.Error("921K pixels should not fit the 60 Hz budget")
+	}
+	// Grid sizes up to 36K fit comfortably.
+	for _, px := range []int{2304, 4080, 9216, 36864} {
+		if !c.FitsVSyncBudget(px, 60) {
+			t.Errorf("%d pixels should fit the 60 Hz budget (got %v)", px, c.Duration(px))
+		}
+	}
+}
+
+// Property: compare cost is monotone in pixel count.
+func TestCompareCostMonotoneProperty(t *testing.T) {
+	c := DefaultCompareCost()
+	f := func(a, b uint32) bool {
+		pa, pb := int(a%2000000), int(b%2000000)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return c.Duration(pa) <= c.Duration(pb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: total energy equals the sum of the component breakdown, and
+// never decreases over time.
+func TestEnergyConservationProperty(t *testing.T) {
+	eng := sim.NewEngine()
+	m := newModel(t, eng)
+	prev := 0.0
+	for i := 0; i < 50; i++ {
+		eng.RunUntil(eng.Now() + 37*sim.Millisecond)
+		switch i % 4 {
+		case 0:
+			m.FrameRendered(10000 * i)
+		case 1:
+			m.SetRefreshRate(20 + (i%5)*10)
+		case 2:
+			m.MeterCompare(sim.Time(i) * sim.Microsecond)
+		}
+		total := m.EnergyMJ()
+		if total < prev {
+			t.Fatalf("energy decreased: %v < %v", total, prev)
+		}
+		sum := 0.0
+		for _, e := range m.Breakdown() {
+			sum += e
+		}
+		if math.Abs(sum-total) > 1e-9 {
+			t.Fatalf("breakdown sum %v != total %v", sum, total)
+		}
+		prev = total
+	}
+}
+
+func BenchmarkModelFrameAccounting(b *testing.B) {
+	eng := sim.NewEngine()
+	m, _ := NewModel(eng, DefaultParams(), 60, 0.5)
+	for i := 0; i < b.N; i++ {
+		m.FrameRendered(921600)
+	}
+}

@@ -1,0 +1,109 @@
+// Package quality computes display-smoothness metrics from a run's
+// recorded traces. The paper's display-quality metric (estimated/actual
+// content rate) is a run-level average; users perceive jank as *episodes*
+// — stretches of time where frames are dropping — so this package also
+// reports how dropping distributes over time: how often it happens, how
+// bad the worst second is, and how long the longest episode lasts.
+package quality
+
+import (
+	"fmt"
+
+	"ccdem"
+	"ccdem/internal/sim"
+	"ccdem/internal/trace"
+)
+
+// Report summarizes smoothness over a run.
+type Report struct {
+	// ThresholdFPS is the drop rate above which an interval counts as
+	// janky (the paper notes users notice ≈3 fps of dropping).
+	ThresholdFPS float64
+
+	MeanDropFPS float64
+	MaxDropFPS  float64
+	// JankyFraction is the fraction of trace intervals above threshold.
+	JankyFraction float64
+	// LongestEpisode is the longest contiguous janky stretch.
+	LongestEpisode sim.Time
+	// Episodes is the number of distinct janky stretches.
+	Episodes int
+
+	// Drops is the per-interval drop series (intended − displayed, ≥ 0).
+	Drops *trace.Series
+}
+
+// DefaultThresholdFPS follows the paper's observation that users feel
+// uncomfortable above ≈3 fps of frame dropping.
+const DefaultThresholdFPS = 3.0
+
+// Analyze computes a smoothness report from recorded traces. thresholdFPS
+// ≤ 0 selects DefaultThresholdFPS.
+func Analyze(tr ccdem.Traces, thresholdFPS float64) (Report, error) {
+	if thresholdFPS <= 0 {
+		thresholdFPS = DefaultThresholdFPS
+	}
+	if tr.Intended == nil || tr.Content == nil {
+		return Report{}, fmt.Errorf("quality: traces missing intended/content series")
+	}
+	if tr.Intended.Len() != tr.Content.Len() {
+		return Report{}, fmt.Errorf("quality: series lengths differ (%d vs %d)",
+			tr.Intended.Len(), tr.Content.Len())
+	}
+	if tr.Intended.Len() == 0 {
+		return Report{}, fmt.Errorf("quality: empty traces")
+	}
+
+	r := Report{ThresholdFPS: thresholdFPS, Drops: trace.NewSeries("dropped fps")}
+	var (
+		sum          float64
+		jankyCount   int
+		episodeStart sim.Time = -1
+		prevT        sim.Time
+	)
+	endEpisode := func(endT sim.Time) {
+		if episodeStart < 0 {
+			return
+		}
+		r.Episodes++
+		if d := endT - episodeStart; d > r.LongestEpisode {
+			r.LongestEpisode = d
+		}
+		episodeStart = -1
+	}
+	for i := range tr.Intended.Points {
+		t := tr.Intended.Points[i].T
+		drop := tr.Intended.Points[i].V - tr.Content.Points[i].V
+		if drop < 0 {
+			drop = 0
+		}
+		r.Drops.Add(t, drop)
+		sum += drop
+		if drop > r.MaxDropFPS {
+			r.MaxDropFPS = drop
+		}
+		if drop > thresholdFPS {
+			jankyCount++
+			if episodeStart < 0 {
+				episodeStart = prevT
+			}
+		} else {
+			endEpisode(t)
+		}
+		prevT = t
+	}
+	endEpisode(prevT)
+	n := tr.Intended.Len()
+	r.MeanDropFPS = sum / float64(n)
+	r.JankyFraction = float64(jankyCount) / float64(n)
+	return r, nil
+}
+
+// String renders the report in one paragraph.
+func (r Report) String() string {
+	return fmt.Sprintf(
+		"dropped %.2f fps mean (worst interval %.1f fps); %.1f%% of time above %.1f fps"+
+			" across %d episodes (longest %v)",
+		r.MeanDropFPS, r.MaxDropFPS, 100*r.JankyFraction, r.ThresholdFPS,
+		r.Episodes, r.LongestEpisode)
+}

@@ -1,0 +1,135 @@
+package quality
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ccdem"
+	"ccdem/internal/app"
+	"ccdem/internal/input"
+	"ccdem/internal/sim"
+	"ccdem/internal/trace"
+)
+
+// synthetic builds traces with a given drop pattern (one point per 250 ms).
+func synthetic(drops []float64) ccdem.Traces {
+	intended := trace.NewSeries("intended")
+	content := trace.NewSeries("content")
+	for i, d := range drops {
+		t := sim.Time(i+1) * 250 * sim.Millisecond
+		intended.Add(t, 30)
+		content.Add(t, 30-d)
+	}
+	return ccdem.Traces{Intended: intended, Content: content}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	if _, err := Analyze(ccdem.Traces{}, 3); err == nil {
+		t.Error("empty traces accepted")
+	}
+	bad := synthetic([]float64{1, 2})
+	bad.Content = trace.NewSeries("short")
+	bad.Content.Add(sim.Second, 1)
+	if _, err := Analyze(bad, 3); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+}
+
+func TestAnalyzeSmoothRun(t *testing.T) {
+	r, err := Analyze(synthetic([]float64{0, 0.5, 1, 0, 0}), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.JankyFraction != 0 || r.Episodes != 0 || r.LongestEpisode != 0 {
+		t.Errorf("smooth run reported jank: %+v", r)
+	}
+	if math.Abs(r.MeanDropFPS-0.3) > 1e-9 {
+		t.Errorf("mean drop = %v, want 0.3", r.MeanDropFPS)
+	}
+	if r.MaxDropFPS != 1 {
+		t.Errorf("max drop = %v, want 1", r.MaxDropFPS)
+	}
+}
+
+func TestAnalyzeEpisodes(t *testing.T) {
+	// Two episodes: intervals 2-3 and 6 (0-indexed), threshold 3.
+	r, err := Analyze(synthetic([]float64{0, 0, 5, 8, 0, 0, 4, 0}), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Episodes != 2 {
+		t.Errorf("episodes = %d, want 2", r.Episodes)
+	}
+	// First episode spans from the point before interval 2 to interval 4:
+	// (0.5s → 1.25s) = 750 ms... measured from previous sample time to the
+	// first below-threshold sample.
+	if r.LongestEpisode < 500*sim.Millisecond || r.LongestEpisode > 1000*sim.Millisecond {
+		t.Errorf("longest episode = %v, want ≈750ms", r.LongestEpisode)
+	}
+	if math.Abs(r.JankyFraction-3.0/8) > 1e-9 {
+		t.Errorf("janky fraction = %v, want 3/8", r.JankyFraction)
+	}
+	if r.MaxDropFPS != 8 {
+		t.Errorf("max = %v", r.MaxDropFPS)
+	}
+	if !strings.Contains(r.String(), "episodes") {
+		t.Error("rendering missing episodes")
+	}
+}
+
+func TestAnalyzeTrailingEpisodeCloses(t *testing.T) {
+	r, err := Analyze(synthetic([]float64{0, 0, 6, 7}), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Episodes != 1 {
+		t.Errorf("trailing episode not closed: %d", r.Episodes)
+	}
+}
+
+func TestAnalyzeDefaultThreshold(t *testing.T) {
+	r, err := Analyze(synthetic([]float64{0, 4}), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ThresholdFPS != DefaultThresholdFPS {
+		t.Errorf("threshold = %v", r.ThresholdFPS)
+	}
+}
+
+// TestAnalyzeOnRealRun ties the analyzer to actual device traces: under
+// section-only control, an interactive app shows jank episodes; with
+// boosting they nearly vanish.
+func TestAnalyzeOnRealRun(t *testing.T) {
+	run := func(mode ccdem.GovernorMode) Report {
+		dev, err := ccdem.NewDevice(ccdem.Config{Governor: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, _ := app.ByName("Facebook")
+		if _, err := dev.InstallApp(p); err != nil {
+			t.Fatal(err)
+		}
+		mk, err := input.NewMonkey(6, input.DefaultMonkeyConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev.PlayScript(mk.Script(30*sim.Second, 720, 1280))
+		dev.Run(30 * sim.Second)
+		r, err := Analyze(dev.Traces(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	sect := run(ccdem.GovernorSection)
+	boost := run(ccdem.GovernorSectionBoost)
+	if sect.Episodes == 0 {
+		t.Error("section-only Facebook shows no jank episodes")
+	}
+	if boost.JankyFraction >= sect.JankyFraction {
+		t.Errorf("boost janky fraction %v not below section %v",
+			boost.JankyFraction, sect.JankyFraction)
+	}
+}

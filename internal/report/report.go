@@ -1,0 +1,183 @@
+// Package report renders a complete, human-readable session report from a
+// device run: configuration, power and quality summary, energy breakdown,
+// rate traces and governor activity. It is the artifact a practitioner
+// files after a measurement session — cmd/ccdem-run emits one with
+// -report.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"ccdem"
+	"ccdem/internal/power"
+	"ccdem/internal/quality"
+	"ccdem/internal/trace"
+)
+
+// Session bundles everything a report needs.
+type Session struct {
+	Title  string
+	App    string
+	Stats  ccdem.Stats
+	Traces ccdem.Traces
+	// Notes are free-form lines appended to the report.
+	Notes []string
+}
+
+// Write renders the report as markdown-ish text.
+func Write(w io.Writer, s Session) error {
+	if s.Stats.Duration <= 0 {
+		return fmt.Errorf("report: session has no duration")
+	}
+	var sb strings.Builder
+	title := s.Title
+	if title == "" {
+		title = "ccdem session report"
+	}
+	sb.WriteString(fmt.Sprintf("# %s\n\n", title))
+	sb.WriteString(fmt.Sprintf("workload: %s — configuration: %s — duration: %s\n\n",
+		orUnknown(s.App), s.Stats.Mode, s.Stats.Duration))
+
+	sb.WriteString("## Power\n\n")
+	sb.WriteString(tableString(func(tw *tabwriter.Writer) {
+		fmt.Fprintf(tw, "mean power\t%.0f mW (±%.0f)\n", s.Stats.MeanPowerMW, s.Stats.PowerStdMW)
+		fmt.Fprintf(tw, "energy\t%.0f mJ\n", s.Stats.EnergyMJ)
+		if len(s.Traces.Power) > 1 {
+			vals := make([]float64, len(s.Traces.Power))
+			for i, p := range s.Traces.Power {
+				vals[i] = p.MW
+			}
+			fmt.Fprintf(tw, "power p5/p95\t%.0f / %.0f mW\n",
+				trace.Percentile(vals, 5), trace.Percentile(vals, 95))
+			fmt.Fprintf(tw, "mean 95%% CI\t±%.1f mW\n", trace.CI95(vals))
+		}
+	}))
+
+	sb.WriteString("\n## Energy breakdown\n\n")
+	type comp struct {
+		c power.Component
+		e float64
+	}
+	var comps []comp
+	total := 0.0
+	for c, e := range s.Stats.Breakdown {
+		comps = append(comps, comp{c, e})
+		total += e
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i].e > comps[j].e })
+	sb.WriteString(tableString(func(tw *tabwriter.Writer) {
+		for _, c := range comps {
+			share := 0.0
+			if total > 0 {
+				share = 100 * c.e / total
+			}
+			fmt.Fprintf(tw, "%s\t%.0f mJ\t%.1f%%\n", c.c, c.e, share)
+		}
+	}))
+
+	sb.WriteString("\n## Display\n\n")
+	sb.WriteString(tableString(func(tw *tabwriter.Writer) {
+		fmt.Fprintf(tw, "frame rate\t%.1f fps\n", s.Stats.FrameRate)
+		fmt.Fprintf(tw, "content rate\t%.1f fps (of %.1f intended)\n", s.Stats.ContentRate, s.Stats.IntendedRate)
+		fmt.Fprintf(tw, "redundant rate\t%.1f fps\n", s.Stats.RedundantRate)
+		fmt.Fprintf(tw, "display quality\t%.1f%%\n", 100*s.Stats.DisplayQuality)
+		fmt.Fprintf(tw, "frames dropped\t%.2f fps\n", s.Stats.DroppedFPS)
+		fmt.Fprintf(tw, "mean refresh\t%.1f Hz (%d switches)\n", s.Stats.MeanRefreshHz, s.Stats.RefreshSwitches)
+		if s.Stats.BoostCount > 0 {
+			fmt.Fprintf(tw, "touch events boosted\t%d\n", s.Stats.BoostCount)
+		}
+	}))
+
+	if s.Traces.Intended != nil && s.Traces.Intended.Len() > 0 {
+		if q, err := quality.Analyze(s.Traces, 0); err == nil {
+			sb.WriteString("\n## Smoothness\n\n")
+			sb.WriteString("    " + q.String() + "\n")
+		}
+	}
+
+	if s.Traces.Content != nil && s.Traces.Content.Len() > 0 {
+		sb.WriteString("\n## Traces\n\n")
+		width := s.Traces.Content.Len()
+		if width > 80 {
+			width = 80
+		}
+		line := func(name string, sr *trace.Series) {
+			sb.WriteString(fmt.Sprintf("    %-22s %s\n", name, trace.Sparkline(sr.Values(), width)))
+		}
+		line("content rate", s.Traces.Content)
+		line("frame rate", s.Traces.Frame)
+		line("refresh rate", s.Traces.Refresh)
+		if len(s.Traces.Power) > 0 {
+			ps := trace.NewSeries("power")
+			for _, p := range s.Traces.Power {
+				ps.Add(p.T, p.MW)
+			}
+			line("power", ps)
+		}
+	}
+
+	if len(s.Notes) > 0 {
+		sb.WriteString("\n## Notes\n\n")
+		for _, n := range s.Notes {
+			sb.WriteString(fmt.Sprintf("- %s\n", n))
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// Comparison renders a paired baseline-vs-managed report section.
+type Comparison struct {
+	App      string
+	Baseline ccdem.Stats
+	Managed  ccdem.Stats
+}
+
+// WriteComparison renders the paired summary.
+func WriteComparison(w io.Writer, c Comparison) error {
+	if c.Baseline.Duration <= 0 || c.Managed.Duration <= 0 {
+		return fmt.Errorf("report: comparison sessions missing")
+	}
+	var sb strings.Builder
+	sb.WriteString(fmt.Sprintf("# Paired comparison: %s\n\n", orUnknown(c.App)))
+	saved := c.Baseline.MeanPowerMW - c.Managed.MeanPowerMW
+	pct := 0.0
+	if c.Baseline.MeanPowerMW > 0 {
+		pct = 100 * saved / c.Baseline.MeanPowerMW
+	}
+	sb.WriteString(tableString(func(tw *tabwriter.Writer) {
+		fmt.Fprintf(tw, "\t%s\t%s\n", c.Baseline.Mode, c.Managed.Mode)
+		fmt.Fprintf(tw, "mean power\t%.0f mW\t%.0f mW\n", c.Baseline.MeanPowerMW, c.Managed.MeanPowerMW)
+		fmt.Fprintf(tw, "mean refresh\t%.1f Hz\t%.1f Hz\n", c.Baseline.MeanRefreshHz, c.Managed.MeanRefreshHz)
+		fmt.Fprintf(tw, "frame rate\t%.1f fps\t%.1f fps\n", c.Baseline.FrameRate, c.Managed.FrameRate)
+		fmt.Fprintf(tw, "display quality\t%.1f%%\t%.1f%%\n",
+			100*c.Baseline.DisplayQuality, 100*c.Managed.DisplayQuality)
+	}))
+	sb.WriteString(fmt.Sprintf("\nsaved: %.0f mW (%.1f%%)\n", saved, pct))
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func orUnknown(s string) string {
+	if s == "" {
+		return "(unknown)"
+	}
+	return s
+}
+
+func tableString(fn func(*tabwriter.Writer)) string {
+	var sb strings.Builder
+	tw := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	fn(tw)
+	tw.Flush()
+	// Indent as a markdown code block for alignment preservation.
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = "    " + l
+	}
+	return strings.Join(lines, "\n") + "\n"
+}

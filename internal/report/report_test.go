@@ -1,0 +1,100 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ccdem"
+	"ccdem/internal/app"
+	"ccdem/internal/input"
+	"ccdem/internal/sim"
+)
+
+func runSession(t *testing.T, mode ccdem.GovernorMode) (ccdem.Stats, ccdem.Traces) {
+	t.Helper()
+	dev, err := ccdem.NewDevice(ccdem.Config{Governor: mode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := app.ByName("Jelly Splash")
+	if _, err := dev.InstallApp(p); err != nil {
+		t.Fatal(err)
+	}
+	mk, err := input.NewMonkey(2, input.DefaultMonkeyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.PlayScript(mk.Script(10*sim.Second, 720, 1280))
+	dev.Run(10 * sim.Second)
+	return dev.Stats(), dev.Traces()
+}
+
+func TestWriteSessionReport(t *testing.T) {
+	st, tr := runSession(t, ccdem.GovernorSectionBoost)
+	var buf bytes.Buffer
+	err := Write(&buf, Session{
+		Title:  "test session",
+		App:    "Jelly Splash",
+		Stats:  st,
+		Traces: tr,
+		Notes:  []string{"seed 2", "short run"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# test session", "Jelly Splash", "section+boost",
+		"## Power", "## Energy breakdown", "## Display", "## Smoothness", "## Traces", "## Notes",
+		"mean power", "display quality", "refresh rate", "seed 2",
+		"panel", "soc", "render",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestWriteEmptySessionErrors(t *testing.T) {
+	if err := Write(&bytes.Buffer{}, Session{}); err == nil {
+		t.Error("empty session accepted")
+	}
+}
+
+func TestWriteDefaultTitle(t *testing.T) {
+	st, tr := runSession(t, ccdem.GovernorOff)
+	var buf bytes.Buffer
+	if err := Write(&buf, Session{Stats: st, Traces: tr}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "# ccdem session report") {
+		t.Error("default title missing")
+	}
+	if !strings.Contains(buf.String(), "(unknown)") {
+		t.Error("unknown app placeholder missing")
+	}
+}
+
+func TestWriteComparison(t *testing.T) {
+	base, _ := runSession(t, ccdem.GovernorOff)
+	managed, _ := runSession(t, ccdem.GovernorSectionBoost)
+	var buf bytes.Buffer
+	err := WriteComparison(&buf, Comparison{App: "Jelly Splash", Baseline: base, Managed: managed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Paired comparison") || !strings.Contains(out, "saved:") {
+		t.Errorf("comparison rendering: %s", out)
+	}
+	if !strings.Contains(out, "baseline") || !strings.Contains(out, "section+boost") {
+		t.Error("mode columns missing")
+	}
+}
+
+func TestWriteComparisonValidation(t *testing.T) {
+	if err := WriteComparison(&bytes.Buffer{}, Comparison{}); err == nil {
+		t.Error("empty comparison accepted")
+	}
+}

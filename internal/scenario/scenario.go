@@ -1,0 +1,134 @@
+// Package scenario composes multi-phase device sessions: a sequence of
+// (foreground app, duration, interaction) phases executed on one device,
+// with app switching handled by pausing and resuming workloads. A day of
+// phone use is a scenario; the battery and report tooling consume its
+// per-phase results.
+package scenario
+
+import (
+	"fmt"
+
+	"ccdem"
+	"ccdem/internal/app"
+	"ccdem/internal/input"
+	"ccdem/internal/sim"
+)
+
+// Phase is one stretch of a session: the named workload runs in the
+// foreground for Duration while the optional Monkey seed drives
+// interaction.
+type Phase struct {
+	App      app.Params
+	Duration sim.Time
+	// Seed generates a phase-local Monkey script; 0 leaves the phase
+	// hands-off (video watching, reading).
+	Seed int64
+}
+
+// Scenario is an ordered list of phases.
+type Scenario struct {
+	Name   string
+	Phases []Phase
+}
+
+// Validate reports structural errors.
+func (sc Scenario) Validate() error {
+	if len(sc.Phases) == 0 {
+		return fmt.Errorf("scenario %q: no phases", sc.Name)
+	}
+	for i, ph := range sc.Phases {
+		if ph.Duration <= 0 {
+			return fmt.Errorf("scenario %q: phase %d has non-positive duration", sc.Name, i)
+		}
+		if err := ph.App.Validate(); err != nil {
+			return fmt.Errorf("scenario %q: phase %d: %w", sc.Name, i, err)
+		}
+	}
+	return nil
+}
+
+// PhaseResult captures the state delta of one phase.
+type PhaseResult struct {
+	App      string
+	Duration sim.Time
+	// MeanPowerMW is the mean power over this phase alone.
+	MeanPowerMW float64
+	// MeanRefreshHz is approximated from the refresh trace within the
+	// phase window.
+	MeanRefreshHz float64
+}
+
+// Result is a completed scenario run.
+type Result struct {
+	Scenario string
+	Total    ccdem.Stats
+	Phases   []PhaseResult
+}
+
+// Run executes the scenario on a freshly created device with the given
+// configuration. Workloads are installed on first use and paused when
+// their phase ends; revisiting an app resumes the same instance with its
+// state (scroll position, board) intact.
+func Run(cfg ccdem.Config, sc Scenario) (*Result, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	dev, err := ccdem.NewDevice(cfg)
+	if err != nil {
+		return nil, err
+	}
+	models := map[string]*app.Model{}
+	res := &Result{Scenario: sc.Name}
+
+	var current *app.Model
+	for i, ph := range sc.Phases {
+		if current != nil {
+			current.Pause()
+		}
+		m, ok := models[ph.App.Name]
+		if !ok {
+			m, err = dev.InstallApp(ph.App)
+			if err != nil {
+				return nil, fmt.Errorf("scenario %q: phase %d: %w", sc.Name, i, err)
+			}
+			models[ph.App.Name] = m
+		} else {
+			m.Resume()
+		}
+		current = m
+
+		if ph.Seed != 0 {
+			mk, err := input.NewMonkey(ph.Seed, input.DefaultMonkeyConfig())
+			if err != nil {
+				return nil, err
+			}
+			dev.PlayScript(mk.Script(ph.Duration, dev.SurfaceManager().Framebuffer().Width(),
+				dev.SurfaceManager().Framebuffer().Height()))
+		}
+
+		startEnergy := dev.PowerModel().EnergyMJ()
+		startT := dev.Engine().Now()
+		dev.Run(ph.Duration)
+		phaseEnergy := dev.PowerModel().EnergyMJ() - startEnergy
+		refresh := dev.Traces().Refresh.Between(startT, dev.Engine().Now())
+		res.Phases = append(res.Phases, PhaseResult{
+			App:           ph.App.Name,
+			Duration:      ph.Duration,
+			MeanPowerMW:   phaseEnergy / ph.Duration.Seconds(),
+			MeanRefreshHz: refresh.Mean(),
+		})
+	}
+	res.Total = dev.Stats()
+	return res, nil
+}
+
+// String renders the per-phase table.
+func (r *Result) String() string {
+	s := fmt.Sprintf("Scenario %q (%s total, %.0f mW mean):\n",
+		r.Scenario, r.Total.Duration, r.Total.MeanPowerMW)
+	for i, ph := range r.Phases {
+		s += fmt.Sprintf("  phase %d: %-16s %8s  %6.0f mW  %5.1f Hz\n",
+			i+1, ph.App, ph.Duration, ph.MeanPowerMW, ph.MeanRefreshHz)
+	}
+	return s
+}

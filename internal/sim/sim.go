@@ -1,0 +1,225 @@
+// Package sim provides the discrete-event simulation core used by every
+// other subsystem in ccdem: a virtual microsecond clock and an event queue.
+//
+// The paper's system runs on a real Galaxy S3; this reproduction runs the
+// identical control pipeline against a simulated display stack, so all
+// timing (V-Sync, governor control periods, Monkey input scripts, Monsoon
+// power samples) is expressed in virtual time. The engine is fully
+// deterministic: events scheduled for the same instant fire in scheduling
+// order, and nothing reads the host clock.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a virtual timestamp or duration in microseconds. Microsecond
+// resolution comfortably covers everything the reproduction needs: the
+// fastest recurring activity is the Monsoon-style power sampler at 5 kHz
+// (200 µs) and the shortest display interval is 1/60 s (16667 µs).
+type Time int64
+
+// Convenient duration units.
+const (
+	Microsecond Time = 1
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+	Minute      Time = 60 * Second
+)
+
+// Seconds converts t to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Milliseconds converts t to floating-point milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// FromSeconds converts floating-point seconds to a Time.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+// String formats the time as seconds with millisecond precision.
+func (t Time) String() string { return fmt.Sprintf("%.3fs", t.Seconds()) }
+
+// Hz returns the period of a rate given in events per second. Hz(60) is the
+// 60 Hz V-Sync interval. It panics on non-positive rates, which are always
+// programming errors in this codebase.
+func Hz(rate float64) Time {
+	if rate <= 0 {
+		panic(fmt.Sprintf("sim: non-positive rate %v", rate))
+	}
+	return Time(float64(Second) / rate)
+}
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // tie-breaker preserving scheduling order
+	fn  func()
+
+	index    int // heap index, -1 once popped
+	canceled bool
+}
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event simulator. The zero value is
+// ready to use with the clock at t=0.
+type Engine struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+}
+
+// NewEngine returns a fresh engine with the clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending reports the number of scheduled, not-yet-fired events (including
+// canceled events that have not been reaped).
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Handle identifies a scheduled event and allows cancellation.
+type Handle struct{ ev *event }
+
+// Cancel prevents the event from firing. Canceling an already-fired or
+// already-canceled event is a no-op. Cancel on a zero Handle is a no-op.
+func (h Handle) Cancel() {
+	if h.ev != nil {
+		h.ev.canceled = true
+	}
+}
+
+// At schedules fn to run at absolute time t. Scheduling in the past
+// (t < Now) is an error in simulation logic and panics.
+func (e *Engine) At(t Time, fn func()) Handle {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return Handle{ev}
+}
+
+// After schedules fn to run d microseconds from now. Negative d panics.
+func (e *Engine) After(d Time, fn func()) Handle {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Every schedules fn to run first at time start and then every period
+// thereafter, until the returned Ticker is stopped. The period must be
+// positive.
+func (e *Engine) Every(start, period Time, fn func()) *Ticker {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: non-positive period %v", period))
+	}
+	t := &Ticker{eng: e, period: period, fn: fn}
+	t.handle = e.At(start, t.tick)
+	return t
+}
+
+// Ticker is a recurring event created by Engine.Every.
+type Ticker struct {
+	eng     *Engine
+	period  Time
+	fn      func()
+	handle  Handle
+	stopped bool
+}
+
+func (t *Ticker) tick() {
+	if t.stopped {
+		return
+	}
+	t.fn()
+	if !t.stopped { // fn may have called Stop
+		t.handle = t.eng.After(t.period, t.tick)
+	}
+}
+
+// Stop cancels all future ticks. Safe to call multiple times and from
+// within the tick callback.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	t.handle.Cancel()
+}
+
+// Step fires the earliest pending event, advancing the clock to its time.
+// It reports whether an event was fired (false when the queue is empty).
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil fires every event scheduled strictly before or at time t and
+// then advances the clock to exactly t. Events scheduled during the run are
+// honored if they fall within the horizon.
+func (e *Engine) RunUntil(t Time) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: RunUntil(%v) is before now %v", t, e.now))
+	}
+	for len(e.events) > 0 {
+		// Peek.
+		next := e.events[0]
+		if next.canceled {
+			heap.Pop(&e.events)
+			continue
+		}
+		if next.at > t {
+			break
+		}
+		heap.Pop(&e.events)
+		next.index = -1
+		e.now = next.at
+		next.fn()
+	}
+	e.now = t
+}
+
+// Run drains the event queue completely. Use with care: recurring tickers
+// never drain, so most callers want RunUntil.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}

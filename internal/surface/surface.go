@@ -1,0 +1,251 @@
+// Package surface reproduces the role of Android's Surface Manager
+// (SurfaceFlinger) in the paper's Figure 1: applications render surfaces,
+// the manager combines them and updates the framebuffer, and the display
+// hardware independently refreshes the screen from that framebuffer.
+//
+// V-Sync is modeled the way Android's Project Butter works: a client that
+// wants a frame requests one and is called back to render at the next
+// vertical sync, so the achieved frame rate can never exceed the refresh
+// rate. This V-Sync cap is load-bearing for the paper twice over: it is
+// why lowering the refresh rate also eliminates redundant render work
+// (the power win), and why the content rate cannot be *measured* above
+// the current refresh rate (the blind spot touch boosting fixes).
+package surface
+
+import (
+	"fmt"
+
+	"ccdem/internal/framebuffer"
+	"ccdem/internal/sim"
+)
+
+// Client renders a surface's content on demand.
+type Client interface {
+	// Render draws the surface's current content into buf and returns the
+	// damaged rectangle (empty when this frame is pixel-identical to the
+	// previous one — a redundant frame) and the number of pixels the
+	// render pass drew (the GPU cost, which for a redundant frame is
+	// typically the full redraw the app wastefully performed).
+	Render(t sim.Time, buf *framebuffer.Buffer) (damage framebuffer.Rect, renderedPx int)
+}
+
+// ClientFunc adapts a function to the Client interface.
+type ClientFunc func(t sim.Time, buf *framebuffer.Buffer) (framebuffer.Rect, int)
+
+// Render implements Client.
+func (f ClientFunc) Render(t sim.Time, buf *framebuffer.Buffer) (framebuffer.Rect, int) {
+	return f(t, buf)
+}
+
+// RegionClient is an optional refinement of Client: renderers that damage
+// several disjoint areas (sprite games erase one spot and draw another)
+// report them all, so composition blits and dirty-pixel accounting track
+// the actual change instead of a bounding box. SurfaceFlinger's damage
+// regions work the same way. The returned region is owned by the client
+// and only read until the next render.
+type RegionClient interface {
+	Client
+	// RenderRegion draws the current content and returns the damage
+	// region (empty for a redundant frame) and the rendered pixel cost.
+	RenderRegion(t sim.Time, buf *framebuffer.Buffer) (*framebuffer.Region, int)
+}
+
+// Surface is one client's layer: a buffer positioned at a fixed frame
+// rectangle on screen. The manager composes damaged areas into the
+// framebuffer in z order. Damage rectangles are in surface-local
+// coordinates.
+type Surface struct {
+	name      string
+	z         int
+	frame     framebuffer.Rect // position on screen
+	buf       *framebuffer.Buffer
+	client    Client
+	mgr       *Manager
+	wantFrame bool
+	everDrawn bool
+
+	requests uint64
+	renders  uint64
+}
+
+// Name returns the surface's diagnostic name.
+func (s *Surface) Name() string { return s.name }
+
+// Buffer exposes the surface's backing buffer (apps may pre-draw static
+// content before the first frame).
+func (s *Surface) Buffer() *framebuffer.Buffer { return s.buf }
+
+// RequestFrame asks the manager to call the surface's client back at the
+// next V-Sync. Multiple requests between syncs coalesce into one render,
+// exactly like Choreographer frame callbacks.
+func (s *Surface) RequestFrame() {
+	s.wantFrame = true
+	s.requests++
+}
+
+// Requests returns the number of frame requests ever made.
+func (s *Surface) Requests() uint64 { return s.requests }
+
+// Renders returns the number of render callbacks actually delivered (the
+// V-Sync-capped frame count).
+func (s *Surface) Renders() uint64 { return s.renders }
+
+// FrameInfo describes one framebuffer update (one latched frame).
+type FrameInfo struct {
+	T           sim.Time
+	Seq         uint64
+	DirtyPixels int // pixels that actually changed on screen this frame
+	RenderedPx  int // pixels drawn by clients for this frame (the GPU cost)
+}
+
+// Manager combines surfaces into the framebuffer on V-Sync.
+type Manager struct {
+	eng       *sim.Engine
+	fb        *framebuffer.Buffer
+	surfaces  []*Surface
+	frames    uint64
+	onFrame   []func(FrameInfo)
+	latchGate func(t sim.Time) bool
+	deferred  uint64
+}
+
+// NewManager creates a manager owning a w × h framebuffer.
+func NewManager(eng *sim.Engine, w, h int) *Manager {
+	return &Manager{eng: eng, fb: framebuffer.New(w, h)}
+}
+
+// Framebuffer exposes the composed framebuffer — what the display hardware
+// scans out and what the content-rate meter monitors.
+func (m *Manager) Framebuffer() *framebuffer.Buffer { return m.fb }
+
+// Frames returns the total number of framebuffer updates (latched frames).
+func (m *Manager) Frames() uint64 { return m.frames }
+
+// OnFrame registers fn to observe every framebuffer update. The content
+// meter and the power model's render accounting both hook here.
+func (m *Manager) OnFrame(fn func(FrameInfo)) { m.onFrame = append(m.onFrame, fn) }
+
+// SetLatchGate installs a frame-pacing gate: when gate returns false for a
+// V-Sync instant, pending frame requests are deferred to a later sync
+// instead of being latched. Frame-rate-adaptation schemes (the E³ engine
+// of the paper's related work [16]) throttle applications exactly this
+// way — the panel keeps refreshing, but the render/composition pipeline
+// runs at a reduced pace. Pass nil to remove the gate.
+func (m *Manager) SetLatchGate(gate func(t sim.Time) bool) { m.latchGate = gate }
+
+// DeferredLatches returns how many V-Syncs found pending work but were
+// blocked by the latch gate.
+func (m *Manager) DeferredLatches() uint64 { return m.deferred }
+
+// NewSurface registers a full-screen surface at depth z (higher z is
+// composed later, i.e. on top).
+func (m *Manager) NewSurface(name string, z int, client Client) *Surface {
+	return m.NewSurfaceAt(name, z, m.fb.Bounds(), client)
+}
+
+// NewSurfaceAt registers a surface occupying the given screen rectangle at
+// depth z (higher z is composed later, i.e. on top). A status bar, for
+// example, is a thin high-z surface across the top of the screen.
+func (m *Manager) NewSurfaceAt(name string, z int, frame framebuffer.Rect, client Client) *Surface {
+	if client == nil {
+		panic(fmt.Sprintf("surface: nil client for %q", name))
+	}
+	frame = frame.Clamp(m.fb.Bounds())
+	if frame.Empty() {
+		panic(fmt.Sprintf("surface: %q has an empty on-screen frame", name))
+	}
+	s := &Surface{
+		name:   name,
+		z:      z,
+		frame:  frame,
+		buf:    framebuffer.New(frame.Dx(), frame.Dy()),
+		client: client,
+		mgr:    m,
+	}
+	// Insert in z order (stable for equal z).
+	idx := len(m.surfaces)
+	for i, other := range m.surfaces {
+		if other.z > z {
+			idx = i
+			break
+		}
+	}
+	m.surfaces = append(m.surfaces, nil)
+	copy(m.surfaces[idx+1:], m.surfaces[idx:])
+	m.surfaces[idx] = s
+	return s
+}
+
+// VSync is the display panel's per-refresh entry point. If any surface has
+// a pending frame request, its client renders now, damaged areas are
+// composed into the framebuffer, and a FrameInfo is emitted. With no
+// pending requests, the framebuffer is untouched — the panel merely
+// re-scans old content (the redundancy the paper's refresh control
+// eliminates on the hardware side).
+func (m *Manager) VSync(t sim.Time, _ int) {
+	pending := false
+	for _, s := range m.surfaces {
+		if s.wantFrame {
+			pending = true
+			break
+		}
+	}
+	if !pending {
+		return
+	}
+	if m.latchGate != nil && !m.latchGate(t) {
+		m.deferred++
+		return
+	}
+	totalDirty := 0
+	totalRendered := 0
+	latched := false
+	for _, s := range m.surfaces {
+		if !s.wantFrame {
+			continue
+		}
+		s.wantFrame = false
+		var rects []framebuffer.Rect
+		var renderedPx int
+		if rc, ok := s.client.(RegionClient); ok {
+			region, px := rc.RenderRegion(t, s.buf)
+			renderedPx = px
+			if region != nil {
+				rects = region.Rects()
+			}
+		} else {
+			damage, px := s.client.Render(t, s.buf)
+			renderedPx = px
+			if !damage.Empty() {
+				rects = append(rects, damage)
+			}
+		}
+		s.renders++
+		latched = true
+		if renderedPx < 0 {
+			panic(fmt.Sprintf("surface: %q returned negative render cost", s.name))
+		}
+		if !s.everDrawn {
+			// First latch composes the whole surface.
+			rects = []framebuffer.Rect{s.buf.Bounds()}
+			s.everDrawn = true
+		}
+		for _, damage := range rects {
+			damage = damage.Clamp(s.buf.Bounds())
+			if damage.Empty() {
+				continue
+			}
+			m.fb.Blit(s.buf, damage, s.frame.X0+damage.X0, s.frame.Y0+damage.Y0)
+			totalDirty += damage.Area()
+		}
+		totalRendered += renderedPx
+	}
+	if !latched {
+		return
+	}
+	m.frames++
+	info := FrameInfo{T: t, Seq: m.frames, DirtyPixels: totalDirty, RenderedPx: totalRendered}
+	for _, fn := range m.onFrame {
+		fn(info)
+	}
+}

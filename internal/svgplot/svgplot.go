@@ -1,0 +1,286 @@
+// Package svgplot renders the reproduction's figures as standalone SVG
+// documents using only the standard library — line charts for the trace
+// figures (2, 7, 8) and grouped bar charts for the per-app figures (3, 9,
+// 11). The goal is paper-style artifacts a reader can open in a browser,
+// not a general plotting library: fixed layout, two font sizes, a small
+// qualitative palette.
+package svgplot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Palette holds the default series colors (colorblind-safe qualitative
+// set).
+var Palette = []string{"#0072b2", "#d55e00", "#009e73", "#cc79a7", "#e69f00", "#56b4e9"}
+
+// chart geometry shared by both chart kinds.
+const (
+	chartW   = 760
+	chartH   = 300
+	marginL  = 64
+	marginR  = 16
+	marginT  = 34
+	marginB  = 58
+	fontMain = 13
+	fontTick = 11
+)
+
+type buffer struct {
+	sb strings.Builder
+}
+
+func (b *buffer) printf(format string, args ...any) {
+	fmt.Fprintf(&b.sb, format, args...)
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// fmtNum renders an axis number compactly.
+func fmtNum(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e6 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.1f", v)
+}
+
+// niceTicks picks ~n human-friendly tick values covering [0, max].
+func niceTicks(max float64, n int) []float64 {
+	if max <= 0 {
+		return []float64{0, 1}
+	}
+	rawStep := max / float64(n)
+	mag := math.Pow(10, math.Floor(math.Log10(rawStep)))
+	var step float64
+	for _, m := range []float64{1, 2, 5, 10} {
+		step = m * mag
+		if step >= rawStep {
+			break
+		}
+	}
+	var ticks []float64
+	for v := 0.0; v <= max+step/2; v += step {
+		ticks = append(ticks, v)
+	}
+	return ticks
+}
+
+// Series is one named line of a line chart.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// LineChart describes a trace figure.
+type LineChart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// YMax forces the y-axis ceiling (0 = auto).
+	YMax float64
+}
+
+// WriteSVG renders the chart.
+func (c LineChart) WriteSVG(w io.Writer) error {
+	if len(c.Series) == 0 {
+		return fmt.Errorf("svgplot: line chart with no series")
+	}
+	xMax, yMax := 0.0, c.YMax
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("svgplot: series %q has %d x vs %d y", s.Name, len(s.X), len(s.Y))
+		}
+		if len(s.X) == 0 {
+			return fmt.Errorf("svgplot: series %q is empty", s.Name)
+		}
+		for i := range s.X {
+			xMax = math.Max(xMax, s.X[i])
+			if c.YMax == 0 {
+				yMax = math.Max(yMax, s.Y[i])
+			}
+		}
+	}
+	if xMax == 0 {
+		xMax = 1
+	}
+	if yMax == 0 {
+		yMax = 1
+	}
+
+	plotW := float64(chartW - marginL - marginR)
+	plotH := float64(chartH - marginT - marginB)
+	px := func(x float64) float64 { return marginL + x/xMax*plotW }
+	py := func(y float64) float64 { return float64(chartH-marginB) - y/yMax*plotH }
+
+	var b buffer
+	header(&b, c.Title)
+	axes(&b, c.XLabel, c.YLabel, xMax, yMax, px, py)
+
+	for i, s := range c.Series {
+		color := Palette[i%len(Palette)]
+		var pts strings.Builder
+		for j := range s.X {
+			fmt.Fprintf(&pts, "%.1f,%.1f ", px(s.X[j]), py(s.Y[j]))
+		}
+		b.printf(`<polyline fill="none" stroke="%s" stroke-width="1.6" points="%s"/>`+"\n",
+			color, strings.TrimSpace(pts.String()))
+		// Legend entry.
+		lx := marginL + 10 + 150*i
+		b.printf(`<rect x="%d" y="%d" width="12" height="3" fill="%s"/>`+"\n", lx, marginT-16, color)
+		b.printf(`<text x="%d" y="%d" font-size="%d">%s</text>`+"\n",
+			lx+16, marginT-10, fontTick, esc(s.Name))
+	}
+	b.printf("</svg>\n")
+	_, err := io.WriteString(w, b.sb.String())
+	return err
+}
+
+// BarGroup is one x-axis entry of a bar chart with one value per series.
+type BarGroup struct {
+	Label  string
+	Values []float64
+}
+
+// BarChart describes a per-app figure.
+type BarChart struct {
+	Title   string
+	YLabel  string
+	Series  []string // names of the per-group values
+	Groups  []BarGroup
+	YMax    float64 // 0 = auto
+	Stacked bool    // stack values instead of grouping side by side
+}
+
+// WriteSVG renders the chart.
+func (c BarChart) WriteSVG(w io.Writer) error {
+	if len(c.Groups) == 0 || len(c.Series) == 0 {
+		return fmt.Errorf("svgplot: bar chart with no data")
+	}
+	yMax := c.YMax
+	for _, g := range c.Groups {
+		if len(g.Values) != len(c.Series) {
+			return fmt.Errorf("svgplot: group %q has %d values, want %d", g.Label, len(g.Values), len(c.Series))
+		}
+		if c.YMax != 0 {
+			continue
+		}
+		if c.Stacked {
+			sum := 0.0
+			for _, v := range g.Values {
+				sum += math.Max(v, 0)
+			}
+			yMax = math.Max(yMax, sum)
+		} else {
+			for _, v := range g.Values {
+				yMax = math.Max(yMax, v)
+			}
+		}
+	}
+	if yMax <= 0 {
+		yMax = 1
+	}
+
+	plotW := float64(chartW - marginL - marginR)
+	plotH := float64(chartH - marginT - marginB)
+	py := func(y float64) float64 { return float64(chartH-marginB) - y/yMax*plotH }
+
+	var b buffer
+	header(&b, c.Title)
+	axes(&b, "", c.YLabel, 0, yMax, nil, py)
+
+	groupW := plotW / float64(len(c.Groups))
+	for gi, g := range c.Groups {
+		gx := marginL + float64(gi)*groupW
+		if c.Stacked {
+			base := 0.0
+			for si, v := range g.Values {
+				if v < 0 {
+					v = 0
+				}
+				top := py(base + v)
+				b.printf(`<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+					gx+groupW*0.15, top, groupW*0.7, py(base)-top, Palette[si%len(Palette)])
+				base += v
+			}
+		} else {
+			barW := groupW * 0.8 / float64(len(c.Series))
+			for si, v := range g.Values {
+				x := gx + groupW*0.1 + float64(si)*barW
+				y0, y1 := py(math.Max(v, 0)), py(0)
+				b.printf(`<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+					x, y0, barW*0.92, y1-y0, Palette[si%len(Palette)])
+			}
+		}
+		// Rotated group label.
+		lx := gx + groupW/2
+		ly := float64(chartH - marginB + 10)
+		b.printf(`<text x="%.1f" y="%.1f" font-size="%d" text-anchor="end" transform="rotate(-45 %.1f %.1f)">%s</text>`+"\n",
+			lx, ly, fontTick, lx, ly, esc(g.Label))
+	}
+	// Legend.
+	for si, name := range c.Series {
+		lx := marginL + 10 + 170*si
+		b.printf(`<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`+"\n",
+			lx, marginT-20, Palette[si%len(Palette)])
+		b.printf(`<text x="%d" y="%d" font-size="%d">%s</text>`+"\n",
+			lx+14, marginT-11, fontTick, esc(name))
+	}
+	b.printf("</svg>\n")
+	_, err := io.WriteString(w, b.sb.String())
+	return err
+}
+
+// header opens the SVG document and draws the title.
+func header(b *buffer, title string) {
+	b.printf(`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif">`+"\n",
+		chartW, chartH, chartW, chartH)
+	b.printf(`<rect width="%d" height="%d" fill="white"/>`+"\n", chartW, chartH)
+	b.printf(`<text x="%d" y="16" font-size="%d" font-weight="bold">%s</text>`+"\n",
+		chartW/2-len(title)*3, fontMain, esc(title))
+}
+
+// axes draws the frame, y ticks and labels; when px is non-nil it also
+// draws x ticks for a numeric axis up to xMax.
+func axes(b *buffer, xLabel, yLabel string, xMax, yMax float64,
+	px func(float64) float64, py func(float64) float64) {
+	x0, y0 := float64(marginL), float64(chartH-marginB)
+	x1, y1 := float64(chartW-marginR), float64(marginT)
+	b.printf(`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n", x0, y0, x1, y0)
+	b.printf(`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n", x0, y0, x0, y1)
+	for _, t := range niceTicks(yMax, 5) {
+		y := py(t)
+		if y < y1-0.5 {
+			continue
+		}
+		b.printf(`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#cccccc" stroke-dasharray="3,3"/>`+"\n",
+			x0, y, x1, y)
+		b.printf(`<text x="%.1f" y="%.1f" font-size="%d" text-anchor="end">%s</text>`+"\n",
+			x0-6, y+4, fontTick, fmtNum(t))
+	}
+	if px != nil {
+		for _, t := range niceTicks(xMax, 8) {
+			x := px(t)
+			if x > x1+0.5 {
+				continue
+			}
+			b.printf(`<text x="%.1f" y="%.1f" font-size="%d" text-anchor="middle">%s</text>`+"\n",
+				x, y0+16, fontTick, fmtNum(t))
+		}
+		if xLabel != "" {
+			b.printf(`<text x="%.1f" y="%d" font-size="%d" text-anchor="middle">%s</text>`+"\n",
+				(x0+x1)/2, chartH-6, fontTick, esc(xLabel))
+		}
+	}
+	if yLabel != "" {
+		b.printf(`<text x="14" y="%.1f" font-size="%d" text-anchor="middle" transform="rotate(-90 14 %.1f)">%s</text>`+"\n",
+			(y0+y1)/2, fontTick, (y0+y1)/2, esc(yLabel))
+	}
+}

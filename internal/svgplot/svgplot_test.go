@@ -1,0 +1,140 @@
+package svgplot
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+// wellFormed parses the output as XML, which catches unescaped text,
+// unbalanced tags and attribute syntax errors.
+func wellFormed(t *testing.T, out []byte) {
+	t.Helper()
+	dec := xml.NewDecoder(bytes.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG not well-formed XML: %v\n%s", err, out)
+		}
+	}
+}
+
+func TestLineChartSVG(t *testing.T) {
+	c := LineChart{
+		Title:  "Figure 2 <test> & more",
+		XLabel: "time (s)",
+		YLabel: "fps",
+		Series: []Series{
+			{Name: "frame rate", X: []float64{0, 1, 2, 3}, Y: []float64{0, 60, 30, 45}},
+			{Name: "content", X: []float64{0, 1, 2, 3}, Y: []float64{0, 10, 8, 12}},
+		},
+		YMax: 60,
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.Bytes()
+	wellFormed(t, out)
+	s := string(out)
+	for _, want := range []string{"<svg", "polyline", "frame rate", "&lt;test&gt;", "time (s)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if n := strings.Count(s, "<polyline"); n != 2 {
+		t.Errorf("polylines = %d, want 2", n)
+	}
+}
+
+func TestLineChartValidation(t *testing.T) {
+	if err := (LineChart{}).WriteSVG(&bytes.Buffer{}); err == nil {
+		t.Error("empty chart accepted")
+	}
+	bad := LineChart{Series: []Series{{Name: "x", X: []float64{1}, Y: []float64{1, 2}}}}
+	if err := bad.WriteSVG(&bytes.Buffer{}); err == nil {
+		t.Error("mismatched series accepted")
+	}
+	empty := LineChart{Series: []Series{{Name: "x"}}}
+	if err := empty.WriteSVG(&bytes.Buffer{}); err == nil {
+		t.Error("empty series accepted")
+	}
+}
+
+func TestBarChartSVG(t *testing.T) {
+	c := BarChart{
+		Title:  "Figure 9",
+		YLabel: "saved (mW)",
+		Series: []string{"section", "+boost"},
+		Groups: []BarGroup{
+			{Label: "Facebook", Values: []float64{150, 110}},
+			{Label: "Jelly Splash", Values: []float64{320, 250}},
+			{Label: "MX Player", Values: []float64{98, 86}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, buf.Bytes())
+	s := buf.String()
+	// 3 groups × 2 series bars + 2 legend rects + background.
+	if n := strings.Count(s, "<rect"); n != 3*2+2+1 {
+		t.Errorf("rects = %d, want 9", n)
+	}
+	if !strings.Contains(s, "Jelly Splash") {
+		t.Error("group label missing")
+	}
+}
+
+func TestBarChartStacked(t *testing.T) {
+	c := BarChart{
+		Title:  "Figure 3",
+		Series: []string{"meaningful", "redundant"},
+		Groups: []BarGroup{
+			{Label: "A", Values: []float64{10, 50}},
+			{Label: "B", Values: []float64{30, 5}},
+		},
+		Stacked: true,
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, buf.Bytes())
+}
+
+func TestBarChartValidation(t *testing.T) {
+	if err := (BarChart{}).WriteSVG(&bytes.Buffer{}); err == nil {
+		t.Error("empty chart accepted")
+	}
+	bad := BarChart{Series: []string{"a", "b"}, Groups: []BarGroup{{Label: "x", Values: []float64{1}}}}
+	if err := bad.WriteSVG(&bytes.Buffer{}); err == nil {
+		t.Error("ragged group accepted")
+	}
+}
+
+func TestNiceTicks(t *testing.T) {
+	ticks := niceTicks(60, 5)
+	if ticks[0] != 0 || ticks[len(ticks)-1] < 55 {
+		t.Errorf("ticks = %v", ticks)
+	}
+	for i := 1; i < len(ticks); i++ {
+		if ticks[i] <= ticks[i-1] {
+			t.Fatalf("ticks not increasing: %v", ticks)
+		}
+	}
+	if got := niceTicks(0, 5); len(got) < 2 {
+		t.Errorf("degenerate ticks = %v", got)
+	}
+}
+
+func TestFmtNum(t *testing.T) {
+	if fmtNum(60) != "60" || fmtNum(2.5) != "2.5" {
+		t.Errorf("fmtNum: %q %q", fmtNum(60), fmtNum(2.5))
+	}
+}

@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// WriteCSV writes one or more series as a CSV table with a shared time
+// column. Series are aligned by sample index; they must all have the same
+// length (use Resample to align series recorded at different cadences).
+func WriteCSV(w io.Writer, series ...*Series) error {
+	if len(series) == 0 {
+		return fmt.Errorf("trace: no series to export")
+	}
+	n := series[0].Len()
+	for _, s := range series[1:] {
+		if s.Len() != n {
+			return fmt.Errorf("trace: series %q has %d samples, want %d (resample first)", s.Name, s.Len(), n)
+		}
+	}
+	cw := csv.NewWriter(w)
+	header := []string{"t_seconds"}
+	for _, s := range series {
+		header = append(header, s.Name)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(header))
+	for i := 0; i < n; i++ {
+		row[0] = strconv.FormatFloat(series[0].Points[i].T.Seconds(), 'f', 6, 64)
+		for j, s := range series {
+			row[j+1] = strconv.FormatFloat(s.Points[i].V, 'g', -1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// jsonSeries is the JSON wire form of a Series.
+type jsonSeries struct {
+	Name    string    `json:"name"`
+	Seconds []float64 `json:"t_seconds"`
+	Values  []float64 `json:"values"`
+}
+
+// WriteJSON writes series as a JSON array of {name, t_seconds, values}
+// objects, the format the analysis notebooks in downstream projects tend
+// to want.
+func WriteJSON(w io.Writer, series ...*Series) error {
+	out := make([]jsonSeries, 0, len(series))
+	for _, s := range series {
+		js := jsonSeries{Name: s.Name}
+		for _, p := range s.Points {
+			js.Seconds = append(js.Seconds, p.T.Seconds())
+			js.Values = append(js.Values, p.V)
+		}
+		out = append(out, js)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// CI95 returns the half-width of the 95% confidence interval of the mean
+// of vs (normal approximation), 0 for fewer than 2 samples. Paired power
+// measurements report mean ± CI95 alongside the paper's mean ± std style.
+func CI95(vs []float64) float64 {
+	if len(vs) < 2 {
+		return 0
+	}
+	// Sample (not population) standard deviation for the CI.
+	m := Mean(vs)
+	sum := 0.0
+	for _, v := range vs {
+		d := v - m
+		sum += d * d
+	}
+	sd := math.Sqrt(sum / float64(len(vs)-1))
+	return 1.96 * sd / math.Sqrt(float64(len(vs)))
+}

@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"ccdem/internal/sim"
+)
+
+func exportSeries() (*Series, *Series) {
+	a := NewSeries("content")
+	b := NewSeries("refresh")
+	for i := 0; i < 4; i++ {
+		a.Add(sim.Time(i)*sim.Second, float64(i))
+		b.Add(sim.Time(i)*sim.Second, float64(10*i))
+	}
+	return a, b
+}
+
+func TestWriteCSV(t *testing.T) {
+	a, b := exportSeries()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, a, b); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("CSV lines = %d, want 5", len(lines))
+	}
+	if lines[0] != "t_seconds,content,refresh" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[2], "1.000000,1,10") {
+		t.Errorf("row 1 = %q", lines[2])
+	}
+}
+
+func TestWriteCSVValidation(t *testing.T) {
+	if err := WriteCSV(&bytes.Buffer{}); err == nil {
+		t.Error("no series accepted")
+	}
+	a, b := exportSeries()
+	b.Add(10*sim.Second, 1) // mismatched length
+	if err := WriteCSV(&bytes.Buffer{}, a, b); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	a, b := exportSeries()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, a, b); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var decoded []struct {
+		Name    string    `json:"name"`
+		Seconds []float64 `json:"t_seconds"`
+		Values  []float64 `json:"values"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(decoded) != 2 || decoded[0].Name != "content" || decoded[1].Name != "refresh" {
+		t.Fatalf("decoded = %+v", decoded)
+	}
+	if len(decoded[0].Values) != 4 || decoded[0].Values[3] != 3 {
+		t.Errorf("values = %v", decoded[0].Values)
+	}
+	if decoded[1].Seconds[2] != 2 {
+		t.Errorf("seconds = %v", decoded[1].Seconds)
+	}
+}
+
+func TestCI95(t *testing.T) {
+	if CI95(nil) != 0 || CI95([]float64{5}) != 0 {
+		t.Error("degenerate CI not 0")
+	}
+	// 100 identical samples: CI = 0.
+	same := make([]float64, 100)
+	for i := range same {
+		same[i] = 7
+	}
+	if CI95(same) != 0 {
+		t.Error("zero-variance CI not 0")
+	}
+	// Known case: sd=1, n=100 → CI ≈ 0.196.
+	vs := make([]float64, 100)
+	for i := range vs {
+		if i%2 == 0 {
+			vs[i] = 1
+		} else {
+			vs[i] = -1
+		}
+	}
+	// sample sd of ±1 alternating ≈ 1.005
+	got := CI95(vs)
+	if math.Abs(got-0.197) > 0.01 {
+		t.Errorf("CI95 = %v, want ≈0.197", got)
+	}
+}

@@ -1,0 +1,264 @@
+// Package trace provides the measurement plumbing shared by all
+// experiments: time series of sampled values, sliding-window event-rate
+// counters (frame rate, content rate), summary statistics, and a small
+// text renderer for trace figures.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"ccdem/internal/sim"
+)
+
+// Point is one sample of a time series.
+type Point struct {
+	T sim.Time
+	V float64
+}
+
+// Series is an append-only time series with a name used in figure output.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// NewSeries returns an empty named series.
+func NewSeries(name string) *Series { return &Series{Name: name} }
+
+// Add appends a sample. Samples must be appended in non-decreasing time
+// order; out-of-order appends panic because they indicate a simulation bug.
+func (s *Series) Add(t sim.Time, v float64) {
+	if n := len(s.Points); n > 0 && t < s.Points[n-1].T {
+		panic(fmt.Sprintf("trace: out-of-order sample at %v after %v", t, s.Points[n-1].T))
+	}
+	s.Points = append(s.Points, Point{t, v})
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Points) }
+
+// Values returns just the sample values, in time order.
+func (s *Series) Values() []float64 {
+	vs := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		vs[i] = p.V
+	}
+	return vs
+}
+
+// Mean returns the arithmetic mean of the sample values (0 when empty).
+func (s *Series) Mean() float64 { return Mean(s.Values()) }
+
+// Max returns the maximum sample value (0 when empty).
+func (s *Series) Max() float64 {
+	m := 0.0
+	for i, p := range s.Points {
+		if i == 0 || p.V > m {
+			m = p.V
+		}
+	}
+	return m
+}
+
+// Between returns the sub-series with t0 <= T < t1 (sharing storage).
+func (s *Series) Between(t0, t1 sim.Time) *Series {
+	lo := sort.Search(len(s.Points), func(i int) bool { return s.Points[i].T >= t0 })
+	hi := sort.Search(len(s.Points), func(i int) bool { return s.Points[i].T >= t1 })
+	return &Series{Name: s.Name, Points: s.Points[lo:hi]}
+}
+
+// Resample returns the series averaged into fixed dt buckets starting at
+// t=0; empty buckets repeat the previous bucket's value (0 before any
+// sample). This is what the figure renderers plot.
+func (s *Series) Resample(dt sim.Time, until sim.Time) *Series {
+	if dt <= 0 {
+		panic("trace: non-positive resample interval")
+	}
+	out := NewSeries(s.Name)
+	i := 0
+	last := 0.0
+	for t := sim.Time(0); t < until; t += dt {
+		sum, n := 0.0, 0
+		for i < len(s.Points) && s.Points[i].T < t+dt {
+			sum += s.Points[i].V
+			n++
+			i++
+		}
+		if n > 0 {
+			last = sum / float64(n)
+		}
+		out.Add(t, last)
+	}
+	return out
+}
+
+// RateCounter measures an event rate over a sliding time window, e.g.
+// frames per second or content updates per second. The paper's meter
+// reports the content rate the same way: events within the last second.
+type RateCounter struct {
+	window sim.Time
+	events []sim.Time // ring-ish: pruned from the front on demand
+	total  uint64
+}
+
+// NewRateCounter creates a counter with the given sliding window (must be
+// positive). The paper uses a one-second window, the natural unit of FPS.
+func NewRateCounter(window sim.Time) *RateCounter {
+	if window <= 0 {
+		panic("trace: non-positive rate window")
+	}
+	return &RateCounter{window: window}
+}
+
+// Note records an event at time t. Events must arrive in non-decreasing
+// time order.
+func (rc *RateCounter) Note(t sim.Time) {
+	if n := len(rc.events); n > 0 && t < rc.events[n-1] {
+		panic(fmt.Sprintf("trace: out-of-order event at %v", t))
+	}
+	rc.events = append(rc.events, t)
+	rc.total++
+	rc.prune(t)
+}
+
+func (rc *RateCounter) prune(now sim.Time) {
+	cut := 0
+	for cut < len(rc.events) && rc.events[cut] <= now-rc.window {
+		cut++
+	}
+	if cut > 0 {
+		rc.events = rc.events[cut:]
+	}
+}
+
+// Rate returns the event rate (events per second) over the window ending
+// at now.
+func (rc *RateCounter) Rate(now sim.Time) float64 {
+	rc.prune(now)
+	return float64(len(rc.events)) / rc.window.Seconds()
+}
+
+// Total returns the number of events ever noted.
+func (rc *RateCounter) Total() uint64 { return rc.total }
+
+// Mean returns the arithmetic mean of vs, 0 when empty.
+func Mean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vs {
+		sum += v
+	}
+	return sum / float64(len(vs))
+}
+
+// Std returns the population standard deviation of vs, 0 when len < 2.
+func Std(vs []float64) float64 {
+	if len(vs) < 2 {
+		return 0
+	}
+	m := Mean(vs)
+	sum := 0.0
+	for _, v := range vs {
+		d := v - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(vs)))
+}
+
+// Percentile returns the p-th percentile (0–100) of vs using linear
+// interpolation, 0 when empty. The paper reports "for 80% of applications"
+// figures, i.e. the 80th percentile across the app population.
+func Percentile(vs []float64, p float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), vs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// CDFPoint is one step of an empirical CDF: Frac of the population has a
+// value ≤ Value.
+type CDFPoint struct {
+	Value, Frac float64
+}
+
+// CDF returns the empirical CDF of vs: one point per distinct value, sorted
+// by value, each carrying the fraction of samples ≤ that value.
+func CDF(vs []float64) []CDFPoint {
+	if len(vs) == 0 {
+		return nil
+	}
+	sorted := append([]float64(nil), vs...)
+	sort.Float64s(sorted)
+	var out []CDFPoint
+	for i, v := range sorted {
+		frac := float64(i+1) / float64(len(sorted))
+		if n := len(out); n > 0 && out[n-1].Value == v {
+			out[n-1].Frac = frac
+			continue
+		}
+		out = append(out, CDFPoint{Value: v, Frac: frac})
+	}
+	return out
+}
+
+// Sparkline renders vs as a one-line unicode chart, used by the example
+// programs and the CLI's trace views.
+func Sparkline(vs []float64, width int) string {
+	if len(vs) == 0 || width <= 0 {
+		return ""
+	}
+	blocks := []rune("▁▂▃▄▅▆▇█")
+	// Downsample/average to width buckets.
+	buckets := make([]float64, width)
+	for i := range buckets {
+		lo := i * len(vs) / width
+		hi := (i + 1) * len(vs) / width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > len(vs) {
+			hi = len(vs)
+		}
+		buckets[i] = Mean(vs[lo:hi])
+	}
+	maxV := 0.0
+	for _, v := range buckets {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	var sb strings.Builder
+	for _, v := range buckets {
+		idx := 0
+		if maxV > 0 {
+			idx = int(v / maxV * float64(len(blocks)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(blocks) {
+			idx = len(blocks) - 1
+		}
+		sb.WriteRune(blocks[idx])
+	}
+	return sb.String()
+}

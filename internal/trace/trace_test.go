@@ -1,0 +1,233 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"ccdem/internal/sim"
+)
+
+func TestSeriesAddAndStats(t *testing.T) {
+	s := NewSeries("x")
+	s.Add(0, 1)
+	s.Add(sim.Second, 3)
+	s.Add(2*sim.Second, 5)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if got := s.Mean(); got != 3 {
+		t.Errorf("Mean = %v, want 3", got)
+	}
+	if got := s.Max(); got != 5 {
+		t.Errorf("Max = %v, want 5", got)
+	}
+}
+
+func TestSeriesOutOfOrderPanics(t *testing.T) {
+	s := NewSeries("x")
+	s.Add(sim.Second, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order Add did not panic")
+		}
+	}()
+	s.Add(0, 2)
+}
+
+func TestSeriesBetween(t *testing.T) {
+	s := NewSeries("x")
+	for i := 0; i < 10; i++ {
+		s.Add(sim.Time(i)*sim.Second, float64(i))
+	}
+	sub := s.Between(3*sim.Second, 6*sim.Second)
+	if sub.Len() != 3 {
+		t.Fatalf("Between len = %d, want 3", sub.Len())
+	}
+	if sub.Points[0].V != 3 || sub.Points[2].V != 5 {
+		t.Errorf("Between contents wrong: %v", sub.Points)
+	}
+}
+
+func TestSeriesResample(t *testing.T) {
+	s := NewSeries("x")
+	s.Add(100*sim.Millisecond, 2)
+	s.Add(200*sim.Millisecond, 4)
+	s.Add(1500*sim.Millisecond, 10)
+	r := s.Resample(sim.Second, 3*sim.Second)
+	if r.Len() != 3 {
+		t.Fatalf("resampled len = %d, want 3", r.Len())
+	}
+	if r.Points[0].V != 3 { // mean of 2 and 4
+		t.Errorf("bucket 0 = %v, want 3", r.Points[0].V)
+	}
+	if r.Points[1].V != 10 {
+		t.Errorf("bucket 1 = %v, want 10", r.Points[1].V)
+	}
+	if r.Points[2].V != 10 { // empty bucket holds previous value
+		t.Errorf("bucket 2 = %v, want carried 10", r.Points[2].V)
+	}
+}
+
+func TestRateCounterWindow(t *testing.T) {
+	rc := NewRateCounter(sim.Second)
+	for i := 0; i < 30; i++ {
+		rc.Note(sim.Time(i) * 33 * sim.Millisecond) // ~30 events in 1s
+	}
+	now := sim.Time(29 * 33 * sim.Millisecond)
+	got := rc.Rate(now)
+	if got < 29 || got > 31 {
+		t.Errorf("Rate = %v, want ≈30", got)
+	}
+	// After 2 idle seconds, the rate decays to zero.
+	if got := rc.Rate(now + 2*sim.Second); got != 0 {
+		t.Errorf("Rate after idle = %v, want 0", got)
+	}
+	if rc.Total() != 30 {
+		t.Errorf("Total = %d, want 30", rc.Total())
+	}
+}
+
+func TestRateCounterExactWindowEdge(t *testing.T) {
+	rc := NewRateCounter(sim.Second)
+	rc.Note(0)
+	// An event exactly one window old has left the window (window is
+	// half-open: (now-window, now]).
+	if got := rc.Rate(sim.Second); got != 0 {
+		t.Errorf("Rate at exact window edge = %v, want 0", got)
+	}
+	rc2 := NewRateCounter(sim.Second)
+	rc2.Note(1)
+	if got := rc2.Rate(sim.Second); got != 1 {
+		t.Errorf("Rate just inside window = %v, want 1", got)
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	vs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(vs); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := Std(vs); math.Abs(got-2) > 1e-9 {
+		t.Errorf("Std = %v, want 2", got)
+	}
+	if Mean(nil) != 0 || Std(nil) != 0 || Std([]float64{1}) != 0 {
+		t.Error("degenerate stats not zero")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vs := []float64{10, 20, 30, 40, 50}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {100, 50}, {50, 30}, {25, 20}, {80, 42},
+	}
+	for _, c := range cases {
+		if got := Percentile(vs, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile not 0")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	pts := CDF([]float64{3, 1, 2, 2})
+	if len(pts) != 3 {
+		t.Fatalf("CDF distinct points = %d, want 3", len(pts))
+	}
+	if pts[0].Value != 1 || math.Abs(pts[0].Frac-0.25) > 1e-9 {
+		t.Errorf("CDF[0] = %+v", pts[0])
+	}
+	if pts[1].Value != 2 || math.Abs(pts[1].Frac-0.75) > 1e-9 {
+		t.Errorf("CDF[1] = %+v", pts[1])
+	}
+	if pts[2].Value != 3 || math.Abs(pts[2].Frac-1) > 1e-9 {
+		t.Errorf("CDF[2] = %+v", pts[2])
+	}
+	if CDF(nil) != nil {
+		t.Error("CDF(nil) != nil")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	line := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 8)
+	if len([]rune(line)) != 8 {
+		t.Fatalf("sparkline width = %d, want 8", len([]rune(line)))
+	}
+	runes := []rune(line)
+	if runes[0] != '▁' || runes[7] != '█' {
+		t.Errorf("sparkline extremes = %q", line)
+	}
+	if Sparkline(nil, 10) != "" {
+		t.Error("empty sparkline not empty string")
+	}
+}
+
+// Property: percentile is monotone in p and bounded by min/max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		vs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				vs = append(vs, v)
+			}
+		}
+		if len(vs) == 0 {
+			return true
+		}
+		sorted := append([]float64(nil), vs...)
+		sort.Float64s(sorted)
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 5 {
+			v := Percentile(vs, p)
+			if v < prev || v < sorted[0] || v > sorted[len(sorted)-1] {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the rate counter's reported rate times the window equals the
+// number of events strictly inside the window.
+func TestRateCounterCountProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 100; iter++ {
+		rc := NewRateCounter(sim.Second)
+		var times []sim.Time
+		tcur := sim.Time(0)
+		for i := 0; i < 200; i++ {
+			tcur += sim.Time(rng.Intn(40)) * sim.Millisecond
+			times = append(times, tcur)
+			rc.Note(tcur)
+		}
+		now := tcur
+		want := 0
+		for _, et := range times {
+			if et > now-sim.Second && et <= now {
+				want++
+			}
+		}
+		if got := rc.Rate(now); got != float64(want) {
+			t.Fatalf("iter %d: rate %v, want %d", iter, got, want)
+		}
+	}
+}
+
+func TestRateCounterOutOfOrderPanics(t *testing.T) {
+	rc := NewRateCounter(sim.Second)
+	rc.Note(sim.Second)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order Note did not panic")
+		}
+	}()
+	rc.Note(0)
+}

@@ -1,0 +1,104 @@
+package wallpaper
+
+import (
+	"testing"
+
+	"ccdem/internal/core"
+	"ccdem/internal/framebuffer"
+	"ccdem/internal/power"
+	"ccdem/internal/sim"
+	"ccdem/internal/surface"
+)
+
+func runWallpaper(t *testing.T, cfg Config, samples int, d sim.Time) (truth uint64, measured uint64) {
+	t.Helper()
+	eng := sim.NewEngine()
+	mgr := surface.NewManager(eng, 720, 1280)
+	wp, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wp.Attach(eng, mgr)
+	meter, err := core.NewMeter(core.MeterConfig{
+		Grid:   framebuffer.GridForSamples(720, 1280, samples),
+		Window: sim.Second,
+		Cost:   power.CompareCostModel{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr.OnFrame(func(fi surface.FrameInfo) { meter.ObserveFrame(fi.T, mgr.Framebuffer()) })
+	eng.Every(sim.Hz(60), sim.Hz(60), func() { mgr.VSync(eng.Now(), 60) })
+	eng.RunUntil(d)
+	_, content := meter.Totals()
+	return wp.ContentFrames(), content
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Dots: -1}); err == nil {
+		t.Error("negative dots accepted")
+	}
+	if _, err := New(Config{FPS: 120}); err == nil {
+		t.Error("FPS above 60 accepted")
+	}
+}
+
+func TestWallpaperProducesContentFrames(t *testing.T) {
+	truth, _ := runWallpaper(t, Config{Seed: 1}, 921600, 5*sim.Second)
+	// 20 fps default for 5 s ≈ 100 content frames (+1 initial).
+	if truth < 95 || truth > 105 {
+		t.Errorf("ground-truth content frames = %d, want ≈100", truth)
+	}
+}
+
+func TestFullGridIsExact(t *testing.T) {
+	truth, measured := runWallpaper(t, Config{Seed: 2}, 921600, 5*sim.Second)
+	if measured != truth {
+		t.Errorf("full-resolution grid measured %d of %d content frames", measured, truth)
+	}
+}
+
+func TestSparseGridUndercounts(t *testing.T) {
+	truth, measured := runWallpaper(t, Config{Seed: 3}, 2304, 5*sim.Second)
+	if measured >= truth {
+		t.Errorf("2K grid measured %d of %d — expected undercount on small dots", measured, truth)
+	}
+	// The Figure 6 shape: a 2K grid misses a substantial share.
+	if float64(measured)/float64(truth) > 0.9 {
+		t.Errorf("2K grid error too small: %d/%d", measured, truth)
+	}
+}
+
+func TestDenseGridIsAccurate(t *testing.T) {
+	truth, measured := runWallpaper(t, Config{Seed: 4}, 36864, 5*sim.Second)
+	if float64(measured)/float64(truth) < 0.9 {
+		t.Errorf("36K grid accuracy %d/%d below 90%%", measured, truth)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	t1, m1 := runWallpaper(t, Config{Seed: 9}, 9216, 3*sim.Second)
+	t2, m2 := runWallpaper(t, Config{Seed: 9}, 9216, 3*sim.Second)
+	if t1 != t2 || m1 != m2 {
+		t.Errorf("non-deterministic: (%d,%d) vs (%d,%d)", t1, m1, t2, m2)
+	}
+}
+
+func TestStop(t *testing.T) {
+	eng := sim.NewEngine()
+	mgr := surface.NewManager(eng, 360, 640)
+	wp, err := New(Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wp.Attach(eng, mgr)
+	eng.Every(sim.Hz(60), sim.Hz(60), func() { mgr.VSync(eng.Now(), 60) })
+	eng.RunUntil(2 * sim.Second)
+	wp.Stop()
+	eng.RunUntil(2*sim.Second + 100*sim.Millisecond) // drain the pending frame request
+	n := wp.ContentFrames()
+	eng.RunUntil(4 * sim.Second)
+	if wp.ContentFrames() != n {
+		t.Error("wallpaper advanced after Stop")
+	}
+}

@@ -1,0 +1,112 @@
+package ccdem
+
+import (
+	"math"
+	"testing"
+
+	"ccdem/internal/core"
+	"ccdem/internal/display"
+	"ccdem/internal/input"
+	"ccdem/internal/sim"
+)
+
+// TestPredictorMatchesSimulation validates the offline what-if estimator:
+// a baseline run's frame log, replayed analytically through
+// core.PredictSection, must land close to the power an actual
+// section-governed simulation measures on the same workload and script.
+func TestPredictorMatchesSimulation(t *testing.T) {
+	const dur = 30 * sim.Second
+	mk, err := input.NewMonkey(31, input.DefaultMonkeyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := mk.Script(dur, 720, 1280)
+
+	for _, appName := range []string{"Jelly Splash", "Cash Slide", "MX Player"} {
+		appName := appName
+		t.Run(appName, func(t *testing.T) {
+			// Baseline run with frame recording.
+			base := mustDevice(t, Config{Governor: GovernorOff})
+			mustApp(t, base, appName)
+			base.RecordFrames(true)
+			base.PlayScript(sc)
+			base.Run(dur)
+			log := base.FrameLog()
+			if len(log) == 0 {
+				t.Fatal("empty frame log")
+			}
+
+			// Ground truth: the actual section-governed simulation.
+			gov := mustDevice(t, Config{Governor: GovernorSection})
+			mustApp(t, gov, appName)
+			gov.PlayScript(sc)
+			gov.Run(dur)
+			actual := gov.Stats()
+
+			// Offline prediction from the baseline log.
+			pred, err := core.PredictSection(log, dur, core.PredictorConfig{
+				Levels: display.GalaxyS3Levels,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			relErr := math.Abs(pred.MeanPowerMW-actual.MeanPowerMW) / actual.MeanPowerMW
+			if relErr > 0.10 {
+				t.Errorf("predicted %v mW vs simulated %v mW (%.1f%% error)",
+					pred.MeanPowerMW, actual.MeanPowerMW, 100*relErr)
+			}
+			if hzErr := math.Abs(pred.MeanRefreshHz - actual.MeanRefreshHz); hzErr > 8 {
+				t.Errorf("predicted refresh %v Hz vs simulated %v Hz",
+					pred.MeanRefreshHz, actual.MeanRefreshHz)
+			}
+			// The prediction must also agree that savings exist relative
+			// to the recorded baseline.
+			if saved := base.Stats().MeanPowerMW - pred.MeanPowerMW; saved < 0 {
+				t.Errorf("prediction shows negative saving: %v mW", saved)
+			}
+		})
+	}
+}
+
+func TestPredictorValidation(t *testing.T) {
+	if _, err := core.PredictSection(nil, 0, core.PredictorConfig{Levels: display.GalaxyS3Levels}); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if _, err := core.PredictSection(nil, sim.Second, core.PredictorConfig{}); err == nil {
+		t.Error("empty levels accepted")
+	}
+	out := []core.FrameRecord{{T: 2 * sim.Second}, {T: sim.Second}}
+	if _, err := core.PredictSection(out, 3*sim.Second, core.PredictorConfig{Levels: display.GalaxyS3Levels}); err == nil {
+		t.Error("out-of-order records accepted")
+	}
+}
+
+func TestPredictorEmptyLogIsFloorPower(t *testing.T) {
+	pred, err := core.PredictSection(nil, 10*sim.Second, core.PredictorConfig{
+		Levels: display.GalaxyS3Levels,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.FrameRate != 0 || pred.ContentRate != 0 {
+		t.Errorf("empty log rates = %v/%v", pred.FrameRate, pred.ContentRate)
+	}
+	// With no content the governor settles at the minimum level after the
+	// first period, so mean refresh sits just above 20 Hz.
+	if pred.MeanRefreshHz < 20 || pred.MeanRefreshHz > 25 {
+		t.Errorf("empty-log mean refresh = %v, want ≈20-22", pred.MeanRefreshHz)
+	}
+	if pred.MeanPowerMW < 400 || pred.MeanPowerMW > 700 {
+		t.Errorf("empty-log floor power = %v mW", pred.MeanPowerMW)
+	}
+}
+
+func TestRecordFramesOffByDefault(t *testing.T) {
+	d := mustDevice(t, Config{Governor: GovernorOff})
+	mustApp(t, d, "Weather")
+	d.Run(2 * sim.Second)
+	if d.FrameLog() != nil {
+		t.Error("frame log recorded without RecordFrames(true)")
+	}
+}

@@ -1,0 +1,127 @@
+package ccdem
+
+import (
+	"testing"
+
+	"ccdem/internal/app"
+	"ccdem/internal/sim"
+)
+
+// Robustness tests: pathological configurations must behave sensibly, not
+// panic or wedge.
+
+func TestTinyScreenDevice(t *testing.T) {
+	d := mustDevice(t, Config{Width: 8, Height: 8, MeterSamples: 4, Governor: GovernorSectionBoost})
+	mustApp(t, d, "Jelly Splash")
+	d.Run(5 * sim.Second)
+	st := d.Stats()
+	if st.FrameRate <= 0 {
+		t.Errorf("tiny screen latched nothing: %+v", st)
+	}
+}
+
+func TestSingleRefreshLevelDevice(t *testing.T) {
+	// One level: the governor has nothing to choose; everything still runs.
+	d := mustDevice(t, Config{RefreshLevels: []int{60}, Governor: GovernorSection})
+	mustApp(t, d, "Facebook")
+	d.Run(5 * sim.Second)
+	st := d.Stats()
+	if st.MeanRefreshHz != 60 || st.RefreshSwitches != 0 {
+		t.Errorf("single-level device switched: %+v", st)
+	}
+}
+
+func TestZeroRateApp(t *testing.T) {
+	// An app that never invalidates after its first frame.
+	p := app.Params{
+		Name: "frozen", Cat: app.General, Style: app.StylePulse,
+	}
+	d := mustDevice(t, Config{Governor: GovernorSection})
+	m, err := d.InstallApp(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Run(10 * sim.Second)
+	st := d.Stats()
+	// Exactly the initial frame.
+	if frames, _ := d.Meter().Totals(); frames != 1 {
+		t.Errorf("frozen app latched %d frames, want 1", frames)
+	}
+	// The governor idles the panel at its floor.
+	if d.Panel().Rate() != 20 {
+		t.Errorf("panel at %d Hz under a frozen app, want 20", d.Panel().Rate())
+	}
+	if st.DisplayQuality != 1 {
+		t.Errorf("frozen app quality = %v, want 1 (nothing to drop)", st.DisplayQuality)
+	}
+	_ = m
+}
+
+func TestMaxRateApp(t *testing.T) {
+	// An app demanding more than the pacer can deliver is clamped at 60.
+	p := app.Params{
+		Name: "firehose", Cat: app.Game, Style: app.StyleSprites,
+		IdleContentFPS: 240, IdleInvalidateFPS: 240,
+		TouchContentFPS: 240, TouchInvalidateFPS: 240,
+		FullScreenRender: true,
+	}
+	d := mustDevice(t, Config{Governor: GovernorOff})
+	if _, err := d.InstallApp(p); err != nil {
+		t.Fatal(err)
+	}
+	d.Run(5 * sim.Second)
+	st := d.Stats()
+	if st.FrameRate > 61 {
+		t.Errorf("frame rate = %v above the V-Sync ceiling", st.FrameRate)
+	}
+	if st.IntendedRate > 61 {
+		t.Errorf("intended rate = %v above the pacer ceiling", st.IntendedRate)
+	}
+}
+
+func TestManyAppsInstalled(t *testing.T) {
+	// Several concurrent surfaces: composition and accounting stay sane.
+	d := mustDevice(t, Config{Governor: GovernorSection})
+	for _, name := range []string{"Weather", "Tiny Flashlight", "KakaoTalk"} {
+		mustApp(t, d, name)
+	}
+	d.Run(5 * sim.Second)
+	st := d.Stats()
+	if st.FrameRate <= 0 || st.MeanPowerMW <= 0 {
+		t.Errorf("multi-app stats = %+v", st)
+	}
+}
+
+func TestNonStandardLevels(t *testing.T) {
+	// An odd level menu still derives a working section table.
+	d := mustDevice(t, Config{RefreshLevels: []int{17, 33, 51}, Governor: GovernorSectionBoost})
+	mustApp(t, d, "Jelly Splash")
+	d.Run(10 * sim.Second)
+	st := d.Stats()
+	if st.MeanRefreshHz < 17 || st.MeanRefreshHz > 51 {
+		t.Errorf("mean refresh %v outside level range", st.MeanRefreshHz)
+	}
+	if st.DisplayQuality < 0.7 {
+		t.Errorf("quality = %v on odd level menu", st.DisplayQuality)
+	}
+}
+
+func TestVeryLongRunStability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long run")
+	}
+	// 10 virtual minutes: counters keep growing, nothing wedges, energy
+	// stays consistent with mean power.
+	d := mustDevice(t, Config{Governor: GovernorSectionBoost})
+	mustApp(t, d, "Cash Slide")
+	d.PlayScript(script(t, 50, 10*sim.Minute))
+	d.Run(10 * sim.Minute)
+	st := d.Stats()
+	if st.Duration != 10*sim.Minute {
+		t.Errorf("duration = %v", st.Duration)
+	}
+	wantEnergy := st.MeanPowerMW * st.Duration.Seconds()
+	if diff := st.EnergyMJ - wantEnergy; diff > wantEnergy*0.01 || diff < -wantEnergy*0.01 {
+		t.Errorf("energy %v inconsistent with mean power × time %v", st.EnergyMJ, wantEnergy)
+	}
+}
