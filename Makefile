@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench validate campaign figures clean
+.PHONY: all build test test-short race cover bench validate campaign figures fleet clean
 
 all: build test
 
@@ -17,7 +17,7 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/experiments/ .
+	$(GO) test -race ./...
 
 cover:
 	$(GO) test -cover ./...
@@ -41,6 +41,10 @@ figures:
 	mkdir -p results/figures
 	$(GO) run ./cmd/ccdem -duration 60 -svg results/figures fig2
 	$(GO) run ./cmd/ccdem -duration 60 -svg results/figures fig7
+
+# Small-cohort fleet smoke run (see cmd/ccdem-fleet -help for real studies).
+fleet:
+	$(GO) run ./cmd/ccdem-fleet -devices 24 -duration 10 -progress
 
 clean:
 	$(GO) clean ./...

@@ -7,12 +7,15 @@
 package ccdem_test
 
 import (
+	"context"
+	"fmt"
 	"sync"
 	"testing"
 
 	"ccdem"
 	"ccdem/internal/app"
 	"ccdem/internal/experiments"
+	"ccdem/internal/fleet"
 	"ccdem/internal/input"
 	"ccdem/internal/sim"
 	"ccdem/internal/trace"
@@ -235,6 +238,34 @@ func BenchmarkCompareE3(b *testing.B) {
 	b.ReportMetric(base.MeanPowerMW-full.MeanPowerMW, "ccdem-saved-mW")
 	b.ReportMetric(100*e3.DisplayQuality, "e3-quality-%")
 	b.ReportMetric(100*full.DisplayQuality, "ccdem-quality-%")
+}
+
+// BenchmarkFleetScaling measures the fleet engine's multi-core speedup: a
+// fixed 30-device cohort at 1/2/4/8 workers. Results are bit-identical at
+// every width (per-device seeding is sharded from the fleet seed), so the
+// only thing that changes is wall-clock time; on a single-core host all
+// widths degenerate to the sequential time.
+func BenchmarkFleetScaling(b *testing.B) {
+	cohort := fleet.Cohort{
+		Devices: 30,
+		Seed:    1,
+		Session: 10 * sim.Second,
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			var agg fleet.Aggregate
+			for i := 0; i < b.N; i++ {
+				r, err := cohort.Run(context.Background(), fleet.Pool{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				agg = r.Aggregate
+			}
+			b.ReportMetric(agg.MeanSavedMW, "fleet-saved-mW")
+			b.ReportMetric(agg.QualityPctMean, "fleet-quality-%")
+			b.ReportMetric(float64(cohort.Devices)*cohort.Session.Seconds()*float64(b.N)/b.Elapsed().Seconds(), "device-s/s")
+		})
+	}
 }
 
 // BenchmarkDeviceSimulation measures raw simulation throughput: virtual

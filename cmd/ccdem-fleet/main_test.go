@@ -1,0 +1,91 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture redirects stdout around fn and returns what it printed.
+func capture(t *testing.T, fn func() error) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = f
+	errRun := fn()
+	os.Stdout = old
+	f.Close()
+	if errRun != nil {
+		t.Fatalf("run: %v", errRun)
+	}
+	out, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+func TestRunJSON(t *testing.T) {
+	out := capture(t, func() error {
+		return run(4, 2, 1, 3, "", 1024, "", "json", true, false, "")
+	})
+	var doc struct {
+		Devices   []json.RawMessage `json:"devices"`
+		Aggregate struct {
+			Devices     int     `json:"devices"`
+			MeanSavedMW float64 `json:"mean_saved_mw"`
+		} `json:"aggregate"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if doc.Aggregate.Devices != 4 || len(doc.Devices) != 4 {
+		t.Errorf("devices = %d/%d, want 4", doc.Aggregate.Devices, len(doc.Devices))
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	out := capture(t, func() error {
+		return run(3, 0, 1, 3, "section", 1024, "", "csv", false, false, "")
+	})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("csv lines = %d, want header + 3 rows\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "device,profile,") {
+		t.Errorf("missing header: %s", lines[0])
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	if err := run(3, 0, 1, 3, "warp-speed", 1024, "", "json", false, false, ""); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if err := run(3, 0, 1, 3, "", 1024, "", "xml", false, false, ""); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if err := run(3, 0, 1, 3, "", 1024, "no-such-spec.json", "json", false, false, ""); err == nil {
+		t.Error("missing spec file accepted")
+	}
+}
+
+func TestWriteSpecThenRun(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "cohort.json")
+	if err := run(5, 0, 9, 4, "", 1024, "", "json", false, false, spec); err != nil {
+		t.Fatalf("write-spec: %v", err)
+	}
+	out := capture(t, func() error {
+		return run(5, 0, 9, 4, "", 1024, spec, "json", false, false, "")
+	})
+	if !strings.Contains(out, "\"aggregate\"") {
+		t.Errorf("spec-driven run produced no aggregate:\n%s", out)
+	}
+}

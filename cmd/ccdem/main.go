@@ -16,6 +16,7 @@
 //	-duration N   seconds of virtual time per run (default 180, the paper's ≈3 min)
 //	-seed N       Monkey script seed (default 1)
 //	-samples N    governor comparison-grid pixels (default 9216)
+//	-workers N    concurrent app runs in campaign experiments (default all cores)
 package main
 
 import (
@@ -33,6 +34,7 @@ func main() {
 	duration := flag.Int("duration", 180, "seconds of virtual time per run")
 	seed := flag.Int64("seed", 1, "Monkey script seed")
 	samples := flag.Int("samples", 9216, "governor comparison-grid pixels")
+	workers := flag.Int("workers", 0, "concurrent app runs in campaign experiments (0 = all cores); results are identical at any value")
 	csvPath := flag.String("csv", "", "also write the experiment's data rows as CSV to this file (table experiments only)")
 	svgDir := flag.String("svg", "", "also write the experiment's figures as SVG files into this directory")
 	flag.Usage = usage
@@ -45,6 +47,7 @@ func main() {
 		Duration:     sim.Time(*duration) * sim.Second,
 		Seed:         *seed,
 		MeterSamples: *samples,
+		Parallelism:  *workers,
 	}
 	if err := run(flag.Arg(0), opts, *csvPath, *svgDir); err != nil {
 		fmt.Fprintf(os.Stderr, "ccdem: %v\n", err)

@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"errors"
 	"strings"
+	"sync"
 	"testing"
 
 	"ccdem"
@@ -224,5 +226,33 @@ func TestRepeatsAverageStats(t *testing.T) {
 func TestMeanStatsEmpty(t *testing.T) {
 	if got := meanStats(nil); got.MeanPowerMW != 0 {
 		t.Errorf("meanStats(nil) = %+v", got)
+	}
+}
+
+// forEachApp must run every application even when some fail, and report
+// every failure (wrapped with its app name) rather than only the first.
+func TestForEachAppCollectsAllFailures(t *testing.T) {
+	failing := map[string]bool{"Facebook": true, "Jelly Splash": true, "Weather": true}
+	var mu sync.Mutex
+	ran := 0
+	err := forEachApp(Options{Parallelism: 4}, func(p app.Params) error {
+		mu.Lock()
+		ran++
+		mu.Unlock()
+		if failing[p.Name] {
+			return errors.New("injected failure")
+		}
+		return nil
+	})
+	if want := len(app.Catalog()); ran != want {
+		t.Errorf("ran %d apps, want all %d despite failures", ran, want)
+	}
+	if err == nil {
+		t.Fatal("nil error from failing campaign")
+	}
+	for name := range failing {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("joined error missing %q:\n%v", name, err)
+		}
 	}
 }

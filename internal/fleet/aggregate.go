@@ -1,0 +1,166 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"text/tabwriter"
+
+	"ccdem/internal/trace"
+)
+
+// Aggregate is the fleet-wide view of a cohort run: what the scheme saves
+// across the population rather than on one device. Percentiles and the
+// quality CDF reuse the summary statistics of internal/trace; battery
+// figures come from internal/battery via each device's estimate.
+type Aggregate struct {
+	Devices int `json:"devices"`
+
+	MeanBaselineMW float64 `json:"mean_baseline_mw"`
+	MeanManagedMW  float64 `json:"mean_managed_mw"`
+	MeanSavedMW    float64 `json:"mean_saved_mw"`
+
+	SavedPctMean float64 `json:"saved_pct_mean"`
+	SavedPctP50  float64 `json:"saved_pct_p50"`
+	SavedPctP95  float64 `json:"saved_pct_p95"`
+
+	QualityPctMean float64 `json:"quality_pct_mean"`
+	// QualityPctP5 is the quality of the worst-served 5% of users — the
+	// tail a deployment decision cares about.
+	QualityPctP5 float64 `json:"quality_pct_p5"`
+	// QualityCDF is the empirical display-quality CDF across devices
+	// (values rounded to 0.1% so the curve stays compact at fleet scale).
+	QualityCDF []trace.CDFPoint `json:"quality_cdf"`
+
+	ExtraHoursMean float64 `json:"extra_hours_mean"`
+	ExtraHoursP50  float64 `json:"extra_hours_p50"`
+	ExtraHoursP95  float64 `json:"extra_hours_p95"`
+
+	Profiles []ProfileAggregate `json:"profiles"`
+}
+
+// ProfileAggregate is the per-user-class breakdown of the fleet.
+type ProfileAggregate struct {
+	Profile string `json:"profile"`
+	Devices int    `json:"devices"`
+
+	MeanSavedMW    float64 `json:"mean_saved_mw"`
+	SavedPctMean   float64 `json:"saved_pct_mean"`
+	QualityPctMean float64 `json:"quality_pct_mean"`
+	ExtraHoursMean float64 `json:"extra_hours_mean"`
+}
+
+// aggregate folds per-device results (in device order, so floating-point
+// sums are deterministic) into the fleet-wide summary. profiles fixes the
+// breakdown order to the cohort's declaration order.
+func aggregate(results []DeviceResult, profiles []Profile) Aggregate {
+	a := Aggregate{Devices: len(results)}
+	if len(results) == 0 {
+		return a
+	}
+	var savedPct, quality, extraHours []float64
+	for _, r := range results {
+		a.MeanBaselineMW += r.BaselineMW
+		a.MeanManagedMW += r.ManagedMW
+		a.MeanSavedMW += r.SavedMW
+		savedPct = append(savedPct, r.SavedPct)
+		quality = append(quality, math.Round(r.QualityPct*10)/10)
+		extraHours = append(extraHours, r.ExtraHours)
+	}
+	n := float64(len(results))
+	a.MeanBaselineMW /= n
+	a.MeanManagedMW /= n
+	a.MeanSavedMW /= n
+
+	a.SavedPctMean = trace.Mean(savedPct)
+	a.SavedPctP50 = trace.Percentile(savedPct, 50)
+	a.SavedPctP95 = trace.Percentile(savedPct, 95)
+
+	a.QualityPctMean = trace.Mean(quality)
+	a.QualityPctP5 = trace.Percentile(quality, 5)
+	a.QualityCDF = trace.CDF(quality)
+
+	a.ExtraHoursMean = trace.Mean(extraHours)
+	a.ExtraHoursP50 = trace.Percentile(extraHours, 50)
+	a.ExtraHoursP95 = trace.Percentile(extraHours, 95)
+
+	for _, p := range profiles {
+		pa := ProfileAggregate{Profile: p.Name}
+		var saved, savedPct, quality, extra float64
+		for _, r := range results {
+			if r.Profile != p.Name {
+				continue
+			}
+			pa.Devices++
+			saved += r.SavedMW
+			savedPct += r.SavedPct
+			quality += r.QualityPct
+			extra += r.ExtraHours
+		}
+		if pa.Devices > 0 {
+			pn := float64(pa.Devices)
+			pa.MeanSavedMW = saved / pn
+			pa.SavedPctMean = savedPct / pn
+			pa.QualityPctMean = quality / pn
+			pa.ExtraHoursMean = extra / pn
+		}
+		a.Profiles = append(a.Profiles, pa)
+	}
+	return a
+}
+
+// String renders the aggregate as a report table.
+func (a Aggregate) String() string {
+	var sb strings.Builder
+	sb.WriteString(fmt.Sprintf("Fleet aggregate (%d devices):\n", a.Devices))
+	sb.WriteString(fmt.Sprintf("  power: %.0f mW baseline → %.0f mW managed (mean saved %.0f mW)\n",
+		a.MeanBaselineMW, a.MeanManagedMW, a.MeanSavedMW))
+	sb.WriteString(fmt.Sprintf("  saving: mean %.1f%%, p50 %.1f%%, p95 %.1f%%\n",
+		a.SavedPctMean, a.SavedPctP50, a.SavedPctP95))
+	sb.WriteString(fmt.Sprintf("  display quality: mean %.1f%%, worst 5%% of users ≥ %.1f%%\n",
+		a.QualityPctMean, a.QualityPctP5))
+	sb.WriteString(fmt.Sprintf("  battery: +%.2f h screen-on mean (p50 %.2f h, p95 %.2f h)\n",
+		a.ExtraHoursMean, a.ExtraHoursP50, a.ExtraHoursP95))
+	if len(a.Profiles) > 0 {
+		w := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+		fmt.Fprintf(w, "  profile\tdevices\tsaved\tsaving\tquality\tbattery\n")
+		for _, p := range a.Profiles {
+			fmt.Fprintf(w, "  %s\t%d\t%.0f mW\t%.1f%%\t%.1f%%\t+%.2f h\n",
+				p.Profile, p.Devices, p.MeanSavedMW, p.SavedPctMean, p.QualityPctMean, p.ExtraHoursMean)
+		}
+		w.Flush()
+	}
+	return sb.String()
+}
+
+// WriteJSON writes the run as an indented JSON document. With perDevice
+// false only the aggregate is emitted. Output is byte-identical for
+// identical cohorts regardless of worker count.
+func (r *Result) WriteJSON(w io.Writer, perDevice bool) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if !perDevice {
+		return enc.Encode(struct {
+			Aggregate Aggregate `json:"aggregate"`
+		}{r.Aggregate})
+	}
+	return enc.Encode(r)
+}
+
+// WriteCSV writes one row per device, in device order.
+func (r *Result) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "device,profile,session_s,baseline_mw,managed_mw,saved_mw,saved_pct,quality_pct,baseline_hours,managed_hours,extra_hours"); err != nil {
+		return err
+	}
+	for _, d := range r.Devices {
+		if _, err := fmt.Fprintf(w, "%d,%s,%g,%g,%g,%g,%g,%g,%g,%g,%g\n",
+			d.Device, d.Profile, d.SessionS, d.BaselineMW, d.ManagedMW,
+			d.SavedMW, d.SavedPct, d.QualityPct,
+			d.BaselineHours, d.ManagedHours, d.ExtraHours); err != nil {
+			return err
+		}
+	}
+	return nil
+}

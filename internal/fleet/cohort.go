@@ -1,0 +1,360 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"ccdem"
+	"ccdem/internal/app"
+	"ccdem/internal/battery"
+	"ccdem/internal/input"
+	"ccdem/internal/sim"
+)
+
+// Screen dimensions of the reproduction's Galaxy S3 target (the device
+// defaults of ccdem.Config).
+const (
+	screenW = 720
+	screenH = 1280
+)
+
+// AppShare is one component of a profile's usage mix: a catalog
+// application and its relative share of the user's screen-on time.
+type AppShare struct {
+	Name   string
+	Weight float64
+}
+
+// Profile declaratively describes one class of user in a fleet. A device
+// assigned to the profile splits its session across the profile's apps in
+// weight proportion, replaying an independent deterministic Monkey script
+// per app segment.
+type Profile struct {
+	Name string
+	// Weight is the profile's share of the fleet's devices (relative;
+	// normalized across profiles).
+	Weight float64
+	// Apps is the usage mix drawn from the 30-app catalog.
+	Apps []AppShare
+	// TouchIntensity scales interaction density: the Monkey's mean
+	// think-time between gestures is divided by it. 0 means 1 (the
+	// default pacing); 2 means a user touching twice as often.
+	TouchIntensity float64
+	// SessionJitter varies session length per device: each device's
+	// session is uniform in [1-j, 1+j] × the cohort session. Must be in
+	// [0, 1).
+	SessionJitter float64
+}
+
+// Validate reports configuration errors, including apps missing from the
+// catalog.
+func (p Profile) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("fleet: profile with empty name")
+	}
+	if p.Weight <= 0 {
+		return fmt.Errorf("fleet: profile %s: non-positive weight %v", p.Name, p.Weight)
+	}
+	if len(p.Apps) == 0 {
+		return fmt.Errorf("fleet: profile %s: empty app mix", p.Name)
+	}
+	for _, a := range p.Apps {
+		if a.Weight <= 0 {
+			return fmt.Errorf("fleet: profile %s: app %s: non-positive weight %v", p.Name, a.Name, a.Weight)
+		}
+		if _, ok := app.ByName(a.Name); !ok {
+			return fmt.Errorf("fleet: profile %s: app %q not in catalog", p.Name, a.Name)
+		}
+	}
+	if p.TouchIntensity < 0 {
+		return fmt.Errorf("fleet: profile %s: negative touch intensity %v", p.Name, p.TouchIntensity)
+	}
+	if p.SessionJitter < 0 || p.SessionJitter >= 1 {
+		return fmt.Errorf("fleet: profile %s: session jitter %v out of [0,1)", p.Name, p.SessionJitter)
+	}
+	return nil
+}
+
+// Cohort describes a population of simulated devices: how many, how they
+// are seeded, what they run, and which managed configuration is compared
+// against the unmanaged baseline on every device.
+type Cohort struct {
+	// Devices is the number of simulated devices.
+	Devices int
+	// Seed is the fleet seed; device i derives its own seed via
+	// DeviceSeed(Seed, i).
+	Seed int64
+	// Session is the nominal screen-on session simulated per device
+	// (before per-profile jitter). Default 60 s.
+	Session sim.Time
+	// Governor is the managed configuration measured against the
+	// baseline on each device. GovernorOff (the zero value) selects the
+	// paper's full system, GovernorSectionBoost.
+	Governor ccdem.GovernorMode
+	// MeterSamples sets the governor's comparison grid. Default 9216.
+	MeterSamples int
+	// Pack converts mean power into battery-hours. Zero value defaults
+	// to battery.GalaxyS3Pack.
+	Pack battery.Pack
+	// Profiles is the population's user-class mix.
+	Profiles []Profile
+}
+
+func (c *Cohort) applyDefaults() {
+	if c.Session == 0 {
+		c.Session = 60 * sim.Second
+	}
+	if c.Governor == ccdem.GovernorOff {
+		c.Governor = ccdem.GovernorSectionBoost
+	}
+	if c.MeterSamples == 0 {
+		c.MeterSamples = 9216
+	}
+	if c.Pack == (battery.Pack{}) {
+		c.Pack = battery.GalaxyS3Pack
+	}
+	if len(c.Profiles) == 0 {
+		c.Profiles = DefaultProfiles()
+	}
+}
+
+// Validate reports configuration errors (after defaulting).
+func (c Cohort) Validate() error {
+	if c.Devices <= 0 {
+		return fmt.Errorf("fleet: non-positive device count %d", c.Devices)
+	}
+	if c.Session <= 0 {
+		return fmt.Errorf("fleet: non-positive session %v", c.Session)
+	}
+	if err := c.Pack.Validate(); err != nil {
+		return err
+	}
+	for _, p := range c.Profiles {
+		if err := p.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DeviceResult is one device's paired measurement: its whole session run
+// under the baseline and under the cohort's managed configuration on
+// identical scripts.
+type DeviceResult struct {
+	Device  int    `json:"device"`
+	Profile string `json:"profile"`
+	// SessionS is the device's jittered session length in seconds.
+	SessionS float64 `json:"session_s"`
+
+	BaselineMW float64 `json:"baseline_mw"`
+	ManagedMW  float64 `json:"managed_mw"`
+	SavedMW    float64 `json:"saved_mw"`
+	SavedPct   float64 `json:"saved_pct"`
+	// QualityPct is the session-weighted display quality under the
+	// managed configuration, in percent.
+	QualityPct float64 `json:"quality_pct"`
+
+	BaselineHours float64 `json:"baseline_hours"`
+	ManagedHours  float64 `json:"managed_hours"`
+	ExtraHours    float64 `json:"extra_hours"`
+}
+
+// Result is a completed fleet run: per-device rows in device order plus
+// the fleet-wide aggregate.
+type Result struct {
+	Devices   []DeviceResult `json:"devices"`
+	Aggregate Aggregate      `json:"aggregate"`
+}
+
+// Run expands the cohort into per-device runs, executes them on the pool,
+// and aggregates. Results are bit-identical for a given cohort regardless
+// of pool.Workers.
+func (c Cohort) Run(ctx context.Context, pool Pool) (*Result, error) {
+	c.applyDefaults()
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	results := make([]DeviceResult, c.Devices)
+	err := pool.Run(ctx, c.Devices, func(_ context.Context, i int) error {
+		r, err := c.runDevice(i)
+		if err != nil {
+			return fmt.Errorf("device %d: %w", i, err)
+		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Devices:   results,
+		Aggregate: aggregate(results, c.Profiles),
+	}, nil
+}
+
+// runDevice executes device i's full session: draw a profile and session
+// length from the device RNG, split the session across the profile's app
+// mix, and measure each segment paired (baseline vs managed) on an
+// identical Monkey script.
+func (c Cohort) runDevice(i int) (DeviceResult, error) {
+	rng := rand.New(rand.NewSource(DeviceSeed(c.Seed, i)))
+	prof := c.pickProfile(rng)
+	session := c.Session
+	if prof.SessionJitter > 0 {
+		session = sim.Time(float64(session) * (1 + prof.SessionJitter*(2*rng.Float64()-1)))
+	}
+
+	var (
+		slices   []battery.UsageSlice
+		totalW   float64
+		totalDur sim.Time
+		quality  float64 // duration-weighted sum
+	)
+	for _, a := range prof.Apps {
+		totalW += a.Weight
+	}
+	for _, a := range prof.Apps {
+		dur := sim.Time(float64(session) * a.Weight / totalW)
+		if dur < sim.Second {
+			dur = sim.Second
+		}
+		script, err := c.segmentScript(prof, rng.Int63(), dur)
+		if err != nil {
+			return DeviceResult{}, err
+		}
+		params, _ := app.ByName(a.Name) // validated
+		base, err := c.runSegment(params, ccdem.GovernorOff, dur, script)
+		if err != nil {
+			return DeviceResult{}, err
+		}
+		managed, err := c.runSegment(params, c.Governor, dur, script)
+		if err != nil {
+			return DeviceResult{}, err
+		}
+		slices = append(slices, battery.UsageSlice{
+			Name:       a.Name,
+			Weight:     dur.Seconds(),
+			BaselineMW: base.MeanPowerMW,
+			ManagedMW:  managed.MeanPowerMW,
+		})
+		totalDur += dur
+		quality += managed.DisplayQuality * dur.Seconds()
+	}
+
+	est, err := c.Pack.Estimate(battery.Mix{Slices: slices})
+	if err != nil {
+		return DeviceResult{}, err
+	}
+	r := DeviceResult{
+		Device:  i,
+		Profile: prof.Name,
+
+		SessionS:   totalDur.Seconds(),
+		BaselineMW: est.BaselineMW,
+		ManagedMW:  est.ManagedMW,
+		SavedMW:    est.BaselineMW - est.ManagedMW,
+		QualityPct: 100 * quality / totalDur.Seconds(),
+
+		BaselineHours: est.BaselineHours,
+		ManagedHours:  est.ManagedHours,
+		ExtraHours:    est.ExtraHours,
+	}
+	if est.BaselineMW > 0 {
+		r.SavedPct = 100 * r.SavedMW / est.BaselineMW
+	}
+	return r, nil
+}
+
+// pickProfile draws a profile weighted by Profile.Weight.
+func (c Cohort) pickProfile(rng *rand.Rand) Profile {
+	total := 0.0
+	for _, p := range c.Profiles {
+		total += p.Weight
+	}
+	r := rng.Float64() * total
+	for _, p := range c.Profiles {
+		r -= p.Weight
+		if r < 0 {
+			return p
+		}
+	}
+	return c.Profiles[len(c.Profiles)-1]
+}
+
+// segmentScript generates the deterministic Monkey script one app segment
+// replays under both configurations, paced by the profile's touch
+// intensity.
+func (c Cohort) segmentScript(prof Profile, seed int64, dur sim.Time) (input.Script, error) {
+	cfg := input.DefaultMonkeyConfig()
+	if ti := prof.TouchIntensity; ti > 0 && ti != 1 {
+		cfg.MeanIdle = sim.Time(float64(cfg.MeanIdle) / ti)
+		if cfg.MeanIdle < 2*cfg.MinIdle {
+			cfg.MinIdle = cfg.MeanIdle / 2
+		}
+	}
+	mk, err := input.NewMonkey(seed, cfg)
+	if err != nil {
+		return input.Script{}, err
+	}
+	return mk.Script(dur, screenW, screenH), nil
+}
+
+// runSegment measures one app segment under one governor mode.
+func (c Cohort) runSegment(p app.Params, mode ccdem.GovernorMode, dur sim.Time, script input.Script) (ccdem.Stats, error) {
+	dev, err := ccdem.NewDevice(ccdem.Config{
+		Width: screenW, Height: screenH,
+		Governor:     mode,
+		MeterSamples: c.MeterSamples,
+	})
+	if err != nil {
+		return ccdem.Stats{}, err
+	}
+	if _, err := dev.InstallApp(p); err != nil {
+		return ccdem.Stats{}, err
+	}
+	dev.PlayScript(script)
+	dev.Run(dur)
+	return dev.Stats(), nil
+}
+
+// DefaultProfiles models a plausible smartphone population over the
+// paper's 30-app catalog: messaging-heavy users, browsers/shoppers,
+// gamers, and passive viewers. Weights are indicative, not census data;
+// cohort spec files (ReadSpec) replace them for real studies.
+func DefaultProfiles() []Profile {
+	return []Profile{
+		{
+			Name: "messenger", Weight: 0.35, TouchIntensity: 1.4, SessionJitter: 0.3,
+			Apps: []AppShare{
+				{Name: "KakaoTalk", Weight: 3},
+				{Name: "Facebook", Weight: 2},
+				{Name: "Naver", Weight: 1},
+			},
+		},
+		{
+			Name: "browser", Weight: 0.25, TouchIntensity: 1, SessionJitter: 0.3,
+			Apps: []AppShare{
+				{Name: "Naver", Weight: 2},
+				{Name: "Daum", Weight: 1},
+				{Name: "Coupang", Weight: 1},
+				{Name: "Auction", Weight: 1},
+			},
+		},
+		{
+			Name: "gamer", Weight: 0.25, TouchIntensity: 1.8, SessionJitter: 0.4,
+			Apps: []AppShare{
+				{Name: "Jelly Splash", Weight: 2},
+				{Name: "Cookie Run", Weight: 2},
+				{Name: "Asphalt 8", Weight: 1},
+			},
+		},
+		{
+			Name: "viewer", Weight: 0.15, TouchIntensity: 0.5, SessionJitter: 0.2,
+			Apps: []AppShare{
+				{Name: "MX Player", Weight: 3},
+				{Name: "Naver Webtoon", Weight: 1},
+			},
+		},
+	}
+}

@@ -1,0 +1,113 @@
+// Package fleet scales the single-device reproduction to populations: a
+// bounded worker-pool execution engine for independent device runs
+// (Pool), deterministic per-device seeding sharded from one fleet seed,
+// and a cohort layer (Cohort) that expands declarative user profiles —
+// app-usage mixes over the 30-app catalog, session lengths, touch
+// intensity — into N simulated devices and aggregates them into
+// fleet-wide statistics (power-saving percentiles, display-quality CDF,
+// battery-hours distribution).
+//
+// Every device run is seeded from (fleet seed, device index) only, so a
+// fleet's results are bit-identical regardless of worker count or
+// scheduling order — the same property experiments.forEachApp relies on
+// for the paper campaign, extended to millions of simulated users.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a bounded worker-pool execution engine for independent
+// simulated-device runs. The zero value is ready to use: all cores,
+// fail-fast cancellation, no progress reporting.
+type Pool struct {
+	// Workers bounds the number of tasks executing concurrently.
+	// 0 (or negative) means GOMAXPROCS.
+	Workers int
+	// ContinueOnError keeps dispatching the remaining tasks after a
+	// failure, so every failure is observed and reported. The default
+	// (false) cancels all pending tasks on the first error — the right
+	// behaviour for long fleet runs where one broken device
+	// configuration should stop the campaign promptly.
+	ContinueOnError bool
+	// OnProgress, when non-nil, is called after each task finishes with
+	// the number of completed tasks and the total. Calls are serialized
+	// and done is strictly increasing, but they originate from worker
+	// goroutines: keep the callback cheap.
+	OnProgress func(done, total int)
+}
+
+// Run executes task(ctx, i) for every i in [0, n), at most Workers at a
+// time. Tasks must be independent and index-addressed: a task that needs
+// to publish a result writes it to slot i of a caller-owned slice, which
+// keeps result order deterministic regardless of scheduling.
+//
+// The context passed to tasks is cancelled on the first task error
+// (unless ContinueOnError) and when parent is cancelled; tasks not yet
+// started are then skipped. Run returns all task errors joined in index
+// order (errors.Join), or the parent's cancellation cause when no task
+// failed but the run was cut short.
+func (p Pool) Run(parent context.Context, n int, task func(ctx context.Context, i int) error) error {
+	if n < 0 {
+		return fmt.Errorf("fleet: negative task count %d", n)
+	}
+	if parent == nil {
+		parent = context.Background()
+	}
+	if n == 0 {
+		return parent.Err()
+	}
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+
+	var (
+		next atomic.Int64 // next task index to claim
+		mu   sync.Mutex   // guards errs/done and serializes OnProgress
+		done int
+		errs = make([]error, n)
+		wg   sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				err := task(ctx, i)
+				mu.Lock()
+				errs[i] = err
+				done++
+				if p.OnProgress != nil {
+					p.OnProgress(done, n)
+				}
+				mu.Unlock()
+				if err != nil && !p.ContinueOnError {
+					cancel()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if err := errors.Join(errs...); err != nil {
+		return err
+	}
+	return parent.Err()
+}

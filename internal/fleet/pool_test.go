@@ -1,0 +1,174 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsAllTasks(t *testing.T) {
+	const n = 100
+	ran := make([]bool, n)
+	var mu sync.Mutex
+	err := Pool{Workers: 7}.Run(context.Background(), n, func(_ context.Context, i int) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if ran[i] {
+			return fmt.Errorf("task %d ran twice", i)
+		}
+		ran[i] = true
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ok := range ran {
+		if !ok {
+			t.Errorf("task %d never ran", i)
+		}
+	}
+}
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int64
+	err := Pool{Workers: workers}.Run(context.Background(), 50, func(_ context.Context, i int) error {
+		c := cur.Add(1)
+		defer cur.Add(-1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("peak concurrency %d exceeds %d workers", p, workers)
+	}
+}
+
+func TestPoolCancelsOnFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	var executed atomic.Int64
+	err := Pool{Workers: 1}.Run(context.Background(), 100, func(_ context.Context, i int) error {
+		executed.Add(1)
+		if i == 0 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	// With one worker the failure at index 0 must stop the run before any
+	// further task starts.
+	if n := executed.Load(); n != 1 {
+		t.Errorf("executed %d tasks after failure, want 1", n)
+	}
+}
+
+func TestPoolContinueOnErrorJoinsAll(t *testing.T) {
+	const n = 10
+	var executed atomic.Int64
+	err := Pool{Workers: 4, ContinueOnError: true}.Run(context.Background(), n, func(_ context.Context, i int) error {
+		executed.Add(1)
+		if i%2 == 0 {
+			return fmt.Errorf("task-%d-failed", i)
+		}
+		return nil
+	})
+	if executed.Load() != n {
+		t.Errorf("executed %d tasks, want all %d", executed.Load(), n)
+	}
+	if err == nil {
+		t.Fatal("nil error from failing run")
+	}
+	for i := 0; i < n; i += 2 {
+		if want := fmt.Sprintf("task-%d-failed", i); !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error missing %q:\n%v", want, err)
+		}
+	}
+	// Index order: the joined message lists failures lowest-index first.
+	if msg := err.Error(); strings.Index(msg, "task-0-") > strings.Index(msg, "task-8-") {
+		t.Errorf("joined errors out of index order:\n%v", msg)
+	}
+}
+
+func TestPoolRespectsParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var executed atomic.Int64
+	err := Pool{Workers: 2}.Run(ctx, 10, func(_ context.Context, i int) error {
+		executed.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := executed.Load(); n != 0 {
+		t.Errorf("executed %d tasks under a cancelled parent, want 0", n)
+	}
+}
+
+func TestPoolProgress(t *testing.T) {
+	const n = 25
+	var (
+		mu    sync.Mutex
+		calls []int
+	)
+	err := Pool{Workers: 5, OnProgress: func(done, total int) {
+		if total != n {
+			t.Errorf("total = %d, want %d", total, n)
+		}
+		mu.Lock()
+		calls = append(calls, done)
+		mu.Unlock()
+	}}.Run(context.Background(), n, func(_ context.Context, i int) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != n {
+		t.Fatalf("progress called %d times, want %d", len(calls), n)
+	}
+	for i, d := range calls {
+		if d != i+1 {
+			t.Fatalf("progress calls not monotone: %v", calls)
+		}
+	}
+}
+
+func TestPoolZeroTasks(t *testing.T) {
+	if err := (Pool{}).Run(context.Background(), 0, nil); err != nil {
+		t.Fatalf("empty run: %v", err)
+	}
+	if err := (Pool{}).Run(context.Background(), -1, nil); err == nil {
+		t.Fatal("negative task count accepted")
+	}
+}
+
+func TestDeviceSeed(t *testing.T) {
+	if DeviceSeed(1, 0) != DeviceSeed(1, 0) {
+		t.Fatal("DeviceSeed not deterministic")
+	}
+	seen := map[int64]int{}
+	for i := 0; i < 1000; i++ {
+		s := DeviceSeed(42, i)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("devices %d and %d share seed %d", prev, i, s)
+		}
+		seen[s] = i
+	}
+	if DeviceSeed(1, 5) == DeviceSeed(2, 5) {
+		t.Error("distinct fleet seeds map device 5 to the same seed")
+	}
+}

@@ -1,0 +1,15 @@
+package fleet
+
+// DeviceSeed derives device i's seed from the fleet seed with a
+// SplitMix64-style finalizer. A device's entire run — profile draw,
+// session-length jitter, per-segment Monkey scripts — is seeded from this
+// value alone, so it depends only on (fleetSeed, i): never on worker
+// count, scheduling order, or which other devices are in the fleet.
+// Consecutive indices land far apart in seed space, avoiding the
+// correlated-stream artifacts of seed+i.
+func DeviceSeed(fleetSeed int64, device int) int64 {
+	z := uint64(fleetSeed) + 0x9e3779b97f4a7c15*(uint64(device)+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
