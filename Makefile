@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench validate campaign figures fleet clean
+.PHONY: all build test test-short race cover bench validate campaign figures fleet obs clean
 
 all: build test
 
@@ -45,6 +45,15 @@ figures:
 # Small-cohort fleet smoke run (see cmd/ccdem-fleet -help for real studies).
 fleet:
 	$(GO) run ./cmd/ccdem-fleet -devices 24 -duration 10 -progress
+
+# Sample observability artifacts from a short fleet run: a Perfetto-loadable
+# trace (open at https://ui.perfetto.dev) and the merged metrics dump.
+obs:
+	mkdir -p results/obs
+	$(GO) run ./cmd/ccdem-fleet -devices 24 -duration 10 -seed 42 \
+		-trace-out results/obs/fleet-trace.json -metrics \
+		> results/obs/fleet-aggregate.json 2> results/obs/fleet-metrics.txt
+	@echo "wrote results/obs/fleet-trace.json (Perfetto), fleet-metrics.txt, fleet-aggregate.json"
 
 clean:
 	$(GO) clean ./...

@@ -17,6 +17,7 @@ import (
 	"ccdem/internal/experiments"
 	"ccdem/internal/fleet"
 	"ccdem/internal/input"
+	"ccdem/internal/obs"
 	"ccdem/internal/sim"
 	"ccdem/internal/trace"
 )
@@ -266,6 +267,52 @@ func BenchmarkFleetScaling(b *testing.B) {
 			b.ReportMetric(float64(cohort.Devices)*cohort.Session.Seconds()*float64(b.N)/b.Elapsed().Seconds(), "device-s/s")
 		})
 	}
+}
+
+// BenchmarkObsOverhead quantifies the observability layer's cost on the
+// same governed-device run, disabled (nil sinks — the default) vs enabled
+// (recorder + metrics registry attached). The disabled variant is the
+// overhead contract: it must match the plain simulation, since disabled
+// instrumentation is a nil check per hook.
+func BenchmarkObsOverhead(b *testing.B) {
+	p, _ := app.ByName("Jelly Splash")
+	mk, err := input.NewMonkey(1, input.DefaultMonkeyConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := mk.Script(10*sim.Second, 720, 1280)
+	run := func(b *testing.B, rec *obs.Recorder, reg *obs.Registry) {
+		dev, err := ccdem.NewDevice(ccdem.Config{
+			Governor: ccdem.GovernorSectionBoost,
+			Recorder: rec,
+			Metrics:  reg,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dev.InstallApp(p); err != nil {
+			b.Fatal(err)
+		}
+		dev.PlayScript(sc)
+		dev.Run(10 * sim.Second)
+		dev.FinishObs()
+	}
+	b.Run("disabled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(b, nil, nil)
+		}
+		b.ReportMetric(10*float64(b.N)/b.Elapsed().Seconds(), "virtual-s/s")
+	})
+	b.Run("enabled", func(b *testing.B) {
+		var events uint64
+		for i := 0; i < b.N; i++ {
+			rec := obs.NewRecorder(0)
+			run(b, rec, obs.NewRegistry())
+			events = rec.Total()
+		}
+		b.ReportMetric(10*float64(b.N)/b.Elapsed().Seconds(), "virtual-s/s")
+		b.ReportMetric(float64(events), "events/run")
+	})
 }
 
 // BenchmarkDeviceSimulation measures raw simulation throughput: virtual

@@ -36,6 +36,7 @@ import (
 	"ccdem/internal/display"
 	"ccdem/internal/framebuffer"
 	"ccdem/internal/input"
+	"ccdem/internal/obs"
 	"ccdem/internal/power"
 	"ccdem/internal/sim"
 	"ccdem/internal/surface"
@@ -127,6 +128,17 @@ type Config struct {
 	PowerParams         *power.Params // nil defaults to power.DefaultParams()
 	PowerSampleInterval sim.Time      // Monsoon-style sampling; default 100 ms
 	TraceInterval       sim.Time      // rate/refresh trace sampling; default 250 ms
+
+	// Recorder, if non-nil, receives the device's decision events (frame
+	// latches, grid compares, section transitions, touch boosts). Nil —
+	// the default — disables event recording entirely: no hooks beyond a
+	// nil check are installed and the simulation is byte-identical.
+	Recorder *obs.Recorder
+	// Metrics, if non-nil, receives the device's counters, gauges and
+	// histograms. Live hooks feed the compare-cost and decision histograms
+	// and refresh-level residency during the run; FinishObs snapshots the
+	// lifetime totals at the end. Nil disables metrics entirely.
+	Metrics *obs.Registry
 }
 
 func (c *Config) applyDefaults() {
@@ -189,6 +201,10 @@ type Device struct {
 	recording bool
 	frameLog  []core.FrameRecord
 
+	obsDone     bool
+	obsLastRate int      // rate whose residency interval is open
+	obsRateT    sim.Time // start of that interval
+
 	// Recorded traces (sampled every TraceInterval).
 	contentTrace  *trace.Series
 	frameTrace    *trace.Series
@@ -232,12 +248,22 @@ func NewDevice(cfg Config) (*Device, error) {
 	if cfg.Governor != GovernorOff {
 		onCompare = model.MeterCompare
 	}
+	if h := cfg.Metrics.Histogram("compare_cost_us", obs.CompareCostBucketsUS); h != nil {
+		inner := onCompare
+		onCompare = func(d sim.Time) {
+			h.Observe(float64(d))
+			if inner != nil {
+				inner(d)
+			}
+		}
+	}
 	meter, err := core.NewMeter(core.MeterConfig{
 		Grid:      framebuffer.GridForSamples(cfg.Width, cfg.Height, cfg.MeterSamples),
 		Window:    cfg.MeterWindow,
 		Cost:      power.DefaultCompareCost(),
 		OnCompare: onCompare,
 		EarlyExit: cfg.MeterEarlyExit,
+		Recorder:  cfg.Recorder,
 	})
 	if err != nil {
 		return nil, err
@@ -258,6 +284,22 @@ func NewDevice(cfg Config) (*Device, error) {
 		intendedTrace: trace.NewSeries("actual content rate (fps)"),
 	}
 	_, d.oled = cfg.PowerParams.Panel.(power.OLEDPanel)
+
+	// Observability wiring. Every hook below is gated on the corresponding
+	// sink being non-nil, so a device without obs installs nothing extra
+	// and simulates byte-identically.
+	mgr.SetRecorder(cfg.Recorder)
+	panel.SetRecorder(cfg.Recorder)
+	d.replayer.SetRecorder(cfg.Recorder)
+	if cfg.Metrics != nil {
+		d.obsLastRate = panel.Rate()
+		panel.OnRateChange(func(t sim.Time, _, newHz int) {
+			d.flushResidency(t)
+			d.obsLastRate = newHz
+		})
+		touches := cfg.Metrics.Counter("touch_events_total")
+		d.replayer.Subscribe(func(input.Event) { touches.Inc() })
+	}
 
 	// Compose → framebuffer observers: render-cost accounting and — when
 	// the governor is on — the content meter. The baseline configuration
@@ -315,14 +357,27 @@ func NewDevice(cfg Config) (*Device, error) {
 			BoostEnabled:   cfg.Governor == GovernorSectionBoost,
 			BoostHold:      cfg.BoostHold,
 			DownHysteresis: cfg.DownHysteresis,
+			Recorder:       cfg.Recorder,
 		})
 		if err != nil {
 			return nil, err
+		}
+		if h := cfg.Metrics.Histogram("decision_content_rate_fps", obs.RateBucketsFPS); h != nil {
+			gov.OnDecision(func(dec core.Decision) { h.Observe(dec.ContentRate) })
 		}
 		d.gov = gov
 		d.replayer.Subscribe(gov.HandleTouch)
 	}
 	return d, nil
+}
+
+// flushResidency closes the open refresh-level residency interval at t,
+// crediting its duration to the per-level counter.
+func (d *Device) flushResidency(t sim.Time) {
+	if span := t - d.obsRateT; span > 0 {
+		d.cfg.Metrics.Counter(fmt.Sprintf("refresh_residency_us_hz%d", d.obsLastRate)).Add(uint64(span))
+	}
+	d.obsRateT = t
 }
 
 // sampleLuma estimates mean screen luminance from the meter's grid, cheap
@@ -408,6 +463,7 @@ func (d *Device) FrameLog() []core.FrameRecord { return d.frameLog }
 func (d *Device) Run(duration sim.Time) {
 	if !d.started {
 		d.started = true
+		d.cfg.Recorder.DeviceStart(d.eng.Now())
 		d.panel.Start()
 		d.pwrMeter.Start()
 		if d.gov != nil {
@@ -520,6 +576,47 @@ func (d *Device) Stats() Stats {
 		s.BoostCount = d.gov.Booster().Touches()
 	}
 	return s
+}
+
+// FinishObs closes out the device's observability at the end of a run: it
+// records the DeviceEnd event, flushes the open refresh-residency interval,
+// and snapshots the lifetime totals (frame, refresh, governor and power
+// statistics) into the metrics registry. Call it once, after the last Run
+// increment; with no Recorder or Metrics configured it does nothing. It
+// never perturbs the simulation — a run with obs enabled behaves
+// identically to one without.
+func (d *Device) FinishObs() {
+	if d.obsDone {
+		return
+	}
+	d.obsDone = true
+	now := d.eng.Now()
+	d.cfg.Recorder.DeviceEnd(now)
+	reg := d.cfg.Metrics
+	if reg == nil {
+		return
+	}
+	d.flushResidency(now)
+
+	frames, content := d.meter.Totals()
+	reg.Counter("frames_total").Add(frames)
+	reg.Counter("content_frames_total").Add(content)
+	reg.Counter("redundant_frames_total").Add(d.meter.TotalRedundant())
+	reg.Counter("vsync_refreshes_total").Add(d.panel.Refreshes())
+	reg.Counter("refresh_switches_total").Add(d.panel.Switches())
+	reg.Counter("deferred_latches_total").Add(d.mgr.DeferredLatches())
+	reg.Counter("sim_time_us").Add(uint64(now))
+	if d.gov != nil {
+		reg.Counter("governor_decisions_total").Add(d.gov.Decisions())
+		reg.Counter("touch_boosts_total").Add(d.gov.Booster().Touches())
+		reg.Counter("boost_transitions_total").Add(d.gov.BoostTransitions())
+	}
+
+	s := d.Stats()
+	reg.Gauge("mean_refresh_hz").Set(s.MeanRefreshHz)
+	reg.Histogram("device_power_mw", obs.PowerBucketsMW).Observe(s.MeanPowerMW)
+	reg.Histogram("device_quality_pct", obs.QualityBucketsPct).Observe(s.DisplayQuality * 100)
+	reg.Histogram("device_refresh_hz", obs.RateBucketsFPS).Observe(s.MeanRefreshHz)
 }
 
 // Traces returns the recorded time series.

@@ -21,10 +21,19 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 
 	"ccdem/internal/fleet"
+	"ccdem/internal/obs"
 	"ccdem/internal/sim"
 )
+
+// obsFlags bundles the observability surface of the command.
+type obsFlags struct {
+	traceOut   string // Chrome trace-event JSON output path
+	traceSched bool   // add the (non-deterministic) pool-scheduler track
+	metrics    bool   // dump the merged fleet registry to stderr
+}
 
 func main() {
 	var (
@@ -39,17 +48,38 @@ func main() {
 		perDev   = flag.Bool("per-device", false, "include per-device rows in JSON output (CSV always emits them)")
 		progress = flag.Bool("progress", false, "report completed devices on stderr")
 		writeTo  = flag.String("write-spec", "", "write the default cohort as a spec template to this file and exit")
+
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON of every device's managed session to this file (open in Perfetto or chrome://tracing)")
+		traceSched = flag.Bool("trace-sched", false, "with -trace-out: add the pool scheduler's wall-clock task spans as an extra track (not reproducible across runs)")
+		metrics    = flag.Bool("metrics", false, "dump the merged fleet metrics registry to stderr after the run")
+		pprofOut   = flag.String("pprof", "", "write a CPU profile of the whole invocation to this file")
 	)
 	flag.Parse()
+	if *pprofOut != "" {
+		f, err := os.Create(*pprofOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ccdem-fleet: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "ccdem-fleet: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 	if err := run(*devices, *workers, *seed, *duration, *mode, *samples,
-		*specPath, *format, *perDev, *progress, *writeTo); err != nil {
+		*specPath, *format, *perDev, *progress, *writeTo,
+		obsFlags{traceOut: *traceOut, traceSched: *traceSched, metrics: *metrics}); err != nil {
 		fmt.Fprintf(os.Stderr, "ccdem-fleet: %v\n", err)
 		os.Exit(1)
 	}
 }
 
 func run(devices, workers int, seed int64, duration int, mode string, samples int,
-	specPath, format string, perDev, progress bool, writeTo string) error {
+	specPath, format string, perDev, progress bool, writeTo string, of obsFlags) error {
 	if format != "json" && format != "csv" {
 		return fmt.Errorf("unknown format %q (want json or csv)", format)
 	}
@@ -120,12 +150,59 @@ func run(devices, workers int, seed int64, duration int, mode string, samples in
 			}
 		}
 	}
+	if of.traceOut != "" || of.metrics {
+		cohort.Obs = obs.NewCollector(0)
+	}
+	if of.traceSched {
+		pool.Spans = obs.NewSpanLog()
+	}
 	result, err := cohort.Run(context.Background(), pool)
 	if err != nil {
+		return err
+	}
+	if err := writeObs(cohort.Obs, pool.Spans, of); err != nil {
 		return err
 	}
 	if format == "csv" {
 		return result.WriteCSV(os.Stdout)
 	}
 	return result.WriteJSON(os.Stdout, perDev)
+}
+
+// writeObs exports the collected fleet observability: the Perfetto trace
+// (plus the scheduler track with -trace-sched) to -trace-out and, with
+// -metrics, the merged fleet registry dump to stderr.
+func writeObs(c *obs.Collector, spans *obs.SpanLog, of obsFlags) error {
+	if c == nil {
+		return nil
+	}
+	if of.traceOut != "" {
+		tr := c.Trace()
+		if spans != nil {
+			// The scheduler track gets its own Perfetto process after the
+			// device tracks; wall-clock spans are inherently not
+			// reproducible, which is why they are opt-in.
+			tr.AddSpans(len(c.Tracks())+1, "pool scheduler", spans.Spans())
+		}
+		f, err := os.Create(of.traceOut)
+		if err != nil {
+			return err
+		}
+		if err := tr.Write(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d tracks written to %s (open in https://ui.perfetto.dev)\n",
+			len(c.Tracks()), of.traceOut)
+	}
+	if of.metrics {
+		fmt.Fprintln(os.Stderr, "\nmerged fleet metrics:")
+		if err := c.WriteMetrics(os.Stderr); err != nil {
+			return err
+		}
+	}
+	return nil
 }

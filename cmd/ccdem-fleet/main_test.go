@@ -34,7 +34,7 @@ func capture(t *testing.T, fn func() error) string {
 
 func TestRunJSON(t *testing.T) {
 	out := capture(t, func() error {
-		return run(4, 2, 1, 3, "", 1024, "", "json", true, false, "")
+		return run(4, 2, 1, 3, "", 1024, "", "json", true, false, "", obsFlags{})
 	})
 	var doc struct {
 		Devices   []json.RawMessage `json:"devices"`
@@ -53,7 +53,7 @@ func TestRunJSON(t *testing.T) {
 
 func TestRunCSV(t *testing.T) {
 	out := capture(t, func() error {
-		return run(3, 0, 1, 3, "section", 1024, "", "csv", false, false, "")
+		return run(3, 0, 1, 3, "section", 1024, "", "csv", false, false, "", obsFlags{})
 	})
 	lines := strings.Split(strings.TrimSpace(out), "\n")
 	if len(lines) != 4 {
@@ -65,13 +65,13 @@ func TestRunCSV(t *testing.T) {
 }
 
 func TestRunRejectsBadInput(t *testing.T) {
-	if err := run(3, 0, 1, 3, "warp-speed", 1024, "", "json", false, false, ""); err == nil {
+	if err := run(3, 0, 1, 3, "warp-speed", 1024, "", "json", false, false, "", obsFlags{}); err == nil {
 		t.Error("unknown mode accepted")
 	}
-	if err := run(3, 0, 1, 3, "", 1024, "", "xml", false, false, ""); err == nil {
+	if err := run(3, 0, 1, 3, "", 1024, "", "xml", false, false, "", obsFlags{}); err == nil {
 		t.Error("unknown format accepted")
 	}
-	if err := run(3, 0, 1, 3, "", 1024, "no-such-spec.json", "json", false, false, ""); err == nil {
+	if err := run(3, 0, 1, 3, "", 1024, "no-such-spec.json", "json", false, false, "", obsFlags{}); err == nil {
 		t.Error("missing spec file accepted")
 	}
 }
@@ -79,11 +79,11 @@ func TestRunRejectsBadInput(t *testing.T) {
 func TestWriteSpecThenRun(t *testing.T) {
 	dir := t.TempDir()
 	spec := filepath.Join(dir, "cohort.json")
-	if err := run(5, 0, 9, 4, "", 1024, "", "json", false, false, spec); err != nil {
+	if err := run(5, 0, 9, 4, "", 1024, "", "json", false, false, spec, obsFlags{}); err != nil {
 		t.Fatalf("write-spec: %v", err)
 	}
 	out := capture(t, func() error {
-		return run(5, 0, 9, 4, "", 1024, spec, "json", false, false, "")
+		return run(5, 0, 9, 4, "", 1024, spec, "json", false, false, "", obsFlags{})
 	})
 	if !strings.Contains(out, "\"aggregate\"") {
 		t.Errorf("spec-driven run produced no aggregate:\n%s", out)

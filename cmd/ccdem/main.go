@@ -13,10 +13,13 @@
 //
 // Flags:
 //
-//	-duration N   seconds of virtual time per run (default 180, the paper's ≈3 min)
-//	-seed N       Monkey script seed (default 1)
-//	-samples N    governor comparison-grid pixels (default 9216)
-//	-workers N    concurrent app runs in campaign experiments (default all cores)
+//	-duration N    seconds of virtual time per run (default 180, the paper's ≈3 min)
+//	-seed N        Monkey script seed (default 1)
+//	-samples N     governor comparison-grid pixels (default 9216)
+//	-workers N     concurrent app runs in campaign experiments (default all cores)
+//	-trace-out F   write a Chrome trace-event JSON (Perfetto-loadable) of every run
+//	-metrics       dump the merged metrics registry to stderr after the experiment
+//	-pprof F       write a CPU profile of the whole invocation
 package main
 
 import (
@@ -25,8 +28,10 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 
 	"ccdem/internal/experiments"
+	"ccdem/internal/obs"
 	"ccdem/internal/sim"
 )
 
@@ -37,11 +42,29 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent app runs in campaign experiments (0 = all cores); results are identical at any value")
 	csvPath := flag.String("csv", "", "also write the experiment's data rows as CSV to this file (table experiments only)")
 	svgDir := flag.String("svg", "", "also write the experiment's figures as SVG files into this directory")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of every run to this file (open in Perfetto or chrome://tracing)")
+	metrics := flag.Bool("metrics", false, "dump the merged metrics registry to stderr after the experiment")
+	pprofOut := flag.String("pprof", "", "write a CPU profile of the whole invocation to this file")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() != 1 {
 		usage()
 		os.Exit(2)
+	}
+	if *pprofOut != "" {
+		f, err := os.Create(*pprofOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ccdem: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "ccdem: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
 	}
 	opts := experiments.Options{
 		Duration:     sim.Time(*duration) * sim.Second,
@@ -49,10 +72,47 @@ func main() {
 		MeterSamples: *samples,
 		Parallelism:  *workers,
 	}
+	if *traceOut != "" || *metrics {
+		opts.Obs = obs.NewCollector(0)
+	}
 	if err := run(flag.Arg(0), opts, *csvPath, *svgDir); err != nil {
 		fmt.Fprintf(os.Stderr, "ccdem: %v\n", err)
 		os.Exit(1)
 	}
+	if err := writeObs(opts.Obs, *traceOut, *metrics); err != nil {
+		fmt.Fprintf(os.Stderr, "ccdem: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// writeObs exports the collected observability: the Perfetto trace to
+// traceOut and, with metrics set, the merged registry dump to stderr.
+func writeObs(c *obs.Collector, traceOut string, metrics bool) error {
+	if c == nil {
+		return nil
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := c.WriteTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d tracks written to %s (open in https://ui.perfetto.dev)\n",
+			len(c.Tracks()), traceOut)
+	}
+	if metrics {
+		fmt.Fprintln(os.Stderr, "\nmerged metrics:")
+		if err := c.WriteMetrics(os.Stderr); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func usage() {

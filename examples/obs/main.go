@@ -1,0 +1,88 @@
+// Observability: run one governed application with the decision-event
+// recorder and metrics registry attached, print the event-stream summary
+// and the metrics dump, and export a Perfetto-loadable trace.
+//
+// Run with:
+//
+//	go run ./examples/obs
+//
+// then open obs-trace.json at https://ui.perfetto.dev (or chrome://tracing)
+// to see the device's frame latches, grid compares, section transitions
+// and touch boosts on a per-subsystem timeline.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"ccdem"
+	"ccdem/internal/app"
+	"ccdem/internal/input"
+	"ccdem/internal/obs"
+	"ccdem/internal/sim"
+)
+
+func main() {
+	monkey, err := input.NewMonkey(42, input.DefaultMonkeyConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	script := monkey.Script(60*sim.Second, 720, 1280)
+
+	jelly, ok := app.ByName("Jelly Splash")
+	if !ok {
+		log.Fatal("Jelly Splash not in catalog")
+	}
+
+	// A Collector hands out one (recorder, registry) pair per run and
+	// later assembles them into one trace. A single run could also build
+	// obs.NewRecorder / obs.NewRegistry directly.
+	collector := obs.NewCollector(0)
+	rec, reg := collector.Device("Jelly Splash [section+boost]")
+
+	dev, err := ccdem.NewDevice(ccdem.Config{
+		Governor: ccdem.GovernorSectionBoost,
+		Recorder: rec,
+		Metrics:  reg,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := dev.InstallApp(jelly); err != nil {
+		log.Fatal(err)
+	}
+	dev.PlayScript(script)
+	dev.Run(60 * sim.Second)
+	dev.FinishObs()
+
+	// The event stream: every frame latch, grid compare, rate transition
+	// and touch boost the run made, in order.
+	kinds := map[obs.Kind]int{}
+	for _, ev := range rec.Events() {
+		kinds[ev.Kind]++
+	}
+	fmt.Printf("recorded %d events (%d dropped by the ring):\n", rec.Total(), rec.Dropped())
+	for k := obs.KindDeviceStart; k <= obs.KindVSyncMissed; k++ {
+		if n := kinds[k]; n > 0 {
+			fmt.Printf("  %-24s %6d\n", k, n)
+		}
+	}
+
+	fmt.Println("\nmetrics:")
+	if err := reg.WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	f, err := os.Create("obs-trace.json")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := collector.WriteTrace(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nwrote obs-trace.json — open it at https://ui.perfetto.dev")
+}

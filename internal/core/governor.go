@@ -5,6 +5,7 @@ import (
 
 	"ccdem/internal/display"
 	"ccdem/internal/input"
+	"ccdem/internal/obs"
 	"ccdem/internal/sim"
 )
 
@@ -93,6 +94,8 @@ type GovernorConfig struct {
 	// fidelity before section control resumes, short enough that boosting
 	// costs only a small share of the saving (paper Table 1).
 	BoostHold sim.Time
+	// Recorder, if non-nil, receives a TouchBoost event per boosted touch.
+	Recorder *obs.Recorder
 }
 
 // Decision records one governor decision for trace figures.
@@ -187,9 +190,11 @@ func (g *Governor) HandleTouch(ev input.Event) {
 	}
 	now := g.eng.Now()
 	g.booster.OnTouch(now)
-	if g.panel.Rate() != g.panel.MaxRate() {
+	transition := g.panel.Rate() != g.panel.MaxRate()
+	if transition {
 		g.boosts++
 	}
+	g.cfg.Recorder.TouchBoost(now, g.panel.MaxRate(), transition)
 	g.mustSetRate(g.panel.MaxRate())
 }
 

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"ccdem/internal/framebuffer"
+	"ccdem/internal/obs"
 	"ccdem/internal/power"
 	"ccdem/internal/sim"
 	"ccdem/internal/trace"
@@ -43,6 +44,9 @@ type MeterConfig struct {
 	// frames still require the full sweep to be declared redundant.
 	// Classification is unaffected; only the cost accounting changes.
 	EarlyExit bool
+	// Recorder, if non-nil, receives a GridCompare event per comparison
+	// and a RedundantFrameDropped event per redundant frame.
+	Recorder *obs.Recorder
 }
 
 // Meter measures the content rate: the number of frames per second whose
@@ -94,6 +98,10 @@ func (m *Meter) ObserveFrame(t sim.Time, fb *framebuffer.Buffer) bool {
 	}
 	dur := m.cfg.Cost.Duration(comparedPx)
 	m.compareTime += dur
+	m.cfg.Recorder.GridCompare(t, dur, comparedPx, isContent)
+	if !isContent {
+		m.cfg.Recorder.RedundantFrameDropped(t)
+	}
 	if m.cfg.OnCompare != nil {
 		m.cfg.OnCompare(dur)
 	}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 
+	"ccdem/internal/obs"
 	"ccdem/internal/sim"
 )
 
@@ -59,6 +60,7 @@ type Panel struct {
 	nextHandle sim.Handle
 	onVSync    []VSyncFunc
 	onChange   []RateChangeFunc
+	rec        *obs.Recorder
 
 	refreshes     uint64
 	switches      uint64
@@ -123,6 +125,11 @@ func (p *Panel) OnVSync(fn VSyncFunc) { p.onVSync = append(p.onVSync, fn) }
 // OnRateChange registers fn to observe refresh-rate transitions.
 func (p *Panel) OnRateChange(fn RateChangeFunc) { p.onChange = append(p.onChange, fn) }
 
+// SetRecorder attaches a decision-event recorder: every rate transition
+// that takes effect is recorded as a SectionTransition. A nil recorder
+// (the default) disables recording at zero cost.
+func (p *Panel) SetRecorder(r *obs.Recorder) { p.rec = r }
+
 // SetRate requests a refresh-rate change, which takes effect at the next
 // V-Sync boundary (a timing generator cannot retime mid-scan). Requesting
 // the current rate clears any pending change. Unsupported rates are
@@ -156,6 +163,7 @@ func (p *Panel) applyRate(hz int) {
 	p.rateTimeSince = now
 	p.cur = hz
 	p.switches++
+	p.rec.SectionTransition(now, old, p.cur)
 	for _, fn := range p.onChange {
 		fn(now, old, p.cur)
 	}

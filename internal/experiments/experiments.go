@@ -16,6 +16,7 @@ import (
 	"ccdem/internal/app"
 	"ccdem/internal/fleet"
 	"ccdem/internal/input"
+	"ccdem/internal/obs"
 	"ccdem/internal/sim"
 )
 
@@ -39,6 +40,11 @@ type Options struct {
 	// with distinct Monkey seeds — the paper repeats its measurements and
 	// reports means with deviations. Default 1 (single run per cell).
 	Repeats int
+	// Obs, when non-nil, collects observability from every measurement
+	// run: one collector track per (app, mode, seed) cell, holding that
+	// run's decision events and metrics. Nil (the default) disables
+	// observability at zero cost.
+	Obs *obs.Collector
 }
 
 func (o *Options) applyDefaults() {
@@ -161,10 +167,13 @@ func appScript(o Options, appName string, length sim.Time) (input.Script, error)
 // runApp executes one (app, mode) measurement run and returns its stats
 // and traces.
 func runApp(o Options, p app.Params, mode ccdem.GovernorMode) (ccdem.Stats, ccdem.Traces, error) {
+	rec, reg := o.Obs.Device(fmt.Sprintf("%s [%s] seed=%d", p.Name, mode, o.Seed))
 	dev, err := ccdem.NewDevice(ccdem.Config{
 		Width: screenW, Height: screenH,
 		Governor:     mode,
 		MeterSamples: o.MeterSamples,
+		Recorder:     rec,
+		Metrics:      reg,
 	})
 	if err != nil {
 		return ccdem.Stats{}, ccdem.Traces{}, err
@@ -178,6 +187,7 @@ func runApp(o Options, p app.Params, mode ccdem.GovernorMode) (ccdem.Stats, ccde
 	}
 	dev.PlayScript(sc)
 	dev.Run(o.Duration)
+	dev.FinishObs()
 	return dev.Stats(), dev.Traces(), nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"ccdem/internal/app"
 	"ccdem/internal/battery"
 	"ccdem/internal/input"
+	"ccdem/internal/obs"
 	"ccdem/internal/sim"
 )
 
@@ -99,6 +100,13 @@ type Cohort struct {
 	Pack battery.Pack
 	// Profiles is the population's user-class mix.
 	Profiles []Profile
+	// Obs, when non-nil, collects per-device observability: each device's
+	// *managed* session (the configuration under study) records decision
+	// events and metrics under one collector track, with its per-app
+	// segments concatenated on a single timeline. Baseline segments run
+	// uninstrumented so the merged metrics describe the managed system.
+	// Nil disables observability at zero cost.
+	Obs *obs.Collector
 }
 
 func (c *Cohort) applyDefaults() {
@@ -204,6 +212,7 @@ func (c Cohort) runDevice(i int) (DeviceResult, error) {
 	if prof.SessionJitter > 0 {
 		session = sim.Time(float64(session) * (1 + prof.SessionJitter*(2*rng.Float64()-1)))
 	}
+	rec, reg := c.Obs.Device(fmt.Sprintf("device %04d (%s)", i, prof.Name))
 
 	var (
 		slices   []battery.UsageSlice
@@ -224,11 +233,14 @@ func (c Cohort) runDevice(i int) (DeviceResult, error) {
 			return DeviceResult{}, err
 		}
 		params, _ := app.ByName(a.Name) // validated
-		base, err := c.runSegment(params, ccdem.GovernorOff, dur, script)
+		base, err := c.runSegment(params, ccdem.GovernorOff, dur, script, nil, nil)
 		if err != nil {
 			return DeviceResult{}, err
 		}
-		managed, err := c.runSegment(params, c.Governor, dur, script)
+		// Each segment simulates on its own engine starting at zero; the
+		// base offset concatenates them into one session timeline.
+		rec.SetBase(totalDur)
+		managed, err := c.runSegment(params, c.Governor, dur, script, rec, reg)
 		if err != nil {
 			return DeviceResult{}, err
 		}
@@ -300,12 +312,15 @@ func (c Cohort) segmentScript(prof Profile, seed int64, dur sim.Time) (input.Scr
 	return mk.Script(dur, screenW, screenH), nil
 }
 
-// runSegment measures one app segment under one governor mode.
-func (c Cohort) runSegment(p app.Params, mode ccdem.GovernorMode, dur sim.Time, script input.Script) (ccdem.Stats, error) {
+// runSegment measures one app segment under one governor mode, optionally
+// instrumented with a recorder and metrics registry.
+func (c Cohort) runSegment(p app.Params, mode ccdem.GovernorMode, dur sim.Time, script input.Script, rec *obs.Recorder, reg *obs.Registry) (ccdem.Stats, error) {
 	dev, err := ccdem.NewDevice(ccdem.Config{
 		Width: screenW, Height: screenH,
 		Governor:     mode,
 		MeterSamples: c.MeterSamples,
+		Recorder:     rec,
+		Metrics:      reg,
 	})
 	if err != nil {
 		return ccdem.Stats{}, err
@@ -315,6 +330,7 @@ func (c Cohort) runSegment(p app.Params, mode ccdem.GovernorMode, dur sim.Time, 
 	}
 	dev.PlayScript(script)
 	dev.Run(dur)
+	dev.FinishObs()
 	return dev.Stats(), nil
 }
 

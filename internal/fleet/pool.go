@@ -20,6 +20,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"ccdem/internal/obs"
 )
 
 // Pool is a bounded worker-pool execution engine for independent
@@ -40,6 +42,11 @@ type Pool struct {
 	// and done is strictly increasing, but they originate from worker
 	// goroutines: keep the callback cheap.
 	OnProgress func(done, total int)
+	// Spans, when non-nil, records a wall-clock span per task (named
+	// "task <i>", one lane per worker) for pool-utilization analysis and
+	// the scheduler track of a Perfetto trace. Wall-clock spans reflect
+	// host scheduling and are NOT deterministic across runs.
+	Spans *obs.SpanLog
 }
 
 // Run executes task(ctx, i) for every i in [0, n), at most Workers at a
@@ -82,14 +89,21 @@ func (p Pool) Run(parent context.Context, n int, task func(ctx context.Context, 
 	)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1) - 1)
 				if i >= n || ctx.Err() != nil {
 					return
 				}
+				var endSpan func()
+				if p.Spans != nil {
+					endSpan = p.Spans.Begin(fmt.Sprintf("task %d", i), w)
+				}
 				err := task(ctx, i)
+				if endSpan != nil {
+					endSpan()
+				}
 				mu.Lock()
 				errs[i] = err
 				done++
@@ -102,7 +116,7 @@ func (p Pool) Run(parent context.Context, n int, task func(ctx context.Context, 
 					return
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 

@@ -9,6 +9,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"ccdem/internal/obs"
 )
 
 func TestPoolRunsAllTasks(t *testing.T) {
@@ -144,6 +146,80 @@ func TestPoolProgress(t *testing.T) {
 		if d != i+1 {
 			t.Fatalf("progress calls not monotone: %v", calls)
 		}
+	}
+}
+
+// TestPoolProgressSerialized verifies the OnProgress contract with
+// deliberately unsynchronized callback state: calls must be serialized (no
+// two in flight at once — the race detector and the inFlight check both
+// catch a violation), done must increase strictly by one, and the callback
+// must fire exactly total times. The callback takes no locks of its own, so
+// any two concurrent invocations are a data race under -race.
+func TestPoolProgressSerialized(t *testing.T) {
+	const n = 200
+	var (
+		inFlight atomic.Int32
+		calls    int   // unsynchronized on purpose
+		lastDone int   // unsynchronized on purpose
+		bad      error // first contract violation observed
+	)
+	err := Pool{Workers: 8, OnProgress: func(done, total int) {
+		if inFlight.Add(1) != 1 {
+			bad = errors.New("OnProgress invocations overlap")
+		}
+		defer inFlight.Add(-1)
+		calls++
+		if done != lastDone+1 {
+			bad = fmt.Errorf("done went %d -> %d, want +1 steps", lastDone, done)
+		}
+		lastDone = done
+		if total != n {
+			bad = fmt.Errorf("total = %d, want %d", total, n)
+		}
+	}}.Run(context.Background(), n, func(_ context.Context, i int) error {
+		if i%3 == 0 {
+			time.Sleep(time.Microsecond) // stagger completions across workers
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad != nil {
+		t.Fatal(bad)
+	}
+	if calls != n {
+		t.Fatalf("OnProgress fired %d times, want exactly %d", calls, n)
+	}
+}
+
+func TestPoolRecordsTaskSpans(t *testing.T) {
+	const n = 20
+	spans := obs.NewSpanLog()
+	err := Pool{Workers: 4, Spans: spans}.Run(context.Background(), n,
+		func(_ context.Context, i int) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := spans.Spans()
+	if len(got) != n {
+		t.Fatalf("recorded %d spans, want %d", len(got), n)
+	}
+	names := map[string]bool{}
+	for _, s := range got {
+		if s.End < s.Start {
+			t.Errorf("span %q ends before it starts", s.Name)
+		}
+		if s.Worker < 0 || s.Worker >= 4 {
+			t.Errorf("span %q on worker %d, want [0,4)", s.Name, s.Worker)
+		}
+		names[s.Name] = true
+	}
+	if len(names) != n {
+		t.Errorf("%d distinct span names, want %d", len(names), n)
+	}
+	if u := spans.Utilization(4); u <= 0 || u > 1 {
+		t.Errorf("utilization %g out of (0,1]", u)
 	}
 }
 

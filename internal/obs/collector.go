@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"io"
+	"sort"
+	"sync"
+)
+
+// DeviceObs bundles one instrumented run's observability sinks: the
+// decision-event recorder and the metrics registry handed to a
+// ccdem.Device.
+type DeviceObs struct {
+	Name string
+	Rec  *Recorder
+	Reg  *Registry
+}
+
+// Collector hands out per-device observability sinks to concurrent runs
+// (fleet devices, parallel experiment campaigns) and later assembles them
+// into one trace and one merged registry. Device is safe to call from pool
+// goroutines; each returned Recorder/Registry pair must still be used by a
+// single run only. Export is deterministic regardless of attach order:
+// tracks are sorted by name, which also fixes the registry merge order
+// (float sums are order-sensitive).
+type Collector struct {
+	mu       sync.Mutex
+	eventCap int
+	tracks   []*DeviceObs
+}
+
+// NewCollector creates a collector whose recorders hold up to eventCap
+// events each (DefaultEventCap when non-positive).
+func NewCollector(eventCap int) *Collector {
+	return &Collector{eventCap: eventCap}
+}
+
+// Device registers a new instrumented run under the given track name and
+// returns its sinks. Names should be unique per run (the exporters keep
+// duplicates, but their tracks become hard to tell apart). Nil-safe: a nil
+// collector returns nil sinks, i.e. observability disabled.
+func (c *Collector) Device(name string) (*Recorder, *Registry) {
+	if c == nil {
+		return nil, nil
+	}
+	t := &DeviceObs{Name: name, Rec: NewRecorder(c.eventCap), Reg: NewRegistry()}
+	c.mu.Lock()
+	c.tracks = append(c.tracks, t)
+	c.mu.Unlock()
+	return t.Rec, t.Reg
+}
+
+// Tracks returns the registered runs sorted by name.
+func (c *Collector) Tracks() []*DeviceObs {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	out := append([]*DeviceObs(nil), c.tracks...)
+	c.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Trace assembles every track into a Chrome trace, one process per run in
+// name order (pid = position + 1). Callers may add further tracks (e.g. a
+// scheduler span log) before writing.
+func (c *Collector) Trace() *Trace {
+	tr := NewTrace()
+	for i, t := range c.Tracks() {
+		tr.AddDevice(i+1, t.Name, t.Rec)
+	}
+	return tr
+}
+
+// WriteTrace writes the assembled Chrome trace JSON.
+func (c *Collector) WriteTrace(w io.Writer) error {
+	return c.Trace().Write(w)
+}
+
+// MergedMetrics merges every track's registry in name order into one
+// fleet-wide registry.
+func (c *Collector) MergedMetrics() (*Registry, error) {
+	merged := NewRegistry()
+	for _, t := range c.Tracks() {
+		if err := merged.Merge(t.Reg); err != nil {
+			return nil, err
+		}
+	}
+	return merged, nil
+}
+
+// WriteMetrics writes the merged registries' plain-text dump.
+func (c *Collector) WriteMetrics(w io.Writer) error {
+	merged, err := c.MergedMetrics()
+	if err != nil {
+		return err
+	}
+	return merged.WriteText(w)
+}

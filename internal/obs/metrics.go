@@ -1,0 +1,337 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Counter is a monotonically increasing integer metric. All methods are
+// nil-safe no-ops on a nil receiver, so instrumented code holds plain
+// pointers and pays only a nil check when metrics are disabled.
+type Counter struct {
+	name string
+	v    uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v += n
+	}
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a last-value metric.
+type Gauge struct {
+	name string
+	v    float64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.v = v
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Fixed bucket layouts shared by every device so per-device histograms
+// merge into fleet-wide ones. Bounds are inclusive upper edges; an
+// implicit +Inf bucket catches the overflow.
+var (
+	// CompareCostBucketsUS spans the modeled grid-comparison cost in
+	// microseconds (the paper's 9K grid costs ~0.4 ms at device scale).
+	CompareCostBucketsUS = []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000}
+	// RateBucketsFPS spans content/frame rates, aligned with the refresh
+	// levels of the S3 panel and the LTPO scaling experiments.
+	RateBucketsFPS = []float64{1, 2, 5, 10, 15, 20, 25, 30, 40, 50, 60, 90, 120}
+	// PowerBucketsMW spans whole-device mean power.
+	PowerBucketsMW = []float64{250, 500, 750, 1000, 1250, 1500, 1750, 2000, 2500, 3000}
+	// QualityBucketsPct spans display quality in percent, dense near the
+	// paper's ≥95% operating region.
+	QualityBucketsPct = []float64{50, 60, 70, 80, 85, 90, 92.5, 95, 97.5, 99, 100}
+	// TaskBucketsMS spans fleet pool task wall-clock durations.
+	TaskBucketsMS = []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000}
+)
+
+// Histogram is a fixed-bucket distribution metric. Observations are
+// counted into the first bucket whose upper bound is ≥ the value; values
+// above every bound land in an implicit +Inf bucket. Two histograms merge
+// only when their bucket layouts are identical, which is why the layouts
+// above are shared constants.
+type Histogram struct {
+	name   string
+	bounds []float64 // ascending upper bounds
+	counts []uint64  // len(bounds)+1; last is +Inf
+	sum    float64
+	count  uint64
+}
+
+// Observe counts one observation of v.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.count++
+	h.sum += v
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Mean returns the mean observed value (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
+// within the containing bucket; 0 when empty. The estimate is bucket-
+// resolution coarse, which is the usual histogram trade-off.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.count)
+	cum := 0.0
+	for i, c := range h.counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		if i >= len(h.bounds) {
+			// +Inf bucket: no upper edge to interpolate against.
+			return lo
+		}
+		hi := h.bounds[i]
+		frac := (rank - prev) / float64(c)
+		return lo + (hi-lo)*frac
+	}
+	if len(h.bounds) > 0 {
+		return h.bounds[len(h.bounds)-1]
+	}
+	return 0
+}
+
+// Registry is a named collection of instruments. Get-or-create accessors
+// return nil-safe instrument pointers, and a nil *Registry hands out nil
+// instruments, so a single code path serves both the instrumented and the
+// disabled configuration. A Registry is not safe for concurrent use; each
+// device owns one and fleet-wide views are produced by Merge after the
+// runs complete.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Returns nil
+// (a valid no-op instrument) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{name: name}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Returns nil on
+// a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{name: name}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// ascending bucket bounds on first use. Asking for an existing histogram
+// with a different layout panics: bucket layouts are fixed per name so
+// histograms stay mergeable. Returns nil on a nil registry.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if h, ok := r.hists[name]; ok {
+		if !sameBounds(h.bounds, bounds) {
+			panic(fmt.Sprintf("obs: histogram %q re-registered with different buckets", name))
+		}
+		return h
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q buckets not ascending: %v", name, bounds))
+		}
+	}
+	if len(bounds) == 0 {
+		panic(fmt.Sprintf("obs: histogram %q has no buckets", name))
+	}
+	h := &Histogram{
+		name:   name,
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}
+	r.hists[name] = h
+	return h
+}
+
+func sameBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Merge folds src into r: counters add, gauges keep the maximum (the only
+// order-independent choice for a last-value metric), histograms add
+// per-bucket counts. It errors on a histogram bucket-layout mismatch.
+// Merging in a fixed order (the Collector merges tracks sorted by name)
+// keeps float sums deterministic.
+func (r *Registry) Merge(src *Registry) error {
+	if r == nil || src == nil {
+		return nil
+	}
+	for name, c := range src.counters {
+		r.Counter(name).Add(c.v)
+	}
+	for name, g := range src.gauges {
+		dst := r.Gauge(name)
+		dst.v = math.Max(dst.v, g.v)
+	}
+	for name, h := range src.hists {
+		dst, ok := r.hists[name]
+		if !ok {
+			dst = r.Histogram(name, h.bounds)
+		} else if !sameBounds(dst.bounds, h.bounds) {
+			return fmt.Errorf("obs: cannot merge histogram %q: bucket layouts differ", name)
+		}
+		for i, c := range h.counts {
+			dst.counts[i] += c
+		}
+		dst.sum += h.sum
+		dst.count += h.count
+	}
+	return nil
+}
+
+// WriteText writes a plain-text dump of every instrument, sorted by name
+// within each section, so identical registries produce identical bytes.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		_, err := fmt.Fprintln(w, "# metrics disabled")
+		return err
+	}
+	for _, name := range sortedKeys(r.counters) {
+		if _, err := fmt.Fprintf(w, "counter %s %d\n", name, r.counters[name].v); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(r.gauges) {
+		if _, err := fmt.Fprintf(w, "gauge %s %g\n", name, r.gauges[name].v); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(r.hists) {
+		h := r.hists[name]
+		if _, err := fmt.Fprintf(w, "histogram %s count %d sum %g mean %g p50 %g p95 %g\n",
+			name, h.count, h.sum, h.Mean(), h.Quantile(0.50), h.Quantile(0.95)); err != nil {
+			return err
+		}
+		for i, c := range h.counts {
+			label := "+Inf"
+			if i < len(h.bounds) {
+				label = fmt.Sprintf("%g", h.bounds[i])
+			}
+			if _, err := fmt.Fprintf(w, "  le %s %d\n", label, c); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	reg := NewRegistry()
+	c1 := reg.Counter("frames_total")
+	c1.Add(5)
+	if c2 := reg.Counter("frames_total"); c2 != c1 || c2.Value() != 5 {
+		t.Fatal("Counter must return the same instrument per name")
+	}
+	h1 := reg.Histogram("cost", CompareCostBucketsUS)
+	if h2 := reg.Histogram("cost", CompareCostBucketsUS); h2 != h1 {
+		t.Fatal("Histogram must return the same instrument per name")
+	}
+	g := reg.Gauge("hz")
+	g.Set(40)
+	if reg.Gauge("hz").Value() != 40 {
+		t.Fatal("Gauge must return the same instrument per name")
+	}
+}
+
+func TestNilRegistryHandsOutNilInstruments(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("x")
+	g := reg.Gauge("y")
+	h := reg.Histogram("z", RateBucketsFPS)
+	c.Inc()
+	g.Set(1)
+	h.Observe(2)
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must return nil instruments")
+	}
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("h", []float64{10, 20, 30})
+	for _, v := range []float64{5, 15, 15, 25, 99} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 || h.Sum() != 159 {
+		t.Fatalf("count/sum = %d/%g", h.Count(), h.Sum())
+	}
+	if want := 159.0 / 5; h.Mean() != want {
+		t.Fatalf("mean = %g, want %g", h.Mean(), want)
+	}
+	// counts: ≤10:1, ≤20:2, ≤30:1, +Inf:1
+	if h.counts[0] != 1 || h.counts[1] != 2 || h.counts[2] != 1 || h.counts[3] != 1 {
+		t.Fatalf("bucket counts = %v", h.counts)
+	}
+	// The median rank (2.5 of 5) lands in the (10,20] bucket.
+	if q := h.Quantile(0.5); q < 10 || q > 20 {
+		t.Errorf("p50 = %g, want within (10,20]", q)
+	}
+	// The p99 rank lands in the +Inf bucket, clamped to its lower edge.
+	if q := h.Quantile(0.99); q != 30 {
+		t.Errorf("p99 = %g, want 30 (lower edge of +Inf bucket)", q)
+	}
+	if q := (&Histogram{}).Quantile(0.5); q != 0 {
+		t.Errorf("empty-histogram quantile = %g, want 0", q)
+	}
+}
+
+func TestHistogramLayoutConflictPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Histogram("h", []float64{1, 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a histogram with different buckets must panic")
+		}
+	}()
+	reg.Histogram("h", []float64{1, 3})
+}
+
+func TestRegistryMerge(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("frames").Add(10)
+	b.Counter("frames").Add(32)
+	b.Counter("only_b").Add(1)
+	a.Gauge("hz").Set(40)
+	b.Gauge("hz").Set(60)
+	ha := a.Histogram("cost", []float64{10, 20})
+	hb := b.Histogram("cost", []float64{10, 20})
+	ha.Observe(5)
+	hb.Observe(15)
+	hb.Observe(99)
+
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if v := a.Counter("frames").Value(); v != 42 {
+		t.Errorf("merged counter = %d, want 42", v)
+	}
+	if v := a.Counter("only_b").Value(); v != 1 {
+		t.Errorf("counter created by merge = %d, want 1", v)
+	}
+	if v := a.Gauge("hz").Value(); v != 60 {
+		t.Errorf("merged gauge = %g, want max 60", v)
+	}
+	if ha.Count() != 3 || ha.Sum() != 119 {
+		t.Errorf("merged histogram count/sum = %d/%g, want 3/119", ha.Count(), ha.Sum())
+	}
+
+	mismatch := NewRegistry()
+	mismatch.Histogram("cost", []float64{1, 2, 3}).Observe(1)
+	if err := a.Merge(mismatch); err == nil {
+		t.Fatal("merging mismatched histogram layouts must error")
+	}
+
+	if math.IsNaN(ha.Mean()) {
+		t.Fatal("mean NaN after merge")
+	}
+}
+
+func TestWriteTextDeterministicAndSorted(t *testing.T) {
+	build := func() *Registry {
+		reg := NewRegistry()
+		reg.Counter("zz").Add(1)
+		reg.Counter("aa").Add(2)
+		reg.Gauge("mid").Set(3)
+		reg.Histogram("hist", []float64{1, 2}).Observe(1.5)
+		return reg
+	}
+	var b1, b2 bytes.Buffer
+	if err := build().WriteText(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteText(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Fatal("identical registries must dump identical bytes")
+	}
+	out := b1.String()
+	if strings.Index(out, "counter aa") > strings.Index(out, "counter zz") {
+		t.Errorf("counters not sorted:\n%s", out)
+	}
+	for _, want := range []string{"counter aa 2", "gauge mid 3", "histogram hist count 1", "le +Inf 0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+}

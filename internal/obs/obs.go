@@ -1,0 +1,306 @@
+// Package obs is the runtime observability layer of the reproduction: a
+// structured decision-event recorder, a metrics registry, and exporters
+// that make a simulated device's per-frame behaviour inspectable — the
+// visibility the paper's argument rests on (content rate vs. frame rate,
+// section transitions, touch boosts) turned into first-class artifacts.
+//
+// Three pieces:
+//
+//   - Recorder: typed decision events (FrameSubmitted,
+//     RedundantFrameDropped, GridCompare, SectionTransition, TouchBoost,
+//     VSyncMissed, DeviceStart/End) written into a bounded ring buffer.
+//     The API is nil-safe: every method on a nil *Recorder is a no-op, so
+//     instrumented subsystems pay only a nil check — and zero allocations —
+//     when recording is disabled.
+//   - Registry (metrics.go): counters, gauges and fixed-bucket histograms,
+//     mergeable across devices so a fleet run can report population-wide
+//     distributions.
+//   - Trace (trace.go): a Chrome trace-event JSON exporter whose output
+//     loads in Perfetto or chrome://tracing, one process per device and
+//     one thread per subsystem, with sim.Time (virtual microseconds) as
+//     the timebase.
+//
+// Determinism: recording never schedules engine events or perturbs any
+// simulated quantity, so a device behaves identically with and without a
+// recorder attached; the event stream itself is a pure function of the
+// simulation and therefore reproducible from the same seed.
+package obs
+
+import (
+	"fmt"
+
+	"ccdem/internal/sim"
+)
+
+// Kind identifies the type of a decision event.
+type Kind uint8
+
+// Decision-event kinds. The Arg1/Arg2 meaning of each kind is documented
+// on the corresponding Recorder helper.
+const (
+	// KindDeviceStart marks the device starting its run.
+	KindDeviceStart Kind = iota
+	// KindDeviceEnd marks the end of an instrumented run (or of one app
+	// segment of a fleet session).
+	KindDeviceEnd
+	// KindFrameSubmitted is one framebuffer update latched by the surface
+	// manager at a V-Sync.
+	KindFrameSubmitted
+	// KindRedundantFrameDropped is a latched frame the meter classified as
+	// pixel-identical to the previous one — rendered work that changed
+	// nothing on screen.
+	KindRedundantFrameDropped
+	// KindGridCompare is one sparse-grid framebuffer comparison, a span
+	// whose duration is the modeled device-scale CPU cost.
+	KindGridCompare
+	// KindSectionTransition is a refresh-rate change taking effect at the
+	// panel.
+	KindSectionTransition
+	// KindTouchBoost is the governor forcing maximum refresh on a touch.
+	KindTouchBoost
+	// KindTouchInput is one replayed Monkey touch event.
+	KindTouchInput
+	// KindVSyncMissed is a V-Sync that found pending frame requests but
+	// could not latch them (blocked by a frame-pacing gate).
+	KindVSyncMissed
+
+	numKinds
+)
+
+// String implements fmt.Stringer; the names double as Perfetto event names.
+func (k Kind) String() string {
+	switch k {
+	case KindDeviceStart:
+		return "DeviceStart"
+	case KindDeviceEnd:
+		return "DeviceEnd"
+	case KindFrameSubmitted:
+		return "FrameSubmitted"
+	case KindRedundantFrameDropped:
+		return "RedundantFrameDropped"
+	case KindGridCompare:
+		return "GridCompare"
+	case KindSectionTransition:
+		return "SectionTransition"
+	case KindTouchBoost:
+		return "TouchBoost"
+	case KindTouchInput:
+		return "TouchInput"
+	case KindVSyncMissed:
+		return "VSyncMissed"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Track is the subsystem lane an event belongs to; the trace exporter maps
+// each track to one thread of the device's Perfetto process.
+type Track uint8
+
+// Subsystem tracks.
+const (
+	TrackDevice Track = iota
+	TrackSurface
+	TrackMeter
+	TrackGovernor
+	TrackPanel
+	TrackInput
+
+	numTracks
+)
+
+// String implements fmt.Stringer; the names label Perfetto threads.
+func (t Track) String() string {
+	switch t {
+	case TrackDevice:
+		return "device"
+	case TrackSurface:
+		return "surface"
+	case TrackMeter:
+		return "meter"
+	case TrackGovernor:
+		return "governor"
+	case TrackPanel:
+		return "panel"
+	case TrackInput:
+		return "input"
+	default:
+		return fmt.Sprintf("track(%d)", int(t))
+	}
+}
+
+// Event is one recorded decision event. Arg1/Arg2 carry kind-specific
+// scalar payloads (documented on the Recorder helpers) so that recording
+// never allocates.
+type Event struct {
+	T     sim.Time // event time (recorder base + subsystem-local time)
+	Dur   sim.Time // span duration; 0 for instant events
+	Arg1  int64
+	Arg2  int64
+	Kind  Kind
+	Track Track
+}
+
+// DefaultEventCap is the ring capacity used when NewRecorder is given a
+// non-positive capacity: enough for several minutes of a single busy
+// device (frames + compares + decisions) at ~45 B per event.
+const DefaultEventCap = 1 << 14
+
+// Recorder collects decision events into a bounded ring buffer: when the
+// ring fills, the oldest events are overwritten, so a long run keeps its
+// tail — the part a profiling session usually cares about. All methods are
+// nil-safe no-ops on a nil receiver, which is how instrumentation is
+// disabled. A Recorder is not safe for concurrent use; each simulated
+// device owns its own (the engine is single-threaded).
+type Recorder struct {
+	base  sim.Time // added to every recorded time (fleet segment offsets)
+	buf   []Event
+	next  int // next write position
+	n     int // events currently stored (≤ cap)
+	total uint64
+}
+
+// NewRecorder creates a recorder holding up to capacity events
+// (DefaultEventCap when capacity is non-positive).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultEventCap
+	}
+	return &Recorder{buf: make([]Event, capacity)}
+}
+
+// Enabled reports whether events are being recorded (false on nil).
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// SetBase sets the time offset added to every subsequently recorded event.
+// The fleet layer uses it to concatenate a device's per-app segments —
+// each simulated on its own engine starting at zero — into one session
+// timeline. Nil-safe.
+func (r *Recorder) SetBase(t sim.Time) {
+	if r != nil {
+		r.base = t
+	}
+}
+
+// Record appends ev (with the base offset applied). Nil-safe; never
+// allocates.
+func (r *Recorder) Record(ev Event) {
+	if r == nil {
+		return
+	}
+	ev.T += r.base
+	r.buf[r.next] = ev
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+	}
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.total++
+}
+
+// Len returns the number of events currently stored.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return r.n
+}
+
+// Total returns the number of events ever recorded.
+func (r *Recorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.total
+}
+
+// Dropped returns how many events were overwritten by ring wrap-around.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.total - uint64(r.n)
+}
+
+// Events returns the stored events oldest-first (a copy).
+func (r *Recorder) Events() []Event {
+	if r == nil || r.n == 0 {
+		return nil
+	}
+	out := make([]Event, 0, r.n)
+	if r.n < len(r.buf) {
+		return append(out, r.buf[:r.n]...)
+	}
+	out = append(out, r.buf[r.next:]...)
+	return append(out, r.buf[:r.next]...)
+}
+
+// DeviceStart records the device (or one fleet app segment) starting at t.
+func (r *Recorder) DeviceStart(t sim.Time) {
+	r.Record(Event{T: t, Kind: KindDeviceStart, Track: TrackDevice})
+}
+
+// DeviceEnd records the end of the instrumented run at t.
+func (r *Recorder) DeviceEnd(t sim.Time) {
+	r.Record(Event{T: t, Kind: KindDeviceEnd, Track: TrackDevice})
+}
+
+// FrameSubmitted records one latched framebuffer update. Arg1 is the
+// number of pixels that actually changed on screen, Arg2 the pixels drawn
+// by clients (the GPU cost).
+func (r *Recorder) FrameSubmitted(t sim.Time, dirtyPx, renderedPx int) {
+	r.Record(Event{T: t, Kind: KindFrameSubmitted, Track: TrackSurface,
+		Arg1: int64(dirtyPx), Arg2: int64(renderedPx)})
+}
+
+// RedundantFrameDropped records the meter classifying a latched frame as
+// pixel-identical to the previous one.
+func (r *Recorder) RedundantFrameDropped(t sim.Time) {
+	r.Record(Event{T: t, Kind: KindRedundantFrameDropped, Track: TrackMeter})
+}
+
+// GridCompare records one sparse-grid comparison as a span of the modeled
+// duration dur. Arg1 is the number of samples compared (fewer than the
+// full grid under early exit), Arg2 is 1 when the frame carried content.
+func (r *Recorder) GridCompare(t, dur sim.Time, samples int, content bool) {
+	var c int64
+	if content {
+		c = 1
+	}
+	r.Record(Event{T: t, Dur: dur, Kind: KindGridCompare, Track: TrackMeter,
+		Arg1: int64(samples), Arg2: c})
+}
+
+// SectionTransition records a refresh-rate change taking effect. Arg1 is
+// the old rate, Arg2 the new rate (Hz).
+func (r *Recorder) SectionTransition(t sim.Time, fromHz, toHz int) {
+	r.Record(Event{T: t, Kind: KindSectionTransition, Track: TrackPanel,
+		Arg1: int64(fromHz), Arg2: int64(toHz)})
+}
+
+// TouchBoost records the governor forcing maximum refresh on a touch.
+// Arg1 is the boosted rate (Hz); Arg2 is 1 when the panel was below
+// maximum and this touch actually raised it.
+func (r *Recorder) TouchBoost(t sim.Time, rateHz int, transition bool) {
+	var tr int64
+	if transition {
+		tr = 1
+	}
+	r.Record(Event{T: t, Kind: KindTouchBoost, Track: TrackGovernor,
+		Arg1: int64(rateHz), Arg2: tr})
+}
+
+// TouchInput records one replayed touch event. Arg1 is the input kind
+// (down/move/up ordinal), Arg2 packs the screen position as x<<32 | y.
+func (r *Recorder) TouchInput(t sim.Time, kind, x, y int) {
+	r.Record(Event{T: t, Kind: KindTouchInput, Track: TrackInput,
+		Arg1: int64(kind), Arg2: int64(x)<<32 | int64(uint32(y))})
+}
+
+// VSyncMissed records a V-Sync that found pending frame requests but was
+// blocked from latching them by a frame-pacing gate.
+func (r *Recorder) VSyncMissed(t sim.Time) {
+	r.Record(Event{T: t, Kind: KindVSyncMissed, Track: TrackSurface})
+}

@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"testing"
+
+	"ccdem/internal/sim"
+)
+
+func TestRecorderRoundTrip(t *testing.T) {
+	r := NewRecorder(16)
+	r.DeviceStart(0)
+	r.FrameSubmitted(100, 500, 921600)
+	r.GridCompare(100, 42, 9216, true)
+	r.RedundantFrameDropped(200)
+	r.SectionTransition(300, 60, 30)
+	r.TouchBoost(400, 60, true)
+	r.TouchInput(400, 0, 360, 640)
+	r.VSyncMissed(500)
+	r.DeviceEnd(600)
+
+	evs := r.Events()
+	if len(evs) != 9 {
+		t.Fatalf("recorded %d events, want 9", len(evs))
+	}
+	wantKinds := []Kind{
+		KindDeviceStart, KindFrameSubmitted, KindGridCompare,
+		KindRedundantFrameDropped, KindSectionTransition, KindTouchBoost,
+		KindTouchInput, KindVSyncMissed, KindDeviceEnd,
+	}
+	for i, ev := range evs {
+		if ev.Kind != wantKinds[i] {
+			t.Errorf("event %d kind = %v, want %v", i, ev.Kind, wantKinds[i])
+		}
+	}
+	if fs := evs[1]; fs.Arg1 != 500 || fs.Arg2 != 921600 || fs.Track != TrackSurface {
+		t.Errorf("FrameSubmitted payload = %+v", fs)
+	}
+	if gc := evs[2]; gc.Dur != 42 || gc.Arg1 != 9216 || gc.Arg2 != 1 {
+		t.Errorf("GridCompare payload = %+v", gc)
+	}
+	if ti := evs[6]; ti.Arg2>>32 != 360 || int64(int32(uint64(ti.Arg2)&0xffffffff)) != 640 {
+		t.Errorf("TouchInput packed position = %x", ti.Arg2)
+	}
+	if r.Dropped() != 0 {
+		t.Errorf("Dropped = %d, want 0", r.Dropped())
+	}
+}
+
+func TestRecorderRingOverwritesOldest(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 10; i++ {
+		r.FrameSubmitted(sim.Time(i), i, i)
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	if r.Total() != 10 || r.Dropped() != 6 {
+		t.Fatalf("Total/Dropped = %d/%d, want 10/6", r.Total(), r.Dropped())
+	}
+	evs := r.Events()
+	for i, ev := range evs {
+		if want := sim.Time(6 + i); ev.T != want {
+			t.Errorf("event %d at %v, want %v (ring must keep the tail, oldest first)", i, ev.T, want)
+		}
+	}
+}
+
+func TestRecorderBaseOffset(t *testing.T) {
+	r := NewRecorder(8)
+	r.FrameSubmitted(10, 0, 0)
+	r.SetBase(1000)
+	r.FrameSubmitted(10, 0, 0)
+	evs := r.Events()
+	if evs[0].T != 10 || evs[1].T != 1010 {
+		t.Fatalf("times = %v, %v; want 10, 1010", evs[0].T, evs[1].T)
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.DeviceStart(0)
+	r.FrameSubmitted(1, 2, 3)
+	r.SetBase(5)
+	if r.Enabled() || r.Len() != 0 || r.Events() != nil || r.Total() != 0 || r.Dropped() != 0 {
+		t.Fatal("nil recorder must read as empty and disabled")
+	}
+}
+
+// TestDisabledObsZeroAlloc is the overhead contract of the whole layer:
+// with recording and metrics disabled (nil recorder, nil instruments), the
+// instrumentation calls sprinkled through the hot paths must not allocate.
+func TestDisabledObsZeroAlloc(t *testing.T) {
+	var r *Recorder
+	if allocs := testing.AllocsPerRun(1000, func() {
+		r.FrameSubmitted(5, 100, 200)
+		r.GridCompare(5, 1, 9216, true)
+		r.RedundantFrameDropped(5)
+		r.SectionTransition(5, 60, 40)
+		r.TouchBoost(5, 60, true)
+		r.TouchInput(5, 0, 1, 2)
+		r.VSyncMissed(5)
+	}); allocs != 0 {
+		t.Errorf("disabled recorder path allocates %.1f per call, want 0", allocs)
+	}
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	if allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(1.5)
+		h.Observe(2.5)
+	}); allocs != 0 {
+		t.Errorf("disabled metrics path allocates %.1f per call, want 0", allocs)
+	}
+}
+
+// The enabled steady state must not allocate either: the ring is
+// preallocated and instruments are plain field updates.
+func TestEnabledObsZeroAllocSteadyState(t *testing.T) {
+	r := NewRecorder(64)
+	reg := NewRegistry()
+	c := reg.Counter("c")
+	h := reg.Histogram("h", CompareCostBucketsUS)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		r.FrameSubmitted(5, 100, 200)
+		r.GridCompare(5, 1, 9216, false)
+		c.Inc()
+		h.Observe(420)
+	}); allocs != 0 {
+		t.Errorf("enabled steady-state path allocates %.1f per call, want 0", allocs)
+	}
+}
+
+func TestKindAndTrackStrings(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		if s := k.String(); s == "" || s[0] == 'k' {
+			t.Errorf("Kind(%d) has no name: %q", k, s)
+		}
+	}
+	for tr := Track(0); tr < numTracks; tr++ {
+		if s := tr.String(); s == "" || s[0] == 't' {
+			t.Errorf("Track(%d) has no name: %q", tr, s)
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format's
+// array-of-events form, loadable in Perfetto and chrome://tracing.
+// Timestamps and durations are microseconds — exactly sim.Time's unit, so
+// device events export without conversion.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Ph    string         `json:"ph"`
+	TS    int64          `json:"ts"`
+	Dur   *int64         `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// Trace assembles Chrome trace events from recorders and span logs. Add
+// every track, then Write once; the output is a plain JSON array.
+type Trace struct {
+	events []chromeEvent
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace { return &Trace{} }
+
+// meta appends a metadata event naming a process or thread.
+func (t *Trace) meta(kind string, pid, tid int, name string) {
+	t.events = append(t.events, chromeEvent{
+		Name: kind, Ph: "M", PID: pid, TID: tid,
+		Args: map[string]any{"name": name},
+	})
+}
+
+// AddDevice exports one recorder as a Perfetto process: pid for the
+// process id, name for its label, one thread per subsystem track that
+// recorded at least one event. Events export chronologically; spans
+// (GridCompare) become complete events, the rest instants, and every
+// SectionTransition additionally drives a per-process "refresh_hz"
+// counter track so the rate staircase is visible at a glance.
+func (t *Trace) AddDevice(pid int, name string, r *Recorder) {
+	events := r.Events()
+	if len(events) == 0 {
+		return
+	}
+	t.meta("process_name", pid, 0, name)
+	seen := [numTracks]bool{}
+	for _, ev := range events {
+		if int(ev.Track) < len(seen) && !seen[ev.Track] {
+			seen[ev.Track] = true
+			// tid = track ordinal + 1 keeps lanes stably ordered.
+			t.meta("thread_name", pid, int(ev.Track)+1, ev.Track.String())
+		}
+	}
+	for _, ev := range events {
+		ce := chromeEvent{
+			Name: ev.Kind.String(),
+			Ph:   "i",
+			TS:   int64(ev.T),
+			PID:  pid,
+			TID:  int(ev.Track) + 1,
+			Args: eventArgs(ev),
+		}
+		if ev.Dur > 0 {
+			d := int64(ev.Dur)
+			ce.Ph, ce.Dur = "X", &d
+		} else {
+			ce.Scope = "t" // thread-scoped instant
+		}
+		t.events = append(t.events, ce)
+		if ev.Kind == KindSectionTransition {
+			t.events = append(t.events, chromeEvent{
+				Name: "refresh_hz", Ph: "C", TS: int64(ev.T), PID: pid, TID: int(ev.Track) + 1,
+				Args: map[string]any{"hz": ev.Arg2},
+			})
+		}
+	}
+}
+
+// eventArgs decodes an event's scalar payload into named Perfetto args.
+func eventArgs(ev Event) map[string]any {
+	switch ev.Kind {
+	case KindFrameSubmitted:
+		return map[string]any{"dirty_px": ev.Arg1, "rendered_px": ev.Arg2}
+	case KindGridCompare:
+		return map[string]any{"samples": ev.Arg1, "content": ev.Arg2 == 1}
+	case KindSectionTransition:
+		return map[string]any{"from_hz": ev.Arg1, "to_hz": ev.Arg2}
+	case KindTouchBoost:
+		return map[string]any{"rate_hz": ev.Arg1, "transition": ev.Arg2 == 1}
+	case KindTouchInput:
+		return map[string]any{
+			"kind": ev.Arg1,
+			"x":    ev.Arg2 >> 32,
+			"y":    int64(int32(uint64(ev.Arg2) & 0xffffffff)),
+		}
+	default:
+		return nil
+	}
+}
+
+// AddSpans exports a span log as its own process (one thread per worker).
+// Span times are wall-clock microseconds since the log's first span, so
+// this track shares no timebase with the virtual-time device tracks —
+// it profiles the host-side scheduler, not the simulation.
+func (t *Trace) AddSpans(pid int, name string, spans []Span) {
+	if len(spans) == 0 {
+		return
+	}
+	t.meta("process_name", pid, 0, name)
+	workers := map[int]bool{}
+	for _, s := range spans {
+		if !workers[s.Worker] {
+			workers[s.Worker] = true
+			t.meta("thread_name", pid, s.Worker+1, "worker")
+		}
+		d := int64((s.End - s.Start) / time.Microsecond)
+		t.events = append(t.events, chromeEvent{
+			Name: s.Name, Ph: "X",
+			TS: int64(s.Start / time.Microsecond), Dur: &d,
+			PID: pid, TID: s.Worker + 1,
+		})
+	}
+}
+
+// Write encodes the assembled trace as an indented JSON array — the Chrome
+// trace-event array-of-events form.
+func (t *Trace) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if t.events == nil {
+		return enc.Encode([]chromeEvent{})
+	}
+	return enc.Encode(t.events)
+}
+
+// Span is one wall-clock task execution recorded by a SpanLog.
+type Span struct {
+	Name       string
+	Worker     int           // worker lane the task ran on
+	Start, End time.Duration // since the log's first Begin
+}
+
+// SpanLog records wall-clock task spans from concurrent workers (the fleet
+// pool's scheduler telemetry). Unlike Recorder it is safe for concurrent
+// use — spans originate from pool goroutines — and unlike the rest of the
+// event stream it is *not* deterministic: it measures the host scheduler,
+// so it is exported only on explicit request.
+type SpanLog struct {
+	mu    sync.Mutex
+	t0    time.Time
+	spans []Span
+}
+
+// NewSpanLog returns an empty span log.
+func NewSpanLog() *SpanLog { return &SpanLog{} }
+
+// Begin opens a span and returns the function that closes it.
+func (l *SpanLog) Begin(name string, worker int) func() {
+	l.mu.Lock()
+	if l.t0.IsZero() {
+		l.t0 = time.Now()
+	}
+	start := time.Since(l.t0)
+	l.mu.Unlock()
+	return func() {
+		l.mu.Lock()
+		l.spans = append(l.spans, Span{Name: name, Worker: worker, Start: start, End: time.Since(l.t0)})
+		l.mu.Unlock()
+	}
+}
+
+// Spans returns a copy of the recorded spans in completion order.
+func (l *SpanLog) Spans() []Span {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Span(nil), l.spans...)
+}
+
+// Utilization returns busy time across all spans divided by workers ×
+// makespan — how well the pool kept its lanes fed. Zero when empty.
+func (l *SpanLog) Utilization(workers int) float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.spans) == 0 || workers <= 0 {
+		return 0
+	}
+	var busy, last time.Duration
+	for _, s := range l.spans {
+		busy += s.End - s.Start
+		if s.End > last {
+			last = s.End
+		}
+	}
+	if last == 0 {
+		return 0
+	}
+	return float64(busy) / (float64(last) * float64(workers))
+}

@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// decodeTrace round-trips a written trace through encoding/json to assert
+// the output is the Chrome trace-event array-of-events form.
+func decodeTrace(t *testing.T, tr *Trace) []map[string]any {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("trace is not a JSON array of events: %v\n%s", err, buf.String())
+	}
+	return events
+}
+
+func TestTraceSchema(t *testing.T) {
+	r := NewRecorder(32)
+	r.DeviceStart(0)
+	r.FrameSubmitted(16667, 500, 921600)
+	r.GridCompare(16667, 420, 9216, true)
+	r.SectionTransition(500000, 60, 30)
+
+	tr := NewTrace()
+	tr.AddDevice(1, "Facebook [baseline]", r)
+	events := decodeTrace(t, tr)
+	if len(events) == 0 {
+		t.Fatal("empty trace")
+	}
+	var sawProcessName, sawThreadName, sawCounter, sawSpan bool
+	for _, ev := range events {
+		// Chrome trace-event schema: every event needs name, ph, pid;
+		// non-metadata events need ts and tid.
+		for _, key := range []string{"name", "ph", "pid"} {
+			if _, ok := ev[key]; !ok {
+				t.Fatalf("event missing %q: %v", key, ev)
+			}
+		}
+		switch ev["ph"] {
+		case "M":
+			args := ev["args"].(map[string]any)
+			if ev["name"] == "process_name" {
+				sawProcessName = true
+				if args["name"] != "Facebook [baseline]" {
+					t.Errorf("process_name = %v", args["name"])
+				}
+			}
+			if ev["name"] == "thread_name" {
+				sawThreadName = true
+			}
+		case "X":
+			sawSpan = true
+			if _, ok := ev["dur"]; !ok {
+				t.Errorf("complete event missing dur: %v", ev)
+			}
+		case "C":
+			sawCounter = true
+		case "i":
+			if ev["s"] != "t" {
+				t.Errorf("instant event missing thread scope: %v", ev)
+			}
+		default:
+			t.Errorf("unexpected phase %v", ev["ph"])
+		}
+		if ev["ph"] != "M" {
+			if _, ok := ev["ts"]; !ok {
+				t.Errorf("event missing ts: %v", ev)
+			}
+		}
+	}
+	if !sawProcessName || !sawThreadName {
+		t.Error("missing process/thread metadata")
+	}
+	if !sawSpan {
+		t.Error("GridCompare did not export as a complete (X) event")
+	}
+	if !sawCounter {
+		t.Error("SectionTransition did not drive the refresh_hz counter track")
+	}
+}
+
+func TestTraceTimebaseIsMicroseconds(t *testing.T) {
+	r := NewRecorder(8)
+	r.FrameSubmitted(16667, 1, 1) // one 60 Hz frame interval in sim µs
+	tr := NewTrace()
+	tr.AddDevice(1, "dev", r)
+	for _, ev := range decodeTrace(t, tr) {
+		if ev["ph"] == "M" {
+			continue
+		}
+		if ts := ev["ts"].(float64); ts != 16667 {
+			t.Fatalf("ts = %v, want 16667 (sim.Time µs exported unscaled)", ts)
+		}
+	}
+}
+
+func TestEmptyTraceIsValidArray(t *testing.T) {
+	events := decodeTrace(t, NewTrace())
+	if len(events) != 0 {
+		t.Fatalf("empty trace encoded %d events", len(events))
+	}
+}
+
+func TestSpanLog(t *testing.T) {
+	l := NewSpanLog()
+	end0 := l.Begin("task 0", 0)
+	end0()
+	end1 := l.Begin("task 1", 1)
+	end1()
+	spans := l.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("recorded %d spans, want 2", len(spans))
+	}
+	for _, s := range spans {
+		if s.End < s.Start {
+			t.Errorf("span %q ends before it starts", s.Name)
+		}
+	}
+	if u := l.Utilization(2); u < 0 || u > 1 {
+		t.Errorf("utilization %g out of [0,1]", u)
+	}
+	tr := NewTrace()
+	tr.AddSpans(99, "scheduler", spans)
+	var sawTask bool
+	for _, ev := range decodeTrace(t, tr) {
+		if ev["name"] == "task 0" && ev["ph"] == "X" {
+			sawTask = true
+		}
+	}
+	if !sawTask {
+		t.Error("span missing from scheduler track")
+	}
+}
+
+func TestSpanLogConcurrent(t *testing.T) {
+	l := NewSpanLog()
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 50; i++ {
+				end := l.Begin("t", w)
+				time.Sleep(time.Microsecond)
+				end()
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	if n := len(l.Spans()); n != 200 {
+		t.Fatalf("recorded %d spans, want 200", n)
+	}
+}
+
+func TestCollectorDeterministicOrder(t *testing.T) {
+	build := func(order []string) ([]byte, *Registry) {
+		c := NewCollector(16)
+		for _, name := range order {
+			rec, reg := c.Device(name)
+			rec.FrameSubmitted(1, 1, 1)
+			reg.Counter("frames_total").Inc()
+			reg.Histogram("device_power_mw", PowerBucketsMW).Observe(900)
+		}
+		var buf bytes.Buffer
+		if err := c.WriteTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		merged, err := c.MergedMetrics()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), merged
+	}
+	// Attach order differs (as it would under pool scheduling); output must not.
+	t1, m1 := build([]string{"device 0001", "device 0000", "device 0002"})
+	t2, m2 := build([]string{"device 0002", "device 0001", "device 0000"})
+	if !bytes.Equal(t1, t2) {
+		t.Error("trace output depends on attach order")
+	}
+	var d1, d2 bytes.Buffer
+	if err := m1.WriteText(&d1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.WriteText(&d2); err != nil {
+		t.Fatal(err)
+	}
+	if d1.String() != d2.String() {
+		t.Error("merged metrics depend on attach order")
+	}
+	if v := m1.Counter("frames_total").Value(); v != 3 {
+		t.Errorf("merged frames_total = %d, want 3", v)
+	}
+	if h := m1.Histogram("device_power_mw", PowerBucketsMW); h.Count() != 3 {
+		t.Errorf("merged histogram count = %d, want 3", h.Count())
+	}
+}
+
+func TestNilCollector(t *testing.T) {
+	var c *Collector
+	rec, reg := c.Device("x")
+	if rec != nil || reg != nil {
+		t.Fatal("nil collector must return nil sinks")
+	}
+	if c.Tracks() != nil {
+		t.Fatal("nil collector must have no tracks")
+	}
+}

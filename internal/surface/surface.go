@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"ccdem/internal/framebuffer"
+	"ccdem/internal/obs"
 	"ccdem/internal/sim"
 )
 
@@ -107,6 +108,7 @@ type Manager struct {
 	onFrame   []func(FrameInfo)
 	latchGate func(t sim.Time) bool
 	deferred  uint64
+	rec       *obs.Recorder
 }
 
 // NewManager creates a manager owning a w × h framebuffer.
@@ -136,6 +138,11 @@ func (m *Manager) SetLatchGate(gate func(t sim.Time) bool) { m.latchGate = gate 
 // DeferredLatches returns how many V-Syncs found pending work but were
 // blocked by the latch gate.
 func (m *Manager) DeferredLatches() uint64 { return m.deferred }
+
+// SetRecorder attaches a decision-event recorder: every latched frame is
+// recorded as FrameSubmitted and every gate-blocked V-Sync as VSyncMissed.
+// A nil recorder (the default) disables recording at zero cost.
+func (m *Manager) SetRecorder(r *obs.Recorder) { m.rec = r }
 
 // NewSurface registers a full-screen surface at depth z (higher z is
 // composed later, i.e. on top).
@@ -195,6 +202,7 @@ func (m *Manager) VSync(t sim.Time, _ int) {
 	}
 	if m.latchGate != nil && !m.latchGate(t) {
 		m.deferred++
+		m.rec.VSyncMissed(t)
 		return
 	}
 	totalDirty := 0
@@ -244,6 +252,7 @@ func (m *Manager) VSync(t sim.Time, _ int) {
 		return
 	}
 	m.frames++
+	m.rec.FrameSubmitted(t, totalDirty, totalRendered)
 	info := FrameInfo{T: t, Seq: m.frames, DirtyPixels: totalDirty, RenderedPx: totalRendered}
 	for _, fn := range m.onFrame {
 		fn(info)

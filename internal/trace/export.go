@@ -57,7 +57,10 @@ type jsonSeries struct {
 func WriteJSON(w io.Writer, series ...*Series) error {
 	out := make([]jsonSeries, 0, len(series))
 	for _, s := range series {
-		js := jsonSeries{Name: s.Name}
+		// Initialize the arrays so an empty series encodes as [] rather
+		// than null (nil slices marshal to null, which breaks consumers
+		// expecting arrays).
+		js := jsonSeries{Name: s.Name, Seconds: []float64{}, Values: []float64{}}
 		for _, p := range s.Points {
 			js.Seconds = append(js.Seconds, p.T.Seconds())
 			js.Values = append(js.Values, p.V)

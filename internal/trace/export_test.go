@@ -74,6 +74,27 @@ func TestWriteJSON(t *testing.T) {
 	}
 }
 
+func TestWriteJSONEmptySeriesEncodesArrays(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, NewSeries("empty")); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "null") {
+		t.Fatalf("empty series encoded null instead of []:\n%s", out)
+	}
+	var decoded []struct {
+		Seconds []float64 `json:"t_seconds"`
+		Values  []float64 `json:"values"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if decoded[0].Seconds == nil || decoded[0].Values == nil {
+		t.Fatal("arrays must be present (empty), not absent")
+	}
+}
+
 func TestCI95(t *testing.T) {
 	if CI95(nil) != 0 || CI95([]float64{5}) != 0 {
 		t.Error("degenerate CI not 0")

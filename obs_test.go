@@ -1,0 +1,179 @@
+package ccdem_test
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"testing"
+
+	"ccdem"
+	"ccdem/internal/app"
+	"ccdem/internal/fleet"
+	"ccdem/internal/input"
+	"ccdem/internal/obs"
+	"ccdem/internal/sim"
+)
+
+// obsRun executes one governed Jelly Splash run with the given sinks and
+// returns its stats.
+func obsRun(t *testing.T, rec *obs.Recorder, reg *obs.Registry) ccdem.Stats {
+	t.Helper()
+	p, _ := app.ByName("Jelly Splash")
+	mk, err := input.NewMonkey(7, input.DefaultMonkeyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := ccdem.NewDevice(ccdem.Config{
+		Governor: ccdem.GovernorSectionBoost,
+		Recorder: rec,
+		Metrics:  reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.InstallApp(p); err != nil {
+		t.Fatal(err)
+	}
+	dev.PlayScript(mk.Script(15*sim.Second, 720, 1280))
+	dev.Run(15 * sim.Second)
+	dev.FinishObs()
+	return dev.Stats()
+}
+
+// TestObsDoesNotPerturbSimulation is the determinism contract: a device
+// with recorder and metrics attached must produce exactly the statistics
+// of an uninstrumented device on the same seed.
+func TestObsDoesNotPerturbSimulation(t *testing.T) {
+	plain := obsRun(t, nil, nil)
+	instrumented := obsRun(t, obs.NewRecorder(0), obs.NewRegistry())
+	if !reflect.DeepEqual(plain, instrumented) {
+		t.Fatalf("instrumented run diverged:\nplain:        %+v\ninstrumented: %+v", plain, instrumented)
+	}
+}
+
+// TestObsEventStreamReproducible: two instrumented runs on the same seed
+// record identical event streams.
+func TestObsEventStreamReproducible(t *testing.T) {
+	r1, r2 := obs.NewRecorder(0), obs.NewRecorder(0)
+	obsRun(t, r1, nil)
+	obsRun(t, r2, nil)
+	e1, e2 := r1.Events(), r2.Events()
+	if len(e1) == 0 {
+		t.Fatal("no events recorded")
+	}
+	if len(e1) != len(e2) {
+		t.Fatalf("event counts differ: %d vs %d", len(e1), len(e2))
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, e1[i], e2[i])
+		}
+	}
+}
+
+// TestObsRecorderCoverage: a governed interactive run exercises every
+// instrumented subsystem.
+func TestObsRecorderCoverage(t *testing.T) {
+	rec := obs.NewRecorder(0)
+	stats := obsRun(t, rec, nil)
+	kinds := map[obs.Kind]int{}
+	for _, ev := range rec.Events() {
+		kinds[ev.Kind]++
+	}
+	for _, want := range []obs.Kind{
+		obs.KindDeviceStart, obs.KindDeviceEnd, obs.KindFrameSubmitted,
+		obs.KindGridCompare, obs.KindSectionTransition, obs.KindTouchInput,
+	} {
+		if kinds[want] == 0 {
+			t.Errorf("no %v events recorded (have %v)", want, kinds)
+		}
+	}
+	if stats.RefreshSwitches > 0 && kinds[obs.KindSectionTransition] != int(stats.RefreshSwitches) {
+		t.Errorf("SectionTransition events = %d, panel switches = %d",
+			kinds[obs.KindSectionTransition], stats.RefreshSwitches)
+	}
+	if stats.BoostCount > 0 && kinds[obs.KindTouchBoost] != int(stats.BoostCount) {
+		t.Errorf("TouchBoost events = %d, booster touches = %d",
+			kinds[obs.KindTouchBoost], stats.BoostCount)
+	}
+}
+
+// TestObsMetricsSnapshot: FinishObs counters agree with the device's own
+// statistics.
+func TestObsMetricsSnapshot(t *testing.T) {
+	reg := obs.NewRegistry()
+	stats := obsRun(t, nil, reg)
+	frames := reg.Counter("frames_total").Value()
+	content := reg.Counter("content_frames_total").Value()
+	redundant := reg.Counter("redundant_frames_total").Value()
+	if frames == 0 || content == 0 {
+		t.Fatalf("counters empty: frames=%d content=%d", frames, content)
+	}
+	if frames != content+redundant {
+		t.Errorf("frames_total %d != content %d + redundant %d", frames, content, redundant)
+	}
+	if got := reg.Counter("refresh_switches_total").Value(); got != stats.RefreshSwitches {
+		t.Errorf("refresh_switches_total = %d, stats = %d", got, stats.RefreshSwitches)
+	}
+	if h := reg.Histogram("compare_cost_us", obs.CompareCostBucketsUS); h.Count() != frames {
+		t.Errorf("compare_cost_us observations = %d, want one per frame (%d)", h.Count(), frames)
+	}
+	// Refresh-level residency must cover the whole session.
+	var residency uint64
+	for _, hz := range []int{20, 24, 30, 40, 60} {
+		residency += reg.Counter(residencyName(hz)).Value()
+	}
+	if want := reg.Counter("sim_time_us").Value(); residency != want {
+		t.Errorf("residency sums to %d µs, want the full session %d µs", residency, want)
+	}
+}
+
+func residencyName(hz int) string {
+	switch hz {
+	case 20:
+		return "refresh_residency_us_hz20"
+	case 24:
+		return "refresh_residency_us_hz24"
+	case 30:
+		return "refresh_residency_us_hz30"
+	case 40:
+		return "refresh_residency_us_hz40"
+	default:
+		return "refresh_residency_us_hz60"
+	}
+}
+
+// TestFleetObsDeterministicAcrossWorkers: a cohort's exported trace and
+// merged metrics are byte-identical at any pool width.
+func TestFleetObsDeterministicAcrossWorkers(t *testing.T) {
+	runFleet := func(workers int) ([]byte, []byte) {
+		cohort := fleet.Cohort{
+			Devices: 6,
+			Seed:    11,
+			Session: 4 * sim.Second,
+			Obs:     obs.NewCollector(0),
+		}
+		if _, err := cohort.Run(context.Background(), fleet.Pool{Workers: workers}); err != nil {
+			t.Fatal(err)
+		}
+		var tr, m bytes.Buffer
+		if err := cohort.Obs.WriteTrace(&tr); err != nil {
+			t.Fatal(err)
+		}
+		if err := cohort.Obs.WriteMetrics(&m); err != nil {
+			t.Fatal(err)
+		}
+		return tr.Bytes(), m.Bytes()
+	}
+	t1, m1 := runFleet(1)
+	t2, m2 := runFleet(5)
+	if !bytes.Equal(t1, t2) {
+		t.Error("fleet trace depends on worker count")
+	}
+	if !bytes.Equal(m1, m2) {
+		t.Error("fleet merged metrics depend on worker count")
+	}
+	if len(t1) == 0 || !bytes.HasPrefix(bytes.TrimSpace(t1), []byte("[")) {
+		t.Error("trace is not a JSON array")
+	}
+}
