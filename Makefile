@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench validate campaign figures fleet obs clean
+.PHONY: all build test test-short race cover bench fuzz chaos validate campaign figures fleet obs clean
 
 all: build test
 
@@ -18,6 +18,21 @@ test-short:
 
 race:
 	$(GO) test -race ./...
+	$(GO) run ./cmd/ccdem-fleet -devices 12 -duration 5 -faults 1 -hardened -workers 4 > /dev/null
+
+# Short fuzz pass over every parser boundary (decoders must never panic
+# on hostile input; raise FUZZTIME for a real session).
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -fuzz FuzzReadParams -fuzztime $(FUZZTIME) ./internal/app
+	$(GO) test -fuzz FuzzReadScript -fuzztime $(FUZZTIME) ./internal/input
+	$(GO) test -fuzz FuzzReadPPM -fuzztime $(FUZZTIME) ./internal/framebuffer
+
+# The chaos campaign: display quality under injected faults, hardened
+# vs unhardened (see DESIGN.md §9).
+chaos:
+	$(GO) run ./cmd/ccdem -duration 60 -csv results/chaos_60s.csv chaos \
+		| tee results/chaos_60s.txt
 
 cover:
 	$(GO) test -cover ./...

@@ -34,6 +34,7 @@ import (
 	"ccdem/internal/app"
 	"ccdem/internal/core"
 	"ccdem/internal/display"
+	"ccdem/internal/fault"
 	"ccdem/internal/framebuffer"
 	"ccdem/internal/input"
 	"ccdem/internal/obs"
@@ -139,6 +140,16 @@ type Config struct {
 	// and refresh-level residency during the run; FinishObs snapshots the
 	// lifetime totals at the end. Nil disables metrics entirely.
 	Metrics *obs.Registry
+
+	// Faults, if non-nil, injects deterministic faults into the device's
+	// panel switching, content metering, touch delivery and app pacing
+	// (see internal/fault). Nil — the default — installs no hooks.
+	Faults *fault.Injector
+	// Hardening, if non-nil, enables the governor's fail-safe hardening
+	// (verified switches with retry, anomaly watchdog pinning maximum
+	// refresh). Only meaningful for the core.Governor modes (section,
+	// section+boost, naive).
+	Hardening *core.HardeningConfig
 }
 
 func (c *Config) applyDefaults() {
@@ -201,6 +212,11 @@ type Device struct {
 	recording bool
 	frameLog  []core.FrameRecord
 
+	// displayedContent counts latched frames that visibly changed the
+	// screen (DirtyPixels > 0) — the meter-independent ground truth
+	// behind Stats.TrueQuality.
+	displayedContent uint64
+
 	obsDone     bool
 	obsLastRate int      // rate whose residency interval is open
 	obsRateT    sim.Time // start of that interval
@@ -257,14 +273,18 @@ func NewDevice(cfg Config) (*Device, error) {
 			}
 		}
 	}
-	meter, err := core.NewMeter(core.MeterConfig{
+	meterCfg := core.MeterConfig{
 		Grid:      framebuffer.GridForSamples(cfg.Width, cfg.Height, cfg.MeterSamples),
 		Window:    cfg.MeterWindow,
 		Cost:      power.DefaultCompareCost(),
 		OnCompare: onCompare,
 		EarlyExit: cfg.MeterEarlyExit,
 		Recorder:  cfg.Recorder,
-	})
+	}
+	if cfg.Faults != nil {
+		meterCfg.Fault = cfg.Faults.MeterHook
+	}
+	meter, err := core.NewMeter(meterCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -291,6 +311,11 @@ func NewDevice(cfg Config) (*Device, error) {
 	mgr.SetRecorder(cfg.Recorder)
 	panel.SetRecorder(cfg.Recorder)
 	d.replayer.SetRecorder(cfg.Recorder)
+	if cfg.Faults != nil {
+		cfg.Faults.Bind(cfg.Recorder)
+		panel.SetSwitchFault(cfg.Faults.PanelSwitch)
+		d.replayer.SetFault(cfg.Faults.TouchFault)
+	}
 	if cfg.Metrics != nil {
 		d.obsLastRate = panel.Rate()
 		panel.OnRateChange(func(t sim.Time, _, newHz int) {
@@ -309,6 +334,14 @@ func NewDevice(cfg Config) (*Device, error) {
 	panel.OnVSync(mgr.VSync)
 	mgr.OnFrame(func(fi surface.FrameInfo) {
 		model.FrameRendered(fi.RenderedPx)
+		if fi.DirtyPixels > 0 {
+			// Ground truth for TrueQuality: the frame visibly changed the
+			// screen, whatever the (possibly faulted) meter concluded.
+			d.displayedContent++
+		}
+		if d.gov != nil {
+			d.gov.NoteFrame(fi.DirtyPixels)
+		}
 		content := d.meter.ObserveFrame(fi.T, mgr.Framebuffer())
 		if d.recording {
 			d.frameLog = append(d.frameLog, core.FrameRecord{
@@ -358,6 +391,7 @@ func NewDevice(cfg Config) (*Device, error) {
 			BoostHold:      cfg.BoostHold,
 			DownHysteresis: cfg.DownHysteresis,
 			Recorder:       cfg.Recorder,
+			Hardening:      cfg.Hardening,
 		})
 		if err != nil {
 			return nil, err
@@ -428,6 +462,9 @@ func (d *Device) InstallApp(p app.Params) (*app.Model, error) {
 		return nil, err
 	}
 	m.Attach(d.eng, d.mgr)
+	if d.cfg.Faults != nil {
+		m.SetStall(d.cfg.Faults.AppStalled)
+	}
 	d.replayer.Subscribe(m.HandleTouch)
 	d.apps = append(d.apps, m)
 	return m, nil
@@ -517,15 +554,32 @@ type Stats struct {
 	IntendedRate  float64 // app ground-truth content rate (fps)
 
 	// DisplayQuality is the paper's metric: estimated content rate over
-	// actual content rate, in [0,1].
+	// actual content rate, in [0,1]. It is computed from the *meter's*
+	// content count, so a faulted meter corrupts it.
 	DisplayQuality float64
 	// DroppedFPS is the mean rate of intended content updates that never
 	// reached the screen.
 	DroppedFPS float64
 
+	// DisplayedRate is the rate of latched frames that visibly changed
+	// the screen — ground truth independent of the meter.
+	DisplayedRate float64
+	// TrueQuality is DisplayedRate over IntendedRate, in [0,1]: the
+	// fraction of intended content updates that actually reached the
+	// screen. Under fault injection this is the honest quality metric;
+	// without faults it tracks DisplayQuality.
+	TrueQuality float64
+
 	MeanRefreshHz   float64
 	RefreshSwitches uint64
 	BoostCount      uint64
+
+	// Robustness accounting (zero without fault injection / hardening).
+	FaultsInjected uint64   // faults the injector fired
+	SwitchRetries  uint64   // panel switch requests re-issued
+	FailSafeEnters uint64   // fail-safe episodes entered
+	FailSafeExits  uint64   // fail-safe episodes cleanly recovered
+	FailSafeTime   sim.Time // cumulative time pinned at max refresh
 }
 
 // Stats computes the run summary so far.
@@ -570,11 +624,27 @@ func (d *Device) Stats() Stats {
 		s.DisplayQuality = 1
 	}
 
+	s.DisplayedRate = float64(d.displayedContent) / dur
+	if intended > 0 {
+		q := float64(d.displayedContent) / float64(intended)
+		if q > 1 {
+			q = 1
+		}
+		s.TrueQuality = q
+	} else {
+		s.TrueQuality = 1
+	}
+
 	s.MeanRefreshHz = d.panel.MeanRate()
 	s.RefreshSwitches = d.panel.Switches()
 	if d.gov != nil {
 		s.BoostCount = d.gov.Booster().Touches()
+		s.SwitchRetries = d.gov.SwitchRetries()
+		s.FailSafeEnters = d.gov.FailSafeEnters()
+		s.FailSafeExits = d.gov.FailSafeExits()
+		s.FailSafeTime = d.gov.FailSafeTime()
 	}
+	s.FaultsInjected = d.cfg.Faults.Total()
 	return s
 }
 
@@ -610,6 +680,19 @@ func (d *Device) FinishObs() {
 		reg.Counter("governor_decisions_total").Add(d.gov.Decisions())
 		reg.Counter("touch_boosts_total").Add(d.gov.Booster().Touches())
 		reg.Counter("boost_transitions_total").Add(d.gov.BoostTransitions())
+		if d.gov.Hardened() {
+			reg.Counter("panel_switch_retries_total").Add(d.gov.SwitchRetries())
+			reg.Counter("failsafe_enters_total").Add(d.gov.FailSafeEnters())
+			reg.Counter("failsafe_exits_total").Add(d.gov.FailSafeExits())
+			reg.Counter("failsafe_time_us").Add(uint64(d.gov.FailSafeTime()))
+		}
+	}
+	if d.cfg.Faults.Enabled() {
+		counts := d.cfg.Faults.Counts()
+		for _, c := range fault.Classes() {
+			reg.Counter("faults_injected_total_" + c.String()).Add(counts[c])
+		}
+		reg.Counter("faults_injected_total").Add(d.cfg.Faults.Total())
 	}
 
 	s := d.Stats()

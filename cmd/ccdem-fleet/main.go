@@ -22,7 +22,9 @@ import (
 	"fmt"
 	"os"
 	"runtime/pprof"
+	"time"
 
+	"ccdem/internal/fault"
 	"ccdem/internal/fleet"
 	"ccdem/internal/obs"
 	"ccdem/internal/sim"
@@ -35,25 +37,48 @@ type obsFlags struct {
 	metrics    bool   // dump the merged fleet registry to stderr
 }
 
-func main() {
-	var (
-		devices  = flag.Int("devices", 100, "number of simulated devices")
-		workers  = flag.Int("workers", 0, "concurrent device runs (0 = all cores)")
-		seed     = flag.Int64("seed", 1, "fleet seed; device i derives its own seed from it")
-		duration = flag.Int("duration", 60, "nominal session seconds per device (before per-profile jitter)")
-		mode     = flag.String("mode", "", "managed configuration: section | section+boost | naive | e3-framerate | idle-timeout (default section+boost)")
-		samples  = flag.Int("samples", 9216, "metering grid pixels")
-		specPath = flag.String("spec", "", "cohort specification JSON (see -write-spec for a template); explicit flags override its scalars")
-		format   = flag.String("format", "json", "output format: json | csv")
-		perDev   = flag.Bool("per-device", false, "include per-device rows in JSON output (CSV always emits them)")
-		progress = flag.Bool("progress", false, "report completed devices on stderr")
-		writeTo  = flag.String("write-spec", "", "write the default cohort as a spec template to this file and exit")
+// runConfig is the command's full flag surface, validated in run.
+type runConfig struct {
+	devices  int
+	workers  int
+	seed     int64
+	duration int     // nominal session seconds per device
+	mode     string  // managed governor configuration ("" = default)
+	samples  int     // metering grid pixels
+	faults   float64 // fault intensity: scales fault.DefaultPlan (0 = off)
+	hardened bool    // enable governor fail-safe hardening
+	failFast bool    // abort the campaign on the first device failure
+	timeout  time.Duration
+	specPath string
+	format   string // json | csv
+	perDev   bool
+	progress bool
+	writeTo  string
+	obs      obsFlags
+}
 
-		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON of every device's managed session to this file (open in Perfetto or chrome://tracing)")
-		traceSched = flag.Bool("trace-sched", false, "with -trace-out: add the pool scheduler's wall-clock task spans as an extra track (not reproducible across runs)")
-		metrics    = flag.Bool("metrics", false, "dump the merged fleet metrics registry to stderr after the run")
-		pprofOut   = flag.String("pprof", "", "write a CPU profile of the whole invocation to this file")
-	)
+func main() {
+	var c runConfig
+	flag.IntVar(&c.devices, "devices", 100, "number of simulated devices")
+	flag.IntVar(&c.workers, "workers", 0, "concurrent device runs (0 = all cores)")
+	flag.Int64Var(&c.seed, "seed", 1, "fleet seed; device i derives its own seed from it")
+	flag.IntVar(&c.duration, "duration", 60, "nominal session seconds per device (before per-profile jitter)")
+	flag.StringVar(&c.mode, "mode", "", "managed configuration: section | section+boost | naive | e3-framerate | idle-timeout (default section+boost)")
+	flag.IntVar(&c.samples, "samples", 9216, "metering grid pixels")
+	flag.Float64Var(&c.faults, "faults", 0, "fault intensity injected into managed segments: scales the default fault plan (0 = off, 1 = reference chaos mix)")
+	flag.BoolVar(&c.hardened, "hardened", false, "enable governor fail-safe hardening on managed segments")
+	flag.BoolVar(&c.failFast, "fail-fast", false, "abort the campaign on the first device failure instead of aggregating the survivors")
+	flag.DurationVar(&c.timeout, "task-timeout", 0, "wall-clock budget per device simulation; a device exceeding it is reported failed (0 = unlimited)")
+	flag.StringVar(&c.specPath, "spec", "", "cohort specification JSON (see -write-spec for a template); explicit flags override its scalars")
+	flag.StringVar(&c.format, "format", "json", "output format: json | csv")
+	flag.BoolVar(&c.perDev, "per-device", false, "include per-device rows in JSON output (CSV always emits them)")
+	flag.BoolVar(&c.progress, "progress", false, "report completed devices on stderr")
+	flag.StringVar(&c.writeTo, "write-spec", "", "write the default cohort as a spec template to this file and exit")
+
+	flag.StringVar(&c.obs.traceOut, "trace-out", "", "write a Chrome trace-event JSON of every device's managed session to this file (open in Perfetto or chrome://tracing)")
+	flag.BoolVar(&c.obs.traceSched, "trace-sched", false, "with -trace-out: add the pool scheduler's wall-clock task spans as an extra track (not reproducible across runs)")
+	flag.BoolVar(&c.obs.metrics, "metrics", false, "dump the merged fleet metrics registry to stderr after the run")
+	pprofOut := flag.String("pprof", "", "write a CPU profile of the whole invocation to this file")
 	flag.Parse()
 	if *pprofOut != "" {
 		f, err := os.Create(*pprofOut)
@@ -70,35 +95,62 @@ func main() {
 			f.Close()
 		}()
 	}
-	if err := run(*devices, *workers, *seed, *duration, *mode, *samples,
-		*specPath, *format, *perDev, *progress, *writeTo,
-		obsFlags{traceOut: *traceOut, traceSched: *traceSched, metrics: *metrics}); err != nil {
+	if err := run(c); err != nil {
 		fmt.Fprintf(os.Stderr, "ccdem-fleet: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(devices, workers int, seed int64, duration int, mode string, samples int,
-	specPath, format string, perDev, progress bool, writeTo string, of obsFlags) error {
-	if format != "json" && format != "csv" {
-		return fmt.Errorf("unknown format %q (want json or csv)", format)
+// validate rejects flag mistakes at the command boundary, before they can
+// panic deep inside the metering grid or Monkey generator.
+func (c runConfig) validate() error {
+	if c.devices <= 0 {
+		return fmt.Errorf("-devices must be positive, got %d", c.devices)
+	}
+	if c.duration <= 0 {
+		return fmt.Errorf("-duration must be positive, got %d", c.duration)
+	}
+	if c.samples <= 0 {
+		return fmt.Errorf("-samples must be positive, got %d", c.samples)
+	}
+	if c.faults < 0 {
+		return fmt.Errorf("-faults must be non-negative, got %g", c.faults)
+	}
+	if c.timeout < 0 {
+		return fmt.Errorf("-task-timeout must be non-negative, got %v", c.timeout)
+	}
+	if c.format != "json" && c.format != "csv" {
+		return fmt.Errorf("unknown format %q (want json or csv)", c.format)
+	}
+	return nil
+}
+
+func run(c runConfig) error {
+	if err := c.validate(); err != nil {
+		return err
 	}
 	cohort := fleet.Cohort{
-		Devices:      devices,
-		Seed:         seed,
-		Session:      sim.Time(duration) * sim.Second,
-		MeterSamples: samples,
+		Devices:      c.devices,
+		Seed:         c.seed,
+		Session:      sim.Time(c.duration) * sim.Second,
+		MeterSamples: c.samples,
+		Hardened:     c.hardened,
+		FailFast:     c.failFast,
 	}
-	if mode != "" {
-		g, err := fleet.ParseGovernor(mode)
+	if c.faults > 0 {
+		plan := fault.DefaultPlan().Scale(c.faults)
+		cohort.Faults = &plan
+	}
+	if c.mode != "" {
+		g, err := fleet.ParseGovernor(c.mode)
 		if err != nil {
 			return err
 		}
 		cohort.Governor = g
 	}
 
-	if writeTo != "" {
-		f, err := os.Create(writeTo)
+	if c.writeTo != "" {
+		f, err := os.Create(c.writeTo)
 		if err != nil {
 			return err
 		}
@@ -109,8 +161,8 @@ func run(devices, workers int, seed int64, duration int, mode string, samples in
 		return f.Close()
 	}
 
-	if specPath != "" {
-		f, err := os.Open(specPath)
+	if c.specPath != "" {
+		f, err := os.Open(c.specPath)
 		if err != nil {
 			return err
 		}
@@ -141,8 +193,8 @@ func run(devices, workers int, seed int64, duration int, mode string, samples in
 		cohort.Profiles = spec.Profiles
 	}
 
-	pool := fleet.Pool{Workers: workers}
-	if progress {
+	pool := fleet.Pool{Workers: c.workers, TaskTimeout: c.timeout}
+	if c.progress {
 		pool.OnProgress = func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\rfleet: %d/%d devices", done, total)
 			if done == total {
@@ -150,23 +202,27 @@ func run(devices, workers int, seed int64, duration int, mode string, samples in
 			}
 		}
 	}
-	if of.traceOut != "" || of.metrics {
+	if c.obs.traceOut != "" || c.obs.metrics {
 		cohort.Obs = obs.NewCollector(0)
 	}
-	if of.traceSched {
+	if c.obs.traceSched {
 		pool.Spans = obs.NewSpanLog()
 	}
 	result, err := cohort.Run(context.Background(), pool)
 	if err != nil {
 		return err
 	}
-	if err := writeObs(cohort.Obs, pool.Spans, of); err != nil {
+	if err := writeObs(cohort.Obs, pool.Spans, c.obs); err != nil {
 		return err
 	}
-	if format == "csv" {
+	if len(result.Failed) > 0 {
+		fmt.Fprintf(os.Stderr, "ccdem-fleet: %d of %d devices failed; aggregate covers the survivors\n",
+			len(result.Failed), cohort.Devices)
+	}
+	if c.format == "csv" {
 		return result.WriteCSV(os.Stdout)
 	}
-	return result.WriteJSON(os.Stdout, perDev)
+	return result.WriteJSON(os.Stdout, c.perDev)
 }
 
 // writeObs exports the collected fleet observability: the Perfetto trace

@@ -6,7 +6,19 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
+
+// testConfig is a small healthy cohort; tests tweak the fields they probe.
+func testConfig() runConfig {
+	return runConfig{
+		devices:  4,
+		seed:     1,
+		duration: 3,
+		samples:  1024,
+		format:   "json",
+	}
+}
 
 // capture redirects stdout around fn and returns what it printed.
 func capture(t *testing.T, fn func() error) string {
@@ -33,9 +45,10 @@ func capture(t *testing.T, fn func() error) string {
 }
 
 func TestRunJSON(t *testing.T) {
-	out := capture(t, func() error {
-		return run(4, 2, 1, 3, "", 1024, "", "json", true, false, "", obsFlags{})
-	})
+	c := testConfig()
+	c.workers = 2
+	c.perDev = true
+	out := capture(t, func() error { return run(c) })
 	var doc struct {
 		Devices   []json.RawMessage `json:"devices"`
 		Aggregate struct {
@@ -52,9 +65,11 @@ func TestRunJSON(t *testing.T) {
 }
 
 func TestRunCSV(t *testing.T) {
-	out := capture(t, func() error {
-		return run(3, 0, 1, 3, "section", 1024, "", "csv", false, false, "", obsFlags{})
-	})
+	c := testConfig()
+	c.devices = 3
+	c.mode = "section"
+	c.format = "csv"
+	out := capture(t, func() error { return run(c) })
 	lines := strings.Split(strings.TrimSpace(out), "\n")
 	if len(lines) != 4 {
 		t.Fatalf("csv lines = %d, want header + 3 rows\n%s", len(lines), out)
@@ -64,27 +79,54 @@ func TestRunCSV(t *testing.T) {
 	}
 }
 
+func TestRunFaultyHardenedJSON(t *testing.T) {
+	c := testConfig()
+	c.faults = 1
+	c.hardened = true
+	c.perDev = true
+	out := capture(t, func() error { return run(c) })
+	if !strings.Contains(out, `"faults"`) {
+		t.Errorf("faulted run reports no fault counters:\n%s", out)
+	}
+}
+
 func TestRunRejectsBadInput(t *testing.T) {
-	if err := run(3, 0, 1, 3, "warp-speed", 1024, "", "json", false, false, "", obsFlags{}); err == nil {
-		t.Error("unknown mode accepted")
+	cases := []struct {
+		name   string
+		mutate func(*runConfig)
+	}{
+		{"unknown mode", func(c *runConfig) { c.mode = "warp-speed" }},
+		{"unknown format", func(c *runConfig) { c.format = "xml" }},
+		{"missing spec file", func(c *runConfig) { c.specPath = "no-such-spec.json" }},
+		{"zero devices", func(c *runConfig) { c.devices = 0 }},
+		{"negative duration", func(c *runConfig) { c.duration = -3 }},
+		{"zero samples", func(c *runConfig) { c.samples = 0 }},
+		{"negative fault scale", func(c *runConfig) { c.faults = -1 }},
+		{"negative task timeout", func(c *runConfig) { c.timeout = -time.Second }},
 	}
-	if err := run(3, 0, 1, 3, "", 1024, "", "xml", false, false, "", obsFlags{}); err == nil {
-		t.Error("unknown format accepted")
-	}
-	if err := run(3, 0, 1, 3, "", 1024, "no-such-spec.json", "json", false, false, "", obsFlags{}); err == nil {
-		t.Error("missing spec file accepted")
+	for _, tc := range cases {
+		c := testConfig()
+		tc.mutate(&c)
+		if err := run(c); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
 	}
 }
 
 func TestWriteSpecThenRun(t *testing.T) {
 	dir := t.TempDir()
 	spec := filepath.Join(dir, "cohort.json")
-	if err := run(5, 0, 9, 4, "", 1024, "", "json", false, false, spec, obsFlags{}); err != nil {
+	c := testConfig()
+	c.devices = 5
+	c.seed = 9
+	c.duration = 4
+	c.writeTo = spec
+	if err := run(c); err != nil {
 		t.Fatalf("write-spec: %v", err)
 	}
-	out := capture(t, func() error {
-		return run(5, 0, 9, 4, "", 1024, spec, "json", false, false, "", obsFlags{})
-	})
+	c.writeTo = ""
+	c.specPath = spec
+	out := capture(t, func() error { return run(c) })
 	if !strings.Contains(out, "\"aggregate\"") {
 		t.Errorf("spec-driven run produced no aggregate:\n%s", out)
 	}

@@ -70,6 +70,12 @@ func run(appName, modeName string, duration int, seed int64, samples int,
 	if !ok {
 		return fmt.Errorf("unknown mode %q", modeName)
 	}
+	if duration <= 0 && scriptIn == "" {
+		return fmt.Errorf("-duration must be positive, got %d", duration)
+	}
+	if samples <= 0 {
+		return fmt.Errorf("-samples must be positive, got %d", samples)
+	}
 	p, err := resolveApp(appName, appFile)
 	if err != nil {
 		return err

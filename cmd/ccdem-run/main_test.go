@@ -80,6 +80,28 @@ func TestResolveAppFromFile(t *testing.T) {
 	}
 }
 
+// TestRunRejectsBadInput: flag mistakes fail with a friendly error instead
+// of panicking in the metering grid or the Monkey generator.
+func TestRunRejectsBadInput(t *testing.T) {
+	cases := []struct {
+		name              string
+		mode              string
+		duration, samples int
+	}{
+		{"unknown mode", "turbo", 5, 1024},
+		{"zero duration", "section", 0, 1024},
+		{"negative duration", "section", -5, 1024},
+		{"zero samples", "section", 5, 0},
+		{"negative samples", "section", 5, -16},
+	}
+	for _, tc := range cases {
+		err := run("Weather", tc.mode, tc.duration, 1, tc.samples, "", "", "", "", "", "", "")
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
 func TestRunEndToEnd(t *testing.T) {
 	dir := t.TempDir()
 	csv := filepath.Join(dir, "t.csv")

@@ -7,9 +7,11 @@
 //	ccdem [flags] <experiment>
 //
 // where <experiment> is one of: fig2, fig3, fig6, fig7, fig8, fig9,
-// fig10, fig11, table1, summary, all. "summary" prints the conclusion's
-// headline numbers; "all" runs everything (fig9–11, table1 and summary
-// share one measurement campaign).
+// fig10, fig11, table1, summary, chaos, all. "summary" prints the
+// conclusion's headline numbers; "chaos" measures display quality under
+// injected faults (scaled by -faults), hardened vs unhardened; "all" runs
+// everything (fig9–11, table1 and summary share one measurement
+// campaign).
 //
 // Flags:
 //
@@ -31,6 +33,7 @@ import (
 	"runtime/pprof"
 
 	"ccdem/internal/experiments"
+	"ccdem/internal/fault"
 	"ccdem/internal/obs"
 	"ccdem/internal/sim"
 )
@@ -40,6 +43,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "Monkey script seed")
 	samples := flag.Int("samples", 9216, "governor comparison-grid pixels")
 	workers := flag.Int("workers", 0, "concurrent app runs in campaign experiments (0 = all cores); results are identical at any value")
+	faults := flag.Float64("faults", 1, "fault intensity for the chaos experiment: scales the default fault plan (0 disables, 1 = reference mix)")
 	csvPath := flag.String("csv", "", "also write the experiment's data rows as CSV to this file (table experiments only)")
 	svgDir := flag.String("svg", "", "also write the experiment's figures as SVG files into this directory")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of every run to this file (open in Perfetto or chrome://tracing)")
@@ -75,7 +79,7 @@ func main() {
 	if *traceOut != "" || *metrics {
 		opts.Obs = obs.NewCollector(0)
 	}
-	if err := run(flag.Arg(0), opts, *csvPath, *svgDir); err != nil {
+	if err := run(flag.Arg(0), opts, *faults, *csvPath, *svgDir); err != nil {
 		fmt.Fprintf(os.Stderr, "ccdem: %v\n", err)
 		os.Exit(1)
 	}
@@ -132,8 +136,9 @@ experiments:
   compare  extension: this scheme vs E3-style frame-rate adaptation [16]
   frontier extension: quality-power frontier vs OLED DVS [3,4,15]
   scaling  extension: the scheme on 90 Hz / 120 Hz LTPO panels
+  chaos    extension: display quality under injected faults, hardened vs unhardened (-faults scales intensity)
   validate qualitative shape checks against the paper (exit 1 on failure)
-  all      everything above except compare and validate
+  all      everything above except compare, chaos and validate
 
 flags:
 `)
@@ -180,7 +185,18 @@ func saveSVG(dir, filename string, write func(io.Writer) error) error {
 	return f.Close()
 }
 
-func run(name string, opts experiments.Options, csvPath, svgDir string) error {
+func run(name string, opts experiments.Options, faults float64, csvPath, svgDir string) error {
+	if opts.Duration <= 0 {
+		return fmt.Errorf("-duration must be positive, got %v", opts.Duration)
+	}
+	if opts.MeterSamples <= 0 {
+		return fmt.Errorf("-samples must be positive, got %d", opts.MeterSamples)
+	}
+	if faults < 0 {
+		return fmt.Errorf("-faults must be non-negative, got %g", faults)
+	}
+	plan := fault.DefaultPlan().Scale(faults)
+	opts.FaultPlan = &plan
 	needSuite := map[string]bool{
 		"fig9": true, "fig10": true, "fig11": true, "table1": true, "summary": true, "all": true,
 	}
@@ -298,6 +314,17 @@ func run(name string, opts experiments.Options, csvPath, svgDir string) error {
 	case "compare":
 		fmt.Fprintf(os.Stderr, "running scheme comparison (30 apps × 4 configurations × %v)...\n", opts.Duration)
 		r, err := experiments.CompareSchemes(opts)
+		if err != nil {
+			return err
+		}
+		emit(r.String())
+		if err := saveCSV(csvPath, r); err != nil {
+			return err
+		}
+	case "chaos":
+		fmt.Fprintf(os.Stderr, "running chaos campaign (30 apps × 3 configurations × %v, fault scale %g)...\n",
+			opts.Duration, faults)
+		r, err := experiments.Chaos(opts)
 		if err != nil {
 			return err
 		}

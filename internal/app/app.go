@@ -167,6 +167,7 @@ type Model struct {
 	intendedTotal uint64
 
 	pacer *sim.Ticker
+	stall func(sim.Time) bool
 }
 
 type spriteState struct {
@@ -238,6 +239,12 @@ func (m *Model) Resume() {
 // Paused reports whether the model is currently backgrounded.
 func (m *Model) Paused() bool { return m.pacer == nil && m.eng != nil }
 
+// SetStall installs a render-stall hook (fault injection): while it
+// returns true the UI thread is blocked — neither the content clock nor
+// the invalidate clock advances, so no frames are requested. Nil (the
+// default) disables injection.
+func (m *Model) SetStall(fn func(sim.Time) bool) { m.stall = fn }
+
 // Surface exposes the model's surface for statistics.
 func (m *Model) Surface() *surface.Surface { return m.srf }
 
@@ -300,6 +307,9 @@ func (m *Model) rates(now sim.Time) (content, invalidate float64) {
 
 func (m *Model) tick() {
 	now := m.eng.Now()
+	if m.stall != nil && m.stall(now) {
+		return // UI thread blocked: both clocks freeze
+	}
 	content, invalidate := m.rates(now)
 
 	m.contentAcc += content / pacerHz

@@ -96,6 +96,11 @@ type GovernorConfig struct {
 	BoostHold sim.Time
 	// Recorder, if non-nil, receives a TouchBoost event per boosted touch.
 	Recorder *obs.Recorder
+	// Hardening, if non-nil, enables fail-safe hardening: verified panel
+	// switches with bounded retry, and a watchdog that pins maximum
+	// refresh on sensing/actuation anomalies (see HardeningConfig). Nil
+	// reproduces the paper's trusting governor.
+	Hardening *HardeningConfig
 }
 
 // Decision records one governor decision for trace figures.
@@ -120,6 +125,7 @@ type Governor struct {
 
 	ticker     *sim.Ticker
 	onDecision []func(Decision)
+	w          *watchdog // non-nil iff cfg.Hardening was set
 
 	decisions uint64
 	boosts    uint64
@@ -149,14 +155,23 @@ func NewGovernor(eng *sim.Engine, panel *display.Panel, meter *Meter, cfg Govern
 	if err != nil {
 		return nil, err
 	}
-	return &Governor{
+	g := &Governor{
 		eng:     eng,
 		panel:   panel,
 		meter:   meter,
 		table:   table,
 		booster: booster,
 		cfg:     cfg,
-	}, nil
+	}
+	if cfg.Hardening != nil {
+		h := *cfg.Hardening // defaults applied on a copy
+		h.applyDefaults()
+		if err := h.validate(); err != nil {
+			return nil, err
+		}
+		g.w = newWatchdog(h)
+	}
+	return g, nil
 }
 
 // Table exposes the derived section table (for reporting and the Figure 5
@@ -179,6 +194,9 @@ func (g *Governor) Stop() {
 	if g.ticker != nil {
 		g.ticker.Stop()
 	}
+	if g.w != nil {
+		g.w.clearVerify()
+	}
 }
 
 // HandleTouch is the input hook. With boosting enabled, the panel is
@@ -195,7 +213,7 @@ func (g *Governor) HandleTouch(ev input.Event) {
 		g.boosts++
 	}
 	g.cfg.Recorder.TouchBoost(now, g.panel.MaxRate(), transition)
-	g.mustSetRate(g.panel.MaxRate())
+	g.requestRate(g.panel.MaxRate())
 }
 
 func (g *Governor) tick() {
@@ -212,17 +230,23 @@ func (g *Governor) tick() {
 	if boosted {
 		rate = g.panel.MaxRate()
 	}
-	// Downward moves must persist for DownHysteresis+1 consecutive ticks;
-	// upward moves apply at once.
-	if rate < g.panel.Rate() && g.cfg.DownHysteresis > 0 {
-		g.downStreak++
-		if g.downStreak <= g.cfg.DownHysteresis {
-			rate = g.panel.Rate()
-		}
-	} else {
+	if g.observeTick(now, content, rate, boosted) {
+		// Fail-safe: pin maximum refresh, bypassing table and hysteresis.
+		rate = g.panel.MaxRate()
 		g.downStreak = 0
+	} else {
+		// Downward moves must persist for DownHysteresis+1 consecutive
+		// ticks; upward moves apply at once.
+		if rate < g.panel.Rate() && g.cfg.DownHysteresis > 0 {
+			g.downStreak++
+			if g.downStreak <= g.cfg.DownHysteresis {
+				rate = g.panel.Rate()
+			}
+		} else {
+			g.downStreak = 0
+		}
 	}
-	g.mustSetRate(rate)
+	g.requestRate(rate)
 	g.decisions++
 	d := Decision{T: now, ContentRate: content, RateHz: rate, Boosted: boosted}
 	for _, fn := range g.onDecision {

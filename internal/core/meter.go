@@ -47,6 +47,12 @@ type MeterConfig struct {
 	// Recorder, if non-nil, receives a GridCompare event per comparison
 	// and a RedundantFrameDropped event per redundant frame.
 	Recorder *obs.Recorder
+	// Fault, if non-nil, may mutate the freshly sampled grid (cur) before
+	// it is compared against the committed previous samples (prev) —
+	// the fault-injection hook for corrupted samples and stale buffers
+	// (fault.Injector.MeterHook). primed reports whether prev holds a
+	// committed frame.
+	Fault func(t sim.Time, cur, prev []framebuffer.Color, primed bool)
 }
 
 // Meter measures the content rate: the number of frames per second whose
@@ -86,6 +92,9 @@ func NewMeter(cfg MeterConfig) (*Meter, error) {
 // always content (there is nothing to compare against).
 func (m *Meter) ObserveFrame(t sim.Time, fb *framebuffer.Buffer) bool {
 	m.cfg.Grid.Sample(fb, m.db.Front())
+	if m.cfg.Fault != nil {
+		m.cfg.Fault(t, m.db.Front(), m.db.Back(), m.db.Primed())
+	}
 
 	isContent := true
 	comparedPx := m.cfg.Grid.Samples()

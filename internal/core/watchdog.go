@@ -1,0 +1,403 @@
+package core
+
+import (
+	"fmt"
+
+	"ccdem/internal/sim"
+)
+
+// HardeningConfig enables the governor's fail-safe hardening: verified
+// panel switches with bounded retry, and a watchdog that detects sensing
+// or actuation anomalies and pins maximum refresh — sacrificing savings,
+// never quality — until the device looks healthy again. The zero value of
+// every field means its default; attach via GovernorConfig.Hardening.
+type HardeningConfig struct {
+	// MaxSwitchRetries bounds how many times an unapplied rate-switch
+	// request is re-issued before the watchdog declares the switching
+	// mechanism broken. Default 3.
+	MaxSwitchRetries int
+	// RetryBackoff is the delay before the first switch verification;
+	// subsequent retries double it. The default 100 ms exceeds one scan
+	// interval at the slowest level, so a healthy pending switch always
+	// verifies on the first try. Default 100 ms.
+	RetryBackoff sim.Time
+	// OscillationWindow / OscillationMax: more than OscillationMax
+	// changes of the tick-decided target rate within OscillationWindow
+	// (touch boosts excluded) is an oscillation anomaly — the meter is
+	// feeding the table noise. Defaults 4 s / 6.
+	OscillationWindow sim.Time
+	OscillationMax    int
+	// PinnedPeriods / PinnedFraction: content measured at or above
+	// PinnedFraction of the current refresh rate for PinnedPeriods
+	// consecutive control periods while below maximum rate is a pinned
+	// anomaly — V-Sync is capping the measurement, so true demand is
+	// unknowable and quality may be silently lost. The section table's
+	// thresholds keep headroom below every level, so under correct
+	// operation content this close to the cap always triggers a raise
+	// and the streak never forms. Defaults 4 / 0.95.
+	PinnedPeriods  int
+	PinnedFraction float64
+	// DeadPeriods / DeadDirtyPxPerSec: a control period in which the
+	// meter reported zero content frames while the surface manager
+	// latched at least DeadDirtyPxPerSec×period of changed pixels is a
+	// dead-meter period (stale comparison buffer); DeadPeriods in a row
+	// is the anomaly. Defaults 2 / 50000.
+	DeadPeriods       int
+	DeadDirtyPxPerSec int
+	// FailSafeDwell is the minimum time spent pinned at maximum refresh
+	// before recovery is considered; recovery additionally requires the
+	// panel actually at maximum and the current period not dead. The
+	// dwell is the hysteresis that keeps a flapping fault from toggling
+	// fail-safe. Default 5 s.
+	FailSafeDwell sim.Time
+}
+
+// DefaultHardening returns the default hardening configuration.
+func DefaultHardening() *HardeningConfig {
+	h := &HardeningConfig{}
+	h.applyDefaults()
+	return h
+}
+
+func (h *HardeningConfig) applyDefaults() {
+	if h.MaxSwitchRetries == 0 {
+		h.MaxSwitchRetries = 3
+	}
+	if h.RetryBackoff == 0 {
+		h.RetryBackoff = 100 * sim.Millisecond
+	}
+	if h.OscillationWindow == 0 {
+		h.OscillationWindow = 4 * sim.Second
+	}
+	if h.OscillationMax == 0 {
+		h.OscillationMax = 6
+	}
+	if h.PinnedPeriods == 0 {
+		h.PinnedPeriods = 4
+	}
+	if h.PinnedFraction == 0 {
+		h.PinnedFraction = 0.95
+	}
+	if h.DeadPeriods == 0 {
+		h.DeadPeriods = 2
+	}
+	if h.DeadDirtyPxPerSec == 0 {
+		h.DeadDirtyPxPerSec = 50000
+	}
+	if h.FailSafeDwell == 0 {
+		h.FailSafeDwell = 5 * sim.Second
+	}
+}
+
+func (h *HardeningConfig) validate() error {
+	if h.MaxSwitchRetries < 0 || h.RetryBackoff < 0 || h.OscillationWindow < 0 ||
+		h.OscillationMax < 0 || h.PinnedPeriods < 0 || h.DeadPeriods < 0 ||
+		h.DeadDirtyPxPerSec < 0 || h.FailSafeDwell < 0 {
+		return fmt.Errorf("core: negative hardening parameter")
+	}
+	if h.PinnedFraction < 0 || h.PinnedFraction > 1 {
+		return fmt.Errorf("core: pinned fraction %v out of [0,1]", h.PinnedFraction)
+	}
+	return nil
+}
+
+// Anomaly identifies what tripped the watchdog into fail-safe mode.
+type Anomaly int
+
+// Watchdog anomalies.
+const (
+	// AnomalyNone: the governor is operating normally.
+	AnomalyNone Anomaly = iota
+	// AnomalySwitchFailure: a rate-switch request did not take effect
+	// after bounded retries — the panel's switching mechanism is broken.
+	AnomalySwitchFailure
+	// AnomalyOscillation: the decided rate flipped too often — the meter
+	// is feeding the section table noise.
+	AnomalyOscillation
+	// AnomalyPinned: measured content stayed at the refresh cap below
+	// maximum rate — true demand is unknowable (V-Sync blindness).
+	AnomalyPinned
+	// AnomalyDeadMeter: frames carry changed pixels but the meter
+	// classifies everything redundant — stale comparison buffer.
+	AnomalyDeadMeter
+)
+
+// String implements fmt.Stringer.
+func (a Anomaly) String() string {
+	switch a {
+	case AnomalyNone:
+		return "none"
+	case AnomalySwitchFailure:
+		return "switch_failure"
+	case AnomalyOscillation:
+		return "oscillation"
+	case AnomalyPinned:
+		return "pinned"
+	case AnomalyDeadMeter:
+		return "dead_meter"
+	default:
+		return fmt.Sprintf("anomaly(%d)", int(a))
+	}
+}
+
+// watchdog is the governor's hardening state. It exists only when
+// GovernorConfig.Hardening is set; all methods are called from the
+// simulation goroutine.
+type watchdog struct {
+	cfg HardeningConfig
+
+	// Switch verification cycle.
+	verifying    bool
+	target       int // rate being verified
+	attempts     int // retries issued in this cycle
+	verifyHandle sim.Handle
+
+	// Anomaly detectors.
+	flips       []sim.Time // tick-decided target changes (pruned to window)
+	lastTarget  int        // previous tick-decided target (0 = none yet)
+	pinStreak   int
+	deadStreak  int
+	lastFrames  uint64 // meter totals at previous tick
+	lastContent uint64
+	dirtyAcc    int64 // changed pixels latched since previous tick
+
+	// Fail-safe state.
+	failSafe  bool
+	anomaly   Anomaly
+	failSince sim.Time
+
+	// Counters.
+	retries  uint64
+	enters   uint64
+	exits    uint64
+	failTime sim.Time
+}
+
+func newWatchdog(cfg HardeningConfig) *watchdog {
+	cfg.applyDefaults()
+	return &watchdog{cfg: cfg}
+}
+
+// NoteFrame feeds the watchdog's dead-meter detector with the changed-
+// pixel count of one latched frame. No-op without hardening.
+func (g *Governor) NoteFrame(dirtyPx int) {
+	if g.w != nil {
+		g.w.dirtyAcc += int64(dirtyPx)
+	}
+}
+
+// Hardened reports whether fail-safe hardening is enabled.
+func (g *Governor) Hardened() bool { return g.w != nil }
+
+// FailSafe reports whether the governor is currently pinned at maximum
+// refresh by the watchdog.
+func (g *Governor) FailSafe() bool { return g.w != nil && g.w.failSafe }
+
+// Anomaly returns what tripped the current fail-safe episode
+// (AnomalyNone when not in fail-safe or not hardened).
+func (g *Governor) Anomaly() Anomaly {
+	if g.w == nil || !g.w.failSafe {
+		return AnomalyNone
+	}
+	return g.w.anomaly
+}
+
+// SwitchRetries returns how many rate-switch requests were re-issued.
+func (g *Governor) SwitchRetries() uint64 {
+	if g.w == nil {
+		return 0
+	}
+	return g.w.retries
+}
+
+// FailSafeEnters and FailSafeExits count fail-safe episodes entered and
+// cleanly recovered from.
+func (g *Governor) FailSafeEnters() uint64 {
+	if g.w == nil {
+		return 0
+	}
+	return g.w.enters
+}
+
+// FailSafeExits counts fail-safe episodes recovered from.
+func (g *Governor) FailSafeExits() uint64 {
+	if g.w == nil {
+		return 0
+	}
+	return g.w.exits
+}
+
+// FailSafeTime returns the cumulative time spent in fail-safe mode,
+// including the in-progress episode.
+func (g *Governor) FailSafeTime() sim.Time {
+	if g.w == nil {
+		return 0
+	}
+	t := g.w.failTime
+	if g.w.failSafe {
+		t += g.eng.Now() - g.w.failSince
+	}
+	return t
+}
+
+// requestRate programs the panel. Hardened governors verify that the
+// switch takes effect and retry with backoff; unhardened ones trust the
+// panel (the paper's behaviour).
+func (g *Governor) requestRate(hz int) {
+	g.mustSetRate(hz)
+	w := g.w
+	if w == nil {
+		return
+	}
+	if g.panel.Rate() == hz {
+		// Applied immediately (or already there): nothing to verify.
+		w.clearVerify()
+		return
+	}
+	if w.verifying && w.target == hz {
+		// Same target already under verification — let the running
+		// cycle escalate rather than resetting its attempt count.
+		return
+	}
+	w.clearVerify()
+	w.verifying = true
+	w.target = hz
+	w.attempts = 0
+	w.verifyHandle = g.eng.After(w.cfg.RetryBackoff, g.verifySwitch)
+}
+
+func (w *watchdog) clearVerify() {
+	if w.verifying {
+		w.verifyHandle.Cancel()
+		w.verifying = false
+		w.attempts = 0
+	}
+}
+
+// verifySwitch checks that the last requested rate took effect; if not it
+// re-issues the request with doubled backoff, and after MaxSwitchRetries
+// declares the switching mechanism broken.
+func (g *Governor) verifySwitch() {
+	w := g.w
+	if !w.verifying {
+		return
+	}
+	if g.panel.Rate() == w.target {
+		w.verifying = false
+		w.attempts = 0
+		return
+	}
+	w.attempts++
+	if w.attempts > w.cfg.MaxSwitchRetries {
+		w.verifying = false
+		g.enterFailSafe(AnomalySwitchFailure)
+		return
+	}
+	w.retries++
+	now := g.eng.Now()
+	g.cfg.Recorder.PanelSwitchRetry(now, w.target, w.attempts)
+	g.mustSetRate(w.target)
+	w.verifyHandle = g.eng.After(w.cfg.RetryBackoff<<w.attempts, g.verifySwitch)
+}
+
+// enterFailSafe pins maximum refresh until recovery.
+func (g *Governor) enterFailSafe(a Anomaly) {
+	w := g.w
+	if w.failSafe {
+		return
+	}
+	now := g.eng.Now()
+	w.failSafe = true
+	w.anomaly = a
+	w.failSince = now
+	w.enters++
+	w.flips = w.flips[:0]
+	w.lastTarget = 0
+	w.pinStreak = 0
+	w.deadStreak = 0
+	g.cfg.Recorder.FailSafeEnter(now, int(a))
+	// Best effort now; every subsequent tick re-requests, which rides
+	// out dropped switches without needing the verify cycle.
+	g.mustSetRate(g.panel.MaxRate())
+}
+
+// observeTick runs the watchdog against one control decision. decided is
+// the rate the policy chose this tick (pre-hysteresis). It returns true
+// when fail-safe is (still) active, in which case the caller must pin
+// maximum refresh instead.
+func (g *Governor) observeTick(now sim.Time, content float64, decided int, boosted bool) bool {
+	w := g.w
+	if w == nil {
+		return false
+	}
+
+	// Dead-meter detector runs in every mode — it also gates recovery.
+	frames, contentFrames := g.meter.Totals()
+	dFrames := frames - w.lastFrames
+	dContent := contentFrames - w.lastContent
+	dirty := w.dirtyAcc
+	w.lastFrames, w.lastContent, w.dirtyAcc = frames, contentFrames, 0
+	threshold := int64(float64(w.cfg.DeadDirtyPxPerSec) * g.cfg.ControlPeriod.Seconds())
+	deadNow := dFrames > 0 && dContent == 0 && dirty >= threshold && threshold > 0
+
+	if w.failSafe {
+		if now-w.failSince >= w.cfg.FailSafeDwell && g.panel.Rate() == g.panel.MaxRate() && !deadNow {
+			dwell := now - w.failSince
+			w.failSafe = false
+			w.anomaly = AnomalyNone
+			w.failTime += dwell
+			w.exits++
+			w.deadStreak = 0
+			g.cfg.Recorder.FailSafeExit(now, dwell)
+			return false // normal control resumes this tick
+		}
+		return true
+	}
+
+	if deadNow {
+		w.deadStreak++
+		if w.deadStreak >= w.cfg.DeadPeriods {
+			g.enterFailSafe(AnomalyDeadMeter)
+			return true
+		}
+	} else {
+		w.deadStreak = 0
+	}
+
+	// Pinned detector: content measured at the refresh cap below max —
+	// the section thresholds guarantee headroom, so this only happens
+	// when the panel or meter is lying.
+	if !boosted && g.panel.Rate() < g.panel.MaxRate() &&
+		content >= w.cfg.PinnedFraction*float64(g.panel.Rate()) {
+		w.pinStreak++
+		if w.pinStreak >= w.cfg.PinnedPeriods {
+			g.enterFailSafe(AnomalyPinned)
+			return true
+		}
+	} else {
+		w.pinStreak = 0
+	}
+
+	// Oscillation detector: tick-decided target flips inside the window.
+	if !boosted {
+		if w.lastTarget != 0 && decided != w.lastTarget {
+			w.flips = append(w.flips, now)
+		}
+		w.lastTarget = decided
+		cut := 0
+		for cut < len(w.flips) && w.flips[cut] <= now-w.cfg.OscillationWindow {
+			cut++
+		}
+		w.flips = w.flips[cut:]
+		if len(w.flips) > w.cfg.OscillationMax {
+			g.enterFailSafe(AnomalyOscillation)
+			return true
+		}
+	} else {
+		// A boost forces max regardless of the table; don't let the
+		// boost edge itself count as a flip.
+		w.lastTarget = 0
+	}
+
+	return false
+}

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"testing"
+
+	"ccdem/internal/display"
+	"ccdem/internal/framebuffer"
+	"ccdem/internal/power"
+	"ccdem/internal/sim"
+)
+
+// TestHardenedSwitchRetryRecovers: a transiently flaky panel (every switch
+// request dropped for the first 600 ms) is ridden out by the verify/retry
+// cycle without ever escalating to fail-safe.
+func TestHardenedSwitchRetryRecovers(t *testing.T) {
+	h := newGovHarness(t, GovernorConfig{ControlPeriod: 250 * sim.Millisecond, Hardening: DefaultHardening()})
+	h.panel.SetSwitchFault(func(ts sim.Time) (bool, int) { return ts < 600*sim.Millisecond, 0 })
+	h.panel.OnVSync(h.drive(1, 8))
+	h.panel.Start()
+	h.gov.Start()
+	h.eng.RunUntil(5 * sim.Second)
+	if !h.gov.Hardened() {
+		t.Fatal("governor not hardened")
+	}
+	if h.panel.Rate() != 20 {
+		t.Errorf("rate = %d Hz after fault healed, want 20", h.panel.Rate())
+	}
+	if h.gov.SwitchRetries() == 0 {
+		t.Error("no switch retries recorded despite dropped requests")
+	}
+	if h.gov.FailSafeEnters() != 0 {
+		t.Errorf("fail-safe entered %d times for a transient fault", h.gov.FailSafeEnters())
+	}
+}
+
+// TestSwitchFailureFailSafeAndRecovery: a panel refusing every switch for
+// 3 s exhausts the bounded retries, trips AnomalySwitchFailure, pins
+// maximum refresh, and — after the dwell — recovers to normal control.
+func TestSwitchFailureFailSafeAndRecovery(t *testing.T) {
+	h := newGovHarness(t, GovernorConfig{ControlPeriod: 250 * sim.Millisecond, Hardening: DefaultHardening()})
+	h.panel.SetSwitchFault(func(ts sim.Time) (bool, int) { return ts < 3*sim.Second, 0 })
+	h.panel.OnVSync(h.drive(1, 8))
+	h.panel.Start()
+	h.gov.Start()
+
+	h.eng.RunUntil(2500 * sim.Millisecond)
+	if !h.gov.FailSafe() {
+		t.Fatal("fail-safe not entered after retries exhausted")
+	}
+	if a := h.gov.Anomaly(); a != AnomalySwitchFailure {
+		t.Errorf("anomaly = %v, want %v", a, AnomalySwitchFailure)
+	}
+	if h.panel.Rate() != 60 {
+		t.Errorf("fail-safe rate = %d Hz, want pinned 60", h.panel.Rate())
+	}
+
+	h.eng.RunUntil(10 * sim.Second)
+	if h.gov.FailSafe() {
+		t.Error("fail-safe not exited after the fault healed")
+	}
+	if h.panel.Rate() != 20 {
+		t.Errorf("post-recovery rate = %d Hz, want 20", h.panel.Rate())
+	}
+	if h.gov.FailSafeEnters() != 1 || h.gov.FailSafeExits() != 1 {
+		t.Errorf("episodes = %d entered / %d exited, want 1/1",
+			h.gov.FailSafeEnters(), h.gov.FailSafeExits())
+	}
+	if h.gov.FailSafeTime() < 4*sim.Second {
+		t.Errorf("fail-safe time %v, want ≥ dwell", h.gov.FailSafeTime())
+	}
+}
+
+// TestDeadMeterFailSafe: frames keep latching changed pixels while the
+// meter classifies everything redundant (stale comparison buffer). The
+// watchdog must pin maximum refresh instead of letting the governor slam
+// to the floor, and recover once the meter sees content again.
+func TestDeadMeterFailSafe(t *testing.T) {
+	h := newGovHarness(t, GovernorConfig{ControlPeriod: 250 * sim.Millisecond, Hardening: DefaultHardening()})
+	h.quiet = true // meter sees zero content...
+	d := h.drive(1, 2)
+	h.panel.OnVSync(func(ts sim.Time, hz int) {
+		h.gov.NoteFrame(20000) // ...while the surface manager latches changed pixels
+		d(ts, hz)
+	})
+	h.eng.At(3*sim.Second, func() { h.quiet = false }) // meter heals
+	h.panel.Start()
+	h.gov.Start()
+
+	h.eng.RunUntil(2 * sim.Second)
+	if !h.gov.FailSafe() {
+		t.Fatal("dead meter did not trip fail-safe")
+	}
+	if a := h.gov.Anomaly(); a != AnomalyDeadMeter {
+		t.Errorf("anomaly = %v, want %v", a, AnomalyDeadMeter)
+	}
+	if h.panel.Rate() != 60 {
+		t.Errorf("fail-safe rate = %d Hz, want pinned 60", h.panel.Rate())
+	}
+
+	h.eng.RunUntil(12 * sim.Second)
+	if h.gov.FailSafe() {
+		t.Error("fail-safe not exited after the meter healed")
+	}
+	// Content on every 2nd vsync settles at the 24 Hz fixed point.
+	if h.panel.Rate() != 24 {
+		t.Errorf("post-recovery rate = %d Hz, want 24", h.panel.Rate())
+	}
+	if h.gov.FailSafeExits() != 1 {
+		t.Errorf("exits = %d, want 1", h.gov.FailSafeExits())
+	}
+}
+
+// TestPinnedRescuesNaiveRatchet: PolicyNaive ratchets to 20 Hz and — by
+// V-Sync blindness — can never observe the content burst that follows.
+// The pinned detector notices content riding the refresh cap and pins
+// maximum, after which the naive policy can finally measure true demand.
+func TestPinnedRescuesNaiveRatchet(t *testing.T) {
+	h := newGovHarness(t, GovernorConfig{
+		Policy:        PolicyNaive,
+		ControlPeriod: 250 * sim.Millisecond,
+		Hardening:     DefaultHardening(),
+	})
+	den := 8
+	h.panel.OnVSync(func(ts sim.Time, hz int) {
+		h.seq++
+		if h.seq%den == 0 {
+			h.fb.Set(h.seq%64, (h.seq/64)%64, framebuffer.Color(h.seq))
+		}
+		h.meter.ObserveFrame(ts, h.fb)
+	})
+	h.eng.At(5*sim.Second, func() { den = 1 }) // demand bursts to full rate
+	h.panel.Start()
+	h.gov.Start()
+
+	h.eng.RunUntil(4 * sim.Second)
+	if h.panel.Rate() != 20 {
+		t.Fatalf("naive rate = %d Hz before burst, want ratcheted 20", h.panel.Rate())
+	}
+	h.eng.RunUntil(9 * sim.Second)
+	if !h.gov.FailSafe() {
+		t.Fatal("pinned content did not trip fail-safe")
+	}
+	if a := h.gov.Anomaly(); a != AnomalyPinned {
+		t.Errorf("anomaly = %v, want %v", a, AnomalyPinned)
+	}
+	h.eng.RunUntil(15 * sim.Second)
+	if h.gov.FailSafe() {
+		t.Error("fail-safe not exited after demand became measurable")
+	}
+	if h.panel.Rate() != 60 {
+		t.Errorf("rate = %d Hz under full-rate content, want 60", h.panel.Rate())
+	}
+}
+
+// TestOscillationFailSafe: content alternating across a section boundary
+// every control period makes the decided target flip tick after tick —
+// the signature of a meter feeding the table noise. (Down-hysteresis
+// keeps the panel itself steady; the detector watches the pre-hysteresis
+// decisions.)
+func TestOscillationFailSafe(t *testing.T) {
+	eng := sim.NewEngine()
+	panel, err := display.NewPanel(eng, display.Config{Levels: display.GalaxyS3Levels})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meter, err := NewMeter(MeterConfig{
+		Grid:   framebuffer.GridForSamples(64, 64, 64*64),
+		Window: 250 * sim.Millisecond,
+		Cost:   power.CompareCostModel{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gov, err := NewGovernor(eng, panel, meter, GovernorConfig{
+		ControlPeriod:  250 * sim.Millisecond,
+		DownHysteresis: 3,
+		Hardening:      DefaultHardening(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb := framebuffer.New(64, 64)
+	seq, burst := 0, true
+	panel.OnVSync(func(ts sim.Time, hz int) {
+		seq++
+		if burst || seq%2 == 0 { // 60 fps bursts vs 30 fps lulls
+			fb.Set(seq%64, (seq/64)%64, framebuffer.Color(seq))
+		}
+		meter.ObserveFrame(ts, fb)
+	})
+	eng.Every(10*sim.Millisecond, 250*sim.Millisecond, func() { burst = !burst })
+	panel.Start()
+	gov.Start()
+	eng.RunUntil(4 * sim.Second)
+	if !gov.FailSafe() {
+		t.Fatal("oscillating decisions did not trip fail-safe")
+	}
+	if a := gov.Anomaly(); a != AnomalyOscillation {
+		t.Errorf("anomaly = %v, want %v", a, AnomalyOscillation)
+	}
+	if panel.Rate() != 60 {
+		t.Errorf("fail-safe rate = %d Hz, want pinned 60", panel.Rate())
+	}
+}
+
+// TestHardeningValidation: broken hardening parameters are rejected at
+// construction, and an unhardened governor reports inert counters.
+func TestHardeningValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	panel, _ := display.NewPanel(eng, display.Config{Levels: display.GalaxyS3Levels})
+	meter, _ := NewMeter(MeterConfig{Grid: framebuffer.GridForSamples(8, 8, 4), Window: sim.Second})
+	if _, err := NewGovernor(eng, panel, meter, GovernorConfig{
+		Hardening: &HardeningConfig{PinnedFraction: 2},
+	}); err == nil {
+		t.Error("pinned fraction 2 accepted")
+	}
+	if _, err := NewGovernor(eng, panel, meter, GovernorConfig{
+		Hardening: &HardeningConfig{RetryBackoff: -1},
+	}); err == nil {
+		t.Error("negative backoff accepted")
+	}
+	g, err := NewGovernor(eng, panel, meter, GovernorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Hardened() || g.FailSafe() || g.Anomaly() != AnomalyNone ||
+		g.SwitchRetries() != 0 || g.FailSafeEnters() != 0 || g.FailSafeExits() != 0 ||
+		g.FailSafeTime() != 0 {
+		t.Error("unhardened governor reports hardening state")
+	}
+	g.NoteFrame(100) // must be a no-op, not a panic
+}

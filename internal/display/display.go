@@ -46,6 +46,12 @@ type VSyncFunc func(t sim.Time, rateHz int)
 // RateChangeFunc observes refresh-rate transitions as they take effect.
 type RateChangeFunc func(t sim.Time, oldHz, newHz int)
 
+// SwitchFaultFunc intercepts a rate-switch request at time t. drop reports
+// the request silently lost (the kernel accepted it but it never takes
+// effect — only verification can tell); delayVsyncs > 0 applies it that
+// many refresh boundaries late instead of at the next one.
+type SwitchFaultFunc func(t sim.Time) (drop bool, delayVsyncs int)
+
 // Panel is the display hardware model. All methods must be called from the
 // simulation goroutine (the engine is single-threaded).
 type Panel struct {
@@ -53,8 +59,10 @@ type Panel struct {
 	levels []int // ascending
 	fastUp bool
 
-	cur     int // current rate (Hz)
-	pending int // requested rate, applied at next vsync (0 = none)
+	cur          int // current rate (Hz)
+	pending      int // requested rate, applied at next vsync (0 = none)
+	pendingDelay int // extra vsyncs before pending applies (injected fault)
+	switchFault  SwitchFaultFunc
 
 	running    bool
 	nextHandle sim.Handle
@@ -130,6 +138,12 @@ func (p *Panel) OnRateChange(fn RateChangeFunc) { p.onChange = append(p.onChange
 // (the default) disables recording at zero cost.
 func (p *Panel) SetRecorder(r *obs.Recorder) { p.rec = r }
 
+// SetSwitchFault installs a fault hook consulted on every rate-switch
+// request that would change the rate. Nil (the default) disables
+// injection. The hook models the flaky kernel switching mechanism, so a
+// dropped request still returns success to the caller.
+func (p *Panel) SetSwitchFault(fn SwitchFaultFunc) { p.switchFault = fn }
+
 // SetRate requests a refresh-rate change, which takes effect at the next
 // V-Sync boundary (a timing generator cannot retime mid-scan). Requesting
 // the current rate clears any pending change. Unsupported rates are
@@ -140,17 +154,30 @@ func (p *Panel) SetRate(hz int) error {
 	}
 	if hz == p.cur {
 		p.pending = 0
+		p.pendingDelay = 0
 		return nil
 	}
-	if p.fastUp && p.running && hz > p.cur {
+	var delay int
+	if p.switchFault != nil {
+		drop, d := p.switchFault(p.eng.Now())
+		if drop {
+			// Lost in the kernel: the caller sees success, the panel
+			// keeps whatever was already in flight.
+			return nil
+		}
+		delay = d
+	}
+	if delay == 0 && p.fastUp && p.running && hz > p.cur {
 		// Abort the current scan interval and retime immediately.
 		p.pending = 0
+		p.pendingDelay = 0
 		p.applyRate(hz)
 		p.nextHandle.Cancel()
 		p.nextHandle = p.eng.After(sim.Hz(float64(p.cur)), p.vsync)
 		return nil
 	}
 	p.pending = hz
+	p.pendingDelay = delay
 	return nil
 }
 
@@ -183,7 +210,9 @@ func (p *Panel) Start() {
 
 func (p *Panel) vsync() {
 	now := p.eng.Now()
-	if p.pending != 0 && p.pending != p.cur {
+	if p.pending != 0 && p.pendingDelay > 0 {
+		p.pendingDelay--
+	} else if p.pending != 0 && p.pending != p.cur {
 		hz := p.pending
 		p.pending = 0
 		p.applyRate(hz)

@@ -1,0 +1,85 @@
+package display
+
+import (
+	"testing"
+
+	"ccdem/internal/sim"
+)
+
+func TestSwitchFaultDrop(t *testing.T) {
+	eng := sim.NewEngine()
+	p, err := NewPanel(eng, Config{Levels: GalaxyS3Levels})
+	if err != nil {
+		t.Fatal(err)
+	}
+	consulted := 0
+	p.SetSwitchFault(func(sim.Time) (bool, int) { consulted++; return true, 0 })
+	p.Start()
+	if err := p.SetRate(20); err != nil {
+		t.Fatalf("dropped switch surfaced an error: %v", err)
+	}
+	eng.RunUntil(sim.Second)
+	if p.Rate() != 60 {
+		t.Errorf("rate = %d Hz after dropped switch, want 60", p.Rate())
+	}
+	if p.Switches() != 0 {
+		t.Errorf("switches = %d, want 0", p.Switches())
+	}
+	if consulted != 1 {
+		t.Errorf("fault consulted %d times, want 1", consulted)
+	}
+	// Requesting the current rate never reaches the fault hook.
+	if err := p.SetRate(60); err != nil {
+		t.Fatal(err)
+	}
+	if consulted != 1 {
+		t.Errorf("fault consulted on a no-op request")
+	}
+}
+
+func TestSwitchFaultDelay(t *testing.T) {
+	eng := sim.NewEngine()
+	p, err := NewPanel(eng, Config{Levels: GalaxyS3Levels})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetSwitchFault(func(sim.Time) (bool, int) { return false, 3 })
+	var changeAt sim.Time
+	p.OnRateChange(func(ts sim.Time, _, _ int) { changeAt = ts })
+	p.Start()
+	if err := p.SetRate(20); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(sim.Second)
+	if p.Rate() != 20 {
+		t.Fatalf("delayed switch never applied: rate = %d Hz", p.Rate())
+	}
+	// With 3 delay vsyncs the change applies at the 4th boundary, not the
+	// 1st: strictly after 3 full 60 Hz intervals.
+	if min := 3 * sim.Hz(60); changeAt <= min {
+		t.Errorf("delayed switch applied at %v, want after %v", changeAt, min)
+	}
+	if p.Switches() != 1 {
+		t.Errorf("switches = %d, want 1", p.Switches())
+	}
+}
+
+func TestSwitchFaultDelayBypassesFastUpswitch(t *testing.T) {
+	eng := sim.NewEngine()
+	p, err := NewPanel(eng, Config{Levels: GalaxyS3Levels, InitialRate: 20, FastUpswitch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetSwitchFault(func(sim.Time) (bool, int) { return false, 2 })
+	p.Start()
+	if err := p.SetRate(60); err != nil {
+		t.Fatal(err)
+	}
+	if p.Rate() != 20 {
+		t.Errorf("delayed upswitch applied immediately despite fault")
+	}
+	eng.RunUntil(sim.Second)
+	if p.Rate() != 60 {
+		t.Errorf("delayed upswitch never applied: rate = %d Hz", p.Rate())
+	}
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"ccdem/internal/sim"
+)
+
+func TestChaosHardeningHoldsQuality(t *testing.T) {
+	r, err := Chaos(Options{Duration: 30 * sim.Second, Seed: 11})
+	if err != nil {
+		t.Fatalf("Chaos: %v", err)
+	}
+	if len(r.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	s := r.Summary()
+	t.Logf("\n%s", r)
+	if s.Faults == 0 {
+		t.Error("no faults injected in hardened runs")
+	}
+	if s.HardenedMeanPct < 95 {
+		t.Errorf("hardened mean quality %.1f%% < 95%%", s.HardenedMeanPct)
+	}
+	if s.UnhardenedMeanPct >= s.HardenedMeanPct {
+		t.Errorf("unhardened mean quality %.1f%% not below hardened %.1f%%",
+			s.UnhardenedMeanPct, s.HardenedMeanPct)
+	}
+	if s.UnhardenedBelow95 == 0 {
+		t.Error("expected some unhardened apps below the 95% quality bar")
+	}
+	if s.FailSafeEnters == 0 {
+		t.Error("hardened runs never entered fail-safe despite faults")
+	}
+}
+
+func TestChaosDeterministicAcrossParallelism(t *testing.T) {
+	run := func(par int) string {
+		r, err := Chaos(Options{Duration: 10 * sim.Second, Seed: 3, Parallelism: par})
+		if err != nil {
+			t.Fatalf("Chaos: %v", err)
+		}
+		var sb strings.Builder
+		if err := r.WriteCSV(&sb); err != nil {
+			t.Fatalf("WriteCSV: %v", err)
+		}
+		return r.String() + sb.String()
+	}
+	if a, b := run(1), run(8); a != b {
+		t.Errorf("chaos output differs across parallelism:\n--- workers=1\n%s\n--- workers=8\n%s", a, b)
+	}
+}

@@ -14,6 +14,7 @@ import (
 
 	"ccdem"
 	"ccdem/internal/app"
+	"ccdem/internal/fault"
 	"ccdem/internal/fleet"
 	"ccdem/internal/input"
 	"ccdem/internal/obs"
@@ -45,6 +46,9 @@ type Options struct {
 	// run's decision events and metrics. Nil (the default) disables
 	// observability at zero cost.
 	Obs *obs.Collector
+	// FaultPlan overrides the chaos experiment's fault mix (nil selects
+	// fault.DefaultPlan). Only Chaos consults it.
+	FaultPlan *fault.Plan
 }
 
 func (o *Options) applyDefaults() {

@@ -1,0 +1,437 @@
+// Package fault provides deterministic fault injection for the simulated
+// device: panel rate-switch failures and delayed application (the flaky
+// kernel-patch mechanism the paper's authors worked around), meter faults
+// (corrupted grid samples, a stale double buffer), dropped or delayed
+// touch events, and application render stalls.
+//
+// Every decision is a pure function of (seed, fault class, sim time) —
+// an Injector keeps no RNG state that advances per query — so the fault
+// stream is identical whether the governor queries it once or retries ten
+// times, identical between a hardened and an unhardened run of the same
+// device, and bit-identical across fleet runs at any worker count. The
+// per-device seed is derived from the fleet seed exactly like
+// fleet.DeviceSeed, keeping the whole faulty fleet reproducible from one
+// integer.
+//
+// All Injector methods are nil-safe: a nil *Injector injects nothing, so
+// subsystems pay only a nil check when fault injection is disabled.
+package fault
+
+import (
+	"fmt"
+
+	"ccdem/internal/framebuffer"
+	"ccdem/internal/obs"
+	"ccdem/internal/sim"
+)
+
+// Class identifies a fault class, both for counters and for the Arg1 of
+// FaultInjected decision events.
+type Class int
+
+// Fault classes.
+const (
+	// ClassPanelDrop is a rate-switch request the panel silently loses.
+	ClassPanelDrop Class = iota
+	// ClassPanelDelay is a rate-switch applied several V-Syncs late.
+	ClassPanelDelay
+	// ClassPanelStick is a window during which the panel refuses every
+	// switch request (the kernel patch wedged).
+	ClassPanelStick
+	// ClassMeterCorrupt is a corrupted grid sample: one comparison pixel
+	// flips, turning a redundant frame into spurious content.
+	ClassMeterCorrupt
+	// ClassMeterFreeze is a stale double buffer: the meter samples old
+	// framebuffer content, so every frame classifies as redundant.
+	ClassMeterFreeze
+	// ClassTouchDrop is a touch event that never reaches its sinks.
+	ClassTouchDrop
+	// ClassTouchDelay is a touch event delivered late.
+	ClassTouchDelay
+	// ClassAppStall is a window during which the foreground app's UI
+	// thread is blocked: no content advances, no frames are requested.
+	ClassAppStall
+
+	numClasses
+)
+
+// String implements fmt.Stringer; the names key per-class metrics.
+func (c Class) String() string {
+	switch c {
+	case ClassPanelDrop:
+		return "panel_drop"
+	case ClassPanelDelay:
+		return "panel_delay"
+	case ClassPanelStick:
+		return "panel_stick"
+	case ClassMeterCorrupt:
+		return "meter_corrupt"
+	case ClassMeterFreeze:
+		return "meter_freeze"
+	case ClassTouchDrop:
+		return "touch_drop"
+	case ClassTouchDelay:
+		return "touch_delay"
+	case ClassAppStall:
+		return "app_stall"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// Classes returns every fault class in declaration order (for iterating
+// counters deterministically).
+func Classes() []Class {
+	out := make([]Class, numClasses)
+	for i := range out {
+		out[i] = Class(i)
+	}
+	return out
+}
+
+// Plan describes fault rates and windows. The zero value injects nothing.
+// Probabilities are per opportunity (per switch request, per observed
+// frame, per touch event); Every/For pairs describe recurring windows —
+// within each period of length Every, one window of length For opens at a
+// deterministically hashed offset, so windows neither align across fault
+// classes nor across devices.
+type Plan struct {
+	// Panel faults.
+	PanelDropProb       float64  `json:"panel_drop_prob"`
+	PanelDelayProb      float64  `json:"panel_delay_prob"`
+	PanelDelayMaxVsyncs int      `json:"panel_delay_max_vsyncs"`
+	PanelStickEvery     sim.Time `json:"panel_stick_every"`
+	PanelStickFor       sim.Time `json:"panel_stick_for"`
+
+	// Meter faults.
+	MeterCorruptProb float64  `json:"meter_corrupt_prob"`
+	MeterFreezeEvery sim.Time `json:"meter_freeze_every"`
+	MeterFreezeFor   sim.Time `json:"meter_freeze_for"`
+
+	// Touch faults.
+	TouchDropProb  float64  `json:"touch_drop_prob"`
+	TouchDelayProb float64  `json:"touch_delay_prob"`
+	TouchDelayMax  sim.Time `json:"touch_delay_max"`
+
+	// App faults.
+	AppStallEvery sim.Time `json:"app_stall_every"`
+	AppStallFor   sim.Time `json:"app_stall_for"`
+}
+
+// DefaultPlan is the chaos experiment's reference fault mix: frequent
+// panel flakiness (the scheme's actuation path), periodic meter blindness
+// (its sensing path), and background input/app noise. Window lengths are
+// chosen so a hardened governor's detection latency keeps per-app display
+// quality above the paper's 95% bar while an unhardened governor visibly
+// collapses on autonomous content.
+func DefaultPlan() Plan {
+	return Plan{
+		PanelDropProb:       0.25,
+		PanelDelayProb:      0.25,
+		PanelDelayMaxVsyncs: 8,
+		PanelStickEvery:     30 * sim.Second,
+		PanelStickFor:       2 * sim.Second,
+
+		MeterCorruptProb: 0.02,
+		MeterFreezeEvery: 15 * sim.Second,
+		MeterFreezeFor:   5 * sim.Second,
+
+		TouchDropProb:  0.10,
+		TouchDelayProb: 0.10,
+		TouchDelayMax:  80 * sim.Millisecond,
+
+		AppStallEvery: 20 * sim.Second,
+		AppStallFor:   400 * sim.Millisecond,
+	}
+}
+
+// Scale returns a copy of the plan with probabilities multiplied by f
+// (clamped to 1) and fault-window lengths stretched by f (clamped below
+// their periods). Scale(0) disables everything; Scale(1) is the identity.
+func (p Plan) Scale(f float64) Plan {
+	if f < 0 {
+		f = 0
+	}
+	prob := func(v float64) float64 {
+		v *= f
+		if v > 1 {
+			return 1
+		}
+		return v
+	}
+	window := func(dur, period sim.Time) sim.Time {
+		d := sim.Time(float64(dur) * f)
+		if period > 0 && d >= period {
+			d = period - 1
+		}
+		if d < 0 {
+			d = 0
+		}
+		return d
+	}
+	p.PanelDropProb = prob(p.PanelDropProb)
+	p.PanelDelayProb = prob(p.PanelDelayProb)
+	p.MeterCorruptProb = prob(p.MeterCorruptProb)
+	p.TouchDropProb = prob(p.TouchDropProb)
+	p.TouchDelayProb = prob(p.TouchDelayProb)
+	p.PanelStickFor = window(p.PanelStickFor, p.PanelStickEvery)
+	p.MeterFreezeFor = window(p.MeterFreezeFor, p.MeterFreezeEvery)
+	p.AppStallFor = window(p.AppStallFor, p.AppStallEvery)
+	return p
+}
+
+// Enabled reports whether the plan injects any fault at all.
+func (p Plan) Enabled() bool {
+	return p.PanelDropProb > 0 || p.PanelDelayProb > 0 ||
+		(p.PanelStickEvery > 0 && p.PanelStickFor > 0) ||
+		p.MeterCorruptProb > 0 ||
+		(p.MeterFreezeEvery > 0 && p.MeterFreezeFor > 0) ||
+		p.TouchDropProb > 0 || p.TouchDelayProb > 0 ||
+		(p.AppStallEvery > 0 && p.AppStallFor > 0)
+}
+
+// Validate reports configuration errors.
+func (p Plan) Validate() error {
+	for _, v := range []struct {
+		name string
+		prob float64
+	}{
+		{"panel drop", p.PanelDropProb},
+		{"panel delay", p.PanelDelayProb},
+		{"meter corrupt", p.MeterCorruptProb},
+		{"touch drop", p.TouchDropProb},
+		{"touch delay", p.TouchDelayProb},
+	} {
+		if v.prob < 0 || v.prob > 1 {
+			return fmt.Errorf("fault: %s probability %v out of [0,1]", v.name, v.prob)
+		}
+	}
+	for _, w := range []struct {
+		name       string
+		every, dur sim.Time
+	}{
+		{"panel stick", p.PanelStickEvery, p.PanelStickFor},
+		{"meter freeze", p.MeterFreezeEvery, p.MeterFreezeFor},
+		{"app stall", p.AppStallEvery, p.AppStallFor},
+	} {
+		if w.every < 0 || w.dur < 0 {
+			return fmt.Errorf("fault: negative %s window", w.name)
+		}
+		if w.every > 0 && w.dur >= w.every {
+			return fmt.Errorf("fault: %s window %v not below its period %v", w.name, w.dur, w.every)
+		}
+	}
+	if p.PanelDelayMaxVsyncs < 0 {
+		return fmt.Errorf("fault: negative panel delay %d vsyncs", p.PanelDelayMaxVsyncs)
+	}
+	if p.TouchDelayMax < 0 {
+		return fmt.Errorf("fault: negative touch delay bound %v", p.TouchDelayMax)
+	}
+	return nil
+}
+
+// Injector evaluates a plan for one device. Decisions are pure functions
+// of (seed, class, time); the only mutable state is observability — per-
+// class counters and window memos that rate-limit FaultInjected events —
+// which never feeds back into any decision.
+type Injector struct {
+	seed int64
+	plan Plan
+	rec  *obs.Recorder
+
+	counts [numClasses]uint64
+	// lastWindow memoizes the last period index recorded per windowed
+	// class so a 5 s freeze emits one event, not one per frame.
+	lastWindow [numClasses]int64
+}
+
+// New builds an injector evaluating plan under the given seed. Derive the
+// seed per device (fleet.DeviceSeed or equivalent) so devices fault
+// independently. A plan that injects nothing yields a working injector
+// that never fires.
+func New(seed int64, plan Plan) *Injector {
+	inj := &Injector{seed: seed, plan: plan}
+	for i := range inj.lastWindow {
+		inj.lastWindow[i] = -1
+	}
+	return inj
+}
+
+// Bind attaches a decision-event recorder: every injected fault is
+// recorded as a FaultInjected event (windowed classes record once per
+// window). Nil-safe on both sides.
+func (in *Injector) Bind(rec *obs.Recorder) {
+	if in != nil {
+		in.rec = rec
+	}
+}
+
+// Enabled reports whether the injector can fire at all (false on nil).
+func (in *Injector) Enabled() bool { return in != nil && in.plan.Enabled() }
+
+// Plan returns the injector's plan (zero value on nil).
+func (in *Injector) Plan() Plan {
+	if in == nil {
+		return Plan{}
+	}
+	return in.plan
+}
+
+// Counts returns the number of faults injected per class, indexed by
+// Class. Windowed classes (stick, freeze, stall) count windows entered,
+// not queries. Nil-safe.
+func (in *Injector) Counts() [int(numClasses)]uint64 {
+	if in == nil {
+		return [int(numClasses)]uint64{}
+	}
+	return in.counts
+}
+
+// Total returns the total number of faults injected. Nil-safe.
+func (in *Injector) Total() uint64 {
+	if in == nil {
+		return 0
+	}
+	var t uint64
+	for _, c := range in.counts {
+		t += c
+	}
+	return t
+}
+
+// note counts an injected fault and records the decision event.
+func (in *Injector) note(t sim.Time, c Class, arg int64) {
+	in.counts[c]++
+	in.rec.FaultInjected(t, int(c), arg)
+}
+
+// noteWindow counts a windowed fault once per period.
+func (in *Injector) noteWindow(t sim.Time, c Class, period int64) {
+	if in.lastWindow[c] == period {
+		return
+	}
+	in.lastWindow[c] = period
+	in.note(t, c, period)
+}
+
+// splitmix64 is the SplitMix64 finalizer — the same mixer the fleet uses
+// for per-device seeds, so fault streams inherit its avalanche quality.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hash mixes the injector seed, a fault class and a time-like key into a
+// uniform 64-bit value.
+func (in *Injector) hash(c Class, key uint64) uint64 {
+	h := splitmix64(uint64(in.seed) ^ splitmix64(uint64(c)+0x51ed2701))
+	return splitmix64(h ^ key)
+}
+
+// unit maps a hash to [0,1).
+func unit(h uint64) float64 { return float64(h>>11) / (1 << 53) }
+
+// roll decides a per-opportunity fault of class c at time t with
+// probability p. Distinct times give independent decisions.
+func (in *Injector) roll(c Class, t sim.Time, p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	return unit(in.hash(c, uint64(t))) < p
+}
+
+// window reports whether a recurring window of class c covers time t, and
+// the period index it belongs to. Within each period the window opens at
+// a hashed offset so windows of different classes and devices do not
+// align.
+func (in *Injector) window(c Class, t sim.Time, every, dur sim.Time) (bool, int64) {
+	if every <= 0 || dur <= 0 || t < 0 {
+		return false, 0
+	}
+	period := int64(t / every)
+	slack := every - dur
+	off := sim.Time(float64(slack) * unit(in.hash(c, uint64(period))))
+	pos := t % every
+	return pos >= off && pos < off+dur, period
+}
+
+// PanelSwitch intercepts one rate-switch request at time t: drop reports
+// the request silently lost, delayVsyncs how many refresh boundaries late
+// it applies (0 = on time). Stick windows drop every request.
+func (in *Injector) PanelSwitch(t sim.Time) (drop bool, delayVsyncs int) {
+	if in == nil {
+		return false, 0
+	}
+	if active, period := in.window(ClassPanelStick, t, in.plan.PanelStickEvery, in.plan.PanelStickFor); active {
+		in.noteWindow(t, ClassPanelStick, period)
+		return true, 0
+	}
+	if in.roll(ClassPanelDrop, t, in.plan.PanelDropProb) {
+		in.note(t, ClassPanelDrop, 0)
+		return true, 0
+	}
+	if in.plan.PanelDelayMaxVsyncs > 0 && in.roll(ClassPanelDelay, t, in.plan.PanelDelayProb) {
+		n := 1 + int(in.hash(ClassPanelDelay, uint64(t)+1)%uint64(in.plan.PanelDelayMaxVsyncs))
+		in.note(t, ClassPanelDelay, int64(n))
+		return false, n
+	}
+	return false, 0
+}
+
+// MeterHook is the meter's fault hook (core.MeterConfig.Fault): it may
+// mutate the freshly sampled grid (cur) before comparison against the
+// committed previous samples (prev). A freeze overwrites cur with prev —
+// the sampler read a stale buffer, so every frame classifies redundant; a
+// corruption flips one sample, turning a redundant frame into spurious
+// content. Nil-safe.
+func (in *Injector) MeterHook(t sim.Time, cur, prev []framebuffer.Color, primed bool) {
+	if in == nil || !primed || len(cur) == 0 {
+		return
+	}
+	if active, period := in.window(ClassMeterFreeze, t, in.plan.MeterFreezeEvery, in.plan.MeterFreezeFor); active {
+		in.noteWindow(t, ClassMeterFreeze, period)
+		copy(cur, prev)
+		return
+	}
+	if in.roll(ClassMeterCorrupt, t, in.plan.MeterCorruptProb) {
+		i := int(in.hash(ClassMeterCorrupt, uint64(t)+1) % uint64(len(cur)))
+		in.note(t, ClassMeterCorrupt, int64(i))
+		cur[i] ^= 1 // flip the blue LSB: enough to differ, invisible otherwise
+	}
+}
+
+// TouchFault intercepts one touch event scheduled for time at: drop
+// suppresses delivery entirely, delay postpones it.
+func (in *Injector) TouchFault(at sim.Time) (drop bool, delay sim.Time) {
+	if in == nil {
+		return false, 0
+	}
+	if in.roll(ClassTouchDrop, at, in.plan.TouchDropProb) {
+		in.note(at, ClassTouchDrop, 0)
+		return true, 0
+	}
+	if in.plan.TouchDelayMax > 0 && in.roll(ClassTouchDelay, at, in.plan.TouchDelayProb) {
+		d := 1 + sim.Time(in.hash(ClassTouchDelay, uint64(at)+1)%uint64(in.plan.TouchDelayMax))
+		in.note(at, ClassTouchDelay, int64(d))
+		return false, d
+	}
+	return false, 0
+}
+
+// AppStalled reports whether the foreground app's UI thread is blocked at
+// time t. A stalled app advances neither its content clock nor its
+// invalidate clock, so stalls are display-quality-neutral by themselves —
+// what they stress is the governor's reaction to the rate collapsing and
+// then bursting back.
+func (in *Injector) AppStalled(t sim.Time) bool {
+	if in == nil {
+		return false
+	}
+	active, period := in.window(ClassAppStall, t, in.plan.AppStallEvery, in.plan.AppStallFor)
+	if active {
+		in.noteWindow(t, ClassAppStall, period)
+	}
+	return active
+}

@@ -1,0 +1,242 @@
+package fault
+
+import (
+	"testing"
+
+	"ccdem/internal/framebuffer"
+	"ccdem/internal/sim"
+)
+
+// TestDecisionsArePureFunctionsOfTime is the load-bearing property: an
+// injector queried twice at the same time answers identically, and the
+// answer does not depend on how many other queries happened in between.
+// This is what keeps hardened (retrying) and unhardened runs facing the
+// same fault stream.
+func TestDecisionsArePureFunctionsOfTime(t *testing.T) {
+	plan := DefaultPlan()
+	a := New(42, plan)
+	b := New(42, plan)
+
+	// a is queried densely, b sparsely; on shared times they must agree.
+	for ts := sim.Time(0); ts < 60*sim.Second; ts += 7 * sim.Millisecond {
+		a.PanelSwitch(ts)
+		a.TouchFault(ts)
+		a.AppStalled(ts)
+	}
+	for ts := sim.Time(0); ts < 60*sim.Second; ts += 91 * sim.Millisecond {
+		ad, adel := a.PanelSwitch(ts)
+		bd, bdel := b.PanelSwitch(ts)
+		if ad != bd || adel != bdel {
+			t.Fatalf("PanelSwitch(%v) diverged: dense (%v,%d) vs sparse (%v,%d)", ts, ad, adel, bd, bdel)
+		}
+		at, atd := a.TouchFault(ts)
+		bt, btd := b.TouchFault(ts)
+		if at != bt || atd != btd {
+			t.Fatalf("TouchFault(%v) diverged", ts)
+		}
+		if a.AppStalled(ts) != b.AppStalled(ts) {
+			t.Fatalf("AppStalled(%v) diverged", ts)
+		}
+	}
+}
+
+func TestSeedsDecorrelate(t *testing.T) {
+	plan := DefaultPlan()
+	a, b := New(1, plan), New(2, plan)
+	same, n := 0, 0
+	for ts := sim.Time(0); ts < 30*sim.Second; ts += 11 * sim.Millisecond {
+		ad, _ := a.PanelSwitch(ts)
+		bd, _ := b.PanelSwitch(ts)
+		if ad == bd {
+			same++
+		}
+		n++
+	}
+	if same == n {
+		t.Error("distinct seeds produced identical panel fault streams")
+	}
+}
+
+// TestWindowDensity checks recurring windows open for roughly For out of
+// every Every, at a hashed (non-zero-phase) offset.
+func TestWindowDensity(t *testing.T) {
+	plan := Plan{AppStallEvery: 10 * sim.Second, AppStallFor: 2 * sim.Second}
+	in := New(7, plan)
+	const step = sim.Millisecond
+	var active, total int64
+	for ts := sim.Time(0); ts < 200*sim.Second; ts += step {
+		if in.AppStalled(ts) {
+			active++
+		}
+		total++
+	}
+	got := float64(active) / float64(total)
+	if got < 0.15 || got > 0.25 {
+		t.Errorf("stall duty cycle %.3f, want ≈ 0.20", got)
+	}
+	if c := in.Counts()[ClassAppStall]; c != 20 {
+		t.Errorf("counted %d stall windows over 20 periods, want 20", c)
+	}
+}
+
+func TestRollProbability(t *testing.T) {
+	plan := Plan{TouchDropProb: 0.10}
+	in := New(3, plan)
+	var dropped, n int
+	for ts := sim.Time(0); ts < 100*sim.Second; ts += 5 * sim.Millisecond {
+		if drop, _ := in.TouchFault(ts); drop {
+			dropped++
+		}
+		n++
+	}
+	got := float64(dropped) / float64(n)
+	if got < 0.07 || got > 0.13 {
+		t.Errorf("touch drop rate %.3f, want ≈ 0.10", got)
+	}
+}
+
+func TestMeterHook(t *testing.T) {
+	plan := Plan{MeterFreezeEvery: 10 * sim.Second, MeterFreezeFor: 9 * sim.Second}
+	in := New(5, plan)
+	cur := []framebuffer.Color{1, 2, 3, 4}
+	prev := []framebuffer.Color{9, 9, 9, 9}
+
+	// Unprimed buffers are left alone.
+	in.MeterHook(5*sim.Second, cur, prev, false)
+	if cur[0] != 1 {
+		t.Fatal("MeterHook mutated an unprimed buffer")
+	}
+
+	// Find a frozen instant (duty cycle 0.9, so nearly everywhere).
+	frozen := false
+	for ts := sim.Time(0); ts < 10*sim.Second; ts += 100 * sim.Millisecond {
+		c := []framebuffer.Color{1, 2, 3, 4}
+		in.MeterHook(ts, c, prev, true)
+		if c[0] == 9 && c[1] == 9 && c[2] == 9 && c[3] == 9 {
+			frozen = true
+			break
+		}
+	}
+	if !frozen {
+		t.Error("freeze window never replaced cur with prev")
+	}
+
+	// Corruption flips exactly one sample by one bit.
+	in2 := New(5, Plan{MeterCorruptProb: 1})
+	c := []framebuffer.Color{8, 8, 8, 8}
+	in2.MeterHook(time0, c, []framebuffer.Color{8, 8, 8, 8}, true)
+	diff := 0
+	for _, v := range c {
+		if v != 8 {
+			diff++
+			if v != 9 {
+				t.Errorf("corruption changed sample to %d, want single-bit flip to 9", v)
+			}
+		}
+	}
+	if diff != 1 {
+		t.Errorf("corruption touched %d samples, want 1", diff)
+	}
+}
+
+const time0 = sim.Time(123456)
+
+func TestScale(t *testing.T) {
+	p := DefaultPlan()
+	off := p.Scale(0)
+	if off.Enabled() {
+		t.Error("Scale(0) still enabled")
+	}
+	if New(1, off).Enabled() {
+		t.Error("injector with Scale(0) plan reports enabled")
+	}
+	// Probabilities clamp at 1; windows stay below their periods.
+	big := p.Scale(100)
+	if big.PanelDropProb != 1 || big.TouchDropProb != 1 {
+		t.Errorf("Scale(100) probabilities not clamped: %v", big)
+	}
+	if big.MeterFreezeFor >= big.MeterFreezeEvery {
+		t.Errorf("Scale(100) freeze window %v not below period %v", big.MeterFreezeFor, big.MeterFreezeEvery)
+	}
+	if err := big.Validate(); err != nil {
+		t.Errorf("scaled plan invalid: %v", err)
+	}
+	half := p.Scale(0.5)
+	if half.PanelDropProb != p.PanelDropProb*0.5 {
+		t.Errorf("Scale(0.5) drop prob %v", half.PanelDropProb)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Plan)
+	}{
+		{"prob above 1", func(p *Plan) { p.PanelDropProb = 1.5 }},
+		{"negative prob", func(p *Plan) { p.TouchDelayProb = -0.1 }},
+		{"window ≥ period", func(p *Plan) { p.MeterFreezeFor = p.MeterFreezeEvery }},
+		{"negative window", func(p *Plan) { p.AppStallFor = -sim.Second }},
+		{"negative vsyncs", func(p *Plan) { p.PanelDelayMaxVsyncs = -1 }},
+		{"negative touch delay", func(p *Plan) { p.TouchDelayMax = -1 }},
+	}
+	for _, tc := range cases {
+		p := DefaultPlan()
+		tc.mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted bad plan", tc.name)
+		}
+	}
+	if err := DefaultPlan().Validate(); err != nil {
+		t.Errorf("default plan invalid: %v", err)
+	}
+	if err := (Plan{}).Validate(); err != nil {
+		t.Errorf("zero plan invalid: %v", err)
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if in.Enabled() {
+		t.Error("nil injector enabled")
+	}
+	if drop, delay := in.PanelSwitch(0); drop || delay != 0 {
+		t.Error("nil PanelSwitch fired")
+	}
+	if drop, delay := in.TouchFault(0); drop || delay != 0 {
+		t.Error("nil TouchFault fired")
+	}
+	if in.AppStalled(0) {
+		t.Error("nil AppStalled fired")
+	}
+	in.MeterHook(0, nil, nil, true) // must not panic
+	in.Bind(nil)
+	if in.Total() != 0 {
+		t.Error("nil Total non-zero")
+	}
+	_ = in.Counts()
+	_ = in.Plan()
+}
+
+func TestCountsAndTotal(t *testing.T) {
+	in := New(9, Plan{TouchDropProb: 1})
+	for i := 0; i < 10; i++ {
+		in.TouchFault(sim.Time(i) * sim.Millisecond)
+	}
+	if c := in.Counts()[ClassTouchDrop]; c != 10 {
+		t.Errorf("drop count %d, want 10", c)
+	}
+	if in.Total() != 10 {
+		t.Errorf("total %d, want 10", in.Total())
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range Classes() {
+		s := c.String()
+		if s == "" || seen[s] {
+			t.Errorf("class %d: bad or duplicate name %q", int(c), s)
+		}
+		seen[s] = true
+	}
+}

@@ -17,6 +17,9 @@ import (
 // figures come from internal/battery via each device's estimate.
 type Aggregate struct {
 	Devices int `json:"devices"`
+	// FailedDevices counts devices excluded from the aggregate because
+	// their session could not be measured (see Result.Failed).
+	FailedDevices int `json:"failed_devices,omitempty"`
 
 	MeanBaselineMW float64 `json:"mean_baseline_mw"`
 	MeanManagedMW  float64 `json:"mean_managed_mw"`
@@ -27,6 +30,9 @@ type Aggregate struct {
 	SavedPctP95  float64 `json:"saved_pct_p95"`
 
 	QualityPctMean float64 `json:"quality_pct_mean"`
+	// TrueQualityPctMean averages the meter-independent displayed/
+	// intended ratio — the metric to trust under fault injection.
+	TrueQualityPctMean float64 `json:"true_quality_pct_mean"`
 	// QualityPctP5 is the quality of the worst-served 5% of users — the
 	// tail a deployment decision cares about.
 	QualityPctP5 float64 `json:"quality_pct_p5"`
@@ -60,13 +66,14 @@ func aggregate(results []DeviceResult, profiles []Profile) Aggregate {
 	if len(results) == 0 {
 		return a
 	}
-	var savedPct, quality, extraHours []float64
+	var savedPct, quality, trueQuality, extraHours []float64
 	for _, r := range results {
 		a.MeanBaselineMW += r.BaselineMW
 		a.MeanManagedMW += r.ManagedMW
 		a.MeanSavedMW += r.SavedMW
 		savedPct = append(savedPct, r.SavedPct)
 		quality = append(quality, math.Round(r.QualityPct*10)/10)
+		trueQuality = append(trueQuality, math.Round(r.TrueQualityPct*10)/10)
 		extraHours = append(extraHours, r.ExtraHours)
 	}
 	n := float64(len(results))
@@ -79,6 +86,7 @@ func aggregate(results []DeviceResult, profiles []Profile) Aggregate {
 	a.SavedPctP95 = trace.Percentile(savedPct, 95)
 
 	a.QualityPctMean = trace.Mean(quality)
+	a.TrueQualityPctMean = trace.Mean(trueQuality)
 	a.QualityPctP5 = trace.Percentile(quality, 5)
 	a.QualityCDF = trace.CDF(quality)
 
@@ -115,6 +123,9 @@ func aggregate(results []DeviceResult, profiles []Profile) Aggregate {
 func (a Aggregate) String() string {
 	var sb strings.Builder
 	sb.WriteString(fmt.Sprintf("Fleet aggregate (%d devices):\n", a.Devices))
+	if a.FailedDevices > 0 {
+		sb.WriteString(fmt.Sprintf("  failed devices: %d (excluded from the aggregate)\n", a.FailedDevices))
+	}
 	sb.WriteString(fmt.Sprintf("  power: %.0f mW baseline → %.0f mW managed (mean saved %.0f mW)\n",
 		a.MeanBaselineMW, a.MeanManagedMW, a.MeanSavedMW))
 	sb.WriteString(fmt.Sprintf("  saving: mean %.1f%%, p50 %.1f%%, p95 %.1f%%\n",
@@ -151,13 +162,13 @@ func (r *Result) WriteJSON(w io.Writer, perDevice bool) error {
 
 // WriteCSV writes one row per device, in device order.
 func (r *Result) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "device,profile,session_s,baseline_mw,managed_mw,saved_mw,saved_pct,quality_pct,baseline_hours,managed_hours,extra_hours"); err != nil {
+	if _, err := fmt.Fprintln(w, "device,profile,session_s,baseline_mw,managed_mw,saved_mw,saved_pct,quality_pct,true_quality_pct,baseline_hours,managed_hours,extra_hours"); err != nil {
 		return err
 	}
 	for _, d := range r.Devices {
-		if _, err := fmt.Fprintf(w, "%d,%s,%g,%g,%g,%g,%g,%g,%g,%g,%g\n",
+		if _, err := fmt.Fprintf(w, "%d,%s,%g,%g,%g,%g,%g,%g,%g,%g,%g,%g\n",
 			d.Device, d.Profile, d.SessionS, d.BaselineMW, d.ManagedMW,
-			d.SavedMW, d.SavedPct, d.QualityPct,
+			d.SavedMW, d.SavedPct, d.QualityPct, d.TrueQualityPct,
 			d.BaselineHours, d.ManagedHours, d.ExtraHours); err != nil {
 			return err
 		}

@@ -4,10 +4,13 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"ccdem"
 	"ccdem/internal/app"
 	"ccdem/internal/battery"
+	"ccdem/internal/core"
+	"ccdem/internal/fault"
 	"ccdem/internal/input"
 	"ccdem/internal/obs"
 	"ccdem/internal/sim"
@@ -107,6 +110,24 @@ type Cohort struct {
 	// uninstrumented so the merged metrics describe the managed system.
 	// Nil disables observability at zero cost.
 	Obs *obs.Collector
+
+	// Faults, when non-nil, injects deterministic faults into every
+	// device's *managed* segments (baselines stay clean, so savings are
+	// measured against an unfaulted reference). Each segment's injector
+	// is seeded from (fleet seed, device, segment), keeping faulty runs
+	// bit-identical at any worker count.
+	Faults *fault.Plan
+	// Hardened enables governor fail-safe hardening (core.DefaultHardening)
+	// on managed segments.
+	Hardened bool
+	// FailFast aborts the campaign on the first device failure (the old
+	// behaviour). The default keeps going: surviving devices aggregate,
+	// failed ones are reported in Result.Failed.
+	FailFast bool
+
+	// testHook, when set, runs at the start of each device task — the
+	// tests' lever for injecting per-device panics and hangs.
+	testHook func(device int)
 }
 
 func (c *Cohort) applyDefaults() {
@@ -143,6 +164,11 @@ func (c Cohort) Validate() error {
 			return err
 		}
 	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -166,46 +192,147 @@ type DeviceResult struct {
 	BaselineHours float64 `json:"baseline_hours"`
 	ManagedHours  float64 `json:"managed_hours"`
 	ExtraHours    float64 `json:"extra_hours"`
+
+	// TrueQualityPct is the displayed/intended content ratio of the
+	// managed session — meter-independent ground truth, the honest
+	// quality metric under fault injection.
+	TrueQualityPct float64 `json:"true_quality_pct"`
+	// Faults and FailSafes summarize injected faults and fail-safe
+	// episodes across the device's managed segments.
+	Faults    uint64 `json:"faults,omitempty"`
+	FailSafes uint64 `json:"failsafes,omitempty"`
 }
 
-// Result is a completed fleet run: per-device rows in device order plus
-// the fleet-wide aggregate.
+// DeviceFailure records one device whose session could not be measured —
+// task error, worker panic, or timeout — in a resilient campaign.
+type DeviceFailure struct {
+	Device int    `json:"device"`
+	Err    string `json:"error"`
+}
+
+// Result is a completed fleet run: per-device rows in device order (each
+// row's Device field holds the original index; failed devices are
+// absent), failed-device accounting, and the fleet-wide aggregate over
+// the surviving devices.
 type Result struct {
-	Devices   []DeviceResult `json:"devices"`
-	Aggregate Aggregate      `json:"aggregate"`
+	Devices   []DeviceResult  `json:"devices"`
+	Failed    []DeviceFailure `json:"failed,omitempty"`
+	Aggregate Aggregate       `json:"aggregate"`
 }
 
 // Run expands the cohort into per-device runs, executes them on the pool,
 // and aggregates. Results are bit-identical for a given cohort regardless
-// of pool.Workers.
+// of pool.Workers. Unless FailFast is set, a failing device (error, panic
+// recovered by the pool, or task timeout) does not abort the campaign:
+// the rest of the fleet completes and the failure is reported in
+// Result.Failed. An error is returned only when the context was cancelled
+// or no device survived.
 func (c Cohort) Run(ctx context.Context, pool Pool) (*Result, error) {
 	c.applyDefaults()
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
-	results := make([]DeviceResult, c.Devices)
-	err := pool.Run(ctx, c.Devices, func(_ context.Context, i int) error {
-		r, err := c.runDevice(i)
+	if !c.FailFast {
+		// Resilient campaigns observe every failure instead of
+		// cancelling the surviving devices on the first one.
+		pool.ContinueOnError = true
+	}
+	var (
+		mu      sync.Mutex
+		sealed  bool // set once results are read; late stragglers discarded
+		results = make([]DeviceResult, c.Devices)
+		ok      = make([]bool, c.Devices)
+		fails   = make([]error, c.Devices)
+	)
+	err := pool.Run(ctx, c.Devices, func(tctx context.Context, i int) error {
+		r, err := c.runDevice(tctx, i)
+		mu.Lock()
+		defer mu.Unlock()
+		if sealed {
+			// Timed-out task that finished after abandonment: its slot
+			// was already reported as failed.
+			return err
+		}
 		if err != nil {
-			return fmt.Errorf("device %d: %w", i, err)
+			err = fmt.Errorf("device %d: %w", i, err)
+			fails[i] = err
+			return err
 		}
 		results[i] = r
+		ok[i] = true
 		return nil
 	})
-	if err != nil {
+	mu.Lock()
+	sealed = true
+	mu.Unlock()
+	if c.FailFast && err != nil {
 		return nil, err
 	}
-	return &Result{
-		Devices:   results,
-		Aggregate: aggregate(results, c.Profiles),
-	}, nil
+	if ctx != nil && ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+	// Pool-level failures (recovered panics, timeouts) never reach the
+	// closure's bookkeeping; map them back by task index.
+	for _, e := range taskErrors(err) {
+		var idx int
+		switch te := e.(type) {
+		case *PanicError:
+			idx = te.Task
+		case *TimeoutError:
+			idx = te.Task
+		default:
+			continue
+		}
+		if idx >= 0 && idx < c.Devices && fails[idx] == nil {
+			fails[idx] = e
+		}
+	}
+	res := &Result{}
+	for i := range results {
+		switch {
+		case ok[i]:
+			res.Devices = append(res.Devices, results[i])
+		case fails[i] != nil:
+			res.Failed = append(res.Failed, DeviceFailure{Device: i, Err: fails[i].Error()})
+		default:
+			res.Failed = append(res.Failed, DeviceFailure{Device: i, Err: "fleet: device result unavailable"})
+		}
+	}
+	if len(res.Devices) == 0 {
+		if err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("fleet: all %d devices failed", c.Devices)
+	}
+	res.Aggregate = aggregate(res.Devices, c.Profiles)
+	res.Aggregate.FailedDevices = len(res.Failed)
+	return res, nil
+}
+
+// taskErrors flattens an errors.Join tree into its leaves.
+func taskErrors(err error) []error {
+	if err == nil {
+		return nil
+	}
+	if joined, ok := err.(interface{ Unwrap() []error }); ok {
+		var out []error
+		for _, e := range joined.Unwrap() {
+			out = append(out, taskErrors(e)...)
+		}
+		return out
+	}
+	return []error{err}
 }
 
 // runDevice executes device i's full session: draw a profile and session
 // length from the device RNG, split the session across the profile's app
 // mix, and measure each segment paired (baseline vs managed) on an
-// identical Monkey script.
-func (c Cohort) runDevice(i int) (DeviceResult, error) {
+// identical Monkey script. Cancellation is honoured between app segments,
+// so fail-fast and Ctrl-C actually stop long campaigns.
+func (c Cohort) runDevice(ctx context.Context, i int) (DeviceResult, error) {
+	if c.testHook != nil {
+		c.testHook(i)
+	}
 	rng := rand.New(rand.NewSource(DeviceSeed(c.Seed, i)))
 	prof := c.pickProfile(rng)
 	session := c.Session
@@ -213,17 +340,28 @@ func (c Cohort) runDevice(i int) (DeviceResult, error) {
 		session = sim.Time(float64(session) * (1 + prof.SessionJitter*(2*rng.Float64()-1)))
 	}
 	rec, reg := c.Obs.Device(fmt.Sprintf("device %04d (%s)", i, prof.Name))
+	var hard *core.HardeningConfig
+	if c.Hardened {
+		hard = core.DefaultHardening()
+	}
 
 	var (
 		slices   []battery.UsageSlice
 		totalW   float64
 		totalDur sim.Time
 		quality  float64 // duration-weighted sum
+		trueQ    float64 // duration-weighted sum
+		r        DeviceResult
 	)
 	for _, a := range prof.Apps {
 		totalW += a.Weight
 	}
-	for _, a := range prof.Apps {
+	for seg, a := range prof.Apps {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return DeviceResult{}, err
+			}
+		}
 		dur := sim.Time(float64(session) * a.Weight / totalW)
 		if dur < sim.Second {
 			dur = sim.Second
@@ -233,14 +371,21 @@ func (c Cohort) runDevice(i int) (DeviceResult, error) {
 			return DeviceResult{}, err
 		}
 		params, _ := app.ByName(a.Name) // validated
-		base, err := c.runSegment(params, ccdem.GovernorOff, dur, script, nil, nil)
+		base, err := c.runSegment(params, ccdem.GovernorOff, dur, script, nil, nil, nil, nil)
 		if err != nil {
 			return DeviceResult{}, err
+		}
+		// Faults hit only the managed configuration; the injector seed
+		// folds in device and segment so neither retries nor worker
+		// scheduling shift any fault stream.
+		var inj *fault.Injector
+		if c.Faults != nil {
+			inj = fault.New(DeviceSeed(DeviceSeed(c.Seed, i), seg), *c.Faults)
 		}
 		// Each segment simulates on its own engine starting at zero; the
 		// base offset concatenates them into one session timeline.
 		rec.SetBase(totalDur)
-		managed, err := c.runSegment(params, c.Governor, dur, script, rec, reg)
+		managed, err := c.runSegment(params, c.Governor, dur, script, rec, reg, inj, hard)
 		if err != nil {
 			return DeviceResult{}, err
 		}
@@ -252,26 +397,26 @@ func (c Cohort) runDevice(i int) (DeviceResult, error) {
 		})
 		totalDur += dur
 		quality += managed.DisplayQuality * dur.Seconds()
+		trueQ += managed.TrueQuality * dur.Seconds()
+		r.Faults += managed.FaultsInjected
+		r.FailSafes += managed.FailSafeEnters
 	}
 
 	est, err := c.Pack.Estimate(battery.Mix{Slices: slices})
 	if err != nil {
 		return DeviceResult{}, err
 	}
-	r := DeviceResult{
-		Device:  i,
-		Profile: prof.Name,
-
-		SessionS:   totalDur.Seconds(),
-		BaselineMW: est.BaselineMW,
-		ManagedMW:  est.ManagedMW,
-		SavedMW:    est.BaselineMW - est.ManagedMW,
-		QualityPct: 100 * quality / totalDur.Seconds(),
-
-		BaselineHours: est.BaselineHours,
-		ManagedHours:  est.ManagedHours,
-		ExtraHours:    est.ExtraHours,
-	}
+	r.Device = i
+	r.Profile = prof.Name
+	r.SessionS = totalDur.Seconds()
+	r.BaselineMW = est.BaselineMW
+	r.ManagedMW = est.ManagedMW
+	r.SavedMW = est.BaselineMW - est.ManagedMW
+	r.QualityPct = 100 * quality / totalDur.Seconds()
+	r.TrueQualityPct = 100 * trueQ / totalDur.Seconds()
+	r.BaselineHours = est.BaselineHours
+	r.ManagedHours = est.ManagedHours
+	r.ExtraHours = est.ExtraHours
 	if est.BaselineMW > 0 {
 		r.SavedPct = 100 * r.SavedMW / est.BaselineMW
 	}
@@ -313,14 +458,17 @@ func (c Cohort) segmentScript(prof Profile, seed int64, dur sim.Time) (input.Scr
 }
 
 // runSegment measures one app segment under one governor mode, optionally
-// instrumented with a recorder and metrics registry.
-func (c Cohort) runSegment(p app.Params, mode ccdem.GovernorMode, dur sim.Time, script input.Script, rec *obs.Recorder, reg *obs.Registry) (ccdem.Stats, error) {
+// instrumented with a recorder and metrics registry, fault-injected, and
+// hardened.
+func (c Cohort) runSegment(p app.Params, mode ccdem.GovernorMode, dur sim.Time, script input.Script, rec *obs.Recorder, reg *obs.Registry, inj *fault.Injector, hard *core.HardeningConfig) (ccdem.Stats, error) {
 	dev, err := ccdem.NewDevice(ccdem.Config{
 		Width: screenW, Height: screenH,
 		Governor:     mode,
 		MeterSamples: c.MeterSamples,
 		Recorder:     rec,
 		Metrics:      reg,
+		Faults:       inj,
+		Hardening:    hard,
 	})
 	if err != nil {
 		return ccdem.Stats{}, err

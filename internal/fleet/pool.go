@@ -18,11 +18,43 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ccdem/internal/obs"
 )
+
+// PanicError is a worker panic recovered by the pool and converted into a
+// task error, carrying the goroutine stack at the panic site. One broken
+// device configuration produces a diagnosable error instead of crashing
+// the whole campaign.
+type PanicError struct {
+	Task  int
+	Value any
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("fleet: task %d panicked: %v\n%s", e.Task, e.Value, e.Stack)
+}
+
+// TimeoutError reports a task exceeding the pool's TaskTimeout. It
+// matches errors.Is(err, context.DeadlineExceeded).
+type TimeoutError struct {
+	Task    int
+	Timeout time.Duration
+}
+
+// Error implements error.
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("fleet: task %d exceeded timeout %v", e.Task, e.Timeout)
+}
+
+// Is reports context.DeadlineExceeded equivalence.
+func (e *TimeoutError) Is(target error) bool { return target == context.DeadlineExceeded }
 
 // Pool is a bounded worker-pool execution engine for independent
 // simulated-device runs. The zero value is ready to use: all cores,
@@ -47,6 +79,48 @@ type Pool struct {
 	// the scheduler track of a Perfetto trace. Wall-clock spans reflect
 	// host scheduling and are NOT deterministic across runs.
 	Spans *obs.SpanLog
+	// TaskTimeout bounds each task's wall-clock execution; 0 disables.
+	// A task exceeding it is reported as a *TimeoutError (matching
+	// errors.Is(err, context.DeadlineExceeded)) and ABANDONED: its
+	// goroutine keeps running with a cancelled context, so tasks must
+	// publish results with synchronization the caller can seal (Cohort
+	// does). The worker lane is freed for the next task either way — a
+	// hung simulation no longer wedges the campaign.
+	TaskTimeout time.Duration
+}
+
+// runTask executes one task with panic recovery and the optional timeout.
+func (p Pool) runTask(ctx context.Context, i int, task func(ctx context.Context, i int) error) error {
+	run := func(ctx context.Context) (err error) {
+		defer func() {
+			if v := recover(); v != nil {
+				err = &PanicError{Task: i, Value: v, Stack: debug.Stack()}
+			}
+		}()
+		return task(ctx, i)
+	}
+	if p.TaskTimeout <= 0 {
+		return run(ctx)
+	}
+	tctx, cancel := context.WithTimeout(ctx, p.TaskTimeout)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- run(tctx) }()
+	select {
+	case err := <-done:
+		return err
+	case <-tctx.Done():
+		// Prefer a completion that raced with the deadline.
+		select {
+		case err := <-done:
+			return err
+		default:
+		}
+		if ctx.Err() != nil {
+			return ctx.Err() // cancelled run, not a slow task
+		}
+		return &TimeoutError{Task: i, Timeout: p.TaskTimeout}
+	}
 }
 
 // Run executes task(ctx, i) for every i in [0, n), at most Workers at a
@@ -100,7 +174,7 @@ func (p Pool) Run(parent context.Context, n int, task func(ctx context.Context, 
 				if p.Spans != nil {
 					endSpan = p.Spans.Begin(fmt.Sprintf("task %d", i), w)
 				}
-				err := task(ctx, i)
+				err := p.runTask(ctx, i, task)
 				if endSpan != nil {
 					endSpan()
 				}

@@ -1,0 +1,216 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ccdem/internal/fault"
+)
+
+func TestPoolRecoversPanic(t *testing.T) {
+	var completed atomic.Int64
+	err := Pool{Workers: 2, ContinueOnError: true}.Run(context.Background(), 5,
+		func(_ context.Context, i int) error {
+			if i == 2 {
+				panic("device blew up")
+			}
+			completed.Add(1)
+			return nil
+		})
+	if err == nil {
+		t.Fatal("panic not reported as an error")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %T is not a *PanicError: %v", err, err)
+	}
+	if pe.Task != 2 {
+		t.Errorf("PanicError.Task = %d, want 2", pe.Task)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("PanicError carries no stack")
+	}
+	if !strings.Contains(err.Error(), "device blew up") {
+		t.Errorf("panic value missing from error: %v", err)
+	}
+	if completed.Load() != 4 {
+		t.Errorf("completed = %d of 4 healthy tasks", completed.Load())
+	}
+}
+
+func TestPoolPanicFailsFastByDefault(t *testing.T) {
+	err := Pool{Workers: 1}.Run(context.Background(), 3,
+		func(_ context.Context, i int) error {
+			if i == 0 {
+				panic("boom")
+			}
+			return nil
+		})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %T is not a *PanicError: %v", err, err)
+	}
+}
+
+func TestPoolTaskTimeout(t *testing.T) {
+	var completed atomic.Int64
+	hung := make(chan struct{})
+	err := Pool{Workers: 2, ContinueOnError: true, TaskTimeout: 30 * time.Millisecond}.Run(
+		context.Background(), 5,
+		func(_ context.Context, i int) error {
+			if i == 1 {
+				<-hung // never signalled: a wedged simulation
+				return nil
+			}
+			completed.Add(1)
+			return nil
+		})
+	close(hung)
+	if err == nil {
+		t.Fatal("hung task not reported")
+	}
+	var te *TimeoutError
+	if !errors.As(err, &te) {
+		t.Fatalf("error %T is not a *TimeoutError: %v", err, err)
+	}
+	if te.Task != 1 {
+		t.Errorf("TimeoutError.Task = %d, want 1", te.Task)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Error("timeout does not match context.DeadlineExceeded")
+	}
+	if completed.Load() != 4 {
+		t.Errorf("completed = %d of 4 healthy tasks: the hung task wedged the pool", completed.Load())
+	}
+}
+
+func TestPoolTimeoutSparesFastTasks(t *testing.T) {
+	err := Pool{Workers: 4, TaskTimeout: 5 * time.Second}.Run(context.Background(), 8,
+		func(_ context.Context, i int) error { return nil })
+	if err != nil {
+		t.Fatalf("fast tasks hit the timeout: %v", err)
+	}
+}
+
+// TestCohortSurvivesPanickingDevice is the PR's acceptance scenario: one
+// device task panicking no longer aborts the campaign — the rest of the
+// fleet completes, the failure is attributed to its device index, and the
+// aggregate covers the survivors.
+func TestCohortSurvivesPanickingDevice(t *testing.T) {
+	cohort := testCohort(6)
+	cohort.testHook = func(device int) {
+		if device == 3 {
+			panic("corrupt device state")
+		}
+	}
+	r, err := cohort.Run(context.Background(), Pool{Workers: 3})
+	if err != nil {
+		t.Fatalf("resilient run returned error: %v", err)
+	}
+	if len(r.Devices) != 5 {
+		t.Fatalf("surviving devices = %d, want 5", len(r.Devices))
+	}
+	for _, d := range r.Devices {
+		if d.Device == 3 {
+			t.Error("failed device present in results")
+		}
+	}
+	if len(r.Failed) != 1 || r.Failed[0].Device != 3 {
+		t.Fatalf("failed = %+v, want device 3", r.Failed)
+	}
+	if !strings.Contains(r.Failed[0].Err, "corrupt device state") {
+		t.Errorf("failure lost the panic value: %s", r.Failed[0].Err)
+	}
+	if r.Aggregate.Devices != 5 || r.Aggregate.FailedDevices != 1 {
+		t.Errorf("aggregate counts %d/%d, want 5 surviving / 1 failed",
+			r.Aggregate.Devices, r.Aggregate.FailedDevices)
+	}
+	if !strings.Contains(r.Aggregate.String(), "failed devices: 1") {
+		t.Error("report does not mention the failed device")
+	}
+}
+
+func TestCohortSurvivesHungDevice(t *testing.T) {
+	hung := make(chan struct{})
+	defer close(hung)
+	cohort := testCohort(4)
+	cohort.testHook = func(device int) {
+		if device == 0 {
+			<-hung
+		}
+	}
+	r, err := cohort.Run(context.Background(), Pool{Workers: 2, TaskTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("resilient run returned error: %v", err)
+	}
+	if len(r.Devices) != 3 || len(r.Failed) != 1 || r.Failed[0].Device != 0 {
+		t.Fatalf("devices=%d failed=%+v, want 3 surviving and device 0 timed out",
+			len(r.Devices), r.Failed)
+	}
+}
+
+func TestCohortFailFast(t *testing.T) {
+	cohort := testCohort(4)
+	cohort.FailFast = true
+	cohort.testHook = func(device int) {
+		if device == 1 {
+			panic("boom")
+		}
+	}
+	if _, err := cohort.Run(context.Background(), Pool{Workers: 1}); err == nil {
+		t.Fatal("FailFast run swallowed the failure")
+	}
+}
+
+func TestCohortAllDevicesFailed(t *testing.T) {
+	cohort := testCohort(3)
+	cohort.testHook = func(int) { panic("nothing works") }
+	if _, err := cohort.Run(context.Background(), Pool{Workers: 2}); err == nil {
+		t.Fatal("campaign with zero survivors reported success")
+	}
+}
+
+// TestFaultyCohortDeterministicAcrossWorkers: the chaos acceptance for the
+// fleet layer — a faulted, hardened campaign produces byte-identical JSON
+// at any worker count, because every injector is seeded purely from
+// (fleet seed, device, segment).
+func TestFaultyCohortDeterministicAcrossWorkers(t *testing.T) {
+	plan := fault.DefaultPlan()
+	cohort := testCohort(6)
+	cohort.Faults = &plan
+	cohort.Hardened = true
+	var outputs []string
+	for _, workers := range []int{1, 8} {
+		r, err := cohort.Run(context.Background(), Pool{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := r.WriteJSON(&buf, true); err != nil {
+			t.Fatal(err)
+		}
+		outputs = append(outputs, buf.String())
+	}
+	if outputs[0] != outputs[1] {
+		t.Errorf("faulty fleet JSON differs between 1 and 8 workers:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s",
+			outputs[0], outputs[1])
+	}
+	if !strings.Contains(outputs[0], `"faults"`) {
+		t.Error("no device reported injected faults")
+	}
+}
+
+func TestCohortRejectsBadFaultPlan(t *testing.T) {
+	plan := fault.DefaultPlan()
+	plan.PanelDropProb = 7
+	cohort := testCohort(2)
+	cohort.Faults = &plan
+	if _, err := cohort.Run(context.Background(), Pool{}); err == nil {
+		t.Fatal("invalid fault plan accepted")
+	}
+}

@@ -63,6 +63,17 @@ const (
 	// KindVSyncMissed is a V-Sync that found pending frame requests but
 	// could not latch them (blocked by a frame-pacing gate).
 	KindVSyncMissed
+	// KindFaultInjected is one injected fault firing (see internal/fault).
+	KindFaultInjected
+	// KindPanelSwitchRetry is the hardened governor re-issuing a panel
+	// rate-switch request that did not take effect.
+	KindPanelSwitchRetry
+	// KindFailSafeEnter is the watchdog pinning maximum refresh after
+	// detecting an anomaly.
+	KindFailSafeEnter
+	// KindFailSafeExit is the watchdog leaving fail-safe mode after a
+	// clean hysteresis dwell.
+	KindFailSafeExit
 
 	numKinds
 )
@@ -88,6 +99,14 @@ func (k Kind) String() string {
 		return "TouchInput"
 	case KindVSyncMissed:
 		return "VSyncMissed"
+	case KindFaultInjected:
+		return "FaultInjected"
+	case KindPanelSwitchRetry:
+		return "PanelSwitchRetry"
+	case KindFailSafeEnter:
+		return "FailSafeEnter"
+	case KindFailSafeExit:
+		return "FailSafeExit"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -105,6 +124,7 @@ const (
 	TrackGovernor
 	TrackPanel
 	TrackInput
+	TrackFault
 
 	numTracks
 )
@@ -124,6 +144,8 @@ func (t Track) String() string {
 		return "panel"
 	case TrackInput:
 		return "input"
+	case TrackFault:
+		return "fault"
 	default:
 		return fmt.Sprintf("track(%d)", int(t))
 	}
@@ -303,4 +325,34 @@ func (r *Recorder) TouchInput(t sim.Time, kind, x, y int) {
 // blocked from latching them by a frame-pacing gate.
 func (r *Recorder) VSyncMissed(t sim.Time) {
 	r.Record(Event{T: t, Kind: KindVSyncMissed, Track: TrackSurface})
+}
+
+// FaultInjected records one injected fault. Arg1 is the fault-class
+// ordinal (fault.Class), Arg2 a class-specific detail (delay amount,
+// corrupted sample index, window period index).
+func (r *Recorder) FaultInjected(t sim.Time, class int, detail int64) {
+	r.Record(Event{T: t, Kind: KindFaultInjected, Track: TrackFault,
+		Arg1: int64(class), Arg2: detail})
+}
+
+// PanelSwitchRetry records the hardened governor re-issuing a panel
+// rate-switch request. Arg1 is the target rate (Hz), Arg2 the retry
+// attempt number (1 = first retry).
+func (r *Recorder) PanelSwitchRetry(t sim.Time, targetHz, attempt int) {
+	r.Record(Event{T: t, Kind: KindPanelSwitchRetry, Track: TrackGovernor,
+		Arg1: int64(targetHz), Arg2: int64(attempt)})
+}
+
+// FailSafeEnter records the watchdog pinning maximum refresh. Arg1 is the
+// anomaly ordinal (core.Anomaly) that triggered it.
+func (r *Recorder) FailSafeEnter(t sim.Time, anomaly int) {
+	r.Record(Event{T: t, Kind: KindFailSafeEnter, Track: TrackGovernor,
+		Arg1: int64(anomaly)})
+}
+
+// FailSafeExit records recovery from fail-safe mode. Arg1 is how long the
+// governor spent pinned (µs).
+func (r *Recorder) FailSafeExit(t sim.Time, dwell sim.Time) {
+	r.Record(Event{T: t, Kind: KindFailSafeExit, Track: TrackGovernor,
+		Arg1: int64(dwell)})
 }

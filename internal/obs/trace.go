@@ -101,6 +101,14 @@ func eventArgs(ev Event) map[string]any {
 			"x":    ev.Arg2 >> 32,
 			"y":    int64(int32(uint64(ev.Arg2) & 0xffffffff)),
 		}
+	case KindFaultInjected:
+		return map[string]any{"class": ev.Arg1, "detail": ev.Arg2}
+	case KindPanelSwitchRetry:
+		return map[string]any{"target_hz": ev.Arg1, "attempt": ev.Arg2}
+	case KindFailSafeEnter:
+		return map[string]any{"anomaly": ev.Arg1}
+	case KindFailSafeExit:
+		return map[string]any{"dwell_us": ev.Arg1}
 	default:
 		return nil
 	}

@@ -4,6 +4,8 @@ import (
 	"testing"
 
 	"ccdem/internal/app"
+	"ccdem/internal/core"
+	"ccdem/internal/fault"
 	"ccdem/internal/sim"
 )
 
@@ -103,6 +105,135 @@ func TestNonStandardLevels(t *testing.T) {
 	}
 	if st.DisplayQuality < 0.7 {
 		t.Errorf("quality = %v on odd level menu", st.DisplayQuality)
+	}
+}
+
+// chaosRun executes one 30 s faulted session under section+boost and
+// returns its stats. touches replays a fixed Monkey script; without it
+// the app runs autonomously (no boosts masking governor behaviour).
+func chaosRun(t *testing.T, appName string, touches bool, plan fault.Plan, hard *core.HardeningConfig) Stats {
+	t.Helper()
+	d := mustDevice(t, Config{
+		Governor:     GovernorSectionBoost,
+		MeterSamples: 2304,
+		Faults:       fault.New(99, plan),
+		Hardening:    hard,
+	})
+	mustApp(t, d, appName)
+	if touches {
+		d.PlayScript(script(t, 7, 30*sim.Second))
+	}
+	d.Run(30 * sim.Second)
+	return d.Stats()
+}
+
+// TestHardenedQualityFloorPerFaultClass: under each fault class alone, a
+// hardened device keeps TrueQuality — the fraction of intended content
+// updates that visibly reached the screen — above a floor. Touch faults
+// get a lower floor: a dropped touch loses its boost (and the app's
+// response to it) in a way no display-side watchdog can reconstruct.
+func TestHardenedQualityFloorPerFaultClass(t *testing.T) {
+	cases := []struct {
+		name  string
+		plan  fault.Plan
+		floor float64
+	}{
+		{"panel-drop", fault.Plan{PanelDropProb: 0.5}, 0.95},
+		{"panel-delay", fault.Plan{PanelDelayProb: 0.5, PanelDelayMaxVsyncs: 8}, 0.95},
+		{"panel-stick", fault.Plan{PanelStickEvery: 10 * sim.Second, PanelStickFor: 3 * sim.Second}, 0.95},
+		{"meter-corrupt", fault.Plan{MeterCorruptProb: 0.05}, 0.95},
+		{"meter-freeze", fault.Plan{MeterFreezeEvery: 8 * sim.Second, MeterFreezeFor: 4 * sim.Second}, 0.95},
+		{"touch-drop", fault.Plan{TouchDropProb: 0.3}, 0.85},
+		{"touch-delay", fault.Plan{TouchDelayProb: 0.3, TouchDelayMax: 80 * sim.Millisecond}, 0.90},
+		{"app-stall", fault.Plan{AppStallEvery: 10 * sim.Second, AppStallFor: 400 * sim.Millisecond}, 0.90},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := chaosRun(t, "Jelly Splash", true, tc.plan, core.DefaultHardening())
+			if s.FaultsInjected == 0 {
+				t.Fatal("plan injected no faults")
+			}
+			if s.TrueQuality < tc.floor {
+				t.Errorf("TrueQuality = %.3f, want >= %.2f (%d faults)",
+					s.TrueQuality, tc.floor, s.FaultsInjected)
+			}
+		})
+	}
+}
+
+// TestFailSafeEntersAndRecovers: with every panel switch dropping, the
+// retry chain exhausts and the watchdog pins fail-safe; after the
+// recovery dwell (panel already at maximum, content alive) it exits and
+// probes again. MX Player runs autonomously so the decided rate stays
+// steady and the verification chain is not reset by boosts.
+func TestFailSafeEntersAndRecovers(t *testing.T) {
+	plan := fault.Plan{PanelDropProb: 1}
+	s := chaosRun(t, "MX Player", false, plan, core.DefaultHardening())
+	if s.FailSafeEnters == 0 {
+		t.Fatal("watchdog never entered fail-safe under dropped switches")
+	}
+	if s.FailSafeExits == 0 {
+		t.Error("fail-safe never recovered after the dwell")
+	}
+	if s.FailSafeTime == 0 {
+		t.Error("fail-safe episodes accumulated no pinned time")
+	}
+	if s.SwitchRetries == 0 {
+		t.Error("hardened governor reported no switch retries")
+	}
+}
+
+// TestHardeningRescuesDeadMeter is the PR's headline scenario: a frozen
+// meter starves the governor of content evidence, the unhardened device
+// ratchets the panel down and visibly drops content, while the hardened
+// device's dead-meter watchdog pins maximum refresh and preserves quality.
+func TestHardeningRescuesDeadMeter(t *testing.T) {
+	plan := fault.Plan{MeterFreezeEvery: 6 * sim.Second, MeterFreezeFor: 4 * sim.Second}
+	unhard := chaosRun(t, "MX Player", false, plan, nil)
+	hard := chaosRun(t, "MX Player", false, plan, core.DefaultHardening())
+	if hard.TrueQuality < 0.95 {
+		t.Errorf("hardened TrueQuality = %.3f, want >= 0.95", hard.TrueQuality)
+	}
+	if unhard.TrueQuality >= 0.95 {
+		t.Errorf("unhardened TrueQuality = %.3f survived the dead meter; the scenario is not stressing",
+			unhard.TrueQuality)
+	}
+	if hard.TrueQuality <= unhard.TrueQuality {
+		t.Errorf("hardening did not improve quality: %.3f vs %.3f",
+			hard.TrueQuality, unhard.TrueQuality)
+	}
+	if unhard.FailSafeEnters != 0 || unhard.SwitchRetries != 0 {
+		t.Error("unhardened device reported hardening activity")
+	}
+}
+
+// TestFaultedRunDeterministic: the same seed and plan reproduce
+// bit-identical stats; a different injector seed diverges.
+func TestFaultedRunDeterministic(t *testing.T) {
+	// Stats.Breakdown is a map; project the comparable fields.
+	key := func(s Stats) [6]float64 {
+		return [6]float64{
+			s.MeanPowerMW, s.EnergyMJ, s.TrueQuality,
+			float64(s.FaultsInjected), float64(s.RefreshSwitches), float64(s.FailSafeEnters),
+		}
+	}
+	plan := fault.DefaultPlan()
+	a := chaosRun(t, "Jelly Splash", true, plan, core.DefaultHardening())
+	b := chaosRun(t, "Jelly Splash", true, plan, core.DefaultHardening())
+	if key(a) != key(b) {
+		t.Errorf("identical faulted runs diverged:\n%+v\n%+v", a, b)
+	}
+	d := mustDevice(t, Config{
+		Governor:     GovernorSectionBoost,
+		MeterSamples: 2304,
+		Faults:       fault.New(100, plan),
+		Hardening:    core.DefaultHardening(),
+	})
+	mustApp(t, d, "Jelly Splash")
+	d.PlayScript(script(t, 7, 30*sim.Second))
+	d.Run(30 * sim.Second)
+	if key(d.Stats()) == key(a) {
+		t.Error("different injector seeds produced identical runs")
 	}
 }
 
