@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench fuzz chaos validate campaign figures fleet obs clean
+.PHONY: all build test test-short race cover bench perfgate perfgate-update fuzz chaos validate campaign figures fleet obs clean
 
 all: build test
 
@@ -27,6 +27,20 @@ fuzz:
 	$(GO) test -fuzz FuzzReadParams -fuzztime $(FUZZTIME) ./internal/app
 	$(GO) test -fuzz FuzzReadScript -fuzztime $(FUZZTIME) ./internal/input
 	$(GO) test -fuzz FuzzReadPPM -fuzztime $(FUZZTIME) ./internal/framebuffer
+	$(GO) test -fuzz FuzzGridCompare -fuzztime $(FUZZTIME) ./internal/framebuffer
+
+# Benchmark-regression gate over the pinned hot-path suite (see
+# cmd/ccdem-bench): medians of repeated runs vs results/bench_baseline.json.
+# Any allocs/op growth fails; ns/op beyond the threshold fails unless
+# PERFGATE_FLAGS adds -warn-time (what CI uses on shared runners).
+PERFGATE_FLAGS ?=
+perfgate:
+	$(GO) run ./cmd/ccdem-bench -count 5 -benchtime 200ms $(PERFGATE_FLAGS)
+
+# Refresh the committed baseline on a quiet machine after an intentional
+# performance change.
+perfgate-update:
+	$(GO) run ./cmd/ccdem-bench -count 5 -benchtime 300ms -update
 
 # The chaos campaign: display quality under injected faults, hardened
 # vs unhardened (see DESIGN.md §9).

@@ -339,3 +339,30 @@ func BenchmarkDeviceSimulation(b *testing.B) {
 	}
 	b.ReportMetric(10*float64(b.N)/b.Elapsed().Seconds(), "virtual-s/s")
 }
+
+// BenchmarkDeviceSteadyState measures the per-frame hot path with setup
+// excluded: one governed device built outside the timed region, run in
+// one-virtual-second increments. Trace and power sampling are disabled
+// (negative intervals) so the loop exercises exactly the steady-state frame
+// pipeline — render, compose, meter, govern — which must not allocate.
+func BenchmarkDeviceSteadyState(b *testing.B) {
+	p, _ := app.ByName("Jelly Splash")
+	dev, err := ccdem.NewDevice(ccdem.Config{
+		Governor:            ccdem.GovernorSectionBoost,
+		TraceInterval:       -1,
+		PowerSampleInterval: -1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := dev.InstallApp(p); err != nil {
+		b.Fatal(err)
+	}
+	dev.Run(2 * sim.Second) // warm up pools and ring buffers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dev.Run(sim.Second)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "virtual-s/s")
+}

@@ -126,9 +126,17 @@ type Config struct {
 
 	Governor GovernorMode
 
-	PowerParams         *power.Params // nil defaults to power.DefaultParams()
-	PowerSampleInterval sim.Time      // Monsoon-style sampling; default 100 ms
-	TraceInterval       sim.Time      // rate/refresh trace sampling; default 250 ms
+	PowerParams *power.Params // nil defaults to power.DefaultParams()
+	// PowerSampleInterval is the Monsoon-style sampling period; 0 defaults
+	// to 100 ms. A negative value disables the sampler entirely — Stats
+	// then reports the model's lifetime mean instead of a sample mean, and
+	// Traces carries no power samples. Benchmarks use this to measure the
+	// steady-state frame path without recorder appends.
+	PowerSampleInterval sim.Time
+	// TraceInterval is the rate/refresh trace sampling period; 0 defaults
+	// to 250 ms. A negative value disables trace recording (Traces series
+	// stay empty), the benchmark-lean counterpart to PowerSampleInterval.
+	TraceInterval sim.Time
 
 	// Recorder, if non-nil, receives the device's decision events (frame
 	// latches, grid compares, section transitions, touch boosts). Nil —
@@ -187,6 +195,7 @@ func (c *Config) applyDefaults() {
 	if c.TraceInterval == 0 {
 		c.TraceInterval = 250 * sim.Millisecond
 	}
+	// Negative intervals mean "disabled" and pass through unchanged.
 }
 
 // Device is a fully assembled simulated phone: panel, surface manager,
@@ -228,6 +237,9 @@ type Device struct {
 	intendedTrace *trace.Series
 
 	oled bool
+	// Per-frame OLED luminance scratch (built once when the panel is OLED).
+	lumaGrid framebuffer.Grid
+	lumaBuf  []framebuffer.Color
 }
 
 // NewDevice assembles a device from cfg (defaults applied).
@@ -252,9 +264,12 @@ func NewDevice(cfg Config) (*Device, error) {
 	if err != nil {
 		return nil, err
 	}
-	pwrMeter, err := power.NewMeter(eng, model, cfg.PowerSampleInterval)
-	if err != nil {
-		return nil, err
+	var pwrMeter *power.Meter
+	if cfg.PowerSampleInterval > 0 {
+		pwrMeter, err = power.NewMeter(eng, model, cfg.PowerSampleInterval)
+		if err != nil {
+			return nil, err
+		}
 	}
 	// In the baseline configuration the meter still observes frames so the
 	// reported statistics are comparable, but — like the paper's offline
@@ -304,6 +319,13 @@ func NewDevice(cfg Config) (*Device, error) {
 		intendedTrace: trace.NewSeries("actual content rate (fps)"),
 	}
 	_, d.oled = cfg.PowerParams.Panel.(power.OLEDPanel)
+	if d.oled {
+		// The OLED luminance estimate runs on every latched frame; build
+		// its coarse lattice and scratch buffer once so the frame path
+		// stays allocation-free.
+		d.lumaGrid = framebuffer.GridForSamples(cfg.Width, cfg.Height, lumaSamples)
+		d.lumaBuf = make([]framebuffer.Color, d.lumaGrid.Samples())
+	}
 
 	// Observability wiring. Every hook below is gated on the corresponding
 	// sink being non-nil, so a device without obs installs nothing extra
@@ -349,7 +371,7 @@ func NewDevice(cfg Config) (*Device, error) {
 			})
 		}
 		if d.oled {
-			model.SetMeanLuminance(sampleLuma(d.meter, mgr.Framebuffer()))
+			model.SetMeanLuminance(d.sampleLuma(mgr.Framebuffer()))
 		}
 	})
 	panel.OnRateChange(func(_ sim.Time, _, newHz int) { model.SetRefreshRate(newHz) })
@@ -414,20 +436,20 @@ func (d *Device) flushResidency(t sim.Time) {
 	d.obsRateT = t
 }
 
-// sampleLuma estimates mean screen luminance from the meter's grid, cheap
-// enough to run per frame.
-func sampleLuma(m *core.Meter, fb *framebuffer.Buffer) float64 {
-	// Re-sampling the full buffer would duplicate work; a fixed coarse
-	// lattice is plenty for the panel model.
-	const n = 1024
-	g := framebuffer.GridForSamples(fb.Width(), fb.Height(), n)
-	buf := make([]framebuffer.Color, g.Samples())
-	g.Sample(fb, buf)
+// lumaSamples is the size of the coarse luminance lattice: resampling the
+// full buffer would duplicate the meter's work; ~1K points are plenty for
+// the panel model.
+const lumaSamples = 1024
+
+// sampleLuma estimates mean screen luminance from the device's coarse
+// lattice, cheap enough (and allocation-free) to run per frame.
+func (d *Device) sampleLuma(fb *framebuffer.Buffer) float64 {
+	d.lumaGrid.Sample(fb, d.lumaBuf)
 	sum := 0.0
-	for _, c := range buf {
+	for _, c := range d.lumaBuf {
 		sum += c.Luminance()
 	}
-	return sum / float64(len(buf))
+	return sum / float64(len(d.lumaBuf))
 }
 
 // Engine exposes the simulation engine (for scheduling custom events in
@@ -502,7 +524,9 @@ func (d *Device) Run(duration sim.Time) {
 		d.started = true
 		d.cfg.Recorder.DeviceStart(d.eng.Now())
 		d.panel.Start()
-		d.pwrMeter.Start()
+		if d.pwrMeter != nil {
+			d.pwrMeter.Start()
+		}
 		if d.gov != nil {
 			d.gov.Start()
 		}
@@ -512,7 +536,9 @@ func (d *Device) Run(duration sim.Time) {
 		if d.idleGov != nil {
 			d.idleGov.Start()
 		}
-		d.eng.Every(d.eng.Now()+d.cfg.TraceInterval, d.cfg.TraceInterval, d.recordTraces)
+		if d.cfg.TraceInterval > 0 {
+			d.eng.Every(d.eng.Now()+d.cfg.TraceInterval, d.cfg.TraceInterval, d.recordTraces)
+		}
 	}
 	d.eng.RunUntil(d.eng.Now() + duration)
 }
@@ -593,8 +619,13 @@ func (d *Device) Stats() Stats {
 	if dur <= 0 {
 		return s
 	}
-	s.MeanPowerMW = d.pwrMeter.MeanMW()
-	s.PowerStdMW = trace.Std(d.pwrMeter.Values())
+	if d.pwrMeter != nil {
+		s.MeanPowerMW = d.pwrMeter.MeanMW()
+		s.PowerStdMW = trace.Std(d.pwrMeter.Values())
+	} else {
+		// Sampler disabled: fall back to the model's lifetime mean.
+		s.MeanPowerMW = d.model.MeanPowerMW()
+	}
 	s.EnergyMJ = d.model.EnergyMJ()
 	s.Breakdown = d.model.Breakdown()
 
@@ -702,13 +733,18 @@ func (d *Device) FinishObs() {
 	reg.Histogram("device_refresh_hz", obs.RateBucketsFPS).Observe(s.MeanRefreshHz)
 }
 
-// Traces returns the recorded time series.
+// Traces returns the recorded time series. With a negative
+// PowerSampleInterval the Power slice is nil; with a negative TraceInterval
+// the series are present but empty.
 func (d *Device) Traces() Traces {
-	return Traces{
+	tr := Traces{
 		Content:  d.contentTrace,
 		Frame:    d.frameTrace,
 		Refresh:  d.refreshTrace,
 		Intended: d.intendedTrace,
-		Power:    d.pwrMeter.Samples(),
 	}
+	if d.pwrMeter != nil {
+		tr.Power = d.pwrMeter.Samples()
+	}
+	return tr
 }

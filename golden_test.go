@@ -1,0 +1,163 @@
+// Golden-trace equivalence tests: the full decision sequence of a governed
+// device — every governor decision, every refresh-rate transition, and the
+// end-of-run totals — is rendered to text and compared byte-for-byte
+// against committed golden files in testdata/golden/.
+//
+// Each trace is produced under fleet.Pool at 1, 2 and 8 workers; all three
+// must be identical. That pins the determinism contract the performance
+// work relies on: event pooling, scratch buffers and ring buffers may make
+// the simulation faster, but never change a single decision, and worker
+// scheduling never leaks into results.
+//
+// After an *intentional* behaviour change, refresh the files with:
+//
+//	go test -run TestGoldenTraces -update-golden .
+package ccdem_test
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ccdem"
+	"ccdem/internal/app"
+	"ccdem/internal/core"
+	"ccdem/internal/fleet"
+	"ccdem/internal/input"
+	"ccdem/internal/sim"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden files with current traces")
+
+// goldenApps are the three representative workloads: a touch-driven feed
+// app, a 60 fps game, and autonomous video — the three content classes the
+// paper's taxonomy distinguishes (§2.2).
+var goldenApps = []struct {
+	name string
+	slug string
+	seed int64
+}{
+	{"Facebook", "facebook", 11},
+	{"Jelly Splash", "jellysplash", 12},
+	{"MX Player", "mxplayer", 13},
+}
+
+const goldenDuration = 20 * sim.Second
+
+// goldenTrace runs one governed device on the named app and renders its
+// complete decision history as text.
+func goldenTrace(appName string, seed int64) (string, error) {
+	p, ok := app.ByName(appName)
+	if !ok {
+		return "", fmt.Errorf("unknown app %q", appName)
+	}
+	dev, err := ccdem.NewDevice(ccdem.Config{Governor: ccdem.GovernorSectionBoost})
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	dev.Governor().OnDecision(func(d core.Decision) {
+		fmt.Fprintf(&sb, "decision t=%d content=%.6f rate=%d boosted=%v\n",
+			int64(d.T), d.ContentRate, d.RateHz, d.Boosted)
+	})
+	dev.Panel().OnRateChange(func(t sim.Time, oldHz, newHz int) {
+		fmt.Fprintf(&sb, "rate t=%d %d->%d\n", int64(t), oldHz, newHz)
+	})
+	if _, err := dev.InstallApp(p); err != nil {
+		return "", err
+	}
+	mk, err := input.NewMonkey(seed, input.DefaultMonkeyConfig())
+	if err != nil {
+		return "", err
+	}
+	dev.PlayScript(mk.Script(goldenDuration, 720, 1280))
+	dev.Run(goldenDuration)
+
+	frames, content := dev.Meter().Totals()
+	s := dev.Stats()
+	fmt.Fprintf(&sb, "totals frames=%d content=%d redundant=%d\n",
+		frames, content, dev.Meter().TotalRedundant())
+	fmt.Fprintf(&sb, "totals refreshes=%d switches=%d boosts=%d\n",
+		dev.Panel().Refreshes(), s.RefreshSwitches, s.BoostCount)
+	fmt.Fprintf(&sb, "totals meanrefresh=%.6f energy_mj=%.6f quality=%.6f\n",
+		s.MeanRefreshHz, s.EnergyMJ, s.DisplayQuality)
+	return sb.String(), nil
+}
+
+// runGoldenFleet produces all three app traces under a fleet.Pool of the
+// given width; result order is index-addressed, so it is deterministic no
+// matter how tasks are scheduled.
+func runGoldenFleet(t *testing.T, workers int) []string {
+	t.Helper()
+	traces := make([]string, len(goldenApps))
+	err := fleet.Pool{Workers: workers}.Run(context.Background(), len(goldenApps),
+		func(_ context.Context, i int) error {
+			tr, err := goldenTrace(goldenApps[i].name, goldenApps[i].seed)
+			if err != nil {
+				return fmt.Errorf("%s: %w", goldenApps[i].name, err)
+			}
+			traces[i] = tr
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return traces
+}
+
+// firstLineDiff reports the first line where a and b differ, for readable
+// failures.
+func firstLineDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("line %d:\n  got:  %q\n  want: %q", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("line counts differ: got %d, want %d", len(al), len(bl))
+}
+
+func TestGoldenTraces(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden traces need full-length runs")
+	}
+	sequential := runGoldenFleet(t, 1)
+
+	// Bit-identical at every worker count: parallelism must not perturb a
+	// single decision.
+	for _, workers := range []int{2, 8} {
+		parallel := runGoldenFleet(t, workers)
+		for i, a := range goldenApps {
+			if parallel[i] != sequential[i] {
+				t.Errorf("%s: trace at %d workers differs from sequential\n%s",
+					a.name, workers, firstLineDiff(parallel[i], sequential[i]))
+			}
+		}
+	}
+
+	for i, a := range goldenApps {
+		path := filepath.Join("testdata", "golden", a.slug+".trace")
+		if *updateGolden {
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(sequential[i]), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (run with -update-golden to create)", a.name, err)
+		}
+		if sequential[i] != string(want) {
+			t.Errorf("%s: trace differs from %s (decision stream changed; "+
+				"if intentional, refresh with -update-golden)\n%s",
+				a.name, path, firstLineDiff(sequential[i], string(want)))
+		}
+	}
+}

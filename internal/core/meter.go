@@ -65,6 +65,9 @@ type Meter struct {
 	frames  *trace.RateCounter
 	content *trace.RateCounter
 
+	samples int      // cached cfg.Grid.Samples()
+	fullDur sim.Time // cached cfg.Cost.Duration(samples): the full-sweep cost
+
 	totalFrames  uint64
 	totalContent uint64
 	compareTime  sim.Time // accumulated modeled CPU time
@@ -84,6 +87,8 @@ func NewMeter(cfg MeterConfig) (*Meter, error) {
 		db:      framebuffer.NewDoubleBuffer(cfg.Grid.Samples()),
 		frames:  trace.NewRateCounter(cfg.Window),
 		content: trace.NewRateCounter(cfg.Window),
+		samples: cfg.Grid.Samples(),
+		fullDur: cfg.Cost.Duration(cfg.Grid.Samples()),
 	}, nil
 }
 
@@ -97,7 +102,7 @@ func (m *Meter) ObserveFrame(t sim.Time, fb *framebuffer.Buffer) bool {
 	}
 
 	isContent := true
-	comparedPx := m.cfg.Grid.Samples()
+	comparedPx := m.samples
 	if m.db.Primed() {
 		idx := framebuffer.SamplesFirstDiff(m.db.Front(), m.db.Back())
 		isContent = idx >= 0
@@ -105,7 +110,13 @@ func (m *Meter) ObserveFrame(t sim.Time, fb *framebuffer.Buffer) bool {
 			comparedPx = idx + 1
 		}
 	}
-	dur := m.cfg.Cost.Duration(comparedPx)
+	// The full sweep — every redundant frame, and every content frame
+	// without early exit — reuses the precomputed duration; Duration is a
+	// pure function, so the accounting is unchanged.
+	dur := m.fullDur
+	if comparedPx != m.samples {
+		dur = m.cfg.Cost.Duration(comparedPx)
+	}
 	m.compareTime += dur
 	m.cfg.Recorder.GridCompare(t, dur, comparedPx, isContent)
 	if !isContent {

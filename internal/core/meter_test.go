@@ -195,3 +195,33 @@ func BenchmarkMeterObserve9K(b *testing.B) {
 		m.ObserveFrame(sim.Time(i+1)*sim.Hz(60), fb)
 	}
 }
+
+// TestMeterObserveFrameZeroAlloc pins the frame path's allocation contract:
+// once the double buffer is primed and the rate-counter rings have grown to
+// window occupancy, ObserveFrame — sample, compare, classify, account —
+// must not allocate, for content and redundant frames alike.
+func TestMeterObserveFrameZeroAlloc(t *testing.T) {
+	m, err := NewMeter(MeterConfig{
+		Grid:   framebuffer.GridForSamples(720, 1280, 9216),
+		Window: sim.Second,
+		Cost:   power.DefaultCompareCost(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb := framebuffer.New(720, 1280)
+	frame := 0
+	observe := func() {
+		frame++
+		if frame%2 == 0 { // alternate content and redundant frames
+			fb.Set(frame%720, (frame/720)%1280, framebuffer.Color(frame))
+		}
+		m.ObserveFrame(sim.Time(frame)*sim.Hz(60), fb)
+	}
+	for i := 0; i < 200; i++ { // grow rings past one window of 60 fps
+		observe()
+	}
+	if allocs := testing.AllocsPerRun(500, observe); allocs != 0 {
+		t.Errorf("steady-state ObserveFrame allocates %.1f per frame, want 0", allocs)
+	}
+}

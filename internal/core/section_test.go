@@ -152,3 +152,56 @@ func TestSectionTableGeneralLevelsProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Property (Equation 1): for arbitrary level sets the thresholds are
+// exactly the medians of adjacent levels — t_0 = r_1/2 and
+// t_i = (r_i + r_{i+1})/2 — and the mapping derived from them keeps the
+// paper's headroom guarantee at every content rate, not just the Galaxy
+// S3 menu.
+func TestSectionTableMedianThresholdsProperty(t *testing.T) {
+	f := func(seed []uint8, rawContent uint16) bool {
+		seen := map[int]bool{}
+		var levels []int
+		for _, s := range seed {
+			l := int(s%200) + 1
+			if !seen[l] {
+				seen[l] = true
+				levels = append(levels, l)
+			}
+		}
+		if len(levels) == 0 {
+			return true
+		}
+		st, err := NewSectionTable(levels)
+		if err != nil {
+			return false
+		}
+		ls := st.Levels()
+		thr := st.Thresholds()
+		if len(thr) != len(ls)-1 {
+			return false
+		}
+		// Thresholds are the medians of Equation 1.
+		if len(thr) > 0 && math.Abs(thr[0]-float64(ls[0])/2) > 1e-12 {
+			return false
+		}
+		for i := 1; i < len(thr); i++ {
+			if math.Abs(thr[i]-float64(ls[i-1]+ls[i])/2) > 1e-12 {
+				return false
+			}
+		}
+		// Headroom at an arbitrary probe: strictly above the content rate
+		// unless already at the maximum level.
+		c := float64(rawContent%2400) / 10 // 0–240 fps, past any level
+		hz := st.RateFor(c)
+		if hz != ls[len(ls)-1] && float64(hz) <= c {
+			return false
+		}
+		// Monotone: a slightly larger content rate never selects a lower
+		// level.
+		return st.RateFor(c+0.25) >= hz
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

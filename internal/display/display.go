@@ -66,6 +66,7 @@ type Panel struct {
 
 	running    bool
 	nextHandle sim.Handle
+	vsyncFn    func() // p.vsync, bound once to avoid a closure per refresh
 	onVSync    []VSyncFunc
 	onChange   []RateChangeFunc
 	rec        *obs.Recorder
@@ -97,6 +98,7 @@ func NewPanel(eng *sim.Engine, cfg Config) (*Panel, error) {
 		initial = levels[len(levels)-1]
 	}
 	p := &Panel{eng: eng, levels: levels, cur: initial, fastUp: cfg.FastUpswitch}
+	p.vsyncFn = p.vsync
 	if !p.supported(initial) {
 		return nil, fmt.Errorf("display: initial rate %d Hz not in levels %v", initial, levels)
 	}
@@ -173,7 +175,7 @@ func (p *Panel) SetRate(hz int) error {
 		p.pendingDelay = 0
 		p.applyRate(hz)
 		p.nextHandle.Cancel()
-		p.nextHandle = p.eng.After(sim.Hz(float64(p.cur)), p.vsync)
+		p.nextHandle = p.eng.After(sim.Hz(float64(p.cur)), p.vsyncFn)
 		return nil
 	}
 	p.pending = hz
@@ -205,7 +207,7 @@ func (p *Panel) Start() {
 	p.running = true
 	p.startTime = p.eng.Now()
 	p.rateTimeSince = p.eng.Now()
-	p.nextHandle = p.eng.After(sim.Hz(float64(p.cur)), p.vsync)
+	p.nextHandle = p.eng.After(sim.Hz(float64(p.cur)), p.vsyncFn)
 }
 
 func (p *Panel) vsync() {
@@ -221,7 +223,7 @@ func (p *Panel) vsync() {
 	for _, fn := range p.onVSync {
 		fn(now, p.cur)
 	}
-	p.nextHandle = p.eng.After(sim.Hz(float64(p.cur)), p.vsync)
+	p.nextHandle = p.eng.After(sim.Hz(float64(p.cur)), p.vsyncFn)
 }
 
 // Refreshes returns the total number of V-Sync events generated.

@@ -72,17 +72,21 @@ func (b *Buffer) At(x, y int) Color { return b.pix[y*b.w+x] }
 func (b *Buffer) Set(x, y int, c Color) { b.pix[y*b.w+x] = c }
 
 // Fill sets every pixel in r (clamped to the buffer) to c and returns the
-// number of pixels written.
+// number of pixels written. The first row is painted by doubling copies and
+// replicated into the remaining rows with copy, so the bulk of the work
+// runs at memmove speed instead of one store per pixel.
 func (b *Buffer) Fill(r Rect, c Color) int {
 	r = r.Clamp(b.Bounds())
 	if r.Empty() {
 		return 0
 	}
-	for y := r.Y0; y < r.Y1; y++ {
-		row := b.pix[y*b.w+r.X0 : y*b.w+r.X1]
-		for i := range row {
-			row[i] = c
-		}
+	first := b.pix[r.Y0*b.w+r.X0 : r.Y0*b.w+r.X1]
+	first[0] = c
+	for n := 1; n < len(first); n *= 2 {
+		copy(first[n:], first[:n])
+	}
+	for y := r.Y0 + 1; y < r.Y1; y++ {
+		copy(b.pix[y*b.w+r.X0:y*b.w+r.X1], first)
 	}
 	return r.Area()
 }
@@ -157,24 +161,37 @@ func (b *Buffer) Equal(o *Buffer) bool {
 	if b.w != o.w || b.h != o.h {
 		return false
 	}
-	for i, p := range b.pix {
-		if o.pix[i] != p {
-			return false
-		}
-	}
-	return true
+	return firstDiff(b.pix, o.pix) < 0
 }
 
 // DiffPixels counts pixels that differ between b and o, which must have the
 // same dimensions. It is the ground-truth comparison (the "all pixels" row
-// of the paper's Figure 6).
+// of the paper's Figure 6). Identical stretches — the common case when
+// comparing consecutive frames — are skipped eight pixels per branch via
+// the block kernel; only blocks that differ are rescanned to count.
 func (b *Buffer) DiffPixels(o *Buffer) int {
 	if b.w != o.w || b.h != o.h {
 		panic("framebuffer: DiffPixels size mismatch")
 	}
+	a, c := b.pix, o.pix
 	n := 0
-	for i, p := range b.pix {
-		if o.pix[i] != p {
+	i := 0
+	for ; i+8 <= len(a); i += 8 {
+		x := a[i : i+8 : i+8]
+		y := c[i : i+8 : i+8]
+		d := (x[0] ^ y[0]) | (x[1] ^ y[1]) | (x[2] ^ y[2]) | (x[3] ^ y[3]) |
+			(x[4] ^ y[4]) | (x[5] ^ y[5]) | (x[6] ^ y[6]) | (x[7] ^ y[7])
+		if d == 0 {
+			continue
+		}
+		for j := 0; j < 8; j++ {
+			if x[j] != y[j] {
+				n++
+			}
+		}
+	}
+	for ; i < len(a); i++ {
+		if a[i] != c[i] {
 			n++
 		}
 	}

@@ -13,6 +13,11 @@ type Grid struct {
 	w, h       int // screen dimensions
 	cols, rows int // lattice dimensions
 	xs, ys     []int
+	// flat holds the precomputed row-major pixel index (y*w + x) of every
+	// lattice point, so sampling is a single gather loop with no per-row
+	// arithmetic. int32 keeps the table at 4 bytes per sample (the largest
+	// supported screen, 921600 pixels, fits comfortably).
+	flat []int32
 }
 
 // NewGrid constructs a cols × rows sampling lattice over a w × h screen.
@@ -24,6 +29,13 @@ func NewGrid(w, h, cols, rows int) Grid {
 	g := Grid{w: w, h: h, cols: cols, rows: rows}
 	g.xs = centers(w, cols)
 	g.ys = centers(h, rows)
+	g.flat = make([]int32, 0, cols*rows)
+	for _, y := range g.ys {
+		base := int32(y * w)
+		for _, x := range g.xs {
+			g.flat = append(g.flat, base+int32(x))
+		}
+	}
 	return g
 }
 
@@ -85,13 +97,21 @@ func (g Grid) Sample(buf *Buffer, dst []Color) {
 		panic(fmt.Sprintf("framebuffer: Sample dst length %d, want %d", len(dst), g.Samples()))
 	}
 	pix := buf.Pix()
+	idx := g.flat
+	dst = dst[:len(idx)]
+	// Gather four lattice points per iteration: the unroll amortizes loop
+	// and bounds-check overhead over the memory loads that dominate.
 	i := 0
-	for _, y := range g.ys {
-		row := pix[y*g.w : (y+1)*g.w]
-		for _, x := range g.xs {
-			dst[i] = row[x]
-			i++
-		}
+	for ; i+4 <= len(idx); i += 4 {
+		q := idx[i : i+4 : i+4]
+		d := dst[i : i+4 : i+4]
+		d[0] = pix[q[0]]
+		d[1] = pix[q[1]]
+		d[2] = pix[q[2]]
+		d[3] = pix[q[3]]
+	}
+	for ; i < len(idx); i++ {
+		dst[i] = pix[idx[i]]
 	}
 }
 
@@ -104,10 +124,44 @@ func SamplesDiffer(a, b []Color) bool {
 // SamplesFirstDiff returns the index of the first differing sample, or -1
 // when the lattices are identical. The early-exit meter uses the index to
 // account only the comparison work actually performed.
+//
+// The scan XOR-folds blocks of eight samples so the all-equal sweep — the
+// full-cost path that declares a frame redundant — takes one branch per
+// block; on a mismatch the block is rescanned to report the exact first
+// index, so the result is identical to the naive element-wise scan
+// (samplesFirstDiffRef, which the fuzz harness cross-checks).
 func SamplesFirstDiff(a, b []Color) int {
 	if len(a) != len(b) {
 		panic("framebuffer: SamplesFirstDiff length mismatch")
 	}
+	return firstDiff(a, b)
+}
+
+// firstDiff is the shared block-compare kernel behind SamplesFirstDiff,
+// Buffer.Equal and Buffer.DiffPixels. Slices must have equal length.
+func firstDiff(a, b []Color) int {
+	i := 0
+	for ; i+8 <= len(a); i += 8 {
+		x := a[i : i+8 : i+8]
+		y := b[i : i+8 : i+8]
+		d := (x[0] ^ y[0]) | (x[1] ^ y[1]) | (x[2] ^ y[2]) | (x[3] ^ y[3]) |
+			(x[4] ^ y[4]) | (x[5] ^ y[5]) | (x[6] ^ y[6]) | (x[7] ^ y[7])
+		if d != 0 {
+			break
+		}
+	}
+	for ; i < len(a); i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// samplesFirstDiffRef is the naive reference comparator kept for
+// differential testing (fuzz and property tests) of the block-compare
+// kernel above. It must never be used on a hot path.
+func samplesFirstDiffRef(a, b []Color) int {
 	for i := range a {
 		if a[i] != b[i] {
 			return i

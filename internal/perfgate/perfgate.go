@@ -1,0 +1,390 @@
+// Package perfgate is the benchmark-regression harness guarding the
+// simulation kernel's hot path: it parses `go test -bench` output,
+// aggregates repeated runs into per-benchmark medians, and compares them
+// against a committed baseline (results/bench_baseline.json) with
+// benchstat-style thresholds.
+//
+// The gate enforces two different contracts:
+//
+//   - allocs/op is deterministic — the steady-state frame path is designed
+//     to allocate nothing — so any growth over baseline is a hard failure,
+//     regardless of how noisy the host is;
+//   - ns/op is machine-dependent, so time regressions beyond the threshold
+//     (default 10%) fail only in strict mode and downgrade to warnings in
+//     warn-time mode (what shared CI runners use).
+//
+// cmd/ccdem-bench is the CLI front end; `make perfgate` wires it to the
+// pinned benchmark suite.
+package perfgate
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one aggregated benchmark measurement.
+type Result struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped,
+	// sub-benchmark path included (e.g. "BenchmarkObsOverhead/disabled").
+	Name string `json:"name"`
+	// NsPerOp is the median wall time per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp is the median allocated bytes per operation (-1 when the
+	// run did not report -benchmem figures).
+	BytesPerOp float64 `json:"bytes_per_op"`
+	// AllocsPerOp is the median allocation count per operation (-1 when
+	// not reported).
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Runs is how many samples the median was taken over (the -count).
+	Runs int `json:"runs"`
+}
+
+// benchLine matches one `go test -bench` result line:
+//
+//	BenchmarkFoo-8   1234   5678 ns/op   90 B/op   2 allocs/op
+//
+// Custom -ReportMetric columns between the standard ones are tolerated.
+var benchLine = regexp.MustCompile(`^(Benchmark[^\s]*)\s+(\d+)\s+(.*)$`)
+
+// stripProcs removes the trailing -N GOMAXPROCS suffix go test appends to
+// benchmark names ("BenchmarkFoo-8" → "BenchmarkFoo"), leaving sub-benchmark
+// slashes intact.
+func stripProcs(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// sample is one raw benchmark line before aggregation.
+type sample struct {
+	ns     float64
+	bytes  float64 // -1 when absent
+	allocs float64 // -1 when absent
+}
+
+// Parse reads `go test -bench` output and returns one Result per benchmark,
+// medians across repeated lines (-count > 1), sorted by name. Non-benchmark
+// lines (package headers, PASS/ok, metrics summaries) are skipped.
+func Parse(r io.Reader) ([]Result, error) {
+	samples := make(map[string][]sample)
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := stripProcs(m[1])
+		s := sample{bytes: -1, allocs: -1}
+		fields := strings.Fields(m[3])
+		// Fields come in (value, unit) pairs: "5678 ns/op 90 B/op ...".
+		seenNs := false
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("perfgate: bad value %q in line %q", fields[i], line)
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				s.ns = v
+				seenNs = true
+			case "B/op":
+				s.bytes = v
+			case "allocs/op":
+				s.allocs = v
+			}
+		}
+		if !seenNs {
+			return nil, fmt.Errorf("perfgate: no ns/op in line %q", line)
+		}
+		if _, ok := samples[name]; !ok {
+			order = append(order, name)
+		}
+		samples[name] = append(samples[name], s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]Result, 0, len(order))
+	for _, name := range order {
+		ss := samples[name]
+		out = append(out, Result{
+			Name:        name,
+			NsPerOp:     median(ss, func(s sample) float64 { return s.ns }),
+			BytesPerOp:  median(ss, func(s sample) float64 { return s.bytes }),
+			AllocsPerOp: median(ss, func(s sample) float64 { return s.allocs }),
+			Runs:        len(ss),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+func median(ss []sample, get func(sample) float64) float64 {
+	vs := make([]float64, len(ss))
+	for i, s := range ss {
+		vs[i] = get(s)
+	}
+	sort.Float64s(vs)
+	n := len(vs)
+	if n%2 == 1 {
+		return vs[n/2]
+	}
+	return (vs[n/2-1] + vs[n/2]) / 2
+}
+
+// Baseline is the committed reference the gate compares against.
+type Baseline struct {
+	// Note documents how the baseline was produced (host, flags).
+	Note string `json:"note,omitempty"`
+	// Benchmarks maps benchmark name to its reference measurement.
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+// LoadBaseline reads a baseline JSON file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("perfgate: parse %s: %w", path, err)
+	}
+	if b.Benchmarks == nil {
+		b.Benchmarks = map[string]Result{}
+	}
+	return &b, nil
+}
+
+// Save writes the baseline as indented JSON.
+func (b *Baseline) Save(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Update replaces the baseline entries for every result in rs, leaving
+// benchmarks not present in rs untouched.
+func (b *Baseline) Update(rs []Result) {
+	if b.Benchmarks == nil {
+		b.Benchmarks = map[string]Result{}
+	}
+	for _, r := range rs {
+		b.Benchmarks[r.Name] = r
+	}
+}
+
+// Verdict classifies one benchmark's comparison outcome.
+type Verdict int
+
+// Verdicts, from best to worst.
+const (
+	// OK: within threshold (or improved).
+	OK Verdict = iota
+	// Missing: present in the run but absent from the baseline (or vice
+	// versa) — informational, never fails the gate.
+	Missing
+	// WarnTime: ns/op regressed beyond threshold but time failures are
+	// downgraded to warnings (noisy-runner mode).
+	WarnTime
+	// FailTime: ns/op regressed beyond threshold in strict mode.
+	FailTime
+	// FailAllocs: allocs/op grew over baseline — always a hard failure.
+	FailAllocs
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case OK:
+		return "ok"
+	case Missing:
+		return "missing"
+	case WarnTime:
+		return "warn-time"
+	case FailTime:
+		return "FAIL-time"
+	case FailAllocs:
+		return "FAIL-allocs"
+	default:
+		return fmt.Sprintf("verdict(%d)", int(v))
+	}
+}
+
+// Options configures a comparison.
+type Options struct {
+	// Threshold is the allowed fractional ns/op growth (0.10 = +10%).
+	// Zero means the 0.10 default.
+	Threshold float64
+	// WarnTimeOnly downgrades time regressions from failures to warnings;
+	// alloc growth still fails. CI uses this on shared runners whose
+	// timings are not comparable to the baseline host.
+	WarnTimeOnly bool
+}
+
+func (o Options) threshold() float64 {
+	if o.Threshold <= 0 {
+		return 0.10
+	}
+	return o.Threshold
+}
+
+// Delta is one benchmark's baseline-vs-current comparison.
+type Delta struct {
+	Name     string
+	Verdict  Verdict
+	Base     Result // zero when Missing (not in baseline)
+	Cur      Result // zero when Missing (not in run)
+	TimePct  float64
+	AllocsUp float64 // allocs/op growth (cur − base), 0 when fine
+	Detail   string
+}
+
+// Report is a full gate evaluation.
+type Report struct {
+	Deltas []Delta
+	Opts   Options
+}
+
+// Compare evaluates current results against the baseline.
+func Compare(base *Baseline, current []Result, opts Options) *Report {
+	rep := &Report{Opts: opts}
+	seen := make(map[string]bool, len(current))
+	for _, cur := range current {
+		seen[cur.Name] = true
+		b, ok := base.Benchmarks[cur.Name]
+		if !ok {
+			rep.Deltas = append(rep.Deltas, Delta{
+				Name: cur.Name, Verdict: Missing, Cur: cur,
+				Detail: "not in baseline (run with -update to add)",
+			})
+			continue
+		}
+		d := Delta{Name: cur.Name, Base: b, Cur: cur}
+		if b.NsPerOp > 0 {
+			d.TimePct = 100 * (cur.NsPerOp - b.NsPerOp) / b.NsPerOp
+		}
+		switch {
+		// Allocation counts are deterministic, but medians over an even
+		// -count can land between integers; require a real increase.
+		case b.AllocsPerOp >= 0 && cur.AllocsPerOp > b.AllocsPerOp+0.5:
+			d.Verdict = FailAllocs
+			d.AllocsUp = cur.AllocsPerOp - b.AllocsPerOp
+			d.Detail = fmt.Sprintf("allocs/op %0.f → %0.f", b.AllocsPerOp, cur.AllocsPerOp)
+		case cur.NsPerOp > b.NsPerOp*(1+opts.threshold()):
+			if opts.WarnTimeOnly {
+				d.Verdict = WarnTime
+			} else {
+				d.Verdict = FailTime
+			}
+			d.Detail = fmt.Sprintf("ns/op %+.1f%% (limit %+.0f%%)", d.TimePct, 100*opts.threshold())
+		default:
+			d.Verdict = OK
+		}
+		rep.Deltas = append(rep.Deltas, d)
+	}
+	// Baseline entries the run never produced: surface them so a silently
+	// deleted benchmark cannot hide a regression.
+	var absent []string
+	for name := range base.Benchmarks {
+		if !seen[name] {
+			absent = append(absent, name)
+		}
+	}
+	sort.Strings(absent)
+	for _, name := range absent {
+		rep.Deltas = append(rep.Deltas, Delta{
+			Name: name, Verdict: Missing, Base: base.Benchmarks[name],
+			Detail: "in baseline but not in this run",
+		})
+	}
+	return rep
+}
+
+// Failed reports whether the gate fails: any FailAllocs or FailTime delta.
+func (r *Report) Failed() bool {
+	for _, d := range r.Deltas {
+		if d.Verdict == FailAllocs || d.Verdict == FailTime {
+			return true
+		}
+	}
+	return false
+}
+
+// Warnings counts WarnTime deltas.
+func (r *Report) Warnings() int {
+	n := 0
+	for _, d := range r.Deltas {
+		if d.Verdict == WarnTime {
+			n++
+		}
+	}
+	return n
+}
+
+// Write renders the report as an aligned text table.
+func (r *Report) Write(w io.Writer) error {
+	fmt.Fprintf(w, "%-44s %12s %12s %8s %8s  %s\n",
+		"benchmark", "base ns/op", "cur ns/op", "Δtime", "allocs", "verdict")
+	for _, d := range r.Deltas {
+		baseNs, curNs, dt, allocs := "-", "-", "-", "-"
+		if d.Base.Name != "" {
+			baseNs = fmtNs(d.Base.NsPerOp)
+		}
+		if d.Cur.Name != "" {
+			curNs = fmtNs(d.Cur.NsPerOp)
+			if d.Cur.AllocsPerOp >= 0 {
+				allocs = strconv.FormatFloat(d.Cur.AllocsPerOp, 'f', -1, 64)
+			}
+		}
+		if d.Base.Name != "" && d.Cur.Name != "" {
+			dt = fmt.Sprintf("%+.1f%%", d.TimePct)
+		}
+		line := fmt.Sprintf("%-44s %12s %12s %8s %8s  %s",
+			d.Name, baseNs, curNs, dt, allocs, d.Verdict)
+		if d.Detail != "" {
+			line += " (" + d.Detail + ")"
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	if r.Failed() {
+		_, err := fmt.Fprintln(w, "perfgate: FAIL")
+		return err
+	}
+	if n := r.Warnings(); n > 0 {
+		_, err := fmt.Fprintf(w, "perfgate: ok with %d time warning(s)\n", n)
+		return err
+	}
+	_, err := fmt.Fprintln(w, "perfgate: ok")
+	return err
+}
+
+func fmtNs(ns float64) string {
+	switch {
+	case ns >= 1e6:
+		return fmt.Sprintf("%.3gms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.3gµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.3gns", ns)
+	}
+}

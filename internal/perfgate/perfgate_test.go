@@ -1,0 +1,153 @@
+package perfgate
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const benchOutput = `goos: linux
+goarch: amd64
+pkg: ccdem/internal/framebuffer
+cpu: some host cpu @ 3.00GHz
+BenchmarkGridSample9K-8      	  473623	      4545 ns/op	       7 B/op	       0 allocs/op
+BenchmarkGridSample9K-8      	  480000	      4601 ns/op	       7 B/op	       0 allocs/op
+BenchmarkGridSample9K-8      	  470000	      4381 ns/op	       7 B/op	       0 allocs/op
+BenchmarkDeviceSimulation 	     420	   6183968 ns/op	      1617 virtual-s/s	 7542376 B/op	    1210 allocs/op
+BenchmarkObsOverhead/disabled-8 	 100	   123456 ns/op
+PASS
+ok  	ccdem/internal/framebuffer	4.067s
+`
+
+func TestParse(t *testing.T) {
+	rs, err := Parse(strings.NewReader(benchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("got %d results, want 3: %+v", len(rs), rs)
+	}
+	byName := map[string]Result{}
+	for _, r := range rs {
+		byName[r.Name] = r
+	}
+
+	gs, ok := byName["BenchmarkGridSample9K"]
+	if !ok {
+		t.Fatalf("GridSample9K missing (proc suffix not stripped?): %+v", rs)
+	}
+	if gs.Runs != 3 {
+		t.Errorf("GridSample9K runs = %d, want 3", gs.Runs)
+	}
+	if gs.NsPerOp != 4545 { // median of 4381, 4545, 4601
+		t.Errorf("GridSample9K ns/op median = %v, want 4545", gs.NsPerOp)
+	}
+	if gs.AllocsPerOp != 0 || gs.BytesPerOp != 7 {
+		t.Errorf("GridSample9K allocs=%v bytes=%v, want 0 and 7", gs.AllocsPerOp, gs.BytesPerOp)
+	}
+
+	// Custom ReportMetric columns must not confuse the standard ones.
+	ds := byName["BenchmarkDeviceSimulation"]
+	if ds.NsPerOp != 6183968 || ds.AllocsPerOp != 1210 {
+		t.Errorf("DeviceSimulation = %+v, want ns=6183968 allocs=1210", ds)
+	}
+
+	// Without -benchmem figures, allocs/bytes are marked absent.
+	obs := byName["BenchmarkObsOverhead/disabled"]
+	if obs.NsPerOp != 123456 || obs.AllocsPerOp != -1 || obs.BytesPerOp != -1 {
+		t.Errorf("ObsOverhead/disabled = %+v, want ns=123456 allocs=-1 bytes=-1", obs)
+	}
+}
+
+func TestParseEvenCountMedian(t *testing.T) {
+	out := `BenchmarkX-4 	10	100 ns/op	0 B/op	0 allocs/op
+BenchmarkX-4 	10	300 ns/op	0 B/op	0 allocs/op
+`
+	rs, err := Parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[0].NsPerOp != 200 {
+		t.Errorf("even-count median = %v, want 200", rs[0].NsPerOp)
+	}
+}
+
+func base(entries ...Result) *Baseline {
+	b := &Baseline{Benchmarks: map[string]Result{}}
+	b.Update(entries)
+	return b
+}
+
+func TestCompareVerdicts(t *testing.T) {
+	b := base(
+		Result{Name: "BenchmarkFast", NsPerOp: 1000, AllocsPerOp: 0, BytesPerOp: 0},
+		Result{Name: "BenchmarkGone", NsPerOp: 50, AllocsPerOp: 0},
+	)
+	cases := []struct {
+		name string
+		cur  Result
+		opts Options
+		want Verdict
+	}{
+		{"within threshold", Result{Name: "BenchmarkFast", NsPerOp: 1080, AllocsPerOp: 0}, Options{}, OK},
+		{"improved", Result{Name: "BenchmarkFast", NsPerOp: 500, AllocsPerOp: 0}, Options{}, OK},
+		{"time regression", Result{Name: "BenchmarkFast", NsPerOp: 1200, AllocsPerOp: 0}, Options{}, FailTime},
+		{"time regression warn mode", Result{Name: "BenchmarkFast", NsPerOp: 1200, AllocsPerOp: 0}, Options{WarnTimeOnly: true}, WarnTime},
+		{"custom threshold passes", Result{Name: "BenchmarkFast", NsPerOp: 1200, AllocsPerOp: 0}, Options{Threshold: 0.25}, OK},
+		{"alloc growth", Result{Name: "BenchmarkFast", NsPerOp: 900, AllocsPerOp: 2}, Options{}, FailAllocs},
+		{"alloc growth beats warn mode", Result{Name: "BenchmarkFast", NsPerOp: 900, AllocsPerOp: 2}, Options{WarnTimeOnly: true}, FailAllocs},
+		{"new benchmark", Result{Name: "BenchmarkNew", NsPerOp: 10, AllocsPerOp: 0}, Options{}, Missing},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep := Compare(b, []Result{tc.cur}, tc.opts)
+			if got := rep.Deltas[0].Verdict; got != tc.want {
+				t.Errorf("verdict = %v, want %v", got, tc.want)
+			}
+			wantFail := tc.want == FailTime || tc.want == FailAllocs
+			if rep.Failed() != wantFail {
+				t.Errorf("Failed() = %v, want %v", rep.Failed(), wantFail)
+			}
+		})
+	}
+}
+
+func TestCompareAbsentFromRun(t *testing.T) {
+	b := base(Result{Name: "BenchmarkGone", NsPerOp: 50, AllocsPerOp: 0})
+	rep := Compare(b, nil, Options{})
+	if len(rep.Deltas) != 1 || rep.Deltas[0].Verdict != Missing {
+		t.Fatalf("deltas = %+v, want one Missing for BenchmarkGone", rep.Deltas)
+	}
+	if rep.Failed() {
+		t.Error("absent benchmark must not fail the gate")
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	b := base(Result{Name: "BenchmarkX", NsPerOp: 42, AllocsPerOp: 0, BytesPerOp: 7, Runs: 5})
+	b.Note = "test host"
+	if err := b.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Note != "test host" || got.Benchmarks["BenchmarkX"] != b.Benchmarks["BenchmarkX"] {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestReportWrite(t *testing.T) {
+	b := base(Result{Name: "BenchmarkFast", NsPerOp: 1000, AllocsPerOp: 0})
+	rep := Compare(b, []Result{{Name: "BenchmarkFast", NsPerOp: 2000, AllocsPerOp: 5}}, Options{})
+	var sb strings.Builder
+	if err := rep.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "FAIL-allocs") || !strings.Contains(out, "perfgate: FAIL") {
+		t.Errorf("report missing failure markers:\n%s", out)
+	}
+}

@@ -50,7 +50,10 @@ func Hz(rate float64) Time {
 	return Time(float64(Second) / rate)
 }
 
-// event is a scheduled callback.
+// event is a scheduled callback. Fired and canceled events are recycled
+// through the engine's free list, so steady-state scheduling (V-Sync,
+// pacers, governor ticks) allocates nothing; gen guards stale Handles
+// against acting on a recycled slot.
 type event struct {
 	at  Time
 	seq uint64 // tie-breaker preserving scheduling order
@@ -58,6 +61,8 @@ type event struct {
 
 	index    int // heap index, -1 once popped
 	canceled bool
+	gen      uint64 // bumped on every recycle; Handles capture it
+	nextFree *event // free-list link, nil while scheduled
 }
 
 // eventHeap is a min-heap ordered by (at, seq).
@@ -96,6 +101,27 @@ type Engine struct {
 	now    Time
 	events eventHeap
 	seq    uint64
+	free   *event // recycled events, reused by At/After/Every
+}
+
+// allocEvent takes an event from the free list, or allocates a fresh one.
+func (e *Engine) allocEvent() *event {
+	if ev := e.free; ev != nil {
+		e.free = ev.nextFree
+		ev.nextFree = nil
+		return ev
+	}
+	return &event{}
+}
+
+// recycleEvent returns a popped event to the free list. The generation
+// bump invalidates any Handle still pointing at it.
+func (e *Engine) recycleEvent(ev *event) {
+	ev.fn = nil
+	ev.canceled = false
+	ev.gen++
+	ev.nextFree = e.free
+	e.free = ev
 }
 
 // NewEngine returns a fresh engine with the clock at zero.
@@ -109,12 +135,17 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Pending() int { return len(e.events) }
 
 // Handle identifies a scheduled event and allows cancellation.
-type Handle struct{ ev *event }
+type Handle struct {
+	ev  *event
+	gen uint64
+}
 
 // Cancel prevents the event from firing. Canceling an already-fired or
-// already-canceled event is a no-op. Cancel on a zero Handle is a no-op.
+// already-canceled event is a no-op (the event slot may since have been
+// recycled for an unrelated event; the generation check keeps a stale
+// Handle from touching it). Cancel on a zero Handle is a no-op.
 func (h Handle) Cancel() {
-	if h.ev != nil {
+	if h.ev != nil && h.ev.gen == h.gen {
 		h.ev.canceled = true
 	}
 }
@@ -125,10 +156,13 @@ func (e *Engine) At(t Time, fn func()) Handle {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
-	ev := &event{at: t, seq: e.seq, fn: fn}
+	ev := e.allocEvent()
+	ev.at = t
+	ev.seq = e.seq
+	ev.fn = fn
 	e.seq++
 	heap.Push(&e.events, ev)
-	return Handle{ev}
+	return Handle{ev, ev.gen}
 }
 
 // After schedules fn to run d microseconds from now. Negative d panics.
@@ -147,7 +181,10 @@ func (e *Engine) Every(start, period Time, fn func()) *Ticker {
 		panic(fmt.Sprintf("sim: non-positive period %v", period))
 	}
 	t := &Ticker{eng: e, period: period, fn: fn}
-	t.handle = e.At(start, t.tick)
+	// Bind the tick method value once: rescheduling with t.tick directly
+	// would allocate a fresh bound-method closure on every tick.
+	t.tickFn = t.tick
+	t.handle = e.At(start, t.tickFn)
 	return t
 }
 
@@ -156,6 +193,7 @@ type Ticker struct {
 	eng     *Engine
 	period  Time
 	fn      func()
+	tickFn  func() // t.tick, bound once
 	handle  Handle
 	stopped bool
 }
@@ -166,7 +204,7 @@ func (t *Ticker) tick() {
 	}
 	t.fn()
 	if !t.stopped { // fn may have called Stop
-		t.handle = t.eng.After(t.period, t.tick)
+		t.handle = t.eng.After(t.period, t.tickFn)
 	}
 }
 
@@ -183,10 +221,15 @@ func (e *Engine) Step() bool {
 	for len(e.events) > 0 {
 		ev := heap.Pop(&e.events).(*event)
 		if ev.canceled {
+			e.recycleEvent(ev)
 			continue
 		}
-		e.now = ev.at
-		ev.fn()
+		at, fn := ev.at, ev.fn
+		// Recycle before firing: fn may schedule new events, which can then
+		// reuse this slot; the generation bump keeps stale Handles inert.
+		e.recycleEvent(ev)
+		e.now = at
+		fn()
 		return true
 	}
 	return false
@@ -204,15 +247,17 @@ func (e *Engine) RunUntil(t Time) {
 		next := e.events[0]
 		if next.canceled {
 			heap.Pop(&e.events)
+			e.recycleEvent(next)
 			continue
 		}
 		if next.at > t {
 			break
 		}
 		heap.Pop(&e.events)
-		next.index = -1
-		e.now = next.at
-		next.fn()
+		at, fn := next.at, next.fn
+		e.recycleEvent(next)
+		e.now = at
+		fn()
 	}
 	e.now = t
 }

@@ -256,3 +256,55 @@ func BenchmarkEngineScheduleAndRun(b *testing.B) {
 		e.Run()
 	}
 }
+
+// BenchmarkEngineSteadyState measures the schedule-fire-recycle cycle the
+// simulation actually runs in steady state: a handful of self-rescheduling
+// events (V-Sync, pacers, tickers) firing forever. With the event free list
+// this path allocates nothing; each iteration is one fired event.
+func BenchmarkEngineSteadyState(b *testing.B) {
+	e := NewEngine()
+	for j := 0; j < 8; j++ {
+		period := Time(j+1) * Millisecond
+		var fn func()
+		fn = func() { e.After(period, fn) }
+		e.After(period, fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+// TestEngineSteadyStateZeroAlloc pins the event pool's contract: a warmed
+// engine running schedule-fire-recycle cycles (the V-Sync / ticker shape)
+// allocates nothing per event.
+func TestEngineSteadyStateZeroAlloc(t *testing.T) {
+	e := NewEngine()
+	var fn func()
+	fn = func() { e.After(Millisecond, fn) }
+	e.After(Millisecond, fn)
+	for i := 0; i < 100; i++ { // warm the free list and heap storage
+		e.Step()
+	}
+	if allocs := testing.AllocsPerRun(1000, func() { e.Step() }); allocs != 0 {
+		t.Errorf("steady-state Step allocates %.1f per event, want 0", allocs)
+	}
+}
+
+// TestTickerSteadyStateZeroAlloc covers the Every path: recurring ticks
+// must reuse the bound tick closure and pooled events.
+func TestTickerSteadyStateZeroAlloc(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	e.Every(Millisecond, Millisecond, func() { n++ })
+	for i := 0; i < 100; i++ {
+		e.Step()
+	}
+	if allocs := testing.AllocsPerRun(1000, func() { e.Step() }); allocs != 0 {
+		t.Errorf("steady-state ticker allocates %.1f per tick, want 0", allocs)
+	}
+	if n == 0 {
+		t.Fatal("ticker never fired")
+	}
+}

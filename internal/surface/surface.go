@@ -61,9 +61,14 @@ type Surface struct {
 	frame     framebuffer.Rect // position on screen
 	buf       *framebuffer.Buffer
 	client    Client
+	region    RegionClient // client, if it implements RegionClient (cached assertion)
 	mgr       *Manager
 	wantFrame bool
 	everDrawn bool
+
+	// rectScratch backs the damage list for plain-Client renders and the
+	// first latch, so per-frame composition allocates nothing.
+	rectScratch []framebuffer.Rect
 
 	requests uint64
 	renders  uint64
@@ -169,6 +174,7 @@ func (m *Manager) NewSurfaceAt(name string, z int, frame framebuffer.Rect, clien
 		client: client,
 		mgr:    m,
 	}
+	s.region, _ = client.(RegionClient)
 	// Insert in z order (stable for equal z).
 	idx := len(m.surfaces)
 	for i, other := range m.surfaces {
@@ -215,8 +221,8 @@ func (m *Manager) VSync(t sim.Time, _ int) {
 		s.wantFrame = false
 		var rects []framebuffer.Rect
 		var renderedPx int
-		if rc, ok := s.client.(RegionClient); ok {
-			region, px := rc.RenderRegion(t, s.buf)
+		if s.region != nil {
+			region, px := s.region.RenderRegion(t, s.buf)
 			renderedPx = px
 			if region != nil {
 				rects = region.Rects()
@@ -225,7 +231,8 @@ func (m *Manager) VSync(t sim.Time, _ int) {
 			damage, px := s.client.Render(t, s.buf)
 			renderedPx = px
 			if !damage.Empty() {
-				rects = append(rects, damage)
+				s.rectScratch = append(s.rectScratch[:0], damage)
+				rects = s.rectScratch
 			}
 		}
 		s.renders++
@@ -235,7 +242,8 @@ func (m *Manager) VSync(t sim.Time, _ int) {
 		}
 		if !s.everDrawn {
 			// First latch composes the whole surface.
-			rects = []framebuffer.Rect{s.buf.Bounds()}
+			s.rectScratch = append(s.rectScratch[:0], s.buf.Bounds())
+			rects = s.rectScratch
 			s.everDrawn = true
 		}
 		for _, damage := range rects {

@@ -231,3 +231,72 @@ func TestRateCounterOutOfOrderPanics(t *testing.T) {
 	}()
 	rc.Note(0)
 }
+
+// TestRateCounterRingWraparound drives the ring through many grow/wrap
+// cycles with an irregular event pattern and cross-checks every Rate
+// reading against a naive sliding-window reference.
+func TestRateCounterRingWraparound(t *testing.T) {
+	rc := NewRateCounter(sim.Second)
+	var ref []sim.Time
+	refRate := func(now sim.Time) float64 {
+		n := 0
+		for _, e := range ref {
+			if e > now-sim.Second {
+				n++
+			}
+		}
+		return float64(n)
+	}
+	tm := sim.Time(0)
+	for i := 0; i < 5000; i++ {
+		// Bursts followed by gaps: occupancy swings from 0 to hundreds,
+		// forcing growth, full drains, and head wraparound.
+		if i%700 < 500 {
+			tm += 3 * sim.Millisecond
+		} else {
+			tm += 40 * sim.Millisecond
+		}
+		rc.Note(tm)
+		ref = append(ref, tm)
+		if got, want := rc.Rate(tm), refRate(tm); got != want {
+			t.Fatalf("event %d at %v: Rate = %v, ref = %v", i, tm, got, want)
+		}
+	}
+	if rc.Total() != 5000 {
+		t.Errorf("Total = %d, want 5000", rc.Total())
+	}
+}
+
+// TestRateCounterSteadyStateZeroAlloc: after one window of 60 Hz events the
+// ring has reached capacity and Note must not allocate again.
+func TestRateCounterSteadyStateZeroAlloc(t *testing.T) {
+	rc := NewRateCounter(sim.Second)
+	tm := sim.Time(0)
+	note := func() {
+		tm += sim.Hz(60)
+		rc.Note(tm)
+	}
+	for i := 0; i < 200; i++ {
+		note()
+	}
+	if allocs := testing.AllocsPerRun(1000, note); allocs != 0 {
+		t.Errorf("steady-state Note allocates %.1f per event, want 0", allocs)
+	}
+}
+
+// TestRateCounterOutOfOrderPanicsAfterWrap: the order check must compare
+// against the newest event even when it sits mid-ring.
+func TestRateCounterOutOfOrderPanicsAfterWrap(t *testing.T) {
+	rc := NewRateCounter(sim.Second)
+	tm := sim.Time(0)
+	for i := 0; i < 300; i++ {
+		tm += 7 * sim.Millisecond
+		rc.Note(tm)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-order Note after ring wrap did not panic")
+		}
+	}()
+	rc.Note(tm - sim.Millisecond)
+}
