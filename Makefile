@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench perfgate perfgate-update fuzz chaos validate campaign figures fleet obs clean
+.PHONY: all build test test-short race cover bench perfgate perfgate-update fuzz chaos validate campaign figures fleet fleet-scale obs clean
 
 all: build test
 
@@ -74,6 +74,19 @@ figures:
 # Small-cohort fleet smoke run (see cmd/ccdem-fleet -help for real studies).
 fleet:
 	$(GO) run ./cmd/ccdem-fleet -devices 24 -duration 10 -progress
+
+# Fleet-scale smoke (DESIGN.md §11): a 100k-device streamed campaign —
+# O(workers) memory, device reuse, batched dispatch — timed on the normal
+# build, then the streamed path again under the race detector on a small
+# cohort. Short sessions keep the 100k run to minutes; EXPERIMENTS.md has
+# the measured 1M-device numbers.
+FLEET_SCALE_DEVICES ?= 100000
+fleet-scale:
+	time $(GO) run ./cmd/ccdem-fleet -devices $(FLEET_SCALE_DEVICES) \
+		-duration 1 -stream -batch 64 -progress > /dev/null
+	$(GO) test -race -run 'TestStreamedCohort|TestPoolBatch' ./internal/fleet
+	$(GO) run -race ./cmd/ccdem-fleet -devices 200 -duration 2 \
+		-stream -batch 16 -workers 8 > /dev/null
 
 # Sample observability artifacts from a short fleet run: a Perfetto-loadable
 # trace (open at https://ui.perfetto.dev) and the merged metrics dump.

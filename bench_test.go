@@ -12,6 +12,8 @@ import (
 	"sync"
 	"testing"
 
+	"runtime"
+
 	"ccdem"
 	"ccdem/internal/app"
 	"ccdem/internal/experiments"
@@ -265,6 +267,69 @@ func BenchmarkFleetScaling(b *testing.B) {
 			b.ReportMetric(agg.MeanSavedMW, "fleet-saved-mW")
 			b.ReportMetric(agg.QualityPctMean, "fleet-quality-%")
 			b.ReportMetric(float64(cohort.Devices)*cohort.Session.Seconds()*float64(b.N)/b.Elapsed().Seconds(), "device-s/s")
+		})
+	}
+}
+
+// fleetBenchCohort is the light-interaction streamed cohort pinned by the
+// fleet throughput and memory gates: sparse touches on one app keep each
+// device's session cheap, so the measurement is dominated by per-device
+// setup cost — exactly what device reuse, streaming aggregation and
+// batched scheduling eliminate — rather than by frame simulation.
+func fleetBenchCohort(devices int) fleet.Cohort {
+	return fleet.Cohort{
+		Devices: devices,
+		Seed:    99,
+		Session: 2 * sim.Second,
+		Stream:  true,
+		Profiles: []fleet.Profile{{
+			Name: "idler", Weight: 1, TouchIntensity: 0.2,
+			Apps: []fleet.AppShare{{Name: "Facebook", Weight: 1}},
+		}},
+	}
+}
+
+// BenchmarkFleetThroughput gates cohort execution speed: devices fully
+// simulated (baseline + managed segments) per wall second on the streamed,
+// device-reusing, batch-scheduled path.
+func BenchmarkFleetThroughput(b *testing.B) {
+	cohort := fleetBenchCohort(32)
+	pool := fleet.Pool{Workers: 8, Batch: 8}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cohort.Run(context.Background(), pool); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(cohort.Devices)*float64(b.N)/b.Elapsed().Seconds(), "devices/s")
+}
+
+// BenchmarkCohortMemory gates the streamed campaign's memory footprint:
+// B/op must stay dominated by the per-worker recycled devices and the
+// per-device scripts, not per-device result retention or reconstruction.
+// The per-device byte metric makes the O(workers) claim visible — it must
+// not grow with the cohort (compare devices=64 vs devices=256). The sub-
+// benchmark names use '=' rather than a trailing -N so the perfgate parser's
+// GOMAXPROCS-suffix stripping cannot eat the device count.
+func BenchmarkCohortMemory(b *testing.B) {
+	for _, devices := range []int{64, 256} {
+		b.Run(fmt.Sprintf("devices=%d", devices), func(b *testing.B) {
+			cohort := fleetBenchCohort(devices)
+			pool := fleet.Pool{Workers: 2, Batch: 16}
+			var before, after runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&before)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cohort.Run(context.Background(), pool); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			runtime.ReadMemStats(&after)
+			b.ReportMetric(float64(after.TotalAlloc-before.TotalAlloc)/float64(b.N)/float64(devices), "B/device")
 		})
 	}
 }

@@ -240,36 +240,108 @@ type Device struct {
 	// Per-frame OLED luminance scratch (built once when the panel is OLED).
 	lumaGrid framebuffer.Grid
 	lumaBuf  []framebuffer.Color
+
+	// grid is the meter's comparison lattice, cached so Reset can reuse it
+	// when the screen and sample count are unchanged.
+	grid framebuffer.Grid
 }
 
 // NewDevice assembles a device from cfg (defaults applied).
 func NewDevice(cfg Config) (*Device, error) {
+	d := &Device{}
+	if err := d.init(cfg, false); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Reset reinitializes the device in place for a new run under cfg, as if
+// freshly constructed by NewDevice, while reusing every large allocation:
+// the engine's event pool, the framebuffer, detached surface buffers, the
+// meter's double-buffered lattice and rate-counter rings, the comparison
+// grid and trace/sample storage (when dimensions, sample counts and
+// windows are unchanged — the steady-state fleet path). This is what lets
+// a cohort run one device per worker across millions of tasks with a
+// per-task allocation cost that approaches the input script alone.
+//
+// Pixel buffers are deliberately NOT cleared. A reset device is
+// bit-identical to a fresh one for clients that fully paint their surface
+// before the first frame — every app and wallpaper in the catalog does
+// (their initial paint fills the whole buffer) — because the first latch
+// composes the surface's full bounds over the framebuffer and the meter's
+// comparison history is discarded. A hypothetical client that composes
+// pixels it never painted would see prior-run content instead of zeros.
+//
+// All objects previously obtained from the device (apps, surfaces,
+// governor, tickers, handles) are invalidated. On error the device is in
+// an unspecified state and must not be reused.
+func (d *Device) Reset(cfg Config) error { return d.init(cfg, true) }
+
+// init builds (reuse=false) or recycles (reuse=true) the device's full
+// object graph from cfg.
+func (d *Device) init(cfg Config, reuse bool) error {
 	cfg.applyDefaults()
 	if cfg.Brightness < 0 || cfg.Brightness > 1 {
-		return nil, fmt.Errorf("ccdem: brightness %v out of [0,1]", cfg.Brightness)
+		return fmt.Errorf("ccdem: brightness %v out of [0,1]", cfg.Brightness)
 	}
 	if cfg.Width <= 0 || cfg.Height <= 0 {
-		return nil, fmt.Errorf("ccdem: invalid screen %dx%d", cfg.Width, cfg.Height)
+		return fmt.Errorf("ccdem: invalid screen %dx%d", cfg.Width, cfg.Height)
 	}
-	eng := sim.NewEngine()
-	panel, err := display.NewPanel(eng, display.Config{
+	// d.cfg still holds the previous run's config; these decide which
+	// dimension-keyed allocations survive the reset.
+	sameScreen := reuse && d.cfg.Width == cfg.Width && d.cfg.Height == cfg.Height
+	sameGrid := sameScreen && d.cfg.MeterSamples == cfg.MeterSamples
+
+	if reuse {
+		d.eng.Reset()
+	} else {
+		d.eng = sim.NewEngine()
+	}
+	panelCfg := display.Config{
 		Levels:       cfg.RefreshLevels,
 		FastUpswitch: cfg.FastUpswitch,
-	})
-	if err != nil {
-		return nil, err
 	}
-	mgr := surface.NewManager(eng, cfg.Width, cfg.Height)
-	model, err := power.NewModel(eng, *cfg.PowerParams, panel.Rate(), cfg.Brightness)
-	if err != nil {
-		return nil, err
-	}
-	var pwrMeter *power.Meter
-	if cfg.PowerSampleInterval > 0 {
-		pwrMeter, err = power.NewMeter(eng, model, cfg.PowerSampleInterval)
-		if err != nil {
-			return nil, err
+	if reuse {
+		if err := d.panel.Reset(panelCfg); err != nil {
+			return err
 		}
+	} else {
+		panel, err := display.NewPanel(d.eng, panelCfg)
+		if err != nil {
+			return err
+		}
+		d.panel = panel
+	}
+	if sameScreen {
+		d.mgr.Reset()
+	} else {
+		d.mgr = surface.NewManager(d.eng, cfg.Width, cfg.Height)
+	}
+	if reuse {
+		if err := d.model.Reset(*cfg.PowerParams, d.panel.Rate(), cfg.Brightness); err != nil {
+			return err
+		}
+	} else {
+		model, err := power.NewModel(d.eng, *cfg.PowerParams, d.panel.Rate(), cfg.Brightness)
+		if err != nil {
+			return err
+		}
+		d.model = model
+	}
+	if cfg.PowerSampleInterval > 0 {
+		if reuse && d.pwrMeter != nil {
+			if err := d.pwrMeter.Reset(cfg.PowerSampleInterval); err != nil {
+				return err
+			}
+		} else {
+			pwrMeter, err := power.NewMeter(d.eng, d.model, cfg.PowerSampleInterval)
+			if err != nil {
+				return err
+			}
+			d.pwrMeter = pwrMeter
+		}
+	} else {
+		d.pwrMeter = nil
 	}
 	// In the baseline configuration the meter still observes frames so the
 	// reported statistics are comparable, but — like the paper's offline
@@ -277,7 +349,7 @@ func NewDevice(cfg Config) (*Device, error) {
 	// metering.
 	var onCompare func(sim.Time)
 	if cfg.Governor != GovernorOff {
-		onCompare = model.MeterCompare
+		onCompare = d.model.MeterCompare
 	}
 	if h := cfg.Metrics.Histogram("compare_cost_us", obs.CompareCostBucketsUS); h != nil {
 		inner := onCompare
@@ -288,8 +360,11 @@ func NewDevice(cfg Config) (*Device, error) {
 			}
 		}
 	}
+	if !sameGrid {
+		d.grid = framebuffer.GridForSamples(cfg.Width, cfg.Height, cfg.MeterSamples)
+	}
 	meterCfg := core.MeterConfig{
-		Grid:      framebuffer.GridForSamples(cfg.Width, cfg.Height, cfg.MeterSamples),
+		Grid:      d.grid,
 		Window:    cfg.MeterWindow,
 		Cost:      power.DefaultCompareCost(),
 		OnCompare: onCompare,
@@ -299,33 +374,57 @@ func NewDevice(cfg Config) (*Device, error) {
 	if cfg.Faults != nil {
 		meterCfg.Fault = cfg.Faults.MeterHook
 	}
-	meter, err := core.NewMeter(meterCfg)
-	if err != nil {
-		return nil, err
+	if reuse {
+		if err := d.meter.Reset(meterCfg); err != nil {
+			return err
+		}
+	} else {
+		meter, err := core.NewMeter(meterCfg)
+		if err != nil {
+			return err
+		}
+		d.meter = meter
+	}
+	if reuse {
+		d.replayer.Reset()
+		d.contentTrace.Reset()
+		d.frameTrace.Reset()
+		d.refreshTrace.Reset()
+		d.intendedTrace.Reset()
+	} else {
+		d.replayer = input.NewReplayer(d.eng)
+		d.contentTrace = trace.NewSeries("content rate (fps)")
+		d.frameTrace = trace.NewSeries("frame rate (fps)")
+		d.refreshTrace = trace.NewSeries("refresh rate (Hz)")
+		d.intendedTrace = trace.NewSeries("actual content rate (fps)")
 	}
 
-	d := &Device{
-		cfg:           cfg,
-		eng:           eng,
-		panel:         panel,
-		mgr:           mgr,
-		model:         model,
-		pwrMeter:      pwrMeter,
-		meter:         meter,
-		replayer:      input.NewReplayer(eng),
-		contentTrace:  trace.NewSeries("content rate (fps)"),
-		frameTrace:    trace.NewSeries("frame rate (fps)"),
-		refreshTrace:  trace.NewSeries("refresh rate (Hz)"),
-		intendedTrace: trace.NewSeries("actual content rate (fps)"),
-	}
+	d.cfg = cfg
+	d.gov = nil
+	d.limiter = nil
+	d.idleGov = nil
+	clear(d.apps)
+	d.apps = d.apps[:0]
+	clear(d.wallpapers)
+	d.wallpapers = d.wallpapers[:0]
+	d.started = false
+	d.recording = false
+	d.frameLog = d.frameLog[:0]
+	d.displayedContent = 0
+	d.obsDone = false
+	d.obsLastRate = 0
+	d.obsRateT = 0
+
 	_, d.oled = cfg.PowerParams.Panel.(power.OLEDPanel)
-	if d.oled {
+	if d.oled && (d.lumaBuf == nil || !sameScreen) {
 		// The OLED luminance estimate runs on every latched frame; build
 		// its coarse lattice and scratch buffer once so the frame path
 		// stays allocation-free.
 		d.lumaGrid = framebuffer.GridForSamples(cfg.Width, cfg.Height, lumaSamples)
 		d.lumaBuf = make([]framebuffer.Color, d.lumaGrid.Samples())
 	}
+
+	panel, mgr, model, meter := d.panel, d.mgr, d.model, d.meter
 
 	// Observability wiring. Every hook below is gated on the corresponding
 	// sink being non-nil, so a device without obs installs nothing extra
@@ -380,24 +479,24 @@ func NewDevice(cfg Config) (*Device, error) {
 	case GovernorOff:
 		// Android baseline: nothing to manage.
 	case GovernorE3:
-		limiter, err := core.NewFrameLimiter(eng, meter, core.FrameLimiterConfig{
+		limiter, err := core.NewFrameLimiter(d.eng, meter, core.FrameLimiterConfig{
 			MaxFPS:          float64(panel.MaxRate()),
 			ControlPeriod:   cfg.ControlPeriod,
 			InteractionHold: cfg.BoostHold,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		d.limiter = limiter
 		mgr.SetLatchGate(limiter.Gate)
 		d.replayer.Subscribe(limiter.HandleTouch)
 	case GovernorIdleTimeout:
-		idleGov, err := core.NewIdleGovernor(eng, panel, core.IdleGovernorConfig{
+		idleGov, err := core.NewIdleGovernor(d.eng, panel, core.IdleGovernorConfig{
 			IdleTimeout: cfg.BoostHold * 5, // timeout scale: several boost holds
 			CheckPeriod: cfg.ControlPeriod,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		d.idleGov = idleGov
 		d.replayer.Subscribe(idleGov.HandleTouch)
@@ -406,7 +505,7 @@ func NewDevice(cfg Config) (*Device, error) {
 		if cfg.Governor == GovernorNaive {
 			policy = core.PolicyNaive
 		}
-		gov, err := core.NewGovernor(eng, panel, meter, core.GovernorConfig{
+		gov, err := core.NewGovernor(d.eng, panel, meter, core.GovernorConfig{
 			Policy:         policy,
 			ControlPeriod:  cfg.ControlPeriod,
 			BoostEnabled:   cfg.Governor == GovernorSectionBoost,
@@ -416,7 +515,7 @@ func NewDevice(cfg Config) (*Device, error) {
 			Hardening:      cfg.Hardening,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if h := cfg.Metrics.Histogram("decision_content_rate_fps", obs.RateBucketsFPS); h != nil {
 			gov.OnDecision(func(dec core.Decision) { h.Observe(dec.ContentRate) })
@@ -424,7 +523,7 @@ func NewDevice(cfg Config) (*Device, error) {
 		d.gov = gov
 		d.replayer.Subscribe(gov.HandleTouch)
 	}
-	return d, nil
+	return nil
 }
 
 // flushResidency closes the open refresh-level residency interval at t,

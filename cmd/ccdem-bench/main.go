@@ -30,12 +30,15 @@ import (
 
 // suiteRegex pins the gated benchmarks: the hot-path kernels (grid sample,
 // pixel diff, fill, meter observe), the event engine (cold-start and
-// steady-state), and the whole-device paths (per-op setup and zero-alloc
-// steady state). Heavier campaign benchmarks (figures, fleet scaling) are
-// deliberately excluded — they are too slow for a -benchtime 200ms gate.
+// steady-state), the whole-device paths (per-op setup and zero-alloc
+// steady state), and the fleet campaign path (streamed throughput and
+// memory footprint — single-op cohorts, cheap enough to gate). Heavier
+// figure-regeneration benchmarks are deliberately excluded — they are too
+// slow for a -benchtime 200ms gate.
 const suiteRegex = `^(BenchmarkGridSample9K|BenchmarkDiffPixelsFullHD|BenchmarkFillSprite|` +
 	`BenchmarkMeterObserve9K|BenchmarkEngineScheduleAndRun|BenchmarkEngineSteadyState|` +
-	`BenchmarkDeviceSimulation|BenchmarkDeviceSteadyState)$`
+	`BenchmarkDeviceSimulation|BenchmarkDeviceSteadyState|` +
+	`BenchmarkFleetThroughput|BenchmarkCohortMemory)$`
 
 // suitePackages lists the packages holding the pinned benchmarks.
 var suitePackages = []string{

@@ -35,6 +35,7 @@ type obsFlags struct {
 	traceOut   string // Chrome trace-event JSON output path
 	traceSched bool   // add the (non-deterministic) pool-scheduler track
 	metrics    bool   // dump the merged fleet registry to stderr
+	sample     int    // keep observability for ~1 in N devices (0/1 = all)
 }
 
 // runConfig is the command's full flag surface, validated in run.
@@ -52,6 +53,8 @@ type runConfig struct {
 	specPath string
 	format   string // json | csv
 	perDev   bool
+	stream   bool // streaming aggregation: O(workers) memory
+	batch    int  // task indices claimed per worker dispatch
 	progress bool
 	writeTo  string
 	obs      obsFlags
@@ -72,12 +75,15 @@ func main() {
 	flag.StringVar(&c.specPath, "spec", "", "cohort specification JSON (see -write-spec for a template); explicit flags override its scalars")
 	flag.StringVar(&c.format, "format", "json", "output format: json | csv")
 	flag.BoolVar(&c.perDev, "per-device", false, "include per-device rows in JSON output (CSV always emits them)")
+	flag.BoolVar(&c.stream, "stream", false, "aggregate on the fly in O(workers) memory instead of retaining per-device rows; the aggregate is byte-identical, CSV rows are emitted in completion order, and JSON is aggregate-only (incompatible with -per-device)")
+	flag.IntVar(&c.batch, "batch", 0, "device indices each worker claims per dispatch (0 = one at a time); larger batches amortize scheduling overhead on huge fleets")
 	flag.BoolVar(&c.progress, "progress", false, "report completed devices on stderr")
 	flag.StringVar(&c.writeTo, "write-spec", "", "write the default cohort as a spec template to this file and exit")
 
 	flag.StringVar(&c.obs.traceOut, "trace-out", "", "write a Chrome trace-event JSON of every device's managed session to this file (open in Perfetto or chrome://tracing)")
 	flag.BoolVar(&c.obs.traceSched, "trace-sched", false, "with -trace-out: add the pool scheduler's wall-clock task spans as an extra track (not reproducible across runs)")
 	flag.BoolVar(&c.obs.metrics, "metrics", false, "dump the merged fleet metrics registry to stderr after the run")
+	flag.IntVar(&c.obs.sample, "obs-sample", 0, "with -trace-out/-metrics: keep observability for roughly 1 in N devices, chosen deterministically by name hash (0 or 1 = all); bounds observability memory on huge fleets")
 	pprofOut := flag.String("pprof", "", "write a CPU profile of the whole invocation to this file")
 	flag.Parse()
 	if *pprofOut != "" {
@@ -121,6 +127,15 @@ func (c runConfig) validate() error {
 	}
 	if c.format != "json" && c.format != "csv" {
 		return fmt.Errorf("unknown format %q (want json or csv)", c.format)
+	}
+	if c.stream && c.perDev {
+		return fmt.Errorf("-stream does not retain per-device rows; drop -per-device or use -format csv for streamed rows")
+	}
+	if c.batch < 0 {
+		return fmt.Errorf("-batch must be non-negative, got %d", c.batch)
+	}
+	if c.obs.sample < 0 {
+		return fmt.Errorf("-obs-sample must be non-negative, got %d", c.obs.sample)
 	}
 	return nil
 }
@@ -193,7 +208,7 @@ func run(c runConfig) error {
 		cohort.Profiles = spec.Profiles
 	}
 
-	pool := fleet.Pool{Workers: c.workers, TaskTimeout: c.timeout}
+	pool := fleet.Pool{Workers: c.workers, TaskTimeout: c.timeout, Batch: c.batch}
 	if c.progress {
 		pool.OnProgress = func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\rfleet: %d/%d devices", done, total)
@@ -204,13 +219,35 @@ func run(c runConfig) error {
 	}
 	if c.obs.traceOut != "" || c.obs.metrics {
 		cohort.Obs = obs.NewCollector(0)
+		cohort.Obs.SetSample(c.obs.sample)
 	}
 	if c.obs.traceSched {
 		pool.Spans = obs.NewSpanLog()
 	}
+	var sinkErr error
+	if c.stream {
+		cohort.Stream = true
+		if c.format == "csv" {
+			// Streamed CSV: header up front, then one row per surviving
+			// device as it completes — per-device output without retaining
+			// a single result. Rows arrive in completion order; the device
+			// column re-orders downstream (sort -t, -k1 -n).
+			if err := fleet.WriteCSVHeader(os.Stdout); err != nil {
+				return err
+			}
+			cohort.Sink = func(d fleet.DeviceResult) {
+				if sinkErr == nil {
+					sinkErr = d.WriteCSVRow(os.Stdout)
+				}
+			}
+		}
+	}
 	result, err := cohort.Run(context.Background(), pool)
 	if err != nil {
 		return err
+	}
+	if sinkErr != nil {
+		return sinkErr
 	}
 	if err := writeObs(cohort.Obs, pool.Spans, c.obs); err != nil {
 		return err
@@ -220,6 +257,9 @@ func run(c runConfig) error {
 			len(result.Failed), cohort.Devices)
 	}
 	if c.format == "csv" {
+		if c.stream {
+			return nil // rows already emitted by the sink
+		}
 		return result.WriteCSV(os.Stdout)
 	}
 	return result.WriteJSON(os.Stdout, c.perDev)

@@ -92,6 +92,39 @@ func NewMeter(cfg MeterConfig) (*Meter, error) {
 	}, nil
 }
 
+// Reset reconfigures the meter in place for a new run: rate counters,
+// lifetime totals and the comparison history restart from zero. The
+// double-buffered lattice is reused when the grid size is unchanged and
+// the rate-counter rings when the window is unchanged — the steady-state
+// path for fleet device recycling, which makes Reset allocation-free.
+func (m *Meter) Reset(cfg MeterConfig) error {
+	if cfg.Grid.Samples() == 0 {
+		return fmt.Errorf("core: meter grid has no samples")
+	}
+	if cfg.Window <= 0 {
+		return fmt.Errorf("core: non-positive meter window %v", cfg.Window)
+	}
+	if cfg.Grid.Samples() == m.samples {
+		m.db.Reset()
+	} else {
+		m.db = framebuffer.NewDoubleBuffer(cfg.Grid.Samples())
+	}
+	if cfg.Window == m.cfg.Window {
+		m.frames.Reset()
+		m.content.Reset()
+	} else {
+		m.frames = trace.NewRateCounter(cfg.Window)
+		m.content = trace.NewRateCounter(cfg.Window)
+	}
+	m.cfg = cfg
+	m.samples = cfg.Grid.Samples()
+	m.fullDur = cfg.Cost.Duration(cfg.Grid.Samples())
+	m.totalFrames = 0
+	m.totalContent = 0
+	m.compareTime = 0
+	return nil
+}
+
 // ObserveFrame processes one framebuffer update at time t and reports
 // whether the frame carried new content. The very first frame observed is
 // always content (there is nothing to compare against).

@@ -80,29 +80,60 @@ type Panel struct {
 
 // NewPanel validates cfg and builds a stopped panel.
 func NewPanel(eng *sim.Engine, cfg Config) (*Panel, error) {
+	p := &Panel{eng: eng}
+	p.vsyncFn = p.vsync
+	if err := p.init(cfg); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Reset revalidates cfg and returns the panel to a freshly constructed
+// state in place: stopped, at the initial rate, with no hooks, recorder,
+// fault, pending switch, or counters. The engine association and the
+// bound vsync closure are kept; any V-Sync still scheduled on the engine
+// belongs to the caller's engine reset. On error the panel is left in an
+// unspecified state and must not be reused.
+func (p *Panel) Reset(cfg Config) error { return p.init(cfg) }
+
+func (p *Panel) init(cfg Config) error {
 	if len(cfg.Levels) == 0 {
-		return nil, fmt.Errorf("display: no refresh levels configured")
+		return fmt.Errorf("display: no refresh levels configured")
 	}
 	levels := append([]int(nil), cfg.Levels...)
 	sort.Ints(levels)
 	for i, l := range levels {
 		if l <= 0 {
-			return nil, fmt.Errorf("display: non-positive refresh level %d", l)
+			return fmt.Errorf("display: non-positive refresh level %d", l)
 		}
 		if i > 0 && levels[i-1] == l {
-			return nil, fmt.Errorf("display: duplicate refresh level %d", l)
+			return fmt.Errorf("display: duplicate refresh level %d", l)
 		}
 	}
 	initial := cfg.InitialRate
 	if initial == 0 {
 		initial = levels[len(levels)-1]
 	}
-	p := &Panel{eng: eng, levels: levels, cur: initial, fastUp: cfg.FastUpswitch}
-	p.vsyncFn = p.vsync
+	p.levels = levels
+	p.fastUp = cfg.FastUpswitch
+	p.cur = initial
+	p.pending = 0
+	p.pendingDelay = 0
+	p.switchFault = nil
+	p.running = false
+	p.nextHandle = sim.Handle{}
+	p.onVSync = p.onVSync[:0]
+	p.onChange = p.onChange[:0]
+	p.rec = nil
+	p.refreshes = 0
+	p.switches = 0
+	p.startTime = 0
+	p.rateTimeNum = 0
+	p.rateTimeSince = 0
 	if !p.supported(initial) {
-		return nil, fmt.Errorf("display: initial rate %d Hz not in levels %v", initial, levels)
+		return fmt.Errorf("display: initial rate %d Hz not in levels %v", initial, levels)
 	}
-	return p, nil
+	return nil
 }
 
 func (p *Panel) supported(hz int) bool {

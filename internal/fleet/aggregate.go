@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"math"
 	"strings"
 	"text/tabwriter"
 
@@ -55,68 +54,23 @@ type ProfileAggregate struct {
 	MeanSavedMW    float64 `json:"mean_saved_mw"`
 	SavedPctMean   float64 `json:"saved_pct_mean"`
 	QualityPctMean float64 `json:"quality_pct_mean"`
-	ExtraHoursMean float64 `json:"extra_hours_mean"`
+	// TrueQualityPctMean is the class's mean meter-independent quality —
+	// the per-profile counterpart of Aggregate.TrueQualityPctMean.
+	TrueQualityPctMean float64 `json:"true_quality_pct_mean"`
+	ExtraHoursMean     float64 `json:"extra_hours_mean"`
 }
 
-// aggregate folds per-device results (in device order, so floating-point
-// sums are deterministic) into the fleet-wide summary. profiles fixes the
-// breakdown order to the cohort's declaration order.
+// aggregate folds per-device results into the fleet-wide summary through
+// the streaming Accumulator — the retained and streamed cohort paths
+// share one integer-domain implementation, so their aggregates are
+// byte-identical by construction. profiles fixes the breakdown order to
+// the cohort's declaration order.
 func aggregate(results []DeviceResult, profiles []Profile) Aggregate {
-	a := Aggregate{Devices: len(results)}
-	if len(results) == 0 {
-		return a
-	}
-	var savedPct, quality, trueQuality, extraHours []float64
+	acc := NewAccumulator()
 	for _, r := range results {
-		a.MeanBaselineMW += r.BaselineMW
-		a.MeanManagedMW += r.ManagedMW
-		a.MeanSavedMW += r.SavedMW
-		savedPct = append(savedPct, r.SavedPct)
-		quality = append(quality, math.Round(r.QualityPct*10)/10)
-		trueQuality = append(trueQuality, math.Round(r.TrueQualityPct*10)/10)
-		extraHours = append(extraHours, r.ExtraHours)
+		acc.Add(r)
 	}
-	n := float64(len(results))
-	a.MeanBaselineMW /= n
-	a.MeanManagedMW /= n
-	a.MeanSavedMW /= n
-
-	a.SavedPctMean = trace.Mean(savedPct)
-	a.SavedPctP50 = trace.Percentile(savedPct, 50)
-	a.SavedPctP95 = trace.Percentile(savedPct, 95)
-
-	a.QualityPctMean = trace.Mean(quality)
-	a.TrueQualityPctMean = trace.Mean(trueQuality)
-	a.QualityPctP5 = trace.Percentile(quality, 5)
-	a.QualityCDF = trace.CDF(quality)
-
-	a.ExtraHoursMean = trace.Mean(extraHours)
-	a.ExtraHoursP50 = trace.Percentile(extraHours, 50)
-	a.ExtraHoursP95 = trace.Percentile(extraHours, 95)
-
-	for _, p := range profiles {
-		pa := ProfileAggregate{Profile: p.Name}
-		var saved, savedPct, quality, extra float64
-		for _, r := range results {
-			if r.Profile != p.Name {
-				continue
-			}
-			pa.Devices++
-			saved += r.SavedMW
-			savedPct += r.SavedPct
-			quality += r.QualityPct
-			extra += r.ExtraHours
-		}
-		if pa.Devices > 0 {
-			pn := float64(pa.Devices)
-			pa.MeanSavedMW = saved / pn
-			pa.SavedPctMean = savedPct / pn
-			pa.QualityPctMean = quality / pn
-			pa.ExtraHoursMean = extra / pn
-		}
-		a.Profiles = append(a.Profiles, pa)
-	}
-	return a
+	return acc.Aggregate(profiles)
 }
 
 // String renders the aggregate as a report table.
@@ -136,10 +90,11 @@ func (a Aggregate) String() string {
 		a.ExtraHoursMean, a.ExtraHoursP50, a.ExtraHoursP95))
 	if len(a.Profiles) > 0 {
 		w := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
-		fmt.Fprintf(w, "  profile\tdevices\tsaved\tsaving\tquality\tbattery\n")
+		fmt.Fprintf(w, "  profile\tdevices\tsaved\tsaving\tquality\ttrue quality\tbattery\n")
 		for _, p := range a.Profiles {
-			fmt.Fprintf(w, "  %s\t%d\t%.0f mW\t%.1f%%\t%.1f%%\t+%.2f h\n",
-				p.Profile, p.Devices, p.MeanSavedMW, p.SavedPctMean, p.QualityPctMean, p.ExtraHoursMean)
+			fmt.Fprintf(w, "  %s\t%d\t%.0f mW\t%.1f%%\t%.1f%%\t%.1f%%\t+%.2f h\n",
+				p.Profile, p.Devices, p.MeanSavedMW, p.SavedPctMean, p.QualityPctMean,
+				p.TrueQualityPctMean, p.ExtraHoursMean)
 		}
 		w.Flush()
 	}
@@ -160,16 +115,32 @@ func (r *Result) WriteJSON(w io.Writer, perDevice bool) error {
 	return enc.Encode(r)
 }
 
+// WriteCSVHeader writes the per-device CSV column header. Streamed
+// cohorts emit it once up front and then one WriteCSVRow per result
+// delivered to their sink, so per-device CSV output never requires
+// retaining results.
+func WriteCSVHeader(w io.Writer) error {
+	_, err := fmt.Fprintln(w, "device,profile,session_s,baseline_mw,managed_mw,saved_mw,saved_pct,quality_pct,true_quality_pct,baseline_hours,managed_hours,extra_hours")
+	return err
+}
+
+// WriteCSVRow writes the result's CSV row (no header), matching
+// WriteCSVHeader's column order.
+func (d DeviceResult) WriteCSVRow(w io.Writer) error {
+	_, err := fmt.Fprintf(w, "%d,%s,%g,%g,%g,%g,%g,%g,%g,%g,%g,%g\n",
+		d.Device, d.Profile, d.SessionS, d.BaselineMW, d.ManagedMW,
+		d.SavedMW, d.SavedPct, d.QualityPct, d.TrueQualityPct,
+		d.BaselineHours, d.ManagedHours, d.ExtraHours)
+	return err
+}
+
 // WriteCSV writes one row per device, in device order.
 func (r *Result) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "device,profile,session_s,baseline_mw,managed_mw,saved_mw,saved_pct,quality_pct,true_quality_pct,baseline_hours,managed_hours,extra_hours"); err != nil {
+	if err := WriteCSVHeader(w); err != nil {
 		return err
 	}
 	for _, d := range r.Devices {
-		if _, err := fmt.Fprintf(w, "%d,%s,%g,%g,%g,%g,%g,%g,%g,%g,%g,%g\n",
-			d.Device, d.Profile, d.SessionS, d.BaselineMW, d.ManagedMW,
-			d.SavedMW, d.SavedPct, d.QualityPct, d.TrueQualityPct,
-			d.BaselineHours, d.ManagedHours, d.ExtraHours); err != nil {
+		if err := d.WriteCSVRow(w); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,36 @@
+package fleet
+
+import (
+	"context"
+	"testing"
+)
+
+// TestCohortTaskSteadyStateAllocs is the device-reuse allocation budget:
+// once a worker lane's device is warm, a full cohort task (every app
+// segment, baseline and managed) must allocate only what the task
+// inherently produces — the Monkey scripts, the battery usage slices,
+// and the per-device RNG — not engine, framebuffer, lattice or recorder
+// state. Measured at ~200 allocs/device; the bound leaves headroom for
+// runtime jitter while still catching any reconstruction creeping back
+// in (a single fresh device costs tens of allocations plus megabytes,
+// twice per app segment).
+func TestCohortTaskSteadyStateAllocs(t *testing.T) {
+	c := testCohort(1)
+	c.applyDefaults()
+	lane := &deviceLane{}
+	ctx := context.Background()
+	for i := 0; i < 4; i++ { // warm the lane and every pooled buffer
+		if _, err := c.runDevice(ctx, 0, lane); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := c.runDevice(ctx, 0, lane); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 300
+	if allocs > budget {
+		t.Errorf("steady-state cohort task allocates %.0f per device, budget %d — device reuse is leaking construction work", allocs, budget)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 
 	"ccdem"
@@ -125,6 +126,22 @@ type Cohort struct {
 	// failed ones are reported in Result.Failed.
 	FailFast bool
 
+	// Stream aggregates on the fly instead of retaining per-device rows:
+	// each result is folded into its worker's Accumulator shard as it
+	// completes and the shards are merged when the run ends, so the
+	// campaign's memory footprint is O(workers), independent of Devices.
+	// Result.Devices stays nil; Result.Aggregate is byte-identical to the
+	// retained mode's at any worker count (the shard state is integral,
+	// so the partition and merge order cannot matter).
+	Stream bool
+	// Sink, when non-nil in Stream mode, additionally receives every
+	// surviving device's result as it completes — the hook for emitting
+	// per-device CSV rows without retaining them. Calls are serialized
+	// but arrive in completion order, which depends on worker scheduling;
+	// rows carry their Device index for re-ordering downstream. The
+	// aggregate remains deterministic regardless. Ignored without Stream.
+	Sink func(DeviceResult)
+
 	// testHook, when set, runs at the start of each device task — the
 	// tests' lever for injecting per-device panics and hangs.
 	testHook func(device int)
@@ -220,6 +237,16 @@ type Result struct {
 	Aggregate Aggregate       `json:"aggregate"`
 }
 
+// deviceLane is one pool worker's recycled simulated device: runSegment
+// resets it in place between segment runs instead of rebuilding the
+// engine, panel, framebuffers, meter lattices and recorder rings from
+// scratch. A lane runs one task at a time (see Pool.RunIndexed), so no
+// locking is needed; a nil lane — or an empty one on first use — falls
+// back to fresh construction.
+type deviceLane struct {
+	dev *ccdem.Device
+}
+
 // Run expands the cohort into per-device runs, executes them on the pool,
 // and aggregates. Results are bit-identical for a given cohort regardless
 // of pool.Workers. Unless FailFast is set, a failing device (error, panic
@@ -237,15 +264,49 @@ func (c Cohort) Run(ctx context.Context, pool Pool) (*Result, error) {
 		// cancelling the surviving devices on the first one.
 		pool.ContinueOnError = true
 	}
+	workers := pool.EffectiveWorkers(c.Devices)
+	// One recycled device per worker lane. A task timeout disables reuse:
+	// an abandoned straggler's goroutine may still be simulating on its
+	// lane's device when the next task claims the lane.
+	var lanes []deviceLane
+	if pool.TaskTimeout <= 0 {
+		lanes = make([]deviceLane, workers)
+	}
 	var (
-		mu      sync.Mutex
-		sealed  bool // set once results are read; late stragglers discarded
-		results = make([]DeviceResult, c.Devices)
-		ok      = make([]bool, c.Devices)
-		fails   = make([]error, c.Devices)
+		mu     sync.Mutex
+		sealed bool // set once results are read; late stragglers discarded
+		// Retained mode: O(Devices) rows, read back in device order.
+		results []DeviceResult
+		ok      []bool
+		// Stream mode: O(workers) accumulator shards, merged afterwards.
+		shards []*Accumulator
+		// Failures are sparse in both modes: a million-device campaign
+		// tracks only its casualties.
+		fails = make(map[int]error)
+		// published guards against double-counting a streamed result whose
+		// completion raced the task deadline: the pool may have reported
+		// the task as timed out even though the fold made it in. Only
+		// possible with a TaskTimeout, so only tracked then.
+		published map[int]struct{}
 	)
-	err := pool.Run(ctx, c.Devices, func(tctx context.Context, i int) error {
-		r, err := c.runDevice(tctx, i)
+	if c.Stream {
+		shards = make([]*Accumulator, workers)
+		for i := range shards {
+			shards[i] = NewAccumulator()
+		}
+		if pool.TaskTimeout > 0 {
+			published = make(map[int]struct{})
+		}
+	} else {
+		results = make([]DeviceResult, c.Devices)
+		ok = make([]bool, c.Devices)
+	}
+	err := pool.RunIndexed(ctx, c.Devices, func(tctx context.Context, i, w int) error {
+		var lane *deviceLane
+		if lanes != nil {
+			lane = &lanes[w]
+		}
+		r, err := c.runDevice(tctx, i, lane)
 		mu.Lock()
 		defer mu.Unlock()
 		if sealed {
@@ -258,8 +319,18 @@ func (c Cohort) Run(ctx context.Context, pool Pool) (*Result, error) {
 			fails[i] = err
 			return err
 		}
-		results[i] = r
-		ok[i] = true
+		if c.Stream {
+			shards[w].Add(r)
+			if published != nil && tctx.Err() != nil {
+				published[i] = struct{}{}
+			}
+			if c.Sink != nil {
+				c.Sink(r)
+			}
+		} else {
+			results[i] = r
+			ok[i] = true
+		}
 		return nil
 	})
 	mu.Lock()
@@ -272,7 +343,9 @@ func (c Cohort) Run(ctx context.Context, pool Pool) (*Result, error) {
 		return nil, ctx.Err()
 	}
 	// Pool-level failures (recovered panics, timeouts) never reach the
-	// closure's bookkeeping; map them back by task index.
+	// closure's bookkeeping; map them back by task index. A streamed
+	// result that beat its own timeout report stays counted — mirroring
+	// retained mode, where ok[i] wins over a late TimeoutError.
 	for _, e := range taskErrors(err) {
 		var idx int
 		switch te := e.(type) {
@@ -283,28 +356,59 @@ func (c Cohort) Run(ctx context.Context, pool Pool) (*Result, error) {
 		default:
 			continue
 		}
-		if idx >= 0 && idx < c.Devices && fails[idx] == nil {
+		if idx < 0 || idx >= c.Devices {
+			continue
+		}
+		if _, won := published[idx]; won {
+			continue
+		}
+		if !c.Stream && ok[idx] {
+			continue
+		}
+		if fails[idx] == nil {
 			fails[idx] = e
 		}
 	}
 	res := &Result{}
-	for i := range results {
-		switch {
-		case ok[i]:
-			res.Devices = append(res.Devices, results[i])
-		case fails[i] != nil:
-			res.Failed = append(res.Failed, DeviceFailure{Device: i, Err: fails[i].Error()})
-		default:
-			res.Failed = append(res.Failed, DeviceFailure{Device: i, Err: "fleet: device result unavailable"})
+	if c.Stream {
+		merged := NewAccumulator()
+		for _, s := range shards {
+			merged.Merge(s)
 		}
-	}
-	if len(res.Devices) == 0 {
-		if err != nil {
-			return nil, err
+		failed := make([]int, 0, len(fails))
+		for idx := range fails {
+			failed = append(failed, idx)
 		}
-		return nil, fmt.Errorf("fleet: all %d devices failed", c.Devices)
+		sort.Ints(failed)
+		for _, idx := range failed {
+			res.Failed = append(res.Failed, DeviceFailure{Device: idx, Err: fails[idx].Error()})
+		}
+		if merged.Devices() == 0 {
+			if err != nil {
+				return nil, err
+			}
+			return nil, fmt.Errorf("fleet: all %d devices failed", c.Devices)
+		}
+		res.Aggregate = merged.Aggregate(c.Profiles)
+	} else {
+		for i := range results {
+			switch {
+			case ok[i]:
+				res.Devices = append(res.Devices, results[i])
+			case fails[i] != nil:
+				res.Failed = append(res.Failed, DeviceFailure{Device: i, Err: fails[i].Error()})
+			default:
+				res.Failed = append(res.Failed, DeviceFailure{Device: i, Err: "fleet: device result unavailable"})
+			}
+		}
+		if len(res.Devices) == 0 {
+			if err != nil {
+				return nil, err
+			}
+			return nil, fmt.Errorf("fleet: all %d devices failed", c.Devices)
+		}
+		res.Aggregate = aggregate(res.Devices, c.Profiles)
 	}
-	res.Aggregate = aggregate(res.Devices, c.Profiles)
 	res.Aggregate.FailedDevices = len(res.Failed)
 	return res, nil
 }
@@ -328,8 +432,10 @@ func taskErrors(err error) []error {
 // length from the device RNG, split the session across the profile's app
 // mix, and measure each segment paired (baseline vs managed) on an
 // identical Monkey script. Cancellation is honoured between app segments,
-// so fail-fast and Ctrl-C actually stop long campaigns.
-func (c Cohort) runDevice(ctx context.Context, i int) (DeviceResult, error) {
+// so fail-fast and Ctrl-C actually stop long campaigns. lane, when
+// non-nil, carries the worker's recycled device across segments and
+// tasks.
+func (c Cohort) runDevice(ctx context.Context, i int, lane *deviceLane) (DeviceResult, error) {
 	if c.testHook != nil {
 		c.testHook(i)
 	}
@@ -339,7 +445,15 @@ func (c Cohort) runDevice(ctx context.Context, i int) (DeviceResult, error) {
 	if prof.SessionJitter > 0 {
 		session = sim.Time(float64(session) * (1 + prof.SessionJitter*(2*rng.Float64()-1)))
 	}
-	rec, reg := c.Obs.Device(fmt.Sprintf("device %04d (%s)", i, prof.Name))
+	var (
+		rec *obs.Recorder
+		reg *obs.Registry
+	)
+	if c.Obs != nil {
+		// Name formatting is skipped when observability is off — it is a
+		// per-device allocation the reused-device steady state must avoid.
+		rec, reg = c.Obs.Device(fmt.Sprintf("device %04d (%s)", i, prof.Name))
+	}
 	var hard *core.HardeningConfig
 	if c.Hardened {
 		hard = core.DefaultHardening()
@@ -371,7 +485,7 @@ func (c Cohort) runDevice(ctx context.Context, i int) (DeviceResult, error) {
 			return DeviceResult{}, err
 		}
 		params, _ := app.ByName(a.Name) // validated
-		base, err := c.runSegment(params, ccdem.GovernorOff, dur, script, nil, nil, nil, nil)
+		base, err := c.runSegment(lane, params, ccdem.GovernorOff, dur, script, nil, nil, nil, nil)
 		if err != nil {
 			return DeviceResult{}, err
 		}
@@ -385,7 +499,7 @@ func (c Cohort) runDevice(ctx context.Context, i int) (DeviceResult, error) {
 		// Each segment simulates on its own engine starting at zero; the
 		// base offset concatenates them into one session timeline.
 		rec.SetBase(totalDur)
-		managed, err := c.runSegment(params, c.Governor, dur, script, rec, reg, inj, hard)
+		managed, err := c.runSegment(lane, params, c.Governor, dur, script, rec, reg, inj, hard)
 		if err != nil {
 			return DeviceResult{}, err
 		}
@@ -459,9 +573,11 @@ func (c Cohort) segmentScript(prof Profile, seed int64, dur sim.Time) (input.Scr
 
 // runSegment measures one app segment under one governor mode, optionally
 // instrumented with a recorder and metrics registry, fault-injected, and
-// hardened.
-func (c Cohort) runSegment(p app.Params, mode ccdem.GovernorMode, dur sim.Time, script input.Script, rec *obs.Recorder, reg *obs.Registry, inj *fault.Injector, hard *core.HardeningConfig) (ccdem.Stats, error) {
-	dev, err := ccdem.NewDevice(ccdem.Config{
+// hardened. With a lane, the worker's device is Reset in place instead of
+// constructed — the steady-state cohort path allocates per segment only
+// what the script and stats inherently need.
+func (c Cohort) runSegment(lane *deviceLane, p app.Params, mode ccdem.GovernorMode, dur sim.Time, script input.Script, rec *obs.Recorder, reg *obs.Registry, inj *fault.Injector, hard *core.HardeningConfig) (ccdem.Stats, error) {
+	cfg := ccdem.Config{
 		Width: screenW, Height: screenH,
 		Governor:     mode,
 		MeterSamples: c.MeterSamples,
@@ -469,9 +585,25 @@ func (c Cohort) runSegment(p app.Params, mode ccdem.GovernorMode, dur sim.Time, 
 		Metrics:      reg,
 		Faults:       inj,
 		Hardening:    hard,
-	})
-	if err != nil {
-		return ccdem.Stats{}, err
+	}
+	var dev *ccdem.Device
+	if lane != nil && lane.dev != nil {
+		dev = lane.dev
+		if err := dev.Reset(cfg); err != nil {
+			// A failed reset leaves the device in an unspecified state;
+			// drop it so the next segment constructs afresh.
+			lane.dev = nil
+			return ccdem.Stats{}, err
+		}
+	} else {
+		var err error
+		dev, err = ccdem.NewDevice(cfg)
+		if err != nil {
+			return ccdem.Stats{}, err
+		}
+		if lane != nil {
+			lane.dev = dev
+		}
 	}
 	if _, err := dev.InstallApp(p); err != nil {
 		return ccdem.Stats{}, err

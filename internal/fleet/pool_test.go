@@ -248,3 +248,96 @@ func TestDeviceSeed(t *testing.T) {
 		t.Error("distinct fleet seeds map device 5 to the same seed")
 	}
 }
+
+// TestPoolBatchedDispatch: batching is a scheduling optimization only —
+// every index still runs exactly once and per-task semantics (progress,
+// worker lanes) are preserved at any batch size.
+func TestPoolBatchedDispatch(t *testing.T) {
+	const n = 100
+	for _, batch := range []int{0, 1, 3, 16, 64, 1000} {
+		ran := make([]int, n)
+		var mu sync.Mutex
+		var lastDone int
+		workers := 4
+		pool := Pool{Workers: workers, Batch: batch, OnProgress: func(done, total int) {
+			if done != lastDone+1 || total != n {
+				t.Errorf("batch %d: progress (%d,%d) after %d", batch, done, total, lastDone)
+			}
+			lastDone = done
+		}}
+		err := pool.RunIndexed(context.Background(), n, func(_ context.Context, i, w int) error {
+			if w < 0 || w >= workers {
+				return fmt.Errorf("worker lane %d out of [0,%d)", w, workers)
+			}
+			mu.Lock()
+			ran[i]++
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		for i, c := range ran {
+			if c != 1 {
+				t.Errorf("batch %d: task %d ran %d times", batch, i, c)
+			}
+		}
+		if lastDone != n {
+			t.Errorf("batch %d: progress ended at %d, want %d", batch, lastDone, n)
+		}
+	}
+}
+
+// Batched error reporting stays per task and index-ordered, and fail-fast
+// cancellation still abandons the untouched remainder of a claimed batch.
+func TestPoolBatchErrorSemantics(t *testing.T) {
+	err := Pool{Workers: 2, Batch: 8, ContinueOnError: true}.Run(context.Background(), 40,
+		func(_ context.Context, i int) error {
+			if i%10 == 7 {
+				return fmt.Errorf("task %d failed", i)
+			}
+			return nil
+		})
+	if err == nil {
+		t.Fatal("failures not reported")
+	}
+	want := "task 7 failed\ntask 17 failed\ntask 27 failed\ntask 37 failed"
+	if err.Error() != want {
+		t.Errorf("joined errors = %q, want %q (index order)", err, want)
+	}
+
+	var ran atomic.Int64
+	err = Pool{Workers: 1, Batch: 100}.Run(context.Background(), 100,
+		func(_ context.Context, i int) error {
+			ran.Add(1)
+			if i == 3 {
+				return errors.New("fail fast")
+			}
+			return nil
+		})
+	if err == nil {
+		t.Fatal("fail-fast error not reported")
+	}
+	if got := ran.Load(); got != 4 {
+		t.Errorf("fail-fast run executed %d tasks of a claimed batch, want 4", got)
+	}
+}
+
+// Worker lanes run one task at a time even across batch boundaries — the
+// invariant per-lane device reuse depends on.
+func TestPoolLaneExclusive(t *testing.T) {
+	const workers = 3
+	busy := make([]atomic.Int32, workers)
+	err := Pool{Workers: workers, Batch: 4}.RunIndexed(context.Background(), 60,
+		func(_ context.Context, i, w int) error {
+			if busy[w].Add(1) != 1 {
+				return fmt.Errorf("lane %d shared by concurrent tasks", w)
+			}
+			time.Sleep(time.Millisecond)
+			busy[w].Add(-1)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -144,7 +144,10 @@ func TestCohortSurvivesHungDevice(t *testing.T) {
 			<-hung
 		}
 	}
-	r, err := cohort.Run(context.Background(), Pool{Workers: 2, TaskTimeout: 50 * time.Millisecond})
+	// The budget must be generous enough that the three healthy devices
+	// finish inside it even race-instrumented on a slow host — only the
+	// genuinely hung device may trip it.
+	r, err := cohort.Run(context.Background(), Pool{Workers: 2, TaskTimeout: 2 * time.Second})
 	if err != nil {
 		t.Fatalf("resilient run returned error: %v", err)
 	}
@@ -212,5 +215,85 @@ func TestCohortRejectsBadFaultPlan(t *testing.T) {
 	cohort.Faults = &plan
 	if _, err := cohort.Run(context.Background(), Pool{}); err == nil {
 		t.Fatal("invalid fault plan accepted")
+	}
+}
+
+// TestStreamedCohortSurvivesPanickingDevice: resilience carries over to
+// streaming — the casualty is reported by index, the merged aggregate
+// covers the survivors, and a worker whose recycled device hosted the
+// panic resets it cleanly for its next task.
+func TestStreamedCohortSurvivesPanickingDevice(t *testing.T) {
+	retained := testCohort(6)
+	retained.testHook = func(device int) {
+		if device == 3 {
+			panic("corrupt device state")
+		}
+	}
+	want, err := retained.Run(context.Background(), Pool{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed := retained
+	streamed.Stream = true
+	r, err := streamed.Run(context.Background(), Pool{Workers: 2})
+	if err != nil {
+		t.Fatalf("resilient streamed run returned error: %v", err)
+	}
+	if r.Devices != nil {
+		t.Error("streamed run retained device rows")
+	}
+	if len(r.Failed) != 1 || r.Failed[0].Device != 3 {
+		t.Fatalf("failed = %+v, want device 3", r.Failed)
+	}
+	if !strings.Contains(r.Failed[0].Err, "corrupt device state") {
+		t.Errorf("failure lost the panic value: %s", r.Failed[0].Err)
+	}
+	var wantJSON, gotJSON bytes.Buffer
+	if err := want.WriteJSON(&wantJSON, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(&gotJSON, false); err != nil {
+		t.Fatal(err)
+	}
+	if gotJSON.String() != wantJSON.String() {
+		t.Errorf("streamed survivor aggregate differs from retained:\n--- retained ---\n%s\n--- streamed ---\n%s",
+			wantJSON.String(), gotJSON.String())
+	}
+}
+
+// A panic mid-simulation (not just at task start) leaves the lane's
+// recycled device in an arbitrary state; the next task's Reset must still
+// produce correct results. Workers: 1 forces every task onto that lane.
+func TestCohortReuseSurvivesMidRunPanic(t *testing.T) {
+	clean := testCohort(5)
+	want, err := clean.Run(context.Background(), Pool{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty := testCohort(5)
+	first := true
+	dirty.testHook = func(device int) {
+		if device == 2 && first {
+			first = false
+			panic("mid-campaign corruption")
+		}
+	}
+	got, err := dirty.Run(context.Background(), Pool{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Failed) != 1 || got.Failed[0].Device != 2 {
+		t.Fatalf("failed = %+v, want device 2", got.Failed)
+	}
+	// Devices after the panic ran on the same recycled device and must be
+	// bit-identical to their clean-run counterparts.
+	byIdx := map[int]DeviceResult{}
+	for _, d := range want.Devices {
+		byIdx[d.Device] = d
+	}
+	for _, d := range got.Devices {
+		if d != byIdx[d.Device] {
+			t.Errorf("device %d differs after a lane panic:\n got %+v\nwant %+v", d.Device, d, byIdx[d.Device])
+		}
 	}
 }

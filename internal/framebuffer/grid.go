@@ -200,3 +200,11 @@ func (d *DoubleBuffer) Commit() {
 	d.front, d.back = d.back, d.front
 	d.primed = true
 }
+
+// Reset discards the comparison history so the next committed frame primes
+// the buffer afresh. The lattices are deliberately not cleared: Front is
+// fully overwritten by Grid.Sample before any comparison, and Back is only
+// read once a post-Reset Commit has primed it — so stale contents are
+// unreachable and a reset buffer behaves exactly like a new one, without
+// the memclr.
+func (d *DoubleBuffer) Reset() { d.primed = false }

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"hash/fnv"
 	"io"
 	"sort"
 	"sync"
@@ -25,6 +26,7 @@ type DeviceObs struct {
 type Collector struct {
 	mu       sync.Mutex
 	eventCap int
+	sample   int
 	tracks   []*DeviceObs
 }
 
@@ -34,16 +36,42 @@ func NewCollector(eventCap int) *Collector {
 	return &Collector{eventCap: eventCap}
 }
 
+// SetSample keeps observability for roughly one in every n registered
+// runs and hands nil sinks (observability disabled at zero cost) to the
+// rest. The collector retains a recorder ring and registry per
+// instrumented run, so an unsampled million-device campaign costs
+// O(devices) memory; sampling bounds that to ~devices/n tracks while
+// keeping a representative slice. Selection hashes the track name, so
+// which runs are kept is deterministic regardless of worker scheduling
+// and call order. n <= 1 restores full instrumentation.
+func (c *Collector) SetSample(n int) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.sample = n
+	c.mu.Unlock()
+}
+
 // Device registers a new instrumented run under the given track name and
 // returns its sinks. Names should be unique per run (the exporters keep
 // duplicates, but their tracks become hard to tell apart). Nil-safe: a nil
-// collector returns nil sinks, i.e. observability disabled.
+// collector returns nil sinks, i.e. observability disabled; a sampling
+// collector (SetSample) returns nil sinks for the runs it drops.
 func (c *Collector) Device(name string) (*Recorder, *Registry) {
 	if c == nil {
 		return nil, nil
 	}
-	t := &DeviceObs{Name: name, Rec: NewRecorder(c.eventCap), Reg: NewRegistry()}
 	c.mu.Lock()
+	if n := c.sample; n > 1 {
+		h := fnv.New32a()
+		h.Write([]byte(name))
+		if h.Sum32()%uint32(n) != 0 {
+			c.mu.Unlock()
+			return nil, nil
+		}
+	}
+	t := &DeviceObs{Name: name, Rec: NewRecorder(c.eventCap), Reg: NewRegistry()}
 	c.tracks = append(c.tracks, t)
 	c.mu.Unlock()
 	return t.Rec, t.Reg

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"fmt"
 	"testing"
 
 	"ccdem/internal/sim"
@@ -129,6 +130,61 @@ func TestEnabledObsZeroAllocSteadyState(t *testing.T) {
 		h.Observe(420)
 	}); allocs != 0 {
 		t.Errorf("enabled steady-state path allocates %.1f per call, want 0", allocs)
+	}
+}
+
+// Sampling must bound the collector's track count while staying
+// deterministic: which names are kept depends only on the names, never on
+// registration order.
+func TestCollectorSampling(t *testing.T) {
+	names := make([]string, 200)
+	for i := range names {
+		names[i] = fmt.Sprintf("device %04d", i)
+	}
+	kept := func(order []string) map[string]bool {
+		c := NewCollector(16)
+		c.SetSample(10)
+		out := make(map[string]bool)
+		for _, n := range order {
+			if rec, reg := c.Device(n); rec != nil {
+				if reg == nil {
+					t.Fatal("sampled-in device got recorder without registry")
+				}
+				out[n] = true
+			}
+		}
+		if got := len(c.Tracks()); got != len(out) {
+			t.Fatalf("collector retained %d tracks, handed out %d sinks", got, len(out))
+		}
+		return out
+	}
+	forward := kept(names)
+	reversed := make([]string, len(names))
+	for i, n := range names {
+		reversed[len(names)-1-i] = n
+	}
+	backward := kept(reversed)
+	if len(forward) == 0 || len(forward) == len(names) {
+		t.Fatalf("1-in-10 sampling kept %d of %d tracks", len(forward), len(names))
+	}
+	if len(forward) != len(backward) {
+		t.Fatalf("selection depends on order: %d vs %d kept", len(forward), len(backward))
+	}
+	for n := range forward {
+		if !backward[n] {
+			t.Errorf("device %q sampled in one order but not the other", n)
+		}
+	}
+	// n <= 1 restores full instrumentation; nil collector stays nil-safe.
+	c := NewCollector(16)
+	c.SetSample(1)
+	if rec, _ := c.Device("x"); rec == nil {
+		t.Error("SetSample(1) must keep every device")
+	}
+	var nilC *Collector
+	nilC.SetSample(10)
+	if rec, reg := nilC.Device("x"); rec != nil || reg != nil {
+		t.Error("nil collector must return nil sinks")
 	}
 }
 

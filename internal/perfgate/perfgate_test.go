@@ -82,6 +82,7 @@ func TestCompareVerdicts(t *testing.T) {
 	b := base(
 		Result{Name: "BenchmarkFast", NsPerOp: 1000, AllocsPerOp: 0, BytesPerOp: 0},
 		Result{Name: "BenchmarkGone", NsPerOp: 50, AllocsPerOp: 0},
+		Result{Name: "BenchmarkFleet", NsPerOp: 1e6, AllocsPerOp: 2500},
 	)
 	cases := []struct {
 		name string
@@ -97,6 +98,10 @@ func TestCompareVerdicts(t *testing.T) {
 		{"alloc growth", Result{Name: "BenchmarkFast", NsPerOp: 900, AllocsPerOp: 2}, Options{}, FailAllocs},
 		{"alloc growth beats warn mode", Result{Name: "BenchmarkFast", NsPerOp: 900, AllocsPerOp: 2}, Options{WarnTimeOnly: true}, FailAllocs},
 		{"new benchmark", Result{Name: "BenchmarkNew", NsPerOp: 10, AllocsPerOp: 0}, Options{}, Missing},
+		// Fleet-scale counts get 1% relative slack (pool-worker runtime
+		// jitter); real growth beyond it still fails hard.
+		{"alloc jitter within slack", Result{Name: "BenchmarkFleet", NsPerOp: 1e6, AllocsPerOp: 2520}, Options{}, OK},
+		{"alloc growth beyond slack", Result{Name: "BenchmarkFleet", NsPerOp: 1e6, AllocsPerOp: 2600}, Options{}, FailAllocs},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

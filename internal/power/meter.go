@@ -35,6 +35,21 @@ func NewMeter(eng *sim.Engine, model *Model, interval sim.Time) (*Meter, error) 
 	return &Meter{eng: eng, model: model, interval: interval}, nil
 }
 
+// Reset revalidates the interval and returns the meter to a freshly
+// constructed, unstarted state, keeping the sample slice's capacity. The
+// engine and model associations are kept; the previous run's ticker, if
+// any, is assumed dead (the engine was reset or the ticker stopped).
+func (mt *Meter) Reset(interval sim.Time) error {
+	if interval <= 0 {
+		return fmt.Errorf("power: non-positive meter interval %v", interval)
+	}
+	mt.interval = interval
+	mt.lastEnergy = 0
+	mt.samples = mt.samples[:0]
+	mt.ticker = nil
+	return nil
+}
+
 // Start begins sampling, with the first sample one interval from now.
 func (mt *Meter) Start() {
 	if mt.ticker != nil {

@@ -141,23 +141,37 @@ type Model struct {
 // NewModel builds a model attached to eng. Initial state: panel at
 // initialRate Hz, the given backlight (0..1), mid-gray content.
 func NewModel(eng *sim.Engine, params Params, initialRate int, backlight float64) (*Model, error) {
+	m := &Model{eng: eng}
+	if err := m.Reset(params, initialRate, backlight); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Reset revalidates the arguments and returns the model to a freshly
+// constructed state — zero accumulated energy, mid-gray content, the
+// integration clock at the engine's current time. The engine association
+// is kept; callers recycling a whole device reset the engine first so
+// both clocks restart at zero together.
+func (m *Model) Reset(params Params, initialRate int, backlight float64) error {
 	if params.Panel == nil {
-		return nil, fmt.Errorf("power: nil panel model")
+		return fmt.Errorf("power: nil panel model")
 	}
 	if backlight < 0 || backlight > 1 {
-		return nil, fmt.Errorf("power: backlight %v out of [0,1]", backlight)
+		return fmt.Errorf("power: backlight %v out of [0,1]", backlight)
 	}
 	if initialRate <= 0 {
-		return nil, fmt.Errorf("power: non-positive initial rate %d", initialRate)
+		return fmt.Errorf("power: non-positive initial rate %d", initialRate)
 	}
-	return &Model{
-		eng:       eng,
-		params:    params,
-		rateHz:    initialRate,
-		backlight: backlight,
-		meanLuma:  128,
-		lastT:     eng.Now(),
-	}, nil
+	m.params = params
+	m.rateHz = initialRate
+	m.backlight = backlight
+	m.meanLuma = 128
+	m.lastT = m.eng.Now()
+	m.energyMJ = [numComponents]float64{}
+	m.renderedPx = 0
+	m.frames = 0
+	return nil
 }
 
 // integrate charges continuous components for the interval since the last

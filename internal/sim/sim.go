@@ -127,6 +127,21 @@ func (e *Engine) recycleEvent(ev *event) {
 // NewEngine returns a fresh engine with the clock at zero.
 func NewEngine() *Engine { return &Engine{} }
 
+// Reset returns the engine to its initial state — clock at zero, no
+// scheduled events — while keeping the event free list, so a recycled
+// engine schedules its next run's events allocation-free. Every
+// outstanding Handle and Ticker is invalidated: pending events are
+// recycled (generation-bumped), never fired.
+func (e *Engine) Reset() {
+	for _, ev := range e.events {
+		ev.index = -1
+		e.recycleEvent(ev)
+	}
+	e.events = e.events[:0]
+	e.now = 0
+	e.seq = 0
+}
+
 // Now reports the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 

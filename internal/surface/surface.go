@@ -114,11 +114,57 @@ type Manager struct {
 	latchGate func(t sim.Time) bool
 	deferred  uint64
 	rec       *obs.Recorder
+	pool      []*framebuffer.Buffer // detached surface buffers, reusable by dimension
 }
 
 // NewManager creates a manager owning a w × h framebuffer.
 func NewManager(eng *sim.Engine, w, h int) *Manager {
 	return &Manager{eng: eng, fb: framebuffer.New(w, h)}
+}
+
+// Reset detaches every surface and hook, returning the manager to a
+// freshly constructed state. Detached surfaces become unusable; their
+// backing buffers are parked in an internal free pool that NewSurfaceAt
+// reuses for matching dimensions, so a recycled manager re-registers its
+// surfaces allocation-free.
+//
+// Neither the framebuffer nor pooled buffers have their pixels cleared.
+// That is safe for the composition pipeline itself: a re-registered
+// surface's first latch composes its full bounds, overwriting the
+// framebuffer area it covers. Clients that fully paint their buffer
+// before the first frame (every app and wallpaper in the catalog does)
+// therefore behave bit-identically to a fresh manager; a client that
+// composes pixels it never painted would see prior-session content
+// instead of zeros.
+func (m *Manager) Reset() {
+	for _, s := range m.surfaces {
+		s.mgr = nil
+		s.client = nil
+		s.region = nil
+		m.pool = append(m.pool, s.buf)
+	}
+	m.surfaces = m.surfaces[:0]
+	m.frames = 0
+	m.onFrame = m.onFrame[:0]
+	m.latchGate = nil
+	m.deferred = 0
+	m.rec = nil
+}
+
+// takeBuffer reuses a pooled buffer of exactly dx × dy pixels, or
+// allocates a fresh (zeroed) one. Pooled buffers keep their previous
+// contents — see Reset for why that is safe.
+func (m *Manager) takeBuffer(dx, dy int) *framebuffer.Buffer {
+	for i, b := range m.pool {
+		if b.Width() == dx && b.Height() == dy {
+			last := len(m.pool) - 1
+			m.pool[i] = m.pool[last]
+			m.pool[last] = nil
+			m.pool = m.pool[:last]
+			return b
+		}
+	}
+	return framebuffer.New(dx, dy)
 }
 
 // Framebuffer exposes the composed framebuffer — what the display hardware
@@ -170,7 +216,7 @@ func (m *Manager) NewSurfaceAt(name string, z int, frame framebuffer.Rect, clien
 		name:   name,
 		z:      z,
 		frame:  frame,
-		buf:    framebuffer.New(frame.Dx(), frame.Dy()),
+		buf:    m.takeBuffer(frame.Dx(), frame.Dy()),
 		client: client,
 		mgr:    m,
 	}

@@ -40,6 +40,11 @@ func (s *Series) Add(t sim.Time, v float64) {
 // Len returns the number of samples.
 func (s *Series) Len() int { return len(s.Points) }
 
+// Reset empties the series in place, keeping the points' capacity — the
+// recycling path for fleet device reuse, where a series is refilled every
+// run and reallocating it per device would defeat the point.
+func (s *Series) Reset() { s.Points = s.Points[:0] }
+
 // Values returns just the sample values, in time order.
 func (s *Series) Values() []float64 {
 	vs := make([]float64, len(s.Points))
@@ -157,6 +162,14 @@ func (rc *RateCounter) prune(now sim.Time) {
 		}
 		rc.n--
 	}
+}
+
+// Reset forgets every event, keeping the ring's capacity, so a recycled
+// counter observes its next event stream allocation-free from the start.
+func (rc *RateCounter) Reset() {
+	rc.head = 0
+	rc.n = 0
+	rc.total = 0
 }
 
 // Rate returns the event rate (events per second) over the window ending
