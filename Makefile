@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench perfgate perfgate-update fuzz chaos validate campaign figures fleet fleet-scale obs clean
+.PHONY: all build test test-short race cover bench perfgate perfgate-update fuzz chaos validate campaign figures fleet fleet-scale svc obs clean
 
 all: build test
 
@@ -28,6 +28,7 @@ fuzz:
 	$(GO) test -fuzz FuzzReadScript -fuzztime $(FUZZTIME) ./internal/input
 	$(GO) test -fuzz FuzzReadPPM -fuzztime $(FUZZTIME) ./internal/framebuffer
 	$(GO) test -fuzz FuzzGridCompare -fuzztime $(FUZZTIME) ./internal/framebuffer
+	$(GO) test -fuzz FuzzAccumulatorCodec -fuzztime $(FUZZTIME) ./internal/fleet
 
 # Benchmark-regression gate over the pinned hot-path suite (see
 # cmd/ccdem-bench): medians of repeated runs vs results/bench_baseline.json.
@@ -87,6 +88,13 @@ fleet-scale:
 	$(GO) test -race -run 'TestStreamedCohort|TestPoolBatch' ./internal/fleet
 	$(GO) run -race ./cmd/ccdem-fleet -devices 200 -duration 2 \
 		-stream -batch 16 -workers 8 > /dev/null
+
+# Campaign service smoke (DESIGN.md §12): boot ccdem-svc, run a 2-way
+# subprocess-sharded campaign over the HTTP API, and diff its merged
+# result against the direct single-process streaming run — the two must
+# be byte-identical. Needs curl and jq.
+svc:
+	./scripts/svc_smoke.sh
 
 # Sample observability artifacts from a short fleet run: a Perfetto-loadable
 # trace (open at https://ui.perfetto.dev) and the merged metrics dump.

@@ -25,6 +25,7 @@ import (
 	"os"
 	"os/exec"
 
+	"ccdem/internal/buildinfo"
 	"ccdem/internal/perfgate"
 )
 
@@ -59,7 +60,12 @@ func main() {
 		count     = flag.Int("count", 3, "benchmark repetitions (median is gated)")
 		benchtime = flag.String("benchtime", "200ms", "go test -benchtime per benchmark")
 	)
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		buildinfo.Fprint(os.Stdout, "ccdem-bench")
+		return
+	}
 	if err := run(*baseline, *input, *update, *threshold, *warnTime, *report, *count, *benchtime); err != nil {
 		fmt.Fprintln(os.Stderr, "ccdem-bench:", err)
 		os.Exit(1)

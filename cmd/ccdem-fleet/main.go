@@ -20,10 +20,12 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime/pprof"
 	"time"
 
+	"ccdem/internal/buildinfo"
 	"ccdem/internal/fault"
 	"ccdem/internal/fleet"
 	"ccdem/internal/obs"
@@ -57,6 +59,9 @@ type runConfig struct {
 	batch    int  // task indices claimed per worker dispatch
 	progress bool
 	writeTo  string
+	shard    string   // run one shard "i/n" and emit its wire document
+	merge    bool     // merge shard documents instead of running devices
+	shardIn  []string // positional args: shard files for -merge-shards
 	obs      obsFlags
 }
 
@@ -79,13 +84,21 @@ func main() {
 	flag.IntVar(&c.batch, "batch", 0, "device indices each worker claims per dispatch (0 = one at a time); larger batches amortize scheduling overhead on huge fleets")
 	flag.BoolVar(&c.progress, "progress", false, "report completed devices on stderr")
 	flag.StringVar(&c.writeTo, "write-spec", "", "write the default cohort as a spec template to this file and exit")
+	flag.StringVar(&c.shard, "shard", "", "run only shard i/n of the cohort (e.g. 0/4) and write its accumulator shard document to stdout; merge the documents with -merge-shards")
+	flag.BoolVar(&c.merge, "merge-shards", false, "merge the shard documents named as arguments (- for stdin) into the campaign result; byte-identical to the unsharded streaming run")
 
 	flag.StringVar(&c.obs.traceOut, "trace-out", "", "write a Chrome trace-event JSON of every device's managed session to this file (open in Perfetto or chrome://tracing)")
 	flag.BoolVar(&c.obs.traceSched, "trace-sched", false, "with -trace-out: add the pool scheduler's wall-clock task spans as an extra track (not reproducible across runs)")
 	flag.BoolVar(&c.obs.metrics, "metrics", false, "dump the merged fleet metrics registry to stderr after the run")
 	flag.IntVar(&c.obs.sample, "obs-sample", 0, "with -trace-out/-metrics: keep observability for roughly 1 in N devices, chosen deterministically by name hash (0 or 1 = all); bounds observability memory on huge fleets")
 	pprofOut := flag.String("pprof", "", "write a CPU profile of the whole invocation to this file")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		buildinfo.Fprint(os.Stdout, "ccdem-fleet")
+		return
+	}
+	c.shardIn = flag.Args()
 	if *pprofOut != "" {
 		f, err := os.Create(*pprofOut)
 		if err != nil {
@@ -137,12 +150,63 @@ func (c runConfig) validate() error {
 	if c.obs.sample < 0 {
 		return fmt.Errorf("-obs-sample must be non-negative, got %d", c.obs.sample)
 	}
+	if c.shard != "" {
+		if c.merge {
+			return fmt.Errorf("-shard and -merge-shards are different halves of a distributed run; use one")
+		}
+		if c.format == "csv" || c.perDev {
+			return fmt.Errorf("-shard emits an accumulator shard document, not rows; drop -format csv / -per-device")
+		}
+	}
+	if c.merge {
+		if len(c.shardIn) == 0 {
+			return fmt.Errorf("-merge-shards needs shard document files as arguments")
+		}
+		if c.format == "csv" || c.perDev {
+			return fmt.Errorf("shard documents carry no per-device rows; -merge-shards output is aggregate JSON only")
+		}
+	} else if len(c.shardIn) > 0 {
+		return fmt.Errorf("unexpected arguments %v (shard files are only read with -merge-shards)", c.shardIn)
+	}
 	return nil
+}
+
+// runMerge is the -merge-shards path: decode every shard document, merge
+// in shard order, and write the campaign result.
+func runMerge(c runConfig) error {
+	shards := make([]*fleet.Shard, 0, len(c.shardIn))
+	for _, path := range c.shardIn {
+		var r io.Reader = os.Stdin
+		if path != "-" {
+			f, err := os.Open(path)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			r = f
+		}
+		shard, err := fleet.DecodeShard(r)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		shards = append(shards, shard)
+	}
+	result, err := fleet.MergeShards(shards)
+	if err != nil {
+		return err
+	}
+	if len(result.Failed) > 0 {
+		fmt.Fprintf(os.Stderr, "ccdem-fleet: %d devices failed; aggregate covers the survivors\n", len(result.Failed))
+	}
+	return result.WriteJSON(os.Stdout, false)
 }
 
 func run(c runConfig) error {
 	if err := c.validate(); err != nil {
 		return err
+	}
+	if c.merge {
+		return runMerge(c)
 	}
 	cohort := fleet.Cohort{
 		Devices:      c.devices,
@@ -223,6 +287,24 @@ func run(c runConfig) error {
 	}
 	if c.obs.traceSched {
 		pool.Spans = obs.NewSpanLog()
+	}
+	if c.shard != "" {
+		index, count, err := fleet.ParseShard(c.shard)
+		if err != nil {
+			return err
+		}
+		cohort.ShardIndex, cohort.ShardCount = index, count
+		shard, err := cohort.RunShard(context.Background(), pool)
+		if err != nil {
+			return err
+		}
+		if err := writeObs(cohort.Obs, pool.Spans, c.obs); err != nil {
+			return err
+		}
+		if len(shard.Failed) > 0 {
+			fmt.Fprintf(os.Stderr, "ccdem-fleet: shard %s: %d devices failed\n", c.shard, len(shard.Failed))
+		}
+		return shard.Encode(os.Stdout)
 	}
 	var sinkErr error
 	if c.stream {

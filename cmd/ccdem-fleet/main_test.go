@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -103,6 +104,15 @@ func TestRunRejectsBadInput(t *testing.T) {
 		{"zero samples", func(c *runConfig) { c.samples = 0 }},
 		{"negative fault scale", func(c *runConfig) { c.faults = -1 }},
 		{"negative task timeout", func(c *runConfig) { c.timeout = -time.Second }},
+		{"shard with csv", func(c *runConfig) { c.shard = "0/2"; c.format = "csv" }},
+		{"shard with per-device", func(c *runConfig) { c.shard = "0/2"; c.perDev = true }},
+		{"shard and merge together", func(c *runConfig) { c.shard = "0/2"; c.merge = true; c.shardIn = []string{"x"} }},
+		{"malformed shard position", func(c *runConfig) { c.shard = "two/four" }},
+		{"shard index out of range", func(c *runConfig) { c.shard = "4/4" }},
+		{"merge without files", func(c *runConfig) { c.merge = true }},
+		{"merge with csv", func(c *runConfig) { c.merge = true; c.shardIn = []string{"x"}; c.format = "csv" }},
+		{"merge missing file", func(c *runConfig) { c.merge = true; c.shardIn = []string{"no-such-shard.json"} }},
+		{"stray arguments", func(c *runConfig) { c.shardIn = []string{"stray.json"} }},
 	}
 	for _, tc := range cases {
 		c := testConfig()
@@ -129,5 +139,40 @@ func TestWriteSpecThenRun(t *testing.T) {
 	out := capture(t, func() error { return run(c) })
 	if !strings.Contains(out, "\"aggregate\"") {
 		t.Errorf("spec-driven run produced no aggregate:\n%s", out)
+	}
+}
+
+// TestShardMergeMatchesDirect drives the CLI halves of a distributed
+// run: N -shard invocations, one -merge-shards invocation, and requires
+// the merged output to be byte-identical to the direct streaming run.
+func TestShardMergeMatchesDirect(t *testing.T) {
+	dir := t.TempDir()
+	base := testConfig()
+	base.devices = 11
+	base.seed = 5
+	base.workers = 2
+
+	const shards = 3
+	var files []string
+	for i := 0; i < shards; i++ {
+		c := base
+		c.shard = fmt.Sprintf("%d/%d", i, shards)
+		doc := capture(t, func() error { return run(c) })
+		path := filepath.Join(dir, fmt.Sprintf("shard-%d.json", i))
+		if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, path)
+	}
+	merge := base
+	merge.merge = true
+	merge.shardIn = files
+	got := capture(t, func() error { return run(merge) })
+
+	direct := base
+	direct.stream = true
+	want := capture(t, func() error { return run(direct) })
+	if got != want {
+		t.Errorf("merged shard output differs from direct streaming run:\n got: %s\nwant: %s", got, want)
 	}
 }

@@ -19,6 +19,7 @@ import (
 
 	"ccdem"
 	"ccdem/internal/app"
+	"ccdem/internal/buildinfo"
 	"ccdem/internal/input"
 	"ccdem/internal/report"
 	"ccdem/internal/sim"
@@ -49,7 +50,12 @@ func main() {
 		appFile    = flag.String("app-file", "", "load custom workloads from this JSON file (see app.WriteParams format); -app then selects by name within it")
 		list       = flag.Bool("list", false, "list catalog applications and exit")
 	)
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		buildinfo.Fprint(os.Stdout, "ccdem-run")
+		return
+	}
 
 	if *list {
 		for _, p := range app.Catalog() {

@@ -20,6 +20,7 @@ import (
 	"ccdem"
 	"ccdem/internal/app"
 	"ccdem/internal/battery"
+	"ccdem/internal/buildinfo"
 	"ccdem/internal/scenario"
 	"ccdem/internal/sim"
 )
@@ -37,7 +38,12 @@ func main() {
 	file := flag.String("file", "", "scenario JSON file")
 	mode := flag.String("mode", "", "run a single configuration instead of the baseline-vs-managed pair")
 	example := flag.Bool("example", false, "print a starter scenario to stdout and exit")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		buildinfo.Fprint(os.Stdout, "ccdem-scenario")
+		return
+	}
 
 	if *example {
 		if err := printExample(); err != nil {

@@ -1,0 +1,109 @@
+// Command ccdem-svc is the campaign service daemon: a long-running HTTP
+// server that accepts fleet cohort specs as asynchronous jobs, shards
+// each campaign across worker subprocesses (one per shard, the daemon
+// re-executing itself in -shard-worker mode), streams live per-job
+// progress, and serves the centrally merged result — byte-identical to a
+// single-process `ccdem-fleet -spec ... -stream` run of the same spec.
+//
+// Examples:
+//
+//	ccdem-svc -listen 127.0.0.1:7700
+//	curl -s -d @job.json localhost:7700/api/jobs
+//	curl -s localhost:7700/api/jobs/job-0001/watch
+//	curl -s localhost:7700/api/jobs/job-0001/result
+//
+// SIGINT/SIGTERM stop admission, cancel running campaigns, and drain
+// within -shutdown-timeout.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ccdem/internal/buildinfo"
+	"ccdem/internal/svc"
+)
+
+func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func realMain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ccdem-svc", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	listen := fs.String("listen", "127.0.0.1:7700", "address to serve the job API on (port 0 picks a free port, reported on stderr)")
+	maxJobs := fs.Int("max-jobs", 2, "campaigns running concurrently; further submissions queue")
+	local := fs.Bool("local", false, "run shards in-process instead of one worker subprocess per shard")
+	shutdownTimeout := fs.Duration("shutdown-timeout", 30*time.Second, "drain budget after SIGINT/SIGTERM before giving up on running jobs")
+	shardWorker := fs.String("shard-worker", "", "internal: run one shard at position i/n — job document on stdin, shard document on stdout, progress on stderr")
+	version := fs.Bool("version", false, "print version and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *version {
+		buildinfo.Fprint(stdout, "ccdem-svc")
+		return 0
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *shardWorker != "" {
+		if err := svc.RunWorker(ctx, *shardWorker, stdin, stdout, stderr); err != nil {
+			fmt.Fprintf(stderr, "ccdem-svc: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
+	runner := svc.Runner(svc.LocalRunner{})
+	if !*local {
+		exe, err := os.Executable()
+		if err != nil {
+			fmt.Fprintf(stderr, "ccdem-svc: locating own executable for shard workers: %v (use -local)\n", err)
+			return 1
+		}
+		runner = svc.ProcRunner{Exe: exe, Args: []string{"-shard-worker"}}
+	}
+
+	m := svc.NewManager(svc.Config{Runner: runner, MaxJobs: *maxJobs})
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintf(stderr, "ccdem-svc: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "ccdem-svc: listening on http://%s\n", ln.Addr())
+	srv := &http.Server{Handler: svc.Handler(m)}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintf(stderr, "ccdem-svc: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	}
+	// Restore default signal handling so a second signal kills outright.
+	stop()
+	fmt.Fprintf(stderr, "ccdem-svc: shutting down (budget %v)\n", *shutdownTimeout)
+	sctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+	defer cancel()
+	m.BeginShutdown()
+	if err := srv.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(stderr, "ccdem-svc: draining http: %v\n", err)
+	}
+	if err := m.Wait(sctx); err != nil {
+		fmt.Fprintf(stderr, "ccdem-svc: %v\n", err)
+		return 1
+	}
+	return 0
+}

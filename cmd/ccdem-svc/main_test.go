@@ -1,0 +1,296 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"ccdem/internal/fleet"
+	"ccdem/internal/sim"
+	"ccdem/internal/svc"
+)
+
+// TestMain doubles the test binary as its own shard worker: when the
+// harness (ProcRunner) re-executes it with -shard-worker, run the real
+// worker entry point instead of the test suite. This is what makes the
+// multi-process tests below genuine subprocess runs.
+func TestMain(m *testing.M) {
+	for i, arg := range os.Args[1:] {
+		if arg == "-shard-worker" || strings.HasPrefix(arg, "-shard-worker=") {
+			os.Exit(realMain(os.Args[1+i:], os.Stdin, os.Stdout, os.Stderr))
+		}
+	}
+	os.Exit(m.Run())
+}
+
+// testSpecDoc serializes a small deterministic cohort spec.
+func testSpecDoc(t *testing.T, devices int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	err := fleet.WriteSpec(&buf, fleet.Cohort{
+		Devices:      devices,
+		Seed:         7,
+		Session:      2 * sim.Second,
+		MeterSamples: 256,
+	})
+	if err != nil {
+		t.Fatalf("WriteSpec: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// procRunner returns a Runner that shards through real subprocesses of
+// this test binary.
+func procRunner() svc.ProcRunner {
+	return svc.ProcRunner{Exe: os.Args[0], Args: []string{"-shard-worker"}}
+}
+
+// TestDaemonShardedMatchesDirect is the acceptance proof: a campaign
+// sharded across separate worker processes, merged centrally, must be
+// byte-identical to the single-process streaming run of the same spec.
+func TestDaemonShardedMatchesDirect(t *testing.T) {
+	doc := testSpecDoc(t, 24)
+	m := svc.NewManager(svc.Config{Runner: procRunner(), MaxJobs: 2})
+	defer m.Shutdown(context.Background())
+
+	job, err := m.Submit(svc.JobSpec{Spec: doc, Shards: 3, Workers: 2})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	var p svc.Progress
+	for {
+		if p = job.Progress(); p.State.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in state %s", p.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if p.State != svc.StateDone {
+		t.Fatalf("state = %s (error %q), want done", p.State, p.Error)
+	}
+	if p.Done != 24 || p.ShardsDone != 3 {
+		t.Fatalf("terminal progress = %+v, want 24 devices over 3 shards", p)
+	}
+
+	result, ok := job.Result()
+	if !ok {
+		t.Fatal("done job has no result")
+	}
+	var got bytes.Buffer
+	if err := result.WriteJSON(&got, false); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+
+	cohort, err := fleet.ReadSpec(bytes.NewReader(doc))
+	if err != nil {
+		t.Fatalf("ReadSpec: %v", err)
+	}
+	cohort.Stream = true
+	direct, err := cohort.Run(context.Background(), fleet.Pool{Workers: 4})
+	if err != nil {
+		t.Fatalf("direct run: %v", err)
+	}
+	var want bytes.Buffer
+	if err := direct.WriteJSON(&want, false); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Errorf("multi-process sharded result differs from single-process run:\n got: %s\nwant: %s", got.Bytes(), want.Bytes())
+	}
+}
+
+// TestWorkerModeRoundTrip drives the -shard-worker entry point directly
+// through realMain, the way the daemon invokes it.
+func TestWorkerModeRoundTrip(t *testing.T) {
+	spec := svc.JobSpec{Spec: testSpecDoc(t, 10), Shards: 2}
+	specDoc, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var merged []*fleet.Shard
+	for i := 0; i < 2; i++ {
+		var stdout, stderr bytes.Buffer
+		code := realMain([]string{"-shard-worker", fmt.Sprintf("%d/2", i)},
+			bytes.NewReader(specDoc), &stdout, &stderr)
+		if code != 0 {
+			t.Fatalf("worker %d exited %d: %s", i, code, stderr.String())
+		}
+		if !strings.Contains(stderr.String(), "ccdem-shard-progress ") {
+			t.Errorf("worker %d emitted no progress lines: %q", i, stderr.String())
+		}
+		shard, err := fleet.DecodeShard(&stdout)
+		if err != nil {
+			t.Fatalf("worker %d output: %v", i, err)
+		}
+		merged = append(merged, shard)
+	}
+	result, err := fleet.MergeShards(merged)
+	if err != nil {
+		t.Fatalf("MergeShards: %v", err)
+	}
+	if result.Aggregate.Devices != 10 {
+		t.Fatalf("merged devices = %d, want 10", result.Aggregate.Devices)
+	}
+}
+
+func TestWorkerModeRejectsBadInput(t *testing.T) {
+	cases := []struct {
+		name  string
+		shard string
+		stdin string
+	}{
+		{"bad position", "2/2", `{"spec": {"version":1,"devices":4,"profiles":[]}}`},
+		{"malformed position", "x/y", `{}`},
+		{"malformed spec", "0/1", `{"spec": nope`},
+		{"unknown field", "0/1", `{"bogus": 1}`},
+		{"shard count mismatch", "0/3", `{"spec": {"version":1,"devices":4,"profiles":[]}, "shards": 2}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := realMain([]string{"-shard-worker", tc.shard},
+				strings.NewReader(tc.stdin), &stdout, &stderr)
+			if code == 0 {
+				t.Fatalf("worker accepted bad input, stderr: %s", stderr.String())
+			}
+			if stderr.Len() == 0 {
+				t.Error("no diagnostic on stderr")
+			}
+		})
+	}
+}
+
+// TestDaemonEndToEnd boots the real daemon loop (signal handling, HTTP
+// serving, graceful drain) in-process on a free port and runs one
+// subprocess-sharded campaign through the HTTP API.
+func TestDaemonEndToEnd(t *testing.T) {
+	// realMain reports the bound address on stderr; capture it through a
+	// pipe so the test can find the port.
+	stderrR, stderrW, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exit := make(chan int, 1)
+	go func() {
+		exit <- realMain([]string{"-listen", "127.0.0.1:0", "-shutdown-timeout", "30s"},
+			strings.NewReader(""), io.Discard, stderrW)
+	}()
+	lines := make(chan string, 16)
+	go func() {
+		buf := make([]byte, 4096)
+		var pending []byte
+		for {
+			n, err := stderrR.Read(buf)
+			pending = append(pending, buf[:n]...)
+			for {
+				i := bytes.IndexByte(pending, '\n')
+				if i < 0 {
+					break
+				}
+				lines <- string(pending[:i])
+				pending = pending[i+1:]
+			}
+			if err != nil {
+				close(lines)
+				return
+			}
+		}
+	}()
+	var base string
+	select {
+	case line := <-lines:
+		i := strings.Index(line, "http://")
+		if i < 0 {
+			t.Fatalf("first daemon line %q does not report the listen address", line)
+		}
+		base = line[i:]
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never reported its listen address")
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	body, err := json.Marshal(svc.JobSpec{Spec: testSpecDoc(t, 12), Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(base+"/api/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /api/jobs: %v", err)
+	}
+	var submitted svc.Progress
+	if err := json.NewDecoder(resp.Body).Decode(&submitted); err != nil {
+		t.Fatalf("decoding submit response: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d", resp.StatusCode)
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(base + "/api/jobs/" + submitted.ID)
+		if err != nil {
+			t.Fatalf("GET job: %v", err)
+		}
+		var p svc.Progress
+		json.NewDecoder(resp.Body).Decode(&p)
+		resp.Body.Close()
+		if p.State.Terminal() {
+			if p.State != svc.StateDone {
+				t.Fatalf("job finished %s: %s", p.State, p.Error)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in state %s", p.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// SIGTERM the daemon (ourselves — signal.NotifyContext catches it)
+	// and require a clean, prompt exit.
+	proc, err := os.FindProcess(os.Getpid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := proc.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("daemon exited %d", code)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not shut down after SIGINT")
+	}
+	stderrW.Close()
+}
+
+func TestVersionFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := realMain([]string{"-version"}, strings.NewReader(""), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	if !strings.HasPrefix(stdout.String(), "ccdem-svc ") {
+		t.Fatalf("version output = %q", stdout.String())
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"path/filepath"
 	"runtime/pprof"
 
+	"ccdem/internal/buildinfo"
 	"ccdem/internal/experiments"
 	"ccdem/internal/fault"
 	"ccdem/internal/obs"
@@ -50,7 +51,12 @@ func main() {
 	metrics := flag.Bool("metrics", false, "dump the merged metrics registry to stderr after the experiment")
 	pprofOut := flag.String("pprof", "", "write a CPU profile of the whole invocation to this file")
 	flag.Usage = usage
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		buildinfo.Fprint(os.Stdout, "ccdem")
+		return
+	}
 	if flag.NArg() != 1 {
 		usage()
 		os.Exit(2)

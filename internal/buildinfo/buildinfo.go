@@ -1,0 +1,76 @@
+// Package buildinfo derives the one version string every ccdem binary
+// reports — the CLIs via -version, the service daemon via /version — from
+// the Go build metadata already embedded in the binary, so no ldflags
+// stamping or generated file is needed.
+package buildinfo
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+)
+
+// Info is the build identity of the running binary.
+type Info struct {
+	// Version is the module version when built from a tagged module,
+	// otherwise the VCS revision (12 hex digits, "-dirty" suffixed when
+	// the working tree was modified), otherwise "devel".
+	Version string `json:"version"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// Revision is the full VCS revision when known.
+	Revision string `json:"revision,omitempty"`
+	// Time is the VCS commit time (RFC 3339) when known.
+	Time string `json:"time,omitempty"`
+}
+
+// Get reads the binary's build metadata. It never fails: binaries built
+// without module or VCS information report Version "devel".
+func Get() Info {
+	info := Info{Version: "devel", GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		info.Version = v
+	}
+	var revision, modified string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			revision = s.Value
+		case "vcs.modified":
+			modified = s.Value
+		case "vcs.time":
+			info.Time = s.Value
+		}
+	}
+	if revision != "" {
+		info.Revision = revision
+		if info.Version == "devel" {
+			short := revision
+			if len(short) > 12 {
+				short = short[:12]
+			}
+			info.Version = short
+			if modified == "true" {
+				info.Version += "-dirty"
+			}
+		}
+	}
+	return info
+}
+
+// Line is the single-line form "<cmd> <version> (<go version>)" the CLIs
+// print for -version.
+func Line(cmd string) string {
+	info := Get()
+	return fmt.Sprintf("%s %s (%s)", cmd, info.Version, info.GoVersion)
+}
+
+// Fprint writes Line(cmd) followed by a newline.
+func Fprint(w io.Writer, cmd string) {
+	fmt.Fprintln(w, Line(cmd))
+}

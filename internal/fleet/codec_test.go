@@ -1,0 +1,340 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// encodeBytes is the accumulator's canonical wire document as a string.
+func encodeBytes(t *testing.T, a *Accumulator) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := a.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// decodeString round-trips an accumulator through the wire.
+func decodeString(t *testing.T, doc string) *Accumulator {
+	t.Helper()
+	a, err := DecodeAccumulator(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("decode: %v\n%s", err, doc)
+	}
+	return a
+}
+
+// TestAccumulatorCodecRoundTrip is the codec's core property, mandated by
+// the determinism contract: for random shard contents at any shard count,
+// merging decoded round-tripped shards in shard order is bit-identical —
+// same encoded bytes, same finalized aggregate — to merging the originals.
+func TestAccumulatorCodecRoundTrip(t *testing.T) {
+	profiles := []Profile{{Name: "messenger"}, {Name: "browser"}, {Name: "gamer"}, {Name: "viewer"}}
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(int64(9000 + trial)))
+		results := randomResults(rng, 1+rng.Intn(300))
+		nShards := 1 + rng.Intn(6)
+
+		direct := make([]*Accumulator, nShards)
+		wired := make([]*Accumulator, nShards)
+		for i := range direct {
+			direct[i] = NewAccumulator()
+		}
+		for _, r := range results {
+			direct[rng.Intn(nShards)].Add(r)
+		}
+		for i, a := range direct {
+			doc := encodeBytes(t, a)
+			// Canonical encoding: encoding the decoded state reproduces
+			// the document byte for byte.
+			wired[i] = decodeString(t, doc)
+			if re := encodeBytes(t, wired[i]); re != doc {
+				t.Fatalf("trial %d shard %d: re-encoded document differs:\n%s\nvs\n%s", trial, i, re, doc)
+			}
+		}
+
+		mergedDirect := NewAccumulator()
+		mergedWired := NewAccumulator()
+		for i := 0; i < nShards; i++ { // shard order, per the contract
+			mergedDirect.Merge(direct[i])
+			mergedWired.Merge(wired[i])
+		}
+		if got, want := encodeBytes(t, mergedWired), encodeBytes(t, mergedDirect); got != want {
+			t.Fatalf("trial %d (%d shards): merged wire state differs:\n%s\nvs\n%s", trial, nShards, got, want)
+		}
+		if got, want := mergedWired.Aggregate(profiles), mergedDirect.Aggregate(profiles); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: merged aggregate differs:\n%+v\nvs\n%+v", trial, got, want)
+		}
+	}
+}
+
+func TestAccumulatorCodecEmpty(t *testing.T) {
+	doc := encodeBytes(t, NewAccumulator())
+	a := decodeString(t, doc)
+	if a.Devices() != 0 {
+		t.Fatalf("decoded empty accumulator holds %d devices", a.Devices())
+	}
+	if re := encodeBytes(t, a); re != doc {
+		t.Fatalf("empty round trip differs: %s vs %s", re, doc)
+	}
+}
+
+// mutateDoc applies fn to the parsed document and re-serializes it — the
+// corruption lever of the reject tables.
+func mutateDoc(t *testing.T, doc string, fn func(m map[string]any)) string {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal([]byte(doc), &m); err != nil {
+		t.Fatal(err)
+	}
+	fn(m)
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+func TestDecodeAccumulatorRejects(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	acc := NewAccumulator()
+	for _, r := range randomResults(rng, 50) {
+		acc.Add(r)
+	}
+	var buf bytes.Buffer
+	if err := acc.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.String()
+	if _, err := DecodeAccumulator(strings.NewReader(good)); err != nil {
+		t.Fatalf("control: valid document rejected: %v", err)
+	}
+
+	hist := func(m map[string]any, name string) map[string]any { return m[name].(map[string]any) }
+	cases := []struct {
+		name string
+		doc  string
+		want string // substring of the error
+	}{
+		{"empty input", "", "EOF"},
+		{"not json", "]{[", "invalid character"},
+		{"unknown field", mutateDoc(t, good, func(m map[string]any) { m["bogus"] = 1 }), "unknown field"},
+		{"bad version", mutateDoc(t, good, func(m map[string]any) { m["version"] = 99 }), "unsupported version"},
+		{"negative devices", mutateDoc(t, good, func(m map[string]any) { m["devices"] = -1 }), "negative device count"},
+		{"wrong per-unit", mutateDoc(t, good, func(m map[string]any) {
+			hist(m, "quality_hist")["per_unit"] = 100
+		}), "per_unit"},
+		{"count mismatch", mutateDoc(t, good, func(m map[string]any) {
+			hist(m, "quality_hist")["n"] = 1
+		}), "sum to"},
+		{"hist/device mismatch", mutateDoc(t, good, func(m map[string]any) { m["devices"] = 51 }), "samples for"},
+		{"unsorted bins", mutateDoc(t, good, func(m map[string]any) {
+			h := hist(m, "saved_pct_hist")
+			bins := h["bins"].([]any)
+			bins[0], bins[1] = bins[1], bins[0]
+		}), "ascending"},
+		{"zero bin count", mutateDoc(t, good, func(m map[string]any) {
+			h := hist(m, "extra_hours_hist")
+			bin := h["bins"].([]any)[0].([]any)
+			n := h["n"].(float64) - bin[1].(float64)
+			bin[1] = 0
+			h["n"] = n
+		}), "non-positive count"},
+		{"profile devices drift", mutateDoc(t, good, func(m map[string]any) {
+			p := m["profiles"].([]any)[0].(map[string]any)
+			p["devices"] = p["devices"].(float64) + 1
+		}), "profile shards hold"},
+		{"unsorted profiles", mutateDoc(t, good, func(m map[string]any) {
+			ps := m["profiles"].([]any)
+			ps[0], ps[1] = ps[1], ps[0]
+		}), "ascending name order"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeAccumulator(strings.NewReader(tc.doc))
+			if err == nil {
+				t.Fatalf("corrupted document accepted:\n%s", tc.doc)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestDecodeShardRejects(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	acc := NewAccumulator()
+	for i, r := range randomResults(rng, 25) {
+		r.Device = i
+		acc.Add(r)
+	}
+	shard := &Shard{
+		Index:         0,
+		Count:         2,
+		CohortDevices: 50,
+		ProfileOrder:  []string{"messenger", "browser", "gamer", "viewer"},
+		Acc:           acc,
+	}
+	var buf bytes.Buffer
+	if err := shard.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.String()
+	if _, err := DecodeShard(strings.NewReader(good)); err != nil {
+		t.Fatalf("control: valid shard rejected: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		doc  string
+		want string
+	}{
+		{"empty input", "", "EOF"},
+		{"bad version", mutateDoc(t, good, func(m map[string]any) { m["version"] = 2 }), "unsupported version"},
+		{"shard out of range", mutateDoc(t, good, func(m map[string]any) { m["shard"] = 2 }), "invalid shard position"},
+		{"zero of", mutateDoc(t, good, func(m map[string]any) { m["of"] = 0 }), "invalid shard position"},
+		{"bad cohort size", mutateDoc(t, good, func(m map[string]any) { m["cohort_devices"] = 0 }), "non-positive cohort device count"},
+		{"empty profile order", mutateDoc(t, good, func(m map[string]any) { m["profile_order"] = []any{} }), "empty profile order"},
+		{"duplicate profile", mutateDoc(t, good, func(m map[string]any) {
+			m["profile_order"] = []any{"messenger", "messenger", "browser", "gamer", "viewer"}
+		}), "duplicate profile"},
+		{"profile not in order", mutateDoc(t, good, func(m map[string]any) {
+			m["profile_order"] = []any{"messenger", "browser", "gamer"}
+		}), "absent from profile order"},
+		{"slice accounting", mutateDoc(t, good, func(m map[string]any) { m["cohort_devices"] = 60 }), "accounts for"},
+		{"failure outside slice", mutateDoc(t, good, func(m map[string]any) {
+			m["cohort_devices"] = 52
+			m["failed"] = []any{map[string]any{"device": 40, "error": "boom"}}
+		}), "outside shard slice"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeShard(strings.NewReader(tc.doc))
+			if err == nil {
+				t.Fatalf("corrupted shard accepted:\n%s", tc.doc)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseShard(t *testing.T) {
+	cases := []struct {
+		in           string
+		index, count int
+		ok           bool
+	}{
+		{"0/1", 0, 1, true},
+		{"0/2", 0, 2, true},
+		{"1/2", 1, 2, true},
+		{"7/8", 7, 8, true},
+		{"", 0, 0, false},
+		{"1", 0, 0, false},
+		{"2/2", 0, 0, false},
+		{"-1/2", 0, 0, false},
+		{"0/0", 0, 0, false},
+		{"a/2", 0, 0, false},
+		{"0/2x", 0, 0, false},
+		{"0/2/3", 0, 0, false},
+	}
+	for _, tc := range cases {
+		index, count, err := ParseShard(tc.in)
+		if tc.ok != (err == nil) {
+			t.Errorf("ParseShard(%q): err = %v, want ok=%v", tc.in, err, tc.ok)
+			continue
+		}
+		if tc.ok && (index != tc.index || count != tc.count) {
+			t.Errorf("ParseShard(%q) = %d/%d, want %d/%d", tc.in, index, count, tc.index, tc.count)
+		}
+	}
+}
+
+// FuzzAccumulatorCodec drives both halves of the codec contract: hostile
+// bytes must never panic the decoders, and accumulators built from
+// fuzzer-chosen contents must survive the round trip bit-identically —
+// Merge(Decode(Encode(a)), Decode(Encode(b))) equals Merge(a, b) in both
+// wire bytes and finalized aggregate, merged in shard order.
+func FuzzAccumulatorCodec(f *testing.F) {
+	f.Add([]byte("seed"), int64(1), uint8(2))
+	f.Add([]byte(`{"version":1}`), int64(42), uint8(5))
+	var buf bytes.Buffer
+	acc := NewAccumulator()
+	acc.Add(DeviceResult{Device: 0, Profile: "p", SavedPct: 12.5, QualityPct: 99, TrueQualityPct: 98, ExtraHours: 0.5})
+	if err := acc.Encode(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes(), int64(7), uint8(3))
+
+	profiles := []Profile{{Name: "messenger"}, {Name: "browser"}, {Name: "gamer"}, {Name: "viewer"}}
+	f.Fuzz(func(t *testing.T, data []byte, seed int64, nShards uint8) {
+		// Hostile-input half: decoders must reject or accept, never panic.
+		if a, err := DecodeAccumulator(bytes.NewReader(data)); err == nil {
+			// Whatever was accepted must re-encode canonically.
+			var w1, w2 bytes.Buffer
+			if err := a.Encode(&w1); err != nil {
+				t.Fatal(err)
+			}
+			b, err := DecodeAccumulator(bytes.NewReader(w1.Bytes()))
+			if err != nil {
+				t.Fatalf("accepted document failed re-decode: %v", err)
+			}
+			if err := b.Encode(&w2); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(w1.Bytes(), w2.Bytes()) {
+				t.Fatalf("accepted document not canonical:\n%s\nvs\n%s", w1.String(), w2.String())
+			}
+		}
+		_, _ = DecodeShard(bytes.NewReader(data))
+
+		// Property half: random shard contents round-trip bit-identically.
+		n := int(nShards)%6 + 1
+		rng := rand.New(rand.NewSource(seed))
+		results := randomResults(rng, 1+rng.Intn(60))
+		direct := make([]*Accumulator, n)
+		wired := make([]*Accumulator, n)
+		for i := range direct {
+			direct[i] = NewAccumulator()
+		}
+		for _, r := range results {
+			direct[rng.Intn(n)].Add(r)
+		}
+		for i, a := range direct {
+			var doc bytes.Buffer
+			if err := a.Encode(&doc); err != nil {
+				t.Fatal(err)
+			}
+			w, err := DecodeAccumulator(bytes.NewReader(doc.Bytes()))
+			if err != nil {
+				t.Fatalf("shard %d: round trip rejected: %v", i, err)
+			}
+			wired[i] = w
+		}
+		mergedDirect, mergedWired := NewAccumulator(), NewAccumulator()
+		for i := 0; i < n; i++ {
+			mergedDirect.Merge(direct[i])
+			mergedWired.Merge(wired[i])
+		}
+		var db, wb bytes.Buffer
+		if err := mergedDirect.Encode(&db); err != nil {
+			t.Fatal(err)
+		}
+		if err := mergedWired.Encode(&wb); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(db.Bytes(), wb.Bytes()) {
+			t.Fatalf("merged wire state differs:\n%s\nvs\n%s", db.String(), wb.String())
+		}
+		if got, want := mergedWired.Aggregate(profiles), mergedDirect.Aggregate(profiles); !reflect.DeepEqual(got, want) {
+			t.Fatalf("merged aggregate differs:\n%+v\nvs\n%+v", got, want)
+		}
+	})
+}

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -126,6 +127,16 @@ type Cohort struct {
 	// failed ones are reported in Result.Failed.
 	FailFast bool
 
+	// ShardIndex/ShardCount restrict the run to the cohort's ShardIndex-th
+	// of ShardCount contiguous device-index ranges, so one campaign can
+	// split across worker processes (cmd/ccdem-fleet -shard, internal/svc).
+	// Device seeding depends only on (Seed, global device index), and the
+	// accumulator state is integral, so shard runs merged in shard order
+	// (MergeShards) reproduce the unsharded aggregate bit for bit.
+	// ShardCount 0 (the zero value) runs the whole cohort.
+	ShardIndex int
+	ShardCount int
+
 	// Stream aggregates on the fly instead of retaining per-device rows:
 	// each result is folded into its worker's Accumulator shard as it
 	// completes and the shards are merged when the run ends, so the
@@ -186,7 +197,31 @@ func (c Cohort) Validate() error {
 			return err
 		}
 	}
+	if c.ShardCount < 0 {
+		return fmt.Errorf("fleet: negative shard count %d", c.ShardCount)
+	}
+	if c.ShardCount > 0 {
+		if c.ShardIndex < 0 || c.ShardIndex >= c.ShardCount {
+			return fmt.Errorf("fleet: shard index %d out of [0,%d)", c.ShardIndex, c.ShardCount)
+		}
+		if c.ShardCount > c.Devices {
+			return fmt.Errorf("fleet: %d shards over %d devices leaves empty shards", c.ShardCount, c.Devices)
+		}
+	} else if c.ShardIndex != 0 {
+		return fmt.Errorf("fleet: shard index %d without a shard count", c.ShardIndex)
+	}
 	return nil
+}
+
+// shardRange is shard index's contiguous slice [lo, hi) of an n-device
+// index space split count ways. The cut points are exact integer
+// arithmetic, so every process of a sharded campaign computes the same
+// partition.
+func shardRange(n, index, count int) (lo, hi int) {
+	if count <= 1 {
+		return 0, n
+	}
+	return n * index / count, n * (index + 1) / count
 }
 
 // DeviceResult is one device's paired measurement: its whole session run
@@ -259,12 +294,112 @@ func (c Cohort) Run(ctx context.Context, pool Pool) (*Result, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
+	out, err := c.execute(ctx, pool)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Failed: sortedFailures(out.fails)}
+	if c.Stream {
+		if out.merged.Devices() == 0 {
+			if out.poolErr != nil {
+				return nil, out.poolErr
+			}
+			return nil, fmt.Errorf("fleet: all %d devices failed", c.Devices)
+		}
+		res.Aggregate = out.merged.Aggregate(c.Profiles)
+	} else {
+		res.Devices = out.survivors
+		if len(res.Devices) == 0 {
+			if out.poolErr != nil {
+				return nil, out.poolErr
+			}
+			return nil, fmt.Errorf("fleet: all %d devices failed", c.Devices)
+		}
+		res.Aggregate = aggregate(res.Devices, c.Profiles)
+	}
+	res.Aggregate.FailedDevices = len(res.Failed)
+	return res, nil
+}
+
+// RunShard executes the cohort's shard (ShardIndex of ShardCount) in
+// stream mode and returns its wire-encodable shard: the accumulator over
+// the slice's surviving devices plus the slice's failures. Unlike Run, a
+// shard whose devices all failed is not an error — the central merge
+// decides whether the campaign as a whole survived. The profile order is
+// captured so MergeShards can finalize without the spec.
+func (c Cohort) RunShard(ctx context.Context, pool Pool) (*Shard, error) {
+	c.Stream = true
+	c.applyDefaults()
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	out, err := c.execute(ctx, pool)
+	if err != nil {
+		return nil, err
+	}
+	count := c.ShardCount
+	if count < 1 {
+		count = 1
+	}
+	order := make([]string, len(c.Profiles))
+	for i, p := range c.Profiles {
+		order[i] = p.Name
+	}
+	return &Shard{
+		Index:         c.ShardIndex,
+		Count:         count,
+		CohortDevices: c.Devices,
+		ProfileOrder:  order,
+		Failed:        sortedFailures(out.fails),
+		Acc:           out.merged,
+	}, nil
+}
+
+// sortedFailures flattens the sparse failure map into DeviceFailure rows
+// in ascending device order.
+func sortedFailures(fails map[int]error) []DeviceFailure {
+	if len(fails) == 0 {
+		return nil
+	}
+	idx := make([]int, 0, len(fails))
+	for i := range fails {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	out := make([]DeviceFailure, 0, len(idx))
+	for _, i := range idx {
+		out = append(out, DeviceFailure{Device: i, Err: fails[i].Error()})
+	}
+	return out
+}
+
+// runOutcome is execute's result: the merged stream accumulator (stream
+// mode), the surviving rows in device order (retained mode), the sparse
+// failure map keyed by global device index, and the pool's joined task
+// errors (nil when every device succeeded).
+type runOutcome struct {
+	merged    *Accumulator
+	survivors []DeviceResult
+	fails     map[int]error
+	poolErr   error
+}
+
+// execute runs the cohort's device slice on the pool — the core shared
+// by Run and RunShard. The cohort must already be defaulted and
+// validated. The returned error is fatal (context cancelled, or first
+// failure under FailFast); per-device failures are data, reported in the
+// outcome.
+func (c Cohort) execute(ctx context.Context, pool Pool) (runOutcome, error) {
 	if !c.FailFast {
 		// Resilient campaigns observe every failure instead of
 		// cancelling the surviving devices on the first one.
 		pool.ContinueOnError = true
 	}
-	workers := pool.EffectiveWorkers(c.Devices)
+	// Task j runs global device index lo+j; all bookkeeping below is in
+	// local task indices, mapped to global device indices on the way out.
+	lo, hi := shardRange(c.Devices, c.ShardIndex, c.ShardCount)
+	n := hi - lo
+	workers := pool.EffectiveWorkers(n)
 	// One recycled device per worker lane. A task timeout disables reuse:
 	// an abandoned straggler's goroutine may still be simulating on its
 	// lane's device when the next task claims the lane.
@@ -298,10 +433,11 @@ func (c Cohort) Run(ctx context.Context, pool Pool) (*Result, error) {
 			published = make(map[int]struct{})
 		}
 	} else {
-		results = make([]DeviceResult, c.Devices)
-		ok = make([]bool, c.Devices)
+		results = make([]DeviceResult, n)
+		ok = make([]bool, n)
 	}
-	err := pool.RunIndexed(ctx, c.Devices, func(tctx context.Context, i, w int) error {
+	err := pool.RunIndexed(ctx, n, func(tctx context.Context, j, w int) error {
+		i := lo + j
 		var lane *deviceLane
 		if lanes != nil {
 			lane = &lanes[w]
@@ -316,20 +452,20 @@ func (c Cohort) Run(ctx context.Context, pool Pool) (*Result, error) {
 		}
 		if err != nil {
 			err = fmt.Errorf("device %d: %w", i, err)
-			fails[i] = err
+			fails[j] = err
 			return err
 		}
 		if c.Stream {
 			shards[w].Add(r)
 			if published != nil && tctx.Err() != nil {
-				published[i] = struct{}{}
+				published[j] = struct{}{}
 			}
 			if c.Sink != nil {
 				c.Sink(r)
 			}
 		} else {
-			results[i] = r
-			ok[i] = true
+			results[j] = r
+			ok[j] = true
 		}
 		return nil
 	})
@@ -337,80 +473,59 @@ func (c Cohort) Run(ctx context.Context, pool Pool) (*Result, error) {
 	sealed = true
 	mu.Unlock()
 	if c.FailFast && err != nil {
-		return nil, err
+		return runOutcome{}, err
 	}
 	if ctx != nil && ctx.Err() != nil {
-		return nil, ctx.Err()
+		return runOutcome{}, ctx.Err()
 	}
 	// Pool-level failures (recovered panics, timeouts) never reach the
 	// closure's bookkeeping; map them back by task index. A streamed
 	// result that beat its own timeout report stays counted — mirroring
-	// retained mode, where ok[i] wins over a late TimeoutError.
+	// retained mode, where ok[j] wins over a late TimeoutError.
 	for _, e := range taskErrors(err) {
-		var idx int
+		var j int
 		switch te := e.(type) {
 		case *PanicError:
-			idx = te.Task
+			j = te.Task
 		case *TimeoutError:
-			idx = te.Task
+			j = te.Task
 		default:
 			continue
 		}
-		if idx < 0 || idx >= c.Devices {
+		if j < 0 || j >= n {
 			continue
 		}
-		if _, won := published[idx]; won {
+		if _, won := published[j]; won {
 			continue
 		}
-		if !c.Stream && ok[idx] {
+		if !c.Stream && ok[j] {
 			continue
 		}
-		if fails[idx] == nil {
-			fails[idx] = e
+		if fails[j] == nil {
+			fails[j] = e
 		}
 	}
-	res := &Result{}
+	out := runOutcome{fails: make(map[int]error, len(fails)), poolErr: err}
 	if c.Stream {
 		merged := NewAccumulator()
 		for _, s := range shards {
 			merged.Merge(s)
 		}
-		failed := make([]int, 0, len(fails))
-		for idx := range fails {
-			failed = append(failed, idx)
-		}
-		sort.Ints(failed)
-		for _, idx := range failed {
-			res.Failed = append(res.Failed, DeviceFailure{Device: idx, Err: fails[idx].Error()})
-		}
-		if merged.Devices() == 0 {
-			if err != nil {
-				return nil, err
-			}
-			return nil, fmt.Errorf("fleet: all %d devices failed", c.Devices)
-		}
-		res.Aggregate = merged.Aggregate(c.Profiles)
+		out.merged = merged
 	} else {
-		for i := range results {
+		for j := range results {
 			switch {
-			case ok[i]:
-				res.Devices = append(res.Devices, results[i])
-			case fails[i] != nil:
-				res.Failed = append(res.Failed, DeviceFailure{Device: i, Err: fails[i].Error()})
-			default:
-				res.Failed = append(res.Failed, DeviceFailure{Device: i, Err: "fleet: device result unavailable"})
+			case ok[j]:
+				out.survivors = append(out.survivors, results[j])
+			case fails[j] == nil:
+				fails[j] = errors.New("fleet: device result unavailable")
 			}
 		}
-		if len(res.Devices) == 0 {
-			if err != nil {
-				return nil, err
-			}
-			return nil, fmt.Errorf("fleet: all %d devices failed", c.Devices)
-		}
-		res.Aggregate = aggregate(res.Devices, c.Profiles)
 	}
-	res.Aggregate.FailedDevices = len(res.Failed)
-	return res, nil
+	for j, e := range fails {
+		out.fails[lo+j] = e
+	}
+	return out, nil
 }
 
 // taskErrors flattens an errors.Join tree into its leaves.

@@ -1,0 +1,244 @@
+package svc
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"ccdem/internal/fleet"
+)
+
+// State is a job's lifecycle position. Transitions only move forward:
+// queued → running → one of the three terminal states.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Progress is one job's live status snapshot — what GET /api/jobs/{id}
+// returns and what the watch stream fans out on every update.
+type Progress struct {
+	ID    string `json:"id"`
+	Label string `json:"label,omitempty"`
+	State State  `json:"state"`
+	// Devices is the campaign's cohort size; Done counts devices whose
+	// simulation finished (survivors and failures alike); FailedDevices
+	// counts failures, reported as their shards complete.
+	Devices       int `json:"devices"`
+	Done          int `json:"done"`
+	FailedDevices int `json:"failed_devices"`
+	// Shards/ShardsDone track whole worker runs.
+	Shards     int `json:"shards"`
+	ShardsDone int `json:"shards_done"`
+	// ElapsedS is wall-clock seconds since the job started running (total
+	// runtime once terminal). ETAS estimates remaining seconds from the
+	// observed completion rate; 0 until the first device lands.
+	ElapsedS float64 `json:"elapsed_s"`
+	ETAS     float64 `json:"eta_s,omitempty"`
+	Error    string  `json:"error,omitempty"`
+}
+
+// Job is one submitted campaign tracked by the Manager. All state is
+// guarded by mu; snapshots (Progress) are safe from any goroutine.
+type Job struct {
+	id      string
+	spec    JobSpec
+	devices int
+	shards  int
+	created time.Time
+
+	cancel context.CancelFunc // cancels the job's run context
+
+	mu              sync.Mutex
+	state           State
+	errMsg          string
+	started         time.Time
+	finished        time.Time
+	shardDone       []int // per-shard completed-device counts
+	failedDevices   int
+	shardsDone      int
+	cancelRequested bool
+	result          *fleet.Result
+	subs            map[chan Progress]struct{}
+}
+
+func newJob(id string, spec JobSpec, devices int, now time.Time) *Job {
+	return &Job{
+		id:        id,
+		spec:      spec,
+		devices:   devices,
+		shards:    spec.shards(),
+		created:   now,
+		state:     StateQueued,
+		shardDone: make([]int, spec.shards()),
+		subs:      make(map[chan Progress]struct{}),
+	}
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Result returns the merged campaign result once the job is done.
+func (j *Job) Result() (*fleet.Result, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.result != nil
+}
+
+// Progress takes a status snapshot.
+func (j *Job) Progress() Progress {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.progressLocked()
+}
+
+func (j *Job) progressLocked() Progress {
+	p := Progress{
+		ID:            j.id,
+		Label:         j.spec.Label,
+		State:         j.state,
+		Devices:       j.devices,
+		FailedDevices: j.failedDevices,
+		Shards:        j.shards,
+		ShardsDone:    j.shardsDone,
+		Error:         j.errMsg,
+	}
+	for _, d := range j.shardDone {
+		p.Done += d
+	}
+	if !j.started.IsZero() {
+		end := j.finished
+		if end.IsZero() {
+			end = time.Now()
+		}
+		p.ElapsedS = end.Sub(j.started).Seconds()
+		if j.state == StateRunning && p.Done > 0 && p.Done < j.devices {
+			p.ETAS = p.ElapsedS / float64(p.Done) * float64(j.devices-p.Done)
+		}
+	}
+	return p
+}
+
+// Watch subscribes to the job's progress fan-out. The returned channel
+// carries coalesced snapshots: a slow watcher sees the latest state, not
+// a backlog. cancel unsubscribes; the channel is never closed, so reads
+// must select against done conditions (snapshot.State.Terminal()).
+func (j *Job) Watch() (<-chan Progress, func()) {
+	ch := make(chan Progress, 1)
+	j.mu.Lock()
+	j.subs[ch] = struct{}{}
+	j.mu.Unlock()
+	cancel := func() {
+		j.mu.Lock()
+		delete(j.subs, ch)
+		j.mu.Unlock()
+	}
+	return ch, cancel
+}
+
+// notifyLocked fans the current snapshot out to every watcher,
+// latest-wins: a full buffer is drained before the fresh snapshot goes
+// in, so no subscriber ever blocks the job.
+func (j *Job) notifyLocked() {
+	p := j.progressLocked()
+	for ch := range j.subs {
+		select {
+		case ch <- p:
+		default:
+			select {
+			case <-ch:
+			default:
+			}
+			select {
+			case ch <- p:
+			default:
+			}
+		}
+	}
+}
+
+// setRunning marks the job started.
+func (j *Job) setRunning(now time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return
+	}
+	j.state = StateRunning
+	j.started = now
+	j.notifyLocked()
+}
+
+// shardProgress records shard's cumulative completed-device count and
+// returns the delta since the last report (for manager-level metrics).
+func (j *Job) shardProgress(shard, done int) int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	delta := done - j.shardDone[shard]
+	if delta <= 0 {
+		return 0
+	}
+	j.shardDone[shard] = done
+	j.notifyLocked()
+	return delta
+}
+
+// shardFinished records one shard's completion and its failure count.
+func (j *Job) shardFinished(failed int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.shardsDone++
+	j.failedDevices += failed
+	j.notifyLocked()
+}
+
+// requestCancel flags the job as user-cancelled and cancels its run
+// context. Terminal jobs are left untouched.
+func (j *Job) requestCancel() bool {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return false
+	}
+	j.cancelRequested = true
+	j.mu.Unlock()
+	j.cancel()
+	return true
+}
+
+// finish moves the job to its terminal state.
+func (j *Job) finish(result *fleet.Result, err error, now time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.finished = now
+	if j.started.IsZero() {
+		j.started = now
+	}
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.result = result
+		j.failedDevices = len(result.Failed)
+	case j.cancelRequested || errors.Is(err, context.Canceled):
+		j.state = StateCancelled
+		j.errMsg = err.Error()
+	default:
+		j.state = StateFailed
+		j.errMsg = err.Error()
+	}
+	j.notifyLocked()
+}

@@ -1,0 +1,326 @@
+package svc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"ccdem/internal/fleet"
+	"ccdem/internal/obs"
+)
+
+// ErrShuttingDown rejects submissions once shutdown has begun.
+var ErrShuttingDown = errors.New("svc: shutting down")
+
+// ErrUnknownJob reports a job ID the manager has never issued.
+var ErrUnknownJob = errors.New("svc: unknown job")
+
+// Config configures a Manager.
+type Config struct {
+	// Runner executes shard runs. Required (LocalRunner{} for in-process).
+	Runner Runner
+	// MaxJobs bounds how many campaigns run concurrently; further
+	// submissions queue. 0 means 1.
+	MaxJobs int
+}
+
+// Manager owns the service's job table: it admits campaign specs,
+// schedules them through a bounded semaphore, fans shard runs out to the
+// Runner, merges shard accumulators in shard order, and tracks live
+// progress plus obs metrics for every job.
+type Manager struct {
+	runner  Runner
+	sem     chan struct{}
+	metrics *metrics
+
+	ctx     context.Context // parent of every job context
+	stopAll context.CancelFunc
+	closing chan struct{}
+	wg      sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+	seq    int
+	jobs   map[string]*Job
+	order  []string
+}
+
+// metrics is the manager's obs registry surface: campaign and device
+// counters, the running-jobs gauge, and a job-duration histogram. obs
+// instruments are single-goroutine by design (per-device registries,
+// merged after the run); here many job and shard goroutines update one
+// registry, so every touch — including the /api/metrics dump — goes
+// through mu.
+type metrics struct {
+	mu  sync.Mutex
+	reg *obs.Registry
+
+	submitted *obs.Counter
+	rejected  *obs.Counter
+	completed *obs.Counter
+	failed    *obs.Counter
+	cancelled *obs.Counter
+
+	devicesDone   *obs.Counter
+	devicesFailed *obs.Counter
+
+	running  *obs.Gauge
+	duration *obs.Histogram
+}
+
+func newMetrics() *metrics {
+	reg := obs.NewRegistry()
+	return &metrics{
+		reg:           reg,
+		submitted:     reg.Counter("svc.jobs.submitted"),
+		rejected:      reg.Counter("svc.jobs.rejected"),
+		completed:     reg.Counter("svc.jobs.completed"),
+		failed:        reg.Counter("svc.jobs.failed"),
+		cancelled:     reg.Counter("svc.jobs.cancelled"),
+		devicesDone:   reg.Counter("svc.devices.done"),
+		devicesFailed: reg.Counter("svc.devices.failed"),
+		running:       reg.Gauge("svc.jobs.running"),
+		duration:      reg.Histogram("svc.job.duration_s", []float64{1, 5, 15, 60, 300, 1800, 7200}),
+	}
+}
+
+func (mx *metrics) inc(c *obs.Counter) {
+	mx.mu.Lock()
+	c.Inc()
+	mx.mu.Unlock()
+}
+
+func (mx *metrics) add(c *obs.Counter, n uint64) {
+	mx.mu.Lock()
+	c.Add(n)
+	mx.mu.Unlock()
+}
+
+func (mx *metrics) count(c *obs.Counter) uint64 {
+	mx.mu.Lock()
+	defer mx.mu.Unlock()
+	return c.Value()
+}
+
+func (mx *metrics) setGauge(g *obs.Gauge, v float64) {
+	mx.mu.Lock()
+	g.Set(v)
+	mx.mu.Unlock()
+}
+
+func (mx *metrics) observe(h *obs.Histogram, v float64) {
+	mx.mu.Lock()
+	h.Observe(v)
+	mx.mu.Unlock()
+}
+
+func (mx *metrics) write(w io.Writer) error {
+	mx.mu.Lock()
+	defer mx.mu.Unlock()
+	return mx.reg.WriteText(w)
+}
+
+// NewManager builds a manager ready to accept jobs.
+func NewManager(cfg Config) *Manager {
+	maxJobs := cfg.MaxJobs
+	if maxJobs < 1 {
+		maxJobs = 1
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Manager{
+		runner:  cfg.Runner,
+		sem:     make(chan struct{}, maxJobs),
+		metrics: newMetrics(),
+		ctx:     ctx,
+		stopAll: cancel,
+		closing: make(chan struct{}),
+		jobs:    make(map[string]*Job),
+	}
+}
+
+// WriteMetrics dumps the manager's registry (GET /api/metrics).
+func (m *Manager) WriteMetrics(w io.Writer) error { return m.metrics.write(w) }
+
+// Closing is closed when shutdown begins — the lever long-lived watch
+// handlers select on so they cannot wedge the HTTP server's drain.
+func (m *Manager) Closing() <-chan struct{} { return m.closing }
+
+// Submit validates and admits a campaign. The job runs asynchronously;
+// the returned Job is live immediately (queued until a slot frees up).
+func (m *Manager) Submit(spec JobSpec) (*Job, error) {
+	cohort, err := spec.cohort()
+	if err != nil {
+		m.metrics.inc(m.metrics.rejected)
+		return nil, err
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		m.metrics.inc(m.metrics.rejected)
+		return nil, ErrShuttingDown
+	}
+	m.seq++
+	id := fmt.Sprintf("job-%04d", m.seq)
+	job := newJob(id, spec, cohort.Devices, time.Now())
+	jctx, cancel := context.WithCancel(m.ctx)
+	job.cancel = cancel
+	m.jobs[id] = job
+	m.order = append(m.order, id)
+	m.wg.Add(1)
+	m.mu.Unlock()
+
+	m.metrics.inc(m.metrics.submitted)
+	go m.runJob(jctx, job)
+	return job, nil
+}
+
+// Job looks a job up by ID.
+func (m *Manager) Job(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Jobs snapshots every job in submission order.
+func (m *Manager) Jobs() []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Job, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.jobs[id])
+	}
+	return out
+}
+
+// Cancel requests cancellation of a running or queued job.
+func (m *Manager) Cancel(id string) error {
+	job, ok := m.Job(id)
+	if !ok {
+		return fmt.Errorf("%w %q", ErrUnknownJob, id)
+	}
+	if !job.requestCancel() {
+		return fmt.Errorf("svc: job %s already %s", id, job.Progress().State)
+	}
+	return nil
+}
+
+// runJob drives one campaign: wait for a slot, fan the shard runs out,
+// merge in shard order, finalize.
+func (m *Manager) runJob(ctx context.Context, job *Job) {
+	defer m.wg.Done()
+	defer job.cancel()
+	select {
+	case m.sem <- struct{}{}:
+		defer func() { <-m.sem }()
+	case <-ctx.Done():
+		job.finish(nil, ctx.Err(), time.Now())
+		m.finalize(job, 0)
+		return
+	}
+	job.setRunning(time.Now())
+	m.metrics.setGauge(m.metrics.running, float64(len(m.sem)))
+
+	n := job.shards
+	shards := make([]*fleet.Shard, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			progress := func(done int) {
+				if delta := job.shardProgress(i, done); delta > 0 {
+					m.metrics.add(m.metrics.devicesDone, uint64(delta))
+				}
+			}
+			shard, err := m.runner.RunShard(ctx, job.spec, i, progress)
+			if err != nil {
+				errs[i] = err
+				// One dead shard dooms the campaign; stop the others
+				// promptly instead of burning cores on a lost run.
+				job.cancel()
+				return
+			}
+			shards[i] = shard
+			progress(shardDevices(shard))
+			job.shardFinished(len(shard.Failed))
+			m.metrics.add(m.metrics.devicesFailed, uint64(len(shard.Failed)))
+		}(i)
+	}
+	wg.Wait()
+
+	var result *fleet.Result
+	err := errors.Join(errs...)
+	if err == nil {
+		result, err = fleet.MergeShards(shards)
+	}
+	job.finish(result, err, time.Now())
+	m.finalize(job, time.Since(job.started).Seconds())
+}
+
+// shardDevices is the shard's total accounted devices — the final
+// progress count even when the worker's last throttled report lagged.
+func shardDevices(s *fleet.Shard) int {
+	return s.Acc.Devices() + len(s.Failed)
+}
+
+// finalize updates terminal-state metrics.
+func (m *Manager) finalize(job *Job, durationS float64) {
+	switch job.Progress().State {
+	case StateDone:
+		m.metrics.inc(m.metrics.completed)
+	case StateCancelled:
+		m.metrics.inc(m.metrics.cancelled)
+	default:
+		m.metrics.inc(m.metrics.failed)
+	}
+	if durationS > 0 {
+		m.metrics.observe(m.metrics.duration, durationS)
+	}
+	m.metrics.setGauge(m.metrics.running, float64(len(m.sem)))
+}
+
+// BeginShutdown stops admission and cancels every live job's context.
+// Idempotent; returns immediately.
+func (m *Manager) BeginShutdown() {
+	m.mu.Lock()
+	if !m.closed {
+		m.closed = true
+		close(m.closing)
+	}
+	m.mu.Unlock()
+	m.stopAll()
+}
+
+// Wait blocks until every job goroutine has finished or ctx expires. On
+// expiry it returns an error naming the stuck jobs — the daemon exits
+// anyway, so a hung campaign cannot block shutdown past the timeout.
+func (m *Manager) Wait(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		var stuck []string
+		for _, j := range m.Jobs() {
+			if p := j.Progress(); !p.State.Terminal() {
+				stuck = append(stuck, j.ID())
+			}
+		}
+		return fmt.Errorf("svc: shutdown timed out with %d jobs still running %v", len(stuck), stuck)
+	}
+}
+
+// Shutdown is BeginShutdown followed by Wait.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.BeginShutdown()
+	return m.Wait(ctx)
+}

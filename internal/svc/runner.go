@@ -1,0 +1,165 @@
+package svc
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os/exec"
+	"strings"
+	"time"
+
+	"ccdem/internal/fleet"
+)
+
+// Runner executes one shard of a campaign and returns its accumulator
+// shard. progress, when non-nil, receives the shard's cumulative
+// completed-device count; calls may come from other goroutines and must
+// be cheap.
+type Runner interface {
+	RunShard(ctx context.Context, spec JobSpec, index int, progress func(done int)) (*fleet.Shard, error)
+}
+
+// LocalRunner runs shards in-process — the zero-dependency mode for
+// tests and single-machine deployments that don't want subprocess
+// isolation.
+type LocalRunner struct{}
+
+// RunShard implements Runner.
+func (LocalRunner) RunShard(ctx context.Context, spec JobSpec, index int, progress func(done int)) (*fleet.Shard, error) {
+	cohort, pool, err := spec.shardCohort(index)
+	if err != nil {
+		return nil, err
+	}
+	if progress != nil {
+		pool.OnProgress = func(done, total int) { progress(done) }
+	}
+	return cohort.RunShard(ctx, pool)
+}
+
+// progressPrefix is the shard worker's stderr progress protocol: lines
+// "ccdem-shard-progress <done> <total>". Everything else on stderr is
+// diagnostic text, kept for error reporting.
+const progressPrefix = "ccdem-shard-progress "
+
+// ProcRunner runs each shard in its own worker subprocess: Exe invoked
+// with Args plus the "index/count" shard position, the JobSpec document
+// on stdin, the shard wire document expected on stdout, and progress
+// lines on stderr. Cancelling the context kills the worker.
+type ProcRunner struct {
+	// Exe is the worker binary — normally the daemon's own executable
+	// (os.Executable), re-entered in shard-worker mode.
+	Exe string
+	// Args select the worker mode, e.g. ["-shard-worker"]; the shard
+	// position is appended as the final argument.
+	Args []string
+}
+
+// RunShard implements Runner.
+func (p ProcRunner) RunShard(ctx context.Context, spec JobSpec, index int, progress func(done int)) (*fleet.Shard, error) {
+	// Validate locally first: a malformed spec should fail fast with a
+	// real error, not a worker exit status.
+	if _, _, err := spec.shardCohort(index); err != nil {
+		return nil, err
+	}
+	specDoc, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	args := append(append([]string{}, p.Args...), fmt.Sprintf("%d/%d", index, spec.shards()))
+	cmd := exec.CommandContext(ctx, p.Exe, args...)
+	cmd.Stdin = bytes.NewReader(specDoc)
+	var stdout bytes.Buffer
+	cmd.Stdout = &stdout
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return nil, err
+	}
+	// Don't linger on workers that ignore the kill long enough to wedge
+	// shutdown.
+	cmd.WaitDelay = 5 * time.Second
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("svc: shard %d worker: %w", index, err)
+	}
+	// Drain stderr on the spot: progress lines feed the callback, the
+	// rest is kept (bounded) as context for a failure.
+	var diag strings.Builder
+	scanner := bufio.NewScanner(stderr)
+	scanner.Buffer(make([]byte, 0, 64*1024), 256*1024)
+	for scanner.Scan() {
+		line := scanner.Text()
+		if rest, ok := strings.CutPrefix(line, progressPrefix); ok {
+			var done, total int
+			if _, err := fmt.Sscanf(rest, "%d %d", &done, &total); err == nil && progress != nil {
+				progress(done)
+			}
+			continue
+		}
+		if diag.Len() < 16*1024 {
+			diag.WriteString(line)
+			diag.WriteByte('\n')
+		}
+	}
+	if err := cmd.Wait(); err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		msg := strings.TrimSpace(diag.String())
+		if msg != "" {
+			return nil, fmt.Errorf("svc: shard %d worker: %w: %s", index, err, msg)
+		}
+		return nil, fmt.Errorf("svc: shard %d worker: %w", index, err)
+	}
+	shard, err := fleet.DecodeShard(&stdout)
+	if err != nil {
+		return nil, fmt.Errorf("svc: shard %d worker output: %w", index, err)
+	}
+	if shard.Index != index || shard.Count != spec.shards() {
+		return nil, fmt.Errorf("svc: shard worker returned shard %d/%d, want %d/%d",
+			shard.Index, shard.Count, index, spec.shards())
+	}
+	return shard, nil
+}
+
+// RunWorker is the shard-worker subprocess entry point (ccdem-svc
+// -shard-worker i/n): read the JobSpec document from stdin, run the
+// shard, stream progress lines on stderr, and write the shard wire
+// document on stdout. The exit contract is the inverse of
+// ProcRunner.RunShard.
+func RunWorker(ctx context.Context, shardArg string, stdin io.Reader, stdout, stderr io.Writer) error {
+	index, count, err := fleet.ParseShard(shardArg)
+	if err != nil {
+		return err
+	}
+	var spec JobSpec
+	dec := json.NewDecoder(stdin)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return fmt.Errorf("svc: worker: parsing job spec: %w", err)
+	}
+	if got := spec.shards(); got != count {
+		return fmt.Errorf("svc: worker: shard position %s against a %d-shard spec", shardArg, got)
+	}
+	cohort, pool, err := spec.shardCohort(index)
+	if err != nil {
+		return err
+	}
+	// Throttled progress: one line per ~200ms of wall clock plus the
+	// final count, so a million-device shard doesn't drown stderr.
+	var last time.Time
+	pool.OnProgress = func(done, total int) {
+		now := time.Now()
+		if done != total && now.Sub(last) < 200*time.Millisecond {
+			return
+		}
+		last = now
+		fmt.Fprintf(stderr, "%s%d %d\n", progressPrefix, done, total)
+	}
+	shard, err := cohort.RunShard(ctx, pool)
+	if err != nil {
+		return err
+	}
+	return shard.Encode(stdout)
+}
