@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench perfgate perfgate-update fuzz chaos validate campaign figures fleet fleet-scale svc obs clean
+.PHONY: all build test test-short race cover bench perfgate perfgate-update fuzz chaos validate campaign figures fleet fleet-scale svc telemetry obs clean
 
 all: build test
 
@@ -95,6 +95,14 @@ fleet-scale:
 # be byte-identical. Needs curl and jq.
 svc:
 	./scripts/svc_smoke.sh
+
+# Telemetry smoke (DESIGN.md §13): boot the daemon with JSON logs and the
+# pprof listener, run a sharded campaign, and validate every telemetry
+# surface — /metrics against the strict Prometheus parser, the campaign
+# trace for spans from the daemon plus one process per shard worker,
+# structured log correlation, and pprof reachability. Needs curl and jq.
+telemetry:
+	./scripts/telemetry_smoke.sh
 
 # Sample observability artifacts from a short fleet run: a Perfetto-loadable
 # trace (open at https://ui.perfetto.dev) and the merged metrics dump.

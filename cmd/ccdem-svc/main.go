@@ -24,12 +24,14 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"ccdem/internal/buildinfo"
+	"ccdem/internal/obs"
 	"ccdem/internal/svc"
 )
 
@@ -45,6 +47,8 @@ func realMain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	local := fs.Bool("local", false, "run shards in-process instead of one worker subprocess per shard")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 30*time.Second, "drain budget after SIGINT/SIGTERM before giving up on running jobs")
 	shardWorker := fs.String("shard-worker", "", "internal: run one shard at position i/n — job document on stdin, shard document on stdout, progress on stderr")
+	logFormat := fs.String("log-format", "text", "structured log format on stderr: text or json")
+	debugAddr := fs.String("debug-addr", "", "optional address for the net/http/pprof profiling endpoints (off when empty)")
 	version := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -52,6 +56,11 @@ func realMain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if *version {
 		buildinfo.Fprint(stdout, "ccdem-svc")
 		return 0
+	}
+	logger, err := obs.NewLogger(stderr, *logFormat)
+	if err != nil {
+		fmt.Fprintf(stderr, "ccdem-svc: %v\n", err)
+		return 2
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -75,13 +84,32 @@ func realMain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		runner = svc.ProcRunner{Exe: exe, Args: []string{"-shard-worker"}}
 	}
 
-	m := svc.NewManager(svc.Config{Runner: runner, MaxJobs: *maxJobs})
+	m := svc.NewManager(svc.Config{Runner: runner, MaxJobs: *maxJobs, Logger: logger})
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fmt.Fprintf(stderr, "ccdem-svc: %v\n", err)
 		return 1
 	}
+	// The listen report stays the first stderr line — the smoke scripts
+	// and tests parse the bound address out of it.
 	fmt.Fprintf(stderr, "ccdem-svc: listening on http://%s\n", ln.Addr())
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "ccdem-svc: debug listener: %v\n", err)
+			return 1
+		}
+		// An explicit mux rather than http.DefaultServeMux: profiling is
+		// opt-in and stays off the job API listener.
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		fmt.Fprintf(stderr, "ccdem-svc: pprof on http://%s/debug/pprof/\n", dln.Addr())
+		go http.Serve(dln, dmux)
+	}
 	srv := &http.Server{Handler: svc.Handler(m)}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	"ccdem/internal/fleet"
+	"ccdem/internal/obs"
 	"ccdem/internal/sim"
 	"ccdem/internal/svc"
 )
@@ -109,6 +111,81 @@ func TestDaemonShardedMatchesDirect(t *testing.T) {
 	}
 }
 
+// TestCampaignTraceMultiProcess is the telemetry acceptance proof: a
+// campaign sharded across real worker subprocesses must assemble one
+// Perfetto (Chrome trace-event) document with the daemon and one process
+// per shard worker, carrying dispatch/run/encode/merge spans — the
+// worker-side spans having crossed the wire inside the shard documents.
+func TestCampaignTraceMultiProcess(t *testing.T) {
+	m := svc.NewManager(svc.Config{Runner: procRunner(), MaxJobs: 1})
+	defer m.Shutdown(context.Background())
+
+	job, err := m.Submit(svc.JobSpec{Spec: testSpecDoc(t, 16), Shards: 2, Workers: 2})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	var p svc.Progress
+	for {
+		if p = job.Progress(); p.State.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in state %s", p.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if p.State != svc.StateDone {
+		t.Fatalf("state = %s (error %q), want done", p.State, p.Error)
+	}
+	if p.StageS[svc.StageRun] <= 0 {
+		t.Errorf("no %s stage timing in terminal progress: %+v", svc.StageRun, p.StageS)
+	}
+	if _, ok := p.StageS[svc.StageMerge]; !ok {
+		t.Errorf("no %s stage timing in terminal progress: %+v", svc.StageMerge, p.StageS)
+	}
+	if p.CPUS <= 0 {
+		t.Errorf("no worker CPU recorded for a subprocess campaign: cpu_s = %v", p.CPUS)
+	}
+
+	var buf bytes.Buffer
+	if err := job.WriteTrace(&buf); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("trace is not a JSON event array: %v", err)
+	}
+	spanPids := map[string]map[float64]bool{}
+	pids := map[float64]bool{}
+	for _, ev := range events {
+		if ev["ph"] != "X" {
+			continue
+		}
+		name, _ := ev["name"].(string)
+		pid, _ := ev["pid"].(float64)
+		pids[pid] = true
+		if spanPids[name] == nil {
+			spanPids[name] = map[float64]bool{}
+		}
+		spanPids[name][pid] = true
+	}
+	if len(pids) < 3 {
+		t.Errorf("trace spans %d processes, want daemon + 2 shard workers", len(pids))
+	}
+	for _, name := range []string{"dispatch", "run", "encode", "merge"} {
+		if len(spanPids[name]) == 0 {
+			t.Errorf("trace has no %q span (families: %v)", name, spanPids)
+		}
+	}
+	// The worker-side spans must come from distinct worker processes.
+	for _, name := range []string{"run", "encode"} {
+		if len(spanPids[name]) < 2 {
+			t.Errorf("%q spans come from %d processes, want one per shard worker", name, len(spanPids[name]))
+		}
+	}
+}
+
 // TestWorkerModeRoundTrip drives the -shard-worker entry point directly
 // through realMain, the way the daemon invokes it.
 func TestWorkerModeRoundTrip(t *testing.T) {
@@ -182,10 +259,10 @@ func TestDaemonEndToEnd(t *testing.T) {
 	}
 	exit := make(chan int, 1)
 	go func() {
-		exit <- realMain([]string{"-listen", "127.0.0.1:0", "-shutdown-timeout", "30s"},
+		exit <- realMain([]string{"-listen", "127.0.0.1:0", "-shutdown-timeout", "30s", "-log-format", "json"},
 			strings.NewReader(""), io.Discard, stderrW)
 	}()
-	lines := make(chan string, 16)
+	lines := make(chan string, 256)
 	go func() {
 		buf := make([]byte, 4096)
 		var pending []byte
@@ -250,12 +327,18 @@ func TestDaemonEndToEnd(t *testing.T) {
 		if err != nil {
 			t.Fatalf("GET job: %v", err)
 		}
+		if cc := resp.Header.Get("Cache-Control"); cc != "no-store" {
+			t.Fatalf("job status Cache-Control = %q, want no-store", cc)
+		}
 		var p svc.Progress
 		json.NewDecoder(resp.Body).Decode(&p)
 		resp.Body.Close()
 		if p.State.Terminal() {
 			if p.State != svc.StateDone {
 				t.Fatalf("job finished %s: %s", p.State, p.Error)
+			}
+			if p.StageS[svc.StageRun] <= 0 {
+				t.Errorf("terminal progress carries no run stage timing: %+v", p)
 			}
 			break
 		}
@@ -265,8 +348,153 @@ func TestDaemonEndToEnd(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 
+	// Scrape /metrics and hold it to the exposition format: the in-repo
+	// parser validates names, types, and histogram invariants.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics Content-Type = %q", ct)
+	}
+	fams, err := obs.ParsePrometheus(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("/metrics does not parse as Prometheus text format: %v", err)
+	}
+	if f := fams["svc_jobs_submitted_total"]; f == nil || f.Type != "counter" ||
+		f.Sample("svc_jobs_submitted_total", nil) == nil ||
+		f.Sample("svc_jobs_submitted_total", nil).Value < 1 {
+		t.Errorf("svc_jobs_submitted_total missing or zero: %+v", f)
+	}
+	if f := fams["svc_job_duration_s"]; f == nil || f.Type != "histogram" {
+		t.Errorf("svc_job_duration_s histogram missing: %+v", f)
+	}
+	if f := fams["ccdem_build_info"]; f == nil {
+		t.Error("ccdem_build_info missing from /metrics")
+	}
+	if f := fams["svc_job_state"]; f == nil ||
+		f.Sample("svc_job_state", map[string]string{"job": submitted.ID, "state": "done"}) == nil {
+		t.Errorf("svc_job_state{job=%q,state=\"done\"} missing", submitted.ID)
+	}
+
+	// The campaign trace endpoint serves the merged multi-process trace.
+	resp, err = http.Get(base + "/api/jobs/" + submitted.ID + "/trace")
+	if err != nil {
+		t.Fatalf("GET trace: %v", err)
+	}
+	var events []map[string]any
+	err = json.NewDecoder(resp.Body).Decode(&events)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("trace endpoint: %v", err)
+	}
+	if len(events) == 0 {
+		t.Error("trace endpoint returned an empty event array")
+	}
+
 	// SIGTERM the daemon (ourselves — signal.NotifyContext catches it)
 	// and require a clean, prompt exit.
+	proc, err := os.FindProcess(os.Getpid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := proc.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("daemon exited %d", code)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not shut down after SIGINT")
+	}
+	stderrW.Close()
+
+	// With -log-format json the daemon's stderr (past the listen line)
+	// carries structured records, including worker-subprocess records
+	// relayed with job/shard correlation attrs.
+	var all []string
+	for line := range lines {
+		all = append(all, line)
+	}
+	assertRecord := func(substrs ...string) {
+		t.Helper()
+		for _, line := range all {
+			if !strings.HasPrefix(line, "{") {
+				continue
+			}
+			ok := true
+			for _, s := range substrs {
+				if !strings.Contains(line, s) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return
+			}
+		}
+		t.Errorf("no JSON log record containing %q in daemon stderr:\n%s", substrs, strings.Join(all, "\n"))
+	}
+	assertRecord(`"msg":"job submitted"`, `"job":"`+submitted.ID+`"`)
+	assertRecord(`"msg":"job finished"`, `"state":"done"`)
+	assertRecord(`"msg":"shard complete"`, `"job":"`+submitted.ID+`"`, `"shard":`)
+}
+
+func TestBadLogFormatRejected(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := realMain([]string{"-log-format", "yaml"}, strings.NewReader(""), &stdout, &stderr); code != 2 {
+		t.Fatalf("exit = %d, want 2; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "log format") {
+		t.Errorf("stderr = %q", stderr.String())
+	}
+}
+
+// TestDebugAddrServesPprof boots the daemon with the opt-in profiling
+// listener and fetches a pprof endpoint from it.
+func TestDebugAddrServesPprof(t *testing.T) {
+	stderrR, stderrW, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exit := make(chan int, 1)
+	go func() {
+		exit <- realMain([]string{"-listen", "127.0.0.1:0", "-debug-addr", "127.0.0.1:0"},
+			strings.NewReader(""), io.Discard, stderrW)
+	}()
+	found := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderrR)
+		for sc.Scan() {
+			if i := strings.Index(sc.Text(), "pprof on http://"); i >= 0 {
+				found <- sc.Text()[i+len("pprof on "):]
+				return
+			}
+		}
+		close(found)
+	}()
+	var debugBase string
+	select {
+	case line, ok := <-found:
+		if !ok {
+			t.Fatal("daemon never reported the pprof address")
+		}
+		debugBase = line
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never reported the pprof address")
+	}
+	resp, err := http.Get(debugBase + "cmdline")
+	if err != nil {
+		t.Fatalf("GET pprof cmdline: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(body) == 0 {
+		t.Fatalf("pprof cmdline = %d, %d bytes", resp.StatusCode, len(body))
+	}
 	proc, err := os.FindProcess(os.Getpid())
 	if err != nil {
 		t.Fatal(err)

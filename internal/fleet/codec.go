@@ -25,6 +25,9 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
+
+	"ccdem/internal/obs"
 )
 
 // shardWireVersion is the version tag of both the accumulator and shard
@@ -255,6 +258,13 @@ func DecodeAccumulator(r io.Reader) (*Accumulator, error) {
 // cohort's profile declaration order so the central merge can finalize
 // the aggregate with the same per-profile breakdown order as a
 // single-process run, without re-reading the spec.
+//
+// Spans is a telemetry sidecar: wall-clock stage spans ("run", "encode")
+// the worker recorded about itself, relative to its own shard start. It
+// rides the wire so a multi-process campaign can assemble one trace, but
+// it is explicitly outside the determinism contract — spans never feed
+// the merged Result, and a span-free shard encodes to the same bytes it
+// did before spans existed.
 type Shard struct {
 	Index         int
 	Count         int
@@ -262,6 +272,20 @@ type Shard struct {
 	ProfileOrder  []string
 	Failed        []DeviceFailure
 	Acc           *Accumulator
+	Spans         []obs.Span
+}
+
+// maxWireSpans bounds the telemetry sidecar: a shard worker records a
+// handful of stage spans, so anything bigger is a malformed document.
+const maxWireSpans = 4096
+
+// wireSpan is one telemetry span on the wire, microsecond-resolution
+// offsets from the worker's shard start.
+type wireSpan struct {
+	Name    string `json:"name"`
+	Worker  int    `json:"worker"`
+	StartUS int64  `json:"start_us"`
+	EndUS   int64  `json:"end_us"`
 }
 
 // wireShard is the shard worker's complete output document.
@@ -273,6 +297,7 @@ type wireShard struct {
 	ProfileOrder  []string        `json:"profile_order"`
 	Failed        []DeviceFailure `json:"failed,omitempty"`
 	Accumulator   wireAccumulator `json:"accumulator"`
+	Spans         []wireSpan      `json:"spans,omitempty"`
 }
 
 // Encode writes the shard's wire document.
@@ -285,6 +310,14 @@ func (s *Shard) Encode(w io.Writer) error {
 		ProfileOrder:  s.ProfileOrder,
 		Failed:        s.Failed,
 		Accumulator:   s.Acc.toWire(),
+	}
+	for _, sp := range s.Spans {
+		doc.Spans = append(doc.Spans, wireSpan{
+			Name:    sp.Name,
+			Worker:  sp.Worker,
+			StartUS: int64(sp.Start / time.Microsecond),
+			EndUS:   int64(sp.End / time.Microsecond),
+		})
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(doc)
@@ -347,6 +380,27 @@ func DecodeShard(r io.Reader) (*Shard, error) {
 		}
 		seen[f.Device] = true
 	}
+	if len(doc.Spans) > maxWireSpans {
+		return nil, fmt.Errorf("fleet: shard codec: %d telemetry spans exceed the %d cap", len(doc.Spans), maxWireSpans)
+	}
+	var spans []obs.Span
+	for _, sp := range doc.Spans {
+		if sp.Name == "" {
+			return nil, fmt.Errorf("fleet: shard codec: telemetry span with empty name")
+		}
+		if sp.Worker < 0 {
+			return nil, fmt.Errorf("fleet: shard codec: span %q: negative worker %d", sp.Name, sp.Worker)
+		}
+		if sp.StartUS < 0 || sp.EndUS < sp.StartUS {
+			return nil, fmt.Errorf("fleet: shard codec: span %q: invalid interval [%d,%d]us", sp.Name, sp.StartUS, sp.EndUS)
+		}
+		spans = append(spans, obs.Span{
+			Name:   sp.Name,
+			Worker: sp.Worker,
+			Start:  time.Duration(sp.StartUS) * time.Microsecond,
+			End:    time.Duration(sp.EndUS) * time.Microsecond,
+		})
+	}
 	return &Shard{
 		Index:         doc.Shard,
 		Count:         doc.Of,
@@ -354,6 +408,7 @@ func DecodeShard(r io.Reader) (*Shard, error) {
 		ProfileOrder:  doc.ProfileOrder,
 		Failed:        doc.Failed,
 		Acc:           acc,
+		Spans:         spans,
 	}, nil
 }
 

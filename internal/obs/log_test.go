@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestNewLoggerFormats(t *testing.T) {
+	var buf bytes.Buffer
+	logger, err := NewLogger(&buf, "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger.Info("hello", "job", "job-0001")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("json logger wrote %q: %v", buf.String(), err)
+	}
+	if rec["msg"] != "hello" || rec["job"] != "job-0001" {
+		t.Errorf("record = %v", rec)
+	}
+
+	buf.Reset()
+	logger, err = NewLogger(&buf, "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger.Warn("careful", "shard", 2)
+	if !strings.Contains(buf.String(), "msg=careful") || !strings.Contains(buf.String(), "shard=2") {
+		t.Errorf("text logger wrote %q", buf.String())
+	}
+
+	if _, err := NewLogger(&buf, "xml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestNopLoggerDiscards(t *testing.T) {
+	// Must not panic and must not write anywhere observable; mostly a
+	// compile-and-run sanity check for the disabled path.
+	NopLogger().Error("dropped", "k", "v")
+}
+
+func TestRelayJSONLine(t *testing.T) {
+	// A worker-side JSON logger produces the line; the daemon-side
+	// relay must re-emit it with the shard attr appended.
+	var workerOut bytes.Buffer
+	worker := slog.New(slog.NewJSONHandler(&workerOut, nil))
+	worker.Info("shard worker starting", "devices", 12, "zz", "last", "aa", "first")
+
+	var daemonOut bytes.Buffer
+	daemon := slog.New(slog.NewJSONHandler(&daemonOut, nil))
+	line := strings.TrimSpace(workerOut.String())
+	if !RelayJSONLine(daemon, line, slog.String("job", "job-0001"), slog.Int("shard", 1)) {
+		t.Fatalf("valid worker line %q not relayed", line)
+	}
+	var rec map[string]any
+	if err := json.Unmarshal(daemonOut.Bytes(), &rec); err != nil {
+		t.Fatalf("relayed record %q: %v", daemonOut.String(), err)
+	}
+	if rec["msg"] != "shard worker starting" || rec["level"] != "INFO" {
+		t.Errorf("relayed record = %v", rec)
+	}
+	if rec["devices"] != float64(12) || rec["job"] != "job-0001" || rec["shard"] != float64(1) {
+		t.Errorf("attrs not preserved/appended: %v", rec)
+	}
+}
+
+func TestRelayJSONLineRejectsNonRecords(t *testing.T) {
+	daemon := NopLogger()
+	for _, line := range []string{
+		"",
+		"plain diagnostic text",
+		"{not json",
+		`{"no":"msg"}`,
+		`{"msg":"x"}`,                // no level
+		`{"msg":"x","level":"LOUD"}`, // bad level
+		`{"msg":1,"level":"INFO"}`,   // non-string msg
+	} {
+		if RelayJSONLine(daemon, line) {
+			t.Errorf("relayed non-record %q", line)
+		}
+	}
+}
+
+func TestRelayedLevelsSurviveRoundTrip(t *testing.T) {
+	var workerOut bytes.Buffer
+	worker := slog.New(slog.NewJSONHandler(&workerOut, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	worker.Debug("d")
+	worker.Info("i")
+	worker.Warn("w")
+	worker.Error("e")
+
+	var daemonOut bytes.Buffer
+	daemon := slog.New(slog.NewJSONHandler(&daemonOut, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	for _, line := range strings.Split(strings.TrimSpace(workerOut.String()), "\n") {
+		if !RelayJSONLine(daemon, line) {
+			t.Fatalf("line %q not relayed", line)
+		}
+	}
+	out := daemonOut.String()
+	for _, level := range []string{"DEBUG", "INFO", "WARN", "ERROR"} {
+		if !strings.Contains(out, `"level":"`+level+`"`) {
+			t.Errorf("level %s lost in relay: %s", level, out)
+		}
+	}
+}

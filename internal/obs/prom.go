@@ -1,0 +1,208 @@
+// Prometheus text exposition (format 0.0.4) for the metrics registry.
+// The plain WriteText dump stays the human-readable debugging view; this
+// file is the machine-scrapable one: every instrument becomes a metric
+// family with HELP/TYPE lines, histograms gain the cumulative
+// _bucket/_sum/_count series Prometheus expects, and output is sorted by
+// exposition name so identical registries expose identical bytes.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromName maps a dotted instrument name ("svc.jobs.running") to a valid
+// Prometheus metric name ("svc_jobs_running"): every character outside
+// [a-zA-Z0-9_:] becomes '_', and a leading digit gains a '_' prefix.
+func PromName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, c := range name {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if c >= '0' && c <= '9' && i == 0 {
+			b.WriteByte('_')
+			b.WriteRune(c)
+			continue
+		}
+		if ok {
+			b.WriteRune(c)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// promEscapeLabel escapes a label value per the exposition format:
+// backslash, double quote and newline.
+func promEscapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 8)
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// promEscapeHelp escapes a HELP text: backslash and newline (quotes are
+// legal in help text).
+func promEscapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// promFloat formats a sample value the way Prometheus clients do:
+// shortest round-trip representation, with +Inf/-Inf/NaN spelled out.
+func promFloat(v float64) string {
+	switch {
+	case v > 1.797693134862315708145274237317043567981e308:
+		return "+Inf"
+	case v < -1.797693134862315708145274237317043567981e308:
+		return "-Inf"
+	case v != v:
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// PromWriter emits Prometheus text exposition format: HELP/TYPE headers
+// via Family, then one Sample line per series. It keeps the first write
+// error and reports it from Err, so callers can chain calls without
+// checking each one.
+type PromWriter struct {
+	w   io.Writer
+	err error
+}
+
+// NewPromWriter wraps w.
+func NewPromWriter(w io.Writer) *PromWriter { return &PromWriter{w: w} }
+
+// Err returns the first write error encountered.
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// Family writes the HELP and TYPE header for one metric family. name must
+// already be a valid exposition name (use PromName).
+func (p *PromWriter) Family(name, typ, help string) {
+	if help != "" {
+		p.printf("# HELP %s %s\n", name, promEscapeHelp(help))
+	}
+	p.printf("# TYPE %s %s\n", name, typ)
+}
+
+// Sample writes one sample line: name{labels} value. Label values are
+// escaped here; names and label keys must already be valid.
+func (p *PromWriter) Sample(name string, labels [][2]string, v float64) {
+	if len(labels) == 0 {
+		p.printf("%s %s\n", name, promFloat(v))
+		return
+	}
+	if p.err != nil {
+		return
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, kv := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[0])
+		b.WriteString(`="`)
+		b.WriteString(promEscapeLabel(kv[1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	p.printf("%s %s\n", b.String(), promFloat(v))
+}
+
+// promFamily is one registry instrument scheduled for exposition, keyed
+// by its exposition name so output order is deterministic.
+type promFamily struct {
+	name string // exposition name (counters already carry _total)
+	emit func(p *PromWriter)
+}
+
+// WritePrometheus writes every instrument in Prometheus text exposition
+// format 0.0.4. Counters gain the conventional _total suffix, histograms
+// the cumulative _bucket{le=...}/_sum/_count series (with the implicit
+// +Inf bucket made explicit). Families are sorted by exposition name, so
+// identical registries — and registries merged from the same shards in
+// any grouping — produce identical bytes. Two instrument names that
+// collide after sanitization are an error.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	pw := NewPromWriter(w)
+	if r == nil {
+		return pw.Err()
+	}
+	var fams []promFamily
+	for name, c := range r.counters {
+		name, c := name, c
+		out := PromName(name)
+		if !strings.HasSuffix(out, "_total") {
+			out += "_total"
+		}
+		fams = append(fams, promFamily{out, func(p *PromWriter) {
+			p.Family(out, "counter", "ccdem counter "+name)
+			p.Sample(out, nil, float64(c.v))
+		}})
+	}
+	for name, g := range r.gauges {
+		name, g := name, g
+		out := PromName(name)
+		fams = append(fams, promFamily{out, func(p *PromWriter) {
+			p.Family(out, "gauge", "ccdem gauge "+name)
+			p.Sample(out, nil, g.v)
+		}})
+	}
+	for name, h := range r.hists {
+		name, h := name, h
+		out := PromName(name)
+		fams = append(fams, promFamily{out, func(p *PromWriter) {
+			p.Family(out, "histogram", "ccdem histogram "+name)
+			var cum uint64
+			for i, bound := range h.bounds {
+				cum += h.counts[i]
+				p.Sample(out+"_bucket", [][2]string{{"le", promFloat(bound)}}, float64(cum))
+			}
+			cum += h.counts[len(h.bounds)]
+			p.Sample(out+"_bucket", [][2]string{{"le", "+Inf"}}, float64(cum))
+			p.Sample(out+"_sum", nil, h.sum)
+			p.Sample(out+"_count", nil, float64(h.count))
+		}})
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for i, f := range fams {
+		if i > 0 && fams[i-1].name == f.name {
+			return fmt.Errorf("obs: prometheus name collision: two instruments map to %q", f.name)
+		}
+		f.emit(pw)
+	}
+	return pw.Err()
+}

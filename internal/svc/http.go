@@ -19,13 +19,18 @@ const maxSpecBytes = 1 << 20
 //
 //	GET    /healthz                 liveness ("ok", 503 once shutting down)
 //	GET    /version                 build identity JSON
-//	GET    /api/metrics             plain-text metrics dump
+//	GET    /metrics                 Prometheus text exposition (0.0.4)
+//	GET    /api/metrics             plain-text metrics dump (legacy)
 //	POST   /api/jobs                submit a campaign (202 + progress)
 //	GET    /api/jobs                list all jobs' progress
 //	GET    /api/jobs/{id}           one job's progress
 //	DELETE /api/jobs/{id}           request cancellation
 //	GET    /api/jobs/{id}/result    merged result JSON (409 until terminal)
+//	GET    /api/jobs/{id}/trace     campaign Perfetto trace (409 until terminal)
 //	GET    /api/jobs/{id}/watch     SSE progress stream until terminal
+//
+// Every response carries Cache-Control: no-store — all of the daemon's
+// surfaces report live state, so a cached body is a stale lie.
 func Handler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -39,6 +44,10 @@ func Handler(m *Manager) http.Handler {
 	})
 	mux.HandleFunc("GET /version", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, buildinfo.Get())
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		m.WritePrometheus(w)
 	})
 	mux.HandleFunc("GET /api/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -119,6 +128,19 @@ func Handler(m *Manager) http.Handler {
 		perDevice := r.URL.Query().Get("per_device") == "1"
 		result.WriteJSON(w, perDevice)
 	})
+	mux.HandleFunc("GET /api/jobs/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := m.Job(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+			return
+		}
+		if p := job.Progress(); !p.State.Terminal() {
+			httpError(w, http.StatusConflict, "job %s still %s", job.ID(), p.State)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		job.WriteTrace(w)
+	})
 	mux.HandleFunc("GET /api/jobs/{id}/watch", func(w http.ResponseWriter, r *http.Request) {
 		job, ok := m.Job(r.PathValue("id"))
 		if !ok {
@@ -127,7 +149,16 @@ func Handler(m *Manager) http.Handler {
 		}
 		watchJob(w, r, m, job)
 	})
-	return mux
+	return noStore(mux)
+}
+
+// noStore stamps Cache-Control: no-store on every response before the
+// handler writes it.
+func noStore(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Cache-Control", "no-store")
+		next.ServeHTTP(w, r)
+	})
 }
 
 // watchJob streams SSE progress events until the job reaches a terminal
@@ -141,7 +172,6 @@ func watchJob(w http.ResponseWriter, r *http.Request, m *Manager, job *Job) {
 	updates, unsubscribe := job.Watch()
 	defer unsubscribe()
 	w.Header().Set("Content-Type", "text/event-stream")
-	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 
 	emit := func(p Progress) bool {
@@ -158,9 +188,13 @@ func watchJob(w http.ResponseWriter, r *http.Request, m *Manager, job *Job) {
 	}
 	// The ticker backstops the fan-out: ElapsedS/ETAS move with wall
 	// clock even when no device lands, and a missed coalesced update can
-	// only delay a snapshot by one tick.
+	// only delay a snapshot by one tick. The heartbeat ticker additionally
+	// emits SSE comment frames — content-free keep-alives that hold idle
+	// proxy connections open without disturbing event consumers.
 	tick := time.NewTicker(time.Second)
 	defer tick.Stop()
+	heartbeat := time.NewTicker(m.heartbeat)
+	defer heartbeat.Stop()
 	for {
 		select {
 		case p := <-updates:
@@ -171,6 +205,9 @@ func watchJob(w http.ResponseWriter, r *http.Request, m *Manager, job *Job) {
 			if !emit(job.Progress()) {
 				return
 			}
+		case <-heartbeat.C:
+			fmt.Fprint(w, ": heartbeat\n\n")
+			flusher.Flush()
 		case <-r.Context().Done():
 			return
 		case <-m.Closing():

@@ -1,6 +1,7 @@
 package svc
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -11,6 +12,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"ccdem/internal/obs"
 )
 
 // newTestServer wires a manager into an httptest server; cleanup shuts
@@ -284,6 +287,136 @@ func TestHTTPHealthVersionMetrics(t *testing.T) {
 	status := doJSON(t, http.MethodPost, srv.URL+"/api/jobs", submitBody(t, 4, 1), &errBody)
 	if status != http.StatusServiceUnavailable || !strings.Contains(errBody.Error, "shutting down") {
 		t.Fatalf("submit after shutdown: %d %q, want 503 shutting down", status, errBody.Error)
+	}
+}
+
+// TestHTTPResponseHeaders pins the daemon's header contract: every
+// endpoint declares its Content-Type and forbids caching — all surfaces
+// report live state.
+func TestHTTPResponseHeaders(t *testing.T) {
+	srv, _ := newTestServer(t, Config{})
+	var submitted Progress
+	doJSON(t, http.MethodPost, srv.URL+"/api/jobs", submitBody(t, 4, 1), &submitted)
+
+	cases := []struct {
+		path string
+		ct   string
+	}{
+		{"/healthz", "text/plain; charset=utf-8"},
+		{"/version", "application/json"},
+		{"/metrics", "text/plain; version=0.0.4; charset=utf-8"},
+		{"/api/metrics", "text/plain; charset=utf-8"},
+		{"/api/jobs", "application/json"},
+		{"/api/jobs/" + submitted.ID, "application/json"},
+	}
+	for _, tc := range cases {
+		resp, err := http.Get(srv.URL + tc.path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", tc.path, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if got := resp.Header.Get("Content-Type"); got != tc.ct {
+			t.Errorf("%s Content-Type = %q, want %q", tc.path, got, tc.ct)
+		}
+		if got := resp.Header.Get("Cache-Control"); got != "no-store" {
+			t.Errorf("%s Cache-Control = %q, want no-store", tc.path, got)
+		}
+	}
+}
+
+// TestHTTPMetricsPrometheus scrapes /metrics after a finished campaign
+// and holds the body to the exposition format via the in-repo parser.
+func TestHTTPMetricsPrometheus(t *testing.T) {
+	srv, _ := newTestServer(t, Config{})
+	var submitted Progress
+	doJSON(t, http.MethodPost, srv.URL+"/api/jobs", submitBody(t, 8, 2), &submitted)
+	var p Progress
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if doJSON(t, http.MethodGet, srv.URL+"/api/jobs/"+submitted.ID, nil, &p); p.State.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in state %s", p.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	fams, err := obs.ParsePrometheus(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("/metrics does not parse: %v", err)
+	}
+	for name, typ := range map[string]string{
+		"svc_jobs_submitted_total": "counter",
+		"svc_devices_done_total":   "counter",
+		"svc_jobs_running":         "gauge",
+		"svc_job_duration_s":       "histogram",
+		"ccdem_build_info":         "gauge",
+	} {
+		f := fams[name]
+		if f == nil || f.Type != typ {
+			t.Errorf("family %s missing or wrong type: %+v", name, f)
+		}
+	}
+	if s := fams["svc_devices_done_total"].Sample("svc_devices_done_total", nil); s == nil || s.Value != 8 {
+		t.Errorf("svc_devices_done_total = %+v, want 8", s)
+	}
+	if f := fams["svc_job_state"]; f == nil ||
+		f.Sample("svc_job_state", map[string]string{"job": submitted.ID, "state": string(p.State)}) == nil {
+		t.Errorf("per-job state series missing for %s/%s", submitted.ID, p.State)
+	}
+	if f := fams["svc_job_devices_done"]; f == nil ||
+		f.Sample("svc_job_devices_done", map[string]string{"job": submitted.ID}) == nil {
+		t.Errorf("per-job devices-done series missing for %s", submitted.ID)
+	}
+}
+
+// TestHTTPWatchHeartbeat holds a job open behind a gate and requires the
+// watch stream to carry SSE comment keep-alives at the configured
+// interval, then a terminal progress event once released.
+func TestHTTPWatchHeartbeat(t *testing.T) {
+	runner := newGateRunner(true)
+	srv, _ := newTestServer(t, Config{Runner: runner, WatchHeartbeat: 25 * time.Millisecond})
+
+	var submitted Progress
+	doJSON(t, http.MethodPost, srv.URL+"/api/jobs", submitBody(t, 6, 1), &submitted)
+	<-runner.started
+
+	resp, err := http.Get(srv.URL + "/api/jobs/" + submitted.ID + "/watch")
+	if err != nil {
+		t.Fatalf("GET watch: %v", err)
+	}
+	defer resp.Body.Close()
+	br := bufio.NewReader(resp.Body)
+	heartbeats := 0
+	for heartbeats < 2 {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("watch stream ended before two heartbeats: %v", err)
+		}
+		if strings.HasPrefix(line, ": heartbeat") {
+			heartbeats++
+		}
+	}
+	close(runner.release)
+	rest, err := io.ReadAll(br)
+	if err != nil {
+		t.Fatalf("draining watch stream: %v", err)
+	}
+	var last Progress
+	for _, line := range strings.Split(strings.TrimSpace(string(rest)), "\n") {
+		if data, ok := strings.CutPrefix(line, "data: "); ok {
+			json.Unmarshal([]byte(data), &last)
+		}
+	}
+	if last.State != StateDone {
+		t.Fatalf("stream after release ended on %+v, want done", last)
 	}
 }
 

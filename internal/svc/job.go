@@ -3,10 +3,13 @@ package svc
 import (
 	"context"
 	"errors"
+	"fmt"
+	"io"
 	"sync"
 	"time"
 
 	"ccdem/internal/fleet"
+	"ccdem/internal/obs"
 )
 
 // State is a job's lifecycle position. Transitions only move forward:
@@ -25,6 +28,12 @@ const (
 func (s State) Terminal() bool {
 	return s == StateDone || s == StateFailed || s == StateCancelled
 }
+
+// Stage names for the per-job wall-clock timings in Progress.StageS.
+const (
+	StageRun   = "run"   // start of the shard fan-out to the last shard's return
+	StageMerge = "merge" // central shard merge
+)
 
 // Progress is one job's live status snapshot — what GET /api/jobs/{id}
 // returns and what the watch stream fans out on every update.
@@ -46,7 +55,12 @@ type Progress struct {
 	// observed completion rate; 0 until the first device lands.
 	ElapsedS float64 `json:"elapsed_s"`
 	ETAS     float64 `json:"eta_s,omitempty"`
-	Error    string  `json:"error,omitempty"`
+	// StageS holds completed stage wall timings (StageRun, StageMerge) in
+	// seconds; CPUS is total worker-subprocess CPU seconds (0 when the
+	// runner can't observe CPU, e.g. in-process runs).
+	StageS map[string]float64 `json:"stage_s,omitempty"`
+	CPUS   float64            `json:"cpu_s,omitempty"`
+	Error  string             `json:"error,omitempty"`
 }
 
 // Job is one submitted campaign tracked by the Manager. All state is
@@ -71,18 +85,30 @@ type Job struct {
 	cancelRequested bool
 	result          *fleet.Result
 	subs            map[chan Progress]struct{}
+
+	// Telemetry, all on the job timeline (durations since started):
+	// daemonSpans holds the daemon-side dispatch/merge spans, workerSpans
+	// the per-shard worker span batches (already offset by their dispatch
+	// start), stageS the completed stage wall timings, cpu the total
+	// worker CPU the runner observed.
+	daemonSpans []obs.Span
+	workerSpans [][]obs.Span
+	stageS      map[string]float64
+	cpu         time.Duration
 }
 
 func newJob(id string, spec JobSpec, devices int, now time.Time) *Job {
 	return &Job{
-		id:        id,
-		spec:      spec,
-		devices:   devices,
-		shards:    spec.shards(),
-		created:   now,
-		state:     StateQueued,
-		shardDone: make([]int, spec.shards()),
-		subs:      make(map[chan Progress]struct{}),
+		id:          id,
+		spec:        spec,
+		devices:     devices,
+		shards:      spec.shards(),
+		created:     now,
+		state:       StateQueued,
+		shardDone:   make([]int, spec.shards()),
+		subs:        make(map[chan Progress]struct{}),
+		workerSpans: make([][]obs.Span, spec.shards()),
+		stageS:      make(map[string]float64),
 	}
 }
 
@@ -117,6 +143,13 @@ func (j *Job) progressLocked() Progress {
 	for _, d := range j.shardDone {
 		p.Done += d
 	}
+	if len(j.stageS) > 0 {
+		p.StageS = make(map[string]float64, len(j.stageS))
+		for k, v := range j.stageS {
+			p.StageS[k] = v
+		}
+	}
+	p.CPUS = j.cpu.Seconds()
 	if !j.started.IsZero() {
 		end := j.finished
 		if end.IsZero() {
@@ -178,6 +211,72 @@ func (j *Job) setRunning(now time.Time) {
 	j.state = StateRunning
 	j.started = now
 	j.notifyLocked()
+}
+
+// sinceStart returns the job-timeline offset of "now" — time since the
+// job started running (0 while still queued).
+func (j *Job) sinceStart() time.Duration {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.started.IsZero() {
+		return 0
+	}
+	return time.Since(j.started)
+}
+
+// recordShard records one finished shard's telemetry: a daemon-side
+// "dispatch" span covering the whole RunShard call (one lane per shard),
+// the worker's own span batch shifted onto the job timeline, and the
+// worker CPU time.
+func (j *Job) recordShard(index int, res ShardResult, start, end time.Duration) {
+	spans := make([]obs.Span, len(res.Shard.Spans))
+	for k, s := range res.Shard.Spans {
+		s.Start += start
+		s.End += start
+		spans[k] = s
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.daemonSpans = append(j.daemonSpans, obs.Span{Name: "dispatch", Worker: index, Start: start, End: end})
+	j.workerSpans[index] = spans
+	j.cpu += res.CPU
+}
+
+// recordStage records one completed stage's wall timing.
+func (j *Job) recordStage(stage string, seconds float64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.stageS[stage] = seconds
+	j.notifyLocked()
+}
+
+// recordMerge records the central merge as both a daemon span and a
+// stage timing.
+func (j *Job) recordMerge(start, end time.Duration) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.daemonSpans = append(j.daemonSpans, obs.Span{Name: "merge", Worker: 0, Start: start, End: end})
+	j.stageS[StageMerge] = (end - start).Seconds()
+	j.notifyLocked()
+}
+
+// WriteTrace writes the job's campaign trace as Chrome trace-event JSON:
+// pid 1 is the daemon (dispatch lanes per shard plus the merge), pid 2+i
+// is shard i's worker with the spans it recorded about itself ("run",
+// "encode"), all on one wall-clock timeline starting at the job's run
+// start.
+func (j *Job) WriteTrace(w io.Writer) error {
+	j.mu.Lock()
+	daemon := append([]obs.Span(nil), j.daemonSpans...)
+	workers := make([][]obs.Span, len(j.workerSpans))
+	copy(workers, j.workerSpans)
+	j.mu.Unlock()
+	tr := obs.NewTrace()
+	tr.AddSpans(1, "ccdem-svc "+j.id, daemon)
+	for i, spans := range workers {
+		tr.AddSpans(2+i, fmt.Sprintf("%s shard %d", j.id, i), spans)
+	}
+	return tr.Write(w)
 }
 
 // shardProgress records shard's cumulative completed-device count and

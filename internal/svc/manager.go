@@ -5,9 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"sync"
 	"time"
 
+	"ccdem/internal/buildinfo"
 	"ccdem/internal/fleet"
 	"ccdem/internal/obs"
 )
@@ -25,16 +27,29 @@ type Config struct {
 	// MaxJobs bounds how many campaigns run concurrently; further
 	// submissions queue. 0 means 1.
 	MaxJobs int
+	// Logger receives the service's structured log stream (job lifecycle,
+	// relayed worker records). Nil disables logging.
+	Logger *slog.Logger
+	// WatchHeartbeat is the interval between SSE comment frames on watch
+	// streams — proxy keep-alives independent of progress traffic. 0 means
+	// 15 seconds.
+	WatchHeartbeat time.Duration
 }
+
+// defaultWatchHeartbeat keeps idle SSE connections alive through
+// proxies with conservative idle timeouts.
+const defaultWatchHeartbeat = 15 * time.Second
 
 // Manager owns the service's job table: it admits campaign specs,
 // schedules them through a bounded semaphore, fans shard runs out to the
 // Runner, merges shard accumulators in shard order, and tracks live
 // progress plus obs metrics for every job.
 type Manager struct {
-	runner  Runner
-	sem     chan struct{}
-	metrics *metrics
+	runner    Runner
+	sem       chan struct{}
+	metrics   *metrics
+	logger    *slog.Logger
+	heartbeat time.Duration
 
 	ctx     context.Context // parent of every job context
 	stopAll context.CancelFunc
@@ -129,20 +144,69 @@ func NewManager(cfg Config) *Manager {
 	if maxJobs < 1 {
 		maxJobs = 1
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = obs.NopLogger()
+	}
+	heartbeat := cfg.WatchHeartbeat
+	if heartbeat <= 0 {
+		heartbeat = defaultWatchHeartbeat
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Manager{
-		runner:  cfg.Runner,
-		sem:     make(chan struct{}, maxJobs),
-		metrics: newMetrics(),
-		ctx:     ctx,
-		stopAll: cancel,
-		closing: make(chan struct{}),
-		jobs:    make(map[string]*Job),
+		runner:    cfg.Runner,
+		sem:       make(chan struct{}, maxJobs),
+		metrics:   newMetrics(),
+		logger:    logger,
+		heartbeat: heartbeat,
+		ctx:       ctx,
+		stopAll:   cancel,
+		closing:   make(chan struct{}),
+		jobs:      make(map[string]*Job),
 	}
 }
 
 // WriteMetrics dumps the manager's registry (GET /api/metrics).
 func (m *Manager) WriteMetrics(w io.Writer) error { return m.metrics.write(w) }
+
+// WritePrometheus writes the manager's registry in Prometheus text
+// exposition format (GET /metrics), followed by the service-level
+// families the registry doesn't hold: build identity and per-job series
+// labeled by job ID.
+func (m *Manager) WritePrometheus(w io.Writer) error {
+	m.metrics.mu.Lock()
+	err := m.metrics.reg.WritePrometheus(w)
+	m.metrics.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	pw := obs.NewPromWriter(w)
+	bi := buildinfo.Get()
+	pw.Family("ccdem_build_info", "gauge", "build identity of the running daemon")
+	pw.Sample("ccdem_build_info", [][2]string{
+		{"version", bi.Version}, {"go", bi.GoVersion}, {"revision", bi.Revision},
+	}, 1)
+	jobs := m.Jobs()
+	if len(jobs) > 0 {
+		snaps := make([]Progress, len(jobs))
+		for i, j := range jobs {
+			snaps[i] = j.Progress()
+		}
+		pw.Family("svc_job_state", "gauge", "job lifecycle state (1 = the labeled state is current)")
+		for _, p := range snaps {
+			pw.Sample("svc_job_state", [][2]string{{"job", p.ID}, {"state", string(p.State)}}, 1)
+		}
+		pw.Family("svc_job_devices_done", "gauge", "devices completed per job")
+		for _, p := range snaps {
+			pw.Sample("svc_job_devices_done", [][2]string{{"job", p.ID}}, float64(p.Done))
+		}
+		pw.Family("svc_job_devices_failed", "gauge", "devices failed per job")
+		for _, p := range snaps {
+			pw.Sample("svc_job_devices_failed", [][2]string{{"job", p.ID}}, float64(p.FailedDevices))
+		}
+	}
+	return pw.Err()
+}
 
 // Closing is closed when shutdown begins — the lever long-lived watch
 // handlers select on so they cannot wedge the HTTP server's drain.
@@ -154,12 +218,14 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 	cohort, err := spec.cohort()
 	if err != nil {
 		m.metrics.inc(m.metrics.rejected)
+		m.logger.Warn("job rejected", "error", err.Error())
 		return nil, err
 	}
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
 		m.metrics.inc(m.metrics.rejected)
+		m.logger.Warn("job rejected", "error", ErrShuttingDown.Error())
 		return nil, ErrShuttingDown
 	}
 	m.seq++
@@ -173,6 +239,8 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 	m.mu.Unlock()
 
 	m.metrics.inc(m.metrics.submitted)
+	m.logger.Info("job submitted",
+		"job", id, "label", spec.Label, "devices", cohort.Devices, "shards", spec.shards())
 	go m.runJob(jctx, job)
 	return job, nil
 }
@@ -209,10 +277,15 @@ func (m *Manager) Cancel(id string) error {
 }
 
 // runJob drives one campaign: wait for a slot, fan the shard runs out,
-// merge in shard order, finalize.
+// merge in shard order, finalize. Along the way it assembles the job's
+// telemetry: per-shard dispatch spans and worker span batches (offset
+// onto the job timeline), stage wall/CPU timings, and a job-scoped
+// logger carried to the runner through the context.
 func (m *Manager) runJob(ctx context.Context, job *Job) {
 	defer m.wg.Done()
 	defer job.cancel()
+	jlog := m.logger.With("job", job.id)
+	ctx = WithLogger(ctx, jlog)
 	select {
 	case m.sem <- struct{}{}:
 		defer func() { <-m.sem }()
@@ -223,6 +296,7 @@ func (m *Manager) runJob(ctx context.Context, job *Job) {
 	}
 	job.setRunning(time.Now())
 	m.metrics.setGauge(m.metrics.running, float64(len(m.sem)))
+	jlog.Info("job running", "shards", job.shards, "devices", job.devices)
 
 	n := job.shards
 	shards := make([]*fleet.Shard, n)
@@ -237,29 +311,45 @@ func (m *Manager) runJob(ctx context.Context, job *Job) {
 					m.metrics.add(m.metrics.devicesDone, uint64(delta))
 				}
 			}
-			shard, err := m.runner.RunShard(ctx, job.spec, i, progress)
+			dispatchStart := job.sinceStart()
+			res, err := m.runner.RunShard(ctx, job.spec, i, progress)
 			if err != nil {
 				errs[i] = err
+				if ctx.Err() == nil {
+					jlog.Error("shard failed", "shard", i, "error", err.Error())
+				}
 				// One dead shard dooms the campaign; stop the others
 				// promptly instead of burning cores on a lost run.
 				job.cancel()
 				return
 			}
+			shard := res.Shard
 			shards[i] = shard
+			job.recordShard(i, res, dispatchStart, job.sinceStart())
 			progress(shardDevices(shard))
 			job.shardFinished(len(shard.Failed))
 			m.metrics.add(m.metrics.devicesFailed, uint64(len(shard.Failed)))
 		}(i)
 	}
 	wg.Wait()
+	job.recordStage(StageRun, job.sinceStart().Seconds())
 
 	var result *fleet.Result
 	err := errors.Join(errs...)
 	if err == nil {
+		mergeStart := job.sinceStart()
 		result, err = fleet.MergeShards(shards)
+		mergeEnd := job.sinceStart()
+		job.recordMerge(mergeStart, mergeEnd)
 	}
 	job.finish(result, err, time.Now())
 	m.finalize(job, time.Since(job.started).Seconds())
+	p := job.Progress()
+	jlog.Info("job finished",
+		"state", string(p.State),
+		"devices_done", p.Done, "devices_failed", p.FailedDevices,
+		obs.DurationSeconds("elapsed_s", time.Since(job.started)),
+		slog.Float64("cpu_s", p.CPUS))
 }
 
 // shardDevices is the shard's total accounted devices — the final

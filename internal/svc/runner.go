@@ -7,19 +7,30 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"os/exec"
 	"strings"
 	"time"
 
 	"ccdem/internal/fleet"
+	"ccdem/internal/obs"
 )
+
+// ShardResult is one shard execution's outcome: the shard document
+// (which carries the worker's own telemetry spans) plus what the runner
+// could observe from outside the run — CPU time consumed by a worker
+// subprocess, zero when unknown (in-process runs).
+type ShardResult struct {
+	Shard *fleet.Shard
+	CPU   time.Duration
+}
 
 // Runner executes one shard of a campaign and returns its accumulator
 // shard. progress, when non-nil, receives the shard's cumulative
 // completed-device count; calls may come from other goroutines and must
-// be cheap.
+// be cheap. Runners log through LoggerFrom(ctx).
 type Runner interface {
-	RunShard(ctx context.Context, spec JobSpec, index int, progress func(done int)) (*fleet.Shard, error)
+	RunShard(ctx context.Context, spec JobSpec, index int, progress func(done int)) (ShardResult, error)
 }
 
 // LocalRunner runs shards in-process — the zero-dependency mode for
@@ -28,26 +39,39 @@ type Runner interface {
 type LocalRunner struct{}
 
 // RunShard implements Runner.
-func (LocalRunner) RunShard(ctx context.Context, spec JobSpec, index int, progress func(done int)) (*fleet.Shard, error) {
+func (LocalRunner) RunShard(ctx context.Context, spec JobSpec, index int, progress func(done int)) (ShardResult, error) {
 	cohort, pool, err := spec.shardCohort(index)
 	if err != nil {
-		return nil, err
+		return ShardResult{}, err
 	}
 	if progress != nil {
 		pool.OnProgress = func(done, total int) { progress(done) }
 	}
-	return cohort.RunShard(ctx, pool)
+	start := time.Now()
+	shard, err := cohort.RunShard(ctx, pool)
+	if err != nil {
+		return ShardResult{}, err
+	}
+	shard.Spans = append(shard.Spans, obs.Span{Name: "run", Start: 0, End: time.Since(start)})
+	return ShardResult{Shard: shard}, nil
 }
 
 // progressPrefix is the shard worker's stderr progress protocol: lines
-// "ccdem-shard-progress <done> <total>". Everything else on stderr is
-// diagnostic text, kept for error reporting.
+// "ccdem-shard-progress <done> <total>". JSON lines are worker log
+// records, relayed into the daemon's log stream; everything else on
+// stderr is diagnostic text, kept (bounded) for error reporting.
 const progressPrefix = "ccdem-shard-progress "
+
+// maxWorkerDiagBytes bounds the diagnostic text retained per worker — a
+// total-byte bound, so a worker spewing long lines cannot balloon the
+// daemon's memory no matter how its output splits into lines.
+const maxWorkerDiagBytes = 16 * 1024
 
 // ProcRunner runs each shard in its own worker subprocess: Exe invoked
 // with Args plus the "index/count" shard position, the JobSpec document
-// on stdin, the shard wire document expected on stdout, and progress
-// lines on stderr. Cancelling the context kills the worker.
+// on stdin, the shard wire document expected on stdout, and progress,
+// log, and diagnostic lines on stderr. Cancelling the context kills the
+// worker.
 type ProcRunner struct {
 	// Exe is the worker binary — normally the daemon's own executable
 	// (os.Executable), re-entered in shard-worker mode.
@@ -58,15 +82,16 @@ type ProcRunner struct {
 }
 
 // RunShard implements Runner.
-func (p ProcRunner) RunShard(ctx context.Context, spec JobSpec, index int, progress func(done int)) (*fleet.Shard, error) {
+func (p ProcRunner) RunShard(ctx context.Context, spec JobSpec, index int, progress func(done int)) (ShardResult, error) {
 	// Validate locally first: a malformed spec should fail fast with a
 	// real error, not a worker exit status.
 	if _, _, err := spec.shardCohort(index); err != nil {
-		return nil, err
+		return ShardResult{}, err
 	}
+	logger := LoggerFrom(ctx)
 	specDoc, err := json.Marshal(spec)
 	if err != nil {
-		return nil, err
+		return ShardResult{}, err
 	}
 	args := append(append([]string{}, p.Args...), fmt.Sprintf("%d/%d", index, spec.shards()))
 	cmd := exec.CommandContext(ctx, p.Exe, args...)
@@ -75,17 +100,19 @@ func (p ProcRunner) RunShard(ctx context.Context, spec JobSpec, index int, progr
 	cmd.Stdout = &stdout
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
-		return nil, err
+		return ShardResult{}, err
 	}
 	// Don't linger on workers that ignore the kill long enough to wedge
 	// shutdown.
 	cmd.WaitDelay = 5 * time.Second
 	if err := cmd.Start(); err != nil {
-		return nil, fmt.Errorf("svc: shard %d worker: %w", index, err)
+		return ShardResult{}, fmt.Errorf("svc: shard %d worker: %w", index, err)
 	}
-	// Drain stderr on the spot: progress lines feed the callback, the
-	// rest is kept (bounded) as context for a failure.
+	// Drain stderr on the spot: progress lines feed the callback, JSON
+	// log records are folded into the daemon's stream with the shard
+	// attr, the rest is kept (bounded) as context for a failure.
 	var diag strings.Builder
+	diagTruncated := false
 	scanner := bufio.NewScanner(stderr)
 	scanner.Buffer(make([]byte, 0, 64*1024), 256*1024)
 	for scanner.Scan() {
@@ -97,38 +124,59 @@ func (p ProcRunner) RunShard(ctx context.Context, spec JobSpec, index int, progr
 			}
 			continue
 		}
-		if diag.Len() < 16*1024 {
+		if obs.RelayJSONLine(logger, line, slog.Int("shard", index)) {
+			continue
+		}
+		trunc := false
+		if n := maxWorkerDiagBytes - diag.Len(); n > 0 {
+			if len(line)+1 > n {
+				line, trunc = line[:n-1], true
+			}
 			diag.WriteString(line)
 			diag.WriteByte('\n')
+		} else {
+			trunc = true
+		}
+		if trunc && !diagTruncated {
+			diagTruncated = true
+			logger.LogAttrs(ctx, slog.LevelWarn, "shard worker diagnostics truncated",
+				slog.Int("shard", index), slog.Int("limit_bytes", maxWorkerDiagBytes))
 		}
 	}
 	if err := cmd.Wait(); err != nil {
 		if ctx.Err() != nil {
-			return nil, ctx.Err()
+			return ShardResult{}, ctx.Err()
 		}
 		msg := strings.TrimSpace(diag.String())
 		if msg != "" {
-			return nil, fmt.Errorf("svc: shard %d worker: %w: %s", index, err, msg)
+			return ShardResult{}, fmt.Errorf("svc: shard %d worker: %w: %s", index, err, msg)
 		}
-		return nil, fmt.Errorf("svc: shard %d worker: %w", index, err)
+		return ShardResult{}, fmt.Errorf("svc: shard %d worker: %w", index, err)
+	}
+	var cpu time.Duration
+	if st := cmd.ProcessState; st != nil {
+		cpu = st.UserTime() + st.SystemTime()
 	}
 	shard, err := fleet.DecodeShard(&stdout)
 	if err != nil {
-		return nil, fmt.Errorf("svc: shard %d worker output: %w", index, err)
+		return ShardResult{}, fmt.Errorf("svc: shard %d worker output: %w", index, err)
 	}
 	if shard.Index != index || shard.Count != spec.shards() {
-		return nil, fmt.Errorf("svc: shard worker returned shard %d/%d, want %d/%d",
+		return ShardResult{}, fmt.Errorf("svc: shard worker returned shard %d/%d, want %d/%d",
 			shard.Index, shard.Count, index, spec.shards())
 	}
-	return shard, nil
+	return ShardResult{Shard: shard, CPU: cpu}, nil
 }
 
 // RunWorker is the shard-worker subprocess entry point (ccdem-svc
 // -shard-worker i/n): read the JobSpec document from stdin, run the
 // shard, stream progress lines on stderr, and write the shard wire
 // document on stdout. The exit contract is the inverse of
-// ProcRunner.RunShard.
+// ProcRunner.RunShard. Log records go to stderr as JSON (always — the
+// parent daemon relays them regardless of its own -log-format), and the
+// shard document carries "run" and "encode" telemetry spans.
 func RunWorker(ctx context.Context, shardArg string, stdin io.Reader, stdout, stderr io.Writer) error {
+	logger := slog.New(slog.NewJSONHandler(stderr, nil))
 	index, count, err := fleet.ParseShard(shardArg)
 	if err != nil {
 		return err
@@ -146,6 +194,8 @@ func RunWorker(ctx context.Context, shardArg string, stdin io.Reader, stdout, st
 	if err != nil {
 		return err
 	}
+	logger.LogAttrs(ctx, slog.LevelInfo, "shard worker starting",
+		slog.Int("shard", index), slog.Int("of", count), slog.Int("cohort_devices", cohort.Devices))
 	// Throttled progress: one line per ~200ms of wall clock plus the
 	// final count, so a million-device shard doesn't drown stderr.
 	var last time.Time
@@ -157,9 +207,27 @@ func RunWorker(ctx context.Context, shardArg string, stdin io.Reader, stdout, st
 		last = now
 		fmt.Fprintf(stderr, "%s%d %d\n", progressPrefix, done, total)
 	}
+	t0 := time.Now()
 	shard, err := cohort.RunShard(ctx, pool)
 	if err != nil {
+		logger.LogAttrs(ctx, slog.LevelError, "shard failed",
+			slog.Int("shard", index), slog.String("error", err.Error()))
 		return err
 	}
+	runEnd := time.Since(t0)
+	shard.Spans = append(shard.Spans, obs.Span{Name: "run", Start: 0, End: runEnd})
+	// Time the encode itself with a dry run to io.Discard, then emit the
+	// real document with the "encode" span included.
+	encStart := time.Since(t0)
+	if err := shard.Encode(io.Discard); err != nil {
+		return err
+	}
+	encEnd := time.Since(t0)
+	shard.Spans = append(shard.Spans, obs.Span{Name: "encode", Start: encStart, End: encEnd})
+	logger.LogAttrs(ctx, slog.LevelInfo, "shard complete",
+		slog.Int("shard", index),
+		slog.Int("devices", shard.Acc.Devices()+len(shard.Failed)),
+		slog.Int("failed_devices", len(shard.Failed)),
+		obs.DurationSeconds("run_s", runEnd))
 	return shard.Encode(stdout)
 }

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"log/slog"
+	"os/exec"
 	"strings"
 	"sync"
 	"testing"
@@ -144,7 +146,7 @@ func newGateRunner(obeyCtx bool) *gateRunner {
 	}
 }
 
-func (g *gateRunner) RunShard(ctx context.Context, spec JobSpec, index int, progress func(int)) (*fleet.Shard, error) {
+func (g *gateRunner) RunShard(ctx context.Context, spec JobSpec, index int, progress func(int)) (ShardResult, error) {
 	g.mu.Lock()
 	g.running++
 	if g.running > g.peak {
@@ -161,12 +163,37 @@ func (g *gateRunner) RunShard(ctx context.Context, spec JobSpec, index int, prog
 		select {
 		case <-g.release:
 		case <-ctx.Done():
-			return nil, ctx.Err()
+			return ShardResult{}, ctx.Err()
 		}
 	} else {
 		<-g.release
 	}
 	return LocalRunner{}.RunShard(ctx, spec, index, progress)
+}
+
+// TestProcRunnerDiagBounded: a worker spewing diagnostics must not grow
+// the daemon's retained buffer past the per-worker byte cap, and the
+// truncation must be logged — not silent.
+func TestProcRunnerDiagBounded(t *testing.T) {
+	if _, err := exec.LookPath("sh"); err != nil {
+		t.Skip("sh unavailable")
+	}
+	var logBuf bytes.Buffer
+	ctx := WithLogger(context.Background(), slog.New(slog.NewJSONHandler(&logBuf, nil)))
+	// ~160KB of non-JSON stderr, then a failing exit so RunShard reports
+	// the retained diagnostics in its error.
+	r := ProcRunner{Exe: "sh", Args: []string{"-c",
+		`i=0; while [ $i -lt 4000 ]; do echo "diagnostic line $i padding padding padding" >&2; i=$((i+1)); done; exit 3`}}
+	_, err := r.RunShard(ctx, JobSpec{Spec: testSpecDoc(t, 4)}, 0, nil)
+	if err == nil {
+		t.Fatal("worker exiting 3 reported no error")
+	}
+	if got := len(err.Error()); got > maxWorkerDiagBytes+256 {
+		t.Errorf("error carries %d bytes of diagnostics, cap is %d", got, maxWorkerDiagBytes)
+	}
+	if !strings.Contains(logBuf.String(), "diagnostics truncated") {
+		t.Errorf("truncation not logged: %s", logBuf.String())
+	}
 }
 
 func TestManagerCancel(t *testing.T) {

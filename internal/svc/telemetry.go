@@ -1,0 +1,30 @@
+// Telemetry plumbing shared by the manager, runners, and HTTP layer:
+// the context-carried logger that correlates shard-runner output with
+// the job that spawned it.
+package svc
+
+import (
+	"context"
+	"log/slog"
+
+	"ccdem/internal/obs"
+)
+
+type loggerKey struct{}
+
+// WithLogger returns a context carrying the logger shard runners emit
+// through. The manager derives one per job (daemon logger + job attr) so
+// everything a runner logs — including relayed worker-subprocess records
+// — lands in the daemon's stream already correlated.
+func WithLogger(ctx context.Context, l *slog.Logger) context.Context {
+	return context.WithValue(ctx, loggerKey{}, l)
+}
+
+// LoggerFrom returns the context's logger, or a no-op logger so
+// instrumented code can log unconditionally.
+func LoggerFrom(ctx context.Context) *slog.Logger {
+	if l, ok := ctx.Value(loggerKey{}).(*slog.Logger); ok && l != nil {
+		return l
+	}
+	return obs.NopLogger()
+}
