@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench perfgate perfgate-update fuzz chaos validate campaign figures fleet fleet-scale svc telemetry obs clean
+.PHONY: all build test test-short race cover bench perfgate perfgate-update fuzz chaos validate campaign figures fleet fleet-scale svc svc-chaos telemetry obs clean
 
 all: build test
 
@@ -95,6 +95,13 @@ fleet-scale:
 # be byte-identical. Needs curl and jq.
 svc:
 	./scripts/svc_smoke.sh
+
+# Fault-tolerance smoke (DESIGN.md §14): kill a shard worker mid-shard
+# and watch the retry finish the campaign, then kill -9 the daemon
+# mid-campaign and watch a restart over the same -state-dir resume it —
+# both byte-identical to the direct run. Needs curl and jq.
+svc-chaos:
+	./scripts/svc_chaos.sh
 
 # Telemetry smoke (DESIGN.md §13): boot the daemon with JSON logs and the
 # pprof listener, run a sharded campaign, and validate every telemetry

@@ -49,8 +49,19 @@ func realMain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	shardWorker := fs.String("shard-worker", "", "internal: run one shard at position i/n — job document on stdin, shard document on stdout, progress on stderr")
 	logFormat := fs.String("log-format", "text", "structured log format on stderr: text or json")
 	debugAddr := fs.String("debug-addr", "", "optional address for the net/http/pprof profiling endpoints (off when empty)")
+	stateDir := fs.String("state-dir", "", "directory for crash-safe job persistence: specs are journaled and campaigns checkpointed so a restarted daemon resumes incomplete jobs (off when empty)")
+	checkpointEvery := fs.Int("checkpoint-every", 1, "completed shards between checkpoint writes under -state-dir")
+	shardRetries := fs.Int("shard-retries", 3, "attempts per shard (first try included) before the campaign fails")
 	version := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *checkpointEvery < 1 {
+		fmt.Fprintf(stderr, "ccdem-svc: -checkpoint-every must be at least 1, got %d\n", *checkpointEvery)
+		return 2
+	}
+	if *shardRetries < 1 {
+		fmt.Fprintf(stderr, "ccdem-svc: -shard-retries must be at least 1, got %d\n", *shardRetries)
 		return 2
 	}
 	if *version {
@@ -84,7 +95,22 @@ func realMain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		runner = svc.ProcRunner{Exe: exe, Args: []string{"-shard-worker"}}
 	}
 
-	m := svc.NewManager(svc.Config{Runner: runner, MaxJobs: *maxJobs, Logger: logger})
+	var store *svc.Store
+	if *stateDir != "" {
+		store, err = svc.OpenStore(*stateDir)
+		if err != nil {
+			fmt.Fprintf(stderr, "ccdem-svc: %v\n", err)
+			return 1
+		}
+	}
+	m := svc.NewManager(svc.Config{
+		Runner:          runner,
+		MaxJobs:         *maxJobs,
+		Logger:          logger,
+		Store:           store,
+		CheckpointEvery: *checkpointEvery,
+		Retry:           svc.RetryPolicy{MaxAttempts: *shardRetries},
+	})
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fmt.Fprintf(stderr, "ccdem-svc: %v\n", err)
@@ -93,6 +119,19 @@ func realMain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	// The listen report stays the first stderr line — the smoke scripts
 	// and tests parse the bound address out of it.
 	fmt.Fprintf(stderr, "ccdem-svc: listening on http://%s\n", ln.Addr())
+	// Resume journaled jobs after the listen line (tests parse stderr
+	// order) but before serving, so recovered IDs can't collide with new
+	// submissions.
+	if store != nil {
+		resumed, err := m.Recover()
+		if err != nil {
+			fmt.Fprintf(stderr, "ccdem-svc: recovering jobs: %v\n", err)
+			return 1
+		}
+		if resumed > 0 {
+			logger.Info("recovered incomplete jobs", "jobs", resumed, "dir", store.Dir())
+		}
+	}
 	if *debugAddr != "" {
 		dln, err := net.Listen("tcp", *debugAddr)
 		if err != nil {

@@ -1,0 +1,262 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ccdem/internal/sim"
+)
+
+// ckptTestCohort is a small deterministic cohort used across the
+// checkpoint tests.
+func ckptTestCohort(devices int) Cohort {
+	return Cohort{
+		Devices:      devices,
+		Seed:         7,
+		Session:      2 * sim.Second,
+		MeterSamples: 256,
+	}
+}
+
+// runTestShards runs every shard of a count-way split of the cohort.
+func runTestShards(t *testing.T, c Cohort, count int) []*Shard {
+	t.Helper()
+	shards := make([]*Shard, count)
+	for i := 0; i < count; i++ {
+		sc := c
+		sc.ShardIndex, sc.ShardCount = i, count
+		s, err := sc.RunShard(context.Background(), Pool{Workers: 2})
+		if err != nil {
+			t.Fatalf("RunShard %d/%d: %v", i, count, err)
+		}
+		shards[i] = s
+	}
+	return shards
+}
+
+func encodeCheckpoint(t *testing.T, c *Checkpoint) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := c.Encode(&buf); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestCheckpointRoundTrip: encode → decode reconstructs state that
+// encodes to the same bytes, with the done set and identity pins intact.
+func TestCheckpointRoundTrip(t *testing.T) {
+	shards := runTestShards(t, ckptTestCohort(20), 4)
+	c := NewCheckpoint("hash-abc", "v-test", 4)
+	// Out-of-order completion, partial set — the realistic mid-crash shape.
+	for _, i := range []int{2, 0, 3} {
+		if err := c.AddShard(shards[i]); err != nil {
+			t.Fatalf("AddShard %d: %v", i, err)
+		}
+	}
+	doc := encodeCheckpoint(t, c)
+
+	got, err := DecodeCheckpoint(bytes.NewReader(doc))
+	if err != nil {
+		t.Fatalf("DecodeCheckpoint: %v", err)
+	}
+	if got.SpecHash != "hash-abc" || got.CodeVersion != "v-test" {
+		t.Errorf("identity = (%q, %q), want (hash-abc, v-test)", got.SpecHash, got.CodeVersion)
+	}
+	if got.ShardCount != 4 || got.DoneCount() != 3 || got.Complete() {
+		t.Errorf("shape = %d shards, %d done, complete=%v", got.ShardCount, got.DoneCount(), got.Complete())
+	}
+	for _, i := range []int{0, 2, 3} {
+		if !got.Done(i) {
+			t.Errorf("shard %d not marked done", i)
+		}
+	}
+	if got.Done(1) {
+		t.Error("shard 1 marked done")
+	}
+	if doc2 := encodeCheckpoint(t, got); !bytes.Equal(doc, doc2) {
+		t.Errorf("re-encoded checkpoint differs:\n got: %s\nwant: %s", doc2, doc)
+	}
+}
+
+// TestCheckpointResultMatchesMergeShards: folding shards into a
+// checkpoint in arbitrary order — with a serialization round-trip in the
+// middle, like a real crash/resume — must finalize to bytes identical to
+// the canonical in-order MergeShards of the same campaign.
+func TestCheckpointResultMatchesMergeShards(t *testing.T) {
+	cohort := ckptTestCohort(22)
+	count := 4
+
+	var want bytes.Buffer
+	ref, err := MergeShards(runTestShards(t, cohort, count))
+	if err != nil {
+		t.Fatalf("MergeShards: %v", err)
+	}
+	if err := ref.WriteJSON(&want, false); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+
+	shards := runTestShards(t, cohort, count)
+	c := NewCheckpoint("h", "v", count)
+	for _, i := range []int{3, 1} {
+		if err := c.AddShard(shards[i]); err != nil {
+			t.Fatalf("AddShard %d: %v", i, err)
+		}
+	}
+	// Crash: the surviving state is only what the document carries.
+	resumed, err := DecodeCheckpoint(bytes.NewReader(encodeCheckpoint(t, c)))
+	if err != nil {
+		t.Fatalf("DecodeCheckpoint: %v", err)
+	}
+	for _, i := range []int{0, 2} {
+		if err := resumed.AddShard(shards[i]); err != nil {
+			t.Fatalf("AddShard %d after resume: %v", i, err)
+		}
+	}
+	result, err := resumed.Result()
+	if err != nil {
+		t.Fatalf("Result: %v", err)
+	}
+	var got bytes.Buffer
+	if err := result.WriteJSON(&got, false); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Errorf("resumed checkpoint result differs from in-order merge:\n got: %s\nwant: %s", got.Bytes(), want.Bytes())
+	}
+}
+
+func TestCheckpointAddShardRejectsInconsistency(t *testing.T) {
+	shards := runTestShards(t, ckptTestCohort(12), 3)
+	other := runTestShards(t, ckptTestCohort(15), 3)
+
+	c := NewCheckpoint("h", "v", 3)
+	if err := c.AddShard(shards[1]); err != nil {
+		t.Fatalf("AddShard: %v", err)
+	}
+	if err := c.AddShard(shards[1]); err == nil || !strings.Contains(err.Error(), "duplicate shard") {
+		t.Errorf("duplicate AddShard = %v, want duplicate-shard error", err)
+	}
+	if err := c.AddShard(other[2]); err == nil || !strings.Contains(err.Error(), "cohort") {
+		t.Errorf("mismatched-cohort AddShard = %v, want cohort-size error", err)
+	}
+	wrongCount := NewCheckpoint("h", "v", 4)
+	if err := wrongCount.AddShard(shards[0]); err == nil || !strings.Contains(err.Error(), "campaign") {
+		t.Errorf("wrong-count AddShard = %v, want shard-count error", err)
+	}
+	if _, err := c.Result(); err == nil || !strings.Contains(err.Error(), "shards complete") {
+		t.Errorf("Result on incomplete checkpoint = %v, want incomplete error", err)
+	}
+}
+
+// TestCheckpointDecodeRejectsCorruption: every corruption class the
+// resume path defends against must be rejected whole.
+func TestCheckpointDecodeRejectsCorruption(t *testing.T) {
+	shards := runTestShards(t, ckptTestCohort(20), 4)
+	c := NewCheckpoint("hash-abc", "v-test", 4)
+	for _, i := range []int{0, 1} {
+		if err := c.AddShard(shards[i]); err != nil {
+			t.Fatalf("AddShard: %v", err)
+		}
+	}
+	doc := encodeCheckpoint(t, c)
+
+	flip := func(doc []byte, needle, repl string) []byte {
+		out := strings.Replace(string(doc), needle, repl, 1)
+		if out == string(doc) {
+			t.Fatalf("needle %q not found in checkpoint document", needle)
+		}
+		return []byte(out)
+	}
+
+	cases := []struct {
+		name string
+		doc  []byte
+		want string
+	}{
+		{"truncated", doc[:len(doc)/2], "unexpected"},
+		{"empty", nil, "EOF"},
+		// A flipped payload byte must trip the CRC before any field is
+		// trusted. (Same-length replacement keeps the JSON well-formed.)
+		{"bit rot", flip(doc, `"spec_hash":"hash-abc"`, `"spec_hash":"hash-abd"`), "checksum"},
+		{"version skew", flip(doc, `"version":1`, `"version":9`), "unsupported version"},
+		{"unknown envelope field", flip(doc, `"version":1`, `"varsion":1`), "unknown field"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeCheckpoint(bytes.NewReader(tc.doc))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("DecodeCheckpoint = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// reseal recomputes the envelope CRC after a deliberate payload edit, so
+// the tests below reach the semantic validators behind the checksum.
+func reseal(t *testing.T, doc []byte, edit func(payload string) string) []byte {
+	t.Helper()
+	var env wireCheckpointEnvelope
+	if err := json.Unmarshal(doc, &env); err != nil {
+		t.Fatalf("unsealing: %v", err)
+	}
+	payload := edit(string(env.Payload))
+	out, err := json.Marshal(wireCheckpointEnvelope{
+		Version: env.Version,
+		CRC32:   crcHex([]byte(payload)),
+		Payload: json.RawMessage(payload),
+	})
+	if err != nil {
+		t.Fatalf("resealing: %v", err)
+	}
+	return out
+}
+
+func TestCheckpointDecodeRejectsInconsistentPayload(t *testing.T) {
+	shards := runTestShards(t, ckptTestCohort(20), 4)
+	c := NewCheckpoint("hash-abc", "v-test", 4)
+	for _, i := range []int{0, 1} {
+		if err := c.AddShard(shards[i]); err != nil {
+			t.Fatalf("AddShard: %v", err)
+		}
+	}
+	doc := encodeCheckpoint(t, c)
+
+	cases := []struct {
+		name string
+		edit func(string) string
+		want string
+	}{
+		{"done out of range", func(p string) string { return strings.Replace(p, `"done":[0,1]`, `"done":[0,7]`, 1) }, "out of [0,4)"},
+		{"done unsorted", func(p string) string { return strings.Replace(p, `"done":[0,1]`, `"done":[1,0]`, 1) }, "ascending"},
+		// Claiming an extra completed shard breaks the device accounting:
+		// the accumulator only holds shards 0 and 1.
+		{"accounting mismatch", func(p string) string { return strings.Replace(p, `"done":[0,1]`, `"done":[0,1,2]`, 1) }, "account"},
+		{"empty spec hash", func(p string) string { return strings.Replace(p, `"spec_hash":"hash-abc"`, `"spec_hash":""`, 1) }, "empty spec hash"},
+		{"empty code version", func(p string) string { return strings.Replace(p, `"code_version":"v-test"`, `"code_version":""`, 1) }, "empty code version"},
+		{"zero shards", func(p string) string { return strings.Replace(p, `"shards":4`, `"shards":0`, 1) }, "non-positive shard count"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeCheckpoint(bytes.NewReader(reseal(t, doc, tc.edit)))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("DecodeCheckpoint = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestCheckpointEmptyRoundTrip(t *testing.T) {
+	c := NewCheckpoint("h", "v", 3)
+	got, err := DecodeCheckpoint(bytes.NewReader(encodeCheckpoint(t, c)))
+	if err != nil {
+		t.Fatalf("DecodeCheckpoint: %v", err)
+	}
+	if got.DoneCount() != 0 || got.ShardCount != 3 || got.Acc.Devices() != 0 {
+		t.Errorf("empty checkpoint decoded to %d done, %d shards, %d devices",
+			got.DoneCount(), got.ShardCount, got.Acc.Devices())
+	}
+}

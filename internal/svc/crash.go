@@ -1,0 +1,135 @@
+// Deterministic crash injection for shard workers: the test and chaos
+// harnesses need a real subprocess to die at a chosen point — not a
+// mock — so resilience claims are proven against actual SIGKILL
+// delivery, exit statuses, and truncated pipes. A worker consults the
+// CCDEM_SVC_CRASH environment variable and, when the plan targets its
+// shard, kills itself at the requested device index or truncates its
+// stdout document. Plans are one-shot when an arming file is given:
+// whichever attempt removes the file first crashes, retries run clean —
+// which is exactly the transient fault the retry layer exists for.
+package svc
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"syscall"
+)
+
+// CrashEnv is the environment variable carrying a worker crash plan:
+//
+//	CCDEM_SVC_CRASH="shard=<i>,after=<n>,mode=<kill|exit:<code>|truncate:<bytes>>[,file=<path>]"
+//
+// shard selects the target shard index; after is the completed-device
+// count at which the crash fires (kill/exit modes); mode picks SIGKILL,
+// os.Exit(code), or truncating the stdout shard document to <bytes>
+// bytes; file, when set, makes the plan one-shot — the first worker to
+// remove it crashes, later attempts run clean.
+const CrashEnv = "CCDEM_SVC_CRASH"
+
+type crashMode int
+
+const (
+	crashKill crashMode = iota
+	crashExit
+	crashTruncate
+)
+
+type crashPlan struct {
+	shard    int
+	after    int
+	mode     crashMode
+	exitCode int
+	truncate int
+	file     string
+}
+
+// parseCrashPlan parses a CCDEM_SVC_CRASH value. Empty means no plan; a
+// malformed plan is an error — a chaos harness with a typo must fail
+// loudly, not silently run a clean campaign and "pass".
+func parseCrashPlan(s string) (*crashPlan, error) {
+	if s == "" {
+		return nil, nil
+	}
+	plan := &crashPlan{shard: -1, after: -1}
+	modeSet := false
+	for _, kv := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("svc: crash plan: %q is not key=value", kv)
+		}
+		switch key {
+		case "shard":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("svc: crash plan: bad shard %q", val)
+			}
+			plan.shard = n
+		case "after":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("svc: crash plan: bad after %q", val)
+			}
+			plan.after = n
+		case "mode":
+			modeSet = true
+			switch {
+			case val == "kill":
+				plan.mode = crashKill
+			case strings.HasPrefix(val, "exit:"):
+				n, err := strconv.Atoi(val[len("exit:"):])
+				if err != nil || n < 1 || n > 255 {
+					return nil, fmt.Errorf("svc: crash plan: bad exit code in %q", val)
+				}
+				plan.mode, plan.exitCode = crashExit, n
+			case strings.HasPrefix(val, "truncate:"):
+				n, err := strconv.Atoi(val[len("truncate:"):])
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("svc: crash plan: bad truncate size in %q", val)
+				}
+				plan.mode, plan.truncate = crashTruncate, n
+			default:
+				return nil, fmt.Errorf("svc: crash plan: unknown mode %q", val)
+			}
+		case "file":
+			plan.file = val
+		default:
+			return nil, fmt.Errorf("svc: crash plan: unknown key %q", key)
+		}
+	}
+	if plan.shard < 0 {
+		return nil, fmt.Errorf("svc: crash plan: missing shard=")
+	}
+	if !modeSet {
+		return nil, fmt.Errorf("svc: crash plan: missing mode=")
+	}
+	if plan.mode != crashTruncate && plan.after < 0 {
+		return nil, fmt.Errorf("svc: crash plan: missing after= for kill/exit mode")
+	}
+	return plan, nil
+}
+
+// armed reports whether this worker should execute the plan. A plan
+// without an arming file always fires; with one, only the process that
+// wins the os.Remove claims the crash.
+func (p *crashPlan) armed() bool {
+	if p.file == "" {
+		return true
+	}
+	return os.Remove(p.file) == nil
+}
+
+// fire executes a kill/exit plan. It never returns.
+func (p *crashPlan) fire() {
+	switch p.mode {
+	case crashKill:
+		syscall.Kill(os.Getpid(), syscall.SIGKILL)
+		// SIGKILL is not deliverable to a handler; if we are somehow
+		// still running, fall through to a hard exit.
+		os.Exit(137)
+	case crashExit:
+		os.Exit(p.exitCode)
+	}
+	panic("svc: crash plan fired with non-terminal mode")
+}

@@ -60,7 +60,12 @@ type Progress struct {
 	// runner can't observe CPU, e.g. in-process runs).
 	StageS map[string]float64 `json:"stage_s,omitempty"`
 	CPUS   float64            `json:"cpu_s,omitempty"`
-	Error  string             `json:"error,omitempty"`
+	// Retries counts shard attempts that failed and were re-dispatched;
+	// ResumedShards counts shards restored from a checkpoint instead of
+	// re-run after a daemon restart.
+	Retries       int    `json:"retries,omitempty"`
+	ResumedShards int    `json:"resumed_shards,omitempty"`
+	Error         string `json:"error,omitempty"`
 }
 
 // Job is one submitted campaign tracked by the Manager. All state is
@@ -74,6 +79,16 @@ type Job struct {
 
 	cancel context.CancelFunc // cancels the job's run context
 
+	// Fault-tolerance state: specHash pins the job's identity for
+	// checkpointing, ckpt accumulates completed shards in completion
+	// order (guarded by ckptMu, not mu — folding a shard is heavier than
+	// a progress snapshot), sinceCkpt counts completions since the last
+	// persisted checkpoint.
+	specHash  string
+	ckpt      *fleet.Checkpoint
+	ckptMu    sync.Mutex
+	sinceCkpt int
+
 	mu              sync.Mutex
 	state           State
 	errMsg          string
@@ -82,6 +97,8 @@ type Job struct {
 	shardDone       []int // per-shard completed-device counts
 	failedDevices   int
 	shardsDone      int
+	retries         int
+	resumedShards   int
 	cancelRequested bool
 	result          *fleet.Result
 	subs            map[chan Progress]struct{}
@@ -138,6 +155,8 @@ func (j *Job) progressLocked() Progress {
 		FailedDevices: j.failedDevices,
 		Shards:        j.shards,
 		ShardsDone:    j.shardsDone,
+		Retries:       j.retries,
+		ResumedShards: j.resumedShards,
 		Error:         j.errMsg,
 	}
 	for _, d := range j.shardDone {
@@ -238,8 +257,45 @@ func (j *Job) recordShard(index int, res ShardResult, start, end time.Duration) 
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.daemonSpans = append(j.daemonSpans, obs.Span{Name: "dispatch", Worker: index, Start: start, End: end})
+	// Failed attempts a RetryRunner burned before this success show up as
+	// daemon-side lanes next to the dispatch span.
+	for _, s := range res.AttemptSpans {
+		s.Start += start
+		s.End += start
+		j.daemonSpans = append(j.daemonSpans, s)
+	}
 	j.workerSpans[index] = spans
 	j.cpu += res.CPU
+}
+
+// noteRetry counts one re-dispatched shard attempt.
+func (j *Job) noteRetry() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.retries++
+	j.notifyLocked()
+}
+
+// userCancelled reports whether cancellation was requested through the
+// API (vs the shutdown sweep) — the distinction that decides whether the
+// job's persisted state is removed or kept for resume.
+func (j *Job) userCancelled() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.cancelRequested
+}
+
+// markResumed pre-fills progress for shards restored from a checkpoint:
+// their device counts are complete before the job's first dispatch.
+func (j *Job) markResumed(shardDevices map[int]int, failedDevices int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for shard, devices := range shardDevices {
+		j.shardDone[shard] = devices
+		j.shardsDone++
+		j.resumedShards++
+	}
+	j.failedDevices = failedDevices
 }
 
 // recordStage records one completed stage's wall timing.

@@ -1,11 +1,14 @@
 package svc
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"log/slog"
+	"sort"
 	"sync"
 	"time"
 
@@ -34,6 +37,15 @@ type Config struct {
 	// streams — proxy keep-alives independent of progress traffic. 0 means
 	// 15 seconds.
 	WatchHeartbeat time.Duration
+	// Retry bounds per-shard retry/re-dispatch (zero values mean the
+	// RetryPolicy defaults: 3 attempts, 200ms..5s backoff).
+	Retry RetryPolicy
+	// Store, when non-nil, persists submitted specs and campaign
+	// checkpoints so incomplete jobs survive a daemon crash (Recover).
+	Store *Store
+	// CheckpointEvery is how many completed shards between checkpoint
+	// writes when Store is set. <=0 means 1 (every shard).
+	CheckpointEvery int
 }
 
 // defaultWatchHeartbeat keeps idle SSE connections alive through
@@ -46,6 +58,9 @@ const defaultWatchHeartbeat = 15 * time.Second
 // progress plus obs metrics for every job.
 type Manager struct {
 	runner    Runner
+	retry     RetryPolicy
+	store     *Store
+	ckptEvery int
 	sem       chan struct{}
 	metrics   *metrics
 	logger    *slog.Logger
@@ -84,6 +99,12 @@ type metrics struct {
 
 	running  *obs.Gauge
 	duration *obs.Histogram
+
+	// retries counts re-dispatched shard attempts per error class,
+	// exported as the labeled svc_shard_retries_total family. Kept out
+	// of the registry (which has no labeled counters) but under the
+	// same mu.
+	retries map[ErrorClass]uint64
 }
 
 func newMetrics() *metrics {
@@ -100,6 +121,25 @@ func newMetrics() *metrics {
 		running:       reg.Gauge("svc.jobs.running"),
 		duration:      reg.Histogram("svc.job.duration_s", []float64{1, 5, 15, 60, 300, 1800, 7200}),
 	}
+}
+
+func (mx *metrics) noteRetry(class ErrorClass) {
+	mx.mu.Lock()
+	if mx.retries == nil {
+		mx.retries = make(map[ErrorClass]uint64)
+	}
+	mx.retries[class]++
+	mx.mu.Unlock()
+}
+
+func (mx *metrics) retrySnapshot() map[ErrorClass]uint64 {
+	mx.mu.Lock()
+	defer mx.mu.Unlock()
+	out := make(map[ErrorClass]uint64, len(mx.retries))
+	for k, v := range mx.retries {
+		out[k] = v
+	}
+	return out
 }
 
 func (mx *metrics) inc(c *obs.Counter) {
@@ -152,9 +192,16 @@ func NewManager(cfg Config) *Manager {
 	if heartbeat <= 0 {
 		heartbeat = defaultWatchHeartbeat
 	}
+	ckptEvery := cfg.CheckpointEvery
+	if ckptEvery < 1 {
+		ckptEvery = 1
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Manager{
 		runner:    cfg.Runner,
+		retry:     cfg.Retry,
+		store:     cfg.Store,
+		ckptEvery: ckptEvery,
 		sem:       make(chan struct{}, maxJobs),
 		metrics:   newMetrics(),
 		logger:    logger,
@@ -186,6 +233,17 @@ func (m *Manager) WritePrometheus(w io.Writer) error {
 	pw.Sample("ccdem_build_info", [][2]string{
 		{"version", bi.Version}, {"go", bi.GoVersion}, {"revision", bi.Revision},
 	}, 1)
+	if retries := m.metrics.retrySnapshot(); len(retries) > 0 {
+		classes := make([]string, 0, len(retries))
+		for class := range retries {
+			classes = append(classes, string(class))
+		}
+		sort.Strings(classes)
+		pw.Family("svc_shard_retries_total", "counter", "shard attempts re-dispatched after a classified failure")
+		for _, class := range classes {
+			pw.Sample("svc_shard_retries_total", [][2]string{{"class", class}}, float64(retries[ErrorClass(class)]))
+		}
+	}
 	jobs := m.Jobs()
 	if len(jobs) > 0 {
 		snaps := make([]Progress, len(jobs))
@@ -214,11 +272,19 @@ func (m *Manager) Closing() <-chan struct{} { return m.closing }
 
 // Submit validates and admits a campaign. The job runs asynchronously;
 // the returned Job is live immediately (queued until a slot frees up).
+// With a Store configured, the spec document is journaled before the job
+// is admitted — a journal failure rejects the submission rather than
+// running a campaign that could not survive a daemon crash.
 func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 	cohort, err := spec.cohort()
 	if err != nil {
 		m.metrics.inc(m.metrics.rejected)
 		m.logger.Warn("job rejected", "error", err.Error())
+		return nil, err
+	}
+	specDoc, err := json.Marshal(spec)
+	if err != nil {
+		m.metrics.inc(m.metrics.rejected)
 		return nil, err
 	}
 	m.mu.Lock()
@@ -230,7 +296,17 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 	}
 	m.seq++
 	id := fmt.Sprintf("job-%04d", m.seq)
+	if m.store != nil {
+		if err := m.store.JournalSpec(id, specDoc); err != nil {
+			m.mu.Unlock()
+			m.metrics.inc(m.metrics.rejected)
+			m.logger.Error("job rejected: spec journal write failed", "error", err.Error())
+			return nil, err
+		}
+	}
 	job := newJob(id, spec, cohort.Devices, time.Now())
+	job.specHash = SpecHash(specDoc)
+	job.ckpt = fleet.NewCheckpoint(job.specHash, buildinfo.Get().Version, spec.shards())
 	jctx, cancel := context.WithCancel(m.ctx)
 	job.cancel = cancel
 	m.jobs[id] = job
@@ -243,6 +319,125 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 		"job", id, "label", spec.Label, "devices", cohort.Devices, "shards", spec.shards())
 	go m.runJob(jctx, job)
 	return job, nil
+}
+
+// Recover re-admits incomplete jobs from the store — the daemon restart
+// path after a crash or kill -9. Every journaled spec becomes a live job
+// with its original ID; a valid checkpoint pre-fills the completed-shard
+// set so only the remaining shards run (and the merged result is still
+// byte-identical — the accumulator is integral, so merge order cannot
+// matter). A checkpoint that fails any validation — decode/CRC, spec
+// hash, code version, shard count, cohort size — is discarded with a
+// structured log record and the job restarts from scratch: a suspect
+// prefix is never merged. Returns the number of jobs re-admitted.
+func (m *Manager) Recover() (int, error) {
+	if m.store == nil {
+		return 0, nil
+	}
+	ids, err := m.store.List()
+	if err != nil {
+		return 0, err
+	}
+	resumed := 0
+	for _, id := range ids {
+		specDoc, err := m.store.LoadSpec(id)
+		if err != nil {
+			m.logger.Error("recover: unreadable spec journal; skipping", "job", id, "error", err.Error())
+			continue
+		}
+		var spec JobSpec
+		dec := json.NewDecoder(bytes.NewReader(specDoc))
+		dec.DisallowUnknownFields()
+		var cohort fleet.Cohort
+		if derr := dec.Decode(&spec); derr != nil {
+			err = derr
+		} else {
+			cohort, err = spec.cohort()
+		}
+		if err != nil {
+			m.logger.Error("recover: invalid spec journal; dropping job", "job", id, "error", err.Error())
+			m.store.Remove(id)
+			continue
+		}
+		hash := SpecHash(specDoc)
+		ck, err := m.store.LoadCheckpoint(id)
+		if err == nil && ck != nil {
+			err = validateCheckpoint(ck, hash, spec, cohort)
+		}
+		if err != nil {
+			// Satellite invariant: refuse the resume, say why, start from
+			// scratch — never merge a suspect prefix.
+			m.logger.Warn("recover: checkpoint rejected; restarting job from scratch",
+				"job", id, "error", err.Error())
+			ck = nil
+		}
+		if ck == nil {
+			ck = fleet.NewCheckpoint(hash, buildinfo.Get().Version, spec.shards())
+		}
+		if !m.admitRecovered(id, spec, cohort.Devices, hash, ck) {
+			break // shutting down
+		}
+		resumed++
+	}
+	return resumed, nil
+}
+
+// validateCheckpoint pins a loaded checkpoint to the job about to resume
+// from it.
+func validateCheckpoint(ck *fleet.Checkpoint, specHash string, spec JobSpec, cohort fleet.Cohort) error {
+	if ck.SpecHash != specHash {
+		return fmt.Errorf("svc: checkpoint spec hash %.12s does not match journaled spec %.12s", ck.SpecHash, specHash)
+	}
+	if v := buildinfo.Get().Version; ck.CodeVersion != v {
+		return fmt.Errorf("svc: checkpoint written by code version %q, running %q", ck.CodeVersion, v)
+	}
+	if ck.ShardCount != spec.shards() {
+		return fmt.Errorf("svc: checkpoint has %d shards, spec wants %d", ck.ShardCount, spec.shards())
+	}
+	if ck.DoneCount() > 0 && ck.CohortDevices != cohort.Devices {
+		return fmt.Errorf("svc: checkpoint cohort is %d devices, spec wants %d", ck.CohortDevices, cohort.Devices)
+	}
+	return nil
+}
+
+// admitRecovered registers a recovered job under its original ID and
+// starts it. Returns false when shutdown has already begun.
+func (m *Manager) admitRecovered(id string, spec JobSpec, devices int, hash string, ck *fleet.Checkpoint) bool {
+	job := newJob(id, spec, devices, time.Now())
+	job.specHash = hash
+	job.ckpt = ck
+	if n := ck.DoneCount(); n > 0 {
+		done := make(map[int]int, n)
+		for _, i := range ck.DoneShards() {
+			lo, hi := fleet.ShardRange(devices, i, job.shards)
+			done[i] = hi - lo
+		}
+		job.markResumed(done, len(ck.Failed))
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return false
+	}
+	// Keep the ID sequence ahead of every recovered ID so new submissions
+	// cannot collide with a journaled job.
+	var n int
+	if _, err := fmt.Sscanf(id, "job-%d", &n); err == nil && n > m.seq {
+		m.seq = n
+	}
+	jctx, cancel := context.WithCancel(m.ctx)
+	job.cancel = cancel
+	m.jobs[id] = job
+	m.order = append(m.order, id)
+	m.wg.Add(1)
+	m.mu.Unlock()
+
+	m.metrics.inc(m.metrics.submitted)
+	m.logger.Info("job recovered",
+		"job", id, "label", spec.Label, "devices", devices,
+		"shards", job.shards, "resumed_shards", ck.DoneCount())
+	go m.runJob(jctx, job)
+	return true
 }
 
 // Job looks a job up by ID.
@@ -291,6 +486,7 @@ func (m *Manager) runJob(ctx context.Context, job *Job) {
 		defer func() { <-m.sem }()
 	case <-ctx.Done():
 		job.finish(nil, ctx.Err(), time.Now())
+		m.cleanupState(job, jlog)
 		m.finalize(job, 0)
 		return
 	}
@@ -298,11 +494,25 @@ func (m *Manager) runJob(ctx context.Context, job *Job) {
 	m.metrics.setGauge(m.metrics.running, float64(len(m.sem)))
 	jlog.Info("job running", "shards", job.shards, "devices", job.devices)
 
+	// Every dispatch goes through the retry layer: transient worker
+	// failures re-run in place (byte-identical — RunShard is pure in
+	// (spec, index)), and only a permanent error or an exhausted attempt
+	// budget dooms the campaign.
+	runner := RetryRunner{
+		Inner:  m.runner,
+		Policy: m.retry,
+		OnRetry: func(index, attempt int, class ErrorClass, err error) {
+			job.noteRetry()
+			m.metrics.noteRetry(class)
+		},
+	}
 	n := job.shards
-	shards := make([]*fleet.Shard, n)
 	errs := make([]error, n)
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
+		if job.ckpt.Done(i) {
+			continue // restored from the checkpoint; already merged
+		}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
@@ -312,7 +522,13 @@ func (m *Manager) runJob(ctx context.Context, job *Job) {
 				}
 			}
 			dispatchStart := job.sinceStart()
-			res, err := m.runner.RunShard(ctx, job.spec, i, progress)
+			res, err := runner.RunShard(ctx, job.spec, i, progress)
+			if err == nil {
+				// Merge in completion order, before the shard counts as
+				// finished — a checkpoint never claims a shard it hasn't
+				// folded in.
+				err = m.foldShard(job, res.Shard)
+			}
 			if err != nil {
 				errs[i] = err
 				if ctx.Err() == nil {
@@ -324,7 +540,6 @@ func (m *Manager) runJob(ctx context.Context, job *Job) {
 				return
 			}
 			shard := res.Shard
-			shards[i] = shard
 			job.recordShard(i, res, dispatchStart, job.sinceStart())
 			progress(shardDevices(shard))
 			job.shardFinished(len(shard.Failed))
@@ -334,15 +549,33 @@ func (m *Manager) runJob(ctx context.Context, job *Job) {
 	wg.Wait()
 	job.recordStage(StageRun, job.sinceStart().Seconds())
 
+	// Classify the fan-out's outcome. Siblings of a failed shard return
+	// context.Canceled from the prompt-stop cancel above; joining those
+	// with the real failure would make finish() misread a failed job as
+	// cancelled, so cancellations only win when nothing actually failed.
+	var failures, cancels []error
+	for _, e := range errs {
+		switch {
+		case e == nil:
+		case errors.Is(e, context.Canceled):
+			cancels = append(cancels, e)
+		default:
+			failures = append(failures, e)
+		}
+	}
+	err := errors.Join(failures...)
+	if err == nil && len(cancels) > 0 {
+		err = cancels[0]
+	}
 	var result *fleet.Result
-	err := errors.Join(errs...)
 	if err == nil {
 		mergeStart := job.sinceStart()
-		result, err = fleet.MergeShards(shards)
+		result, err = job.ckpt.Result()
 		mergeEnd := job.sinceStart()
 		job.recordMerge(mergeStart, mergeEnd)
 	}
 	job.finish(result, err, time.Now())
+	m.cleanupState(job, jlog)
 	m.finalize(job, time.Since(job.started).Seconds())
 	p := job.Progress()
 	jlog.Info("job finished",
@@ -356,6 +589,48 @@ func (m *Manager) runJob(ctx context.Context, job *Job) {
 // progress count even when the worker's last throttled report lagged.
 func shardDevices(s *fleet.Shard) int {
 	return s.Acc.Devices() + len(s.Failed)
+}
+
+// foldShard merges one completed shard into the job's checkpoint and,
+// when persistence is on and the cadence says so, writes the checkpoint
+// document out. A write failure is logged but does not fail the shard:
+// the in-memory campaign is still correct, only resumability degrades.
+func (m *Manager) foldShard(job *Job, shard *fleet.Shard) error {
+	job.ckptMu.Lock()
+	defer job.ckptMu.Unlock()
+	if err := job.ckpt.AddShard(shard); err != nil {
+		return err
+	}
+	if m.store == nil {
+		return nil
+	}
+	job.sinceCkpt++
+	if job.sinceCkpt < m.ckptEvery {
+		return nil
+	}
+	if err := m.store.WriteCheckpoint(job.id, job.ckpt); err != nil {
+		m.logger.Warn("checkpoint write failed", "job", job.id, "error", err.Error())
+		return nil
+	}
+	job.sinceCkpt = 0
+	return nil
+}
+
+// cleanupState removes a terminal job's persisted spec and checkpoint —
+// except when shutdown (not the user) cancelled it: a drained job's
+// journal survives so the next daemon boot resumes it where the
+// checkpoint left off.
+func (m *Manager) cleanupState(job *Job, jlog *slog.Logger) {
+	if m.store == nil {
+		return
+	}
+	if job.Progress().State == StateCancelled && !job.userCancelled() {
+		jlog.Info("job state kept for resume", "dir", m.store.Dir())
+		return
+	}
+	if err := m.store.Remove(job.id); err != nil {
+		jlog.Warn("removing job state failed", "error", err.Error())
+	}
 }
 
 // finalize updates terminal-state metrics.

@@ -1,0 +1,258 @@
+// Shard retry/re-dispatch: the fault-tolerance layer between the job
+// manager and any Runner. Because RunShard is a pure function of
+// (spec, index) — per-device seeds derive from the global device index,
+// and the shard accumulator is integral — a retried shard is
+// byte-identical to the attempt that failed, so re-dispatching after a
+// worker crash cannot change a single output byte (DESIGN.md §14).
+//
+// Not every failure deserves a retry: a spec that cannot build a cohort
+// will fail the same way on every attempt, so the classifier separates
+// permanent errors (fail fast) from transient ones (worker death,
+// timeouts, corrupt shard documents — re-dispatch with capped
+// exponential backoff). Poison shards that keep failing exhaust their
+// attempt budget and surface a structured error listing every attempt.
+package svc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"os/exec"
+	"strings"
+	"time"
+
+	"ccdem/internal/obs"
+)
+
+// ErrorClass buckets shard failures for the retry decision and the
+// svc_shard_retries_total{class} counter family.
+type ErrorClass string
+
+const (
+	// ClassPermanent: deterministic failures (spec validation, cohort
+	// construction) that would recur on every attempt. Never retried.
+	ClassPermanent ErrorClass = "permanent"
+	// ClassWorkerExit: the worker subprocess died — non-zero exit,
+	// kill -9, OOM. The canonical transient failure.
+	ClassWorkerExit ErrorClass = "worker_exit"
+	// ClassCorruptShard: the worker's stdout did not decode to the
+	// expected shard document (truncation, garbage, wrong position,
+	// oversize output). Retried: usually a crash mid-write.
+	ClassCorruptShard ErrorClass = "corrupt_shard"
+	// ClassTimeout: the per-attempt deadline elapsed.
+	ClassTimeout ErrorClass = "timeout"
+	// ClassTransient: everything else (exec failures, I/O errors) —
+	// retried by default, since only validation is provably permanent.
+	ClassTransient ErrorClass = "transient"
+)
+
+// PermanentError marks a shard failure as deterministic: retrying would
+// reproduce it. Runners wrap spec/cohort validation failures with
+// Permanent so the retry layer fails fast instead of burning attempts.
+type PermanentError struct {
+	Err error
+}
+
+func (e *PermanentError) Error() string { return e.Err.Error() }
+func (e *PermanentError) Unwrap() error { return e.Err }
+
+// Permanent wraps err as a PermanentError (nil stays nil).
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &PermanentError{Err: err}
+}
+
+// CorruptShardError reports a worker that ran but produced an unusable
+// shard document.
+type CorruptShardError struct {
+	Index int
+	Err   error
+}
+
+func (e *CorruptShardError) Error() string {
+	return fmt.Sprintf("svc: shard %d worker output: %v", e.Index, e.Err)
+}
+func (e *CorruptShardError) Unwrap() error { return e.Err }
+
+// OversizeOutputError reports a worker whose stdout exceeded the shard
+// document size cap (ProcRunner.MaxOutputBytes).
+type OversizeOutputError struct {
+	Limit int64
+}
+
+func (e *OversizeOutputError) Error() string {
+	return fmt.Sprintf("worker stdout exceeded %d-byte shard document cap", e.Limit)
+}
+
+// ClassifyShardError maps a shard failure to its ErrorClass. Context
+// cancellation is not classified here — the retry loop returns it
+// directly without consuming an attempt.
+func ClassifyShardError(err error) ErrorClass {
+	var perm *PermanentError
+	if errors.As(err, &perm) {
+		return ClassPermanent
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return ClassTimeout
+	}
+	var corrupt *CorruptShardError
+	if errors.As(err, &corrupt) {
+		return ClassCorruptShard
+	}
+	var exit *exec.ExitError
+	if errors.As(err, &exit) {
+		return ClassWorkerExit
+	}
+	return ClassTransient
+}
+
+// shardAttempt records one failed attempt for the structured poison-
+// shard error.
+type shardAttempt struct {
+	Attempt int
+	Class   ErrorClass
+	Err     error
+}
+
+// ShardFailedError is the structured terminal error for a shard that
+// exhausted its attempt budget (or hit a permanent failure): it lists
+// every attempt with its classification. Unwrap exposes the underlying
+// errors so errors.Is/As still see, e.g., an *exec.ExitError.
+type ShardFailedError struct {
+	Index    int
+	Attempts []shardAttempt
+}
+
+func (e *ShardFailedError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "svc: shard %d failed after %d attempt(s):", e.Index, len(e.Attempts))
+	for _, a := range e.Attempts {
+		fmt.Fprintf(&b, " [attempt %d, %s: %v]", a.Attempt, a.Class, a.Err)
+	}
+	return b.String()
+}
+
+func (e *ShardFailedError) Unwrap() []error {
+	errs := make([]error, len(e.Attempts))
+	for i, a := range e.Attempts {
+		errs[i] = a.Err
+	}
+	return errs
+}
+
+// RetryPolicy bounds the re-dispatch loop.
+type RetryPolicy struct {
+	// MaxAttempts is the total attempt budget per shard (first try
+	// included). <=0 means the default of 3.
+	MaxAttempts int
+	// BaseBackoff is the sleep before the first retry; each subsequent
+	// retry doubles it, capped at MaxBackoff. <=0 means 200ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential backoff. <=0 means 5s.
+	MaxBackoff time.Duration
+	// AttemptTimeout, when >0, bounds each individual attempt with a
+	// per-attempt deadline; the elapsed attempt classifies as timeout
+	// and is retried (the parent context still bounds the whole shard).
+	AttemptTimeout time.Duration
+}
+
+func (p RetryPolicy) maxAttempts() int {
+	if p.MaxAttempts <= 0 {
+		return 3
+	}
+	return p.MaxAttempts
+}
+
+// Backoff returns the sleep before retry number retry (0-based): base,
+// 2·base, 4·base, ... capped at MaxBackoff.
+func (p RetryPolicy) Backoff(retry int) time.Duration {
+	base := p.BaseBackoff
+	if base <= 0 {
+		base = 200 * time.Millisecond
+	}
+	max := p.MaxBackoff
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	d := base
+	for i := 0; i < retry && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return d
+}
+
+// RetryRunner wraps any Runner with per-shard retry/re-dispatch. A
+// progress callback that restarts from zero on a retried shard is
+// harmless: Job.shardProgress is monotonic per shard.
+type RetryRunner struct {
+	Inner  Runner
+	Policy RetryPolicy
+	// OnRetry, when non-nil, observes each retry decision (metrics,
+	// job counters). Called before the backoff sleep.
+	OnRetry func(index, attempt int, class ErrorClass, err error)
+}
+
+// RunShard implements Runner.
+func (r RetryRunner) RunShard(ctx context.Context, spec JobSpec, index int, progress func(done int)) (ShardResult, error) {
+	logger := LoggerFrom(ctx)
+	start := time.Now()
+	var attempts []shardAttempt
+	var spans []obs.Span
+	for attempt := 1; ; attempt++ {
+		attemptStart := time.Since(start)
+		res, err := r.runAttempt(ctx, spec, index, progress)
+		if err == nil {
+			// Failed attempts show up on the job trace as daemon-side
+			// "retry" spans alongside the successful dispatch lane.
+			res.AttemptSpans = append(spans, res.AttemptSpans...)
+			return res, nil
+		}
+		// Parent cancellation is not a shard failure: stop immediately
+		// and report it undecorated so job-state classification works.
+		if ctx.Err() != nil {
+			return ShardResult{}, ctx.Err()
+		}
+		class := ClassifyShardError(err)
+		attempts = append(attempts, shardAttempt{Attempt: attempt, Class: class, Err: err})
+		spans = append(spans, obs.Span{
+			Name:   fmt.Sprintf("retry %s", class),
+			Worker: index,
+			Start:  attemptStart,
+			End:    time.Since(start),
+		})
+		if class == ClassPermanent || attempt >= r.Policy.maxAttempts() {
+			return ShardResult{}, &ShardFailedError{Index: index, Attempts: attempts}
+		}
+		backoff := r.Policy.Backoff(attempt - 1)
+		logger.LogAttrs(ctx, slog.LevelWarn, "shard attempt failed; re-dispatching",
+			slog.Int("shard", index),
+			slog.Int("attempt", attempt),
+			slog.Int("max_attempts", r.Policy.maxAttempts()),
+			slog.String("class", string(class)),
+			slog.String("error", err.Error()),
+			obs.DurationSeconds("backoff_s", backoff))
+		if r.OnRetry != nil {
+			r.OnRetry(index, attempt, class, err)
+		}
+		select {
+		case <-ctx.Done():
+			return ShardResult{}, ctx.Err()
+		case <-time.After(backoff):
+		}
+	}
+}
+
+func (r RetryRunner) runAttempt(ctx context.Context, spec JobSpec, index int, progress func(done int)) (ShardResult, error) {
+	if r.Policy.AttemptTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.Policy.AttemptTimeout)
+		defer cancel()
+	}
+	return r.Inner.RunShard(ctx, spec, index, progress)
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"os"
 	"os/exec"
 	"strings"
 	"time"
@@ -19,10 +20,13 @@ import (
 // ShardResult is one shard execution's outcome: the shard document
 // (which carries the worker's own telemetry spans) plus what the runner
 // could observe from outside the run — CPU time consumed by a worker
-// subprocess, zero when unknown (in-process runs).
+// subprocess, zero when unknown (in-process runs), and any daemon-side
+// spans for failed attempts a RetryRunner burned before succeeding
+// (relative to the shard's dispatch).
 type ShardResult struct {
-	Shard *fleet.Shard
-	CPU   time.Duration
+	Shard        *fleet.Shard
+	CPU          time.Duration
+	AttemptSpans []obs.Span
 }
 
 // Runner executes one shard of a campaign and returns its accumulator
@@ -42,7 +46,7 @@ type LocalRunner struct{}
 func (LocalRunner) RunShard(ctx context.Context, spec JobSpec, index int, progress func(done int)) (ShardResult, error) {
 	cohort, pool, err := spec.shardCohort(index)
 	if err != nil {
-		return ShardResult{}, err
+		return ShardResult{}, Permanent(err)
 	}
 	if progress != nil {
 		pool.OnProgress = func(done, total int) { progress(done) }
@@ -67,6 +71,12 @@ const progressPrefix = "ccdem-shard-progress "
 // daemon's memory no matter how its output splits into lines.
 const maxWorkerDiagBytes = 16 * 1024
 
+// maxWorkerOutputBytes is the default cap on a worker's stdout. Shard
+// wire documents are small (sparse histograms, a few profiles); 64 MiB
+// is orders of magnitude above any legitimate document, so hitting it
+// means the worker is misbehaving, not the campaign is large.
+const maxWorkerOutputBytes = 64 << 20
+
 // ProcRunner runs each shard in its own worker subprocess: Exe invoked
 // with Args plus the "index/count" shard position, the JobSpec document
 // on stdin, the shard wire document expected on stdout, and progress,
@@ -79,6 +89,34 @@ type ProcRunner struct {
 	// Args select the worker mode, e.g. ["-shard-worker"]; the shard
 	// position is appended as the final argument.
 	Args []string
+	// MaxOutputBytes caps the worker's stdout; a worker exceeding it is
+	// killed and the shard fails with a CorruptShardError wrapping
+	// OversizeOutputError (retryable — a fresh worker may behave). <=0
+	// means the 64 MiB default.
+	MaxOutputBytes int64
+}
+
+// boundedWriter buffers up to limit bytes; the first write past the
+// limit triggers kill (stopping the producer) and further bytes are
+// discarded without error so exec's stdout copier never stalls.
+type boundedWriter struct {
+	buf        bytes.Buffer
+	limit      int64
+	kill       func()
+	overflowed bool
+}
+
+func (w *boundedWriter) Write(p []byte) (int, error) {
+	if !w.overflowed {
+		if room := w.limit - int64(w.buf.Len()); int64(len(p)) > room {
+			w.overflowed = true
+			w.buf.Write(p[:room])
+			w.kill()
+		} else {
+			w.buf.Write(p)
+		}
+	}
+	return len(p), nil
 }
 
 // RunShard implements Runner.
@@ -86,18 +124,28 @@ func (p ProcRunner) RunShard(ctx context.Context, spec JobSpec, index int, progr
 	// Validate locally first: a malformed spec should fail fast with a
 	// real error, not a worker exit status.
 	if _, _, err := spec.shardCohort(index); err != nil {
-		return ShardResult{}, err
+		return ShardResult{}, Permanent(err)
 	}
 	logger := LoggerFrom(ctx)
 	specDoc, err := json.Marshal(spec)
 	if err != nil {
-		return ShardResult{}, err
+		return ShardResult{}, Permanent(err)
+	}
+	limit := p.MaxOutputBytes
+	if limit <= 0 {
+		limit = maxWorkerOutputBytes
 	}
 	args := append(append([]string{}, p.Args...), fmt.Sprintf("%d/%d", index, spec.shards()))
 	cmd := exec.CommandContext(ctx, p.Exe, args...)
 	cmd.Stdin = bytes.NewReader(specDoc)
-	var stdout bytes.Buffer
-	cmd.Stdout = &stdout
+	// exec's stdout copier starts after Start has set cmd.Process, so the
+	// kill closure below observes it race-free.
+	stdout := &boundedWriter{limit: limit, kill: func() {
+		if proc := cmd.Process; proc != nil {
+			proc.Kill()
+		}
+	}}
+	cmd.Stdout = stdout
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
 		return ShardResult{}, err
@@ -147,23 +195,29 @@ func (p ProcRunner) RunShard(ctx context.Context, spec JobSpec, index int, progr
 		if ctx.Err() != nil {
 			return ShardResult{}, ctx.Err()
 		}
+		if stdout.overflowed {
+			return ShardResult{}, &CorruptShardError{Index: index, Err: &OversizeOutputError{Limit: limit}}
+		}
 		msg := strings.TrimSpace(diag.String())
 		if msg != "" {
 			return ShardResult{}, fmt.Errorf("svc: shard %d worker: %w: %s", index, err, msg)
 		}
 		return ShardResult{}, fmt.Errorf("svc: shard %d worker: %w", index, err)
 	}
+	if stdout.overflowed {
+		return ShardResult{}, &CorruptShardError{Index: index, Err: &OversizeOutputError{Limit: limit}}
+	}
 	var cpu time.Duration
 	if st := cmd.ProcessState; st != nil {
 		cpu = st.UserTime() + st.SystemTime()
 	}
-	shard, err := fleet.DecodeShard(&stdout)
+	shard, err := fleet.DecodeShard(&stdout.buf)
 	if err != nil {
-		return ShardResult{}, fmt.Errorf("svc: shard %d worker output: %w", index, err)
+		return ShardResult{}, &CorruptShardError{Index: index, Err: err}
 	}
 	if shard.Index != index || shard.Count != spec.shards() {
-		return ShardResult{}, fmt.Errorf("svc: shard worker returned shard %d/%d, want %d/%d",
-			shard.Index, shard.Count, index, spec.shards())
+		return ShardResult{}, &CorruptShardError{Index: index, Err: fmt.Errorf("worker returned shard %d/%d, want %d/%d",
+			shard.Index, shard.Count, index, spec.shards())}
 	}
 	return ShardResult{Shard: shard, CPU: cpu}, nil
 }
@@ -194,12 +248,27 @@ func RunWorker(ctx context.Context, shardArg string, stdin io.Reader, stdout, st
 	if err != nil {
 		return err
 	}
+	// Deterministic crash injection (chaos tests): a malformed plan fails
+	// the worker fast — a chaos harness with a typo must not silently run
+	// a clean campaign.
+	plan, err := parseCrashPlan(os.Getenv(CrashEnv))
+	if err != nil {
+		return err
+	}
+	if plan != nil && (plan.shard != index || !plan.armed()) {
+		plan = nil
+	}
 	logger.LogAttrs(ctx, slog.LevelInfo, "shard worker starting",
 		slog.Int("shard", index), slog.Int("of", count), slog.Int("cohort_devices", cohort.Devices))
 	// Throttled progress: one line per ~200ms of wall clock plus the
 	// final count, so a million-device shard doesn't drown stderr.
 	var last time.Time
 	pool.OnProgress = func(done, total int) {
+		// The pool serializes OnProgress calls, so the crash fires at an
+		// exact, reproducible completed-device count.
+		if plan != nil && plan.mode != crashTruncate && done >= plan.after {
+			plan.fire()
+		}
 		now := time.Now()
 		if done != total && now.Sub(last) < 200*time.Millisecond {
 			return
@@ -229,5 +298,20 @@ func RunWorker(ctx context.Context, shardArg string, stdin io.Reader, stdout, st
 		slog.Int("devices", shard.Acc.Devices()+len(shard.Failed)),
 		slog.Int("failed_devices", len(shard.Failed)),
 		obs.DurationSeconds("run_s", runEnd))
+	if plan != nil && plan.mode == crashTruncate {
+		// Simulate a worker dying mid-write: emit only a prefix of the
+		// shard document and report success, so the parent exercises its
+		// corrupt-document path rather than its exit-status path.
+		var doc bytes.Buffer
+		if err := shard.Encode(&doc); err != nil {
+			return err
+		}
+		n := plan.truncate
+		if n > doc.Len() {
+			n = doc.Len()
+		}
+		_, err := stdout.Write(doc.Bytes()[:n])
+		return err
+	}
 	return shard.Encode(stdout)
 }

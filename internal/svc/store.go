@@ -1,0 +1,175 @@
+// Crash-safe job persistence: the daemon's -state-dir. Two files per
+// job — "<id>.spec.json", the submitted JobSpec document journaled
+// verbatim at admission, and "<id>.ckpt", the fleet checkpoint document
+// rewritten as shards complete. Every write is atomic (temp file in the
+// same directory, fsync, rename, directory fsync), so a kill -9 at any
+// instant leaves either the previous complete document or the new one,
+// never a torn write. The spec journal's exact bytes are the identity
+// the checkpoint pins via SHA-256 (DESIGN.md §14).
+package svc
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"ccdem/internal/fleet"
+)
+
+const (
+	specSuffix = ".spec.json"
+	ckptSuffix = ".ckpt"
+)
+
+// Store is a directory-backed journal of submitted job specs and their
+// campaign checkpoints. Methods are safe for concurrent use on distinct
+// job IDs; the Manager serializes per-job access.
+type Store struct {
+	dir string
+}
+
+// OpenStore opens (creating if needed) a state directory. Stale
+// ".tmp-*" files — atomic writes interrupted by a crash before their
+// rename — are swept on open: they are incomplete by construction and
+// nothing else ever removes them.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("svc: state dir: %w", err)
+	}
+	stale, err := filepath.Glob(filepath.Join(dir, "*.tmp-*"))
+	if err != nil {
+		return nil, fmt.Errorf("svc: state dir: %w", err)
+	}
+	for _, p := range stale {
+		if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+			return nil, fmt.Errorf("svc: sweeping stale temp file: %w", err)
+		}
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// SpecHash is the job identity a checkpoint pins: SHA-256 over the
+// journaled spec document's exact bytes.
+func SpecHash(doc []byte) string {
+	sum := sha256.Sum256(doc)
+	return hex.EncodeToString(sum[:])
+}
+
+func (s *Store) specPath(id string) string { return filepath.Join(s.dir, id+specSuffix) }
+func (s *Store) ckptPath(id string) string { return filepath.Join(s.dir, id+ckptSuffix) }
+
+// JournalSpec persists a job's spec document at admission.
+func (s *Store) JournalSpec(id string, doc []byte) error {
+	if err := writeFileAtomic(s.specPath(id), doc); err != nil {
+		return fmt.Errorf("svc: journaling job %s spec: %w", id, err)
+	}
+	return nil
+}
+
+// LoadSpec reads a journaled spec document back.
+func (s *Store) LoadSpec(id string) ([]byte, error) {
+	doc, err := os.ReadFile(s.specPath(id))
+	if err != nil {
+		return nil, fmt.Errorf("svc: loading job %s spec: %w", id, err)
+	}
+	return doc, nil
+}
+
+// WriteCheckpoint atomically replaces a job's checkpoint document.
+func (s *Store) WriteCheckpoint(id string, ck *fleet.Checkpoint) error {
+	var buf bytes.Buffer
+	if err := ck.Encode(&buf); err != nil {
+		return fmt.Errorf("svc: encoding job %s checkpoint: %w", id, err)
+	}
+	if err := writeFileAtomic(s.ckptPath(id), buf.Bytes()); err != nil {
+		return fmt.Errorf("svc: writing job %s checkpoint: %w", id, err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads and validates a job's checkpoint. A missing file
+// returns (nil, nil): no checkpoint simply means no completed shards
+// were persisted.
+func (s *Store) LoadCheckpoint(id string) (*fleet.Checkpoint, error) {
+	f, err := os.Open(s.ckptPath(id))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("svc: loading job %s checkpoint: %w", id, err)
+	}
+	defer f.Close()
+	ck, err := fleet.DecodeCheckpoint(f)
+	if err != nil {
+		return nil, fmt.Errorf("svc: job %s checkpoint: %w", id, err)
+	}
+	return ck, nil
+}
+
+// Remove deletes a job's persisted state (spec journal and checkpoint).
+func (s *Store) Remove(id string) error {
+	var firstErr error
+	for _, p := range []string{s.ckptPath(id), s.specPath(id)} {
+		if err := os.Remove(p); err != nil && !os.IsNotExist(err) && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// List returns the IDs of every journaled job, sorted.
+func (s *Store) List() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("svc: listing state dir: %w", err)
+	}
+	var ids []string
+	for _, e := range entries {
+		if id, ok := strings.CutSuffix(e.Name(), specSuffix); ok && !e.IsDir() {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// writeFileAtomic writes data so that a crash at any point leaves either
+// the old file or the new one: temp file in the target's directory,
+// write, fsync, close, rename over the target, fsync the directory so
+// the rename itself is durable.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
