@@ -21,7 +21,9 @@ race:
 	$(GO) run ./cmd/ccdem-fleet -devices 12 -duration 5 -faults 1 -hardened -workers 4 > /dev/null
 
 # Short fuzz pass over every parser boundary (decoders must never panic
-# on hostile input; raise FUZZTIME for a real session).
+# on hostile input; raise FUZZTIME for a real session) and the tile/naive
+# differential fuzzers (the optimized pixel pipeline must stay
+# byte-identical to its brute-force oracle).
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -fuzz FuzzReadParams -fuzztime $(FUZZTIME) ./internal/app
@@ -29,6 +31,8 @@ fuzz:
 	$(GO) test -fuzz FuzzReadPPM -fuzztime $(FUZZTIME) ./internal/framebuffer
 	$(GO) test -fuzz FuzzGridCompare -fuzztime $(FUZZTIME) ./internal/framebuffer
 	$(GO) test -fuzz FuzzAccumulatorCodec -fuzztime $(FUZZTIME) ./internal/fleet
+	$(GO) test -fuzz FuzzTileCompose -fuzztime $(FUZZTIME) ./internal/surface
+	$(GO) test -fuzz FuzzTileCompare -fuzztime $(FUZZTIME) ./internal/core
 
 # Benchmark-regression gate over the pinned hot-path suite (see
 # cmd/ccdem-bench): medians of repeated runs vs results/bench_baseline.json.

@@ -119,6 +119,16 @@ type Config struct {
 	// MeterEarlyExit stops grid comparison at the first differing sample
 	// (extension; classification unchanged, metering cost reduced).
 	MeterEarlyExit bool
+	// NaivePixels forces the pre-tile brute-force pixel pipeline:
+	// full-rect composition blits and full-lattice grid comparison on
+	// every frame. The default (false) runs the tile-tracked pipeline —
+	// damage-only composition with per-tile content signatures, direct
+	// scanout of a sole full-screen surface, and tile-delta grid
+	// comparison — which produces bit-identical framebuffer contents,
+	// meter verdicts, decision traces and statistics. The naive path is
+	// kept as the differential-testing oracle, mirroring the lean-mode
+	// pattern of the negative trace/sample intervals.
+	NaivePixels bool
 	// DownHysteresis requires this many consecutive down indications
 	// before the governor lowers the rate (extension; 0 = paper's
 	// behaviour).
@@ -317,6 +327,11 @@ func (d *Device) init(cfg Config, reuse bool) error {
 	} else {
 		d.mgr = surface.NewManager(d.eng, cfg.Width, cfg.Height)
 	}
+	if cfg.NaivePixels {
+		d.mgr.SetComposeMode(surface.ComposeNaive)
+	} else {
+		d.mgr.SetComposeMode(surface.ComposeTiles)
+	}
 	if reuse {
 		if err := d.model.Reset(*cfg.PowerParams, d.panel.Rate(), cfg.Brightness); err != nil {
 			return err
@@ -370,6 +385,7 @@ func (d *Device) init(cfg Config, reuse bool) error {
 		OnCompare: onCompare,
 		EarlyExit: cfg.MeterEarlyExit,
 		Recorder:  cfg.Recorder,
+		Tiles:     !cfg.NaivePixels,
 	}
 	if cfg.Faults != nil {
 		meterCfg.Fault = cfg.Faults.MeterHook

@@ -30,14 +30,17 @@ import (
 )
 
 // suiteRegex pins the gated benchmarks: the hot-path kernels (grid sample,
-// pixel diff, fill, meter observe), the event engine (cold-start and
-// steady-state), the whole-device paths (per-op setup and zero-alloc
-// steady state), and the fleet campaign path (streamed throughput and
-// memory footprint — single-op cohorts, cheap enough to gate). Heavier
-// figure-regeneration benchmarks are deliberately excluded — they are too
-// slow for a -benchtime 200ms gate.
+// pixel diff, fill, meter observe), the tile pipeline against its naive
+// oracle (compose and compare, whose naive rows double as the comparison
+// baseline), the event engine (cold-start and steady-state), the
+// whole-device paths (per-op setup and zero-alloc steady state), and the
+// fleet campaign path (streamed throughput and memory footprint —
+// single-op cohorts, cheap enough to gate). Heavier figure-regeneration
+// benchmarks are deliberately excluded — they are too slow for a
+// -benchtime 200ms gate.
 const suiteRegex = `^(BenchmarkGridSample9K|BenchmarkDiffPixelsFullHD|BenchmarkFillSprite|` +
-	`BenchmarkMeterObserve9K|BenchmarkEngineScheduleAndRun|BenchmarkEngineSteadyState|` +
+	`BenchmarkMeterObserve9K|BenchmarkTileCompare|BenchmarkTileCompose|` +
+	`BenchmarkEngineScheduleAndRun|BenchmarkEngineSteadyState|` +
 	`BenchmarkDeviceSimulation|BenchmarkDeviceSteadyState|` +
 	`BenchmarkFleetThroughput|BenchmarkCohortMemory)$`
 
@@ -47,6 +50,7 @@ var suitePackages = []string{
 	"./internal/framebuffer",
 	"./internal/core",
 	"./internal/sim",
+	"./internal/surface",
 }
 
 func main() {

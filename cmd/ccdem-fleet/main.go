@@ -50,6 +50,7 @@ type runConfig struct {
 	samples  int     // metering grid pixels
 	faults   float64 // fault intensity: scales fault.DefaultPlan (0 = off)
 	hardened bool    // enable governor fail-safe hardening
+	naivePix bool    // force the brute-force pixel pipeline (tile oracle)
 	failFast bool    // abort the campaign on the first device failure
 	timeout  time.Duration
 	specPath string
@@ -75,6 +76,7 @@ func main() {
 	flag.IntVar(&c.samples, "samples", 9216, "metering grid pixels")
 	flag.Float64Var(&c.faults, "faults", 0, "fault intensity injected into managed segments: scales the default fault plan (0 = off, 1 = reference chaos mix)")
 	flag.BoolVar(&c.hardened, "hardened", false, "enable governor fail-safe hardening on managed segments")
+	flag.BoolVar(&c.naivePix, "naive-pixels", false, "force the brute-force pixel pipeline (no tile signatures); results are byte-identical to the default tile path — this is the differential-testing oracle")
 	flag.BoolVar(&c.failFast, "fail-fast", false, "abort the campaign on the first device failure instead of aggregating the survivors")
 	flag.DurationVar(&c.timeout, "task-timeout", 0, "wall-clock budget per device simulation; a device exceeding it is reported failed (0 = unlimited)")
 	flag.StringVar(&c.specPath, "spec", "", "cohort specification JSON (see -write-spec for a template); explicit flags override its scalars")
@@ -214,6 +216,7 @@ func run(c runConfig) error {
 		Session:      sim.Time(c.duration) * sim.Second,
 		MeterSamples: c.samples,
 		Hardened:     c.hardened,
+		NaivePixels:  c.naivePix,
 		FailFast:     c.failFast,
 	}
 	if c.faults > 0 {
@@ -267,6 +270,9 @@ func run(c runConfig) error {
 		}
 		if !set["samples"] {
 			cohort.MeterSamples = spec.MeterSamples
+		}
+		if !set["naive-pixels"] {
+			cohort.NaivePixels = spec.NaivePixels
 		}
 		cohort.Pack = spec.Pack
 		cohort.Profiles = spec.Profiles

@@ -49,13 +49,23 @@ var goldenApps = []struct {
 const goldenDuration = 20 * sim.Second
 
 // goldenTrace runs one governed device on the named app and renders its
-// complete decision history as text.
+// complete decision history as text, using the default (tile-tracked)
+// pixel pipeline.
 func goldenTrace(appName string, seed int64) (string, error) {
+	return goldenTraceCfg(appName, seed, false)
+}
+
+// goldenTraceCfg is goldenTrace with the pixel pipeline selectable:
+// naivePixels true runs the brute-force oracle path.
+func goldenTraceCfg(appName string, seed int64, naivePixels bool) (string, error) {
 	p, ok := app.ByName(appName)
 	if !ok {
 		return "", fmt.Errorf("unknown app %q", appName)
 	}
-	dev, err := ccdem.NewDevice(ccdem.Config{Governor: ccdem.GovernorSectionBoost})
+	dev, err := ccdem.NewDevice(ccdem.Config{
+		Governor:    ccdem.GovernorSectionBoost,
+		NaivePixels: naivePixels,
+	})
 	if err != nil {
 		return "", err
 	}
@@ -158,6 +168,34 @@ func TestGoldenTraces(t *testing.T) {
 			t.Errorf("%s: trace differs from %s (decision stream changed; "+
 				"if intentional, refresh with -update-golden)\n%s",
 				a.name, path, firstLineDiff(sequential[i], string(want)))
+		}
+	}
+}
+
+// TestGoldenTracesTileVsNaive runs every golden app under both pixel
+// pipelines — tile signatures with damage-only composition (the default)
+// and the brute-force oracle (NaivePixels) — and diffs the decision-event
+// streams byte for byte. The tile path replaces pixel work with
+// generation tracking and hashes, so this is the end-to-end proof that
+// no governor decision, rate transition or lifetime total moved. The
+// committed golden files additionally pin both paths to the pre-tile
+// decision history (TestGoldenTraces runs the default path against them).
+func TestGoldenTracesTileVsNaive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden traces need full-length runs")
+	}
+	for _, a := range goldenApps {
+		tiles, err := goldenTraceCfg(a.name, a.seed, false)
+		if err != nil {
+			t.Fatalf("%s (tiles): %v", a.name, err)
+		}
+		naive, err := goldenTraceCfg(a.name, a.seed, true)
+		if err != nil {
+			t.Fatalf("%s (naive): %v", a.name, err)
+		}
+		if tiles != naive {
+			t.Errorf("%s: tile-path trace differs from naive oracle\n%s",
+				a.name, firstLineDiff(tiles, naive))
 		}
 	}
 }

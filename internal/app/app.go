@@ -137,11 +137,12 @@ const pacerHz = 60.0
 
 // Model is a running application instance bound to a surface.
 type Model struct {
-	p    Params
-	eng  *sim.Engine
-	srf  *surface.Surface
-	w, h int
-	rng  *rand.Rand
+	p     Params
+	eng   *sim.Engine
+	srf   *surface.Surface
+	w, h  int
+	rng   *rand.Rand // name-seeded; built lazily (only sprite apps draw)
+	saltV uint64     // cached salt(): FNV-1a of the app name
 
 	// Interaction state.
 	touching  bool
@@ -184,9 +185,20 @@ func New(p Params) (*Model, error) {
 	h.Write([]byte(p.Name))
 	return &Model{
 		p:        p,
-		rng:      rand.New(rand.NewSource(int64(h.Sum64()))),
+		saltV:    h.Sum64(),
 		intended: trace.NewRateCounter(sim.Second),
 	}, nil
+}
+
+// ensureRNG builds the name-seeded rng on first use. Seeding a Go rand
+// source costs ~600 multiplies, so non-sprite apps — which never draw —
+// skip it entirely; the seed is unchanged, so draws are identical to the
+// previously eager construction.
+func (m *Model) ensureRNG() *rand.Rand {
+	if m.rng == nil {
+		m.rng = rand.New(rand.NewSource(int64(m.saltV)))
+	}
+	return m.rng
 }
 
 // Params returns the model's static description.

@@ -1,0 +1,55 @@
+package app
+
+import (
+	"sync"
+
+	"ccdem/internal/framebuffer"
+)
+
+// Install-screen memoization. An app's initial screen is a pure function
+// of (name, paint style, surface width, surface height): the background
+// and colors derive from the style and the name salt, sprite positions
+// from the name-seeded rng, and scroll position / content sequence start
+// at zero. Fleet campaigns install the same catalog apps millions of
+// times, so the painted screen is materialized once per key and later
+// installs alias it copy-on-write (Buffer.ShareFrom) — an install writes
+// no pixels at all until the app's first real paint.
+//
+// Memoized buffers are written once under the lock and only ever read
+// afterwards, which makes the concurrent ShareFrom aliasing by fleet
+// workers race-free.
+
+type initKey struct {
+	name  string
+	style PaintStyle
+	w, h  int
+}
+
+// initScreenCap bounds the cache: the 30-app catalog times a handful of
+// screen geometries fits comfortably; beyond the cap new keys simply
+// paint from scratch (no eviction, so cached pointers stay immutable).
+const initScreenCap = 128
+
+var (
+	initScreenMu sync.Mutex
+	initScreens  = make(map[initKey]*framebuffer.Buffer)
+)
+
+// lookupInitScreen returns the memoized screen for key, or nil.
+func lookupInitScreen(key initKey) *framebuffer.Buffer {
+	initScreenMu.Lock()
+	memo := initScreens[key]
+	initScreenMu.Unlock()
+	return memo
+}
+
+// storeInitScreen snapshots a freshly painted screen for key.
+func storeInitScreen(key initKey, buf *framebuffer.Buffer) {
+	snapshot := framebuffer.New(buf.Width(), buf.Height())
+	snapshot.CopyFrom(buf)
+	initScreenMu.Lock()
+	if _, dup := initScreens[key]; !dup && len(initScreens) < initScreenCap {
+		initScreens[key] = snapshot
+	}
+	initScreenMu.Unlock()
+}

@@ -69,31 +69,57 @@ func (m *Model) bgColor() framebuffer.Color {
 }
 
 // initPaint draws the app's initial screen into its surface buffer before
-// the first frame latches.
+// the first frame latches. The screen is a pure function of (name, style,
+// width, height) — backgrounds and colors derive from style and salt,
+// sprite positions from the name-seeded rng, and scroll/content state
+// starts at zero — so identical installs share one memoized screen via
+// copy-on-write (see initcache.go) instead of repainting ~1 MB of pixels.
 func (m *Model) initPaint() {
 	buf := m.srf.Buffer()
+	if m.p.Style == StyleSprites {
+		// Sprite kinematic state always initializes from the rng — memo
+		// hit or not — so every install performs identical draws.
+		sz := m.spriteSz()
+		rng := m.ensureRNG()
+		m.sprites = make([]spriteState, spriteCount)
+		for i := range m.sprites {
+			m.sprites[i] = spriteState{
+				x:  rng.Intn(max(m.w-sz, 1)),
+				y:  rng.Intn(max(m.h-sz, 1)),
+				dx: 12 + rng.Intn(10),
+				dy: 12 + rng.Intn(10),
+			}
+			if rng.Intn(2) == 0 {
+				m.sprites[i].dx = -m.sprites[i].dx
+			}
+			if rng.Intn(2) == 0 {
+				m.sprites[i].dy = -m.sprites[i].dy
+			}
+		}
+	}
+	key := initKey{name: m.p.Name, style: m.p.Style, w: m.w, h: m.h}
+	if memo := lookupInitScreen(key); memo != nil {
+		buf.ShareFrom(memo)
+		if m.p.Style == StyleSprites {
+			// paintSprites did not run: record the drawn positions it
+			// would have, so the first content paint erases them.
+			m.prevSprites = append(m.prevSprites[:0], m.sprites...)
+		}
+		return
+	}
+	m.paintInitial(buf)
+	storeInitScreen(key, buf)
+}
+
+// paintInitial renders the initial screen from scratch (the memo-miss
+// path, and the oracle the memo is differentially tested against).
+func (m *Model) paintInitial(buf *framebuffer.Buffer) {
 	buf.FillAll(m.bgColor())
 	switch m.p.Style {
 	case StyleFeed:
 		buf.Fill(framebuffer.R(0, 0, m.w, m.headerPx()), hashColor(0, m.salt()))
 		m.paintFeedRows(buf, framebuffer.R(0, m.headerPx(), m.w, m.h))
 	case StyleSprites:
-		sz := m.spriteSz()
-		m.sprites = make([]spriteState, spriteCount)
-		for i := range m.sprites {
-			m.sprites[i] = spriteState{
-				x:  m.rng.Intn(max(m.w-sz, 1)),
-				y:  m.rng.Intn(max(m.h-sz, 1)),
-				dx: 12 + m.rng.Intn(10),
-				dy: 12 + m.rng.Intn(10),
-			}
-			if m.rng.Intn(2) == 0 {
-				m.sprites[i].dx = -m.sprites[i].dx
-			}
-			if m.rng.Intn(2) == 0 {
-				m.sprites[i].dy = -m.sprites[i].dy
-			}
-		}
 		m.paintSprites(buf)
 	case StyleVideo:
 		m.paintVideo(buf)
@@ -103,13 +129,7 @@ func (m *Model) initPaint() {
 	}
 }
 
-func (m *Model) salt() uint64 {
-	h := uint64(0xcbf29ce484222325)
-	for _, c := range []byte(m.p.Name) {
-		h = (h ^ uint64(c)) * 0x100000001b3
-	}
-	return h
-}
+func (m *Model) salt() uint64 { return m.saltV }
 
 // advanceContent moves the app's content state forward by one step.
 func (m *Model) advanceContent() {

@@ -51,8 +51,16 @@ type MeterConfig struct {
 	// it is compared against the committed previous samples (prev) —
 	// the fault-injection hook for corrupted samples and stale buffers
 	// (fault.Injector.MeterHook). primed reports whether prev holds a
-	// committed frame.
+	// committed frame. A fault hook forces the naive comparison path
+	// (the tile delta path has no per-frame full lattice to corrupt).
 	Fault func(t sim.Time, cur, prev []framebuffer.Color, primed bool)
+	// Tiles enables the tile-delta comparison path: when the observed
+	// buffer tracks tiles (framebuffer.EnableTiles), only lattice points
+	// inside tiles written since the previous observation are compared.
+	// Verdicts, first-diff indices and all cost/event accounting are
+	// identical to the naive full-lattice path; buffers without tile
+	// tracking fall back to it transparently.
+	Tiles bool
 }
 
 // Meter measures the content rate: the number of frames per second whose
@@ -68,6 +76,17 @@ type Meter struct {
 	samples int      // cached cfg.Grid.Samples()
 	fullDur sim.Time // cached cfg.Cost.Duration(samples): the full-sweep cost
 
+	// Tile-delta comparison state (cfg.Tiles without a fault hook):
+	// committed holds the lattice values of the last observed frame,
+	// updated in place by DeltaCompare; lastBuf/lastGen identify the
+	// buffer and generation of the previous observation.
+	tiles     bool
+	tl        *framebuffer.TileLattice
+	committed []framebuffer.Color
+	tprimed   bool
+	lastBuf   *framebuffer.Buffer
+	lastGen   uint64
+
 	totalFrames  uint64
 	totalContent uint64
 	compareTime  sim.Time // accumulated modeled CPU time
@@ -82,14 +101,33 @@ func NewMeter(cfg MeterConfig) (*Meter, error) {
 	if cfg.Window <= 0 {
 		return nil, fmt.Errorf("core: non-positive meter window %v", cfg.Window)
 	}
-	return &Meter{
+	m := &Meter{
 		cfg:     cfg,
 		db:      framebuffer.NewDoubleBuffer(cfg.Grid.Samples()),
 		frames:  trace.NewRateCounter(cfg.Window),
 		content: trace.NewRateCounter(cfg.Window),
 		samples: cfg.Grid.Samples(),
 		fullDur: cfg.Cost.Duration(cfg.Grid.Samples()),
-	}, nil
+	}
+	m.initTiles(cfg, false)
+	return m, nil
+}
+
+// initTiles (re)builds the tile-delta state for cfg. sameGrid reports
+// whether the previous lattice matches cfg.Grid, allowing reuse.
+func (m *Meter) initTiles(cfg MeterConfig, sameGrid bool) {
+	m.tiles = cfg.Tiles && cfg.Fault == nil
+	m.tprimed = false
+	m.lastBuf = nil
+	m.lastGen = 0
+	if !m.tiles {
+		return
+	}
+	if sameGrid && m.tl != nil {
+		return
+	}
+	m.tl = framebuffer.NewTileLattice(cfg.Grid)
+	m.committed = make([]framebuffer.Color, cfg.Grid.Samples())
 }
 
 // Reset reconfigures the meter in place for a new run: rate counters,
@@ -116,6 +154,11 @@ func (m *Meter) Reset(cfg MeterConfig) error {
 		m.frames = trace.NewRateCounter(cfg.Window)
 		m.content = trace.NewRateCounter(cfg.Window)
 	}
+	ow, oh := m.cfg.Grid.ScreenDims()
+	nw, nh := cfg.Grid.ScreenDims()
+	oc, orr := m.cfg.Grid.Dims()
+	nc, nr := cfg.Grid.Dims()
+	m.initTiles(cfg, ow == nw && oh == nh && oc == nc && orr == nr)
 	m.cfg = cfg
 	m.samples = cfg.Grid.Samples()
 	m.fullDur = cfg.Cost.Duration(cfg.Grid.Samples())
@@ -129,6 +172,15 @@ func (m *Meter) Reset(cfg MeterConfig) error {
 // whether the frame carried new content. The very first frame observed is
 // always content (there is nothing to compare against).
 func (m *Meter) ObserveFrame(t sim.Time, fb *framebuffer.Buffer) bool {
+	if m.tiles && fb.TilesEnabled() {
+		return m.observeTiled(t, fb)
+	}
+	return m.observeFull(t, fb)
+}
+
+// observeFull is the naive comparison path: sample the full lattice into
+// the double buffer and compare against the committed previous frame.
+func (m *Meter) observeFull(t sim.Time, fb *framebuffer.Buffer) bool {
 	m.cfg.Grid.Sample(fb, m.db.Front())
 	if m.cfg.Fault != nil {
 		m.cfg.Fault(t, m.db.Front(), m.db.Back(), m.db.Primed())
@@ -143,6 +195,65 @@ func (m *Meter) ObserveFrame(t sim.Time, fb *framebuffer.Buffer) bool {
 			comparedPx = idx + 1
 		}
 	}
+	// The double buffer swap replaces the copy a single-buffer design
+	// would need (paper §3.1): commit the current samples as the new
+	// "previous frame" only when they actually changed; for a redundant
+	// frame front == back so the commit is skipped entirely.
+	if isContent {
+		m.db.Commit()
+	}
+	return m.finishObserve(t, isContent, comparedPx)
+}
+
+// observeTiled is the tile-delta comparison path. Only lattice points in
+// tiles written since the last observation are compared; the verdict and
+// first-diff index are exactly those of a full scan because an unwritten
+// tile is bitwise unchanged and committed holds its last observed values
+// (see framebuffer.TileLattice.DeltaCompare). Observing a different
+// buffer than last time — the compose-mode demotion from direct scanout
+// — falls back to a full gather and compare for that frame, exactly what
+// the naive path computes.
+func (m *Meter) observeTiled(t sim.Time, fb *framebuffer.Buffer) bool {
+	isContent := true
+	comparedPx := m.samples
+	switch {
+	case !m.tprimed:
+		// First observation: gather the full lattice; always content.
+		m.tl.Prime(fb, m.committed)
+		m.tprimed = true
+	case fb != m.lastBuf:
+		// Buffer identity changed mid-run: full gather and compare
+		// against the committed lattice (the naive verdict).
+		m.cfg.Grid.Sample(fb, m.db.Front())
+		idx := framebuffer.SamplesFirstDiff(m.db.Front(), m.committed)
+		isContent = idx >= 0
+		if m.cfg.EarlyExit && isContent {
+			comparedPx = idx + 1
+		}
+		if isContent {
+			copy(m.committed, m.db.Front())
+		}
+	case fb.Gen() == m.lastGen:
+		// No mutator ran since the last observation: bitwise-identical
+		// framebuffer, the redundant-frame verdict with no pixel reads.
+		// The modeled comparison cost is still the full sweep — the
+		// simulated device performs it even though the simulator skips it.
+		isContent = false
+	default:
+		idx := m.tl.DeltaCompare(fb, m.committed, m.lastGen)
+		isContent = idx >= 0
+		if m.cfg.EarlyExit && isContent {
+			comparedPx = idx + 1
+		}
+	}
+	m.lastBuf = fb
+	m.lastGen = fb.Gen()
+	return m.finishObserve(t, isContent, comparedPx)
+}
+
+// finishObserve applies the cost model, event recording and rate
+// accounting shared by both comparison paths.
+func (m *Meter) finishObserve(t sim.Time, isContent bool, comparedPx int) bool {
 	// The full sweep — every redundant frame, and every content frame
 	// without early exit — reuses the precomputed duration; Duration is a
 	// pure function, so the accounting is unchanged.
@@ -158,14 +269,6 @@ func (m *Meter) ObserveFrame(t sim.Time, fb *framebuffer.Buffer) bool {
 	if m.cfg.OnCompare != nil {
 		m.cfg.OnCompare(dur)
 	}
-	// The double buffer swap replaces the copy a single-buffer design
-	// would need (paper §3.1): commit the current samples as the new
-	// "previous frame" only when they actually changed; for a redundant
-	// frame front == back so the commit is skipped entirely.
-	if isContent {
-		m.db.Commit()
-	}
-
 	m.totalFrames++
 	m.frames.Note(t)
 	if isContent {

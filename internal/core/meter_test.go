@@ -196,6 +196,75 @@ func BenchmarkMeterObserve9K(b *testing.B) {
 	}
 }
 
+// BenchmarkTileCompare measures one metered frame observation — small
+// real damage on a 720×1280 screen against the 9K grid — on the
+// tile-delta path and on the naive full-lattice path it replaced. The
+// naive row is the comparison baseline: the delta path reads only the
+// lattice points of written tiles instead of gathering all 9216 every
+// frame.
+func BenchmarkTileCompare(b *testing.B) {
+	for _, bc := range []struct {
+		name  string
+		tiles bool
+	}{{"tiles", true}, {"naive", false}} {
+		b.Run(bc.name, func(b *testing.B) {
+			m, err := NewMeter(MeterConfig{
+				Grid:   framebuffer.GridForSamples(720, 1280, 9216),
+				Window: sim.Second,
+				Cost:   power.DefaultCompareCost(),
+				Tiles:  bc.tiles,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			fb := framebuffer.New(720, 1280)
+			fb.EnableTiles()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				fb.Fill(framebuffer.Rect{X0: i % 688, Y0: i % 1248, X1: i%688 + 32, Y1: i%1248 + 32},
+					framebuffer.Color(i))
+				m.ObserveFrame(sim.Time(i+1)*sim.Hz(60), fb)
+			}
+		})
+	}
+}
+
+// TestMeterObserveTiledZeroAlloc pins the tile-delta path's allocation
+// contract, mirroring TestMeterObserveFrameZeroAlloc for the naive path:
+// once primed, the delta observation — generation check, dirty-tile
+// lattice compare, accounting — must not allocate, across content frames,
+// redundant frames, and the no-mutation generation-equal shortcut.
+func TestMeterObserveTiledZeroAlloc(t *testing.T) {
+	m, err := NewMeter(MeterConfig{
+		Grid:   framebuffer.GridForSamples(720, 1280, 9216),
+		Window: sim.Second,
+		Cost:   power.DefaultCompareCost(),
+		Tiles:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb := framebuffer.New(720, 1280)
+	fb.EnableTiles()
+	frame := 0
+	observe := func() {
+		frame++
+		switch frame % 3 {
+		case 0: // content frame: real damage in one tile
+			fb.Set(frame%720, (frame/720)%1280, framebuffer.Color(frame))
+		case 1: // redundant frame with a mutator run (identical bytes)
+			fb.Fill(framebuffer.Rect{X0: 0, Y0: 0, X1: 8, Y1: 8}, fb.At(0, 0))
+		} // case 2: no mutation at all — the generation-equal shortcut
+		m.ObserveFrame(sim.Time(frame)*sim.Hz(60), fb)
+	}
+	for i := 0; i < 200; i++ { // prime and grow rings past one window
+		observe()
+	}
+	if allocs := testing.AllocsPerRun(500, observe); allocs != 0 {
+		t.Errorf("steady-state tiled ObserveFrame allocates %.1f per frame, want 0", allocs)
+	}
+}
+
 // TestMeterObserveFrameZeroAlloc pins the frame path's allocation contract:
 // once the double buffer is primed and the rate-counter rings have grown to
 // window occupancy, ObserveFrame — sample, compare, classify, account —

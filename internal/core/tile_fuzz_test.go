@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"ccdem/internal/framebuffer"
+	"ccdem/internal/power"
+	"ccdem/internal/sim"
+)
+
+// fuzzMeterRect draws a rect roughly within (sometimes beyond) w × h.
+func fuzzMeterRect(rng *rand.Rand, w, h int) framebuffer.Rect {
+	return framebuffer.Rect{
+		X0: rng.Intn(w+20) - 10,
+		Y0: rng.Intn(h+20) - 10,
+		X1: rng.Intn(w+20) - 10,
+		Y1: rng.Intn(h+20) - 10,
+	}
+}
+
+// fuzzMutate applies one random mutation to buf, covering every write
+// path that maintains tile generations.
+func fuzzMutate(rng *rand.Rand, buf, aux *framebuffer.Buffer) {
+	w, h := buf.Width(), buf.Height()
+	switch rng.Intn(5) {
+	case 0:
+		buf.Fill(fuzzMeterRect(rng, w, h), framebuffer.Color(rng.Uint32()&0x00ffffff))
+	case 1:
+		buf.Set(rng.Intn(w), rng.Intn(h), framebuffer.Color(rng.Uint32()&0x00ffffff))
+	case 2:
+		buf.ScrollVert(fuzzMeterRect(rng, w, h), rng.Intn(2*h+1)-h)
+	case 3:
+		sr := fuzzMeterRect(rng, w, h)
+		buf.Blit(aux, sr, rng.Intn(w+10)-5, rng.Intn(h+10)-5)
+	default:
+		buf.CopyFrom(aux)
+	}
+}
+
+// FuzzTileCompare is the meter differential fuzzer: a tile-delta meter
+// and a naive full-lattice meter observe the same framebuffer through a
+// random mutation/observe/buffer-switch history. Every per-frame verdict,
+// the lifetime totals and the accumulated modeled compare time (which
+// encodes the early-exit comparedPx of every observation) must match —
+// the tile path merely avoids reading pixels the generations prove
+// unchanged.
+func FuzzTileCompare(f *testing.F) {
+	f.Add(int64(1), []byte{0, 1, 0, 1, 1, 0}, uint8(64), uint8(64), uint16(256), false)
+	f.Add(int64(2), []byte{0, 0, 0}, uint8(33), uint8(47), uint16(100), true)
+	f.Add(int64(3), []byte{1, 2, 0, 3, 0, 2, 0, 1, 1, 0, 3, 0}, uint8(96), uint8(130), uint16(512), true)
+	f.Add(int64(4), []byte{3, 0, 3, 0, 1, 3, 0}, uint8(80), uint8(60), uint16(64), false)
+	f.Add(int64(5), []byte{0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0}, uint8(32), uint8(32), uint16(1024), true)
+
+	f.Fuzz(func(t *testing.T, seed int64, ops []byte, w8, h8 uint8, samples16 uint16, earlyExit bool) {
+		w := int(w8%100) + 16
+		h := int(h8%120) + 16
+		samples := int(samples16%2048) + 4
+		if len(ops) > 256 {
+			ops = ops[:256]
+		}
+
+		grid := framebuffer.GridForSamples(w, h, samples)
+		cost := power.DefaultCompareCost()
+		mkMeter := func(tiles bool) *Meter {
+			m, err := NewMeter(MeterConfig{
+				Grid:      grid,
+				Window:    sim.Second,
+				Cost:      cost,
+				EarlyExit: earlyExit,
+				Tiles:     tiles,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return m
+		}
+		tiled := mkMeter(true)
+		naive := mkMeter(false)
+
+		rng := rand.New(rand.NewSource(seed))
+		mkBuf := func() *framebuffer.Buffer {
+			b := framebuffer.New(w, h)
+			pix := b.Pix()
+			for i := range pix {
+				pix[i] = framebuffer.Color(rng.Uint32() & 0x00ffffff)
+			}
+			b.EnableTiles()
+			return b
+		}
+		// Two tracked screens plus a blit source: switching the observed
+		// buffer mid-run exercises the meter's demotion fallback (the
+		// direct-scanout → composed-framebuffer transition).
+		bufs := [2]*framebuffer.Buffer{mkBuf(), mkBuf()}
+		aux := mkBuf()
+		cur := 0
+
+		var now sim.Time
+		for step, op := range ops {
+			now += sim.Millisecond
+			switch op % 4 {
+			case 0: // observe the current screen on both meters
+				got := tiled.ObserveFrame(now, bufs[cur])
+				want := naive.ObserveFrame(now, bufs[cur])
+				if got != want {
+					t.Fatalf("step %d (%dx%d, %d samples): tiled verdict %v, naive %v",
+						step, w, h, grid.Samples(), got, want)
+				}
+				if gotT, wantT := tiled.CompareTime(), naive.CompareTime(); gotT != wantT {
+					t.Fatalf("step %d: compare time %v (tiled) vs %v (naive) — comparedPx diverged",
+						step, gotT, wantT)
+				}
+			case 1, 2: // paint the current screen
+				fuzzMutate(rng, bufs[cur], aux)
+			default: // switch which buffer the display scans out
+				cur = 1 - cur
+			}
+		}
+
+		tf, tc := tiled.Totals()
+		nf, nc := naive.Totals()
+		if tf != nf || tc != nc {
+			t.Fatalf("totals: tiled %d/%d, naive %d/%d", tf, tc, nf, nc)
+		}
+		if tiled.TotalRedundant() != naive.TotalRedundant() {
+			t.Fatalf("redundant: tiled %d, naive %d", tiled.TotalRedundant(), naive.TotalRedundant())
+		}
+	})
+}

@@ -122,6 +122,12 @@ type Cohort struct {
 	// Hardened enables governor fail-safe hardening (core.DefaultHardening)
 	// on managed segments.
 	Hardened bool
+	// NaivePixels forces every device onto the brute-force pixel pipeline
+	// (ccdem.Config.NaivePixels): full-rect composition and full-lattice
+	// grid comparison. Campaign aggregates are byte-identical to the
+	// default tile-tracked pipeline; the knob exists as the differential
+	// oracle for CI and the tile-vs-naive equality tests.
+	NaivePixels bool
 	// FailFast aborts the campaign on the first device failure (the old
 	// behaviour). The default keeps going: surviving devices aggregate,
 	// failed ones are reported in Result.Failed.
@@ -696,6 +702,7 @@ func (c Cohort) runSegment(lane *deviceLane, p app.Params, mode ccdem.GovernorMo
 		Width: screenW, Height: screenH,
 		Governor:     mode,
 		MeterSamples: c.MeterSamples,
+		NaivePixels:  c.NaivePixels,
 		Recorder:     rec,
 		Metrics:      reg,
 		Faults:       inj,

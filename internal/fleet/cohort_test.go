@@ -41,6 +41,37 @@ func TestCohortDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestCohortTileVsNaivePixels pins the fleet-level differential contract:
+// a campaign on the tile-tracked pixel pipeline (the default) produces
+// byte-identical per-device rows and aggregates to the same campaign on
+// the brute-force oracle pipeline, at multiple worker counts. (Worker
+// independence of the tile path itself is covered by
+// TestCohortDeterministicAcrossWorkers, which runs tiles by default.)
+func TestCohortTileVsNaivePixels(t *testing.T) {
+	var outputs []string
+	for _, naive := range []bool{false, true} {
+		for _, workers := range []int{1, 4} {
+			cohort := testCohort(6)
+			cohort.NaivePixels = naive
+			r, err := cohort.Run(context.Background(), Pool{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := r.WriteJSON(&buf, true); err != nil {
+				t.Fatal(err)
+			}
+			outputs = append(outputs, buf.String())
+		}
+	}
+	for i, out := range outputs[1:] {
+		if out != outputs[0] {
+			t.Fatalf("campaign output %d differs from tile-path reference:\n--- reference ---\n%s\n--- got ---\n%s",
+				i+1, outputs[0], out)
+		}
+	}
+}
+
 func TestCohortAggregateShape(t *testing.T) {
 	cohort := testCohort(8)
 	r, err := cohort.Run(context.Background(), Pool{})

@@ -20,6 +20,7 @@ type wireSpec struct {
 	SessionS     float64       `json:"session_s,omitempty"`
 	Governor     string        `json:"governor,omitempty"`
 	MeterSamples int           `json:"meter_samples,omitempty"`
+	NaivePixels  bool          `json:"naive_pixels,omitempty"`
 	Profiles     []wireProfile `json:"profiles"`
 }
 
@@ -84,6 +85,7 @@ func ReadSpec(r io.Reader) (Cohort, error) {
 		Session:      sim.FromSeconds(ws.SessionS),
 		Governor:     mode,
 		MeterSamples: ws.MeterSamples,
+		NaivePixels:  ws.NaivePixels,
 	}
 	for _, wp := range ws.Profiles {
 		p := Profile{
@@ -118,6 +120,7 @@ func WriteSpec(w io.Writer, c Cohort) error {
 		SessionS:     c.Session.Seconds(),
 		Governor:     c.Governor.String(),
 		MeterSamples: c.MeterSamples,
+		NaivePixels:  c.NaivePixels,
 	}
 	for _, p := range c.Profiles {
 		wp := wireProfile{

@@ -39,9 +39,23 @@ var (
 )
 
 // Buffer is a width × height pixel surface stored row-major.
+//
+// A buffer may additionally carry tile-tracking state (EnableTiles) and
+// may temporarily alias another buffer's pixels as a copy-on-write view
+// (ShareFrom); both are defined in tile.go. Plain buffers pay nothing
+// for either feature.
 type Buffer struct {
 	w, h int
 	pix  []Color
+
+	// Copy-on-write view state (see ShareFrom/own in tile.go): while
+	// shared is non-nil, pix aliases shared.pix and spare parks this
+	// buffer's own storage for materialization on first write.
+	shared *Buffer
+	spare  []Color
+
+	// tiles is the optional 32×32 tile-tracking state (see tile.go).
+	tiles *tileSet
 }
 
 // New allocates a zeroed (black) buffer. Width and height must be positive.
@@ -62,14 +76,26 @@ func (b *Buffer) Height() int { return b.h }
 func (b *Buffer) Bounds() Rect { return Rect{0, 0, b.w, b.h} }
 
 // Pix exposes the raw row-major pixel slice for zero-copy scanning by the
-// meter and the OLED power model. Callers must not resize it.
-func (b *Buffer) Pix() []Color { return b.pix }
+// meter and the OLED power model. Callers must not resize it. Because the
+// returned slice can be written through, a copy-on-write view is
+// materialized first; in-package readers use b.pix directly.
+func (b *Buffer) Pix() []Color {
+	b.own()
+	return b.pix
+}
 
 // At returns the pixel at (x, y). Out-of-bounds access panics (slice bounds).
 func (b *Buffer) At(x, y int) Color { return b.pix[y*b.w+x] }
 
 // Set writes the pixel at (x, y).
-func (b *Buffer) Set(x, y int, c Color) { b.pix[y*b.w+x] = c }
+func (b *Buffer) Set(x, y int, c Color) {
+	b.own()
+	b.pix[y*b.w+x] = c
+	if t := b.tiles; t != nil {
+		t.gen++
+		t.tgen[(y>>TileShift)*t.cols+(x>>TileShift)] = t.gen
+	}
+}
 
 // Fill sets every pixel in r (clamped to the buffer) to c and returns the
 // number of pixels written. The first row is painted by doubling copies and
@@ -80,6 +106,7 @@ func (b *Buffer) Fill(r Rect, c Color) int {
 	if r.Empty() {
 		return 0
 	}
+	b.own()
 	first := b.pix[r.Y0*b.w+r.X0 : r.Y0*b.w+r.X1]
 	first[0] = c
 	for n := 1; n < len(first); n *= 2 {
@@ -88,6 +115,7 @@ func (b *Buffer) Fill(r Rect, c Color) int {
 	for y := r.Y0 + 1; y < r.Y1; y++ {
 		copy(b.pix[y*b.w+r.X0:y*b.w+r.X1], first)
 	}
+	b.touch(r)
 	return r.Area()
 }
 
@@ -100,7 +128,9 @@ func (b *Buffer) CopyFrom(src *Buffer) {
 	if b.w != src.w || b.h != src.h {
 		panic(fmt.Sprintf("framebuffer: CopyFrom size mismatch %dx%d vs %dx%d", b.w, b.h, src.w, src.h))
 	}
+	b.own()
 	copy(b.pix, src.pix)
+	b.touchAll()
 }
 
 // Blit copies the srcRect portion of src to b at destination (dx, dy),
@@ -117,11 +147,9 @@ func (b *Buffer) Blit(src *Buffer, srcRect Rect, dx, dy int) int {
 	}
 	sx := srcRect.X0 + (dst.X0 - dx)
 	sy := srcRect.Y0 + (dst.Y0 - dy)
-	for y := 0; y < dst.Dy(); y++ {
-		srow := src.pix[(sy+y)*src.w+sx : (sy+y)*src.w+sx+dst.Dx()]
-		drow := b.pix[(dst.Y0+y)*b.w+dst.X0 : (dst.Y0+y)*b.w+dst.X1]
-		copy(drow, srow)
-	}
+	b.own()
+	b.copyRows(src, sx, sy, dst)
+	b.touch(dst)
 	return dst.Area()
 }
 
@@ -135,8 +163,9 @@ func (b *Buffer) ScrollVert(r Rect, dy int) Rect {
 		return Rect{}
 	}
 	if abs(dy) >= r.Dy() {
-		return r // everything scrolled out; repaint all
+		return r // everything scrolled out; repaint all (no pixels written)
 	}
+	b.own()
 	if dy > 0 {
 		// Move rows downward, iterating bottom-up to avoid overwrite.
 		for y := r.Y1 - 1; y >= r.Y0+dy; y-- {
@@ -144,6 +173,7 @@ func (b *Buffer) ScrollVert(r Rect, dy int) Rect {
 			dst := b.pix[y*b.w+r.X0 : y*b.w+r.X1]
 			copy(dst, src)
 		}
+		b.touch(Rect{r.X0, r.Y0 + dy, r.X1, r.Y1})
 		return Rect{r.X0, r.Y0, r.X1, r.Y0 + dy}
 	}
 	// dy < 0: move rows upward, top-down.
@@ -152,14 +182,30 @@ func (b *Buffer) ScrollVert(r Rect, dy int) Rect {
 		dst := b.pix[y*b.w+r.X0 : y*b.w+r.X1]
 		copy(dst, src)
 	}
+	b.touch(Rect{r.X0, r.Y0, r.X1, r.Y1 + dy})
 	return Rect{r.X0, r.Y1 + dy, r.X1, r.Y1}
 }
 
 // Equal reports whether b and o hold identical pixels. Buffers of different
 // dimensions are never equal.
+//
+// When both buffers track tiles, cached-valid signatures answer the
+// negative case first: a pair of tiles with differing signatures proves
+// the buffers differ without reading pixels (signatures are a pure
+// function of tile content, so this direction is exact). Tiles the
+// signature path cannot decide — equal or stale signatures — fall back
+// to the full pixel scan.
 func (b *Buffer) Equal(o *Buffer) bool {
 	if b.w != o.w || b.h != o.h {
 		return false
+	}
+	if bt, ot := b.tiles, o.tiles; bt != nil && ot != nil && bt.cols == ot.cols {
+		for i := range bt.sig {
+			if bt.sigGen[i] == bt.tgen[i] && ot.sigGen[i] == ot.tgen[i] &&
+				bt.sig[i] != ot.sig[i] {
+				return false
+			}
+		}
 	}
 	return firstDiff(b.pix, o.pix) < 0
 }

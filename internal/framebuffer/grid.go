@@ -96,7 +96,9 @@ func (g Grid) Sample(buf *Buffer, dst []Color) {
 	if len(dst) != g.Samples() {
 		panic(fmt.Sprintf("framebuffer: Sample dst length %d, want %d", len(dst), g.Samples()))
 	}
-	pix := buf.Pix()
+	// Read b.pix directly (not Pix()): sampling must never materialize a
+	// copy-on-write buffer.
+	pix := buf.pix
 	idx := g.flat
 	dst = dst[:len(idx)]
 	// Gather four lattice points per iteration: the unroll amortizes loop

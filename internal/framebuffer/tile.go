@@ -1,0 +1,443 @@
+package framebuffer
+
+import "fmt"
+
+// Tile layer: a fixed 32×32 grid over a buffer with per-tile mutation
+// generations and lazily cached 64-bit content signatures. This is the
+// *Rendering Elimination* idea (early discard of redundant tiles via
+// region signatures) applied to the reproduction's paint/compare
+// pipeline: composition can skip tiles whose content provably did not
+// change, and the meter can restrict grid comparison to tiles written
+// since its last observation.
+//
+// Exactness contract. Two independent mechanisms are used, with
+// different proof obligations:
+//
+//   - Generations are exact in the negative direction: every mutator
+//     marks the tiles it writes, so a tile whose generation is unchanged
+//     is bitwise unchanged. No hashing is involved.
+//   - Signatures are exact in the positive direction: the signature is a
+//     pure function of the tile's pixels, so differing signatures imply
+//     differing bytes. Equal signatures prove nothing (collisions); any
+//     decision based on signature equality must be confirmed by a pixel
+//     comparison (BlitTiled's memcmp verify, Equal's full-scan
+//     fallback). A tile the signature path cannot decide falls back to
+//     the brute-force pixel kernels.
+//
+// Tracking is opt-in per buffer (EnableTiles); untracked buffers pay
+// nothing.
+
+// Tile geometry: fixed 32×32 pixel tiles (TileShift = 5). On the
+// 720×1280 Galaxy S3 screen this yields a 23×40 = 920-tile grid.
+const (
+	TileShift = 5
+	TileSize  = 1 << TileShift
+	tileMask  = TileSize - 1
+)
+
+// tilesFor returns the number of tiles covering extent pixels.
+func tilesFor(extent int) int { return (extent + tileMask) >> TileShift }
+
+// tileSet is a buffer's tile-tracking state.
+type tileSet struct {
+	cols, rows int
+	// gen is the buffer's mutation generation, bumped by every mutating
+	// call; tgen[i] records the generation at which tile i was last
+	// written. tgen[i] <= G proves tile i is bitwise unchanged since the
+	// moment the buffer's generation was G.
+	gen  uint64
+	tgen []uint64
+	// sig[i] caches the 64-bit content signature of tile i, valid while
+	// sigGen[i] == tgen[i] (i.e. the tile has not been written since the
+	// hash was taken). Signatures are computed lazily on first use.
+	sig    []uint64
+	sigGen []uint64
+}
+
+// EnableTiles turns on tile tracking for b. It is idempotent; dimensions
+// are fixed at the buffer's, so pooled buffers keep their tracking state
+// across reuse. Buffers start with every tile marked written at
+// generation 1 and no cached signatures.
+func (b *Buffer) EnableTiles() {
+	if b.tiles != nil {
+		return
+	}
+	cols, rows := tilesFor(b.w), tilesFor(b.h)
+	n := cols * rows
+	t := &tileSet{
+		cols: cols, rows: rows,
+		gen:    1,
+		tgen:   make([]uint64, n),
+		sig:    make([]uint64, n),
+		sigGen: make([]uint64, n),
+	}
+	for i := range t.tgen {
+		t.tgen[i] = 1
+	}
+	b.tiles = t
+}
+
+// TilesEnabled reports whether b tracks tiles.
+func (b *Buffer) TilesEnabled() bool { return b.tiles != nil }
+
+// Gen returns the buffer's mutation generation (0 when tracking is
+// disabled). Any write through the buffer's mutators increases it.
+func (b *Buffer) Gen() uint64 {
+	if b.tiles == nil {
+		return 0
+	}
+	return b.tiles.gen
+}
+
+// TileDims returns the tile-grid dimensions (0, 0 when disabled).
+func (b *Buffer) TileDims() (cols, rows int) {
+	if b.tiles == nil {
+		return 0, 0
+	}
+	return b.tiles.cols, b.tiles.rows
+}
+
+// Tiles returns the number of tiles (0 when disabled).
+func (b *Buffer) Tiles() int {
+	if b.tiles == nil {
+		return 0
+	}
+	return b.tiles.cols * b.tiles.rows
+}
+
+// TileGen returns the generation at which tile i was last written.
+func (b *Buffer) TileGen(i int) uint64 { return b.tiles.tgen[i] }
+
+// TileRect returns tile i's pixel rectangle, clamped to the buffer
+// bounds (edge tiles of a non-multiple-of-32 buffer are partial).
+func (b *Buffer) TileRect(i int) Rect {
+	t := b.tiles
+	tx, ty := i%t.cols, i/t.cols
+	return Rect{tx << TileShift, ty << TileShift, (tx + 1) << TileShift, (ty + 1) << TileShift}.
+		Clamp(b.Bounds())
+}
+
+// TileSig returns tile i's 64-bit content signature, computing and
+// caching it when the cache is stale. The signature is a pure function
+// of the tile's pixels (FNV-1a over the pixel words), so differing
+// signatures prove differing content; equal signatures prove nothing.
+func (b *Buffer) TileSig(i int) uint64 {
+	t := b.tiles
+	if t.sigGen[i] == t.tgen[i] {
+		return t.sig[i]
+	}
+	s := b.hashTile(i)
+	t.sig[i] = s
+	t.sigGen[i] = t.tgen[i]
+	return s
+}
+
+// hashTile computes tile i's signature from its current pixels.
+func (b *Buffer) hashTile(i int) uint64 {
+	r := b.TileRect(i)
+	h := uint64(0xcbf29ce484222325)
+	for y := r.Y0; y < r.Y1; y++ {
+		row := b.pix[y*b.w+r.X0 : y*b.w+r.X1]
+		for _, c := range row {
+			h = (h ^ uint64(c)) * 0x100000001b3
+		}
+	}
+	return h
+}
+
+// PoisonTileSig overwrites tile i's cached signature with v and marks
+// the cache valid — a test-only hook for forcing signature collisions
+// (two differing tiles reporting equal signatures), proving the pixel
+// verify keeps results exact. It must never be used to make equal tiles
+// report *differing* signatures; that direction is trusted.
+func (b *Buffer) PoisonTileSig(i int, v uint64) {
+	t := b.tiles
+	t.sig[i] = v
+	t.sigGen[i] = t.tgen[i]
+}
+
+// touch marks every tile overlapping r as written at a fresh generation.
+// r is clamped defensively: out-of-bounds or inverted rectangles from a
+// hostile damage report must not index the tile table with negative or
+// overflowing tile coordinates.
+func (b *Buffer) touch(r Rect) {
+	t := b.tiles
+	if t == nil {
+		return
+	}
+	r = r.Clamp(b.Bounds())
+	if r.Empty() {
+		return
+	}
+	t.gen++
+	g := t.gen
+	tx0, ty0 := r.X0>>TileShift, r.Y0>>TileShift
+	tx1, ty1 := (r.X1-1)>>TileShift, (r.Y1-1)>>TileShift
+	for ty := ty0; ty <= ty1; ty++ {
+		row := t.tgen[ty*t.cols+tx0 : ty*t.cols+tx1+1]
+		for i := range row {
+			row[i] = g
+		}
+	}
+}
+
+// touchAll marks every tile written (whole-buffer mutation).
+func (b *Buffer) touchAll() {
+	t := b.tiles
+	if t == nil {
+		return
+	}
+	t.gen++
+	g := t.gen
+	for i := range t.tgen {
+		t.tgen[i] = g
+	}
+}
+
+// own materializes a copy-on-write buffer before its first mutation: the
+// shared source's pixels are copied into the buffer's parked storage,
+// which becomes its private pixel array again. Reads never materialize.
+func (b *Buffer) own() {
+	if b.shared == nil {
+		return
+	}
+	copy(b.spare, b.shared.pix)
+	b.pix = b.spare
+	b.spare = nil
+	b.shared = nil
+}
+
+// ShareFrom turns b into a zero-copy view of src's pixels: reads are
+// served from src and the first mutation copies src's content into b's
+// own storage before applying (copy-on-write). The buffers must have
+// identical dimensions and src must not itself be sharing. src must stay
+// immutable while shared — the app layer uses this for memoized install
+// screens, which are written once and then only ever read.
+//
+// Sharing counts as a whole-buffer mutation for tile tracking (the
+// visible content changes entirely), so generations and cached
+// signatures stay conservative.
+func (b *Buffer) ShareFrom(src *Buffer) {
+	if b.w != src.w || b.h != src.h {
+		panic(fmt.Sprintf("framebuffer: ShareFrom size mismatch %dx%d vs %dx%d", b.w, b.h, src.w, src.h))
+	}
+	if src.shared != nil {
+		panic("framebuffer: ShareFrom of a buffer that is itself sharing")
+	}
+	if src == b {
+		panic("framebuffer: ShareFrom self")
+	}
+	if b.shared == nil {
+		b.spare = b.pix
+	}
+	b.shared = src
+	b.pix = src.pix
+	b.touchAll()
+}
+
+// Shared reports whether b is currently a copy-on-write view.
+func (b *Buffer) Shared() bool { return b.shared != nil }
+
+// ComposeGens is a compositor's per-surface snapshot of (source buffer
+// generation, destination buffer generation) taken at the end of a
+// compose pass. BlitTiled uses it for the exact generation skip: a tile
+// whose source and destination are both unchanged since the snapshot
+// still holds the previously composed bytes, so re-composing it would
+// write identical bytes. The zero value disables the skip (nothing has
+// been composed yet).
+//
+// The skip is exact under two conditions the caller must guarantee:
+//
+//   - the surface.Client damage contract: reported damage covers every
+//     pixel changed since the previous render (the brute-force compositor
+//     relies on the same contract — unreported changes never reach the
+//     framebuffer on either path), and
+//   - sole writership: no other source composes into the destination
+//     between this pair's composes. A foreign write later partially
+//     overwritten leaves a tile whose generations look settled but whose
+//     bytes mix two sources; the compositor therefore passes the zero
+//     value whenever more than one surface is registered, falling back
+//     to the signature + pixel-verify ladder (exact without induction).
+type ComposeGens struct {
+	Src, Dst uint64
+}
+
+// BlitTiled is the tile-aware variant of Blit: identical bytes in the
+// destination, same return value (the clipped destination area — the
+// dirty-pixel accounting must not depend on skips), but tiles that
+// provably hold the right content already are not rewritten.
+//
+// Decision ladder per destination tile, cheapest first:
+//
+//  1. generation skip — src and dst tile unchanged since prev (exact),
+//  2. signature mismatch — differing sigs force the copy (exact),
+//  3. equal signatures — possible collision: a pixel compare decides;
+//     equal bytes skip the write, differing bytes (a forced or real
+//     collision) copy.
+//
+// Tiles the signature path cannot decide — partial-tile damage, buffers
+// without tracking, or a tile-misaligned source offset — take the plain
+// pixel copy. When either buffer is untracked the whole call degrades to
+// Blit's behaviour.
+func (b *Buffer) BlitTiled(src *Buffer, srcRect Rect, dx, dy int, prev ComposeGens) int {
+	srcRect = srcRect.Clamp(src.Bounds())
+	if srcRect.Empty() {
+		return 0
+	}
+	dst := Rect{dx, dy, dx + srcRect.Dx(), dy + srcRect.Dy()}.Clamp(b.Bounds())
+	if dst.Empty() {
+		return 0
+	}
+	sx := srcRect.X0 + (dst.X0 - dx)
+	sy := srcRect.Y0 + (dst.Y0 - dy)
+	ox, oy := dst.X0-sx, dst.Y0-sy // dst = src + (ox, oy)
+	if b.tiles == nil || src.tiles == nil || (ox&tileMask) != 0 || (oy&tileMask) != 0 {
+		// Untracked or tile-misaligned: brute-force copy.
+		b.own()
+		b.copyRows(src, sx, sy, dst)
+		b.touch(dst)
+		return dst.Area()
+	}
+	b.own()
+	bt, st := b.tiles, src.tiles
+	bt.gen++
+	g := bt.gen
+	for ty := dst.Y0 >> TileShift; ty <= (dst.Y1-1)>>TileShift; ty++ {
+		for tx := dst.X0 >> TileShift; tx <= (dst.X1-1)>>TileShift; tx++ {
+			tr := Rect{tx << TileShift, ty << TileShift, (tx + 1) << TileShift, (ty + 1) << TileShift}
+			clip := tr.Intersect(dst)
+			di := ty*bt.cols + tx
+			// The fast paths need the whole 32×32 tile: fully inside the
+			// destination damage, fully on screen, and backed by a full
+			// source tile.
+			sr := Rect{tr.X0 - ox, tr.Y0 - oy, tr.X1 - ox, tr.Y1 - oy}
+			if clip == tr && tr.X1 <= b.w && tr.Y1 <= b.h &&
+				sr.X0 >= 0 && sr.Y0 >= 0 && sr.X1 <= src.w && sr.Y1 <= src.h {
+				si := (sr.Y0>>TileShift)*st.cols + sr.X0>>TileShift
+				if st.tgen[si] <= prev.Src && bt.tgen[di] < g && bt.tgen[di] <= prev.Dst {
+					continue // generation skip: both sides unchanged since last compose
+				}
+				if b.TileSig(di) == src.TileSig(si) && b.rowsEqual(src, sr, tr) {
+					continue // verified identical content: skip the write
+				}
+			}
+			b.copyRows(src, clip.X0-ox, clip.Y0-oy, clip)
+			bt.tgen[di] = g
+		}
+	}
+	return dst.Area()
+}
+
+// copyRows copies src rows starting at (sx, sy) into b's dst rectangle.
+// The caller has already clipped both sides and materialized b.
+func (b *Buffer) copyRows(src *Buffer, sx, sy int, dst Rect) {
+	for y := 0; y < dst.Dy(); y++ {
+		srow := src.pix[(sy+y)*src.w+sx : (sy+y)*src.w+sx+dst.Dx()]
+		drow := b.pix[(dst.Y0+y)*b.w+dst.X0 : (dst.Y0+y)*b.w+dst.X1]
+		copy(drow, srow)
+	}
+}
+
+// rowsEqual reports whether b's rectangle br holds exactly src's
+// rectangle sr (same dimensions, compared row by row).
+func (b *Buffer) rowsEqual(src *Buffer, sr, br Rect) bool {
+	for y := 0; y < br.Dy(); y++ {
+		srow := src.pix[(sr.Y0+y)*src.w+sr.X0 : (sr.Y0+y)*src.w+sr.X1]
+		brow := b.pix[(br.Y0+y)*b.w+br.X0 : (br.Y0+y)*b.w+br.X1]
+		if firstDiff(brow, srow) >= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// TileLattice groups a comparison Grid's lattice points by the 32×32
+// tile containing them (CSR layout), so the meter can compare only the
+// lattice points of tiles written since its last observation. Combined
+// with the generation contract — an unwritten tile is bitwise unchanged
+// — the restricted comparison returns exactly the verdict and first-diff
+// index of a full-lattice scan.
+type TileLattice struct {
+	g     Grid
+	start []int32 // per tile, offset into lat (len tiles+1)
+	lat   []int32 // lattice indices grouped by tile, ascending per group
+}
+
+// NewTileLattice precomputes the tile → lattice-point index.
+func NewTileLattice(g Grid) *TileLattice {
+	tcols, trows := tilesFor(g.w), tilesFor(g.h)
+	nt := tcols * trows
+	n := g.Samples()
+	tileOf := func(i int) int {
+		x := g.xs[i%g.cols]
+		y := g.ys[i/g.cols]
+		return (y>>TileShift)*tcols + x>>TileShift
+	}
+	start := make([]int32, nt+1)
+	for i := 0; i < n; i++ {
+		start[tileOf(i)+1]++
+	}
+	for t := 0; t < nt; t++ {
+		start[t+1] += start[t]
+	}
+	lat := make([]int32, n)
+	cursor := make([]int32, nt)
+	copy(cursor, start[:nt])
+	for i := 0; i < n; i++ {
+		t := tileOf(i)
+		lat[cursor[t]] = int32(i)
+		cursor[t]++
+	}
+	return &TileLattice{g: g, start: start, lat: lat}
+}
+
+// Prime gathers the full lattice of buf into committed — the first
+// observation of a buffer, against which later deltas run.
+func (tl *TileLattice) Prime(buf *Buffer, committed []Color) {
+	tl.g.Sample(buf, committed)
+}
+
+// DeltaCompare compares buf's lattice points against committed,
+// restricted to tiles written after sinceGen, updating committed in
+// place for every differing point. It returns the minimum differing
+// lattice index, or -1 when no compared point differs.
+//
+// Exactness: a tile with tgen <= sinceGen is bitwise unchanged since the
+// generation snapshot, and committed held the then-current lattice
+// values (maintained inductively by the in-place updates), so skipped
+// points cannot differ. The minimum index over dirty tiles therefore
+// equals the first-diff index of a full scan, and the all-clean case is
+// exactly the redundant-frame verdict.
+func (tl *TileLattice) DeltaCompare(buf *Buffer, committed []Color, sinceGen uint64) int {
+	if buf.w != tl.g.w || buf.h != tl.g.h {
+		panic(fmt.Sprintf("framebuffer: DeltaCompare on %dx%d buffer with %dx%d lattice screen",
+			buf.w, buf.h, tl.g.w, tl.g.h))
+	}
+	t := buf.tiles
+	if t == nil {
+		panic("framebuffer: DeltaCompare on a buffer without tile tracking")
+	}
+	if len(committed) != tl.g.Samples() {
+		panic(fmt.Sprintf("framebuffer: DeltaCompare committed length %d, want %d", len(committed), tl.g.Samples()))
+	}
+	pix := buf.pix
+	flat := tl.g.flat
+	min := -1
+	for ti, tg := range t.tgen {
+		if tg <= sinceGen {
+			continue
+		}
+		for _, li := range tl.lat[tl.start[ti]:tl.start[ti+1]] {
+			if v := pix[flat[li]]; v != committed[li] {
+				committed[li] = v
+				if min < 0 || int(li) < min {
+					min = int(li)
+				}
+			}
+		}
+	}
+	return min
+}
+
+// Samples returns the lattice size.
+func (tl *TileLattice) Samples() int { return tl.g.Samples() }

@@ -1,0 +1,509 @@
+package framebuffer
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randRect draws a rectangle roughly within (and sometimes beyond) a
+// w × h buffer, including inverted and zero-area shapes.
+func randRectIn(rng *rand.Rand, w, h int) Rect {
+	return Rect{
+		X0: rng.Intn(w+40) - 20,
+		Y0: rng.Intn(h+40) - 20,
+		X1: rng.Intn(w+40) - 20,
+		Y1: rng.Intn(h+40) - 20,
+	}
+}
+
+// mutate applies one random mutator to buf (and mirrors it onto ref when
+// non-nil), exercising every write path that must maintain tile state.
+func mutate(rng *rand.Rand, buf, ref *Buffer, aux *Buffer) {
+	w, h := buf.Width(), buf.Height()
+	switch rng.Intn(5) {
+	case 0:
+		r := randRectIn(rng, w, h)
+		c := Color(rng.Uint32() & 0x00ffffff)
+		buf.Fill(r, c)
+		if ref != nil {
+			ref.Fill(r, c)
+		}
+	case 1:
+		x, y := rng.Intn(w), rng.Intn(h)
+		c := Color(rng.Uint32() & 0x00ffffff)
+		buf.Set(x, y, c)
+		if ref != nil {
+			ref.Set(x, y, c)
+		}
+	case 2:
+		r := randRectIn(rng, w, h)
+		dy := rng.Intn(2*h+1) - h
+		buf.ScrollVert(r, dy)
+		if ref != nil {
+			ref.ScrollVert(r, dy)
+		}
+	case 3:
+		sr := randRectIn(rng, aux.Width(), aux.Height())
+		dx, dy := rng.Intn(w+20)-10, rng.Intn(h+20)-10
+		buf.Blit(aux, sr, dx, dy)
+		if ref != nil {
+			ref.Blit(aux, sr, dx, dy)
+		}
+	case 4:
+		buf.CopyFrom(aux)
+		if ref != nil {
+			ref.CopyFrom(aux)
+		}
+	}
+}
+
+// noisyBuffer builds a w × h buffer with deterministic pseudo-random
+// pixels.
+func noisyBuffer(rng *rand.Rand, w, h int) *Buffer {
+	b := New(w, h)
+	pix := b.Pix()
+	for i := range pix {
+		pix[i] = Color(rng.Uint32() & 0x00ffffff)
+	}
+	return b
+}
+
+// TestTileSigIncrementalEqualsFullRehash is the core signature property:
+// after an arbitrary sequence of damage-rect mutations — with signature
+// caches populated at arbitrary intermediate points — every cached
+// signature equals a from-scratch rehash of the tile's current pixels.
+// Buffer sizes include non-multiples of 32 so edge tiles are partial.
+func TestTileSigIncrementalEqualsFullRehash(t *testing.T) {
+	for _, dims := range [][2]int{{64, 64}, {33, 47}, {96, 130}, {31, 31}} {
+		w, h := dims[0], dims[1]
+		rng := rand.New(rand.NewSource(int64(w*1000 + h)))
+		buf := noisyBuffer(rng, w, h)
+		buf.EnableTiles()
+		aux := noisyBuffer(rng, w, h)
+		for step := 0; step < 200; step++ {
+			mutate(rng, buf, nil, aux)
+			// Populate some signature caches mid-sequence so later
+			// mutations must correctly invalidate them.
+			if step%3 == 0 {
+				buf.TileSig(rng.Intn(buf.Tiles()))
+			}
+		}
+		for i := 0; i < buf.Tiles(); i++ {
+			if got, want := buf.TileSig(i), buf.hashTile(i); got != want {
+				t.Fatalf("%dx%d tile %d: cached sig %#x != full rehash %#x", w, h, i, got, want)
+			}
+		}
+	}
+}
+
+// TestTileTrackedMutatorsMatchUntracked pins that enabling tile tracking
+// never changes pixel semantics: the same mutation sequence applied to a
+// tracked and an untracked buffer yields identical bytes and identical
+// tile generations mark a superset of changed tiles.
+func TestTileTrackedMutatorsMatchUntracked(t *testing.T) {
+	for _, dims := range [][2]int{{64, 64}, {33, 47}} {
+		w, h := dims[0], dims[1]
+		rng := rand.New(rand.NewSource(int64(w + h)))
+		tracked := noisyBuffer(rng, w, h)
+		plain := New(w, h)
+		plain.CopyFrom(tracked)
+		tracked.EnableTiles()
+		aux := noisyBuffer(rng, w, h)
+
+		prev := New(w, h)
+		for step := 0; step < 150; step++ {
+			prev.CopyFrom(plain)
+			sinceGen := tracked.Gen()
+			mutate(rng, tracked, plain, aux)
+			if !tracked.Equal(plain) {
+				t.Fatalf("%dx%d step %d: tracked buffer diverged from untracked", w, h, step)
+			}
+			// Generation soundness: every tile holding a changed pixel
+			// must be marked written after the mutation.
+			for i := 0; i < tracked.Tiles(); i++ {
+				if tracked.TileGen(i) > sinceGen {
+					continue // marked dirty; nothing to prove
+				}
+				r := tracked.TileRect(i)
+				for y := r.Y0; y < r.Y1; y++ {
+					for x := r.X0; x < r.X1; x++ {
+						if plain.At(x, y) != prev.At(x, y) {
+							t.Fatalf("%dx%d step %d: tile %d changed at (%d,%d) but was not touched",
+								w, h, step, i, x, y)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTileTouchEdgeRects is the regression suite for the latent
+// Fill/damage clamping edge: zero-area, inverted, and out-of-bounds
+// rectangles — including negative coordinates, whose tile index would
+// arithmetic-shift to -1 without clamping — must be handled by every
+// mutator on buffers whose edge tiles are partial.
+func TestTileTouchEdgeRects(t *testing.T) {
+	edgeRects := []Rect{
+		{},                     // zero value
+		{5, 5, 5, 9},           // zero width
+		{5, 5, 9, 5},           // zero height
+		{10, 10, 3, 20},        // inverted x
+		{10, 10, 20, 3},        // inverted y
+		{-100, -100, -50, -50}, // fully negative
+		{-10, -10, 5, 5},       // straddles origin
+		{30, 40, 500, 600},     // exceeds bounds
+		{-1000, 0, 1000, 1},    // thin row across, wide overshoot
+		{0, -1000, 1, 1000},    // thin column across
+		{32, 32, 64, 64},       // exactly tile-aligned
+		{31, 31, 33, 33},       // straddles a tile corner
+		{-2147483000, -2147483000, 2147483000, 2147483000}, // near-overflow
+	}
+	for _, dims := range [][2]int{{33, 47}, {64, 64}, {32, 32}, {1, 1}} {
+		w, h := dims[0], dims[1]
+		rng := rand.New(rand.NewSource(99))
+		tracked := noisyBuffer(rng, w, h)
+		plain := New(w, h)
+		plain.CopyFrom(tracked)
+		tracked.EnableTiles()
+		src := noisyBuffer(rng, w, h)
+		for _, r := range edgeRects {
+			if got, want := tracked.Fill(r, Color(0x123456)), plain.Fill(r, Color(0x123456)); got != want {
+				t.Fatalf("%dx%d Fill(%v): tracked count %d, plain %d", w, h, r, got, want)
+			}
+			if got, want := tracked.Blit(src, r, r.X0, r.Y0), plain.Blit(src, r, r.X0, r.Y0); got != want {
+				t.Fatalf("%dx%d Blit(%v): tracked count %d, plain %d", w, h, r, got, want)
+			}
+			for _, dy := range []int{-1000, -3, 0, 3, 1000} {
+				if got, want := tracked.ScrollVert(r, dy), plain.ScrollVert(r, dy); got != want {
+					t.Fatalf("%dx%d ScrollVert(%v, %d): tracked rect %v, plain %v", w, h, r, dy, got, want)
+				}
+			}
+			if !tracked.Equal(plain) {
+				t.Fatalf("%dx%d after rect %v: tracked pixels diverge", w, h, r)
+			}
+		}
+		// BlitTiled must clamp the same rects identically (untracked src
+		// forces the fallback; tracked src takes the tile ladder).
+		for _, sb := range []*Buffer{src, func() *Buffer { s := New(w, h); s.CopyFrom(src); s.EnableTiles(); return s }()} {
+			for _, r := range edgeRects {
+				want := plain.Blit(sb, r, r.X0+1, r.Y0)
+				got := tracked.BlitTiled(sb, r, r.X0+1, r.Y0, ComposeGens{})
+				if got != want {
+					t.Fatalf("%dx%d BlitTiled(%v): count %d, want %d", w, h, r, got, want)
+				}
+				if !tracked.Equal(plain) {
+					t.Fatalf("%dx%d BlitTiled(%v): pixels diverge from Blit", w, h, r)
+				}
+			}
+		}
+	}
+}
+
+// mutateDamaged applies one random honest-client mutation to buf and
+// returns a rectangle covering every pixel it may have changed — the
+// damage a well-behaved surface.Client would report.
+func mutateDamaged(rng *rand.Rand, buf, aux *Buffer) Rect {
+	w, h := buf.Width(), buf.Height()
+	switch rng.Intn(5) {
+	case 0:
+		r := randRectIn(rng, w, h)
+		buf.Fill(r, Color(rng.Uint32()&0x00ffffff))
+		return r.Clamp(buf.Bounds())
+	case 1:
+		x, y := rng.Intn(w), rng.Intn(h)
+		buf.Set(x, y, Color(rng.Uint32()&0x00ffffff))
+		return Rect{x, y, x + 1, y + 1}
+	case 2:
+		// ScrollVert returns the vacated repaint rect; the written rows
+		// are the rest of r, so an honest client damages all of r.
+		r := randRectIn(rng, w, h)
+		buf.ScrollVert(r, rng.Intn(2*h+1)-h)
+		return r.Clamp(buf.Bounds())
+	case 3:
+		sr := randRectIn(rng, aux.Width(), aux.Height()).Clamp(aux.Bounds())
+		dx, dy := rng.Intn(w+20)-10, rng.Intn(h+20)-10
+		buf.Blit(aux, sr, dx, dy)
+		return Rect{dx, dy, dx + sr.Dx(), dy + sr.Dy()}.Clamp(buf.Bounds())
+	default:
+		buf.CopyFrom(aux)
+		return buf.Bounds()
+	}
+}
+
+// union grows a into the bounding box of a and b (either may be empty).
+func union(a, b Rect) Rect {
+	if b.Empty() {
+		return a
+	}
+	if a.Empty() {
+		return b
+	}
+	if b.X0 < a.X0 {
+		a.X0 = b.X0
+	}
+	if b.Y0 < a.Y0 {
+		a.Y0 = b.Y0
+	}
+	if b.X1 > a.X1 {
+		a.X1 = b.X1
+	}
+	if b.Y1 > a.Y1 {
+		a.Y1 = b.Y1
+	}
+	return a
+}
+
+// TestBlitTiledMatchesBlit drives randomized compose sequences through
+// BlitTiled and plain Blit side by side, modelled exactly like the
+// surface compositor uses them: a fixed per-surface destination offset,
+// a full-bounds first compose, reported damage covering every mutation
+// since the previous compose (the surface.Client contract the generation
+// skip relies on), and the ComposeGens snapshot advancing after each
+// pass. Bytes and return values must never diverge — across aligned
+// offsets (tile ladder), misaligned offsets (fallback), redundant
+// latches, over-reported damage and partial edge tiles.
+func TestBlitTiledMatchesBlit(t *testing.T) {
+	cases := []struct {
+		w, h   int
+		dw, dh int
+		ox, oy int // fixed destination offset; &31 != 0 forces the fallback
+	}{
+		{64, 64, 64, 64, 0, 0},     // aligned, same size
+		{64, 64, 128, 160, 32, 64}, // aligned, surface inside a larger fb
+		{33, 47, 33, 47, 0, 0},     // aligned, partial edge tiles
+		{96, 130, 96, 130, 0, 0},   // aligned, partial edge tiles
+		{64, 64, 96, 96, 3, 17},    // misaligned: every compose falls back
+	}
+	for _, tc := range cases {
+		rng := rand.New(rand.NewSource(int64(tc.w ^ tc.h<<8 ^ tc.ox<<16)))
+		src := noisyBuffer(rng, tc.w, tc.h)
+		src.EnableTiles()
+		dstT := New(tc.dw, tc.dh)
+		dstN := New(tc.dw, tc.dh)
+		dstT.EnableTiles()
+		aux := noisyBuffer(rng, tc.w, tc.h)
+
+		var gens ComposeGens
+		pending := src.Bounds() // first compose latches the whole surface
+		for step := 0; step < 150; step++ {
+			damage := pending
+			if rng.Intn(5) == 0 {
+				damage = src.Bounds() // over-reported damage is contract-legal
+			}
+			got := dstT.BlitTiled(src, damage, tc.ox+damage.X0, tc.oy+damage.Y0, gens)
+			want := dstN.Blit(src, damage, tc.ox+damage.X0, tc.oy+damage.Y0)
+			if got != want {
+				t.Fatalf("%+v step %d: BlitTiled count %d, Blit %d", tc, step, got, want)
+			}
+			if !dstT.Equal(dstN) {
+				t.Fatalf("%+v step %d: BlitTiled bytes diverge from Blit", tc, step)
+			}
+			gens = ComposeGens{Src: src.Gen(), Dst: dstT.Gen()}
+
+			// Paint damage for the next latch: usually some mutations,
+			// sometimes none (a redundant latch re-submitting empty or
+			// stale damage).
+			pending = Rect{}
+			for n := rng.Intn(4); n > 0; n-- {
+				pending = union(pending, mutateDamaged(rng, src, aux))
+			}
+		}
+	}
+}
+
+// TestForcedSigCollision injects two distinct tiles reporting equal
+// signatures (the PoisonTileSig hook) and proves the pixel-verify
+// fallback keeps composition exact: the collision must not suppress the
+// copy. This is the safety property that makes 64-bit signatures usable
+// at all — equal signatures are only ever a hint.
+func TestForcedSigCollision(t *testing.T) {
+	src := New(64, 64)
+	src.EnableTiles()
+	src.FillAll(Color(0x111111))
+	dst := New(64, 64)
+	dst.EnableTiles()
+	dst.FillAll(Color(0x222222))
+
+	// Force every tile pair to report the same signature even though all
+	// pixels differ.
+	for i := 0; i < src.Tiles(); i++ {
+		src.PoisonTileSig(i, 0xdeadbeef)
+		dst.PoisonTileSig(i, 0xdeadbeef)
+	}
+	// No generation skip applies (ComposeGens zero value), so the blit
+	// decision rests entirely on the poisoned signatures + pixel verify.
+	n := dst.BlitTiled(src, src.Bounds(), 0, 0, ComposeGens{})
+	if n != 64*64 {
+		t.Fatalf("BlitTiled returned %d, want %d", n, 64*64)
+	}
+	for y := 0; y < 64; y++ {
+		for x := 0; x < 64; x++ {
+			if dst.At(x, y) != Color(0x111111) {
+				t.Fatalf("collision suppressed the copy at (%d,%d): %#x", x, y, dst.At(x, y))
+			}
+		}
+	}
+
+	// The inverse hint direction: when tiles really are identical, the
+	// verify confirms it and the copy is skipped — bytes still exact.
+	dst2 := New(64, 64)
+	dst2.EnableTiles()
+	dst2.CopyFrom(src)
+	for i := 0; i < src.Tiles(); i++ {
+		dst2.PoisonTileSig(i, 0xfeedface)
+		src.PoisonTileSig(i, 0xfeedface)
+	}
+	dst2.BlitTiled(src, src.Bounds(), 0, 0, ComposeGens{})
+	if !dst2.Equal(src) {
+		t.Fatal("identical-tile skip corrupted the destination")
+	}
+}
+
+// TestEqualSigFastPathStaysExact: Equal may use cached signatures only in
+// the differing direction; equal (even poisoned-equal) signatures must
+// fall through to the pixel scan.
+func TestEqualSigFastPathStaysExact(t *testing.T) {
+	a := New(64, 64)
+	b := New(64, 64)
+	a.EnableTiles()
+	b.EnableTiles()
+	a.FillAll(Color(0xaaaaaa))
+	b.FillAll(Color(0xbbbbbb))
+	for i := 0; i < a.Tiles(); i++ {
+		a.PoisonTileSig(i, 42)
+		b.PoisonTileSig(i, 42)
+	}
+	if a.Equal(b) {
+		t.Fatal("poisoned-equal signatures masked a pixel difference in Equal")
+	}
+	b.FillAll(Color(0xaaaaaa))
+	if !a.Equal(b) {
+		t.Fatal("identical buffers reported unequal")
+	}
+	// Differing cached signatures on identical... must never happen for
+	// honest sigs; verify the fast path is exact for honestly cached ones.
+	a.Fill(Rect{0, 0, 32, 32}, Color(0x010101))
+	a.TileSig(0)
+	b.TileSig(0)
+	if a.Equal(b) {
+		t.Fatal("differing tile not detected")
+	}
+}
+
+// TestShareFromCopyOnWrite covers the COW view lifecycle: reads alias the
+// source, the first mutation materializes privately, and the source is
+// never written through the view.
+func TestShareFromCopyOnWrite(t *testing.T) {
+	src := New(40, 40)
+	src.FillAll(Color(0x336699))
+	view := New(40, 40)
+	view.EnableTiles()
+	view.ShareFrom(src)
+	if !view.Shared() {
+		t.Fatal("view not marked shared")
+	}
+	if view.At(7, 9) != Color(0x336699) {
+		t.Fatalf("shared read = %#x", view.At(7, 9))
+	}
+	view.Set(7, 9, Color(0x00ff00))
+	if view.Shared() {
+		t.Fatal("view still shared after write")
+	}
+	if src.At(7, 9) != Color(0x336699) {
+		t.Fatal("write leaked through to the shared source")
+	}
+	if view.At(7, 9) != Color(0x00ff00) || view.At(0, 0) != Color(0x336699) {
+		t.Fatal("materialized view content wrong")
+	}
+	// Pix() on a shared view must materialize (its slice is writable).
+	view2 := New(40, 40)
+	view2.ShareFrom(src)
+	view2.Pix()[0] = Color(0x123)
+	if src.At(0, 0) == Color(0x123) {
+		t.Fatal("Pix() returned an alias of the shared source")
+	}
+	// Re-sharing parks storage again; a second ShareFrom retargets.
+	view3 := New(40, 40)
+	view3.ShareFrom(src)
+	src2 := New(40, 40)
+	src2.FillAll(Color(0x101010))
+	view3.ShareFrom(src2)
+	if view3.At(3, 3) != Color(0x101010) {
+		t.Fatal("re-share did not retarget")
+	}
+	view3.FillAll(Color(0x99))
+	if src2.At(3, 3) != Color(0x101010) {
+		t.Fatal("materialization after re-share wrote the source")
+	}
+}
+
+// TestTileLatticeDeltaMatchesFullScan is the meter-side differential
+// property: DeltaCompare restricted to dirty tiles returns exactly the
+// verdict and first-diff index of a full lattice scan, across arbitrary
+// mutation histories, and leaves committed equal to the current lattice
+// values whenever it reports content.
+func TestTileLatticeDeltaMatchesFullScan(t *testing.T) {
+	for _, dims := range [][2]int{{64, 64}, {96, 130}, {33, 47}} {
+		w, h := dims[0], dims[1]
+		g := GridForSamples(w, h, 256)
+		tl := NewTileLattice(g)
+		rng := rand.New(rand.NewSource(int64(w * h)))
+		buf := noisyBuffer(rng, w, h)
+		buf.EnableTiles()
+		aux := noisyBuffer(rng, w, h)
+
+		committed := make([]Color, g.Samples())
+		tl.Prime(buf, committed)
+		sinceGen := buf.Gen()
+
+		full := make([]Color, g.Samples())
+		for step := 0; step < 150; step++ {
+			if rng.Intn(4) > 0 { // sometimes observe an unchanged frame
+				mutate(rng, buf, nil, aux)
+			}
+			// Reference: full gather against a snapshot of committed.
+			prev := make([]Color, len(committed))
+			copy(prev, committed)
+			g.Sample(buf, full)
+			want := SamplesFirstDiff(full, prev)
+
+			got := tl.DeltaCompare(buf, committed, sinceGen)
+			if got != want {
+				t.Fatalf("%dx%d step %d: DeltaCompare = %d, full scan = %d", w, h, step, got, want)
+			}
+			// Invariant: committed now equals the current lattice.
+			if d := SamplesFirstDiff(full, committed); d >= 0 {
+				t.Fatalf("%dx%d step %d: committed stale at index %d after DeltaCompare", w, h, step, d)
+			}
+			sinceGen = buf.Gen()
+		}
+	}
+}
+
+// TestTileStateAllocFree pins the steady-state allocation contract of the
+// tile layer: touch bookkeeping, signature hashing, COW materialization
+// and tiled blits allocate nothing once buffers exist.
+func TestTileStateAllocFree(t *testing.T) {
+	src := New(64, 64)
+	src.EnableTiles()
+	src.FillAll(Color(0x111111))
+	dst := New(64, 64)
+	dst.EnableTiles()
+	memo := New(64, 64)
+	memo.FillAll(Color(0x777777))
+	var gens ComposeGens
+	i := 0
+	allocs := testing.AllocsPerRun(50, func() {
+		src.Fill(Rect{i % 30, i % 30, i%30 + 20, i%30 + 20}, Color(i))
+		src.TileSig(0)
+		dst.BlitTiled(src, src.Bounds(), 0, 0, gens)
+		gens = ComposeGens{Src: src.Gen(), Dst: dst.Gen()}
+		dst.ShareFrom(memo) // park + alias
+		dst.Set(1, 1, Color(i))
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("tile steady state allocates %.1f allocs/op, want 0", allocs)
+	}
+}

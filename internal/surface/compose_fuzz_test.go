@@ -1,0 +1,180 @@
+package surface
+
+import (
+	"math/rand"
+	"testing"
+
+	"ccdem/internal/framebuffer"
+	"ccdem/internal/sim"
+)
+
+// fuzzClient is a deterministic contract-honoring Client: every paint op
+// it performs is covered by the damage it reports, and a frame reported
+// as redundant (empty damage) paints nothing. Two instances built from
+// the same seed draw identical sequences, so a tile-mode and a
+// naive-mode manager given the same stimulus render identical content.
+type fuzzClient struct {
+	rng *rand.Rand
+	aux *framebuffer.Buffer // blit source, never mutated
+}
+
+func newFuzzClient(seed int64, w, h int) *fuzzClient {
+	rng := rand.New(rand.NewSource(seed))
+	aux := framebuffer.New(w, h)
+	pix := aux.Pix()
+	for i := range pix {
+		pix[i] = framebuffer.Color(rng.Uint32() & 0x00ffffff)
+	}
+	return &fuzzClient{rng: rng, aux: aux}
+}
+
+// clientRect draws a rect roughly within (sometimes beyond) w × h,
+// including zero-area and inverted shapes — the mutators clamp.
+func (c *fuzzClient) clientRect(w, h int) framebuffer.Rect {
+	return framebuffer.Rect{
+		X0: c.rng.Intn(w+20) - 10,
+		Y0: c.rng.Intn(h+20) - 10,
+		X1: c.rng.Intn(w+20) - 10,
+		Y1: c.rng.Intn(h+20) - 10,
+	}
+}
+
+func (c *fuzzClient) Render(t sim.Time, buf *framebuffer.Buffer) (framebuffer.Rect, int) {
+	w, h := buf.Width(), buf.Height()
+	if c.rng.Intn(5) == 0 {
+		// Redundant frame: the app re-rendered identical pixels. No
+		// mutation, empty damage, but the render cost is still paid.
+		return framebuffer.Rect{}, w * h
+	}
+	var damage framebuffer.Rect
+	for n := c.rng.Intn(3) + 1; n > 0; n-- {
+		var r framebuffer.Rect
+		switch c.rng.Intn(4) {
+		case 0:
+			r = c.clientRect(w, h)
+			buf.Fill(r, framebuffer.Color(c.rng.Uint32()&0x00ffffff))
+			r = r.Clamp(buf.Bounds())
+		case 1:
+			x, y := c.rng.Intn(w), c.rng.Intn(h)
+			buf.Set(x, y, framebuffer.Color(c.rng.Uint32()&0x00ffffff))
+			r = framebuffer.Rect{X0: x, Y0: y, X1: x + 1, Y1: y + 1}
+		case 2:
+			// ScrollVert returns the vacated repaint rect; the honest
+			// damage is the whole scrolled region.
+			r = c.clientRect(w, h)
+			buf.ScrollVert(r, c.rng.Intn(2*h+1)-h)
+			r = r.Clamp(buf.Bounds())
+		default:
+			sw, sh := c.aux.Width(), c.aux.Height()
+			sr := c.clientRect(sw, sh).Clamp(c.aux.Bounds())
+			dx, dy := c.rng.Intn(w+10)-5, c.rng.Intn(h+10)-5
+			buf.Blit(c.aux, sr, dx, dy)
+			r = framebuffer.Rect{X0: dx, Y0: dy, X1: dx + sr.Dx(), Y1: dy + sr.Dy()}.Clamp(buf.Bounds())
+		}
+		if r.Empty() {
+			continue
+		}
+		if damage.Empty() {
+			damage = r
+		} else {
+			if r.X0 < damage.X0 {
+				damage.X0 = r.X0
+			}
+			if r.Y0 < damage.Y0 {
+				damage.Y0 = r.Y0
+			}
+			if r.X1 > damage.X1 {
+				damage.X1 = r.X1
+			}
+			if r.Y1 > damage.Y1 {
+				damage.Y1 = r.Y1
+			}
+		}
+	}
+	return damage, w * h
+}
+
+// FuzzTileCompose is the compositor differential fuzzer: the same
+// surface stimulus — frame requests, V-Syncs, a mid-run second surface —
+// drives a ComposeTiles manager and a ComposeNaive manager in lockstep.
+// The visible framebuffer bytes and the FrameInfo stream (sequence,
+// timing, dirty-pixel and render accounting) must stay byte-identical
+// whatever the fuzzer finds: tile skips, direct scanout and its
+// demotion are pure optimizations.
+func FuzzTileCompose(f *testing.F) {
+	f.Add(int64(1), []byte{0, 5, 0, 5, 0, 5}, uint8(64), uint8(64))
+	f.Add(int64(2), []byte{0, 0, 5, 4, 0, 3, 5, 5, 0, 5}, uint8(33), uint8(47))
+	f.Add(int64(3), []byte{5, 0, 5, 0, 4, 5, 3, 5, 0, 3, 5, 0, 5}, uint8(96), uint8(40))
+	f.Add(int64(4), []byte{0, 5, 4, 5, 0, 5}, uint8(32), uint8(32))
+	f.Add(int64(5), []byte{0, 5, 5, 5, 0, 5, 0, 5, 0, 5, 0, 5}, uint8(80), uint8(130))
+
+	f.Fuzz(func(t *testing.T, seed int64, ops []byte, w8, h8 uint8) {
+		w := int(w8%100) + 16 // 16..115: mixes tile-aligned and partial-edge screens
+		h := int(h8%120) + 16
+		if len(ops) > 256 {
+			ops = ops[:256]
+		}
+
+		mgrT := NewManager(sim.NewEngine(), w, h)
+		mgrT.SetComposeMode(ComposeTiles)
+		mgrN := NewManager(sim.NewEngine(), w, h)
+
+		sT := mgrT.NewSurface("app", 1, newFuzzClient(seed, w, h))
+		sN := mgrN.NewSurface("app", 1, newFuzzClient(seed, w, h))
+
+		var infosT, infosN []FrameInfo
+		mgrT.OnFrame(func(fi FrameInfo) { infosT = append(infosT, fi) })
+		mgrN.OnFrame(func(fi FrameInfo) { infosN = append(infosN, fi) })
+
+		var barT, barN *Surface // second surface, registered mid-run
+		var vsyncs sim.Time
+		for step, op := range ops {
+			switch op % 8 {
+			case 0, 1:
+				sT.RequestFrame()
+				sN.RequestFrame()
+			case 2:
+				if barT != nil {
+					barT.RequestFrame()
+					barN.RequestFrame()
+				}
+			case 3:
+				sT.RequestFrame()
+				sN.RequestFrame()
+				if barT != nil {
+					barT.RequestFrame()
+					barN.RequestFrame()
+				}
+			case 4:
+				if barT == nil {
+					// A status-bar-like surface at a deliberately
+					// tile-misaligned position; registering it demotes
+					// direct scanout mid-run.
+					fr := framebuffer.Rect{X0: 1, Y0: 1, X1: (w+1)/2 + 1, Y1: (h+1)/2 + 1}
+					barT = mgrT.NewSurfaceAt("bar", 2, fr, newFuzzClient(seed^0x5bd1e995, fr.Dx(), fr.Dy()))
+					barN = mgrN.NewSurfaceAt("bar", 2, fr, newFuzzClient(seed^0x5bd1e995, fr.Dx(), fr.Dy()))
+				}
+			default:
+				vsyncs++
+				tNow := vsyncs * sim.Hz(60)
+				mgrT.VSync(tNow, 60)
+				mgrN.VSync(tNow, 60)
+				if !mgrT.Framebuffer().Equal(mgrN.Framebuffer()) {
+					t.Fatalf("step %d (%dx%d): tile framebuffer diverges from naive (scanout=%v)",
+						step, w, h, mgrT.DirectScanout())
+				}
+			}
+		}
+		if len(infosT) != len(infosN) {
+			t.Fatalf("frame count: tiles latched %d, naive %d", len(infosT), len(infosN))
+		}
+		for i := range infosT {
+			if infosT[i] != infosN[i] {
+				t.Fatalf("frame %d: tiles %+v, naive %+v", i, infosT[i], infosN[i])
+			}
+		}
+		if mgrT.Frames() != mgrN.Frames() {
+			t.Fatalf("Frames(): tiles %d, naive %d", mgrT.Frames(), mgrN.Frames())
+		}
+	})
+}

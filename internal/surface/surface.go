@@ -70,6 +70,11 @@ type Surface struct {
 	// first latch, so per-frame composition allocates nothing.
 	rectScratch []framebuffer.Rect
 
+	// composed snapshots (surface buffer gen, framebuffer gen) at the end
+	// of this surface's last tiled compose; BlitTiled's generation skip
+	// proves tiles unchanged on both sides since then need no re-copy.
+	composed framebuffer.ComposeGens
+
 	requests uint64
 	renders  uint64
 }
@@ -104,6 +109,24 @@ type FrameInfo struct {
 	RenderedPx  int // pixels drawn by clients for this frame (the GPU cost)
 }
 
+// ComposeMode selects the composition strategy.
+type ComposeMode int
+
+const (
+	// ComposeNaive is the brute-force pipeline: every damage rectangle is
+	// blitted wholesale into the framebuffer. It is the differential-test
+	// oracle for the tile path and the default for directly constructed
+	// managers.
+	ComposeNaive ComposeMode = iota
+	// ComposeTiles enables tile tracking on the framebuffer and all
+	// surface buffers: composition skips tiles whose content provably did
+	// not change (BlitTiled), and a sole full-screen surface is scanned
+	// out directly without any copy. The visible framebuffer bytes,
+	// dirty-pixel accounting, and FrameInfo stream are identical to
+	// ComposeNaive for contract-honoring clients.
+	ComposeTiles
+)
+
 // Manager combines surfaces into the framebuffer on V-Sync.
 type Manager struct {
 	eng       *sim.Engine
@@ -115,6 +138,13 @@ type Manager struct {
 	deferred  uint64
 	rec       *obs.Recorder
 	pool      []*framebuffer.Buffer // detached surface buffers, reusable by dimension
+	mode      ComposeMode
+	// scanout, when non-nil, is the sole full-screen surface whose buffer
+	// is scanned out directly in place of the composed framebuffer — the
+	// single-layer fast path real compositors call "client target
+	// bypass". Engaged at first latch under ComposeTiles; demoted (with a
+	// one-time copy into fb) as soon as a second surface registers.
+	scanout *Surface
 }
 
 // NewManager creates a manager owning a w × h framebuffer.
@@ -149,7 +179,32 @@ func (m *Manager) Reset() {
 	m.latchGate = nil
 	m.deferred = 0
 	m.rec = nil
+	// Drop direct scanout without copying back: the stale framebuffer
+	// pixels fall under the same contract as pooled buffers above (a
+	// re-registered surface's first latch composes its full bounds).
+	m.scanout = nil
 }
+
+// SetComposeMode selects the composition strategy. ComposeTiles enables
+// tile tracking on the framebuffer and every registered surface buffer
+// (newly registered surfaces inherit it). The mode survives Reset;
+// device init sets it explicitly per session.
+func (m *Manager) SetComposeMode(mode ComposeMode) {
+	m.mode = mode
+	if mode == ComposeTiles {
+		m.fb.EnableTiles()
+		for _, s := range m.surfaces {
+			s.buf.EnableTiles()
+		}
+	}
+}
+
+// ComposeMode returns the active composition strategy.
+func (m *Manager) ComposeMode() ComposeMode { return m.mode }
+
+// DirectScanout reports whether the framebuffer currently aliases a sole
+// full-screen surface's buffer (no composition copies at all).
+func (m *Manager) DirectScanout() bool { return m.scanout != nil }
 
 // takeBuffer reuses a pooled buffer of exactly dx × dy pixels, or
 // allocates a fresh (zeroed) one. Pooled buffers keep their previous
@@ -168,8 +223,15 @@ func (m *Manager) takeBuffer(dx, dy int) *framebuffer.Buffer {
 }
 
 // Framebuffer exposes the composed framebuffer — what the display hardware
-// scans out and what the content-rate meter monitors.
-func (m *Manager) Framebuffer() *framebuffer.Buffer { return m.fb }
+// scans out and what the content-rate meter monitors. Under direct
+// scanout this is the sole surface's buffer; callers must re-fetch it
+// per use rather than cache it across frames.
+func (m *Manager) Framebuffer() *framebuffer.Buffer {
+	if m.scanout != nil {
+		return m.scanout.buf
+	}
+	return m.fb
+}
 
 // Frames returns the total number of framebuffer updates (latched frames).
 func (m *Manager) Frames() uint64 { return m.frames }
@@ -212,6 +274,12 @@ func (m *Manager) NewSurfaceAt(name string, z int, frame framebuffer.Rect, clien
 	if frame.Empty() {
 		panic(fmt.Sprintf("surface: %q has an empty on-screen frame", name))
 	}
+	if m.scanout != nil {
+		// A second surface appears: materialize the owned framebuffer
+		// before anyone composes over the directly scanned-out buffer.
+		m.fb.CopyFrom(m.scanout.buf)
+		m.scanout = nil
+	}
 	s := &Surface{
 		name:   name,
 		z:      z,
@@ -219,6 +287,9 @@ func (m *Manager) NewSurfaceAt(name string, z int, frame framebuffer.Rect, clien
 		buf:    m.takeBuffer(frame.Dx(), frame.Dy()),
 		client: client,
 		mgr:    m,
+	}
+	if m.mode == ComposeTiles {
+		s.buf.EnableTiles()
 	}
 	s.region, _ = client.(RegionClient)
 	// Insert in z order (stable for equal z).
@@ -291,14 +362,50 @@ func (m *Manager) VSync(t sim.Time, _ int) {
 			s.rectScratch = append(s.rectScratch[:0], s.buf.Bounds())
 			rects = s.rectScratch
 			s.everDrawn = true
-		}
-		for _, damage := range rects {
-			damage = damage.Clamp(s.buf.Bounds())
-			if damage.Empty() {
-				continue
+			if m.mode == ComposeTiles && m.scanout == nil &&
+				len(m.surfaces) == 1 && s.frame == m.fb.Bounds() {
+				// Sole full-screen surface: scan its buffer out directly.
+				m.scanout = s
 			}
-			m.fb.Blit(s.buf, damage, s.frame.X0+damage.X0, s.frame.Y0+damage.Y0)
-			totalDirty += damage.Area()
+		}
+		switch {
+		case m.scanout == s:
+			// Direct scanout: the surface buffer IS the framebuffer; no
+			// copies, but dirty-pixel accounting is unchanged.
+			for _, damage := range rects {
+				damage = damage.Clamp(s.buf.Bounds())
+				totalDirty += damage.Area()
+			}
+		case m.mode == ComposeTiles:
+			prev := s.composed
+			if len(m.surfaces) > 1 {
+				// The generation skip's induction — "this framebuffer tile
+				// equals the surface tile it was composed from" — needs the
+				// surface to be the framebuffer's sole writer: another
+				// surface's overlapping compose, later partially overwritten,
+				// leaves a tile whose generations look settled but whose
+				// bytes are a mixture. With overlapping surfaces only the
+				// signature + pixel-verify ladder decides (still exact).
+				prev = framebuffer.ComposeGens{}
+			}
+			for _, damage := range rects {
+				damage = damage.Clamp(s.buf.Bounds())
+				if damage.Empty() {
+					continue
+				}
+				m.fb.BlitTiled(s.buf, damage, s.frame.X0+damage.X0, s.frame.Y0+damage.Y0, prev)
+				totalDirty += damage.Area()
+			}
+			s.composed = framebuffer.ComposeGens{Src: s.buf.Gen(), Dst: m.fb.Gen()}
+		default:
+			for _, damage := range rects {
+				damage = damage.Clamp(s.buf.Bounds())
+				if damage.Empty() {
+					continue
+				}
+				m.fb.Blit(s.buf, damage, s.frame.X0+damage.X0, s.frame.Y0+damage.Y0)
+				totalDirty += damage.Area()
+			}
 		}
 		totalRendered += renderedPx
 	}
