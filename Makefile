@@ -33,6 +33,8 @@ fuzz:
 	$(GO) test -fuzz FuzzAccumulatorCodec -fuzztime $(FUZZTIME) ./internal/fleet
 	$(GO) test -fuzz FuzzTileCompose -fuzztime $(FUZZTIME) ./internal/surface
 	$(GO) test -fuzz FuzzTileCompare -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -fuzz FuzzPaletteCompose -fuzztime $(FUZZTIME) ./internal/surface
+	$(GO) test -fuzz FuzzPaletteCompare -fuzztime $(FUZZTIME) ./internal/framebuffer
 
 # Benchmark-regression gate over the pinned hot-path suite (see
 # cmd/ccdem-bench): medians of repeated runs vs results/bench_baseline.json.

@@ -129,6 +129,16 @@ type Config struct {
 	// kept as the differential-testing oracle, mirroring the lean-mode
 	// pattern of the negative trace/sample intervals.
 	NaivePixels bool
+	// NoPalette disables the palette-compressed tile representation and
+	// the app state memo built on it while keeping the rest of the tile
+	// pipeline (damage-only composition, signatures, tile-delta
+	// comparison). The default (false, palettes on) stores tiles of at
+	// most 16 colors as 4-bit index planes, which shrinks the bytes every
+	// blit, hash and compare touches; decisions, traces and statistics
+	// are bit-identical either way, and this raw-tile path is the
+	// differential-testing oracle for the palette layer. Implied by
+	// NaivePixels (the naive pipeline has no tiles to compress).
+	NoPalette bool
 	// DownHysteresis requires this many consecutive down indications
 	// before the governor lowers the rate (extension; 0 = paper's
 	// behaviour).
@@ -332,6 +342,7 @@ func (d *Device) init(cfg Config, reuse bool) error {
 	} else {
 		d.mgr.SetComposeMode(surface.ComposeTiles)
 	}
+	d.mgr.SetPalettes(!cfg.NaivePixels && !cfg.NoPalette)
 	if reuse {
 		if err := d.model.Reset(*cfg.PowerParams, d.panel.Rate(), cfg.Brightness); err != nil {
 			return err
@@ -599,6 +610,7 @@ func (d *Device) InstallApp(p app.Params) (*app.Model, error) {
 		return nil, err
 	}
 	m.Attach(d.eng, d.mgr)
+	m.SetStateMemo(!d.cfg.NaivePixels && !d.cfg.NoPalette)
 	if d.cfg.Faults != nil {
 		m.SetStall(d.cfg.Faults.AppStalled)
 	}
@@ -822,6 +834,19 @@ func (d *Device) FinishObs() {
 	reg.Counter("refresh_switches_total").Add(d.panel.Switches())
 	reg.Counter("deferred_latches_total").Add(d.mgr.DeferredLatches())
 	reg.Counter("sim_time_us").Add(uint64(now))
+	// Palette and memo counters are registered unconditionally so scrape
+	// targets see the series (at zero) even on -no-palette devices.
+	palTiles, palPromos := d.mgr.PaletteStats()
+	reg.Counter("fb_palette_tiles").Add(uint64(palTiles))
+	reg.Counter("fb_palette_promotions_total").Add(palPromos)
+	var memoHits, memoMisses uint64
+	for _, m := range d.apps {
+		h, ms := m.MemoStats()
+		memoHits += h
+		memoMisses += ms
+	}
+	reg.Counter("app_memo_hits_total").Add(memoHits)
+	reg.Counter("app_memo_misses_total").Add(memoMisses)
 	if d.gov != nil {
 		reg.Counter("governor_decisions_total").Add(d.gov.Decisions())
 		reg.Counter("touch_boosts_total").Add(d.gov.Booster().Touches())

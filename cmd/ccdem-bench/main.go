@@ -32,7 +32,9 @@ import (
 // suiteRegex pins the gated benchmarks: the hot-path kernels (grid sample,
 // pixel diff, fill, meter observe), the tile pipeline against its naive
 // oracle (compose and compare, whose naive rows double as the comparison
-// baseline), the event engine (cold-start and steady-state), the
+// baseline), the palette representation against the raw-tile oracle
+// (blit and hash rows, plus the whole-device no-palette steady state),
+// the event engine (cold-start and steady-state), the
 // whole-device paths (per-op setup and zero-alloc steady state), and the
 // fleet campaign path (streamed throughput and memory footprint —
 // single-op cohorts, cheap enough to gate). Heavier figure-regeneration
@@ -40,8 +42,9 @@ import (
 // -benchtime 200ms gate.
 const suiteRegex = `^(BenchmarkGridSample9K|BenchmarkDiffPixelsFullHD|BenchmarkFillSprite|` +
 	`BenchmarkMeterObserve9K|BenchmarkTileCompare|BenchmarkTileCompose|` +
+	`BenchmarkPaletteBlit|BenchmarkPaletteHash|` +
 	`BenchmarkEngineScheduleAndRun|BenchmarkEngineSteadyState|` +
-	`BenchmarkDeviceSimulation|BenchmarkDeviceSteadyState|` +
+	`BenchmarkDeviceSimulation|BenchmarkDeviceSteadyState|BenchmarkDeviceSteadyStateNoPalette|` +
 	`BenchmarkFleetThroughput|BenchmarkCohortMemory)$`
 
 // suitePackages lists the packages holding the pinned benchmarks.

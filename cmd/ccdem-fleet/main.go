@@ -34,10 +34,11 @@ import (
 
 // obsFlags bundles the observability surface of the command.
 type obsFlags struct {
-	traceOut   string // Chrome trace-event JSON output path
-	traceSched bool   // add the (non-deterministic) pool-scheduler track
-	metrics    bool   // dump the merged fleet registry to stderr
-	sample     int    // keep observability for ~1 in N devices (0/1 = all)
+	traceOut    string // Chrome trace-event JSON output path
+	traceSched  bool   // add the (non-deterministic) pool-scheduler track
+	metrics     bool   // dump the merged fleet registry to stderr
+	metricsProm string // write the merged registry as Prometheus exposition to this file
+	sample      int    // keep observability for ~1 in N devices (0/1 = all)
 }
 
 // runConfig is the command's full flag surface, validated in run.
@@ -51,6 +52,7 @@ type runConfig struct {
 	faults   float64 // fault intensity: scales fault.DefaultPlan (0 = off)
 	hardened bool    // enable governor fail-safe hardening
 	naivePix bool    // force the brute-force pixel pipeline (tile oracle)
+	noPal    bool    // disable palette-compressed tiles (palette oracle)
 	failFast bool    // abort the campaign on the first device failure
 	timeout  time.Duration
 	specPath string
@@ -77,6 +79,7 @@ func main() {
 	flag.Float64Var(&c.faults, "faults", 0, "fault intensity injected into managed segments: scales the default fault plan (0 = off, 1 = reference chaos mix)")
 	flag.BoolVar(&c.hardened, "hardened", false, "enable governor fail-safe hardening on managed segments")
 	flag.BoolVar(&c.naivePix, "naive-pixels", false, "force the brute-force pixel pipeline (no tile signatures); results are byte-identical to the default tile path — this is the differential-testing oracle")
+	flag.BoolVar(&c.noPal, "no-palette", false, "disable palette-compressed tile surfaces and the app state memo (keeps the tile pipeline); results are byte-identical to the default palette path — this is the palette layer's differential-testing oracle")
 	flag.BoolVar(&c.failFast, "fail-fast", false, "abort the campaign on the first device failure instead of aggregating the survivors")
 	flag.DurationVar(&c.timeout, "task-timeout", 0, "wall-clock budget per device simulation; a device exceeding it is reported failed (0 = unlimited)")
 	flag.StringVar(&c.specPath, "spec", "", "cohort specification JSON (see -write-spec for a template); explicit flags override its scalars")
@@ -92,6 +95,7 @@ func main() {
 	flag.StringVar(&c.obs.traceOut, "trace-out", "", "write a Chrome trace-event JSON of every device's managed session to this file (open in Perfetto or chrome://tracing)")
 	flag.BoolVar(&c.obs.traceSched, "trace-sched", false, "with -trace-out: add the pool scheduler's wall-clock task spans as an extra track (not reproducible across runs)")
 	flag.BoolVar(&c.obs.metrics, "metrics", false, "dump the merged fleet metrics registry to stderr after the run")
+	flag.StringVar(&c.obs.metricsProm, "metrics-prom", "", "write the merged fleet metrics registry to this file in Prometheus text exposition format (- for stderr); scrape-compatible with ccdem-obscheck -prom")
 	flag.IntVar(&c.obs.sample, "obs-sample", 0, "with -trace-out/-metrics: keep observability for roughly 1 in N devices, chosen deterministically by name hash (0 or 1 = all); bounds observability memory on huge fleets")
 	pprofOut := flag.String("pprof", "", "write a CPU profile of the whole invocation to this file")
 	version := flag.Bool("version", false, "print version and exit")
@@ -136,6 +140,9 @@ func (c runConfig) validate() error {
 	}
 	if c.faults < 0 {
 		return fmt.Errorf("-faults must be non-negative, got %g", c.faults)
+	}
+	if c.naivePix && c.noPal {
+		return fmt.Errorf("-naive-pixels already runs without palettes; drop -no-palette (each flag selects one differential oracle)")
 	}
 	if c.timeout < 0 {
 		return fmt.Errorf("-task-timeout must be non-negative, got %v", c.timeout)
@@ -217,6 +224,7 @@ func run(c runConfig) error {
 		MeterSamples: c.samples,
 		Hardened:     c.hardened,
 		NaivePixels:  c.naivePix,
+		NoPalette:    c.noPal,
 		FailFast:     c.failFast,
 	}
 	if c.faults > 0 {
@@ -274,6 +282,9 @@ func run(c runConfig) error {
 		if !set["naive-pixels"] {
 			cohort.NaivePixels = spec.NaivePixels
 		}
+		if !set["no-palette"] {
+			cohort.NoPalette = spec.NoPalette
+		}
 		cohort.Pack = spec.Pack
 		cohort.Profiles = spec.Profiles
 	}
@@ -287,7 +298,7 @@ func run(c runConfig) error {
 			}
 		}
 	}
-	if c.obs.traceOut != "" || c.obs.metrics {
+	if c.obs.traceOut != "" || c.obs.metrics || c.obs.metricsProm != "" {
 		cohort.Obs = obs.NewCollector(0)
 		cohort.Obs.SetSample(c.obs.sample)
 	}
@@ -354,8 +365,9 @@ func run(c runConfig) error {
 }
 
 // writeObs exports the collected fleet observability: the Perfetto trace
-// (plus the scheduler track with -trace-sched) to -trace-out and, with
-// -metrics, the merged fleet registry dump to stderr.
+// (plus the scheduler track with -trace-sched) to -trace-out, the merged
+// fleet registry dump to stderr with -metrics, and the same registry in
+// Prometheus text exposition format to -metrics-prom.
 func writeObs(c *obs.Collector, spans *obs.SpanLog, of obsFlags) error {
 	if c == nil {
 		return nil
@@ -387,6 +399,24 @@ func writeObs(c *obs.Collector, spans *obs.SpanLog, of obsFlags) error {
 		if err := c.WriteMetrics(os.Stderr); err != nil {
 			return err
 		}
+	}
+	if of.metricsProm != "" {
+		merged, err := c.MergedMetrics()
+		if err != nil {
+			return err
+		}
+		if of.metricsProm == "-" {
+			return merged.WritePrometheus(os.Stderr)
+		}
+		f, err := os.Create(of.metricsProm)
+		if err != nil {
+			return err
+		}
+		if err := merged.WritePrometheus(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
 	}
 	return nil
 }

@@ -8,6 +8,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"ccdem/internal/obs"
 )
 
 // testConfig is a small healthy cohort; tests tweak the fields they probe.
@@ -91,6 +93,35 @@ func TestRunFaultyHardenedJSON(t *testing.T) {
 	}
 }
 
+// TestRunMetricsPromExposition: -metrics-prom writes a parseable
+// Prometheus exposition carrying the palette and memo counter families
+// (counters gain the conventional _total suffix on export).
+func TestRunMetricsPromExposition(t *testing.T) {
+	c := testConfig()
+	c.obs.metricsProm = filepath.Join(t.TempDir(), "fleet.prom")
+	capture(t, func() error { return run(c) })
+	f, err := os.Open(c.obs.metricsProm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	fams, err := obs.ParsePrometheus(f)
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v", err)
+	}
+	for _, want := range []string{
+		"fb_palette_tiles_total",
+		"fb_palette_promotions_total",
+		"app_memo_hits_total",
+		"app_memo_misses_total",
+		"frames_total",
+	} {
+		if fams[want] == nil {
+			t.Errorf("family %s missing from exposition", want)
+		}
+	}
+}
+
 func TestRunRejectsBadInput(t *testing.T) {
 	cases := []struct {
 		name   string
@@ -103,6 +134,7 @@ func TestRunRejectsBadInput(t *testing.T) {
 		{"negative duration", func(c *runConfig) { c.duration = -3 }},
 		{"zero samples", func(c *runConfig) { c.samples = 0 }},
 		{"negative fault scale", func(c *runConfig) { c.faults = -1 }},
+		{"both pixel oracles", func(c *runConfig) { c.naivePix = true; c.noPal = true }},
 		{"negative task timeout", func(c *runConfig) { c.timeout = -time.Second }},
 		{"shard with csv", func(c *runConfig) { c.shard = "0/2"; c.format = "csv" }},
 		{"shard with per-device", func(c *runConfig) { c.shard = "0/2"; c.perDev = true }},

@@ -49,15 +49,17 @@ var goldenApps = []struct {
 const goldenDuration = 20 * sim.Second
 
 // goldenTrace runs one governed device on the named app and renders its
-// complete decision history as text, using the default (tile-tracked)
-// pixel pipeline.
+// complete decision history as text, using the default (tile-tracked,
+// palette-compressed) pixel pipeline.
 func goldenTrace(appName string, seed int64) (string, error) {
-	return goldenTraceCfg(appName, seed, false)
+	return goldenTraceCfg(appName, seed, false, false)
 }
 
 // goldenTraceCfg is goldenTrace with the pixel pipeline selectable:
-// naivePixels true runs the brute-force oracle path.
-func goldenTraceCfg(appName string, seed int64, naivePixels bool) (string, error) {
+// naivePixels true runs the brute-force oracle path, noPalette true runs
+// the tile pipeline with palette compression (and the app state memo)
+// disabled.
+func goldenTraceCfg(appName string, seed int64, naivePixels, noPalette bool) (string, error) {
 	p, ok := app.ByName(appName)
 	if !ok {
 		return "", fmt.Errorf("unknown app %q", appName)
@@ -65,6 +67,7 @@ func goldenTraceCfg(appName string, seed int64, naivePixels bool) (string, error
 	dev, err := ccdem.NewDevice(ccdem.Config{
 		Governor:    ccdem.GovernorSectionBoost,
 		NaivePixels: naivePixels,
+		NoPalette:   noPalette,
 	})
 	if err != nil {
 		return "", err
@@ -185,17 +188,53 @@ func TestGoldenTracesTileVsNaive(t *testing.T) {
 		t.Skip("golden traces need full-length runs")
 	}
 	for _, a := range goldenApps {
-		tiles, err := goldenTraceCfg(a.name, a.seed, false)
+		tiles, err := goldenTraceCfg(a.name, a.seed, false, false)
 		if err != nil {
 			t.Fatalf("%s (tiles): %v", a.name, err)
 		}
-		naive, err := goldenTraceCfg(a.name, a.seed, true)
+		naive, err := goldenTraceCfg(a.name, a.seed, true, false)
 		if err != nil {
 			t.Fatalf("%s (naive): %v", a.name, err)
 		}
 		if tiles != naive {
 			t.Errorf("%s: tile-path trace differs from naive oracle\n%s",
 				a.name, firstLineDiff(tiles, naive))
+		}
+	}
+}
+
+// TestGoldenTracesPaletteVsNoPalette runs every golden app with palette
+// compression and the app state memo on (the default) and off
+// (-no-palette, the raw-tile oracle), the oracle side under fleet.Pool at
+// 1, 2 and 8 workers, and diffs the decision-event streams byte for byte.
+// The palette path replaces pixel stores, hashes and compares with index
+// arithmetic and memoized copy-on-write screens, so this is the
+// end-to-end proof that none of it moved a governor decision, a rate
+// transition or a lifetime total — at any worker count.
+func TestGoldenTracesPaletteVsNoPalette(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden traces need full-length runs")
+	}
+	reference := runGoldenFleet(t, 1) // default palette path
+	for _, workers := range []int{1, 2, 8} {
+		oracle := make([]string, len(goldenApps))
+		err := fleet.Pool{Workers: workers}.Run(context.Background(), len(goldenApps),
+			func(_ context.Context, i int) error {
+				tr, err := goldenTraceCfg(goldenApps[i].name, goldenApps[i].seed, false, true)
+				if err != nil {
+					return fmt.Errorf("%s: %w", goldenApps[i].name, err)
+				}
+				oracle[i] = tr
+				return nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, a := range goldenApps {
+			if oracle[i] != reference[i] {
+				t.Errorf("%s: no-palette oracle trace at %d workers differs from palette path\n%s",
+					a.name, workers, firstLineDiff(oracle[i], reference[i]))
+			}
 		}
 	}
 }

@@ -97,8 +97,8 @@ func (m *Model) initPaint() {
 			}
 		}
 	}
-	key := initKey{name: m.p.Name, style: m.p.Style, w: m.w, h: m.h}
-	if memo := lookupInitScreen(key); memo != nil {
+	key := stateKey{name: m.p.Name, style: m.p.Style, w: m.w, h: m.h}
+	if memo := lookupStateScreen(key); memo != nil {
 		buf.ShareFrom(memo)
 		if m.p.Style == StyleSprites {
 			// paintSprites did not run: record the drawn positions it
@@ -108,7 +108,7 @@ func (m *Model) initPaint() {
 		return
 	}
 	m.paintInitial(buf)
-	storeInitScreen(key, buf)
+	storeStateScreen(key, buf)
 }
 
 // paintInitial renders the initial screen from scratch (the memo-miss
@@ -161,7 +161,82 @@ func (m *Model) advanceContent() {
 
 // paint renders the state of contentSeq into buf, accumulating the
 // damaged rectangles into m.damage.
+//
+// With the state memo enabled and the content still in the memoizable
+// window, the screen for contentSeq may already exist (painted earlier by
+// any device): the hit path records exactly the damage painting would
+// have reported and aliases the memo copy-on-write instead of writing
+// pixels. The miss path paints normally and publishes the result. Both
+// paths report identical damage and render cost, so every downstream
+// decision — dirty-pixel accounting, compose, metering — is byte-for-byte
+// the same with and without the memo (the golden and differential tests
+// hold this line).
 func (m *Model) paint(buf *framebuffer.Buffer) {
+	key := stateKey{name: m.p.Name, style: m.p.Style, w: m.w, h: m.h, seq: m.contentSeq}
+	if m.stateMemo && memoAdmit(key) {
+		if memo := lookupStateScreen(key); memo != nil {
+			m.memoHit(memo, buf)
+			return
+		}
+		// Singleflight the first paint of this key: re-check under the
+		// key's stripe so concurrent devices produce exactly one miss
+		// (and one snapshot) per distinct key, keeping summed hit/miss
+		// counters independent of worker scheduling.
+		lock := stripeFor(key)
+		lock.Lock()
+		if memo := lookupStateScreen(key); memo != nil {
+			lock.Unlock()
+			m.memoHit(memo, buf)
+			return
+		}
+		m.memoMisses++
+		m.paintStyle(buf)
+		storeStateScreen(key, buf)
+		lock.Unlock()
+		return
+	}
+	m.paintStyle(buf)
+}
+
+// memoHit applies a memoized screen: record the damage painting would
+// have reported, then alias the memo copy-on-write over exactly those
+// rectangles.
+func (m *Model) memoHit(memo, buf *framebuffer.Buffer) {
+	m.memoHits++
+	m.memoDamage()
+	buf.ShareFromDamage(memo, m.damage.Rects())
+}
+
+// memoDamage accumulates into m.damage exactly the rectangles paintStyle
+// would have, in the same Region.Add order (Add's merging is
+// order-sensitive, and the damage region feeds dirty-pixel accounting),
+// and performs the painter-state updates the skipped paint would have
+// done (prevSprites tracking).
+func (m *Model) memoDamage() {
+	switch m.p.Style {
+	case StyleFeed:
+		m.damage.Add(framebuffer.R(0, m.headerPx(), m.w, m.h))
+	case StyleSprites:
+		sz := m.spriteSz()
+		for _, s := range m.prevSprites {
+			m.damage.Add(framebuffer.R(s.x, s.y, s.x+sz, s.y+sz))
+		}
+		m.prevSprites = m.prevSprites[:0]
+		for _, s := range m.sprites {
+			m.damage.Add(framebuffer.R(s.x, s.y, s.x+sz, s.y+sz))
+			m.prevSprites = append(m.prevSprites, s)
+		}
+	case StyleVideo:
+		m.damage.Add(m.videoRect())
+	case StylePulse:
+		m.damage.Add(m.pulseRect())
+	}
+}
+
+// paintStyle renders the state of contentSeq into buf from the buffer's
+// current (drawnSeq) content — the memo-miss path, and the oracle the
+// memo hit path is differentially tested against.
+func (m *Model) paintStyle(buf *framebuffer.Buffer) {
 	switch m.p.Style {
 	case StyleFeed:
 		region := framebuffer.R(0, m.headerPx(), m.w, m.h)
@@ -224,11 +299,23 @@ func (m *Model) paintSprites(buf *framebuffer.Buffer) {
 	}
 }
 
+// videoRect returns the letterboxed video area.
+func (m *Model) videoRect() framebuffer.Rect {
+	vh := m.h / 2
+	return framebuffer.R(0, (m.h-vh)/2, m.w, (m.h+vh)/2)
+}
+
+// pulseRect returns the centered widget region.
+func (m *Model) pulseRect() framebuffer.Rect {
+	x0 := (m.w - pulseSize) / 2
+	y0 := (m.h - pulseSize) / 2
+	return framebuffer.R(x0, y0, x0+pulseSize, y0+pulseSize)
+}
+
 // paintVideo repaints the letterboxed video area with a band pattern
 // derived from the current frame number.
 func (m *Model) paintVideo(buf *framebuffer.Buffer) framebuffer.Rect {
-	vh := m.h / 2
-	r := framebuffer.R(0, (m.h-vh)/2, m.w, (m.h+vh)/2)
+	r := m.videoRect()
 	for x := r.X0; x < r.X1; x += bandW {
 		x1 := x + bandW
 		if x1 > r.X1 {
@@ -241,9 +328,7 @@ func (m *Model) paintVideo(buf *framebuffer.Buffer) framebuffer.Rect {
 
 // paintPulse repaints the widget region.
 func (m *Model) paintPulse(buf *framebuffer.Buffer) framebuffer.Rect {
-	x0 := (m.w - pulseSize) / 2
-	y0 := (m.h - pulseSize) / 2
-	r := framebuffer.R(x0, y0, x0+pulseSize, y0+pulseSize)
+	r := m.pulseRect()
 	buf.Fill(r, hashColor(m.contentSeq, m.salt()))
 	return r
 }

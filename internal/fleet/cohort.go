@@ -128,6 +128,12 @@ type Cohort struct {
 	// default tile-tracked pipeline; the knob exists as the differential
 	// oracle for CI and the tile-vs-naive equality tests.
 	NaivePixels bool
+	// NoPalette disables the palette-compressed tile representation and
+	// the app state memo on every device (ccdem.Config.NoPalette) while
+	// keeping the rest of the tile pipeline. Campaign aggregates are
+	// byte-identical either way; the knob is the differential oracle for
+	// the palette layer, as NaivePixels is for the tile layer.
+	NoPalette bool
 	// FailFast aborts the campaign on the first device failure (the old
 	// behaviour). The default keeps going: surviving devices aggregate,
 	// failed ones are reported in Result.Failed.
@@ -703,6 +709,7 @@ func (c Cohort) runSegment(lane *deviceLane, p app.Params, mode ccdem.GovernorMo
 		Governor:     mode,
 		MeterSamples: c.MeterSamples,
 		NaivePixels:  c.NaivePixels,
+		NoPalette:    c.NoPalette,
 		Recorder:     rec,
 		Metrics:      reg,
 		Faults:       inj,

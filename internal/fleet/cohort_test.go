@@ -72,6 +72,36 @@ func TestCohortTileVsNaivePixels(t *testing.T) {
 	}
 }
 
+// TestCohortPaletteVsNoPalette pins the palette layer's fleet-level
+// differential contract: a campaign with palette-compressed tiles and the
+// app state memo (the default) produces byte-identical per-device rows
+// and aggregates to the same campaign with both disabled (the raw-tile
+// oracle), at multiple worker counts.
+func TestCohortPaletteVsNoPalette(t *testing.T) {
+	var outputs []string
+	for _, noPal := range []bool{false, true} {
+		for _, workers := range []int{1, 2, 8} {
+			cohort := testCohort(6)
+			cohort.NoPalette = noPal
+			r, err := cohort.Run(context.Background(), Pool{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := r.WriteJSON(&buf, true); err != nil {
+				t.Fatal(err)
+			}
+			outputs = append(outputs, buf.String())
+		}
+	}
+	for i, out := range outputs[1:] {
+		if out != outputs[0] {
+			t.Fatalf("campaign output %d differs from palette-path reference:\n--- reference ---\n%s\n--- got ---\n%s",
+				i+1, outputs[0], out)
+		}
+	}
+}
+
 func TestCohortAggregateShape(t *testing.T) {
 	cohort := testCohort(8)
 	r, err := cohort.Run(context.Background(), Pool{})

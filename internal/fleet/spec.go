@@ -21,6 +21,7 @@ type wireSpec struct {
 	Governor     string        `json:"governor,omitempty"`
 	MeterSamples int           `json:"meter_samples,omitempty"`
 	NaivePixels  bool          `json:"naive_pixels,omitempty"`
+	NoPalette    bool          `json:"no_palette,omitempty"`
 	Profiles     []wireProfile `json:"profiles"`
 }
 
@@ -86,6 +87,7 @@ func ReadSpec(r io.Reader) (Cohort, error) {
 		Governor:     mode,
 		MeterSamples: ws.MeterSamples,
 		NaivePixels:  ws.NaivePixels,
+		NoPalette:    ws.NoPalette,
 	}
 	for _, wp := range ws.Profiles {
 		p := Profile{
@@ -121,6 +123,7 @@ func WriteSpec(w io.Writer, c Cohort) error {
 		Governor:     c.Governor.String(),
 		MeterSamples: c.MeterSamples,
 		NaivePixels:  c.NaivePixels,
+		NoPalette:    c.NoPalette,
 	}
 	for _, p := range c.Profiles {
 		wp := wireProfile{

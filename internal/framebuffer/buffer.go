@@ -78,42 +78,58 @@ func (b *Buffer) Bounds() Rect { return Rect{0, 0, b.w, b.h} }
 // Pix exposes the raw row-major pixel slice for zero-copy scanning by the
 // meter and the OLED power model. Callers must not resize it. Because the
 // returned slice can be written through, a copy-on-write view is
-// materialized first; in-package readers use b.pix directly.
+// materialized and every palette-compressed tile is realized first;
+// in-package readers go through the representation instead.
 func (b *Buffer) Pix() []Color {
 	b.own()
+	b.realizeAll()
 	return b.pix
 }
 
-// At returns the pixel at (x, y). Out-of-bounds access panics (slice bounds).
-func (b *Buffer) At(x, y int) Color { return b.pix[y*b.w+x] }
+// At returns the pixel at (x, y), reading through the content
+// representation (shared source, palette decode). Out-of-bounds access
+// panics (slice bounds).
+func (b *Buffer) At(x, y int) Color { return b.repr().colorAt(x, y) }
 
-// Set writes the pixel at (x, y).
+// Set writes the pixel at (x, y). On a palette-compressed tile the write
+// stays in the index plane while c fits the palette; overflow promotes
+// the tile to raw.
 func (b *Buffer) Set(x, y int, c Color) {
 	b.own()
-	b.pix[y*b.w+x] = c
 	if t := b.tiles; t != nil {
+		ti := (y>>TileShift)*t.cols + x>>TileShift
 		t.gen++
-		t.tgen[(y>>TileShift)*t.cols+(x>>TileShift)] = t.gen
+		t.tgen[ti] = t.gen
+		if t.palOn && t.palN[ti] > 0 {
+			if idx := t.palIndex(ti, c); idx >= 0 {
+				np := (y&tileMask)<<TileShift + x&tileMask
+				sh := uint(np&1) * 4
+				plane := t.tilePlane(ti)
+				plane[np>>1] = plane[np>>1]&^(0xF<<sh) | byte(idx)<<sh
+				return
+			}
+			b.realizeTile(ti)
+		}
 	}
+	b.pix[y*b.w+x] = c
 }
 
 // Fill sets every pixel in r (clamped to the buffer) to c and returns the
-// number of pixels written. The first row is painted by doubling copies and
-// replicated into the remaining rows with copy, so the bulk of the work
-// runs at memmove speed instead of one store per pixel.
+// number of pixels written. On palette-enabled buffers the fill runs in
+// the index domain where it can (see fillPal); otherwise the first row is
+// painted by doubling copies and replicated into the remaining rows with
+// copy, so the bulk of the work runs at memmove speed instead of one
+// store per pixel.
 func (b *Buffer) Fill(r Rect, c Color) int {
 	r = r.Clamp(b.Bounds())
 	if r.Empty() {
 		return 0
 	}
 	b.own()
-	first := b.pix[r.Y0*b.w+r.X0 : r.Y0*b.w+r.X1]
-	first[0] = c
-	for n := 1; n < len(first); n *= 2 {
-		copy(first[n:], first[:n])
-	}
-	for y := r.Y0 + 1; y < r.Y1; y++ {
-		copy(b.pix[y*b.w+r.X0:y*b.w+r.X1], first)
+	if t := b.tiles; t != nil && t.palOn {
+		b.fillPal(r, c)
+	} else {
+		b.fillRows(r, c)
 	}
 	b.touch(r)
 	return r.Area()
@@ -129,7 +145,7 @@ func (b *Buffer) CopyFrom(src *Buffer) {
 		panic(fmt.Sprintf("framebuffer: CopyFrom size mismatch %dx%d vs %dx%d", b.w, b.h, src.w, src.h))
 	}
 	b.own()
-	copy(b.pix, src.pix)
+	b.copyAllFrom(src)
 	b.touchAll()
 }
 
@@ -148,6 +164,7 @@ func (b *Buffer) Blit(src *Buffer, srcRect Rect, dx, dy int) int {
 	sx := srcRect.X0 + (dst.X0 - dx)
 	sy := srcRect.Y0 + (dst.Y0 - dy)
 	b.own()
+	b.realizeRegion(dst)
 	b.copyRows(src, sx, sy, dst)
 	b.touch(dst)
 	return dst.Area()
@@ -166,6 +183,7 @@ func (b *Buffer) ScrollVert(r Rect, dy int) Rect {
 		return r // everything scrolled out; repaint all (no pixels written)
 	}
 	b.own()
+	b.realizeRegion(r)
 	if dy > 0 {
 		// Move rows downward, iterating bottom-up to avoid overwrite.
 		for y := r.Y1 - 1; y >= r.Y0+dy; y-- {
@@ -207,7 +225,26 @@ func (b *Buffer) Equal(o *Buffer) bool {
 			}
 		}
 	}
-	return firstDiff(b.pix, o.pix) < 0
+	return b.contentEqual(o)
+}
+
+// contentEqual is Equal's exhaustive fallback, reading both sides
+// through their content representations.
+func (b *Buffer) contentEqual(o *Buffer) bool {
+	rb, ro := b.repr(), o.repr()
+	bp := rb.tiles != nil && rb.tiles.palTiles > 0
+	op := ro.tiles != nil && ro.tiles.palTiles > 0
+	if !bp && !op {
+		return firstDiff(rb.pix, ro.pix) < 0
+	}
+	for y := 0; y < b.h; y++ {
+		for x := 0; x < b.w; x++ {
+			if rb.colorAt(x, y) != ro.colorAt(x, y) {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // DiffPixels counts pixels that differ between b and o, which must have the
@@ -219,7 +256,19 @@ func (b *Buffer) DiffPixels(o *Buffer) int {
 	if b.w != o.w || b.h != o.h {
 		panic("framebuffer: DiffPixels size mismatch")
 	}
-	a, c := b.pix, o.pix
+	rb, ro := b.repr(), o.repr()
+	if (rb.tiles != nil && rb.tiles.palTiles > 0) || (ro.tiles != nil && ro.tiles.palTiles > 0) {
+		n := 0
+		for y := 0; y < b.h; y++ {
+			for x := 0; x < b.w; x++ {
+				if rb.colorAt(x, y) != ro.colorAt(x, y) {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	a, c := rb.pix, ro.pix
 	n := 0
 	i := 0
 	for ; i+8 <= len(a); i += 8 {
@@ -247,14 +296,26 @@ func (b *Buffer) DiffPixels(o *Buffer) int {
 // MeanLuminance returns the average Rec.601 luma over the whole buffer.
 // The OLED panel model consumes this.
 func (b *Buffer) MeanLuminance() float64 {
-	if len(b.pix) == 0 {
+	rb := b.repr()
+	if rb.tiles != nil && rb.tiles.palTiles > 0 {
+		// Decode in pixel order so the float accumulation is bit-identical
+		// to the raw scan whatever the representation.
+		sum := 0.0
+		for y := 0; y < rb.h; y++ {
+			for x := 0; x < rb.w; x++ {
+				sum += rb.colorAt(x, y).Luminance()
+			}
+		}
+		return sum / float64(rb.w*rb.h)
+	}
+	if len(rb.pix) == 0 {
 		return 0
 	}
 	sum := 0.0
-	for _, p := range b.pix {
+	for _, p := range rb.pix {
 		sum += p.Luminance()
 	}
-	return sum / float64(len(b.pix))
+	return sum / float64(len(rb.pix))
 }
 
 func abs(v int) int {

@@ -18,6 +18,12 @@ type Grid struct {
 	// arithmetic. int32 keeps the table at 4 bytes per sample (the largest
 	// supported screen, 921600 pixels, fits comfortably).
 	flat []int32
+	// tileOf and nibPos locate each lattice point in the tile layer:
+	// tileOf[i] is the 32×32 tile index and nibPos[i] the tile-local
+	// nibble offset, so sampling and delta comparison read
+	// palette-compressed tiles without decoding them (see palette.go).
+	tileOf []int32
+	nibPos []int32
 }
 
 // NewGrid constructs a cols × rows sampling lattice over a w × h screen.
@@ -30,10 +36,15 @@ func NewGrid(w, h, cols, rows int) Grid {
 	g.xs = centers(w, cols)
 	g.ys = centers(h, rows)
 	g.flat = make([]int32, 0, cols*rows)
+	g.tileOf = make([]int32, 0, cols*rows)
+	g.nibPos = make([]int32, 0, cols*rows)
+	tcols := tilesFor(w)
 	for _, y := range g.ys {
 		base := int32(y * w)
 		for _, x := range g.xs {
 			g.flat = append(g.flat, base+int32(x))
+			g.tileOf = append(g.tileOf, int32((y>>TileShift)*tcols+x>>TileShift))
+			g.nibPos = append(g.nibPos, int32((y&tileMask)<<TileShift+x&tileMask))
 		}
 	}
 	return g
@@ -96,9 +107,14 @@ func (g Grid) Sample(buf *Buffer, dst []Color) {
 	if len(dst) != g.Samples() {
 		panic(fmt.Sprintf("framebuffer: Sample dst length %d, want %d", len(dst), g.Samples()))
 	}
-	// Read b.pix directly (not Pix()): sampling must never materialize a
-	// copy-on-write buffer.
-	pix := buf.pix
+	// Read the representation directly (not Pix()): sampling must never
+	// materialize a copy-on-write buffer nor realize a compressed tile.
+	rb := buf.repr()
+	if rb.tiles != nil && rb.tiles.palTiles > 0 {
+		g.samplePal(rb, dst[:g.Samples()])
+		return
+	}
+	pix := rb.pix
 	idx := g.flat
 	dst = dst[:len(idx)]
 	// Gather four lattice points per iteration: the unroll amortizes loop
@@ -114,6 +130,25 @@ func (g Grid) Sample(buf *Buffer, dst []Color) {
 	}
 	for ; i < len(idx); i++ {
 		dst[i] = pix[idx[i]]
+	}
+}
+
+// samplePal gathers the lattice from a representation buffer holding at
+// least one palette-compressed tile: raw lattice points read the pixel
+// array as usual, compressed points decode a single nibble through the
+// tile palette — no per-sample decode buffer, no materialization.
+func (g Grid) samplePal(rb *Buffer, dst []Color) {
+	t := rb.tiles
+	pix := rb.pix
+	for i, fi := range g.flat {
+		ti := int(g.tileOf[i])
+		if t.palN[ti] == 0 {
+			dst[i] = pix[fi]
+			continue
+		}
+		np := int(g.nibPos[i])
+		nib := t.plane[ti*planeTileBytes+np>>1] >> (uint(np&1) * 4)
+		dst[i] = t.pal[ti*PaletteCap+int(nib&0xF)]
 	}
 }
 

@@ -1,0 +1,688 @@
+package framebuffer
+
+import "bytes"
+
+// Palette-compressed tiles: the *Surface Compression Using Dynamic Color
+// Palettes* idea (PAPERS.md), the companion of the tile-signature
+// rendering elimination in tile.go. Mobile UI surfaces are overwhelmingly
+// flat fills over a handful of colors, so a tile whose content fits a
+// small dynamic palette stores 4-bit indices plus a palette side table —
+// 512 bytes of indices instead of 4 KB of pixels — and every kernel that
+// streams tile bytes (blit, hash, compare, fill) touches 8× less memory.
+//
+// Representation contract. Palette compression is a pure representation
+// change, invisible in content:
+//
+//   - When palN[i] > 0, tile i's content is DEFINED by (plane, pal) and
+//     the pixel array is stale under it. When palN[i] == 0 the pixel
+//     array is authoritative, exactly as before.
+//   - Signatures stay a pure function of content: hashTilePal hashes the
+//     DECODED colors, bit-identical to the raw hash, so Equal's
+//     "differing signatures imply differing bytes" direction keeps
+//     holding across mixed representations.
+//   - Promotion back to raw is transparent: palette overflow on a
+//     partial write, or a raw kernel (Blit, ScrollVert) landing on a
+//     compressed tile, realizes the tile into the pixel array first.
+//     A fill covering a whole tile resets it to a fresh one-color
+//     palette, so flat UI churns between solid palettes, not raw.
+//
+// Readers must be representation-aware AND sharing-aware: a copy-on-write
+// view's content lives on its shared source (which may be compressed, or
+// even compacted with no pixel array at all), while generations and
+// signature caches stay on the view's own tile set. repr() picks the
+// content side of that split.
+
+const (
+	// PaletteCap is the maximum palette size of a compressed tile: 4-bit
+	// indices address at most 16 colors.
+	PaletteCap = 16
+	// tilePixels is the pixel count of a full 32×32 tile.
+	tilePixels = TileSize * TileSize
+	// planeTileBytes is the index-plane storage per tile: two 4-bit
+	// indices per byte, even local x in the low nibble.
+	planeTileBytes = tilePixels / 2
+)
+
+// repr returns the buffer holding b's content representation: the shared
+// source while b is a copy-on-write view, b itself otherwise. Content
+// (pixels, palettes) is read from repr(); generations and signature
+// caches are read from b's own tile set.
+func (b *Buffer) repr() *Buffer {
+	if b.shared != nil {
+		return b.shared
+	}
+	return b
+}
+
+// EnablePalettes turns on palette compression for b (implies tile
+// tracking). Idempotent; all tiles start raw. Pooled buffers keep their
+// palette state across reuse under the same contract as their pixels.
+func (b *Buffer) EnablePalettes() {
+	b.EnableTiles()
+	t := b.tiles
+	if t.palOn {
+		return
+	}
+	t.palOn = true
+	if t.palN == nil {
+		n := t.cols * t.rows
+		t.palN = make([]uint8, n)
+		t.plane = make([]byte, n*planeTileBytes)
+		t.pal = make([]Color, n*PaletteCap)
+	}
+}
+
+// DisablePalettes realizes every compressed tile back to raw pixels and
+// turns palette compression off — the `-no-palette` oracle path. Safe on
+// buffers that never had palettes.
+func (b *Buffer) DisablePalettes() {
+	if b.tiles == nil || !b.tiles.palOn {
+		return
+	}
+	b.own()
+	b.realizeAll()
+	b.tiles.palOn = false
+}
+
+// PalettesEnabled reports whether palette compression is enabled on b.
+func (b *Buffer) PalettesEnabled() bool { return b.tiles != nil && b.tiles.palOn }
+
+// PaletteTiles returns the number of tiles currently stored in
+// palette-compressed form, read through the content representation — a
+// copy-on-write view of a compressed memo screen reports the memo's
+// tiles.
+func (b *Buffer) PaletteTiles() int {
+	rb := b.repr()
+	if rb.tiles == nil {
+		return 0
+	}
+	return rb.tiles.palTiles
+}
+
+// PalettePromotions returns how many times one of b's own tiles was
+// realized back to raw: palette overflows and raw-kernel writes over
+// compressed tiles.
+func (b *Buffer) PalettePromotions() uint64 {
+	if b.tiles == nil {
+		return 0
+	}
+	return b.tiles.promotions
+}
+
+// tilePal returns tile i's palette storage (PaletteCap entries).
+func (t *tileSet) tilePal(i int) []Color {
+	return t.pal[i*PaletteCap : i*PaletteCap+PaletteCap : i*PaletteCap+PaletteCap]
+}
+
+// tilePlane returns tile i's 512-byte index plane.
+func (t *tileSet) tilePlane(i int) []byte {
+	return t.plane[i*planeTileBytes : (i+1)*planeTileBytes : (i+1)*planeTileBytes]
+}
+
+// palIndex returns tile i's palette index for c, appending c when the
+// palette has room, or -1 on overflow.
+func (t *tileSet) palIndex(i int, c Color) int {
+	pal := t.tilePal(i)
+	n := int(t.palN[i])
+	for k := 0; k < n; k++ {
+		if pal[k] == c {
+			return k
+		}
+	}
+	if n == PaletteCap {
+		return -1
+	}
+	pal[n] = c
+	t.palN[i] = uint8(n + 1)
+	return n
+}
+
+// dropPalettes discards all palette state without decoding — used when
+// the raw pixel array has just been made authoritative wholesale.
+func (t *tileSet) dropPalettes() {
+	if t.palTiles == 0 {
+		return
+	}
+	for i := range t.palN {
+		t.palN[i] = 0
+	}
+	t.palTiles = 0
+}
+
+// colorAt reads one pixel of content, decoding through the palette when
+// the containing tile is compressed. b must be a representation buffer
+// (call through repr()).
+func (b *Buffer) colorAt(x, y int) Color {
+	if t := b.tiles; t != nil && t.palTiles > 0 {
+		ti := (y>>TileShift)*t.cols + x>>TileShift
+		if t.palN[ti] > 0 {
+			np := (y&tileMask)<<TileShift + x&tileMask
+			nib := t.plane[ti*planeTileBytes+np>>1] >> (uint(np&1) * 4)
+			return t.pal[ti*PaletteCap+int(nib&0xF)]
+		}
+	}
+	return b.pix[y*b.w+x]
+}
+
+// decodeRun decodes count consecutive nibbles of plane, starting at
+// tile-local nibble offset np, through pal into out.
+func decodeRun(plane []byte, pal []Color, np int, out []Color) {
+	i := 0
+	if np&1 == 1 && i < len(out) {
+		out[i] = pal[plane[np>>1]>>4&0xF]
+		i++
+		np++
+	}
+	for ; i+2 <= len(out); i += 2 {
+		bb := plane[np>>1]
+		out[i] = pal[bb&0xF]
+		out[i+1] = pal[bb>>4&0xF]
+		np += 2
+	}
+	if i < len(out) {
+		out[i] = pal[plane[np>>1]&0xF]
+	}
+}
+
+// readRow copies n pixels of content starting at (x, y) into out,
+// decoding palettized tiles. b must be a representation buffer.
+func (b *Buffer) readRow(out []Color, x, y, n int) {
+	t := b.tiles
+	if t == nil || t.palTiles == 0 {
+		copy(out[:n], b.pix[y*b.w+x:y*b.w+x+n])
+		return
+	}
+	row := (y >> TileShift) * t.cols
+	for n > 0 {
+		ti := row + x>>TileShift
+		run := TileSize - x&tileMask
+		if run > n {
+			run = n
+		}
+		if t.palN[ti] > 0 {
+			decodeRun(t.tilePlane(ti), t.tilePal(ti), (y&tileMask)<<TileShift+x&tileMask, out[:run])
+		} else {
+			copy(out[:run], b.pix[y*b.w+x:y*b.w+x+run])
+		}
+		out = out[run:]
+		x += run
+		n -= run
+	}
+}
+
+// realizeTile decodes compressed tile i back into the raw pixel array
+// and drops its palette — the promotion path taken on palette overflow
+// and under raw-kernel writes. Content is unchanged, so generations and
+// cached signatures stay valid. b must be materialized.
+func (b *Buffer) realizeTile(i int) {
+	t := b.tiles
+	r := b.TileRect(i)
+	plane, pal := t.tilePlane(i), t.tilePal(i)
+	for y := r.Y0; y < r.Y1; y++ {
+		decodeRun(plane, pal, (y&tileMask)<<TileShift+r.X0&tileMask, b.pix[y*b.w+r.X0:y*b.w+r.X1])
+	}
+	t.palN[i] = 0
+	t.palTiles--
+	t.promotions++
+}
+
+// realizeRegion realizes every compressed tile overlapping r. Callers
+// about to write raw pixels inside r use it to make the pixel array
+// authoritative there first.
+func (b *Buffer) realizeRegion(r Rect) {
+	t := b.tiles
+	if t == nil || t.palTiles == 0 {
+		return
+	}
+	r = r.Clamp(b.Bounds())
+	if r.Empty() {
+		return
+	}
+	for ty := r.Y0 >> TileShift; ty <= (r.Y1-1)>>TileShift; ty++ {
+		for tx := r.X0 >> TileShift; tx <= (r.X1-1)>>TileShift; tx++ {
+			if i := ty*t.cols + tx; t.palN[i] > 0 {
+				b.realizeTile(i)
+			}
+		}
+	}
+}
+
+// realizeAll realizes every compressed tile, reallocating the pixel
+// array if it was dropped by Compact.
+func (b *Buffer) realizeAll() {
+	t := b.tiles
+	if t == nil || t.palTiles == 0 {
+		return
+	}
+	if b.pix == nil {
+		b.pix = make([]Color, b.w*b.h)
+	}
+	for i := range t.palN {
+		if t.palN[i] > 0 {
+			b.realizeTile(i)
+		}
+	}
+}
+
+// fillRows is the raw doubling-copy fill kernel (see Fill). r must be
+// clamped and non-empty; b must be materialized.
+func (b *Buffer) fillRows(r Rect, c Color) {
+	first := b.pix[r.Y0*b.w+r.X0 : r.Y0*b.w+r.X1]
+	first[0] = c
+	for n := 1; n < len(first); n *= 2 {
+		copy(first[n:], first[:n])
+	}
+	for y := r.Y0 + 1; y < r.Y1; y++ {
+		copy(b.pix[y*b.w+r.X0:y*b.w+r.X1], first)
+	}
+}
+
+// fillNibs writes palette index idx into every nibble of the tile-local
+// projection of clip (buffer coordinates, within one tile).
+func fillNibs(plane []byte, clip Rect, idx byte) {
+	bb := idx | idx<<4
+	lx0 := clip.X0 & tileMask
+	lx1 := (clip.X1-1)&tileMask + 1
+	for y := clip.Y0; y < clip.Y1; y++ {
+		np := (y&tileMask)<<TileShift + lx0
+		end := (y&tileMask)<<TileShift + lx1
+		if np&1 == 1 {
+			plane[np>>1] = plane[np>>1]&0x0F | idx<<4
+			np++
+		}
+		if end&1 == 1 && end > np {
+			end--
+			plane[end>>1] = plane[end>>1]&0xF0 | idx
+		}
+		row := plane[np>>1 : end>>1]
+		for k := range row {
+			row[k] = bb
+		}
+	}
+}
+
+// fillPal is Fill's kernel for palette-enabled buffers: a tile fully
+// covered by r resets to a fresh single-color palette (a 512-byte memset
+// instead of a 4 KB pixel fill), a partially covered compressed tile
+// takes an index fill when c fits its palette (promoting to raw on
+// overflow), and raw tiles take the raw row fill. r must be clamped and
+// non-empty; b must be materialized.
+func (b *Buffer) fillPal(r Rect, c Color) {
+	t := b.tiles
+	for ty := r.Y0 >> TileShift; ty <= (r.Y1-1)>>TileShift; ty++ {
+		for tx := r.X0 >> TileShift; tx <= (r.X1-1)>>TileShift; tx++ {
+			i := ty*t.cols + tx
+			tr := b.TileRect(i)
+			clip := tr.Intersect(r)
+			if clip == tr {
+				if t.palN[i] != 1 {
+					// An already-solid tile's plane is zero by invariant;
+					// everything else needs the 512-byte plane reset.
+					if t.palN[i] == 0 {
+						t.palTiles++
+					}
+					t.palN[i] = 1
+					plane := t.tilePlane(i)
+					for k := range plane {
+						plane[k] = 0
+					}
+				}
+				t.tilePal(i)[0] = c
+				continue
+			}
+			if t.palN[i] > 0 {
+				if idx := t.palIndex(i, c); idx >= 0 {
+					fillNibs(t.tilePlane(i), clip, byte(idx))
+					continue
+				}
+				b.realizeTile(i)
+			}
+			b.fillRows(clip, c)
+		}
+	}
+}
+
+// copyAllFrom copies src's full content into b, staying in the palette
+// domain wholesale when both sides support it. b must be materialized
+// and match src's dimensions; src is read through its representation.
+func (b *Buffer) copyAllFrom(src *Buffer) {
+	rs := src.repr()
+	st := rs.tiles
+	bt := b.tiles
+	if st == nil || st.palTiles == 0 {
+		copy(b.pix, rs.pix)
+		if bt != nil {
+			// Stale palettes must not shadow the fresh raw pixels.
+			bt.dropPalettes()
+		}
+		return
+	}
+	if bt != nil && bt.palOn {
+		copy(bt.palN, st.palN)
+		copy(bt.plane, st.plane)
+		copy(bt.pal, st.pal)
+		bt.palTiles = st.palTiles
+		if rs.pix != nil {
+			copy(b.pix, rs.pix)
+		}
+		return
+	}
+	// b cannot hold palettes: decode src tile by tile into raw rows.
+	for i := range st.palN {
+		tx, ty := i%st.cols, i/st.cols
+		r := Rect{tx << TileShift, ty << TileShift, (tx + 1) << TileShift, (ty + 1) << TileShift}.
+			Clamp(b.Bounds())
+		if st.palN[i] > 0 {
+			plane, pal := st.tilePlane(i), st.tilePal(i)
+			for y := r.Y0; y < r.Y1; y++ {
+				decodeRun(plane, pal, (y&tileMask)<<TileShift+r.X0&tileMask, b.pix[y*b.w+r.X0:y*b.w+r.X1])
+			}
+		} else {
+			for y := r.Y0; y < r.Y1; y++ {
+				copy(b.pix[y*b.w+r.X0:y*b.w+r.X1], rs.pix[y*b.w+r.X0:y*b.w+r.X1])
+			}
+		}
+	}
+	if bt != nil {
+		bt.dropPalettes()
+	}
+}
+
+// hashTilePal computes compressed tile i's signature. The hash runs over
+// the DECODED colors — bit-identical to the raw hash — because Equal and
+// BlitTiled rely on signatures being a pure function of content,
+// independent of representation. The win is memory traffic (512 bytes of
+// indices plus the palette instead of 4 KB of pixels) and a one-entry
+// memo for full solid tiles, the overwhelmingly common case on flat UI.
+// rt is the representation tile set; the memo lives on b's own tile set
+// (views must not write their shared source's caches).
+func (b *Buffer) hashTilePal(rt *tileSet, i int, r Rect) uint64 {
+	pal := rt.tilePal(i)
+	if rt.palN[i] == 1 && r.Dx() == TileSize && r.Dy() == TileSize {
+		t := b.tiles
+		if t.solidOK && t.solidC == pal[0] {
+			return t.solidSig
+		}
+		h := uint64(0xcbf29ce484222325)
+		c := uint64(pal[0])
+		for k := 0; k < tilePixels; k++ {
+			h = (h ^ c) * 0x100000001b3
+		}
+		t.solidC, t.solidSig, t.solidOK = pal[0], h, true
+		return h
+	}
+	plane := rt.tilePlane(i)
+	h := uint64(0xcbf29ce484222325)
+	for y := r.Y0; y < r.Y1; y++ {
+		np := (y&tileMask)<<TileShift + r.X0&tileMask
+		for x := r.X0; x < r.X1; x++ {
+			h = (h ^ uint64(pal[plane[np>>1]>>(uint(np&1)*4)&0xF])) * 0x100000001b3
+			np++
+		}
+	}
+	return h
+}
+
+// tileContentEqual reports whether b's full tile di (rect tr) holds
+// exactly src's full tile si (rect sr); both rects cover whole in-bounds
+// 32×32 tiles. Two compressed tiles with identical palettes compare
+// their 512-byte index planes — exact in both directions, since palette
+// entries within a tile are distinct — which is the 8× cheaper common
+// case on BlitTiled's verify path. Mixed or palette-order-skewed tiles
+// decode-compare.
+func (b *Buffer) tileContentEqual(src *Buffer, si, di int, sr, tr Rect) bool {
+	rb, rs := b.repr(), src.repr()
+	bt, st := rb.tiles, rs.tiles
+	bp := bt != nil && bt.palTiles > 0 && bt.palN[di] > 0
+	sp := st != nil && st.palTiles > 0 && st.palN[si] > 0
+	if !bp && !sp {
+		return rb.rowsEqual(rs, sr, tr)
+	}
+	if bp && sp {
+		nb, ns := bt.palN[di], st.palN[si]
+		if nb == 1 && ns == 1 {
+			return bt.tilePal(di)[0] == st.tilePal(si)[0]
+		}
+		if nb == ns && firstDiff(bt.tilePal(di)[:nb], st.tilePal(si)[:ns]) < 0 {
+			return bytes.Equal(bt.tilePlane(di), st.tilePlane(si))
+		}
+	}
+	for y := 0; y < tr.Dy(); y++ {
+		for x := 0; x < tr.Dx(); x++ {
+			if rb.colorAt(tr.X0+x, tr.Y0+y) != rs.colorAt(sr.X0+x, sr.Y0+y) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// copyTile copies src's full tile si into b's full tile di (both rects
+// whole in-bounds 32×32 tiles). A compressed source tile lands as a
+// 512-byte plane + palette copy when b holds palettes — 8× fewer bytes
+// than the pixel copy; other combinations fall back to raw rows.
+func (b *Buffer) copyTile(src *Buffer, si, di int, sr, tr Rect) {
+	rs := src.repr()
+	st := rs.tiles
+	bt := b.tiles
+	sp := st != nil && st.palTiles > 0 && st.palN[si] > 0
+	if sp && bt.palOn {
+		if bt.palN[di] == 0 {
+			bt.palTiles++
+		}
+		bt.palN[di] = st.palN[si]
+		copy(bt.tilePlane(di), st.tilePlane(si))
+		copy(bt.tilePal(di), st.tilePal(si))
+		return
+	}
+	if bt.palN != nil && bt.palN[di] > 0 {
+		// Fully overwritten with raw content: drop the palette, no decode.
+		bt.palN[di] = 0
+		bt.palTiles--
+	}
+	if sp {
+		plane, pal := st.tilePlane(si), st.tilePal(si)
+		for y := 0; y < tr.Dy(); y++ {
+			decodeRun(plane, pal, ((sr.Y0+y)&tileMask)<<TileShift+sr.X0&tileMask,
+				b.pix[(tr.Y0+y)*b.w+tr.X0:(tr.Y0+y)*b.w+tr.X1])
+		}
+		return
+	}
+	b.copyRows(src, sr.X0, sr.Y0, tr)
+}
+
+// EncodeAll palette-compresses every raw tile whose content fits
+// PaletteCap colors and reports whether every tile ended up compressed
+// (the precondition for Compact).
+func (b *Buffer) EncodeAll() bool {
+	b.own()
+	t := b.tiles
+	if t == nil || !t.palOn {
+		return false
+	}
+	all := true
+	for i := range t.palN {
+		if t.palN[i] > 0 {
+			continue
+		}
+		if !b.encodeTile(i) {
+			all = false
+		}
+	}
+	return all
+}
+
+// encodeTile attempts to palette-compress raw tile i from its pixels,
+// returning false (tile left raw) when the content needs more than
+// PaletteCap colors. b must be materialized and palette-enabled.
+func (b *Buffer) encodeTile(i int) bool {
+	t := b.tiles
+	r := b.TileRect(i)
+	pal := t.tilePal(i)
+	plane := t.tilePlane(i)
+	n := 0
+	for y := r.Y0; y < r.Y1; y++ {
+		np := (y&tileMask)<<TileShift + r.X0&tileMask
+		for _, c := range b.pix[y*b.w+r.X0 : y*b.w+r.X1] {
+			idx := -1
+			for k := 0; k < n; k++ {
+				if pal[k] == c {
+					idx = k
+					break
+				}
+			}
+			if idx < 0 {
+				if n == PaletteCap {
+					return false
+				}
+				pal[n] = c
+				idx = n
+				n++
+			}
+			sh := uint(np&1) * 4
+			plane[np>>1] = plane[np>>1]&^(0xF<<sh) | byte(idx)<<sh
+			np++
+		}
+	}
+	t.palN[i] = uint8(n)
+	t.palTiles++
+	return true
+}
+
+// Recycle returns a parked buffer to the blank content New would hand
+// out, so a session reads — and a client that under-paints its first
+// frame composes — the same bytes whether a free pool gave it fresh or
+// recycled buffers. Any copy-on-write view is dropped without
+// materializing, the promotion counter restarts, and every tile is
+// touched so cached signatures never describe the previous owner's
+// content.
+//
+// On a palette-enabled buffer the blanking stays in the palette domain:
+// every tile becomes a solid one-color palette of zero, so the hand-off
+// clears at most 512 bytes of index plane per tile — and nothing at all
+// for tiles already solid, whose planes are zero by the palN==1
+// invariant — instead of a 4 KB pixel memset. The pixel array is left
+// stale underneath; with palN > 0 everywhere it is dead bytes under the
+// representation contract. The representation differs from a fresh
+// buffer's all-raw zeros, but the content is identical, and the first
+// full paint of the next session rebuilds the representation from
+// content alone, so nothing downstream can tell the difference.
+func (b *Buffer) Recycle() {
+	if b.shared != nil {
+		b.shared = nil
+		b.pix, b.spare = b.spare, nil
+	}
+	if b.pix == nil {
+		b.pix = make([]Color, b.w*b.h)
+	}
+	t := b.tiles
+	if t != nil && t.palOn {
+		for i := range t.palN {
+			if t.palN[i] != 1 {
+				plane := t.tilePlane(i)
+				for k := range plane {
+					plane[k] = 0
+				}
+				t.palN[i] = 1
+			}
+			t.tilePal(i)[0] = 0
+		}
+		t.palTiles = t.cols * t.rows
+		t.promotions = 0
+		t.solidOK = false
+		b.touchAll()
+		return
+	}
+	for i := range b.pix {
+		b.pix[i] = 0
+	}
+	if t != nil {
+		b.touchAll()
+	}
+}
+
+// Compact drops the raw pixel array of a fully compressed, unshared
+// buffer (~8× less memory per memoized screen). It reports whether the
+// compaction happened; a compacted buffer serves all reads through the
+// palette machinery, and Pix/realizeAll reallocate on demand.
+func (b *Buffer) Compact() bool {
+	t := b.tiles
+	if b.shared != nil || t == nil || !t.palOn || t.palTiles != t.cols*t.rows {
+		return false
+	}
+	b.pix = nil
+	return true
+}
+
+// NewPaletteSnapshot builds a compacted palette-compressed copy of src's
+// current content (read through src's representation) without ever
+// allocating a raw pixel array — the storage behind the app layer's
+// memoized screens (~0.55 MB instead of ~3.7 MB at 720×1280). It returns
+// nil when any tile needs more than PaletteCap colors.
+func NewPaletteSnapshot(src *Buffer) *Buffer {
+	b := &Buffer{w: src.w, h: src.h}
+	b.EnablePalettes()
+	t := b.tiles
+	rs := src.repr()
+	var row [TileSize]Color
+	for i := range t.palN {
+		r := b.TileRect(i)
+		pal := t.tilePal(i)
+		plane := t.tilePlane(i)
+		n := 0
+		for y := r.Y0; y < r.Y1; y++ {
+			rs.readRow(row[:r.Dx()], r.X0, y, r.Dx())
+			np := (y&tileMask)<<TileShift + r.X0&tileMask
+			for _, c := range row[:r.Dx()] {
+				idx := -1
+				for k := 0; k < n; k++ {
+					if pal[k] == c {
+						idx = k
+						break
+					}
+				}
+				if idx < 0 {
+					if n == PaletteCap {
+						return nil
+					}
+					pal[n] = c
+					idx = n
+					n++
+				}
+				sh := uint(np&1) * 4
+				plane[np>>1] = plane[np>>1]&^(0xF<<sh) | byte(idx)<<sh
+				np++
+			}
+		}
+		t.palN[i] = uint8(n)
+		t.palTiles++
+	}
+	return b
+}
+
+// ShareFromDamage is ShareFrom for consecutive memoized content states:
+// b — currently holding state k, owned or already a view — becomes a
+// view of src (state k+1), and only tiles under the damage rects are
+// marked written. The caller guarantees the damage contract: rects cover
+// every pixel differing between states k and k+1, so the meter and
+// compositor see exactly the tile churn a real paint of the transition
+// would have caused, instead of a whole-screen invalidation.
+func (b *Buffer) ShareFromDamage(src *Buffer, rects []Rect) {
+	if b.w != src.w || b.h != src.h {
+		panic("framebuffer: ShareFromDamage size mismatch")
+	}
+	if src.shared != nil {
+		panic("framebuffer: ShareFromDamage of a buffer that is itself sharing")
+	}
+	if src == b {
+		panic("framebuffer: ShareFromDamage self")
+	}
+	if b.shared == nil {
+		b.spare = b.pix
+	}
+	b.shared = src
+	b.pix = src.pix
+	for _, r := range rects {
+		b.touch(r)
+	}
+}

@@ -1,0 +1,100 @@
+package framebuffer
+
+import "testing"
+
+// feedPaint fills buf with feed-like content: solid 24 px rows of
+// distinct colors under a 48 px header — the shape the palette layer is
+// built for (every 32×32 tile spans at most a few solid bands, so tiles
+// compress to 2–3 palette entries).
+func feedPaint(buf *Buffer) {
+	w, h := buf.Width(), buf.Height()
+	buf.Fill(R(0, 0, w, 48), RGB(40, 40, 60))
+	for y, i := 48, 0; y < h; y, i = y+24, i+1 {
+		c := RGB(uint8(60+i*13%180), uint8(60+i*29%180), uint8(60+i*47%180))
+		buf.Fill(R(0, y, w, min(y+24, h)), c)
+	}
+}
+
+// BenchmarkPaletteBlit measures full-screen tiled composition of
+// alternating app screens — the memo-hit shape, where every tile's
+// signature mismatches and the whole frame must be copied — on the
+// palette representation against the raw-tile oracle. The palette rows
+// move each tile as a 512-byte index plane plus its side table; the raw
+// rows move 4 KB of pixels per tile.
+func BenchmarkPaletteBlit(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		palette bool
+	}{{"palette", true}, {"raw", false}} {
+		b.Run(bc.name, func(b *testing.B) {
+			var screens [2]*Buffer
+			for i := range screens {
+				screens[i] = New(720, 1280)
+				screens[i].EnableTiles()
+				if bc.palette {
+					screens[i].EnablePalettes()
+				}
+				feedPaint(screens[i])
+				// Offset the second screen's rows so every tile differs.
+				if i == 1 {
+					screens[i].ScrollVert(R(0, 48, 720, 1280), -24)
+					screens[i].Fill(R(0, 1256, 720, 1280), RGB(200, 90, 20))
+					if bc.palette {
+						screens[i].EncodeAll() // restore compression after the scroll realized rows
+					}
+				}
+			}
+			dst := New(720, 1280)
+			dst.EnableTiles()
+			if bc.palette {
+				dst.EnablePalettes()
+			}
+			dst.BlitTiled(screens[0], screens[0].Bounds(), 0, 0, ComposeGens{})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				src := screens[(i+1)&1]
+				dst.BlitTiled(src, src.Bounds(), 0, 0, ComposeGens{})
+			}
+		})
+	}
+}
+
+// BenchmarkPaletteHash measures full-frame signature computation — every
+// tile touched, every tile rehashed — on the palette representation
+// against the raw oracle. The palette row hashes by decoding nibble runs
+// through the side table (canonical signatures: identical to hashing the
+// decoded pixels); the raw row hashes the pixel array directly.
+func BenchmarkPaletteHash(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		palette bool
+	}{{"palette", true}, {"raw", false}} {
+		b.Run(bc.name, func(b *testing.B) {
+			buf := New(720, 1280)
+			buf.EnableTiles()
+			if bc.palette {
+				buf.EnablePalettes()
+			}
+			feedPaint(buf)
+			tiles := buf.Tiles()
+			// Two alternating touch colors stay within each tile's
+			// palette headroom, so touching never promotes a tile.
+			touch := [2]Color{RGB(250, 250, 250), RGB(5, 5, 5)}
+			var sink uint64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c := touch[i&1]
+				for ti := 0; ti < tiles; ti++ {
+					r := buf.TileRect(ti)
+					buf.Set(r.X0, r.Y0, c)
+					sink ^= buf.TileSig(ti)
+				}
+			}
+			if sink == 42 {
+				b.Log(sink) // defeat dead-code elimination
+			}
+		})
+	}
+}

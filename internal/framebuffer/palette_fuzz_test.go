@@ -1,0 +1,153 @@
+package framebuffer
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzPaletteCompare differentially tests the palette-compressed tile
+// representation against the raw tile pipeline: the same mutation stream
+// — fills from a narrow palette, wide-color fills that force promotion,
+// single stores, scrolls, blits — drives a palette buffer and a raw-tile
+// buffer in lockstep, and after every operation the two must agree on
+// every read path: At, Equal, DiffPixels, per-tile signatures, grid
+// sampling and mean luminance. Snapshot/share round-trips (EncodeAll,
+// Compact, NewPaletteSnapshot, ShareFromDamage) are interleaved as
+// content-preserving no-ops. Any divergence means a nibble kernel,
+// promotion edge or copy-on-write path changed visible bytes.
+func FuzzPaletteCompare(f *testing.F) {
+	f.Add(int64(1), []byte{0, 0, 2, 3, 8}, uint8(64), uint8(64))
+	f.Add(int64(2), []byte{2, 2, 2, 2, 2, 2, 8, 6}, uint8(33), uint8(47)) // wide fills: promotion pressure
+	f.Add(int64(3), []byte{0, 4, 5, 0, 8, 6, 7, 0, 8}, uint8(96), uint8(40))
+	f.Add(int64(4), []byte{3, 3, 3, 3, 8, 0, 6, 8}, uint8(31), uint8(32)) // single stores walk a palette to 16 then over
+	f.Add(int64(5), []byte{0, 5, 5, 2, 8, 7, 0, 8, 6}, uint8(80), uint8(130))
+
+	f.Fuzz(func(t *testing.T, seed int64, ops []byte, w8, h8 uint8) {
+		w := int(w8%100) + 8 // 8..107: partial edge tiles in both axes
+		h := int(h8%120) + 8
+		if len(ops) > 128 {
+			ops = ops[:128]
+		}
+		rng := rand.New(rand.NewSource(seed))
+
+		pb := New(w, h)
+		pb.EnableTiles()
+		pb.EnablePalettes()
+		rb := New(w, h)
+		rb.EnableTiles()
+
+		// Blit source with raw random content.
+		aux := New(w, h)
+		for i := range aux.Pix() {
+			aux.Pix()[i] = Color(rng.Uint32() & 0x00ffffff)
+		}
+		// A narrow color set keeps tiles palettized; wide colors overflow
+		// PaletteCap and exercise promotion.
+		narrow := [5]Color{RGB(10, 10, 10), RGB(200, 30, 30), RGB(30, 200, 30), RGB(30, 30, 200), RGB(240, 240, 240)}
+		randRect := func() Rect {
+			return Rect{
+				X0: rng.Intn(w+16) - 8, Y0: rng.Intn(h+16) - 8,
+				X1: rng.Intn(w+16) - 8, Y1: rng.Intn(h+16) - 8,
+			}
+		}
+
+		grid := GridForSamples(w, h, 64)
+		sp := make([]Color, grid.Samples())
+		sr := make([]Color, grid.Samples())
+		check := func(step int) {
+			t.Helper()
+			if !pb.Equal(rb) || !rb.Equal(pb) {
+				t.Fatalf("step %d (%dx%d): Equal reports divergence (palTiles=%d promos=%d)",
+					step, w, h, pb.PaletteTiles(), pb.PalettePromotions())
+			}
+			if n := pb.DiffPixels(rb); n != 0 {
+				t.Fatalf("step %d: DiffPixels = %d, want 0", step, n)
+			}
+			for y := 0; y < h; y++ {
+				for x := 0; x < w; x++ {
+					if pb.At(x, y) != rb.At(x, y) {
+						t.Fatalf("step %d: At(%d,%d) palette=%08x raw=%08x", step, x, y, pb.At(x, y), rb.At(x, y))
+					}
+				}
+			}
+			for i := 0; i < pb.Tiles(); i++ {
+				if ps, rs := pb.TileSig(i), rb.TileSig(i); ps != rs {
+					t.Fatalf("step %d: tile %d sig palette=%016x raw=%016x (sigs must be canonical over decoded colors)",
+						step, i, ps, rs)
+				}
+			}
+			grid.Sample(pb, sp)
+			grid.Sample(rb, sr)
+			for i := range sp {
+				if sp[i] != sr[i] {
+					t.Fatalf("step %d: grid sample %d palette=%08x raw=%08x", step, i, sp[i], sr[i])
+				}
+			}
+			if pl, rl := pb.MeanLuminance(), rb.MeanLuminance(); pl != rl {
+				t.Fatalf("step %d: MeanLuminance palette=%v raw=%v", step, pl, rl)
+			}
+		}
+
+		for step, op := range ops {
+			switch op % 9 {
+			case 0, 1: // narrow fill: the palettized fast path
+				r, c := randRect(), narrow[rng.Intn(len(narrow))]
+				if np, nr := pb.Fill(r, c), rb.Fill(r, c); np != nr {
+					t.Fatalf("step %d: Fill count palette=%d raw=%d", step, np, nr)
+				}
+			case 2: // wide fill: palette growth and promotion
+				r, c := randRect(), Color(rng.Uint32()&0x00ffffff)
+				if np, nr := pb.Fill(r, c), rb.Fill(r, c); np != nr {
+					t.Fatalf("step %d: Fill count palette=%d raw=%d", step, np, nr)
+				}
+			case 3: // single stores, sometimes wide: per-tile palettes creep past PaletteCap
+				for n := rng.Intn(40) + 1; n > 0; n-- {
+					x, y := rng.Intn(w), rng.Intn(h)
+					c := narrow[rng.Intn(len(narrow))]
+					if rng.Intn(3) == 0 {
+						c = Color(rng.Uint32() & 0x00ffffff)
+					}
+					pb.Set(x, y, c)
+					rb.Set(x, y, c)
+				}
+			case 4: // scroll: the feed kernel over mixed representations
+				r, dy := randRect(), rng.Intn(2*h+1)-h
+				if rp, rr := pb.ScrollVert(r, dy), rb.ScrollVert(r, dy); rp != rr {
+					t.Fatalf("step %d: ScrollVert repaint palette=%v raw=%v", step, rp, rr)
+				}
+			case 5: // blit raw content over palettized tiles
+				srcR := randRect().Clamp(aux.Bounds())
+				dx, dy := rng.Intn(w+10)-5, rng.Intn(h+10)-5
+				if np, nr := pb.Blit(aux, srcR, dx, dy), rb.Blit(aux, srcR, dx, dy); np != nr {
+					t.Fatalf("step %d: Blit count palette=%d raw=%d", step, np, nr)
+				}
+			case 6: // re-encode is content-preserving
+				pb.EncodeAll()
+			case 7: // snapshot + compact + share round-trip must reproduce the content
+				snap := NewPaletteSnapshot(pb)
+				if snap == nil {
+					break
+				}
+				view := New(w, h)
+				view.EnableTiles()
+				view.EnablePalettes()
+				view.FillAll(narrow[rng.Intn(len(narrow))])
+				view.ShareFromDamage(snap, []Rect{view.Bounds()})
+				if !view.Equal(rb) {
+					t.Fatalf("step %d: snapshot/share view diverges from raw reference", step)
+				}
+				for i := 0; i < view.Tiles(); i++ {
+					if vs, rs := view.TileSig(i), rb.TileSig(i); vs != rs {
+						t.Fatalf("step %d: shared view tile %d sig %016x, raw %016x", step, i, vs, rs)
+					}
+				}
+			default: // recycle both: must come back blank and in lockstep
+				if rng.Intn(2) == 0 {
+					pb.Recycle()
+					rb.Recycle()
+				}
+			}
+			check(step)
+		}
+	})
+}

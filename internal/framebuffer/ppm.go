@@ -17,9 +17,10 @@ func (b *Buffer) WritePPM(w io.Writer) error {
 		return err
 	}
 	row := make([]byte, 3*b.w)
+	rb := b.repr()
 	for y := 0; y < b.h; y++ {
 		for x := 0; x < b.w; x++ {
-			r, g, bb := b.pix[y*b.w+x].RGB()
+			r, g, bb := rb.colorAt(x, y).RGB()
 			row[3*x] = r
 			row[3*x+1] = g
 			row[3*x+2] = bb

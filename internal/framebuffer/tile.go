@@ -52,6 +52,25 @@ type tileSet struct {
 	// hash was taken). Signatures are computed lazily on first use.
 	sig    []uint64
 	sigGen []uint64
+
+	// Palette compression state (see palette.go). palOn gates the
+	// machinery; while palN[i] > 0 tile i's content is defined by its
+	// slice of pal and plane and the pixel array is stale under it.
+	palOn    bool
+	palN     []uint8 // palette size per tile; 0 = raw
+	plane    []byte  // 4-bit index plane, planeTileBytes per tile
+	pal      []Color // PaletteCap entries per tile
+	palTiles int     // tiles currently palettized
+	// promotions counts pal → raw realizations (palette overflow and
+	// raw-kernel writes over compressed tiles).
+	promotions uint64
+	// One-entry signature memo for full single-color tiles: the FNV of
+	// 1024 equal words is a pure function of the color, and solid tiles
+	// dominate flat UI. Lives on the hashing buffer's own tile set, never
+	// on a shared source (views must not write their source's caches).
+	solidC   Color
+	solidSig uint64
+	solidOK  bool
 }
 
 // EnableTiles turns on tile tracking for b. It is idempotent; dimensions
@@ -132,12 +151,19 @@ func (b *Buffer) TileSig(i int) uint64 {
 	return s
 }
 
-// hashTile computes tile i's signature from its current pixels.
+// hashTile computes tile i's signature from its current content. The
+// content is read through the representation (shared source, palette
+// decode), so the signature is identical whatever form the tile is
+// stored in — Equal and BlitTiled depend on that purity.
 func (b *Buffer) hashTile(i int) uint64 {
+	rb := b.repr()
 	r := b.TileRect(i)
+	if rt := rb.tiles; rt != nil && rt.palTiles > 0 && rt.palN[i] > 0 {
+		return b.hashTilePal(rt, i, r)
+	}
 	h := uint64(0xcbf29ce484222325)
 	for y := r.Y0; y < r.Y1; y++ {
-		row := b.pix[y*b.w+r.X0 : y*b.w+r.X1]
+		row := rb.pix[y*rb.w+r.X0 : y*rb.w+r.X1]
 		for _, c := range row {
 			h = (h ^ uint64(c)) * 0x100000001b3
 		}
@@ -195,16 +221,19 @@ func (b *Buffer) touchAll() {
 }
 
 // own materializes a copy-on-write buffer before its first mutation: the
-// shared source's pixels are copied into the buffer's parked storage,
-// which becomes its private pixel array again. Reads never materialize.
+// shared source's content is copied into the buffer's parked storage,
+// which becomes its private pixel array again (palette state transfers
+// wholesale when both sides hold palettes; a source the buffer cannot
+// represent is decoded). Reads never materialize.
 func (b *Buffer) own() {
 	if b.shared == nil {
 		return
 	}
-	copy(b.spare, b.shared.pix)
+	src := b.shared
 	b.pix = b.spare
 	b.spare = nil
 	b.shared = nil
+	b.copyAllFrom(src)
 }
 
 // ShareFrom turns b into a zero-copy view of src's pixels: reads are
@@ -292,8 +321,11 @@ func (b *Buffer) BlitTiled(src *Buffer, srcRect Rect, dx, dy int, prev ComposeGe
 	sy := srcRect.Y0 + (dst.Y0 - dy)
 	ox, oy := dst.X0-sx, dst.Y0-sy // dst = src + (ox, oy)
 	if b.tiles == nil || src.tiles == nil || (ox&tileMask) != 0 || (oy&tileMask) != 0 {
-		// Untracked or tile-misaligned: brute-force copy.
+		// Untracked or tile-misaligned: brute-force copy. The raw row
+		// copy needs an authoritative pixel array under the whole
+		// destination, exactly like Blit.
 		b.own()
+		b.realizeRegion(dst)
 		b.copyRows(src, sx, sy, dst)
 		b.touch(dst)
 		return dst.Area()
@@ -317,9 +349,25 @@ func (b *Buffer) BlitTiled(src *Buffer, srcRect Rect, dx, dy int, prev ComposeGe
 				if st.tgen[si] <= prev.Src && bt.tgen[di] < g && bt.tgen[di] <= prev.Dst {
 					continue // generation skip: both sides unchanged since last compose
 				}
-				if b.TileSig(di) == src.TileSig(si) && b.rowsEqual(src, sr, tr) {
+				if b.TileSig(di) == src.TileSig(si) && b.tileContentEqual(src, si, di, sr, tr) {
 					continue // verified identical content: skip the write
 				}
+				b.copyTile(src, si, di, sr, tr)
+				bt.tgen[di] = g
+				// The copy made the tiles byte-identical, and the ladder
+				// above just validated the source's signature cache, so the
+				// destination inherits it: the next compose of this pair
+				// compares two cached words instead of rehashing 4 KB.
+				if st.sigGen[si] == st.tgen[si] {
+					bt.sig[di] = st.sig[si]
+					bt.sigGen[di] = g
+				}
+				continue
+			}
+			if bt.palN != nil && bt.palN[di] > 0 {
+				// Partial overwrite of a compressed destination tile: the
+				// raw row copy below needs an authoritative pixel array.
+				b.realizeTile(di)
 			}
 			b.copyRows(src, clip.X0-ox, clip.Y0-oy, clip)
 			bt.tgen[di] = g
@@ -328,13 +376,22 @@ func (b *Buffer) BlitTiled(src *Buffer, srcRect Rect, dx, dy int, prev ComposeGe
 	return dst.Area()
 }
 
-// copyRows copies src rows starting at (sx, sy) into b's dst rectangle.
-// The caller has already clipped both sides and materialized b.
+// copyRows copies src rows starting at (sx, sy) into b's dst rectangle,
+// decoding compressed source tiles. The caller has already clipped both
+// sides, materialized b, and realized any compressed destination tiles
+// under dst.
 func (b *Buffer) copyRows(src *Buffer, sx, sy int, dst Rect) {
+	rs := src.repr()
+	if rs.tiles == nil || rs.tiles.palTiles == 0 {
+		for y := 0; y < dst.Dy(); y++ {
+			srow := rs.pix[(sy+y)*rs.w+sx : (sy+y)*rs.w+sx+dst.Dx()]
+			drow := b.pix[(dst.Y0+y)*b.w+dst.X0 : (dst.Y0+y)*b.w+dst.X1]
+			copy(drow, srow)
+		}
+		return
+	}
 	for y := 0; y < dst.Dy(); y++ {
-		srow := src.pix[(sy+y)*src.w+sx : (sy+y)*src.w+sx+dst.Dx()]
-		drow := b.pix[(dst.Y0+y)*b.w+dst.X0 : (dst.Y0+y)*b.w+dst.X1]
-		copy(drow, srow)
+		rs.readRow(b.pix[(dst.Y0+y)*b.w+dst.X0:(dst.Y0+y)*b.w+dst.X1], sx, sy+y, dst.Dx())
 	}
 }
 
@@ -420,11 +477,33 @@ func (tl *TileLattice) DeltaCompare(buf *Buffer, committed []Color, sinceGen uin
 	if len(committed) != tl.g.Samples() {
 		panic(fmt.Sprintf("framebuffer: DeltaCompare committed length %d, want %d", len(committed), tl.g.Samples()))
 	}
-	pix := buf.pix
+	// Content is read through the representation: the metered buffer may
+	// be a copy-on-write view of a memoized screen, and dirty tiles may
+	// be palette-compressed. Generations always come from buf's own tile
+	// set — a view tracks its own churn.
+	rb := buf.repr()
+	rt := rb.tiles
+	pix := rb.pix
 	flat := tl.g.flat
+	usePal := rt != nil && rt.palTiles > 0
 	min := -1
 	for ti, tg := range t.tgen {
 		if tg <= sinceGen {
+			continue
+		}
+		if usePal && rt.palN[ti] > 0 {
+			plane := rt.tilePlane(ti)
+			pal := rt.tilePal(ti)
+			for _, li := range tl.lat[tl.start[ti]:tl.start[ti+1]] {
+				np := tl.g.nibPos[li]
+				v := pal[plane[np>>1]>>(uint(np&1)*4)&0xF]
+				if v != committed[li] {
+					committed[li] = v
+					if min < 0 || int(li) < min {
+						min = int(li)
+					}
+				}
+			}
 			continue
 		}
 		for _, li := range tl.lat[tl.start[ti]:tl.start[ti+1]] {

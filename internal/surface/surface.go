@@ -139,6 +139,7 @@ type Manager struct {
 	rec       *obs.Recorder
 	pool      []*framebuffer.Buffer // detached surface buffers, reusable by dimension
 	mode      ComposeMode
+	palettes  bool
 	// scanout, when non-nil, is the sole full-screen surface whose buffer
 	// is scanned out directly in place of the composed framebuffer — the
 	// single-layer fast path real compositors call "client target
@@ -183,6 +184,9 @@ func (m *Manager) Reset() {
 	// pixels fall under the same contract as pooled buffers above (a
 	// re-registered surface's first latch composes its full bounds).
 	m.scanout = nil
+	// Like pooled buffers, the framebuffer starts the next session with
+	// neutral palette state and counters (its pixels stay stale).
+	m.fb.Recycle()
 }
 
 // SetComposeMode selects the composition strategy. ComposeTiles enables
@@ -202,6 +206,42 @@ func (m *Manager) SetComposeMode(mode ComposeMode) {
 // ComposeMode returns the active composition strategy.
 func (m *Manager) ComposeMode() ComposeMode { return m.mode }
 
+// SetPalettes turns per-tile palette compression (which implies tile
+// tracking) on or off for the framebuffer and every surface buffer;
+// newly registered surfaces inherit the setting. Disabling realizes any
+// compressed tiles, so flipping the switch never changes content. Like
+// the compose mode it survives Reset; device init sets it per session.
+func (m *Manager) SetPalettes(on bool) {
+	m.palettes = on
+	if on {
+		m.fb.EnablePalettes()
+		for _, s := range m.surfaces {
+			s.buf.EnablePalettes()
+		}
+		return
+	}
+	m.fb.DisablePalettes()
+	for _, s := range m.surfaces {
+		s.buf.DisablePalettes()
+	}
+}
+
+// PalettesEnabled reports whether palette compression is active.
+func (m *Manager) PalettesEnabled() bool { return m.palettes }
+
+// PaletteStats aggregates palette-compression counters over the
+// framebuffer and every registered surface buffer: tiles currently
+// stored compressed, and lifetime promotions back to raw.
+func (m *Manager) PaletteStats() (tiles int, promotions uint64) {
+	tiles = m.fb.PaletteTiles()
+	promotions = m.fb.PalettePromotions()
+	for _, s := range m.surfaces {
+		tiles += s.buf.PaletteTiles()
+		promotions += s.buf.PalettePromotions()
+	}
+	return tiles, promotions
+}
+
 // DirectScanout reports whether the framebuffer currently aliases a sole
 // full-screen surface's buffer (no composition copies at all).
 func (m *Manager) DirectScanout() bool { return m.scanout != nil }
@@ -216,6 +256,10 @@ func (m *Manager) takeBuffer(dx, dy int) *framebuffer.Buffer {
 			m.pool[i] = m.pool[last]
 			m.pool[last] = nil
 			m.pool = m.pool[:last]
+			// Neutralize provenance: drop copy-on-write views and stale
+			// palette state so a session behaves (and counts) identically
+			// whether its buffers are fresh or recycled.
+			b.Recycle()
 			return b
 		}
 	}
@@ -290,6 +334,13 @@ func (m *Manager) NewSurfaceAt(name string, z int, frame framebuffer.Rect, clien
 	}
 	if m.mode == ComposeTiles {
 		s.buf.EnableTiles()
+	}
+	if m.palettes {
+		s.buf.EnablePalettes()
+	} else {
+		// A pooled buffer may carry palette state from a palette session;
+		// a palette-off session must not read through it.
+		s.buf.DisablePalettes()
 	}
 	s.region, _ = client.(RegionClient)
 	// Insert in z order (stable for equal z).

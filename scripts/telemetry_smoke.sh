@@ -6,7 +6,10 @@
 # (ccdem-obscheck), the campaign trace must carry dispatch/run/encode/
 # merge spans from the daemon plus one process per shard worker, the log
 # stream must be structured JSON with job correlation, and the read
-# endpoints must declare no-store caching. Needs curl and jq.
+# endpoints must declare no-store caching. A final step exposes the
+# device-level fleet registry (ccdem-fleet -metrics-prom) and holds the
+# palette/memo counter families to the same strict parser. Needs curl
+# and jq.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -92,6 +95,15 @@ grep -q '"msg":"shard complete".*"job":"'"$id"'"' "$workdir/svc.log"
 
 # --- Profiling listener ---------------------------------------------
 curl -fsS "${debug}cmdline" > /dev/null
+
+# --- Device-level fleet registry: palette + memo counters -----------
+# The svc /metrics surface carries service families only; the device
+# counters live in the per-run fleet registry, exported here in the
+# same exposition format and held to the same parser.
+"$workdir/ccdem-fleet" -devices 4 -duration 2 -seed 7 \
+  -metrics-prom "$workdir/fleet.prom" > /dev/null
+"$workdir/ccdem-obscheck" -prom "$workdir/fleet.prom" \
+  -require fb_palette_tiles_total,fb_palette_promotions_total,app_memo_hits_total,app_memo_misses_total,frames_total
 
 kill -TERM "$svc_pid"
 wait "$svc_pid"
